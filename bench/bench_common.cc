@@ -1,0 +1,87 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stopwatch.h"
+
+namespace telco {
+namespace bench {
+
+namespace {
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoll(value, nullptr, 10);
+}
+
+}  // namespace
+
+std::unique_ptr<World> BuildWorld() {
+  Logger::SetLevel(LogLevel::kWarning);
+  auto world = std::make_unique<World>();
+  world->config.num_customers =
+      static_cast<size_t>(EnvInt("TELCO_BENCH_CUSTOMERS", 12000));
+  world->config.num_months =
+      static_cast<int>(EnvInt("TELCO_BENCH_MONTHS", 9));
+  world->config.seed = static_cast<uint64_t>(EnvInt("TELCO_BENCH_SEED", 2015));
+  Stopwatch sw;
+  world->sim = std::make_unique<TelcoSimulator>(world->config);
+  const Status st = world->sim->Run(&world->catalog);
+  TELCO_CHECK(st.ok()) << st.ToString();
+  std::printf("# world: %zu customers x %d months (seed %llu), "
+              "%zu tables / %zu rows, simulated in %.1fs\n",
+              world->config.num_customers, world->config.num_months,
+              static_cast<unsigned long long>(world->config.seed),
+              world->catalog.size(), world->catalog.TotalRows(),
+              sw.ElapsedSeconds());
+  return world;
+}
+
+size_t ScaledU(const World& world, double paper_u) {
+  const double scale =
+      static_cast<double>(world.config.num_customers) / kPaperPopulation;
+  return std::max<size_t>(1, static_cast<size_t>(paper_u * scale + 0.5));
+}
+
+PipelineOptions DefaultPipelineOptions() {
+  PipelineOptions options;
+  const int trees = static_cast<int>(EnvInt("TELCO_BENCH_TREES", 120));
+  options.model.rf.num_trees = trees;
+  options.model.gbdt.num_trees = trees;
+  return options;
+}
+
+void PrintHeader(const std::string& experiment, const World& world) {
+  std::printf("\n=== %s ===\n", experiment.c_str());
+  std::printf("# scale: 1 bench customer ~ %.0f paper customers; paper "
+              "top-50000 ~ top-%zu here\n",
+              kPaperPopulation /
+                  static_cast<double>(world.config.num_customers),
+              ScaledU(world, 5e4));
+}
+
+Result<AveragedMetrics> AverageOverMonths(ChurnPipeline& pipeline,
+                                          const std::vector<int>& months,
+                                          size_t u) {
+  AveragedMetrics avg;
+  for (int month : months) {
+    TELCO_ASSIGN_OR_RETURN(const RankingMetrics m,
+                           pipeline.Evaluate(month, u));
+    avg.auc += m.auc;
+    avg.pr_auc += m.pr_auc;
+    avg.recall_at_u += m.recall_at_u;
+    avg.precision_at_u += m.precision_at_u;
+    ++avg.runs;
+  }
+  if (avg.runs == 0) return Status::InvalidArgument("no months evaluated");
+  avg.auc /= avg.runs;
+  avg.pr_auc /= avg.runs;
+  avg.recall_at_u /= avg.runs;
+  avg.precision_at_u /= avg.runs;
+  return avg;
+}
+
+}  // namespace bench
+}  // namespace telco

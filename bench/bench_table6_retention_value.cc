@@ -1,0 +1,117 @@
+// Table 6: business value of churn prediction — A/B retention campaigns
+// over the last two months. Month N-1: offers assigned by domain
+// knowledge. Month N: offers matched by the multi-class retention
+// classifier trained on month N-1's feedback. Expected:
+//   * Group A (control) recharge rates very low in the top band and ~10%
+//     in the second band;
+//   * Group B (offers) much higher than Group A;
+//   * the learned matching (month N) beats domain knowledge (month N-1).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "churn/retention.h"
+
+int main() {
+  using namespace telco;
+  using namespace telco::bench;
+  auto world = BuildWorld();
+  PrintHeader("Table 6: business value of churn prediction (A/B test)",
+              *world);
+
+  const int month8 = world->config.num_months - 1;
+  const int month9 = world->config.num_months;
+
+  PipelineOptions options = DefaultPipelineOptions();
+  options.training_months = 2;
+  ChurnPipeline pipeline(&world->catalog, options);
+  CampaignSimulator campaign_world(world->config, world->sim->truth(),
+                                   0xAB);
+  RetentionOptions retention_options;
+  retention_options.top_band = ScaledU(*world, 5e4);
+  retention_options.second_band = ScaledU(*world, 1e5);
+  retention_options.matcher_rf.num_trees = 80;
+  retention_options.matcher_rf.min_samples_split = 10;
+  RetentionSystem retention(&world->catalog, &pipeline.wide_builder(),
+                            &campaign_world, retention_options);
+
+  auto print_month = [&](int month, const AbTestResult& result) {
+    std::printf("Month %d  Group A  top band: %5zu total, %4zu recharge "
+                "(%5.2f%%) | second band: %5zu total, %4zu recharge "
+                "(%5.2f%%)\n",
+                month, result.group_a_top.total,
+                result.group_a_top.recharged,
+                100.0 * result.group_a_top.Rate(),
+                result.group_a_second.total,
+                result.group_a_second.recharged,
+                100.0 * result.group_a_second.Rate());
+    std::printf("Month %d  Group B  top band: %5zu total, %4zu recharge "
+                "(%5.2f%%) | second band: %5zu total, %4zu recharge "
+                "(%5.2f%%)\n",
+                month, result.group_b_top.total,
+                result.group_b_top.recharged,
+                100.0 * result.group_b_top.Rate(),
+                result.group_b_second.total,
+                result.group_b_second.recharged,
+                100.0 * result.group_b_second.Rate());
+  };
+
+  // Warm-up campaigns before month 8 accumulate matcher feedback (the
+  // deployed system runs campaigns every month; labels are "accumulated
+  // after each retention campaign").
+  std::vector<CampaignRecord> feedback;
+  for (int warmup = month8 - 2; warmup < month8; ++warmup) {
+    if (warmup < 3) continue;
+    auto p = pipeline.TrainAndPredict(warmup);
+    TELCO_CHECK(p.ok()) << p.status().ToString();
+    auto r = retention.RunCampaign(
+        *p, warmup, RetentionSystem::DomainKnowledgeAssigner(), &feedback);
+    TELCO_CHECK(r.ok()) << r.status().ToString();
+  }
+
+  // Month 8: domain-knowledge offer assignment.
+  auto p8 = pipeline.TrainAndPredict(month8);
+  TELCO_CHECK(p8.ok()) << p8.status().ToString();
+  auto month8_result = retention.RunCampaign(
+      *p8, month8, RetentionSystem::DomainKnowledgeAssigner(), &feedback);
+  TELCO_CHECK(month8_result.ok()) << month8_result.status().ToString();
+  print_month(month8, *month8_result);
+
+  // Month 9: learned matching from month-8 feedback.
+  TELCO_CHECK_OK(retention.TrainMatcher(feedback));
+  auto assigner = retention.LearnedAssigner(month9, feedback);
+  TELCO_CHECK(assigner.ok()) << assigner.status().ToString();
+  auto p9 = pipeline.TrainAndPredict(month9);
+  TELCO_CHECK(p9.ok()) << p9.status().ToString();
+  auto month9_result =
+      retention.RunCampaign(*p9, month9, *assigner, &feedback);
+  TELCO_CHECK(month9_result.ok()) << month9_result.status().ToString();
+  print_month(month9, *month9_result);
+
+  std::printf("# paper Table 6 rates (top band / second band):\n");
+  std::printf("#   month 8: A 1.68%% / 10.06%%, B (domain) 18.49%% / "
+              "28.41%%\n");
+  std::printf("#   month 9: A 1.04%% /  9.91%%, B (matched) 30.77%% / "
+              "39.72%%\n");
+  // The business-value statistic is the *incremental* recharge lift over
+  // the control group (raw B rates are confounded by each month's
+  // false-positive mix).
+  const double lift8_top = month8_result->group_b_top.Rate() -
+                           month8_result->group_a_top.Rate();
+  const double lift9_top = month9_result->group_b_top.Rate() -
+                           month9_result->group_a_top.Rate();
+  const double lift8_second = month8_result->group_b_second.Rate() -
+                              month8_result->group_a_second.Rate();
+  const double lift9_second = month9_result->group_b_second.Rate() -
+                              month9_result->group_a_second.Rate();
+  std::printf("# incremental lift over control (B - A):\n");
+  std::printf("#   top band:    domain %+.1fpt -> matched %+.1fpt "
+              "(%+.0f%%)\n",
+              100.0 * lift8_top, 100.0 * lift9_top,
+              100.0 * (lift9_top - lift8_top) / std::max(lift8_top, 1e-9));
+  std::printf("#   second band: domain %+.1fpt -> matched %+.1fpt\n",
+              100.0 * lift8_second, 100.0 * lift9_second);
+  std::printf("# paper equivalent (top band): domain +16.8pt -> matched "
+              "+29.7pt (+77%%)\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Feature-engineering tour: drives the warehouse/query layer directly —
+// the Spark-SQL-style jobs behind the wide table — and inspects what the
+// learned feature extractors (PageRank, label propagation, LDA, FM)
+// produce. A guided walk through Section 4.1 of the paper.
+//
+//   ./build/examples/feature_engineering_tour
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "datagen/table_names.h"
+#include "datagen/telco_simulator.h"
+#include "features/wide_table.h"
+#include "query/query.h"
+
+using namespace telco;
+
+namespace {
+
+void ShowTable(const char* title, const TablePtr& table, size_t rows = 5) {
+  std::printf("\n--- %s ---\n%s", title, table->ToString(rows).c_str());
+}
+
+}  // namespace
+
+int main() {
+  Logger::SetLevel(LogLevel::kWarning);
+  SimConfig config;
+  config.num_customers = 4000;
+  config.num_months = 3;
+  Catalog catalog;
+  TelcoSimulator simulator(config);
+  TELCO_CHECK_OK(simulator.Run(&catalog));
+
+  // --- Raw sources: weekly CDR rows, monthly billing rows.
+  auto cdr = *catalog.Get(CdrTableName(2));
+  std::printf("raw weekly CDR table '%s': %zu rows x %zu columns\n",
+              CdrTableName(2).c_str(), cdr->num_rows(), cdr->num_columns());
+
+  // --- A hand-written Spark-SQL-style job: monthly voice usage per
+  // customer, joined with billing balance, for heavy callers only.
+  auto heavy_callers =
+      Query::FromTable(cdr)
+          .GroupBy({"imsi"}, {{AggKind::kSum, "voice_dur", "voice_dur"},
+                              {AggKind::kSum, "gprs_all_flux", "flux"}})
+          .Join(catalog, BillingTableName(2), {"imsi"}, {"imsi"})
+          .Select({"imsi", "voice_dur", "flux", "balance"})
+          .Filter(Expr::Gt(Col("voice_dur"), Lit(Value(600.0))))
+          .OrderBy({{"voice_dur", false}})
+          .Limit(5)
+          .Execute();
+  TELCO_CHECK(heavy_callers.ok()) << heavy_callers.status().ToString();
+  ShowTable("top heavy callers (join + aggregate + filter)",
+            *heavy_callers);
+
+  // --- The full wide table: all nine families in one build call.
+  WideTableBuilder builder(&catalog);
+  auto wide = builder.Build(2);
+  TELCO_CHECK(wide.ok()) << wide.status().ToString();
+  std::printf("\nwide table: %zu customers x %zu features\n",
+              wide->table->num_rows(), wide->AllFeatureColumns().size());
+  for (FeatureFamily family : AllFeatureFamilies()) {
+    const auto& cols = wide->FamilyColumns(family);
+    std::string preview;
+    for (size_t i = 0; i < std::min<size_t>(3, cols.size()); ++i) {
+      if (i > 0) preview += ", ";
+      preview += cols[i];
+    }
+    std::printf("  %s (%-36s %2zu features: %s, ...\n",
+                FeatureFamilyLabel(family),
+                (std::string(FeatureFamilyDescription(family)) + "),").c_str(),
+                cols.size(), preview.c_str());
+  }
+
+  // --- The FM-selected second-order pairs (F9).
+  auto pairs = builder.SelectedSecondOrderPairs();
+  TELCO_CHECK(pairs.ok());
+  std::printf("\nFM-selected second-order features (top 5 of %zu):\n",
+              pairs->size());
+  for (size_t i = 0; i < 5 && i < pairs->size(); ++i) {
+    std::printf("  %s x %s\n", (*pairs)[i].first.c_str(),
+                (*pairs)[i].second.c_str());
+  }
+
+  // --- A slice of learned features for inspection.
+  auto sample = Query::FromTable(wide->table)
+                    .Select({"imsi", "balance", "page_download_throughput",
+                             "cooc_lp_churn", "srch_topic7"})
+                    .Limit(5)
+                    .Execute();
+  TELCO_CHECK(sample.ok());
+  ShowTable("learned-feature slice", *sample);
+  return 0;
+}

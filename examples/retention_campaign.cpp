@@ -1,0 +1,101 @@
+// Retention campaign walkthrough: the closed loop of paper Section 4.3 /
+// 5.5. Month N-1 runs an A/B campaign with expert-assigned offers; the
+// feedback trains the multi-class offer matcher; month N runs the learned
+// campaign and the recharge rates are compared Table-6 style.
+//
+//   ./build/examples/retention_campaign
+
+#include <cstdio>
+
+#include "churn/retention.h"
+#include "datagen/telco_simulator.h"
+
+using namespace telco;
+
+namespace {
+
+void PrintAb(const char* tag, const AbTestResult& r) {
+  std::printf("%-22s  A top %5.2f%% (n=%zu) | A 2nd %5.2f%% (n=%zu) | "
+              "B top %5.2f%% (n=%zu) | B 2nd %5.2f%% (n=%zu)\n",
+              tag, 100.0 * r.group_a_top.Rate(), r.group_a_top.total,
+              100.0 * r.group_a_second.Rate(), r.group_a_second.total,
+              100.0 * r.group_b_top.Rate(), r.group_b_top.total,
+              100.0 * r.group_b_second.Rate(), r.group_b_second.total);
+}
+
+}  // namespace
+
+int main() {
+  Logger::SetLevel(LogLevel::kWarning);
+  SimConfig config;
+  config.num_customers = 8000;
+  config.num_months = 6;
+  Catalog catalog;
+  TelcoSimulator simulator(config);
+  TELCO_CHECK_OK(simulator.Run(&catalog));
+  std::printf("simulated %zu customers over %d months\n",
+              config.num_customers, config.num_months);
+
+  // The churn pipeline that produces the monthly potential-churner list.
+  PipelineOptions options;
+  options.model.rf.num_trees = 80;
+  options.training_months = 2;
+  ChurnPipeline pipeline(&catalog, options);
+
+  // The "world" that responds to offers (stands in for live customers).
+  CampaignSimulator world(config, simulator.truth(), 4242);
+
+  RetentionOptions retention_options;
+  retention_options.top_band = 190;     // ~ paper's top 50k at scale
+  retention_options.second_band = 380;  // ~ 50k..100k band
+  RetentionSystem retention(&catalog, &pipeline.wide_builder(), &world,
+                            retention_options);
+
+  // ---- Month 5 campaign: domain-knowledge offers.
+  auto p5 = pipeline.TrainAndPredict(5);
+  TELCO_CHECK(p5.ok()) << p5.status().ToString();
+  std::vector<CampaignRecord> feedback;
+  auto month5 = retention.RunCampaign(
+      *p5, 5, RetentionSystem::DomainKnowledgeAssigner(), &feedback);
+  TELCO_CHECK(month5.ok());
+  PrintAb("month 5 (experts)", *month5);
+  std::printf("  -> %zu feedback records collected\n", feedback.size());
+
+  // ---- Train the multi-class matcher on the feedback.
+  TELCO_CHECK_OK(retention.TrainMatcher(feedback));
+  size_t accepted = 0;
+  std::vector<size_t> per_offer(kNumOfferClasses, 0);
+  for (const auto& rec : feedback) {
+    accepted += rec.accepted != OfferKind::kNone;
+    ++per_offer[static_cast<int>(rec.accepted)];
+  }
+  std::printf("  feedback labels: %zu accepted / %zu offered (", accepted,
+              feedback.size());
+  for (int c = 0; c < kNumOfferClasses; ++c) {
+    std::printf("%s%s=%zu", c ? ", " : "",
+                OfferKindToString(static_cast<OfferKind>(c)),
+                per_offer[c]);
+  }
+  std::printf(")\n");
+
+  // ---- Month 6 campaign: learned matching.
+  auto assigner = retention.LearnedAssigner(6, feedback);
+  TELCO_CHECK(assigner.ok());
+  auto p6 = pipeline.TrainAndPredict(6);
+  TELCO_CHECK(p6.ok());
+  auto month6 = retention.RunCampaign(*p6, 6, *assigner, &feedback);
+  TELCO_CHECK(month6.ok());
+  PrintAb("month 6 (matched)", *month6);
+
+  const double expert_b = (month5->group_b_top.Rate() +
+                           month5->group_b_second.Rate()) / 2.0;
+  const double matched_b = (month6->group_b_top.Rate() +
+                            month6->group_b_second.Rate()) / 2.0;
+  std::printf("\nGroup-B recharge (avg of bands): experts %.2f%% -> "
+              "matched %.2f%%  (%+.0f%% relative)\n",
+              100.0 * expert_b, 100.0 * matched_b,
+              100.0 * (matched_b - expert_b) / std::max(expert_b, 1e-9));
+  std::printf("(paper Table 6: matching offers lifted Group-B recharge "
+              "from 18.5%%/28.4%% to 30.8%%/39.7%%)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "churn/campaign_simulator.h"
+
+namespace telco {
+
+CampaignSimulator::CampaignSimulator(const SimConfig& config,
+                                     const SimTruth& truth, uint64_t seed)
+    : config_(config), truth_(truth), seed_(seed) {
+  for (const MonthTruth& mt : truth_.months) {
+    for (size_t i = 0; i < mt.active_imsis.size(); ++i) {
+      churn_flags_.emplace(Key(mt.month, mt.active_imsis[i]), mt.churned[i]);
+    }
+  }
+}
+
+CampaignOutcome CampaignSimulator::Respond(int64_t imsi, int month,
+                                           OfferKind offer) const {
+  CampaignOutcome out;
+  const auto it = churn_flags_.find(Key(month, imsi));
+  if (it == churn_flags_.end()) return out;  // not active that month
+  const bool churner = it->second != 0;
+
+  Rng rng(HashCombine64(HashCombine64(seed_, static_cast<uint64_t>(imsi)),
+                        (static_cast<uint64_t>(month) << 8) |
+                            static_cast<uint64_t>(offer)));
+
+  const auto aff_it = truth_.offer_affinity.find(imsi);
+  const OfferKind affinity =
+      aff_it == truth_.offer_affinity.end() ? OfferKind::kNone
+                                            : aff_it->second;
+
+  if (!churner) {
+    // False positives in the predicted list were going to recharge anyway.
+    // Whether they take the bundled offer follows the same latent
+    // affinity as everyone else — which is what lets the matcher learn
+    // affinities even from mis-predicted campaign targets.
+    out.recharged = true;
+    if (offer != OfferKind::kNone) {
+      double take_prob;
+      if (affinity == OfferKind::kNone) {
+        take_prob = 0.05;
+      } else if (affinity == offer) {
+        take_prob = 0.75;
+      } else {
+        take_prob = 0.20;
+      }
+      if (rng.Bernoulli(take_prob)) out.accepted = offer;
+    }
+    return out;
+  }
+  if (offer == OfferKind::kNone) {
+    // Group A: true churners almost never recharge (Table 6's < 2%).
+    out.recharged = rng.Bernoulli(config_.churner_base_recharge);
+    return out;
+  }
+  double accept_prob;
+  if (affinity == OfferKind::kNone) {
+    accept_prob = config_.accept_none_affinity;
+  } else if (affinity == offer) {
+    accept_prob = config_.accept_matched;
+  } else {
+    accept_prob = config_.accept_mismatched;
+  }
+  if (rng.Bernoulli(accept_prob)) {
+    out.recharged = true;
+    out.accepted = offer;
+  } else {
+    out.recharged = rng.Bernoulli(config_.churner_base_recharge);
+  }
+  return out;
+}
+
+}  // namespace telco

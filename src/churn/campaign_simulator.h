@@ -1,0 +1,52 @@
+// CampaignSimulator: the "world" side of retention campaigns.
+//
+// Substitutes for running offers against live customers: given the
+// simulator's ground truth (who is really churning, what offer family
+// each customer privately values), it samples recharge responses. The
+// retention system only observes the sampled outcomes — exactly the
+// feedback loop of Figure 3.
+
+#ifndef TELCO_CHURN_CAMPAIGN_SIMULATOR_H_
+#define TELCO_CHURN_CAMPAIGN_SIMULATOR_H_
+
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "datagen/telco_simulator.h"
+
+namespace telco {
+
+/// Outcome of offering one customer one offer in one month.
+struct CampaignOutcome {
+  bool recharged = false;
+  /// The offer the customer actually took (kNone when they declined or
+  /// recharged without an incentive).
+  OfferKind accepted = OfferKind::kNone;
+};
+
+/// \brief Samples deterministic campaign responses from ground truth.
+class CampaignSimulator {
+ public:
+  CampaignSimulator(const SimConfig& config, const SimTruth& truth,
+                    uint64_t seed);
+
+  /// Response of `imsi` in `month`'s recharge period to `offer`
+  /// (OfferKind::kNone = control group). Deterministic per
+  /// (seed, imsi, month, offer).
+  CampaignOutcome Respond(int64_t imsi, int month, OfferKind offer) const;
+
+ private:
+  const SimConfig& config_;
+  const SimTruth& truth_;
+  uint64_t seed_;
+  /// (month, imsi) -> true churner flag, built once from truth.
+  std::unordered_map<int64_t, uint8_t> churn_flags_;
+
+  static int64_t Key(int month, int64_t imsi) {
+    return (static_cast<int64_t>(month) << 44) ^ imsi;
+  }
+};
+
+}  // namespace telco
+
+#endif  // TELCO_CHURN_CAMPAIGN_SIMULATOR_H_

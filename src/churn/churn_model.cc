@@ -1,0 +1,113 @@
+#include "churn/churn_model.h"
+
+#include "common/logging.h"
+
+namespace telco {
+
+const char* ClassifierKindToString(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kRandomForest:
+      return "RF";
+    case ClassifierKind::kGbdt:
+      return "GBDT";
+    case ClassifierKind::kLogisticRegression:
+      return "LIBLINEAR";
+    case ClassifierKind::kFactorizationMachine:
+      return "LIBFM";
+    case ClassifierKind::kAdaBoost:
+      return "AdaBoost";
+  }
+  return "?";
+}
+
+ChurnModel::ChurnModel(ChurnModelOptions options)
+    : options_(std::move(options)) {}
+
+Status ChurnModel::Train(const Dataset& labeled) {
+  TELCO_ASSIGN_OR_RETURN(
+      Dataset train,
+      ApplyImbalanceStrategy(labeled, options_.imbalance, options_.seed));
+
+  const bool linear = options_.kind == ClassifierKind::kLogisticRegression ||
+                      options_.kind == ClassifierKind::kFactorizationMachine;
+  if (linear) {
+    // The paper: "LIBFM and LIBLINEAR use discrete binary features by
+    // preprocessing the original continuous feature values."
+    TELCO_ASSIGN_OR_RETURN(
+        encoder_, QuantileOneHotEncoder::Fit(train, options_.onehot_bins));
+    train = encoder_->Transform(train);
+  } else {
+    encoder_.reset();
+  }
+
+  switch (options_.kind) {
+    case ClassifierKind::kRandomForest: {
+      RandomForestOptions rf = options_.rf;
+      rf.seed = HashCombine64(options_.seed, 1);
+      classifier_ = std::make_unique<RandomForest>(rf);
+      break;
+    }
+    case ClassifierKind::kGbdt: {
+      GbdtOptions gbdt = options_.gbdt;
+      gbdt.seed = HashCombine64(options_.seed, 2);
+      classifier_ = std::make_unique<Gbdt>(gbdt);
+      break;
+    }
+    case ClassifierKind::kLogisticRegression: {
+      LogisticRegressionOptions lr = options_.lr;
+      lr.seed = HashCombine64(options_.seed, 3);
+      lr.standardize = false;  // inputs are already one-hot
+      classifier_ = std::make_unique<LogisticRegression>(lr);
+      break;
+    }
+    case ClassifierKind::kFactorizationMachine: {
+      FactorizationMachineOptions fm = options_.fm;
+      fm.seed = HashCombine64(options_.seed, 4);
+      fm.standardize = false;
+      classifier_ = std::make_unique<FactorizationMachine>(fm);
+      break;
+    }
+    case ClassifierKind::kAdaBoost: {
+      AdaBoostOptions adaboost = options_.adaboost;
+      adaboost.seed = HashCombine64(options_.seed, 5);
+      classifier_ = std::make_unique<AdaBoost>(adaboost);
+      break;
+    }
+  }
+  return classifier_->Fit(train);
+}
+
+double ChurnModel::Score(std::span<const double> row) const {
+  TELCO_CHECK(classifier_ != nullptr) << "Score before Train";
+  if (encoder_) {
+    const std::vector<double> encoded = encoder_->TransformRow(row);
+    return classifier_->PredictProba(encoded);
+  }
+  return classifier_->PredictProba(row);
+}
+
+std::vector<double> ChurnModel::ScoreAll(const Dataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.num_rows());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    out.push_back(Score(data.Row(i)));
+  }
+  return out;
+}
+
+std::vector<ScoredInstance> ChurnModel::ScoreLabeled(
+    const Dataset& data) const {
+  std::vector<ScoredInstance> out;
+  out.reserve(data.num_rows());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    out.push_back(ScoredInstance{Score(data.Row(i)), data.label(i) == 1});
+  }
+  return out;
+}
+
+const RandomForest* ChurnModel::forest() const {
+  if (options_.kind != ClassifierKind::kRandomForest) return nullptr;
+  return static_cast<const RandomForest*>(classifier_.get());
+}
+
+}  // namespace telco

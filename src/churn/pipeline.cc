@@ -1,0 +1,145 @@
+#include "churn/pipeline.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "features/churn_labels.h"
+
+namespace telco {
+
+std::vector<ScoredInstance> ChurnPrediction::ToScoredInstances() const {
+  std::vector<ScoredInstance> out;
+  out.reserve(imsis.size());
+  for (size_t i = 0; i < imsis.size(); ++i) {
+    out.push_back(ScoredInstance{scores[i], labels[i] == 1});
+  }
+  return out;
+}
+
+ChurnPipeline::ChurnPipeline(Catalog* catalog, PipelineOptions options,
+                             WideTableBuilder* shared_builder)
+    : catalog_(catalog), options_(std::move(options)) {
+  TELCO_CHECK(catalog_ != nullptr);
+  if (shared_builder != nullptr) {
+    wide_builder_ = shared_builder;
+  } else {
+    owned_builder_ =
+        std::make_unique<WideTableBuilder>(catalog, options_.wide);
+    wide_builder_ = owned_builder_.get();
+  }
+}
+
+Result<Dataset> ChurnPipeline::BuildMonthDataset(int feature_month,
+                                                 int label_month) {
+  TELCO_ASSIGN_OR_RETURN(const WideTable wide,
+                         wide_builder_->Build(feature_month));
+  TELCO_ASSIGN_OR_RETURN(const auto labels,
+                         LoadChurnLabels(*catalog_, label_month));
+  const std::vector<std::string> feature_cols =
+      wide.ColumnsForFamilies(options_.families);
+  TELCO_ASSIGN_OR_RETURN(
+      Dataset all, Dataset::FromTableUnlabeled(*wide.table, feature_cols));
+  TELCO_ASSIGN_OR_RETURN(const Column* imsi_col,
+                         wide.table->GetColumn("imsi"));
+
+  // Keep only customers with a known label in the label month (for the
+  // early-signal settings some customers churn in between and drop out).
+  Dataset out{std::vector<std::string>(feature_cols)};
+  for (size_t r = 0; r < all.num_rows(); ++r) {
+    const auto it = labels.find(imsi_col->GetInt64(r));
+    if (it == labels.end()) continue;
+    out.AddRow(all.Row(r), it->second);
+  }
+  if (out.num_rows() == 0) {
+    return Status::Internal("no labelled rows for feature month " +
+                            std::to_string(feature_month));
+  }
+  return out;
+}
+
+Result<ChurnPrediction> ChurnPipeline::TrainAndPredict(int predict_month) {
+  const int gap = options_.early_months;
+  const int last_train_label = predict_month - 1;
+  const int first_train_label = last_train_label - options_.training_months + 1;
+  if (first_train_label - gap < 1) {
+    return Status::InvalidArgument(StrFormat(
+        "predict month %d needs label months %d..%d with feature gap %d; "
+        "not enough history",
+        predict_month, first_train_label, last_train_label, gap));
+  }
+
+  // Accumulate the training window.
+  Dataset train({});
+  bool first = true;
+  for (int label_month = first_train_label; label_month <= last_train_label;
+       ++label_month) {
+    TELCO_ASSIGN_OR_RETURN(
+        Dataset month_data,
+        BuildMonthDataset(label_month - gap, label_month));
+    if (first) {
+      train = std::move(month_data);
+      first = false;
+    } else {
+      TELCO_RETURN_NOT_OK(train.Append(month_data));
+    }
+  }
+
+  model_ = std::make_unique<ChurnModel>(options_.model);
+  TELCO_RETURN_NOT_OK(model_->Train(train));
+
+  // Score the prediction month (features observed `gap` months early).
+  TELCO_ASSIGN_OR_RETURN(const Dataset test,
+                         BuildMonthDataset(predict_month - gap,
+                                           predict_month));
+  TELCO_ASSIGN_OR_RETURN(const WideTable wide,
+                         wide_builder_->Build(predict_month - gap));
+  TELCO_ASSIGN_OR_RETURN(const auto labels,
+                         LoadChurnLabels(*catalog_, predict_month));
+  TELCO_ASSIGN_OR_RETURN(const Column* imsi_col,
+                         wide.table->GetColumn("imsi"));
+
+  ChurnPrediction prediction;
+  prediction.imsis.reserve(test.num_rows());
+  prediction.scores.reserve(test.num_rows());
+  prediction.labels.reserve(test.num_rows());
+  // test rows were built in wide-table row order, filtered to labelled
+  // imsis — rebuild the imsi list with the same filter.
+  size_t test_row = 0;
+  for (size_t r = 0; r < wide.table->num_rows(); ++r) {
+    const int64_t imsi = imsi_col->GetInt64(r);
+    const auto it = labels.find(imsi);
+    if (it == labels.end()) continue;
+    prediction.imsis.push_back(imsi);
+    prediction.scores.push_back(model_->Score(test.Row(test_row)));
+    prediction.labels.push_back(it->second);
+    ++test_row;
+  }
+  TELCO_CHECK(test_row == test.num_rows());
+
+  // Rank by descending likelihood (Eq. 4's output ordering).
+  std::vector<size_t> order(prediction.imsis.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return prediction.scores[a] > prediction.scores[b];
+  });
+  ChurnPrediction sorted;
+  sorted.imsis.reserve(order.size());
+  sorted.scores.reserve(order.size());
+  sorted.labels.reserve(order.size());
+  for (size_t idx : order) {
+    sorted.imsis.push_back(prediction.imsis[idx]);
+    sorted.scores.push_back(prediction.scores[idx]);
+    sorted.labels.push_back(prediction.labels[idx]);
+  }
+  return sorted;
+}
+
+Result<RankingMetrics> ChurnPipeline::Evaluate(int predict_month, size_t u) {
+  TELCO_ASSIGN_OR_RETURN(const ChurnPrediction prediction,
+                         TrainAndPredict(predict_month));
+  return EvaluateRanking(prediction.ToScoredInstances(), u);
+}
+
+}  // namespace telco

@@ -1,0 +1,94 @@
+// ChurnPipeline: the sliding-window experimental protocol of Figure 6.
+//
+// Month indexing note. In this repo a month-m feature row carries the
+// label "did the customer fail to recharge within 15 days of the recharge
+// period that follows month m" (the paper's churn-in-month-m+1). So the
+// paper's "train on labeled features of month N-1, predict month N+1 from
+// month-N features" is: train on (features(t), labels(t)) for t <= p-1,
+// score features(p), evaluate against labels(p).
+//
+// The early-signal experiments (Fig 8) insert a gap: train on
+// (features(t - k), labels(t)) and score features(p - k) against
+// labels(p), i.e. features observed k extra months before the churn.
+
+#ifndef TELCO_CHURN_PIPELINE_H_
+#define TELCO_CHURN_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "churn/churn_model.h"
+#include "features/wide_table.h"
+#include "ml/metrics.h"
+#include "storage/catalog.h"
+
+namespace telco {
+
+struct PipelineOptions {
+  ChurnModelOptions model;
+  WideTableOptions wide;
+  /// Months of labelled training data accumulated before the prediction
+  /// month (the Volume axis of Fig 7; the deployed system uses 4).
+  int training_months = 1;
+  /// Feature families used (defaults to all nine).
+  std::vector<FeatureFamily> families = AllFeatureFamilies();
+  /// Extra months between observed features and predicted labels
+  /// (0 = the deployed setting; Fig 8 sweeps 1..3 extra months).
+  int early_months = 0;
+};
+
+/// \brief The ranked churner list the deployed system hands to campaigns.
+struct ChurnPrediction {
+  /// Customers of the prediction month, sorted by descending likelihood.
+  std::vector<int64_t> imsis;
+  std::vector<double> scores;
+  /// True labels (from the prediction month's recharge table), parallel
+  /// to imsis — available because benches evaluate in hindsight.
+  std::vector<int> labels;
+
+  /// Converts to metric inputs.
+  std::vector<ScoredInstance> ToScoredInstances() const;
+};
+
+/// \brief Drives wide-table building, training and scoring per the
+/// sliding-window protocol.
+class ChurnPipeline {
+ public:
+  /// When `shared_builder` is non-null the pipeline reuses its wide-table
+  /// caches (benches that sweep model settings over the same features
+  /// should share one builder); otherwise the pipeline owns a fresh one
+  /// configured from options.wide.
+  explicit ChurnPipeline(Catalog* catalog, PipelineOptions options = {},
+                         WideTableBuilder* shared_builder = nullptr);
+
+  /// Labelled dataset of one month: features(feature_month) joined with
+  /// labels(label_month); rows without a label are dropped.
+  Result<Dataset> BuildMonthDataset(int feature_month, int label_month);
+
+  /// Trains a model for predicting `predict_month` (accumulating
+  /// options_.training_months of labelled history) and returns both the
+  /// model and the ranked prediction.
+  Result<ChurnPrediction> TrainAndPredict(int predict_month);
+
+  /// TrainAndPredict + Section 5.1 metrics at top-U.
+  Result<RankingMetrics> Evaluate(int predict_month, size_t u);
+
+  /// The most recently trained model (valid after TrainAndPredict).
+  const ChurnModel* model() const { return model_.get(); }
+
+  /// The wide-table builder (shared caches across experiments).
+  WideTableBuilder& wide_builder() { return *wide_builder_; }
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  Catalog* catalog_;
+  PipelineOptions options_;
+  std::unique_ptr<WideTableBuilder> owned_builder_;
+  WideTableBuilder* wide_builder_;
+  std::unique_ptr<ChurnModel> model_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_CHURN_PIPELINE_H_

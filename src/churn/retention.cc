@@ -1,0 +1,242 @@
+#include "churn/retention.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "datagen/table_names.h"
+#include "features/graph_features.h"
+#include "graph/label_propagation.h"
+
+namespace telco {
+
+RetentionSystem::RetentionSystem(Catalog* catalog,
+                                 WideTableBuilder* wide_builder,
+                                 const CampaignSimulator* world,
+                                 RetentionOptions options)
+    : catalog_(catalog),
+      wide_builder_(wide_builder),
+      world_(world),
+      options_(std::move(options)) {
+  TELCO_CHECK(catalog_ != nullptr && wide_builder_ != nullptr &&
+              world_ != nullptr);
+}
+
+RetentionSystem::OfferAssigner RetentionSystem::DomainKnowledgeAssigner() {
+  // Operator experts assign offers by list position heuristics; the
+  // paper's Month-8 baseline. Cycling the four offers approximates a
+  // segment-agnostic expert policy.
+  return [](int64_t imsi, size_t rank) -> OfferKind {
+    (void)imsi;
+    switch (rank % 4) {
+      case 0:
+        return OfferKind::kCashback100;
+      case 1:
+        return OfferKind::kCashback50;
+      case 2:
+        return OfferKind::kFlux500M;
+      default:
+        return OfferKind::kVoice200Min;
+    }
+  };
+}
+
+Result<AbTestResult> RetentionSystem::RunCampaign(
+    const ChurnPrediction& prediction, int month,
+    const OfferAssigner& assign, std::vector<CampaignRecord>* feedback) {
+  if (prediction.imsis.empty()) {
+    return Status::InvalidArgument("empty prediction list");
+  }
+  Rng rng(HashCombine64(options_.seed, static_cast<uint64_t>(month)));
+  AbTestResult result;
+
+  const size_t n = prediction.imsis.size();
+  const size_t top_end = std::min(options_.top_band, n);
+  const size_t second_end = std::min(options_.second_band, n);
+
+  auto run_band = [&](size_t begin, size_t end, AbBandResult* group_a,
+                      AbBandResult* group_b) {
+    for (size_t rank = begin; rank < end; ++rank) {
+      if (!rng.Bernoulli(options_.campaign_fraction)) continue;
+      const int64_t imsi = prediction.imsis[rank];
+      const bool in_group_b = rng.Bernoulli(0.5);
+      if (!in_group_b) {
+        const CampaignOutcome out =
+            world_->Respond(imsi, month, OfferKind::kNone);
+        ++group_a->total;
+        group_a->recharged += out.recharged ? 1 : 0;
+        continue;
+      }
+      const OfferKind offer = assign(imsi, rank);
+      const CampaignOutcome out = world_->Respond(imsi, month, offer);
+      ++group_b->total;
+      group_b->recharged += out.recharged ? 1 : 0;
+      if (feedback != nullptr) {
+        feedback->push_back(
+            CampaignRecord{imsi, month, offer, out.recharged, out.accepted});
+      }
+    }
+  };
+  run_band(0, top_end, &result.group_a_top, &result.group_b_top);
+  run_band(top_end, second_end, &result.group_a_second,
+           &result.group_b_second);
+  return result;
+}
+
+Result<Dataset> RetentionSystem::BuildMatcherFeatures(
+    int month, const std::vector<CampaignRecord>& feedback,
+    std::vector<int64_t>* imsis) {
+  TELCO_ASSIGN_OR_RETURN(const WideTable wide, wide_builder_->Build(month));
+  const std::vector<std::string> feature_cols = wide.AllFeatureColumns();
+  TELCO_ASSIGN_OR_RETURN(
+      const Dataset base,
+      Dataset::FromTableUnlabeled(*wide.table, feature_cols));
+  TELCO_ASSIGN_OR_RETURN(const Column* imsi_col,
+                         wide.table->GetColumn("imsi"));
+  imsis->clear();
+  imsis->reserve(base.num_rows());
+  for (size_t r = 0; r < base.num_rows(); ++r) {
+    imsis->push_back(imsi_col->GetInt64(r));
+  }
+
+  // Section 4.3: propagate the campaign-result labels over the three
+  // graphs — "customers with close relationship tend to have similar
+  // retention offers" — appending 3 x C features.
+  const int C = kNumOfferClasses;
+  std::vector<std::string> names = feature_cols;
+  std::vector<std::vector<double>> lp_features;  // one vector per graph*C
+  const char* graph_bases[3] = {"graph_call", "graph_msg", "graph_cooc"};
+  const char* graph_tags[3] = {"call", "msg", "cooc"};
+  for (int g = 0; g < 3; ++g) {
+    std::vector<std::vector<double>> probs(
+        C, std::vector<double>(imsis->size(), 1.0 / C));
+    const std::string table_name =
+        StrFormat("%s_m%d", graph_bases[g], month);
+    if (catalog_->Contains(table_name) && !feedback.empty()) {
+      TELCO_ASSIGN_OR_RETURN(const TablePtr edges,
+                             catalog_->Get(table_name));
+      auto graph_result = BuildCustomerGraph(*edges, *imsis);
+      if (graph_result.ok()) {
+        const CustomerGraph& graph = *graph_result;
+        std::vector<LabeledVertex> seeds;
+        for (const CampaignRecord& rec : feedback) {
+          const auto it = graph.vertex_of.find(rec.imsi);
+          if (it == graph.vertex_of.end()) continue;
+          seeds.push_back(LabeledVertex{
+              it->second, static_cast<uint32_t>(rec.accepted)});
+        }
+        if (!seeds.empty()) {
+          LabelPropagationOptions lp_options;
+          lp_options.num_classes = C;
+          lp_options.max_iterations = 20;
+          auto lp = PropagateLabels(graph.graph, seeds, lp_options);
+          if (lp.ok()) {
+            for (size_t v = 0; v < imsis->size(); ++v) {
+              for (int c = 0; c < C; ++c) {
+                probs[c][v] = lp->Probability(static_cast<uint32_t>(v),
+                                              static_cast<uint32_t>(c));
+              }
+            }
+          }
+        }
+      }
+    }
+    for (int c = 0; c < C; ++c) {
+      names.push_back(StrFormat("retlp_%s_c%d", graph_tags[g], c));
+      lp_features.push_back(std::move(probs[c]));
+    }
+  }
+
+  Dataset out((std::vector<std::string>(names)));
+  std::vector<double> row(names.size());
+  for (size_t r = 0; r < base.num_rows(); ++r) {
+    const auto src = base.Row(r);
+    std::copy(src.begin(), src.end(), row.begin());
+    for (size_t j = 0; j < lp_features.size(); ++j) {
+      row[feature_cols.size() + j] = lp_features[j][r];
+    }
+    out.AddRow(row, 0);
+  }
+  return out;
+}
+
+Status RetentionSystem::TrainMatcher(
+    const std::vector<CampaignRecord>& feedback) {
+  if (feedback.empty()) {
+    return Status::InvalidArgument("no campaign feedback to train on");
+  }
+  // Group records by campaign month; features come from that month.
+  std::map<int, std::vector<const CampaignRecord*>> by_month;
+  for (const auto& rec : feedback) by_month[rec.month].push_back(&rec);
+
+  Dataset train({});
+  bool first = true;
+  for (const auto& [month, records] : by_month) {
+    // Seed the campaign-outcome propagation with *prior* months' feedback
+    // only: a record's own outcome must not leak into its features.
+    std::vector<CampaignRecord> prior;
+    for (const auto& rec : feedback) {
+      if (rec.month < month) prior.push_back(rec);
+    }
+    std::vector<int64_t> imsis;
+    TELCO_ASSIGN_OR_RETURN(const Dataset features,
+                           BuildMatcherFeatures(month, prior, &imsis));
+    std::unordered_map<int64_t, size_t> row_of;
+    row_of.reserve(imsis.size() * 2);
+    for (size_t r = 0; r < imsis.size(); ++r) row_of.emplace(imsis[r], r);
+    if (first) {
+      train = Dataset(features.feature_names());
+      matcher_feature_names_ = features.feature_names();
+      first = false;
+    }
+    for (const CampaignRecord* rec : records) {
+      const auto it = row_of.find(rec->imsi);
+      if (it == row_of.end()) continue;
+      train.AddRow(features.Row(it->second),
+                   static_cast<int>(rec->accepted));
+    }
+  }
+  if (train.num_rows() == 0) {
+    return Status::Internal("no matcher training rows materialised");
+  }
+  RandomForestOptions rf = options_.matcher_rf;
+  rf.seed = HashCombine64(options_.seed, 0x9eadULL);
+  matcher_ = std::make_unique<RandomForest>(rf);
+  return matcher_->Fit(train);
+}
+
+Result<RetentionSystem::OfferAssigner> RetentionSystem::LearnedAssigner(
+    int month, const std::vector<CampaignRecord>& feedback) {
+  if (matcher_ == nullptr) {
+    return Status::InvalidArgument("matcher not trained yet");
+  }
+  std::vector<CampaignRecord> prior;
+  for (const auto& rec : feedback) {
+    if (rec.month < month) prior.push_back(rec);
+  }
+  std::vector<int64_t> imsis;
+  TELCO_ASSIGN_OR_RETURN(const Dataset features,
+                         BuildMatcherFeatures(month, prior, &imsis));
+  auto scores = std::make_shared<std::unordered_map<int64_t, OfferKind>>();
+  scores->reserve(imsis.size() * 2);
+  for (size_t r = 0; r < imsis.size(); ++r) {
+    const std::vector<double> proba =
+        matcher_->PredictClassProba(features.Row(r));
+    // Best non-none offer: the matcher's job is to pick *which* offer,
+    // not whether to offer (the band already decided that).
+    int best = 1;
+    for (int c = 2; c < kNumOfferClasses && c < static_cast<int>(proba.size());
+         ++c) {
+      if (proba[c] > proba[best]) best = c;
+    }
+    scores->emplace(imsis[r], static_cast<OfferKind>(best));
+  }
+  return OfferAssigner([scores](int64_t imsi, size_t rank) -> OfferKind {
+    const auto it = scores->find(imsi);
+    if (it != scores->end()) return it->second;
+    return DomainKnowledgeAssigner()(imsi, rank);
+  });
+}
+
+}  // namespace telco

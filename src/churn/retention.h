@@ -1,0 +1,121 @@
+// RetentionSystem: the closed loop of Section 4.3 / 5.5.
+//
+// Every month the churn pipeline hands over a ranked potential-churner
+// list. The retention system runs an A/B campaign on two rank bands
+// (top-U1 and U1..U2): group A receives nothing (control), group B
+// receives offers. In the first campaign month offers are assigned by
+// "domain knowledge"; afterwards a multi-class Random Forest trained on
+// the accumulated campaign feedback (plus label-propagated campaign
+// outcomes over the three social graphs) matches offers to churners.
+
+#ifndef TELCO_CHURN_RETENTION_H_
+#define TELCO_CHURN_RETENTION_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "churn/campaign_simulator.h"
+#include "churn/pipeline.h"
+#include "features/wide_table.h"
+#include "ml/random_forest.h"
+
+namespace telco {
+
+/// One customer's campaign record (the feedback that becomes a label).
+struct CampaignRecord {
+  int64_t imsi = 0;
+  int month = 0;
+  OfferKind offered = OfferKind::kNone;
+  bool recharged = false;
+  OfferKind accepted = OfferKind::kNone;
+};
+
+/// Recharge statistics of one (group, band) cell of Table 6.
+struct AbBandResult {
+  size_t total = 0;
+  size_t recharged = 0;
+  double Rate() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(recharged) /
+                            static_cast<double>(total);
+  }
+};
+
+/// One month's A/B campaign outcome (the four cells of a Table 6 row).
+struct AbTestResult {
+  AbBandResult group_a_top;
+  AbBandResult group_a_second;
+  AbBandResult group_b_top;
+  AbBandResult group_b_second;
+};
+
+struct RetentionOptions {
+  /// Rank bands: top band is [0, top_band), second band [top_band,
+  /// second_band) — the paper's top-5e4 and 5e4..1e5, scaled.
+  size_t top_band = 500;
+  size_t second_band = 1000;
+  /// Fraction of each band actually enrolled in the campaign (the paper
+  /// enrolled ~16k of 100k "due to the limitation of retention resources").
+  double campaign_fraction = 1.0;
+  /// Multi-class matcher forest.
+  RandomForestOptions matcher_rf;
+  uint64_t seed = 77;
+
+  RetentionOptions() {
+    matcher_rf.num_trees = 80;
+    matcher_rf.min_samples_split = 20;
+  }
+};
+
+/// \brief Runs campaigns and learns the offer matcher.
+class RetentionSystem {
+ public:
+  /// Chooses an offer for a group-B member given (imsi, rank in list).
+  using OfferAssigner = std::function<OfferKind(int64_t, size_t)>;
+
+  RetentionSystem(Catalog* catalog, WideTableBuilder* wide_builder,
+                  const CampaignSimulator* world,
+                  RetentionOptions options = {});
+
+  /// Assigner used before any feedback exists: operator experts cycle the
+  /// four offers over the list ("match offers by domain knowledge").
+  static OfferAssigner DomainKnowledgeAssigner();
+
+  /// Runs the month's A/B test over the ranked prediction. Group B offers
+  /// come from `assign`. Appends group-B feedback to `feedback`.
+  Result<AbTestResult> RunCampaign(const ChurnPrediction& prediction,
+                                   int month, const OfferAssigner& assign,
+                                   std::vector<CampaignRecord>* feedback);
+
+  /// Trains the multi-class matcher on accumulated feedback: features are
+  /// the customers' wide-table rows in their campaign month plus the
+  /// 3 x C label-propagated campaign-outcome features of Section 4.3.
+  Status TrainMatcher(const std::vector<CampaignRecord>& feedback);
+
+  /// Learned assigner for `month`: argmax over non-none offer classes of
+  /// the matcher's predicted acceptance distribution. `feedback` seeds
+  /// the campaign-outcome propagation (prior months only).
+  Result<OfferAssigner> LearnedAssigner(
+      int month, const std::vector<CampaignRecord>& feedback);
+
+  bool matcher_trained() const { return matcher_ != nullptr; }
+
+ private:
+  /// Builds the matcher feature row source for a month: wide features
+  /// plus LP campaign features; returns (imsi -> dense row) via out-params.
+  Result<Dataset> BuildMatcherFeatures(
+      int month, const std::vector<CampaignRecord>& feedback,
+      std::vector<int64_t>* imsis);
+
+  Catalog* catalog_;
+  WideTableBuilder* wide_builder_;
+  const CampaignSimulator* world_;
+  RetentionOptions options_;
+  std::unique_ptr<RandomForest> matcher_;
+  std::vector<std::string> matcher_feature_names_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_CHURN_RETENTION_H_

@@ -1,0 +1,216 @@
+#include "churn/root_cause.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace telco {
+
+namespace {
+
+struct CauseFeatureSpec {
+  const char* name;
+  double direction;  // +1: higher is worse
+};
+
+// Cause -> interpretable wide-table features. Directions encode the
+// domain reading (e.g. low balance is bad, high RTT is bad).
+const std::vector<CauseFeatureSpec>& SpecsFor(ChurnCause cause) {
+  static const std::vector<CauseFeatureSpec> kNetwork = {
+      {"call_drop_rate", +1.0},
+      {"e2e_conn_delay", +1.0},
+      {"tcp_rtt", +1.0},
+      {"page_resp_delay", +1.0},
+      {"page_browse_delay", +1.0},
+      {"call_succ_rate", -1.0},
+      {"page_resp_succ_rate", -1.0},
+  };
+  static const std::vector<CauseFeatureSpec> kFinancial = {
+      {"balance", -1.0},
+      {"total_charge", -1.0},
+      {"balance_rate", -1.0},
+  };
+  static const std::vector<CauseFeatureSpec> kEngagement = {
+      {"voice_trend", -1.0},
+      {"flux_trend", -1.0},
+      {"voice_dur", -1.0},
+      {"gprs_all_flux", -1.0},
+  };
+  static const std::vector<CauseFeatureSpec> kSocial = {
+      {"cooc_lp_churn", +1.0},
+      {"call_lp_churn", +1.0},
+      {"msg_lp_churn", +1.0},
+  };
+  static const std::vector<CauseFeatureSpec> kEmpty = {};
+  switch (cause) {
+    case ChurnCause::kNetworkQuality:
+      return kNetwork;
+    case ChurnCause::kFinancial:
+      return kFinancial;
+    case ChurnCause::kEngagementDecline:
+      return kEngagement;
+    case ChurnCause::kSocialContagion:
+      return kSocial;
+    case ChurnCause::kCompetitorPull:
+      return kEmpty;  // handled via the search-topic block
+  }
+  return kEmpty;
+}
+
+}  // namespace
+
+const char* ChurnCauseToString(ChurnCause cause) {
+  switch (cause) {
+    case ChurnCause::kNetworkQuality:
+      return "network-quality";
+    case ChurnCause::kFinancial:
+      return "financial";
+    case ChurnCause::kEngagementDecline:
+      return "engagement-decline";
+    case ChurnCause::kSocialContagion:
+      return "social-contagion";
+    case ChurnCause::kCompetitorPull:
+      return "competitor-pull";
+  }
+  return "unknown";
+}
+
+Result<RootCauseAnalyzer> RootCauseAnalyzer::Fit(const WideTable& wide) {
+  if (wide.table == nullptr || wide.table->num_rows() == 0) {
+    return Status::InvalidArgument("empty wide table");
+  }
+  RootCauseAnalyzer analyzer;
+  analyzer.table_ = wide.table;
+
+  TELCO_ASSIGN_OR_RETURN(const size_t imsi_col,
+                         wide.table->schema().GetFieldIndex("imsi"));
+  const Column& imsi = wide.table->column(imsi_col);
+  analyzer.row_of_.reserve(wide.table->num_rows() * 2);
+  for (size_t r = 0; r < wide.table->num_rows(); ++r) {
+    analyzer.row_of_.emplace(imsi.GetInt64(r), r);
+  }
+
+  auto fit_stat = [&](const std::string& name,
+                      double direction) -> Result<FeatureStat> {
+    TELCO_ASSIGN_OR_RETURN(const size_t col,
+                           wide.table->schema().GetFieldIndex(name));
+    const Column& c = wide.table->column(col);
+    std::vector<double> values;
+    values.reserve(c.size());
+    for (size_t r = 0; r < c.size(); ++r) {
+      if (!c.IsNull(r)) values.push_back(c.GetNumeric(r));
+    }
+    if (values.empty()) {
+      return Status::InvalidArgument("feature '" + name + "' is all null");
+    }
+    FeatureStat stat;
+    stat.column = col;
+    stat.direction = direction;
+    stat.median = Quantile(values, 0.5);
+    std::vector<double> deviations;
+    deviations.reserve(values.size());
+    for (double v : values) deviations.push_back(std::fabs(v - stat.median));
+    // 1.4826 * MAD estimates the standard deviation for normal data.
+    stat.mad = std::max(1.4826 * Quantile(deviations, 0.5), 1e-9);
+    return stat;
+  };
+
+  analyzer.cause_stats_.resize(kNumChurnCauses);
+  for (int c = 0; c < kNumChurnCauses; ++c) {
+    for (const auto& spec : SpecsFor(static_cast<ChurnCause>(c))) {
+      TELCO_ASSIGN_OR_RETURN(FeatureStat stat,
+                             fit_stat(spec.name, spec.direction));
+      analyzer.cause_stats_[c].push_back(stat);
+    }
+  }
+  // Competitor pull: any single search topic unusually dominant. Topic
+  // proportions cluster near 0 for most customers, so the raw MAD is
+  // tiny and would produce astronomic z-scores; floor it at a meaningful
+  // probability-scale spread.
+  for (const auto& name :
+       wide.FamilyColumns(FeatureFamily::kF8SearchTopics)) {
+    TELCO_ASSIGN_OR_RETURN(FeatureStat stat, fit_stat(name, +1.0));
+    stat.mad = std::max(stat.mad, 0.15);
+    analyzer.search_topics_.push_back(stat);
+  }
+  if (analyzer.search_topics_.empty()) {
+    return Status::InvalidArgument("wide table has no search-topic block");
+  }
+  return analyzer;
+}
+
+double RootCauseAnalyzer::Severity(const std::vector<FeatureStat>& stats,
+                                   size_t row) const {
+  // Mean signed z-score over the cause's features (nulls contribute 0).
+  if (stats.empty()) return 0.0;
+  double total = 0.0;
+  for (const FeatureStat& stat : stats) {
+    const Column& c = table_->column(stat.column);
+    if (c.IsNull(row)) continue;
+    total += stat.direction * (c.GetNumeric(row) - stat.median) / stat.mad;
+  }
+  return total / static_cast<double>(stats.size());
+}
+
+Result<std::vector<CauseScore>> RootCauseAnalyzer::AnalyzeRow(
+    size_t row) const {
+  if (row >= table_->num_rows()) {
+    return Status::OutOfRange("row out of range");
+  }
+  std::vector<CauseScore> out;
+  out.reserve(kNumChurnCauses);
+  for (int c = 0; c < kNumChurnCauses; ++c) {
+    const auto cause = static_cast<ChurnCause>(c);
+    double score;
+    if (cause == ChurnCause::kCompetitorPull) {
+      // The most anomalously dominant search topic: "potential churners
+      // may access other operators' portal, search other operators'
+      // hotline" — an unusual concentration on one topic.
+      score = 0.0;
+      for (const FeatureStat& stat : search_topics_) {
+        const Column& col = table_->column(stat.column);
+        if (col.IsNull(row)) continue;
+        score = std::max(score,
+                         (col.GetNumeric(row) - stat.median) / stat.mad);
+      }
+      // Rescale: a single hot topic among K is weaker evidence than a
+      // full multi-feature agreement, so damp it.
+      score *= 0.5;
+    } else {
+      score = Severity(cause_stats_[c], row);
+    }
+    out.push_back(CauseScore{cause, score});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CauseScore& a, const CauseScore& b) {
+                     return a.score > b.score;
+                   });
+  return out;
+}
+
+Result<std::vector<CauseScore>> RootCauseAnalyzer::AnalyzeImsi(
+    int64_t imsi) const {
+  const auto it = row_of_.find(imsi);
+  if (it == row_of_.end()) {
+    return Status::NotFound(
+        StrFormat("imsi %lld not in the fitted wide table",
+                  static_cast<long long>(imsi)));
+  }
+  return AnalyzeRow(it->second);
+}
+
+Result<std::string> RootCauseAnalyzer::Report(int64_t imsi) const {
+  TELCO_ASSIGN_OR_RETURN(const std::vector<CauseScore> causes,
+                         AnalyzeImsi(imsi));
+  std::string out = StrFormat("imsi %lld:", static_cast<long long>(imsi));
+  for (size_t i = 0; i < causes.size(); ++i) {
+    out += StrFormat(" %s%s=%.2f", i == 0 ? "**" : "",
+                     ChurnCauseToString(causes[i].cause), causes[i].score);
+    if (i == 0) out += "**";
+  }
+  return out;
+}
+
+}  // namespace telco

@@ -1,0 +1,89 @@
+// Root-cause attribution for predicted churners — the paper's stated
+// extension work ("inferring root causes of churners for actionable and
+// suitable retention strategies", Section 6).
+//
+// For each customer the analyzer scores five interpretable cause
+// hypotheses by comparing the customer's wide-table features against
+// population statistics (robust z-scores):
+//
+//   kNetworkQuality    bad CS/PS experience (drop rate, RTT, delays)
+//   kFinancial         low balance / low spend
+//   kEngagementDecline within-month usage collapse (trend features)
+//   kSocialContagion   churn-heavy neighbourhood (LP features)
+//   kCompetitorPull    search profile dominated by one unusual topic
+//
+// The ranked causes map directly onto retention levers: fix-the-network,
+// cashback offers, re-engagement bundles, community campaigns, and
+// competitive counter-offers.
+
+#ifndef TELCO_CHURN_ROOT_CAUSE_H_
+#define TELCO_CHURN_ROOT_CAUSE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "features/wide_table.h"
+
+namespace telco {
+
+enum class ChurnCause : int {
+  kNetworkQuality = 0,
+  kFinancial = 1,
+  kEngagementDecline = 2,
+  kSocialContagion = 3,
+  kCompetitorPull = 4,
+};
+inline constexpr int kNumChurnCauses = 5;
+
+/// "network-quality", "financial", ...
+const char* ChurnCauseToString(ChurnCause cause);
+
+/// One scored cause hypothesis.
+struct CauseScore {
+  ChurnCause cause;
+  /// Standardised severity; > ~1 means clearly worse than the population.
+  double score;
+};
+
+/// \brief Attributes causes by robust z-scoring cause-linked features.
+class RootCauseAnalyzer {
+ public:
+  /// Fits population statistics (median/MAD per cause feature) on a wide
+  /// table. Fails if the expected feature columns are missing.
+  static Result<RootCauseAnalyzer> Fit(const WideTable& wide);
+
+  /// Causes for the customer at `row` of the fitted wide table, sorted by
+  /// descending severity (all five are returned).
+  Result<std::vector<CauseScore>> AnalyzeRow(size_t row) const;
+
+  /// Causes for a customer by imsi.
+  Result<std::vector<CauseScore>> AnalyzeImsi(int64_t imsi) const;
+
+  /// One-line human-readable report for a customer.
+  Result<std::string> Report(int64_t imsi) const;
+
+ private:
+  struct FeatureStat {
+    size_t column = 0;  // column index in the wide table
+    double median = 0.0;
+    double mad = 1.0;   // scaled median absolute deviation
+    double direction = 1.0;  // +1: higher is worse; -1: lower is worse
+  };
+
+  RootCauseAnalyzer() = default;
+
+  double Severity(const std::vector<FeatureStat>& stats, size_t row) const;
+
+  TablePtr table_;
+  std::unordered_map<int64_t, size_t> row_of_;
+  // Per-cause lists of standardised feature references.
+  std::vector<std::vector<FeatureStat>> cause_stats_;
+  // Competitor pull uses the search-topic block separately.
+  std::vector<FeatureStat> search_topics_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_CHURN_ROOT_CAUSE_H_

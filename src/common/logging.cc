@@ -1,0 +1,34 @@
+#include "common/logging.h"
+
+#include <mutex>
+
+namespace telco {
+
+namespace {
+std::mutex& EmitMutex() {
+  static std::mutex m;
+  return m;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::Emit(LogLevel level, const std::string& msg) {
+  if (!Enabled(level)) return;
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::cerr << LevelTag(level) << " " << msg << std::endl;
+}
+
+}  // namespace telco

@@ -1,0 +1,104 @@
+// Minimal leveled logging with fatal-check macros (Arrow's DCHECK idiom).
+
+#ifndef TELCO_COMMON_LOGGING_H_
+#define TELCO_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace telco {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide logging configuration.
+class Logger {
+ public:
+  /// Sets the minimum level that is emitted (default kInfo).
+  static void SetLevel(LogLevel level) { MinLevel() = level; }
+  static LogLevel GetLevel() { return MinLevel(); }
+
+  static bool Enabled(LogLevel level) { return level >= MinLevel(); }
+
+  static void Emit(LogLevel level, const std::string& msg);
+
+ private:
+  static LogLevel& MinLevel() {
+    static LogLevel level = LogLevel::kInfo;
+    return level;
+  }
+};
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << Basename(file) << ":" << line << "] ";
+  }
+  ~LogMessage() { Logger::Emit(level_, stream_.str()); }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Emits a message then aborts; used by TELCO_CHECK.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* expr) {
+    stream_ << "[" << file << ":" << line << "] Check failed: " << expr << " ";
+  }
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define TELCO_LOG(level)                                                     \
+  if (::telco::Logger::Enabled(::telco::LogLevel::k##level))                 \
+  ::telco::internal::LogMessage(::telco::LogLevel::k##level, __FILE__,       \
+                                __LINE__)                                    \
+      .stream()
+
+/// Aborts the process with a diagnostic when `cond` is false. For invariants
+/// whose violation is a programming error, not a runtime failure.
+#define TELCO_CHECK(cond)                                           \
+  if (!(cond))                                                      \
+  ::telco::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#define TELCO_CHECK_OK(expr)                                          \
+  do {                                                                \
+    ::telco::Status _s = (expr);                                      \
+    TELCO_CHECK(_s.ok()) << _s.ToString();                            \
+  } while (false)
+
+#ifdef NDEBUG
+#define TELCO_DCHECK(cond) \
+  while (false) TELCO_CHECK(cond)
+#else
+#define TELCO_DCHECK(cond) TELCO_CHECK(cond)
+#endif
+
+}  // namespace telco
+
+#endif  // TELCO_COMMON_LOGGING_H_

@@ -1,0 +1,74 @@
+#include "common/math_util.h"
+
+#include <cassert>
+
+namespace telco {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double total = 0.0;
+  for (double x : xs) total += (x - mu) * (x - mu);
+  return total / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Quantile(std::vector<double> xs, double p) {
+  assert(!xs.empty());
+  std::sort(xs.begin(), xs.end());
+  const double pos = std::clamp(p, 0.0, 1.0) * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  assert(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double LogSumExp(const std::vector<double>& xs) {
+  if (xs.empty()) return -HUGE_VAL;
+  const double m = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(m)) return m;
+  double total = 0.0;
+  for (double x : xs) total += std::exp(x - m);
+  return m + std::log(total);
+}
+
+void NormalizeInPlace(std::vector<double>& xs) {
+  double total = 0.0;
+  for (double x : xs) total += x;
+  if (total <= 0.0) {
+    if (!xs.empty()) {
+      const double u = 1.0 / static_cast<double>(xs.size());
+      for (auto& x : xs) x = u;
+    }
+    return;
+  }
+  for (auto& x : xs) x /= total;
+}
+
+}  // namespace telco

@@ -1,0 +1,59 @@
+// Numeric helpers shared by the ML and simulation layers.
+
+#ifndef TELCO_COMMON_MATH_UTIL_H_
+#define TELCO_COMMON_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace telco {
+
+/// Numerically-stable logistic function.
+inline double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+/// Inverse of Sigmoid; p is clamped away from {0, 1}.
+inline double Logit(double p) {
+  const double q = std::clamp(p, 1e-12, 1.0 - 1e-12);
+  return std::log(q / (1.0 - q));
+}
+
+/// Clamps x into [lo, hi].
+inline double Clamp(double x, double lo, double hi) {
+  return std::clamp(x, lo, hi);
+}
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// Population variance; 0 for fewer than 2 elements.
+double Variance(const std::vector<double>& xs);
+
+/// Standard deviation (sqrt of population variance).
+double StdDev(const std::vector<double>& xs);
+
+/// p-quantile (linear interpolation); requires non-empty input.
+double Quantile(std::vector<double> xs, double p);
+
+/// Pearson correlation; 0 when either side has zero variance.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// log(sum(exp(xs))) computed stably.
+double LogSumExp(const std::vector<double>& xs);
+
+/// In-place normalisation of a non-negative vector to sum to 1; a zero
+/// vector becomes uniform.
+void NormalizeInPlace(std::vector<double>& xs);
+
+}  // namespace telco
+
+#endif  // TELCO_COMMON_MATH_UTIL_H_

@@ -1,0 +1,89 @@
+// Result<T>: value-or-Status, the return type of fallible value-producing
+// functions in telcochurn (Arrow's arrow::Result idiom).
+
+#ifndef TELCO_COMMON_RESULT_H_
+#define TELCO_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace telco {
+
+/// \brief Holds either a successfully-computed T or the Status explaining
+/// why it could not be computed.
+///
+/// Constructing from an OK status is a programming error and is converted
+/// to an Internal error status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::in_place_index<0>, std::move(value)) {}  // NOLINT
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status)  // NOLINT
+      : repr_(std::in_place_index<1>, std::move(status)) {
+    if (std::get<1>(repr_).ok()) {
+      repr_.template emplace<1>(
+          Status::Internal("Result constructed from OK status"));
+    }
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return repr_.index() == 0; }
+
+  /// The failure status, or OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<1>(repr_);
+  }
+
+  /// The held value. Precondition: ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<0>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<0>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<0>(repr_));
+  }
+
+  /// Shorthand for ValueOrDie (Arrow naming).
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value out, or returns `alternative` on failure.
+  T ValueOr(T alternative) && {
+    return ok() ? std::move(std::get<0>(repr_)) : std::move(alternative);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// failure status to the caller.
+#define TELCO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define TELCO_ASSIGN_OR_RETURN(lhs, rexpr) \
+  TELCO_ASSIGN_OR_RETURN_IMPL(             \
+      TELCO_CONCAT_(_telco_result_, __LINE__), lhs, rexpr)
+
+#define TELCO_CONCAT_INNER_(a, b) a##b
+#define TELCO_CONCAT_(a, b) TELCO_CONCAT_INNER_(a, b)
+
+}  // namespace telco
+
+#endif  // TELCO_COMMON_RESULT_H_

@@ -1,0 +1,34 @@
+// Small string helpers shared across modules.
+
+#ifndef TELCO_COMMON_STRING_UTIL_H_
+#define TELCO_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace telco {
+
+/// Splits `text` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+/// True iff `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace telco
+
+#endif  // TELCO_COMMON_STRING_UTIL_H_

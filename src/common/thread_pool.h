@@ -1,0 +1,68 @@
+// Fixed-size thread pool with a ParallelFor convenience, used to
+// parallelise embarrassingly-parallel stages (random-forest tree fitting,
+// PageRank sweeps, simulator months).
+
+#ifndef TELCO_COMMON_THREAD_POOL_H_
+#define TELCO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace telco {
+
+/// \brief A fixed pool of worker threads executing queued tasks FIFO.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (default: hardware concurrency, min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains outstanding tasks then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when it completes.
+  template <typename F>
+  std::future<void> Submit(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<void()>>(
+        std::forward<F>(fn));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [begin, end) across the pool and blocks until all
+  /// iterations finish. Iterations are chunked to limit queueing overhead.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+  /// Process-wide default pool.
+  static ThreadPool& Default();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_COMMON_THREAD_POOL_H_

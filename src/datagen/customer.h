@@ -1,0 +1,94 @@
+// Customer trait and monthly latent-state records of the simulator.
+
+#ifndef TELCO_DATAGEN_CUSTOMER_H_
+#define TELCO_DATAGEN_CUSTOMER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace telco {
+
+/// Retention offer families of Section 5.5 (class 0 = accepts nothing).
+enum class OfferKind : int {
+  kNone = 0,
+  kCashback100 = 1,  // "Get 100 cashback on recharge of 100"
+  kCashback50 = 2,   // "Get 50 cashback on recharge of 100"
+  kFlux500M = 3,     // "Get 500MB flux on recharge of 50"
+  kVoice200Min = 4,  // "Get 200-minute voice call on recharge of 50"
+};
+inline constexpr int kNumOfferClasses = 5;
+
+const char* OfferKindToString(OfferKind kind);
+
+/// \brief Persistent traits assigned when a customer joins.
+struct CustomerTraits {
+  int64_t imsi = 0;
+  int gender = 0;  // 0/1
+  int age = 30;
+  int pspt_type = 0;
+  int is_shanghai = 0;
+  int town_id = 0;
+  int sale_id = 0;
+  int credit_value = 60;
+  int64_t product_id = 0;
+  double product_price = 0.0;
+  int product_kind = 0;
+  int community = 0;
+  int home_cell = 0;
+  /// Month the customer joined (1-based; <= 0 means pre-history).
+  int join_month = 0;
+  /// Spending propensity (scales charges and balance).
+  double arpu_level = 1.0;
+  /// Preference weights for data vs voice usage.
+  double data_affinity = 0.5;
+  double voice_affinity = 0.5;
+  /// Scales the customer's social degree and graph weights.
+  double social_activity = 1.0;
+  /// Long-run engagement set point in [0.2, 1].
+  double base_engagement = 0.7;
+  /// Scales the customer's typical account balance.
+  double balance_scale = 1.0;
+  /// Whether this customer uses SMS at all (OTT substitution).
+  bool uses_sms = false;
+  /// Latent retention-offer affinity (drives campaign acceptance).
+  OfferKind offer_affinity = OfferKind::kNone;
+};
+
+/// \brief Latent state realised for one active customer in one month.
+struct CustomerMonthState {
+  /// Mean engagement over the month, in (0, 1.2].
+  double engagement = 0.7;
+  /// Weekly engagement path (weeks_per_month entries).
+  std::vector<double> weekly_engagement;
+  /// Month-end account balance (currency units).
+  double balance = 50.0;
+  /// Total recharge amount during the month.
+  double recharge_amount = 0.0;
+  /// PS / CS service quality experienced this month, in (0, 1].
+  double ps_quality = 0.8;
+  double cs_quality = 0.9;
+  /// Composite dissatisfaction in [0, ~1.5).
+  double dissatisfaction = 0.0;
+  /// Fraction of graph neighbours who churned in the previous month.
+  double neighbor_churn_frac = 0.0;
+  /// Competitor intent: the short-lived pre-churn state.
+  bool intent = false;
+  /// Whether the intent expresses itself in BSS observables (balance /
+  /// usage drop); silent churners keep normal F1 behaviour.
+  bool expresses_usage = false;
+  /// 1-based week the intent formed (weeks >= this are affected).
+  int intent_week = 0;
+  /// Whether the customer churns at the end of this month (the label).
+  bool churned = false;
+  /// Day of recharge in the next recharge period; 0 = never recharged.
+  /// Churners have day 0 or > 15 (the 15-day labelling rule).
+  int recharge_day = 1;
+  /// Number of complaints filed this month.
+  int complaints = 0;
+  /// Whether this month's searches contain competitor topics.
+  bool competitor_search = false;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_DATAGEN_CUSTOMER_H_

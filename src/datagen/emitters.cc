@@ -1,0 +1,593 @@
+#include "datagen/emitters.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/math_util.h"
+#include "datagen/table_names.h"
+
+namespace telco {
+
+namespace {
+
+constexpr DataType kI = DataType::kInt64;
+constexpr DataType kD = DataType::kDouble;
+constexpr DataType kS = DataType::kString;
+
+Schema CdrSchema() {
+  return Schema({{"imsi", kI},
+                 {"week", kI},
+                 {"localbase_inner_call_dur", kD},
+                 {"localbase_outer_call_dur", kD},
+                 {"ld_call_dur", kD},
+                 {"roam_call_dur", kD},
+                 {"localbase_called_dur", kD},
+                 {"ld_called_dur", kD},
+                 {"roam_called_dur", kD},
+                 {"cm_dur", kD},
+                 {"ct_dur", kD},
+                 {"busy_call_dur", kD},
+                 {"fest_call_dur", kD},
+                 {"free_call_dur", kD},
+                 {"voice_dur", kD},
+                 {"caller_dur", kD},
+                 {"all_call_cnt", kD},
+                 {"voice_cnt", kD},
+                 {"local_base_call_cnt", kD},
+                 {"ld_call_cnt", kD},
+                 {"roam_call_cnt", kD},
+                 {"caller_cnt", kD},
+                 {"call_10010_cnt", kD},
+                 {"call_10010_manual_cnt", kD},
+                 {"sms_p2p_mo_cnt", kD},
+                 {"sms_p2p_mt_cnt", kD},
+                 {"sms_info_mo_cnt", kD},
+                 {"sms_bill_cnt", kD},
+                 {"mms_cnt", kD},
+                 {"mms_p2p_mt_cnt", kD},
+                 {"gprs_all_flux", kD}});
+}
+
+Schema BillingSchema() {
+  return Schema({{"imsi", kI},
+                 {"total_charge", kD},
+                 {"balance", kD},
+                 {"balance_rate", kD},
+                 {"gprs_charge", kD},
+                 {"gprs_flux", kD},
+                 {"local_call_minutes", kD},
+                 {"toll_call_minutes", kD},
+                 {"roam_call_minutes", kD},
+                 {"voice_call_minutes", kD},
+                 {"p2p_sms_mo_cnt", kD},
+                 {"p2p_sms_mo_charge", kD},
+                 {"gift_voice_call_dur", kD},
+                 {"gift_sms_mo_cnt", kD},
+                 {"gift_flux_value", kD},
+                 {"distinct_serve_count", kD},
+                 {"serve_sms_count", kD}});
+}
+
+Schema CsSchema() {
+  return Schema({{"imsi", kI},
+                 {"week", kI},
+                 {"call_succ_rate", kD},
+                 {"e2e_conn_delay", kD},
+                 {"call_drop_rate", kD},
+                 {"uplink_mos", kD},
+                 {"downlink_mos", kD},
+                 {"ip_mos", kD},
+                 {"oneway_audio_cnt", kD},
+                 {"noise_cnt", kD},
+                 {"echo_cnt", kD}});
+}
+
+Schema PsSchema() {
+  return Schema({{"imsi", kI},
+                 {"week", kI},
+                 {"page_resp_succ_rate", kD},
+                 {"page_resp_delay", kD},
+                 {"page_browse_succ_rate", kD},
+                 {"page_browse_delay", kD},
+                 {"page_download_throughput", kD},
+                 {"l4_ul_throughput", kD},
+                 {"l4_dw_throughput", kD},
+                 {"tcp_rtt", kD},
+                 {"tcp_conn_succ_rate", kD},
+                 {"streaming_filesize", kD},
+                 {"streaming_dw_packets", kD},
+                 {"email_succ_rate", kD},
+                 {"email_resp_delay", kD},
+                 {"pagesize_avg", kD},
+                 {"page_succeed_flag_rate", kD}});
+}
+
+Schema EdgeSchema() {
+  return Schema({{"imsi_a", kI}, {"imsi_b", kI}, {"weight", kD}});
+}
+
+Schema TextSchema() {
+  return Schema({{"imsi", kI}, {"word_id", kI}, {"cnt", kI}});
+}
+
+// Cell tower position on a synthetic grid (used for MR lat/lon).
+void CellLatLon(int cell, double* lat, double* lon) {
+  *lat = 31.0 + 0.01 * static_cast<double>(cell % 16);
+  *lon = 121.2 + 0.01 * static_cast<double>(cell / 16);
+}
+
+Status EmitCdr(const Population& pop, Catalog* catalog, Rng rng) {
+  const int month = pop.current_month();
+  const int weeks = pop.config().weeks_per_month;
+  TableBuilder builder(CdrSchema());
+  builder.Reserve(pop.active().size() * weeks);
+  std::vector<Value> row(31);
+  for (uint32_t index : pop.active()) {
+    const CustomerTraits& t = pop.customers()[index];
+    const CustomerMonthState& s = pop.state(index);
+    for (int w = 0; w < weeks; ++w) {
+      const double e = s.weekly_engagement[w];
+      // Weekly voice minutes scale with engagement and voice affinity.
+      const double v = 110.0 * e * t.voice_affinity *
+                       std::pow(t.arpu_level, 0.3) * rng.LogNormal(0.0, 0.2);
+      const double called = v * (0.6 + 0.5 * t.social_activity) *
+                            rng.LogNormal(0.0, 0.2);
+      const double sms = t.uses_sms
+                             ? 8.0 * e * t.social_activity *
+                                   rng.LogNormal(0.0, 0.3)
+                             : 0.0;
+      const double flux = 900.0 * e * t.data_affinity *
+                          rng.LogNormal(0.0, 0.3);
+      size_t c = 0;
+      row[c++] = Value(t.imsi);
+      row[c++] = Value(static_cast<int64_t>(w + 1));
+      row[c++] = Value(v * 0.38);                          // localbase inner
+      row[c++] = Value(v * 0.17);                          // localbase outer
+      row[c++] = Value(v * 0.12);                          // long distance
+      row[c++] = Value(v * 0.05 * rng.LogNormal(0.0, 0.5));  // roam
+      row[c++] = Value(called * 0.55);                     // localbase called
+      row[c++] = Value(called * 0.12);                     // ld called
+      row[c++] = Value(called * 0.04);                     // roam called
+      row[c++] = Value(v * 0.10);                          // to China Mobile
+      row[c++] = Value(v * 0.06);                          // to China Telecom
+      row[c++] = Value(v * 0.30);                          // busy time
+      row[c++] = Value(v * 0.03);                          // festival
+      row[c++] = Value(v * 0.08);                          // free
+      row[c++] = Value(v);                                 // voice_dur
+      row[c++] = Value(v * 0.63);                          // caller_dur
+      row[c++] = Value(std::floor(v / 2.4) + 1.0);         // all_call_cnt
+      row[c++] = Value(std::floor(v / 2.6));               // voice_cnt
+      row[c++] = Value(std::floor(v * 0.55 / 2.5));        // local cnt
+      row[c++] = Value(std::floor(v * 0.12 / 3.0));        // ld cnt
+      row[c++] = Value(std::floor(v * 0.05 / 3.0));        // roam cnt
+      row[c++] = Value(std::floor(v * 0.63 / 2.5));        // caller cnt
+      row[c++] = Value(static_cast<double>(rng.Poisson(
+          0.10 + 0.9 * s.dissatisfaction)));               // 10010 calls
+      row[c++] = Value(static_cast<double>(rng.Poisson(
+          0.04 + 0.4 * s.dissatisfaction)));               // manual 10010
+      row[c++] = Value(sms);                               // sms mo
+      row[c++] = Value(sms * 1.2);                         // sms mt
+      row[c++] = Value(sms * 0.15);                        // info sms
+      row[c++] = Value(1.0 + std::floor(sms * 0.05));      // billing sms
+      row[c++] = Value(sms * 0.08);                        // mms
+      row[c++] = Value(sms * 0.09);                        // mms mt
+      row[c++] = Value(flux);                              // gprs flux (MB)
+      builder.AppendRowUnchecked(row);
+    }
+  }
+  TELCO_ASSIGN_OR_RETURN(TablePtr table, builder.Finish());
+  catalog->RegisterOrReplace(CdrTableName(month), std::move(table));
+  return Status::OK();
+}
+
+Status EmitBilling(const Population& pop, Catalog* catalog, Rng rng) {
+  const int month = pop.current_month();
+  TableBuilder builder(BillingSchema());
+  builder.Reserve(pop.active().size());
+  std::vector<Value> row(17);
+  for (uint32_t index : pop.active()) {
+    const CustomerTraits& t = pop.customers()[index];
+    const CustomerMonthState& s = pop.state(index);
+    const double minutes = 420.0 * s.engagement * t.voice_affinity *
+                           rng.LogNormal(0.0, 0.15);
+    const double flux = 3600.0 * s.engagement * t.data_affinity *
+                        rng.LogNormal(0.0, 0.2);
+    const double sms = t.uses_sms ? 30.0 * s.engagement * t.social_activity
+                                  : 0.0;
+    size_t c = 0;
+    row[c++] = Value(t.imsi);
+    row[c++] = Value(s.recharge_amount);
+    row[c++] = Value(s.balance);
+    row[c++] = Value(s.recharge_amount / (s.balance + 1.0));
+    row[c++] = Value(flux * 0.01 * rng.LogNormal(0.0, 0.2));
+    row[c++] = Value(flux);
+    row[c++] = Value(minutes * 0.62);
+    row[c++] = Value(minutes * 0.23);
+    row[c++] = Value(minutes * 0.06 * rng.LogNormal(0.0, 0.6));
+    row[c++] = Value(minutes);
+    row[c++] = Value(sms);
+    row[c++] = Value(sms * 0.1);
+    row[c++] = Value(20.0 * (t.product_kind == 1));   // gift voice
+    row[c++] = Value(5.0 * (t.product_kind == 2));    // gift sms
+    row[c++] = Value(200.0 * (t.product_kind == 3));  // gift flux
+    row[c++] = Value(std::floor(2.0 + 4.0 * rng.Uniform()));
+    row[c++] = Value(std::floor(6.0 * rng.Uniform()));
+    builder.AppendRowUnchecked(row);
+  }
+  TELCO_ASSIGN_OR_RETURN(TablePtr table, builder.Finish());
+  catalog->RegisterOrReplace(BillingTableName(month), std::move(table));
+  return Status::OK();
+}
+
+Status EmitRecharge(const Population& pop, Catalog* catalog) {
+  const int month = pop.current_month();
+  TableBuilder builder(Schema({{"imsi", kI},
+                               {"recharge_day", kI},
+                               {"recharge_amount", kD}}));
+  builder.Reserve(pop.active().size());
+  std::vector<Value> row(3);
+  for (uint32_t index : pop.active()) {
+    const CustomerTraits& t = pop.customers()[index];
+    const CustomerMonthState& s = pop.state(index);
+    row[0] = Value(t.imsi);
+    row[1] = Value(static_cast<int64_t>(s.recharge_day));
+    row[2] = Value(s.recharge_day > 0 ? s.recharge_amount : 0.0);
+    builder.AppendRowUnchecked(row);
+  }
+  TELCO_ASSIGN_OR_RETURN(TablePtr table, builder.Finish());
+  catalog->RegisterOrReplace(RechargeTableName(month), std::move(table));
+  return Status::OK();
+}
+
+Status EmitComplaints(const Population& pop, const TextGenerator& textgen,
+                      Catalog* catalog, Rng rng) {
+  const int month = pop.current_month();
+  TableBuilder counts(Schema({{"imsi", kI}, {"complaint_cnt", kI}}));
+  TableBuilder text(TextSchema());
+  counts.Reserve(pop.active().size());
+  std::vector<Value> crow(2);
+  std::vector<Value> trow(3);
+  for (uint32_t index : pop.active()) {
+    const CustomerTraits& t = pop.customers()[index];
+    const CustomerMonthState& s = pop.state(index);
+    crow[0] = Value(t.imsi);
+    crow[1] = Value(static_cast<int64_t>(s.complaints));
+    counts.AppendRowUnchecked(crow);
+    if (s.complaints > 0) {
+      const Document doc = textgen.ComplaintDoc(t, s, &rng);
+      for (const auto& [word, cnt] : doc.word_counts) {
+        trow[0] = Value(t.imsi);
+        trow[1] = Value(static_cast<int64_t>(word));
+        trow[2] = Value(static_cast<int64_t>(cnt));
+        text.AppendRowUnchecked(trow);
+      }
+    }
+  }
+  TELCO_ASSIGN_OR_RETURN(TablePtr counts_table, counts.Finish());
+  TELCO_ASSIGN_OR_RETURN(TablePtr text_table, text.Finish());
+  catalog->RegisterOrReplace(ComplaintTableName(month),
+                             std::move(counts_table));
+  catalog->RegisterOrReplace(ComplaintTextTableName(month),
+                             std::move(text_table));
+  return Status::OK();
+}
+
+Status EmitSearchText(const Population& pop, const TextGenerator& textgen,
+                      Catalog* catalog, Rng rng) {
+  const int month = pop.current_month();
+  TableBuilder text(TextSchema());
+  text.Reserve(pop.active().size() * 6);
+  std::vector<Value> row(3);
+  for (uint32_t index : pop.active()) {
+    const CustomerTraits& t = pop.customers()[index];
+    const Document doc = textgen.SearchDoc(t, pop.state(index), &rng);
+    for (const auto& [word, cnt] : doc.word_counts) {
+      row[0] = Value(t.imsi);
+      row[1] = Value(static_cast<int64_t>(word));
+      row[2] = Value(static_cast<int64_t>(cnt));
+      text.AppendRowUnchecked(row);
+    }
+  }
+  TELCO_ASSIGN_OR_RETURN(TablePtr table, text.Finish());
+  catalog->RegisterOrReplace(SearchTextTableName(month), std::move(table));
+  return Status::OK();
+}
+
+Status EmitCs(const Population& pop, Catalog* catalog, Rng rng) {
+  const int month = pop.current_month();
+  const int weeks = pop.config().weeks_per_month;
+  const double noise = pop.config().kpi_noise;
+  TableBuilder builder(CsSchema());
+  builder.Reserve(pop.active().size() * weeks);
+  std::vector<Value> row(11);
+  for (uint32_t index : pop.active()) {
+    const CustomerTraits& t = pop.customers()[index];
+    const CustomerMonthState& s = pop.state(index);
+    for (int w = 0; w < weeks; ++w) {
+      const double q = Clamp(s.cs_quality + rng.Gaussian(0.0, 0.04), 0.05,
+                             1.0);
+      size_t c = 0;
+      row[c++] = Value(t.imsi);
+      row[c++] = Value(static_cast<int64_t>(w + 1));
+      row[c++] = Value(Clamp(0.86 + 0.135 * q + rng.Gaussian(0.0, 0.01),
+                             0.5, 1.0));                     // success rate
+      row[c++] = Value(3.0 + 6.5 * (1.0 - q) *
+                           rng.LogNormal(0.0, noise));        // conn delay s
+      row[c++] = Value(0.085 * (1.0 - q) *
+                           rng.LogNormal(0.0, noise));        // drop rate
+      row[c++] = Value(Clamp(2.4 + 1.9 * q + rng.Gaussian(0.0, 0.12), 1.0,
+                             4.5));                           // uplink MOS
+      row[c++] = Value(Clamp(2.5 + 1.8 * q + rng.Gaussian(0.0, 0.12), 1.0,
+                             4.5));                           // downlink MOS
+      row[c++] = Value(Clamp(2.6 + 1.7 * q + rng.Gaussian(0.0, 0.12), 1.0,
+                             4.5));                           // IP MOS
+      row[c++] = Value(static_cast<double>(
+          rng.Poisson(1.4 * (1.0 - q))));                     // one-way audio
+      row[c++] = Value(static_cast<double>(
+          rng.Poisson(2.2 * (1.0 - q))));                     // noise count
+      row[c++] = Value(static_cast<double>(
+          rng.Poisson(1.1 * (1.0 - q))));                     // echo count
+      builder.AppendRowUnchecked(row);
+    }
+  }
+  TELCO_ASSIGN_OR_RETURN(TablePtr table, builder.Finish());
+  catalog->RegisterOrReplace(CsKpiTableName(month), std::move(table));
+  return Status::OK();
+}
+
+Status EmitPs(const Population& pop, Catalog* catalog, Rng rng) {
+  const int month = pop.current_month();
+  const int weeks = pop.config().weeks_per_month;
+  const double noise = pop.config().kpi_noise;
+  TableBuilder builder(PsSchema());
+  builder.Reserve(pop.active().size() * weeks);
+  std::vector<Value> row(17);
+  for (uint32_t index : pop.active()) {
+    const CustomerTraits& t = pop.customers()[index];
+    const CustomerMonthState& s = pop.state(index);
+    for (int w = 0; w < weeks; ++w) {
+      const double q = Clamp(s.ps_quality + rng.Gaussian(0.0, 0.04), 0.05,
+                             1.0);
+      const double e = s.weekly_engagement[w];
+      // Observed throughput mixes network quality with the customer's own
+      // activity level — churners "become inactive in data usage", which
+      // is what makes this the #2 importance feature (Table 4).
+      const double thr = (0.4 + 4.6 * q) * (0.30 + 0.95 * e) *
+                         rng.LogNormal(0.0, 0.15);
+      size_t c = 0;
+      row[c++] = Value(t.imsi);
+      row[c++] = Value(static_cast<int64_t>(w + 1));
+      row[c++] = Value(Clamp(0.80 + 0.19 * q + rng.Gaussian(0.0, 0.012),
+                             0.4, 1.0));                      // resp succ
+      row[c++] = Value(0.35 + 3.0 * (1.0 - q) *
+                           rng.LogNormal(0.0, noise));        // resp delay s
+      row[c++] = Value(Clamp(0.78 + 0.21 * q + rng.Gaussian(0.0, 0.015),
+                             0.35, 1.0));                     // browse succ
+      row[c++] = Value(0.9 + 5.0 * (1.0 - q) *
+                           rng.LogNormal(0.0, noise));        // browse delay
+      row[c++] = Value(thr);                                  // page dl Mbps
+      row[c++] = Value(thr * 0.28 * rng.LogNormal(0.0, 0.1)); // UL thr
+      row[c++] = Value(thr * 1.05 * rng.LogNormal(0.0, 0.1)); // DW thr
+      row[c++] = Value(35.0 + 280.0 * (1.0 - q) *
+                           rng.LogNormal(0.0, noise));        // TCP RTT ms
+      row[c++] = Value(Clamp(0.86 + 0.135 * q + rng.Gaussian(0.0, 0.01),
+                             0.5, 1.0));                      // TCP conn
+      row[c++] = Value(55.0 * e * t.data_affinity *
+                           rng.LogNormal(0.0, 0.4));          // stream MB
+      row[c++] = Value(std::floor(4200.0 * e * t.data_affinity *
+                                      rng.LogNormal(0.0, 0.4)));  // packets
+      row[c++] = Value(Clamp(0.9 + 0.09 * q + rng.Gaussian(0.0, 0.01), 0.5,
+                             1.0));                           // email succ
+      row[c++] = Value(0.5 + 2.0 * (1.0 - q) *
+                           rng.LogNormal(0.0, noise));        // email delay
+      row[c++] = Value(310.0 * rng.LogNormal(0.0, 0.25));     // page KB
+      row[c++] = Value(Clamp(0.83 + 0.16 * q + rng.Gaussian(0.0, 0.012),
+                             0.4, 1.0));                      // succeed flag
+      builder.AppendRowUnchecked(row);
+    }
+  }
+  TELCO_ASSIGN_OR_RETURN(TablePtr table, builder.Finish());
+  catalog->RegisterOrReplace(PsKpiTableName(month), std::move(table));
+  return Status::OK();
+}
+
+Status EmitMr(const Population& pop, Catalog* catalog, Rng rng) {
+  const int month = pop.current_month();
+  TableBuilder builder(Schema({{"imsi", kI},
+                               {"rank", kI},
+                               {"lac", kI},
+                               {"ci", kI},
+                               {"lat", kD},
+                               {"lon", kD},
+                               {"cnt", kI}}));
+  builder.Reserve(pop.active().size() * 5);
+  std::vector<Value> row(7);
+  const int num_cells = static_cast<int>(pop.config().num_cells);
+  for (uint32_t index : pop.active()) {
+    const CustomerTraits& t = pop.customers()[index];
+    const CustomerMonthState& s = pop.state(index);
+    // Top-5 stay cells: home cell plus nearby cells, visit counts
+    // decaying with rank and scaled by engagement.
+    for (int r = 1; r <= 5; ++r) {
+      const int cell = r == 1 ? t.home_cell
+                              : (t.home_cell + r - 1 +
+                                 static_cast<int>(rng.UniformInt(3))) %
+                                    num_cells;
+      double lat;
+      double lon;
+      CellLatLon(cell, &lat, &lon);
+      row[0] = Value(t.imsi);
+      row[1] = Value(static_cast<int64_t>(r));
+      row[2] = Value(static_cast<int64_t>(100 + cell / 16));
+      row[3] = Value(static_cast<int64_t>(cell));
+      row[4] = Value(lat + rng.Gaussian(0.0, 0.0005));
+      row[5] = Value(lon + rng.Gaussian(0.0, 0.0005));
+      row[6] = Value(static_cast<int64_t>(
+          1 + rng.Poisson(90.0 * s.engagement / r)));
+      builder.AppendRowUnchecked(row);
+    }
+  }
+  TELCO_ASSIGN_OR_RETURN(TablePtr table, builder.Finish());
+  catalog->RegisterOrReplace(MrTableName(month), std::move(table));
+  return Status::OK();
+}
+
+// Realised monthly edges from the base ties: an edge appears when both
+// endpoints are active this month, with weight scaled by engagement.
+Status EmitGraphEdges(const Population& pop, Catalog* catalog, Rng rng) {
+  const int month = pop.current_month();
+  TableBuilder call(EdgeSchema());
+  TableBuilder msg(EdgeSchema());
+  TableBuilder cooc(EdgeSchema());
+  std::vector<Value> row(3);
+
+  auto emit_edge = [&row](TableBuilder& builder, int64_t a, int64_t b,
+                          double w) {
+    row[0] = Value(a);
+    row[1] = Value(b);
+    row[2] = Value(w);
+    builder.AppendRowUnchecked(row);
+  };
+
+  // Deduplicate pairs: emit each undirected base tie once (lower index
+  // first); parallel ties merge when the graph is built.
+  for (uint32_t index : pop.active()) {
+    const CustomerTraits& t = pop.customers()[index];
+    const CustomerMonthState& s = pop.state(index);
+    for (uint32_t other : pop.CallTies(index)) {
+      if (other <= index || !pop.IsActive(other)) continue;
+      if (!rng.Bernoulli(0.85)) continue;  // tie dormant this month
+      const CustomerMonthState& so = pop.state(other);
+      // Weight depends only weakly on engagement so call-graph PageRank
+      // measures social importance, not raw activity.
+      const double w = 25.0 *
+                       (0.45 + 0.55 * std::min(s.engagement, so.engagement)) *
+                       rng.LogNormal(0.0, 0.5);
+      if (w > 0.3) {
+        emit_edge(call, t.imsi, pop.customers()[other].imsi, w);
+      }
+    }
+    for (uint32_t other : pop.MsgTies(index)) {
+      if (other <= index || !pop.IsActive(other)) continue;
+      if (!rng.Bernoulli(0.55)) continue;
+      const double w = static_cast<double>(1 + rng.Poisson(4.0));
+      emit_edge(msg, t.imsi, pop.customers()[other].imsi, w);
+    }
+  }
+
+  // Co-occurrence: active community members meet in the same
+  // spatio-temporal cubes; each member co-occurs with a few others.
+  const size_t num_communities = pop.config().num_communities;
+  for (size_t comm = 0; comm < num_communities; ++comm) {
+    std::vector<uint32_t> members;
+    for (uint32_t m : pop.CommunityMembers(static_cast<int>(comm))) {
+      if (pop.IsActive(m)) members.push_back(m);
+    }
+    if (members.size() < 2) continue;
+    for (size_t i = 0; i < members.size(); ++i) {
+      const int partners =
+          std::min<int>(4, static_cast<int>(members.size()) - 1);
+      for (int k = 0; k < partners; ++k) {
+        const uint32_t other = members[rng.UniformInt(members.size())];
+        if (other == members[i]) continue;
+        const uint32_t a = std::min(members[i], other);
+        const uint32_t b = std::max(members[i], other);
+        const double w = static_cast<double>(1 + rng.Poisson(8.0));
+        emit_edge(cooc, pop.customers()[a].imsi, pop.customers()[b].imsi, w);
+      }
+    }
+  }
+
+  TELCO_ASSIGN_OR_RETURN(TablePtr call_table, call.Finish());
+  TELCO_ASSIGN_OR_RETURN(TablePtr msg_table, msg.Finish());
+  TELCO_ASSIGN_OR_RETURN(TablePtr cooc_table, cooc.Finish());
+  catalog->RegisterOrReplace(CallEdgesTableName(month), std::move(call_table));
+  catalog->RegisterOrReplace(MsgEdgesTableName(month), std::move(msg_table));
+  catalog->RegisterOrReplace(CoocEdgesTableName(month), std::move(cooc_table));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EmitCustomersTable(const Population& pop, Catalog* catalog) {
+  TableBuilder builder(Schema({{"imsi", kI},
+                               {"gender", kI},
+                               {"age", kI},
+                               {"pspt_type", kI},
+                               {"is_shanghai", kI},
+                               {"town_id", kI},
+                               {"sale_id", kI},
+                               {"credit_value", kI},
+                               {"product_id", kI},
+                               {"product_price", kD},
+                               {"product_knd", kI},
+                               {"innet_month", kI},
+                               {"home_cell", kI}}));
+  builder.Reserve(pop.customers().size());
+  std::vector<Value> row(13);
+  for (const CustomerTraits& t : pop.customers()) {
+    size_t c = 0;
+    row[c++] = Value(t.imsi);
+    row[c++] = Value(static_cast<int64_t>(t.gender));
+    row[c++] = Value(static_cast<int64_t>(t.age));
+    row[c++] = Value(static_cast<int64_t>(t.pspt_type));
+    row[c++] = Value(static_cast<int64_t>(t.is_shanghai));
+    row[c++] = Value(static_cast<int64_t>(t.town_id));
+    row[c++] = Value(static_cast<int64_t>(t.sale_id));
+    row[c++] = Value(static_cast<int64_t>(t.credit_value));
+    row[c++] = Value(t.product_id);
+    row[c++] = Value(t.product_price);
+    row[c++] = Value(static_cast<int64_t>(t.product_kind));
+    row[c++] = Value(static_cast<int64_t>(t.join_month));
+    row[c++] = Value(static_cast<int64_t>(t.home_cell));
+    builder.AppendRowUnchecked(row);
+  }
+  TELCO_ASSIGN_OR_RETURN(TablePtr table, builder.Finish());
+  catalog->RegisterOrReplace(kCustomersTable, std::move(table));
+  return Status::OK();
+}
+
+Status EmitVocabTables(const TextGenerator& textgen, Catalog* catalog) {
+  auto emit = [catalog](const Vocabulary& vocab,
+                        const std::string& name) -> Status {
+    TableBuilder builder(Schema({{"word_id", kI}, {"word", kS}}));
+    builder.Reserve(vocab.size());
+    std::vector<Value> row(2);
+    for (uint32_t w = 0; w < vocab.size(); ++w) {
+      row[0] = Value(static_cast<int64_t>(w));
+      row[1] = Value(vocab.WordOf(w));
+      builder.AppendRowUnchecked(row);
+    }
+    TELCO_ASSIGN_OR_RETURN(TablePtr table, builder.Finish());
+    catalog->RegisterOrReplace(name, std::move(table));
+    return Status::OK();
+  };
+  TELCO_RETURN_NOT_OK(emit(textgen.complaint_vocab(), kComplaintVocabTable));
+  return emit(textgen.search_vocab(), kSearchVocabTable);
+}
+
+Status EmitMonthTables(const Population& pop, const TextGenerator& textgen,
+                       Catalog* catalog) {
+  if (pop.current_month() < 1) {
+    return Status::InvalidArgument("no month simulated yet");
+  }
+  // Independent deterministic substreams per (seed, table family, month).
+  const uint64_t m = static_cast<uint64_t>(pop.current_month());
+  const uint64_t base = HashCombine64(pop.config().seed, m);
+  auto stream = [base](uint64_t family) {
+    return Rng(HashCombine64(base, family));
+  };
+  TELCO_RETURN_NOT_OK(EmitCdr(pop, catalog, stream(1)));
+  TELCO_RETURN_NOT_OK(EmitBilling(pop, catalog, stream(2)));
+  TELCO_RETURN_NOT_OK(EmitRecharge(pop, catalog));
+  TELCO_RETURN_NOT_OK(EmitComplaints(pop, textgen, catalog, stream(3)));
+  TELCO_RETURN_NOT_OK(EmitSearchText(pop, textgen, catalog, stream(4)));
+  TELCO_RETURN_NOT_OK(EmitCs(pop, catalog, stream(5)));
+  TELCO_RETURN_NOT_OK(EmitPs(pop, catalog, stream(6)));
+  TELCO_RETURN_NOT_OK(EmitMr(pop, catalog, stream(7)));
+  TELCO_RETURN_NOT_OK(EmitGraphEdges(pop, catalog, stream(8)));
+  return Status::OK();
+}
+
+}  // namespace telco

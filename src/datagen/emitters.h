@@ -1,0 +1,32 @@
+// Emitters: translate one simulated month into warehouse tables.
+//
+// The emitted schemas mirror the paper's raw sources (Figure 2 / Figure
+// 4): BSS CDR + billing + demographics + complaints + recharge, and OSS
+// CS/PS KPI records, MR locations, DPI search text and the three graph
+// edge tables. The feature layer (src/features) only ever sees these
+// tables — ground truth stays inside the simulator.
+
+#ifndef TELCO_DATAGEN_EMITTERS_H_
+#define TELCO_DATAGEN_EMITTERS_H_
+
+#include "common/result.h"
+#include "datagen/population.h"
+#include "datagen/text_gen.h"
+#include "storage/catalog.h"
+
+namespace telco {
+
+/// Registers/refreshes the static `customers` demographics table (all
+/// customers ever seen, so later months' joiners are covered).
+Status EmitCustomersTable(const Population& pop, Catalog* catalog);
+
+/// Registers the two vocabulary tables (word_id -> word).
+Status EmitVocabTables(const TextGenerator& textgen, Catalog* catalog);
+
+/// Emits every per-month table for the population's current month.
+Status EmitMonthTables(const Population& pop, const TextGenerator& textgen,
+                       Catalog* catalog);
+
+}  // namespace telco
+
+#endif  // TELCO_DATAGEN_EMITTERS_H_

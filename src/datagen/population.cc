@@ -1,0 +1,340 @@
+#include "datagen/population.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace telco {
+
+namespace {
+constexpr int64_t kImsiBase = 460000000000LL;
+}  // namespace
+
+const char* OfferKindToString(OfferKind kind) {
+  switch (kind) {
+    case OfferKind::kNone:
+      return "NoOffer";
+    case OfferKind::kCashback100:
+      return "Cashback100on100";
+    case OfferKind::kCashback50:
+      return "Cashback50on100";
+    case OfferKind::kFlux500M:
+      return "Flux500MBon50";
+    case OfferKind::kVoice200Min:
+      return "Voice200Minon50";
+  }
+  return "Unknown";
+}
+
+Population::Population(const SimConfig& config)
+    : config_(config), rng_(config.seed) {
+  TELCO_CHECK(config_.num_customers > 0);
+  TELCO_CHECK(config_.num_communities > 0);
+  TELCO_CHECK(config_.num_cells > 0);
+
+  // Persistent cell quality: most cells are fine, a tail is congested.
+  cell_ps_quality_.resize(config_.num_cells);
+  cell_cs_quality_.resize(config_.num_cells);
+  for (size_t c = 0; c < config_.num_cells; ++c) {
+    cell_ps_quality_[c] = Clamp(0.30 + 0.65 * rng_.Beta(2.2, 1.2), 0.1, 1.0);
+    cell_cs_quality_[c] = Clamp(0.40 + 0.58 * rng_.Beta(2.2, 1.2), 0.15, 1.0);
+  }
+  community_members_.resize(config_.num_communities);
+  community_shock_.assign(config_.num_communities, 0);
+
+  traits_.reserve(config_.num_customers * 2);
+  states_.reserve(config_.num_customers * 2);
+  const int pre_history = -11;  // join months spread over the past year
+  for (size_t i = 0; i < config_.num_customers; ++i) {
+    const int join = static_cast<int>(rng_.UniformInt(
+                         static_cast<int64_t>(pre_history), 0));
+    SpawnCustomer(join);
+  }
+  // Ties are built after the initial population exists so early joiners
+  // can connect to everyone.
+  for (uint32_t i = 0; i < traits_.size(); ++i) BuildTiesFor(i);
+}
+
+uint32_t Population::SpawnCustomer(int join_month) {
+  const uint32_t index = static_cast<uint32_t>(traits_.size());
+  CustomerTraits t;
+  t.imsi = kImsiBase + static_cast<int64_t>(index);
+  t.gender = rng_.Bernoulli(0.52) ? 1 : 0;
+  t.age = static_cast<int>(Clamp(std::lround(rng_.Gaussian(33, 11)), 16, 80));
+  t.pspt_type = static_cast<int>(rng_.UniformInt(3));
+  t.is_shanghai = rng_.Bernoulli(0.22) ? 1 : 0;
+  t.town_id = static_cast<int>(rng_.UniformInt(config_.num_towns));
+  t.sale_id = static_cast<int>(rng_.UniformInt(config_.num_sale_areas));
+  t.credit_value =
+      static_cast<int>(Clamp(std::lround(rng_.Gaussian(62, 15)), 10, 100));
+  t.product_id = 1000 + static_cast<int64_t>(rng_.UniformInt(
+                            static_cast<uint64_t>(config_.num_products)));
+  t.product_kind = static_cast<int>(t.product_id % 4);
+  t.product_price = 18.0 + 12.0 * static_cast<double>(t.product_id % 5);
+  // Joiners mostly fill the market niche of recent leavers (a new student
+  // joins the same campus; a new resident moves under the same tower), so
+  // the population's risk composition stays stationary across months.
+  if (!leaver_slots_.empty() && rng_.Bernoulli(0.8)) {
+    const auto& slot = leaver_slots_[rng_.UniformInt(leaver_slots_.size())];
+    t.community = slot.first;
+    t.home_cell = slot.second;
+  } else {
+    t.community =
+        static_cast<int>(rng_.UniformInt(config_.num_communities));
+    // Communities are geographically clustered: most members live under
+    // the community's home cell, so co-occurrence neighbourhoods share
+    // network quality ("customers in the same spatiotemporal cube tend to
+    // churn with similar likelihoods").
+    if (rng_.Bernoulli(0.85)) {
+      t.home_cell = static_cast<int>(static_cast<size_t>(t.community) %
+                                     config_.num_cells);
+    } else {
+      t.home_cell = static_cast<int>(rng_.UniformInt(config_.num_cells));
+    }
+  }
+  t.join_month = join_month;
+  t.arpu_level = rng_.LogNormal(0.0, 0.45);
+  t.data_affinity = rng_.Beta(2.0, 2.0);
+  t.voice_affinity = Clamp(1.1 - t.data_affinity + rng_.Gaussian(0.0, 0.15),
+                           0.05, 1.0);
+  t.social_activity = rng_.LogNormal(0.0, 0.4);
+  t.base_engagement = Clamp(0.45 + 0.45 * rng_.Beta(2.2, 1.6), 0.2, 1.0);
+  t.balance_scale = Clamp(t.arpu_level * rng_.LogNormal(0.0, 0.3), 0.2, 6.0);
+  t.uses_sms = rng_.Bernoulli(config_.sms_user_fraction);
+
+  // Latent offer affinity is a (noisy) function of observable behaviour so
+  // the retention classifier can learn it: heavy data users want flux,
+  // voice-centric users want minutes, low-ARPU users want big cashback,
+  // mid users small cashback, and some accept nothing.
+  const double u = rng_.Uniform();
+  if (u < 0.22) {
+    t.offer_affinity = OfferKind::kNone;
+  } else if (t.data_affinity > 0.62) {
+    t.offer_affinity = OfferKind::kFlux500M;
+  } else if (t.voice_affinity > 0.68) {
+    t.offer_affinity = OfferKind::kVoice200Min;
+  } else if (t.arpu_level < 0.85) {
+    t.offer_affinity = OfferKind::kCashback100;
+  } else {
+    t.offer_affinity = OfferKind::kCashback50;
+  }
+
+  traits_.push_back(t);
+  CustomerMonthState init;
+  init.engagement = t.base_engagement;
+  init.balance = 40.0 * t.balance_scale;
+  states_.push_back(std::move(init));
+  pool_.push_back(index);
+  active_flag_.push_back(0);
+  community_members_[t.community].push_back(index);
+  call_ties_.emplace_back();
+  msg_ties_.emplace_back();
+  churned_last_month_.push_back(0);
+  return index;
+}
+
+void Population::BuildTiesFor(uint32_t index) {
+  const CustomerTraits& t = traits_[index];
+  const int degree = std::max(
+      1, rng_.Poisson(config_.mean_call_degree * t.social_activity));
+  const auto& own_community = community_members_[t.community];
+  for (int k = 0; k < degree; ++k) {
+    uint32_t other;
+    if (rng_.Bernoulli(config_.community_tie_fraction) &&
+        own_community.size() > 1) {
+      other = own_community[rng_.UniformInt(own_community.size())];
+    } else {
+      other = static_cast<uint32_t>(rng_.UniformInt(traits_.size()));
+    }
+    if (other == index) continue;
+    // Parallel ties are tolerated; emitters merge weights.
+    call_ties_[index].push_back(other);
+    call_ties_[other].push_back(index);
+    if (t.uses_sms && traits_[other].uses_sms && rng_.Bernoulli(0.5)) {
+      msg_ties_[index].push_back(other);
+      msg_ties_[other].push_back(index);
+    }
+  }
+}
+
+double Population::NeighborChurnFraction(uint32_t index) const {
+  const auto& ties = call_ties_[index];
+  if (ties.empty()) return 0.0;
+  size_t churned = 0;
+  for (uint32_t n : ties) churned += churned_last_month_[n];
+  return static_cast<double>(churned) / static_cast<double>(ties.size());
+}
+
+double Population::MonthDrift(int month) const {
+  // Deterministic per (seed, month): a smooth multiplicative wobble that
+  // makes old months' churn regimes differ from recent ones.
+  uint64_t s = HashCombine64(config_.seed, 0x9d1f * static_cast<uint64_t>(
+                                               month + 100));
+  Rng rng(s);
+  return std::exp(config_.month_drift_scale * rng.Gaussian());
+}
+
+void Population::AdvanceMonth() {
+  ++month_;
+  const double drift = MonthDrift(month_);
+  const int weeks = config_.weeks_per_month;
+
+  // The month's active snapshot is the pool as of the month start.
+  active_ = pool_;
+  std::fill(active_flag_.begin(), active_flag_.end(), 0);
+  for (uint32_t index : active_) active_flag_[index] = 1;
+
+  // Community shocks: a persistent on/off state, so last month's churner
+  // neighbourhoods keep elevated hazard this month (the contagion signal
+  // that label propagation on the co-occurrence graph picks up).
+  for (size_t c = 0; c < config_.num_communities; ++c) {
+    if (community_shock_[c]) {
+      community_shock_[c] =
+          rng_.Bernoulli(config_.community_shock_persist) ? 1 : 0;
+    } else {
+      community_shock_[c] =
+          rng_.Bernoulli(config_.community_shock_prob) ? 1 : 0;
+    }
+  }
+
+  const double intent_logit_base = Logit(config_.intent_base * drift);
+  std::vector<uint8_t> churned_now(traits_.size(), 0);
+
+  for (uint32_t index : active_) {
+    const CustomerTraits& t = traits_[index];
+    CustomerMonthState& prev = states_[index];
+    CustomerMonthState next;
+
+    // --- Experienced network quality: persistent cell level + noise.
+    next.ps_quality = Clamp(
+        cell_ps_quality_[t.home_cell] + rng_.Gaussian(0.0, 0.06), 0.05, 1.0);
+    next.cs_quality = Clamp(
+        cell_cs_quality_[t.home_cell] + rng_.Gaussian(0.0, 0.05), 0.1, 1.0);
+    next.dissatisfaction = Clamp(0.9 * (1.0 - next.ps_quality) +
+                                     0.6 * (1.0 - next.cs_quality) +
+                                     rng_.Gaussian(0.0, 0.05),
+                                 0.0, 1.5);
+    next.neighbor_churn_frac = NeighborChurnFraction(index);
+
+    // --- Intent formation (the short-lived pre-churn state).
+    const int tenure = std::max(0, month_ - t.join_month);
+    const double low_tenure = std::exp(-static_cast<double>(tenure) / 3.0);
+    const double low_spend = 1.0 / (1.0 + t.arpu_level);
+    const double engagement_decline =
+        std::max(0.0, t.base_engagement - prev.engagement);
+    double z = intent_logit_base +
+               config_.intent_ps_weight * (0.72 - next.ps_quality) +
+               config_.intent_cs_weight * (0.78 - next.cs_quality) +
+               config_.intent_engagement_weight * engagement_decline +
+               config_.intent_social_weight *
+                   (next.neighbor_churn_frac - 0.08) +
+               config_.intent_tenure_spend_weight * low_tenure * low_spend;
+    if (community_shock_[t.community]) z += config_.community_shock_boost;
+    next.intent = rng_.Bernoulli(Sigmoid(z));
+    // Whether the intent shows up in BSS observables depends on its cause:
+    // quality-driven and community-shock churners leave "silently" (their
+    // balance/usage stay normal; only OSS-side features can catch them),
+    // while financially/organically driven churners disengage visibly.
+    const double quality_term =
+        config_.intent_ps_weight * (0.72 - next.ps_quality) +
+        config_.intent_cs_weight * (0.78 - next.cs_quality);
+    double expr_prob =
+        config_.usage_expression_prob - 0.20 * std::max(0.0, quality_term);
+    if (community_shock_[t.community]) expr_prob *= 0.45;
+    next.expresses_usage =
+        next.intent && rng_.Bernoulli(Clamp(expr_prob, 0.12, 0.9));
+    if (next.intent) {
+      // Intent mostly forms early in the month (keeps the Velocity effect
+      // small, as in Table 5).
+      const double u = rng_.Uniform();
+      next.intent_week = u < 0.5 ? 1 : (u < 0.75 ? 2 : (u < 0.92 ? 3 : 4));
+    }
+
+    // --- Engagement path: AR(1) toward the set point; intent weeks sag.
+    const double target = Clamp(
+        0.8 * prev.engagement + 0.2 * t.base_engagement +
+            rng_.Gaussian(0.0, 0.05) - 0.25 * next.dissatisfaction * 0.2,
+        0.05, 1.2);
+    next.weekly_engagement.resize(weeks);
+    double engagement_sum = 0.0;
+    for (int w = 0; w < weeks; ++w) {
+      double e = Clamp(target + rng_.Gaussian(0.0, 0.04), 0.02, 1.25);
+      if (next.expresses_usage && (w + 1) >= next.intent_week) {
+        e *= (1.0 - config_.usage_intent_drop);
+      }
+      next.weekly_engagement[w] = e;
+      engagement_sum += e;
+    }
+    next.engagement = engagement_sum / weeks;
+
+    // --- Balance and recharge behaviour.
+    const double spend =
+        38.0 * t.arpu_level * next.engagement * rng_.LogNormal(0.0, 0.18);
+    next.recharge_amount = next.expresses_usage
+                               ? spend * 0.55
+                               : spend * rng_.LogNormal(0.05, 0.25);
+    next.balance = std::max(
+        0.0, 42.0 * t.balance_scale * rng_.LogNormal(0.0, 0.30) *
+                 (next.expresses_usage ? 1.0 - config_.balance_intent_drop
+                                       : 1.0));
+
+    // --- Churn draw and the 15-day recharge-period outcome.
+    next.churned = rng_.Bernoulli(next.intent ? config_.churn_given_intent
+                                              : config_.churn_given_no_intent);
+    if (next.churned) {
+      if (rng_.Bernoulli(config_.late_recharge_fraction)) {
+        next.recharge_day = 16 + std::min(config_.days_per_month - 16,
+                                          rng_.Poisson(4.0));
+      } else {
+        next.recharge_day = 0;  // never recharges
+      }
+    } else {
+      int day = 1;
+      while (day < 15 && !rng_.Bernoulli(config_.recharge_day_p)) ++day;
+      next.recharge_day = day;
+    }
+
+    // --- Complaints track dissatisfaction only (deliberately weak churn
+    // signal) and searches track intent (strong).
+    next.complaints = rng_.Poisson(
+        config_.complaint_rate * (0.25 + 1.6 * next.dissatisfaction));
+    next.competitor_search =
+        next.intent ? rng_.Bernoulli(config_.competitor_search_rate)
+                    : rng_.Bernoulli(config_.competitor_search_noise);
+
+    churned_now[index] = next.churned ? 1 : 0;
+    states_[index] = std::move(next);
+  }
+
+  // --- Replacement: churners leave the pool; about as many joiners
+  // arrive (they become active next month).
+  size_t leavers = 0;
+  std::vector<uint32_t> survivors;
+  survivors.reserve(pool_.size());
+  leaver_slots_.clear();
+  for (uint32_t index : active_) {
+    if (states_[index].churned) {
+      ++leavers;
+      leaver_slots_.emplace_back(traits_[index].community,
+                                 traits_[index].home_cell);
+    } else {
+      survivors.push_back(index);
+    }
+  }
+  pool_ = std::move(survivors);
+  const int64_t half_spread = static_cast<int64_t>(leavers / 12);
+  const int64_t jitter =
+      half_spread > 0 ? rng_.UniformInt(-half_spread, half_spread) : 0;
+  const size_t joiners = static_cast<size_t>(
+      std::max<int64_t>(0, static_cast<int64_t>(leavers) + jitter));
+  churned_now.resize(traits_.size(), 0);
+  churned_last_month_ = std::move(churned_now);
+  for (size_t k = 0; k < joiners; ++k) {
+    const uint32_t index = SpawnCustomer(month_);
+    BuildTiesFor(index);
+  }
+}
+
+}  // namespace telco

@@ -1,0 +1,113 @@
+// Population: the stochastic prepaid-customer process at the core of the
+// simulator. Owns traits, the base social graph, per-cell network quality
+// and the month-by-month latent dynamics (intent formation -> churn ->
+// replacement). Emitters translate its state into warehouse tables.
+
+#ifndef TELCO_DATAGEN_POPULATION_H_
+#define TELCO_DATAGEN_POPULATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/customer.h"
+#include "datagen/sim_config.h"
+
+namespace telco {
+
+/// \brief The simulated customer base, advanced one month at a time.
+///
+/// Customer identity: customers are indexed densely (0-based) in join
+/// order; `imsi = 460000000000 + index`. Churned customers stay in the
+/// trait arrays but leave the active set; each month spawns roughly as
+/// many joiners as leavers (Table 1's "dynamic balance").
+class Population {
+ public:
+  explicit Population(const SimConfig& config);
+
+  /// Advances the simulation one month: realises every active customer's
+  /// monthly state, draws churn, then replaces churners with joiners.
+  void AdvanceMonth();
+
+  /// 1-based month index of the most recent AdvanceMonth (0 = none yet).
+  int current_month() const { return month_; }
+
+  const SimConfig& config() const { return config_; }
+
+  /// All customers ever created (index = join order).
+  const std::vector<CustomerTraits>& customers() const { return traits_; }
+
+  /// Indices of customers active in the current month (includes those who
+  /// churn at its end — they were active while generating usage; excludes
+  /// this month's joiners, who become active next month).
+  const std::vector<uint32_t>& active() const { return active_; }
+
+  /// Current-month state of a customer. Precondition: active this month.
+  const CustomerMonthState& state(uint32_t index) const {
+    return states_[index];
+  }
+
+  /// True iff the customer is in the current month's active snapshot.
+  bool IsActive(uint32_t index) const {
+    return index < active_flag_.size() && active_flag_[index] != 0;
+  }
+
+  /// Base call ties (symmetric adjacency over customer indices).
+  const std::vector<uint32_t>& CallTies(uint32_t index) const {
+    return call_ties_[index];
+  }
+  /// Base message ties (subset of customers who use SMS).
+  const std::vector<uint32_t>& MsgTies(uint32_t index) const {
+    return msg_ties_[index];
+  }
+  /// Members of a community (may contain inactive customers; filter).
+  const std::vector<uint32_t>& CommunityMembers(int community) const {
+    return community_members_[community];
+  }
+
+  /// Persistent base quality of a cell, in (0, 1].
+  double CellPsQuality(int cell) const { return cell_ps_quality_[cell]; }
+  double CellCsQuality(int cell) const { return cell_cs_quality_[cell]; }
+
+  /// The month-specific drift multiplier applied to intent_base (exposes
+  /// the non-stationarity used by the Volume experiment).
+  double MonthDrift(int month) const;
+
+  /// RNG substream for emitters (deterministic per (seed, purpose)).
+  Rng ForkRng(uint64_t stream_id) { return rng_.Fork(stream_id); }
+
+ private:
+  uint32_t SpawnCustomer(int join_month);
+  /// Joiners mostly take over the market niche (community + home cell) of
+  /// recent leavers, keeping the population's risk mix stationary.
+  std::vector<std::pair<int, int>> leaver_slots_;
+  void BuildTiesFor(uint32_t index);
+  double NeighborChurnFraction(uint32_t index) const;
+
+  SimConfig config_;
+  Rng rng_;
+  int month_ = 0;
+
+  std::vector<CustomerTraits> traits_;
+  std::vector<CustomerMonthState> states_;   // parallel to traits_
+  std::vector<uint32_t> pool_;               // customers entering next month
+  std::vector<uint32_t> active_;             // snapshot for current month
+  std::vector<uint8_t> active_flag_;         // parallel to traits_
+
+  std::vector<std::vector<uint32_t>> call_ties_;
+  std::vector<std::vector<uint32_t>> msg_ties_;
+  std::vector<std::vector<uint32_t>> community_members_;
+
+  std::vector<double> cell_ps_quality_;
+  std::vector<double> cell_cs_quality_;
+
+  /// Churn flags of the previous month (contagion input).
+  std::vector<uint8_t> churned_last_month_;
+
+  /// Persistent community shock state (on/off per community).
+  std::vector<uint8_t> community_shock_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_DATAGEN_POPULATION_H_

@@ -1,0 +1,133 @@
+// SimConfig: all knobs of the synthetic telco population simulator.
+//
+// The simulator replaces the paper's proprietary 9-month dataset of ~2.1M
+// prepaid customers (see DESIGN.md, Substitutions). Its latent churn
+// process is parameterised so the paper's qualitative findings reproduce:
+//
+//  * churn is *abrupt*: a short-lived "competitor intent" state forms in
+//    the churn month itself, driven by bad network experience, declining
+//    engagement, social contagion and the low-tenure x low-spend
+//    interaction — so early features degrade sharply (Fig 8);
+//  * balance and PS download throughput are the strongest observable
+//    correlates (Table 4);
+//  * PS (data) quality drives intent more than CS (voice) quality
+//    (Table 2: F3 > F2);
+//  * contagion flows through co-occurrence communities and call ties,
+//    while the message graph is sparse because of OTT substitution
+//    (Table 2: F6, F4 >> F5);
+//  * complaints track dissatisfaction only loosely (Table 2: F7 weak,
+//    F8 search topics stronger);
+//  * month-to-month drift limits how much old training data helps
+//    (Fig 7 diminishing returns).
+
+#ifndef TELCO_DATAGEN_SIM_CONFIG_H_
+#define TELCO_DATAGEN_SIM_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace telco {
+
+struct SimConfig {
+  // ------------------------------------------------------------- scale
+  /// Active prepaid customers per month (the paper has ~2.1M; benches
+  /// default to a 1/100 scale preserving the churn-rate geometry).
+  size_t num_customers = 20000;
+  /// Simulated months (the paper's dataset spans 9).
+  int num_months = 9;
+  /// Days per month for the recharge-period labelling rule.
+  int days_per_month = 30;
+  /// Weekly sub-periods per month for the weekly OSS/CDR tables.
+  int weeks_per_month = 4;
+  uint64_t seed = 2015;
+
+  // -------------------------------------------------- population shape
+  /// Social communities (students, workplaces, villages); contagion and
+  /// co-occurrence operate within these.
+  size_t num_communities = 250;
+  /// Radio cells; each has a persistent quality level.
+  size_t num_cells = 120;
+  size_t num_towns = 18;
+  size_t num_sale_areas = 40;
+  size_t num_products = 12;
+  /// Mean number of call ties per customer in the base social graph.
+  double mean_call_degree = 6.0;
+  /// Fraction of ties kept inside the customer's own community.
+  double community_tie_fraction = 0.7;
+  /// Fraction of customers who still use SMS at all (OTT substitution).
+  double sms_user_fraction = 0.35;
+
+  // ----------------------------------------------------- churn process
+  /// Baseline monthly intent formation probability (tuned so the realised
+  /// monthly churn rate matches the paper's ~9.2% prepaid average).
+  double intent_base = 0.0105;
+  /// Intent boost per unit of PS (data) dissatisfaction.
+  double intent_ps_weight = 8.5;
+  /// Intent boost per unit of CS (voice) dissatisfaction.
+  double intent_cs_weight = 8.0;
+  /// Intent boost per unit of engagement decline.
+  double intent_engagement_weight = 1.3;
+  /// Intent boost per unit fraction of neighbours who churned last month.
+  double intent_social_weight = 3.5;
+  /// Intent boost for the low-tenure x low-spend interaction (F9 signal).
+  double intent_tenure_spend_weight = 2.5;
+  /// Monthly community-level shock probability (whole community drifts
+  /// toward churning together, e.g. graduating students).
+  double community_shock_prob = 0.06;
+  /// P(an active shock persists into the next month) — persistence is what
+  /// makes last month's churner neighbourhoods predictive (F6).
+  double community_shock_persist = 0.80;
+  double community_shock_boost = 2.3;
+  /// P(churn | intent) and P(churn | no intent).
+  double churn_given_intent = 0.93;
+  double churn_given_no_intent = 0.012;
+  /// Month-to-month drift of the intent base (Fig 7 staleness).
+  double month_drift_scale = 0.18;
+
+  // ------------------------------------------------------- observables
+  /// P(an intent customer visibly disengages in BSS observables). The
+  /// rest churn "silently": their balance/usage stay normal, and only the
+  /// OSS-side signals (network quality, searches, social neighbourhood)
+  /// can catch them — this is what makes F2..F8 additive over F1.
+  double usage_expression_prob = 0.86;
+  /// How strongly intent depresses month-end balance.
+  double balance_intent_drop = 0.80;
+  /// How strongly intent depresses usage (calls, data) in its weeks.
+  double usage_intent_drop = 0.50;
+  /// Observation noise scale on KPI features.
+  double kpi_noise = 0.25;
+  /// P(a dissatisfied customer files a complaint) — kept low: "although a
+  /// majority of churners have bad experience, they still do not complain".
+  double complaint_rate = 0.28;
+  /// P(an intent customer's searches contain competitor topics).
+  double competitor_search_rate = 0.28;
+  /// Background competitor-ish searches among non-intent customers.
+  double competitor_search_noise = 0.08;
+
+  // ------------------------------------------------------ recharge/fig5
+  /// Geometric day-to-recharge parameter for non-churners (most recharge
+  /// within the first days of the recharge period).
+  double recharge_day_p = 0.35;
+  /// Fraction of churners who eventually recharge after day 15 (the < 5%
+  /// tail of Fig 5).
+  double late_recharge_fraction = 0.18;
+
+  // ------------------------------------------------------ postpaid fig1
+  /// Postpaid monthly churn-rate mean (paper Fig 1: ~5.2% vs ~9.4%).
+  double postpaid_churn_mean = 0.052;
+  double prepaid_churn_mean = 0.094;
+
+  // --------------------------------------------------------- retention
+  /// Acceptance probability when the offer matches the latent affinity.
+  double accept_matched = 0.42;
+  /// Acceptance probability for a mismatched (but non-trivial) offer.
+  double accept_mismatched = 0.14;
+  /// Acceptance probability for customers with no offer affinity.
+  double accept_none_affinity = 0.02;
+  /// Recharge probability of a true churner with no offer (Group A).
+  double churner_base_recharge = 0.006;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_DATAGEN_SIM_CONFIG_H_

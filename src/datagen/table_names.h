@@ -1,0 +1,66 @@
+// Canonical warehouse table names shared by the emitters (producers) and
+// the feature-engineering layer (consumers).
+
+#ifndef TELCO_DATAGEN_TABLE_NAMES_H_
+#define TELCO_DATAGEN_TABLE_NAMES_H_
+
+#include <string>
+
+#include "common/string_util.h"
+
+namespace telco {
+
+inline constexpr char kCustomersTable[] = "customers";
+inline constexpr char kComplaintVocabTable[] = "complaint_vocab";
+inline constexpr char kSearchVocabTable[] = "search_vocab";
+
+/// BSS voice/message/data CDR aggregates (weekly rows).
+inline std::string CdrTableName(int month) {
+  return StrFormat("bss_cdr_m%d", month);
+}
+/// BSS billing summary (monthly rows).
+inline std::string BillingTableName(int month) {
+  return StrFormat("bss_billing_m%d", month);
+}
+/// BSS recharge-period outcomes (the labelling source).
+inline std::string RechargeTableName(int month) {
+  return StrFormat("bss_recharge_m%d", month);
+}
+/// BSS complaint counts.
+inline std::string ComplaintTableName(int month) {
+  return StrFormat("bss_complaint_m%d", month);
+}
+/// Complaint text as sparse (imsi, word_id, cnt) rows.
+inline std::string ComplaintTextTableName(int month) {
+  return StrFormat("bss_complaint_text_m%d", month);
+}
+/// OSS DPI search-query text as sparse (imsi, word_id, cnt) rows.
+inline std::string SearchTextTableName(int month) {
+  return StrFormat("oss_search_text_m%d", month);
+}
+/// OSS circuit-switch KPI/KQI (weekly rows).
+inline std::string CsKpiTableName(int month) {
+  return StrFormat("oss_cs_m%d", month);
+}
+/// OSS packet-switch KPI/KQI (weekly rows).
+inline std::string PsKpiTableName(int month) {
+  return StrFormat("oss_ps_m%d", month);
+}
+/// OSS measurement-report top-5 stay locations.
+inline std::string MrTableName(int month) {
+  return StrFormat("oss_mr_m%d", month);
+}
+/// Monthly realised graph edges.
+inline std::string CallEdgesTableName(int month) {
+  return StrFormat("graph_call_m%d", month);
+}
+inline std::string MsgEdgesTableName(int month) {
+  return StrFormat("graph_msg_m%d", month);
+}
+inline std::string CoocEdgesTableName(int month) {
+  return StrFormat("graph_cooc_m%d", month);
+}
+
+}  // namespace telco
+
+#endif  // TELCO_DATAGEN_TABLE_NAMES_H_

@@ -1,0 +1,90 @@
+// TelcoSimulator: facade that runs the population for N months, emits all
+// warehouse tables, and records the ground truth that benches/tests (and
+// the campaign-response model) need.
+
+#ifndef TELCO_DATAGEN_TELCO_SIMULATOR_H_
+#define TELCO_DATAGEN_TELCO_SIMULATOR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "datagen/emitters.h"
+#include "datagen/population.h"
+#include "datagen/text_gen.h"
+#include "storage/catalog.h"
+
+namespace telco {
+
+/// \brief Per-month ground truth (what really happened in the world).
+struct MonthTruth {
+  int month = 0;
+  std::vector<int64_t> active_imsis;
+  /// Parallel to active_imsis: churned at end of month?
+  std::vector<uint8_t> churned;
+  /// Parallel: day of recharge in the recharge period (0 = never).
+  std::vector<int> recharge_day;
+  /// Parallel: the latent intent flag (diagnostics only).
+  std::vector<uint8_t> intent;
+
+  size_t NumChurners() const {
+    size_t n = 0;
+    for (uint8_t c : churned) n += c;
+    return n;
+  }
+  double ChurnRate() const {
+    return active_imsis.empty()
+               ? 0.0
+               : static_cast<double>(NumChurners()) /
+                     static_cast<double>(active_imsis.size());
+  }
+};
+
+/// \brief Ground truth across the whole run.
+struct SimTruth {
+  /// months[m-1] is month m.
+  std::vector<MonthTruth> months;
+  /// Latent retention-offer affinity per customer.
+  std::unordered_map<int64_t, OfferKind> offer_affinity;
+
+  /// Whether `imsi` churned at the end of `month`; false if not active.
+  bool Churned(int month, int64_t imsi) const;
+};
+
+/// \brief One point of the Figure 1 churn-rate series.
+struct ChurnRatePoint {
+  int month;
+  double prepaid_rate;
+  double postpaid_rate;
+};
+
+/// \brief Runs the simulation and owns the resulting ground truth.
+class TelcoSimulator {
+ public:
+  explicit TelcoSimulator(SimConfig config);
+
+  /// Simulates config.num_months months, emitting every table into
+  /// `catalog` and recording ground truth.
+  Status Run(Catalog* catalog);
+
+  const SimConfig& config() const { return config_; }
+  const SimTruth& truth() const { return truth_; }
+  const TextGenerator& text_generator() const { return textgen_; }
+
+  /// Lightweight Figure-1 generator: monthly prepaid vs postpaid churn
+  /// rates (rates only, no tables; postpaid is not otherwise simulated).
+  static std::vector<ChurnRatePoint> ChurnRateSeries(int num_months,
+                                                     const SimConfig& config);
+
+ private:
+  SimConfig config_;
+  Population population_;
+  TextGenerator textgen_;
+  SimTruth truth_;
+  std::unordered_map<int64_t, uint8_t> churn_lookup_;  // key: month<<40|imsi
+};
+
+}  // namespace telco
+
+#endif  // TELCO_DATAGEN_TELCO_SIMULATOR_H_

@@ -1,0 +1,106 @@
+#include "datagen/text_gen.h"
+
+#include <map>
+
+#include "common/string_util.h"
+
+namespace telco {
+
+namespace {
+
+const char* kComplaintTopicNames[TextGenerator::kNumComplaintTopics] = {
+    "billing", "netspeed", "calldrop", "service", "coverage", "device"};
+
+const char* kSearchTopicNames[TextGenerator::kNumSearchTopics] = {
+    "video", "shopping", "news",    "game",
+    "music", "travel",   "handset", "competitor"};
+
+}  // namespace
+
+TextGenerator::TextGenerator(const SimConfig& config) : config_(config) {
+  // Vocabulary layout: topic t owns word ids [t * kWordsPerTopic,
+  // (t+1) * kWordsPerTopic). Fixed insertion order keeps ids stable.
+  for (int t = 0; t < kNumComplaintTopics; ++t) {
+    for (int w = 0; w < kWordsPerTopic; ++w) {
+      complaint_vocab_.AddOccurrence(
+          StrFormat("%s_%02d", kComplaintTopicNames[t], w));
+    }
+  }
+  for (int t = 0; t < kNumSearchTopics; ++t) {
+    for (int w = 0; w < kWordsPerTopic; ++w) {
+      search_vocab_.AddOccurrence(
+          StrFormat("%s_%02d", kSearchTopicNames[t], w));
+    }
+  }
+}
+
+Document TextGenerator::SampleDoc(const std::vector<double>& topic_mix,
+                                  int length, int words_per_topic,
+                                  size_t vocab_size, Rng* rng) const {
+  std::map<uint32_t, uint32_t> counts;
+  for (int i = 0; i < length; ++i) {
+    const size_t topic = rng->Categorical(topic_mix);
+    // Zipf-ish skew inside a topic: low word indices are more frequent.
+    const double u = rng->Uniform();
+    const int w = static_cast<int>(u * u * words_per_topic);
+    const uint32_t word_id = static_cast<uint32_t>(
+        topic * static_cast<size_t>(words_per_topic) + w);
+    if (word_id < vocab_size) ++counts[word_id];
+  }
+  Document doc;
+  doc.word_counts.assign(counts.begin(), counts.end());
+  return doc;
+}
+
+Document TextGenerator::ComplaintDoc(const CustomerTraits& traits,
+                                     const CustomerMonthState& state,
+                                     Rng* rng) const {
+  if (state.complaints == 0) return Document{};
+  // Topic mix follows the complaint cause: bad PS -> netspeed, bad CS ->
+  // calldrop/coverage, plus background billing/service/device noise.
+  std::vector<double> mix(kNumComplaintTopics, 0.15);
+  mix[1] += 2.2 * (1.0 - state.ps_quality);   // netspeed
+  mix[2] += 1.8 * (1.0 - state.cs_quality);   // calldrop
+  mix[4] += 0.9 * (1.0 - state.cs_quality);   // coverage
+  mix[0] += 0.4 * rng->Uniform();             // billing
+  if (state.intent) {
+    // Pre-churn complaints skew toward billing/service disputes — a mild
+    // early signal (the paper finds complaint topics only weakly useful).
+    mix[0] += 0.5;
+    mix[3] += 0.5;
+  }
+  (void)traits;
+  const int length = 4 + rng->Poisson(5.0 * state.complaints);
+  return SampleDoc(mix, length, kWordsPerTopic, complaint_vocab_.size(), rng);
+}
+
+Document TextGenerator::SearchDoc(const CustomerTraits& traits,
+                                  const CustomerMonthState& state,
+                                  Rng* rng) const {
+  // Persistent interests derived deterministically from the customer so
+  // their topic profile is stable month over month.
+  Rng interests_rng(HashCombine64(static_cast<uint64_t>(traits.imsi),
+                                  0x1234abcdULL));
+  std::vector<double> mix =
+      interests_rng.Dirichlet(kNumSearchTopics - 1, 0.5);
+  mix.push_back(0.0);  // competitor topic off by default
+  // Handset interest rises slightly with tenure (upgrade season).
+  mix[6] += 0.1;
+  if (state.competitor_search) {
+    // Intent customers search the competitor's portal/hotline heavily.
+    for (auto& m : mix) m *= 0.5;
+    mix[kCompetitorTopic] = 1.1;
+  }
+  const double activity =
+      state.engagement * (0.4 + 1.2 * traits.data_affinity);
+  int length = rng->Poisson(3.0 + 14.0 * activity);
+  if (state.competitor_search) {
+    // Intent customers search the competitor intensively (portal, hotline,
+    // porting procedure, tariffs) on top of their normal queries.
+    length += 4 + rng->Poisson(8.0);
+  }
+  if (length == 0) return Document{};
+  return SampleDoc(mix, length, kWordsPerTopic, search_vocab_.size(), rng);
+}
+
+}  // namespace telco

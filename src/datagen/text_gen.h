@@ -1,0 +1,61 @@
+// Synthetic complaint / search text generation.
+//
+// Documents are drawn from a small generative topic model so the LDA
+// feature extractor has real structure to recover:
+//  * complaint topics follow the customer's dissatisfaction profile
+//    (billing / speed / drops / service / coverage / device) — correlated
+//    with network quality but only weakly with churn (Table 2: F7 weak);
+//  * search topics follow persistent interests (video / shopping / news /
+//    game / music / travel / handset), with a dedicated *competitor* topic
+//    ("access other operators' portal, search other operators' hotline")
+//    emitted in intent months (Table 2: F8 informative).
+
+#ifndef TELCO_DATAGEN_TEXT_GEN_H_
+#define TELCO_DATAGEN_TEXT_GEN_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/customer.h"
+#include "datagen/sim_config.h"
+#include "text/vocabulary.h"
+
+namespace telco {
+
+/// \brief Builds the two vocabularies and samples per-customer documents.
+class TextGenerator {
+ public:
+  explicit TextGenerator(const SimConfig& config);
+
+  const Vocabulary& complaint_vocab() const { return complaint_vocab_; }
+  const Vocabulary& search_vocab() const { return search_vocab_; }
+
+  /// Index of the competitor topic in the search topic list.
+  int competitor_topic() const { return kCompetitorTopic; }
+
+  /// Samples this month's complaint document (empty when the customer
+  /// filed no complaints).
+  Document ComplaintDoc(const CustomerTraits& traits,
+                        const CustomerMonthState& state, Rng* rng) const;
+
+  /// Samples this month's search document.
+  Document SearchDoc(const CustomerTraits& traits,
+                     const CustomerMonthState& state, Rng* rng) const;
+
+  static constexpr int kNumComplaintTopics = 6;
+  static constexpr int kNumSearchTopics = 8;
+  static constexpr int kCompetitorTopic = 7;  // last search topic
+  static constexpr int kWordsPerTopic = 30;
+
+ private:
+  Document SampleDoc(const std::vector<double>& topic_mix, int length,
+                     int words_per_topic, size_t vocab_size, Rng* rng) const;
+
+  SimConfig config_;
+  Vocabulary complaint_vocab_;
+  Vocabulary search_vocab_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_DATAGEN_TEXT_GEN_H_

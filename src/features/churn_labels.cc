@@ -1,0 +1,26 @@
+#include "features/churn_labels.h"
+
+#include "datagen/table_names.h"
+
+namespace telco {
+
+Result<std::unordered_map<int64_t, int>> LoadChurnLabels(
+    const Catalog& catalog, int month) {
+  TELCO_ASSIGN_OR_RETURN(const TablePtr recharge,
+                         catalog.Get(RechargeTableName(month)));
+  TELCO_ASSIGN_OR_RETURN(const Column* col_imsi,
+                         recharge->GetColumn("imsi"));
+  TELCO_ASSIGN_OR_RETURN(const Column* col_day,
+                         recharge->GetColumn("recharge_day"));
+  std::unordered_map<int64_t, int> labels;
+  labels.reserve(recharge->num_rows() * 2);
+  for (size_t r = 0; r < recharge->num_rows(); ++r) {
+    if (col_imsi->IsNull(r)) continue;
+    const int64_t day = col_day->IsNull(r) ? 0 : col_day->GetInt64(r);
+    const bool churner = day == 0 || day > kChurnRechargeDeadlineDays;
+    labels[col_imsi->GetInt64(r)] = churner ? 1 : 0;
+  }
+  return labels;
+}
+
+}  // namespace telco

@@ -1,0 +1,25 @@
+// The paper's labelling rule (Section 5): "If a prepaid customer in the
+// recharge period does not recharge within 15 days, this customer is
+// considered to be a churner."
+
+#ifndef TELCO_FEATURES_CHURN_LABELS_H_
+#define TELCO_FEATURES_CHURN_LABELS_H_
+
+#include <unordered_map>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+
+namespace telco {
+
+inline constexpr int kChurnRechargeDeadlineDays = 15;
+
+/// \brief Applies the 15-day rule to a month's recharge table:
+/// churner (1) iff the customer never recharged (day 0) or recharged
+/// after day 15. Returns imsi -> {0, 1}.
+Result<std::unordered_map<int64_t, int>> LoadChurnLabels(
+    const Catalog& catalog, int month);
+
+}  // namespace telco
+
+#endif  // TELCO_FEATURES_CHURN_LABELS_H_

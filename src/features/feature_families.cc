@@ -1,0 +1,61 @@
+#include "features/feature_families.h"
+
+namespace telco {
+
+const char* FeatureFamilyLabel(FeatureFamily family) {
+  switch (family) {
+    case FeatureFamily::kF1Baseline:
+      return "F1";
+    case FeatureFamily::kF2Cs:
+      return "F2";
+    case FeatureFamily::kF3Ps:
+      return "F3";
+    case FeatureFamily::kF4CallGraph:
+      return "F4";
+    case FeatureFamily::kF5MsgGraph:
+      return "F5";
+    case FeatureFamily::kF6CoocGraph:
+      return "F6";
+    case FeatureFamily::kF7ComplaintTopics:
+      return "F7";
+    case FeatureFamily::kF8SearchTopics:
+      return "F8";
+    case FeatureFamily::kF9SecondOrder:
+      return "F9";
+  }
+  return "?";
+}
+
+const char* FeatureFamilyDescription(FeatureFamily family) {
+  switch (family) {
+    case FeatureFamily::kF1Baseline:
+      return "baseline BSS features";
+    case FeatureFamily::kF2Cs:
+      return "CS KPI/KQI features";
+    case FeatureFamily::kF3Ps:
+      return "PS KPI/KQI + location features";
+    case FeatureFamily::kF4CallGraph:
+      return "call graph features";
+    case FeatureFamily::kF5MsgGraph:
+      return "message graph features";
+    case FeatureFamily::kF6CoocGraph:
+      return "co-occurrence graph features";
+    case FeatureFamily::kF7ComplaintTopics:
+      return "topic features (complaints)";
+    case FeatureFamily::kF8SearchTopics:
+      return "topic features (search queries)";
+    case FeatureFamily::kF9SecondOrder:
+      return "second-order features";
+  }
+  return "?";
+}
+
+std::vector<FeatureFamily> AllFeatureFamilies() {
+  return {FeatureFamily::kF1Baseline,       FeatureFamily::kF2Cs,
+          FeatureFamily::kF3Ps,             FeatureFamily::kF4CallGraph,
+          FeatureFamily::kF5MsgGraph,       FeatureFamily::kF6CoocGraph,
+          FeatureFamily::kF7ComplaintTopics, FeatureFamily::kF8SearchTopics,
+          FeatureFamily::kF9SecondOrder};
+}
+
+}  // namespace telco

@@ -1,0 +1,40 @@
+// The nine feature families of paper Table 2.
+
+#ifndef TELCO_FEATURES_FEATURE_FAMILIES_H_
+#define TELCO_FEATURES_FEATURE_FAMILIES_H_
+
+#include <string>
+#include <vector>
+
+namespace telco {
+
+/// Feature family labels as in Section 5.3: F1 baseline BSS features, F2
+/// CS KPI/KQI, F3 PS KPI/KQI + locations, F4/F5/F6 graph features (call /
+/// message / co-occurrence), F7/F8 LDA topics (complaints / search), F9
+/// FM-selected second-order products.
+enum class FeatureFamily : int {
+  kF1Baseline = 0,
+  kF2Cs = 1,
+  kF3Ps = 2,
+  kF4CallGraph = 3,
+  kF5MsgGraph = 4,
+  kF6CoocGraph = 5,
+  kF7ComplaintTopics = 6,
+  kF8SearchTopics = 7,
+  kF9SecondOrder = 8,
+};
+
+inline constexpr int kNumFeatureFamilies = 9;
+
+/// "F1".."F9".
+const char* FeatureFamilyLabel(FeatureFamily family);
+
+/// Human-readable description as used in the paper.
+const char* FeatureFamilyDescription(FeatureFamily family);
+
+/// All families in Table 2 order.
+std::vector<FeatureFamily> AllFeatureFamilies();
+
+}  // namespace telco
+
+#endif  // TELCO_FEATURES_FEATURE_FAMILIES_H_

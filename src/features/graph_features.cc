@@ -1,0 +1,128 @@
+#include "features/graph_features.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "graph/label_propagation.h"
+#include "graph/pagerank.h"
+
+namespace telco {
+
+Result<CustomerGraph> BuildCustomerGraph(
+    const Table& edges, const std::vector<int64_t>& universe) {
+  if (universe.empty()) {
+    return Status::InvalidArgument("empty customer universe");
+  }
+  CustomerGraph out;
+  out.imsi_of = universe;
+  out.vertex_of.reserve(universe.size() * 2);
+  for (size_t i = 0; i < universe.size(); ++i) {
+    out.vertex_of.emplace(universe[i], static_cast<uint32_t>(i));
+  }
+
+  TELCO_ASSIGN_OR_RETURN(const Column* col_a, edges.GetColumn("imsi_a"));
+  TELCO_ASSIGN_OR_RETURN(const Column* col_b, edges.GetColumn("imsi_b"));
+  TELCO_ASSIGN_OR_RETURN(const Column* col_w, edges.GetColumn("weight"));
+
+  GraphBuilder builder(universe.size());
+  for (size_t r = 0; r < edges.num_rows(); ++r) {
+    if (col_a->IsNull(r) || col_b->IsNull(r) || col_w->IsNull(r)) continue;
+    const auto it_a = out.vertex_of.find(col_a->GetInt64(r));
+    const auto it_b = out.vertex_of.find(col_b->GetInt64(r));
+    if (it_a == out.vertex_of.end() || it_b == out.vertex_of.end()) continue;
+    if (it_a->second == it_b->second) continue;
+    const double w = col_w->GetNumeric(r);
+    if (w <= 0.0) continue;
+    TELCO_RETURN_NOT_OK(builder.AddEdge(it_a->second, it_b->second, w));
+  }
+  out.graph = std::move(builder).Build();
+  return out;
+}
+
+namespace {
+
+// Runs label propagation on the previous month's graph and returns each
+// imsi's propagated churn probability.
+Result<std::unordered_map<int64_t, double>> PropagateChurn(
+    const Table& previous_edges, const std::vector<int64_t>& prev_universe,
+    const std::unordered_map<int64_t, int>& previous_labels, uint64_t seed) {
+  TELCO_ASSIGN_OR_RETURN(const CustomerGraph graph,
+                         BuildCustomerGraph(previous_edges, prev_universe));
+  // Positive seeds: every known churner. Negative seeds: an equal-sized
+  // random subsample of known non-churners (seeding all of them would
+  // clamp nearly the whole graph and destroy the diffusion signal).
+  std::vector<uint32_t> churners;
+  std::vector<uint32_t> non_churners;
+  for (size_t v = 0; v < graph.imsi_of.size(); ++v) {
+    const auto it = previous_labels.find(graph.imsi_of[v]);
+    if (it == previous_labels.end()) continue;
+    (it->second == 1 ? churners : non_churners)
+        .push_back(static_cast<uint32_t>(v));
+  }
+  std::unordered_map<int64_t, double> out;
+  if (churners.empty() || non_churners.empty()) return out;
+  Rng rng(seed);
+  rng.Shuffle(non_churners);
+  non_churners.resize(std::min(non_churners.size(), churners.size()));
+
+  std::vector<LabeledVertex> seeds;
+  seeds.reserve(churners.size() + non_churners.size());
+  for (uint32_t v : churners) seeds.push_back(LabeledVertex{v, 1});
+  for (uint32_t v : non_churners) seeds.push_back(LabeledVertex{v, 0});
+
+  LabelPropagationOptions options;
+  options.num_classes = 2;
+  options.max_iterations = 30;
+  TELCO_ASSIGN_OR_RETURN(const LabelPropagationResult lp,
+                         PropagateLabels(graph.graph, seeds, options));
+  out.reserve(graph.imsi_of.size() * 2);
+  for (size_t v = 0; v < graph.imsi_of.size(); ++v) {
+    out.emplace(graph.imsi_of[v],
+                lp.Probability(static_cast<uint32_t>(v), 1));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<TablePtr> ComputeGraphFeatures(const GraphFeatureInputs& inputs,
+                                      const std::string& prefix) {
+  if (inputs.current_edges == nullptr || inputs.current_universe == nullptr) {
+    return Status::InvalidArgument("missing current-month graph inputs");
+  }
+  TELCO_ASSIGN_OR_RETURN(
+      const CustomerGraph graph,
+      BuildCustomerGraph(*inputs.current_edges, *inputs.current_universe));
+  const size_t n = graph.imsi_of.size();
+
+  PageRankOptions pr_options;  // d = 0.85, x_m init 1 (paper Eq. 1)
+  TELCO_ASSIGN_OR_RETURN(const PageRankResult pr,
+                         PageRank(graph.graph, pr_options));
+
+  std::unordered_map<int64_t, double> lp_churn;
+  if (inputs.previous_edges != nullptr &&
+      inputs.previous_universe != nullptr &&
+      inputs.previous_labels != nullptr &&
+      inputs.previous_edges->num_rows() > 0) {
+    TELCO_ASSIGN_OR_RETURN(
+        lp_churn,
+        PropagateChurn(*inputs.previous_edges, *inputs.previous_universe,
+                       *inputs.previous_labels, inputs.seed));
+  }
+
+  TableBuilder builder(Schema({{"imsi", DataType::kInt64},
+                               {prefix + "_pagerank", DataType::kDouble},
+                               {prefix + "_lp_churn", DataType::kDouble}}));
+  builder.Reserve(n);
+  std::vector<Value> row(3);
+  for (size_t v = 0; v < n; ++v) {
+    const auto it = lp_churn.find(graph.imsi_of[v]);
+    row[0] = Value(graph.imsi_of[v]);
+    // Scale PageRank by N so values are O(1) regardless of universe size.
+    row[1] = Value(pr.scores[v] * static_cast<double>(n));
+    row[2] = Value(it == lp_churn.end() ? 0.5 : it->second);
+    builder.AppendRowUnchecked(row);
+  }
+  return builder.Finish();
+}
+
+}  // namespace telco

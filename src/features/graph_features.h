@@ -1,0 +1,64 @@
+// Graph feature extraction (paper Section 4.1.2): weighted PageRank and
+// churn-label propagation over the monthly customer graphs.
+//
+// PageRank runs on the *current* month's graph (social importance now).
+// Label propagation runs on the *previous* month's graph — the one that
+// still contains last month's churners, the seed vertices "we have churner
+// label information about" — and the propagated churn probability is read
+// off for the customers still active this month. An equal-sized random
+// sample of known non-churners is seeded as the negative class so the
+// propagation has a proper two-class fixed point.
+
+#ifndef TELCO_FEATURES_GRAPH_FEATURES_H_
+#define TELCO_FEATURES_GRAPH_FEATURES_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "storage/table.h"
+
+namespace telco {
+
+/// \brief A customer graph built from an (imsi_a, imsi_b, weight) edge
+/// table, restricted to a given universe of customers.
+struct CustomerGraph {
+  Graph graph;
+  /// Dense vertex id per imsi (vertices = the universe, in input order).
+  std::unordered_map<int64_t, uint32_t> vertex_of;
+  std::vector<int64_t> imsi_of;
+};
+
+/// \brief Builds the customer graph over `universe`; edges touching imsis
+/// outside the universe are dropped, parallel edges accumulate weight.
+Result<CustomerGraph> BuildCustomerGraph(const Table& edges,
+                                         const std::vector<int64_t>& universe);
+
+/// Inputs of ComputeGraphFeatures for one graph family (call/msg/cooc).
+struct GraphFeatureInputs {
+  /// This month's edge table (PageRank source).
+  const Table* current_edges = nullptr;
+  /// Customers to produce feature rows for (this month's active set).
+  const std::vector<int64_t>* current_universe = nullptr;
+  /// Previous month's edge table (label-propagation source); null for the
+  /// first month — LP features then default to the 0.5 prior.
+  const Table* previous_edges = nullptr;
+  /// Previous month's active set (the LP graph universe).
+  const std::vector<int64_t>* previous_universe = nullptr;
+  /// Known labels of the previous month (imsi -> 0/1).
+  const std::unordered_map<int64_t, int>* previous_labels = nullptr;
+  /// Deterministic seed for the negative-class subsample.
+  uint64_t seed = 99;
+};
+
+/// \brief Computes (imsi, <prefix>_pagerank, <prefix>_lp_churn) for every
+/// customer in the current universe. PageRank values are scaled by N so
+/// they are O(1); customers absent from the LP graph get 0.5.
+Result<TablePtr> ComputeGraphFeatures(const GraphFeatureInputs& inputs,
+                                      const std::string& prefix);
+
+}  // namespace telco
+
+#endif  // TELCO_FEATURES_GRAPH_FEATURES_H_

@@ -1,0 +1,82 @@
+#include "features/topic_features.h"
+
+#include "common/string_util.h"
+
+namespace telco {
+
+Result<std::unordered_map<int64_t, Document>> GatherDocuments(
+    const Table& text_table, size_t vocab_size) {
+  TELCO_ASSIGN_OR_RETURN(const Column* col_imsi,
+                         text_table.GetColumn("imsi"));
+  TELCO_ASSIGN_OR_RETURN(const Column* col_word,
+                         text_table.GetColumn("word_id"));
+  TELCO_ASSIGN_OR_RETURN(const Column* col_cnt, text_table.GetColumn("cnt"));
+
+  std::unordered_map<int64_t, Document> docs;
+  for (size_t r = 0; r < text_table.num_rows(); ++r) {
+    if (col_imsi->IsNull(r) || col_word->IsNull(r) || col_cnt->IsNull(r)) {
+      continue;
+    }
+    const int64_t word = col_word->GetInt64(r);
+    const int64_t cnt = col_cnt->GetInt64(r);
+    if (word < 0 || static_cast<size_t>(word) >= vocab_size || cnt <= 0) {
+      continue;
+    }
+    docs[col_imsi->GetInt64(r)].word_counts.emplace_back(
+        static_cast<uint32_t>(word), static_cast<uint32_t>(cnt));
+  }
+  return docs;
+}
+
+Result<LdaModel> TrainLdaOnTable(const Table& text_table, size_t vocab_size,
+                                 const LdaOptions& options) {
+  TELCO_ASSIGN_OR_RETURN(const auto docs,
+                         GatherDocuments(text_table, vocab_size));
+  Corpus corpus(vocab_size);
+  for (const auto& [imsi, doc] : docs) {
+    if (doc.word_counts.empty()) continue;
+    TELCO_RETURN_NOT_OK(corpus.AddDocument(doc));
+  }
+  if (corpus.num_documents() < 2) {
+    return Status::InvalidArgument("too few documents to train LDA");
+  }
+  return LdaModel::Train(corpus, options);
+}
+
+Result<TablePtr> ComputeTopicFeatures(const LdaModel& model,
+                                      const Table& text_table,
+                                      const std::vector<int64_t>& universe,
+                                      size_t vocab_size,
+                                      const std::string& prefix) {
+  if (universe.empty()) {
+    return Status::InvalidArgument("empty customer universe");
+  }
+  TELCO_ASSIGN_OR_RETURN(const auto docs,
+                         GatherDocuments(text_table, vocab_size));
+
+  const uint32_t K = model.num_topics();
+  std::vector<Field> fields;
+  fields.push_back(Field{"imsi", DataType::kInt64});
+  for (uint32_t k = 0; k < K; ++k) {
+    fields.push_back(
+        Field{StrFormat("%s_topic%u", prefix.c_str(), k), DataType::kDouble});
+  }
+  TableBuilder builder(Schema(std::move(fields)));
+  builder.Reserve(universe.size());
+
+  std::vector<Value> row(1 + K);
+  const std::vector<double> uniform(K, 1.0 / K);
+  for (int64_t imsi : universe) {
+    const auto it = docs.find(imsi);
+    const std::vector<double> theta =
+        (it == docs.end() || it->second.word_counts.empty())
+            ? uniform
+            : model.InferDocument(it->second);
+    row[0] = Value(imsi);
+    for (uint32_t k = 0; k < K; ++k) row[1 + k] = Value(theta[k]);
+    builder.AppendRowUnchecked(row);
+  }
+  return builder.Finish();
+}
+
+}  // namespace telco

@@ -1,0 +1,41 @@
+// Topic feature extraction (paper Section 4.1.3): LDA by belief
+// propagation over the per-customer bag-of-words documents, K = 10 topic
+// proportions per customer per text source.
+
+#ifndef TELCO_FEATURES_TOPIC_FEATURES_H_
+#define TELCO_FEATURES_TOPIC_FEATURES_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+#include "text/lda.h"
+
+namespace telco {
+
+/// \brief Gathers the per-customer sparse documents of a text table.
+/// Word ids outside [0, vocab_size) and non-positive counts are dropped.
+Result<std::unordered_map<int64_t, Document>> GatherDocuments(
+    const Table& text_table, size_t vocab_size);
+
+/// \brief Trains an LDA model on the non-empty documents of a text table
+/// (unsupervised; no label leakage).
+Result<LdaModel> TrainLdaOnTable(const Table& text_table, size_t vocab_size,
+                                 const LdaOptions& options);
+
+/// \brief Computes (imsi, <prefix>_topic0 .. <prefix>_topic{K-1}) for the
+/// universe by folding each customer's document into a *fixed* trained
+/// model — the same phi across months, so topic k means the same thing in
+/// every month's wide table. Customers with no text get the uniform
+/// distribution.
+Result<TablePtr> ComputeTopicFeatures(const LdaModel& model,
+                                      const Table& text_table,
+                                      const std::vector<int64_t>& universe,
+                                      size_t vocab_size,
+                                      const std::string& prefix);
+
+}  // namespace telco
+
+#endif  // TELCO_FEATURES_TOPIC_FEATURES_H_

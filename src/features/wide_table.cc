@@ -1,0 +1,556 @@
+#include "features/wide_table.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "datagen/table_names.h"
+#include "features/churn_labels.h"
+#include "features/graph_features.h"
+#include "features/topic_features.h"
+#include "ml/dataset.h"
+#include "query/query.h"
+
+namespace telco {
+
+namespace {
+
+// Weekly metric columns of the CDR table (everything except imsi/week).
+const std::vector<std::string>& CdrMetricColumns() {
+  static const std::vector<std::string> kCols = {
+      "localbase_inner_call_dur", "localbase_outer_call_dur",
+      "ld_call_dur",              "roam_call_dur",
+      "localbase_called_dur",     "ld_called_dur",
+      "roam_called_dur",          "cm_dur",
+      "ct_dur",                   "busy_call_dur",
+      "fest_call_dur",            "free_call_dur",
+      "voice_dur",                "caller_dur",
+      "all_call_cnt",             "voice_cnt",
+      "local_base_call_cnt",      "ld_call_cnt",
+      "roam_call_cnt",            "caller_cnt",
+      "call_10010_cnt",           "call_10010_manual_cnt",
+      "sms_p2p_mo_cnt",           "sms_p2p_mt_cnt",
+      "sms_info_mo_cnt",          "sms_bill_cnt",
+      "mms_cnt",                  "mms_p2p_mt_cnt",
+      "gprs_all_flux"};
+  return kCols;
+}
+
+const std::vector<std::string>& BillingFeatureColumns() {
+  static const std::vector<std::string> kCols = {
+      "total_charge",     "balance",
+      "balance_rate",     "gprs_charge",
+      "gprs_flux",        "local_call_minutes",
+      "toll_call_minutes", "roam_call_minutes",
+      "voice_call_minutes", "p2p_sms_mo_cnt",
+      "p2p_sms_mo_charge", "gift_voice_call_dur",
+      "gift_sms_mo_cnt",  "gift_flux_value",
+      "distinct_serve_count", "serve_sms_count"};
+  return kCols;
+}
+
+const std::vector<std::string>& CsKpiColumns() {
+  static const std::vector<std::string> kCols = {
+      "call_succ_rate", "e2e_conn_delay", "call_drop_rate",
+      "uplink_mos",     "downlink_mos",   "ip_mos",
+      "oneway_audio_cnt", "noise_cnt",    "echo_cnt"};
+  return kCols;
+}
+
+const std::vector<std::string>& PsKpiColumns() {
+  static const std::vector<std::string> kCols = {
+      "page_resp_succ_rate", "page_resp_delay",
+      "page_browse_succ_rate", "page_browse_delay",
+      "page_download_throughput", "l4_ul_throughput",
+      "l4_dw_throughput",    "tcp_rtt",
+      "tcp_conn_succ_rate",  "streaming_filesize",
+      "streaming_dw_packets", "email_succ_rate",
+      "email_resp_delay",    "pagesize_avg",
+      "page_succeed_flag_rate"};
+  return kCols;
+}
+
+// Billing p2p_sms_mo_cnt collides with the CDR column of the same name;
+// the join will suffix the CDR aggregate, so record the rename.
+constexpr char kRightSuffix[] = "_cdr";
+
+// Reads the imsi column of a table as a vector.
+Result<std::vector<int64_t>> ReadImsis(const Table& table) {
+  TELCO_ASSIGN_OR_RETURN(const Column* col, table.GetColumn("imsi"));
+  std::vector<int64_t> out;
+  out.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (!col->IsNull(r)) out.push_back(col->GetInt64(r));
+  }
+  return out;
+}
+
+// Projects the table to (all current columns) + the computed extras.
+Result<TablePtr> AppendComputedColumns(const TablePtr& table,
+                                       std::vector<ProjectedColumn> extras) {
+  std::vector<ProjectedColumn> columns;
+  columns.reserve(table->schema().num_fields() + extras.size());
+  for (const auto& f : table->schema().fields()) {
+    columns.push_back(ProjectedColumn{f.name, Col(f.name), f.type});
+  }
+  for (auto& e : extras) columns.push_back(std::move(e));
+  return Project(table, std::move(columns));
+}
+
+int MaxWeek(const Table& table) {
+  auto col = table.GetColumn("week");
+  if (!col.ok()) return 0;
+  int64_t max_week = 0;
+  const Column* week = *col;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (!week->IsNull(r)) max_week = std::max(max_week, week->GetInt64(r));
+  }
+  return static_cast<int>(max_week);
+}
+
+}  // namespace
+
+const std::vector<std::string>& WideTable::FamilyColumns(
+    FeatureFamily f) const {
+  static const std::vector<std::string> kEmpty;
+  const auto it = columns.find(f);
+  return it == columns.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> WideTable::ColumnsForFamilies(
+    const std::vector<FeatureFamily>& families) const {
+  std::vector<std::string> out;
+  for (FeatureFamily f : families) {
+    const auto& cols = FamilyColumns(f);
+    out.insert(out.end(), cols.begin(), cols.end());
+  }
+  return out;
+}
+
+std::vector<std::string> WideTable::AllFeatureColumns() const {
+  return ColumnsForFamilies(AllFeatureFamilies());
+}
+
+WideTableBuilder::WideTableBuilder(Catalog* catalog, WideTableOptions options)
+    : catalog_(catalog), options_(std::move(options)) {
+  TELCO_CHECK(catalog_ != nullptr);
+}
+
+// Builds the weekly feature window for a weekly table family: the plain
+// month when staleness is 0; otherwise the month's first (weeks - k) weeks
+// unioned with the previous month's last k weeks — a 4-week window ending
+// k weeks early, the Velocity experiment's stale-feature emulation.
+Result<TablePtr> WideTableBuilder::BuildWeeklyWindow(
+    const std::string& base_name, int month) {
+  TELCO_ASSIGN_OR_RETURN(TablePtr current,
+                         catalog_->Get(StrFormat("%s_m%d", base_name.c_str(),
+                                                 month)));
+  const int k = options_.staleness_weeks;
+  if (k <= 0) return current;
+  const int weeks = MaxWeek(*current);
+  if (k >= weeks) {
+    return Status::InvalidArgument(
+        StrFormat("staleness %d >= weeks per month %d", k, weeks));
+  }
+  TELCO_ASSIGN_OR_RETURN(
+      TablePtr head,
+      Filter(current, Expr::Le(Col("week"),
+                               Lit(static_cast<int64_t>(weeks - k)))));
+  const std::string prev_name = StrFormat("%s_m%d", base_name.c_str(),
+                                          month - 1);
+  if (!catalog_->Contains(prev_name)) return head;  // first month fallback
+  TELCO_ASSIGN_OR_RETURN(TablePtr prev, catalog_->Get(prev_name));
+  TELCO_ASSIGN_OR_RETURN(
+      TablePtr tail,
+      Filter(prev, Expr::Gt(Col("week"),
+                            Lit(static_cast<int64_t>(weeks - k)))));
+  return Union({tail, head});
+}
+
+Result<TablePtr> WideTableBuilder::BuildF1(
+    int month, std::vector<std::string>* columns) {
+  // --- CDR monthly aggregates (sum of the weekly metrics).
+  TELCO_ASSIGN_OR_RETURN(TablePtr cdr, BuildWeeklyWindow("bss_cdr", month));
+  std::vector<Aggregate> sums;
+  for (const auto& c : CdrMetricColumns()) {
+    sums.push_back(Aggregate{AggKind::kSum, c, c});
+  }
+  TELCO_ASSIGN_OR_RETURN(TablePtr cdr_agg,
+                         GroupByAggregate(cdr, {"imsi"}, sums));
+
+  // --- Within-month usage trend: second-half over first-half usage, the
+  // classic decline signal.
+  TELCO_ASSIGN_OR_RETURN(
+      TablePtr first_half,
+      Query::FromTable(cdr)
+          .Filter(Expr::Le(Col("week"), Lit(static_cast<int64_t>(2))))
+          .GroupBy({"imsi"}, {{AggKind::kSum, "voice_dur", "voice_h1"},
+                              {AggKind::kSum, "gprs_all_flux", "flux_h1"}})
+          .Execute());
+  TELCO_ASSIGN_OR_RETURN(
+      TablePtr second_half,
+      Query::FromTable(cdr)
+          .Filter(Expr::Gt(Col("week"), Lit(static_cast<int64_t>(2))))
+          .GroupBy({"imsi"}, {{AggKind::kSum, "voice_dur", "voice_h2"},
+                              {AggKind::kSum, "gprs_all_flux", "flux_h2"}})
+          .Execute());
+  TELCO_ASSIGN_OR_RETURN(
+      TablePtr trend_joined,
+      HashJoin(first_half, second_half, {"imsi"}, {"imsi"}, JoinType::kLeft));
+  TELCO_ASSIGN_OR_RETURN(
+      TablePtr trend,
+      Project(trend_joined,
+              {ProjectedColumn{"imsi", Col("imsi"), DataType::kInt64},
+               ProjectedColumn{
+                   "voice_trend",
+                   Expr::Div(Col("voice_h2"),
+                             Expr::Add(Col("voice_h1"), Lit(1.0))),
+                   DataType::kDouble},
+               ProjectedColumn{
+                   "flux_trend",
+                   Expr::Div(Col("flux_h2"),
+                             Expr::Add(Col("flux_h1"), Lit(1.0))),
+                   DataType::kDouble}}));
+
+  // --- Demographics with derived tenure.
+  TELCO_ASSIGN_OR_RETURN(TablePtr customers, catalog_->Get(kCustomersTable));
+  TELCO_ASSIGN_OR_RETURN(
+      TablePtr demo,
+      Project(customers,
+              {ProjectedColumn{"imsi", Col("imsi"), DataType::kInt64},
+               ProjectedColumn{"gender", Col("gender"), DataType::kInt64},
+               ProjectedColumn{"age", Col("age"), DataType::kInt64},
+               ProjectedColumn{"pspt_type", Col("pspt_type"),
+                               DataType::kInt64},
+               ProjectedColumn{"is_shanghai", Col("is_shanghai"),
+                               DataType::kInt64},
+               ProjectedColumn{"town_id", Col("town_id"), DataType::kInt64},
+               ProjectedColumn{"sale_id", Col("sale_id"), DataType::kInt64},
+               ProjectedColumn{"credit_value", Col("credit_value"),
+                               DataType::kInt64},
+               ProjectedColumn{"product_id", Col("product_id"),
+                               DataType::kInt64},
+               ProjectedColumn{"product_price", Col("product_price"),
+                               DataType::kDouble},
+               ProjectedColumn{"product_knd", Col("product_knd"),
+                               DataType::kInt64},
+               ProjectedColumn{
+                   "innet_dura",
+                   Expr::Sub(Lit(static_cast<int64_t>(month)),
+                             Col("innet_month")),
+                   DataType::kInt64}}));
+
+  // --- Join: billing (the universe) <- cdr_agg <- trend <- demo <- compl.
+  TELCO_ASSIGN_OR_RETURN(
+      TablePtr joined,
+      Query::From(*catalog_, BillingTableName(month))
+          .JoinTable(cdr_agg, {"imsi"}, {"imsi"}, JoinType::kLeft)
+          .JoinTable(trend, {"imsi"}, {"imsi"}, JoinType::kLeft)
+          .JoinTable(demo, {"imsi"}, {"imsi"}, JoinType::kLeft)
+          .Join(*catalog_, ComplaintTableName(month), {"imsi"}, {"imsi"},
+                JoinType::kLeft)
+          .Execute());
+
+  // --- Derived ratios.
+  TELCO_ASSIGN_OR_RETURN(
+      joined,
+      AppendComputedColumns(
+          joined,
+          {ProjectedColumn{
+               "avg_call_dur",
+               Expr::Div(Col("voice_dur"),
+                         Expr::Add(Col("all_call_cnt"), Lit(1.0))),
+               DataType::kDouble},
+           ProjectedColumn{
+               "charge_per_minute",
+               Expr::Div(Col("total_charge"),
+                         Expr::Add(Col("voice_call_minutes"), Lit(1.0))),
+               DataType::kDouble}}));
+
+  // Record the F1 feature-column names. The CDR aggregate that collided
+  // with a billing column arrives suffixed by the join.
+  columns->clear();
+  for (const auto& c : BillingFeatureColumns()) columns->push_back(c);
+  for (const auto& c : CdrMetricColumns()) {
+    columns->push_back(joined->schema().HasField(c) ? c : c + "_right");
+  }
+  columns->insert(columns->end(),
+                  {"voice_trend", "flux_trend", "gender", "age", "pspt_type",
+                   "is_shanghai", "town_id", "sale_id", "credit_value",
+                   "product_id", "product_price", "product_knd", "innet_dura",
+                   "complaint_cnt", "avg_call_dur", "charge_per_minute"});
+  for (const auto& c : *columns) {
+    if (!joined->schema().HasField(c)) {
+      return Status::Internal("F1 feature column missing: " + c);
+    }
+  }
+  return joined;
+}
+
+Result<TablePtr> WideTableBuilder::BuildF2(
+    int month, std::vector<std::string>* columns) {
+  TELCO_ASSIGN_OR_RETURN(TablePtr cs, BuildWeeklyWindow("oss_cs", month));
+  std::vector<Aggregate> means;
+  columns->clear();
+  for (const auto& c : CsKpiColumns()) {
+    means.push_back(Aggregate{AggKind::kMean, c, c});
+    columns->push_back(c);
+  }
+  return GroupByAggregate(cs, {"imsi"}, means);
+}
+
+Result<TablePtr> WideTableBuilder::BuildF3(
+    int month, std::vector<std::string>* columns) {
+  TELCO_ASSIGN_OR_RETURN(TablePtr ps, BuildWeeklyWindow("oss_ps", month));
+  std::vector<Aggregate> means;
+  columns->clear();
+  for (const auto& c : PsKpiColumns()) {
+    means.push_back(Aggregate{AggKind::kMean, c, c});
+    columns->push_back(c);
+  }
+  TELCO_ASSIGN_OR_RETURN(TablePtr ps_agg,
+                         GroupByAggregate(ps, {"imsi"}, means));
+
+  // Top-5 stay locations pivoted to mr_lat_r / mr_lon_r (the paper's "10
+  // most frequent location features").
+  TELCO_ASSIGN_OR_RETURN(TablePtr mr, catalog_->Get(MrTableName(month)));
+  TablePtr joined = ps_agg;
+  for (int r = 1; r <= 5; ++r) {
+    TELCO_ASSIGN_OR_RETURN(
+        TablePtr rank_rows,
+        Query::FromTable(mr)
+            .Filter(Expr::Eq(Col("rank"), Lit(static_cast<int64_t>(r))))
+            .Project({ProjectedColumn{"imsi", Col("imsi"), DataType::kInt64},
+                      ProjectedColumn{StrFormat("mr_lat_%d", r), Col("lat"),
+                                      DataType::kDouble},
+                      ProjectedColumn{StrFormat("mr_lon_%d", r), Col("lon"),
+                                      DataType::kDouble}})
+            .Execute());
+    TELCO_ASSIGN_OR_RETURN(joined, HashJoin(joined, rank_rows, {"imsi"},
+                                            {"imsi"}, JoinType::kLeft));
+    columns->push_back(StrFormat("mr_lat_%d", r));
+    columns->push_back(StrFormat("mr_lon_%d", r));
+  }
+  return joined;
+}
+
+Result<TablePtr> WideTableBuilder::BuildGraphFamily(
+    int month, FeatureFamily family, const std::vector<int64_t>& universe,
+    std::vector<std::string>* columns) {
+  std::string table_base;
+  std::string prefix;
+  switch (family) {
+    case FeatureFamily::kF4CallGraph:
+      table_base = "graph_call";
+      prefix = "call";
+      break;
+    case FeatureFamily::kF5MsgGraph:
+      table_base = "graph_msg";
+      prefix = "msg";
+      break;
+    case FeatureFamily::kF6CoocGraph:
+      table_base = "graph_cooc";
+      prefix = "cooc";
+      break;
+    default:
+      return Status::InvalidArgument("not a graph family");
+  }
+  TELCO_ASSIGN_OR_RETURN(
+      TablePtr current,
+      catalog_->Get(StrFormat("%s_m%d", table_base.c_str(), month)));
+
+  GraphFeatureInputs inputs;
+  inputs.current_edges = current.get();
+  inputs.current_universe = &universe;
+  inputs.seed = HashCombine64(options_.seed,
+                              static_cast<uint64_t>(month) * 10 +
+                                  static_cast<uint64_t>(family));
+
+  TablePtr previous;
+  std::vector<int64_t> prev_universe;
+  std::unordered_map<int64_t, int> prev_labels;
+  const std::string prev_name =
+      StrFormat("%s_m%d", table_base.c_str(), month - 1);
+  if (month > 1 && catalog_->Contains(prev_name)) {
+    TELCO_ASSIGN_OR_RETURN(previous, catalog_->Get(prev_name));
+    TELCO_ASSIGN_OR_RETURN(TablePtr prev_billing,
+                           catalog_->Get(BillingTableName(month - 1)));
+    TELCO_ASSIGN_OR_RETURN(prev_universe, ReadImsis(*prev_billing));
+    TELCO_ASSIGN_OR_RETURN(prev_labels, LoadChurnLabels(*catalog_, month - 1));
+    inputs.previous_edges = previous.get();
+    inputs.previous_universe = &prev_universe;
+    inputs.previous_labels = &prev_labels;
+  }
+  columns->assign({prefix + "_pagerank", prefix + "_lp_churn"});
+  return ComputeGraphFeatures(inputs, prefix);
+}
+
+Result<const LdaModel*> WideTableBuilder::EnsureLdaModel(bool complaint) {
+  std::unique_ptr<LdaModel>& slot =
+      complaint ? lda_complaint_ : lda_search_;
+  if (slot != nullptr) return slot.get();
+  const int month = options_.pair_selection_month;
+  const std::string table_name = complaint ? ComplaintTextTableName(month)
+                                           : SearchTextTableName(month);
+  const std::string vocab_name =
+      complaint ? kComplaintVocabTable : kSearchVocabTable;
+  TELCO_ASSIGN_OR_RETURN(TablePtr text, catalog_->Get(table_name));
+  TELCO_ASSIGN_OR_RETURN(TablePtr vocab, catalog_->Get(vocab_name));
+  LdaOptions lda = options_.lda;
+  lda.seed = HashCombine64(options_.seed, complaint ? 7 : 8);
+  TELCO_ASSIGN_OR_RETURN(LdaModel model,
+                         TrainLdaOnTable(*text, vocab->num_rows(), lda));
+  slot = std::make_unique<LdaModel>(std::move(model));
+  return slot.get();
+}
+
+Result<TablePtr> WideTableBuilder::BuildTopics(
+    int month, FeatureFamily family, const std::vector<int64_t>& universe,
+    std::vector<std::string>* columns) {
+  const bool complaint = family == FeatureFamily::kF7ComplaintTopics;
+  const std::string table_name = complaint ? ComplaintTextTableName(month)
+                                           : SearchTextTableName(month);
+  const std::string vocab_name =
+      complaint ? kComplaintVocabTable : kSearchVocabTable;
+  const std::string prefix = complaint ? "cmpl" : "srch";
+  TELCO_ASSIGN_OR_RETURN(TablePtr text, catalog_->Get(table_name));
+  TELCO_ASSIGN_OR_RETURN(TablePtr vocab, catalog_->Get(vocab_name));
+  TELCO_ASSIGN_OR_RETURN(const LdaModel* model, EnsureLdaModel(complaint));
+
+  columns->clear();
+  for (uint32_t k = 0; k < model->num_topics(); ++k) {
+    columns->push_back(StrFormat("%s_topic%u", prefix.c_str(), k));
+  }
+  return ComputeTopicFeatures(*model, *text, universe, vocab->num_rows(),
+                              prefix);
+}
+
+Result<std::vector<std::pair<std::string, std::string>>>
+WideTableBuilder::SelectedSecondOrderPairs() {
+  if (pairs_selected_) return selected_pairs_;
+  // Fit the FM selector on the pair-selection month's labelled features.
+  TELCO_ASSIGN_OR_RETURN(const WideTable base,
+                         BuildWithoutSecondOrder(options_.pair_selection_month));
+  TELCO_ASSIGN_OR_RETURN(
+      const auto labels,
+      LoadChurnLabels(*catalog_, options_.pair_selection_month));
+
+  // Pairs are selected among the basic (F1) features, matching the paper:
+  // the second-order features of Fig 4 / Table 4 (e.g. innet_dura x
+  // total_charge) are products of basic BSS features.
+  const std::vector<std::string> feature_cols =
+      base.FamilyColumns(FeatureFamily::kF1Baseline);
+  TELCO_ASSIGN_OR_RETURN(Dataset data,
+                         Dataset::FromTableUnlabeled(*base.table,
+                                                     feature_cols));
+  TELCO_ASSIGN_OR_RETURN(const Column* imsi_col,
+                         base.table->GetColumn("imsi"));
+  for (size_t r = 0; r < base.table->num_rows(); ++r) {
+    const auto it = labels.find(imsi_col->GetInt64(r));
+    data.set_label(r, it != labels.end() ? it->second : 0);
+  }
+
+  FactorizationMachineOptions fm_options = options_.fm;
+  fm_options.seed = HashCombine64(options_.seed, 0xF9F9ULL);
+  FactorizationMachine fm(fm_options);
+  TELCO_RETURN_NOT_OK(fm.Fit(data));
+  const auto ranked = fm.RankPairWeights(options_.num_second_order);
+  selected_pairs_.clear();
+  for (const auto& p : ranked) {
+    selected_pairs_.emplace_back(feature_cols[p.i], feature_cols[p.j]);
+  }
+  pairs_selected_ = true;
+  TELCO_LOG(Info) << "F9: selected " << selected_pairs_.size()
+                  << " second-order pairs (top: "
+                  << (selected_pairs_.empty()
+                          ? "none"
+                          : selected_pairs_[0].first + " x " +
+                                selected_pairs_[0].second)
+                  << ")";
+  return selected_pairs_;
+}
+
+Result<TablePtr> WideTableBuilder::AttachSecondOrder(
+    const WideTable& base, std::vector<std::string>* columns) {
+  TELCO_ASSIGN_OR_RETURN(const auto pairs, SelectedSecondOrderPairs());
+  std::vector<ProjectedColumn> extras;
+  columns->clear();
+  for (const auto& [a, b] : pairs) {
+    const std::string name = a + "_x_" + b;
+    extras.push_back(ProjectedColumn{name, Expr::Mul(Col(a), Col(b)),
+                                     DataType::kDouble});
+    columns->push_back(name);
+  }
+  return AppendComputedColumns(base.table, std::move(extras));
+}
+
+Result<WideTable> WideTableBuilder::BuildWithoutSecondOrder(int month) {
+  const auto it = cache_no_f9_.find(month);
+  if (it != cache_no_f9_.end()) return it->second;
+
+  WideTable wide;
+  std::vector<std::string> cols;
+
+  TELCO_ASSIGN_OR_RETURN(TablePtr table, BuildF1(month, &cols));
+  wide.columns[FeatureFamily::kF1Baseline] = cols;
+
+  TELCO_ASSIGN_OR_RETURN(const std::vector<int64_t> universe,
+                         ReadImsis(*table));
+
+  TELCO_ASSIGN_OR_RETURN(TablePtr f2, BuildF2(month, &cols));
+  wide.columns[FeatureFamily::kF2Cs] = cols;
+  TELCO_ASSIGN_OR_RETURN(table, HashJoin(table, f2, {"imsi"}, {"imsi"},
+                                         JoinType::kLeft, kRightSuffix));
+
+  TELCO_ASSIGN_OR_RETURN(TablePtr f3, BuildF3(month, &cols));
+  wide.columns[FeatureFamily::kF3Ps] = cols;
+  TELCO_ASSIGN_OR_RETURN(table, HashJoin(table, f3, {"imsi"}, {"imsi"},
+                                         JoinType::kLeft, kRightSuffix));
+
+  for (FeatureFamily f : {FeatureFamily::kF4CallGraph,
+                          FeatureFamily::kF5MsgGraph,
+                          FeatureFamily::kF6CoocGraph}) {
+    TELCO_ASSIGN_OR_RETURN(TablePtr g,
+                           BuildGraphFamily(month, f, universe, &cols));
+    wide.columns[f] = cols;
+    TELCO_ASSIGN_OR_RETURN(table, HashJoin(table, g, {"imsi"}, {"imsi"},
+                                           JoinType::kLeft, kRightSuffix));
+  }
+
+  for (FeatureFamily f : {FeatureFamily::kF7ComplaintTopics,
+                          FeatureFamily::kF8SearchTopics}) {
+    TELCO_ASSIGN_OR_RETURN(TablePtr t,
+                           BuildTopics(month, f, universe, &cols));
+    wide.columns[f] = cols;
+    TELCO_ASSIGN_OR_RETURN(table, HashJoin(table, t, {"imsi"}, {"imsi"},
+                                           JoinType::kLeft, kRightSuffix));
+  }
+
+  wide.table = std::move(table);
+  cache_no_f9_.emplace(month, wide);
+  return wide;
+}
+
+Result<WideTable> WideTableBuilder::Build(int month) {
+  const auto it = cache_.find(month);
+  if (it != cache_.end()) return it->second;
+
+  TELCO_ASSIGN_OR_RETURN(WideTable wide, BuildWithoutSecondOrder(month));
+  std::vector<std::string> cols;
+  TELCO_ASSIGN_OR_RETURN(TablePtr with_f9, AttachSecondOrder(wide, &cols));
+  wide.table = std::move(with_f9);
+  wide.columns[FeatureFamily::kF9SecondOrder] = cols;
+
+  if (options_.cache_in_catalog) {
+    const std::string name =
+        options_.staleness_weeks > 0
+            ? StrFormat("wide_m%d_s%d", month, options_.staleness_weeks)
+            : StrFormat("wide_m%d", month);
+    catalog_->RegisterOrReplace(name, wide.table);
+  }
+  cache_.emplace(month, wide);
+  return wide;
+}
+
+}  // namespace telco

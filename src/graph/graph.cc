@@ -1,0 +1,63 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace telco {
+
+double Graph::WeightedDegree(uint32_t v) const {
+  double total = 0.0;
+  for (const auto& e : Neighbors(v)) total += e.weight;
+  return total;
+}
+
+GraphBuilder::GraphBuilder(size_t num_vertices) : adjacency_(num_vertices) {}
+
+Status GraphBuilder::AddEdge(uint32_t u, uint32_t v, double weight) {
+  if (u >= adjacency_.size() || v >= adjacency_.size()) {
+    return Status::OutOfRange(
+        StrFormat("edge (%u, %u) out of range for %zu vertices", u, v,
+                  adjacency_.size()));
+  }
+  if (u == v) {
+    return Status::InvalidArgument("self-loops are not allowed");
+  }
+  if (weight <= 0.0) {
+    return Status::InvalidArgument("edge weight must be positive");
+  }
+  adjacency_[u].push_back(GraphEdge{v, weight});
+  adjacency_[v].push_back(GraphEdge{u, weight});
+  num_half_edges_ += 2;
+  return Status::OK();
+}
+
+Graph GraphBuilder::Build() && {
+  Graph g;
+  g.offsets_.assign(adjacency_.size() + 1, 0);
+  g.edges_.reserve(num_half_edges_);
+  for (size_t v = 0; v < adjacency_.size(); ++v) {
+    auto& adj = adjacency_[v];
+    std::sort(adj.begin(), adj.end(),
+              [](const GraphEdge& a, const GraphEdge& b) {
+                return a.neighbor < b.neighbor;
+              });
+    // Merge parallel edges by summing weights.
+    size_t out = 0;
+    for (size_t i = 0; i < adj.size(); ++i) {
+      if (out > 0 && g.edges_.size() > g.offsets_[v] &&
+          g.edges_.back().neighbor == adj[i].neighbor) {
+        g.edges_.back().weight += adj[i].weight;
+      } else {
+        g.edges_.push_back(adj[i]);
+        ++out;
+      }
+    }
+    g.offsets_[v + 1] = g.edges_.size();
+    adj.clear();
+    adj.shrink_to_fit();
+  }
+  return g;
+}
+
+}  // namespace telco

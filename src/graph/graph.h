@@ -1,0 +1,79 @@
+// Weighted undirected graph in CSR form, plus an edge-list builder.
+//
+// The paper derives three undirected customer graphs — call, message and
+// co-occurrence — represented as edge-based sparse matrices
+// E = {w_mn != 0}. Graph is that sparse matrix in compressed form, the
+// substrate for PageRank and label propagation features (Section 4.1.2).
+
+#ifndef TELCO_GRAPH_GRAPH_H_
+#define TELCO_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+
+namespace telco {
+
+/// \brief One weighted half-edge in adjacency storage.
+struct GraphEdge {
+  uint32_t neighbor;
+  double weight;
+};
+
+/// \brief Immutable weighted undirected graph (CSR adjacency).
+class Graph {
+ public:
+  /// Number of vertices.
+  size_t num_vertices() const { return offsets_.size() - 1; }
+
+  /// Number of undirected edges (each stored twice internally).
+  size_t num_edges() const { return edges_.size() / 2; }
+
+  /// The adjacency list of vertex v.
+  std::span<const GraphEdge> Neighbors(uint32_t v) const {
+    return std::span<const GraphEdge>(edges_.data() + offsets_[v],
+                                      offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Degree of vertex v.
+  size_t Degree(uint32_t v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// Sum of incident edge weights of vertex v.
+  double WeightedDegree(uint32_t v) const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<size_t> offsets_;   // num_vertices + 1
+  std::vector<GraphEdge> edges_;  // both directions of every edge
+};
+
+/// \brief Accumulating builder: repeated AddEdge calls between the same
+/// pair sum their weights (the paper accumulates calling time / message
+/// counts / co-occurrence counts over a month).
+class GraphBuilder {
+ public:
+  /// Creates a builder for a graph over `num_vertices` vertices.
+  explicit GraphBuilder(size_t num_vertices);
+
+  /// Accumulates an undirected edge; self-loops are rejected.
+  /// Weight must be positive.
+  Status AddEdge(uint32_t u, uint32_t v, double weight);
+
+  size_t num_vertices() const { return adjacency_.size(); }
+
+  /// Finalises into CSR form; the builder is consumed.
+  Graph Build() &&;
+
+ private:
+  // Per-vertex accumulation maps are too heavy at telco scale; we keep
+  // unsorted half-edges and merge duplicates during Build.
+  std::vector<std::vector<GraphEdge>> adjacency_;
+  size_t num_half_edges_ = 0;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_GRAPH_GRAPH_H_

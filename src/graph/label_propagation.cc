@@ -1,0 +1,83 @@
+#include "graph/label_propagation.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace telco {
+
+Result<LabelPropagationResult> PropagateLabels(
+    const Graph& graph, const std::vector<LabeledVertex>& seeds,
+    const LabelPropagationOptions& options) {
+  const size_t n = graph.num_vertices();
+  const uint32_t c = options.num_classes;
+  if (c < 2) return Status::InvalidArgument("need at least 2 classes");
+  if (n == 0) return Status::InvalidArgument("empty graph");
+
+  std::vector<int32_t> seed_label(n, -1);
+  for (const auto& s : seeds) {
+    if (s.vertex >= n) {
+      return Status::OutOfRange(
+          StrFormat("seed vertex %u out of range (%zu vertices)", s.vertex, n));
+    }
+    if (s.label >= c) {
+      return Status::OutOfRange(
+          StrFormat("seed label %u out of range (%u classes)", s.label, c));
+    }
+    seed_label[s.vertex] = static_cast<int32_t>(s.label);
+  }
+
+  LabelPropagationResult result;
+  result.num_classes = c;
+  result.probabilities.assign(n * c, 1.0 / static_cast<double>(c));
+  auto clamp_seeds = [&] {
+    for (size_t v = 0; v < n; ++v) {
+      if (seed_label[v] < 0) continue;
+      double* row = &result.probabilities[v * c];
+      for (uint32_t k = 0; k < c; ++k) row[k] = 0.0;
+      row[seed_label[v]] = 1.0;
+    }
+  };
+  clamp_seeds();
+
+  std::vector<double> next(n * c, 0.0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double max_delta = 0.0;
+    for (uint32_t v = 0; v < n; ++v) {
+      double* out = &next[static_cast<size_t>(v) * c];
+      for (uint32_t k = 0; k < c; ++k) out[k] = 0.0;
+      // Step 1: Y <- W Y (row v gathers from its neighbors).
+      for (const auto& e : graph.Neighbors(v)) {
+        const double* in =
+            &result.probabilities[static_cast<size_t>(e.neighbor) * c];
+        for (uint32_t k = 0; k < c; ++k) out[k] += e.weight * in[k];
+      }
+      // Step 2: row-normalise; isolated/unreached rows stay uniform.
+      double total = 0.0;
+      for (uint32_t k = 0; k < c; ++k) total += out[k];
+      if (total <= 0.0) {
+        for (uint32_t k = 0; k < c; ++k) out[k] = 1.0 / c;
+      } else {
+        for (uint32_t k = 0; k < c; ++k) out[k] /= total;
+      }
+      // Step 3: clamp seeds.
+      if (seed_label[v] >= 0) {
+        for (uint32_t k = 0; k < c; ++k) out[k] = 0.0;
+        out[seed_label[v]] = 1.0;
+      }
+      const double* cur = &result.probabilities[static_cast<size_t>(v) * c];
+      for (uint32_t k = 0; k < c; ++k) {
+        max_delta = std::max(max_delta, std::fabs(out[k] - cur[k]));
+      }
+    }
+    result.probabilities.swap(next);
+    ++result.iterations;
+    if (max_delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace telco

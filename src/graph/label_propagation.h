@@ -1,0 +1,59 @@
+// Zhu–Ghahramani label propagation (paper Section 4.1.2).
+//
+// Given edge weights W and a label-probability matrix Y (N x C), iterate:
+//   1. Y <- W Y
+//   2. row-normalise Y to sum to 1
+//   3. clamp the rows of labelled (seed) vertices back to their labels
+// until convergence. The paper uses C = 2 (churner / non-churner) for the
+// churn features and C = #offers for the retention features; both go
+// through the same multi-class implementation.
+
+#ifndef TELCO_GRAPH_LABEL_PROPAGATION_H_
+#define TELCO_GRAPH_LABEL_PROPAGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace telco {
+
+/// A labelled seed vertex.
+struct LabeledVertex {
+  uint32_t vertex;
+  uint32_t label;  // in [0, num_classes)
+};
+
+/// Options controlling the propagation.
+struct LabelPropagationOptions {
+  uint32_t num_classes = 2;
+  /// Stop when the max absolute probability change drops below this.
+  double tolerance = 1e-6;
+  int max_iterations = 100;
+};
+
+/// Outcome of a propagation run.
+struct LabelPropagationResult {
+  /// Row-major N x num_classes probability matrix.
+  std::vector<double> probabilities;
+  uint32_t num_classes = 0;
+  int iterations = 0;
+  bool converged = false;
+
+  double Probability(uint32_t vertex, uint32_t label) const {
+    return probabilities[static_cast<size_t>(vertex) * num_classes + label];
+  }
+};
+
+/// \brief Propagates seed labels over the weighted graph.
+///
+/// Unlabelled vertices start uniform; vertices unreachable from any seed
+/// stay uniform. Seeds are clamped every iteration (step 3).
+Result<LabelPropagationResult> PropagateLabels(
+    const Graph& graph, const std::vector<LabeledVertex>& seeds,
+    const LabelPropagationOptions& options = {});
+
+}  // namespace telco
+
+#endif  // TELCO_GRAPH_LABEL_PROPAGATION_H_

@@ -1,0 +1,53 @@
+#include "graph/pagerank.h"
+
+#include <cmath>
+
+namespace telco {
+
+Result<PageRankResult> PageRank(const Graph& graph,
+                                const PageRankOptions& options) {
+  if (options.damping < 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping must be in [0, 1)");
+  }
+  if (graph.num_vertices() == 0) {
+    return Status::InvalidArgument("PageRank over an empty graph");
+  }
+  const size_t n = graph.num_vertices();
+  const double base = (1.0 - options.damping) / static_cast<double>(n);
+
+  // Precompute the outgoing share x_n / W_n denominators.
+  std::vector<double> inv_weighted_degree(n, 0.0);
+  for (uint32_t v = 0; v < n; ++v) {
+    const double w = graph.WeightedDegree(v);
+    inv_weighted_degree[v] = w > 0.0 ? 1.0 / w : 0.0;
+  }
+
+  PageRankResult result;
+  result.scores.assign(n, options.initial_value);
+  std::vector<double> next(n, 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Scatter: each vertex v sends score_v * w_vu / W_v to each neighbor u.
+    // Because the graph is undirected, gathering over u's neighbors with
+    // the sender's normaliser is equivalent and cache-friendlier.
+    double delta = 0.0;
+    for (uint32_t u = 0; u < n; ++u) {
+      double acc = 0.0;
+      for (const auto& e : graph.Neighbors(u)) {
+        acc += result.scores[e.neighbor] * e.weight *
+               inv_weighted_degree[e.neighbor];
+      }
+      next[u] = base + options.damping * acc;
+      delta += std::fabs(next[u] - result.scores[u]);
+    }
+    result.scores.swap(next);
+    ++result.iterations;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace telco

@@ -1,0 +1,46 @@
+// Weighted PageRank on undirected graphs (paper Section 4.1.2, Eq. 1):
+//
+//   x_m = (1 - d)/N + d * sum_{n in N(m)} x_n * w_mn / W_n,
+//
+// where W_n is the total incident weight of neighbor n (each vertex
+// distributes its score to neighbors proportionally to edge weight) and
+// d = 0.85. Initial x_m = 1 as in the paper; iterate to a fixed point.
+
+#ifndef TELCO_GRAPH_PAGERANK_H_
+#define TELCO_GRAPH_PAGERANK_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace telco {
+
+/// Options controlling the PageRank iteration.
+struct PageRankOptions {
+  /// Damping factor d ("set to 0.85 practically").
+  double damping = 0.85;
+  /// Stop when the L1 change across all vertices drops below this.
+  double tolerance = 1e-8;
+  /// Hard iteration cap (initialising at 1 per vertex means total mass
+  /// decays from N toward 1 at rate d, needing ~log(N/tol)/log(1/d)
+  /// sweeps).
+  int max_iterations = 250;
+  /// Initial score per vertex (the paper uses 1).
+  double initial_value = 1.0;
+};
+
+/// Outcome of a PageRank run.
+struct PageRankResult {
+  std::vector<double> scores;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Runs weighted PageRank; isolated vertices keep (1-d)/N.
+Result<PageRankResult> PageRank(const Graph& graph,
+                                const PageRankOptions& options = {});
+
+}  // namespace telco
+
+#endif  // TELCO_GRAPH_PAGERANK_H_

@@ -1,0 +1,106 @@
+#include "ml/adaboost.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace telco {
+
+AdaBoost::AdaBoost(AdaBoostOptions options) : options_(options) {}
+
+Status AdaBoost::Fit(const Dataset& data) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (data.NumClasses() > 2) {
+    return Status::InvalidArgument("AdaBoost is binary-only");
+  }
+  if (options_.num_rounds < 1) {
+    return Status::InvalidArgument("num_rounds must be >= 1");
+  }
+  TELCO_ASSIGN_OR_RETURN(const FeatureBinner binner,
+                         FeatureBinner::Fit(data, 64));
+  const BinnedDataset binned = EncodeBins(binner, data);
+  const size_t n = data.num_rows();
+
+  // Boosting weights start from the (normalised) instance weights, so
+  // the imbalance strategies compose with boosting.
+  std::vector<double> boost_weights(n);
+  for (size_t i = 0; i < n; ++i) boost_weights[i] = data.weight(i);
+  double total = std::accumulate(boost_weights.begin(), boost_weights.end(),
+                                 0.0);
+  if (total <= 0.0) {
+    return Status::InvalidArgument("total instance weight is zero");
+  }
+  for (auto& w : boost_weights) w /= total;
+
+  // Working copy whose weights we mutate per round.
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  Dataset weighted = data.Select(all);
+
+  TreeOptions tree_options;
+  tree_options.max_depth = options_.max_depth;
+  tree_options.min_samples_split = 2 * options_.min_samples_leaf;
+  tree_options.min_samples_leaf = options_.min_samples_leaf;
+
+  trees_.clear();
+  alphas_.clear();
+  Rng rng(options_.seed);
+  for (int round = 0; round < options_.num_rounds; ++round) {
+    for (size_t i = 0; i < n; ++i) weighted.set_weight(i, boost_weights[i]);
+    ClassificationTree tree;
+    TELCO_RETURN_NOT_OK(
+        tree.Fit(binned, weighted, all, 2, tree_options, &rng, nullptr));
+
+    // Weighted error of the hard prediction.
+    std::vector<uint8_t> predictions(n);
+    double err = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const auto proba = tree.PredictProba(data.Row(i));
+      predictions[i] = proba[1] >= 0.5 ? 1 : 0;
+      if (predictions[i] != static_cast<uint8_t>(data.label(i))) {
+        err += boost_weights[i];
+      }
+    }
+    if (err >= 0.5) break;        // weak learner no better than chance
+    const bool perfect = err <= 1e-12;
+    const double alpha =
+        perfect ? 10.0 : 0.5 * std::log((1.0 - err) / err);
+    trees_.push_back(std::move(tree));
+    alphas_.push_back(alpha);
+    if (perfect) break;
+
+    // Reweight and renormalise.
+    double new_total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const bool wrong =
+          predictions[i] != static_cast<uint8_t>(data.label(i));
+      boost_weights[i] *= std::exp(wrong ? alpha : -alpha);
+      new_total += boost_weights[i];
+    }
+    for (auto& w : boost_weights) w /= new_total;
+  }
+  if (trees_.empty()) {
+    return Status::Internal(
+        "no weak learner beat chance on the first round");
+  }
+  return Status::OK();
+}
+
+double AdaBoost::PredictProba(std::span<const double> row) const {
+  double margin = 0.0;
+  double alpha_total = 0.0;
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    const auto proba = trees_[t].PredictProba(row);
+    margin += alphas_[t] * (proba[1] >= 0.5 ? 1.0 : -1.0);
+    alpha_total += alphas_[t];
+  }
+  // Normalised vote margin through a logistic link keeps the score a
+  // usable ranking probability.
+  return Sigmoid(2.0 * margin / std::max(alpha_total, 1e-12));
+}
+
+}  // namespace telco

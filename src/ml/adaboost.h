@@ -1,0 +1,49 @@
+// Discrete AdaBoost over shallow CART trees — the boosting family the
+// paper's related work applies to churn prediction (Jinbo et al. 2007,
+// Lu et al. 2014). Provided as an additional comparator beside the four
+// classifiers of Figure 9.
+
+#ifndef TELCO_ML_ADABOOST_H_
+#define TELCO_ML_ADABOOST_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+
+namespace telco {
+
+struct AdaBoostOptions {
+  /// Boosting rounds.
+  int num_rounds = 100;
+  /// Depth of each weak learner (1 = decision stumps).
+  int max_depth = 2;
+  size_t min_samples_leaf = 5;
+  uint64_t seed = 19;
+};
+
+/// \brief Binary discrete-AdaBoost classifier.
+///
+/// Each round fits a weak tree on the reweighted sample, earns a vote
+/// alpha_t = 1/2 ln((1 - err_t) / err_t), and multiplies the weights of
+/// misclassified instances by e^{alpha}. PredictProba maps the weighted
+/// vote margin through a logistic link.
+class AdaBoost final : public Classifier {
+ public:
+  explicit AdaBoost(AdaBoostOptions options = {});
+
+  Status Fit(const Dataset& data) override;
+  double PredictProba(std::span<const double> row) const override;
+  std::string name() const override { return "AdaBoost"; }
+
+  size_t num_rounds_used() const { return trees_.size(); }
+
+ private:
+  AdaBoostOptions options_;
+  std::vector<ClassificationTree> trees_;
+  std::vector<double> alphas_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_ML_ADABOOST_H_

@@ -1,0 +1,87 @@
+// Quantile feature binning.
+//
+// Two consumers:
+//  * the tree learners use BinnedDataset codes for fast histogram split
+//    search (each feature quantised to <= max_bins levels);
+//  * the linear models use QuantileOneHotEncoder to produce the "discrete
+//    binary features by preprocessing the original continuous feature
+//    values" that the paper feeds LIBLINEAR and LIBFM (Section 5.8).
+
+#ifndef TELCO_ML_BINNING_H_
+#define TELCO_ML_BINNING_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+
+namespace telco {
+
+/// \brief Per-feature quantile bin edges fitted on a training set.
+class FeatureBinner {
+ public:
+  /// Fits up to `max_bins` quantile bins per feature (max 256).
+  static Result<FeatureBinner> Fit(const Dataset& data, int max_bins = 64);
+
+  size_t num_features() const { return edges_.size(); }
+
+  /// Number of bins for feature j (edges + 1).
+  int NumBins(size_t j) const { return static_cast<int>(edges_[j].size()) + 1; }
+
+  /// Bin code of value v for feature j: the number of edges < v is the
+  /// count of upper_bound over ascending edges; v <= edges[b] maps to b.
+  uint8_t BinOf(size_t j, double v) const;
+
+  /// Upper boundary value of bin b for feature j (the split threshold a
+  /// tree stores when cutting after bin b). Precondition: b < NumBins-1.
+  double UpperEdge(size_t j, int b) const { return edges_[j][b]; }
+
+ private:
+  // edges_[j] is the ascending list of bin upper boundaries (size bins-1).
+  std::vector<std::vector<double>> edges_;
+};
+
+/// \brief A dataset's feature matrix quantised through a FeatureBinner.
+struct BinnedDataset {
+  const FeatureBinner* binner = nullptr;
+  size_t num_rows = 0;
+  size_t num_features = 0;
+  std::vector<uint8_t> codes;  // row-major
+
+  uint8_t Code(size_t row, size_t feature) const {
+    return codes[row * num_features + feature];
+  }
+};
+
+/// \brief Encodes a dataset through a fitted binner.
+BinnedDataset EncodeBins(const FeatureBinner& binner, const Dataset& data);
+
+/// \brief Expands continuous features into one-hot bin indicators.
+class QuantileOneHotEncoder {
+ public:
+  /// Fits bins on `data` (typically fewer bins than tree binning).
+  static Result<QuantileOneHotEncoder> Fit(const Dataset& data,
+                                           int max_bins = 16);
+
+  /// Width of the encoded feature space.
+  size_t EncodedWidth() const { return total_width_; }
+
+  /// Transforms a dataset into indicator space (labels/weights carried over).
+  Dataset Transform(const Dataset& data) const;
+
+  /// Transforms a single row.
+  std::vector<double> TransformRow(std::span<const double> row) const;
+
+ private:
+  FeatureBinner binner_;
+  std::vector<size_t> offsets_;  // cumulative bin offsets per feature
+  size_t total_width_ = 0;
+  std::vector<std::string> encoded_names_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_ML_BINNING_H_

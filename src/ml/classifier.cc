@@ -1,0 +1,16 @@
+#include "ml/classifier.h"
+
+namespace telco {
+
+std::vector<ScoredInstance> ScoreDataset(const Classifier& model,
+                                         const Dataset& data) {
+  std::vector<ScoredInstance> out;
+  out.reserve(data.num_rows());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    out.push_back(
+        ScoredInstance{model.PredictProba(data.Row(i)), data.label(i) == 1});
+  }
+  return out;
+}
+
+}  // namespace telco

@@ -1,0 +1,170 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace telco {
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : feature_names_(std::move(feature_names)) {}
+
+namespace {
+
+Result<std::vector<const Column*>> ResolveNumericColumns(
+    const Table& table, const std::vector<std::string>& names) {
+  std::vector<const Column*> cols;
+  cols.reserve(names.size());
+  for (const auto& name : names) {
+    TELCO_ASSIGN_OR_RETURN(const Column* col, table.GetColumn(name));
+    if (col->type() == DataType::kString) {
+      return Status::TypeError("feature column '" + name +
+                               "' is a string column");
+    }
+    cols.push_back(col);
+  }
+  return cols;
+}
+
+}  // namespace
+
+Result<Dataset> Dataset::FromTable(
+    const Table& table, const std::vector<std::string>& feature_columns,
+    const std::string& label_column) {
+  TELCO_ASSIGN_OR_RETURN(const std::vector<const Column*> cols,
+                         ResolveNumericColumns(table, feature_columns));
+  TELCO_ASSIGN_OR_RETURN(const Column* label_col,
+                         table.GetColumn(label_column));
+  if (label_col->type() != DataType::kInt64) {
+    return Status::TypeError("label column '" + label_column +
+                             "' must be int64");
+  }
+  Dataset data(feature_columns);
+  data.data_.reserve(table.num_rows() * feature_columns.size());
+  data.labels_.reserve(table.num_rows());
+  data.weights_.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (const Column* col : cols) {
+      data.data_.push_back(col->IsNull(r) ? 0.0 : col->GetNumeric(r));
+    }
+    if (label_col->IsNull(r)) {
+      return Status::InvalidArgument(
+          StrFormat("null label at row %zu", r));
+    }
+    const int64_t label = label_col->GetInt64(r);
+    if (label < 0) {
+      return Status::InvalidArgument(
+          StrFormat("negative label %lld at row %zu",
+                    static_cast<long long>(label), r));
+    }
+    data.labels_.push_back(static_cast<int>(label));
+    data.weights_.push_back(1.0);
+  }
+  return data;
+}
+
+Result<Dataset> Dataset::FromTableUnlabeled(
+    const Table& table, const std::vector<std::string>& feature_columns) {
+  TELCO_ASSIGN_OR_RETURN(const std::vector<const Column*> cols,
+                         ResolveNumericColumns(table, feature_columns));
+  Dataset data(feature_columns);
+  data.data_.reserve(table.num_rows() * feature_columns.size());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (const Column* col : cols) {
+      data.data_.push_back(col->IsNull(r) ? 0.0 : col->GetNumeric(r));
+    }
+    data.labels_.push_back(0);
+    data.weights_.push_back(1.0);
+  }
+  return data;
+}
+
+void Dataset::AddRow(std::span<const double> features, int label,
+                     double weight) {
+  TELCO_DCHECK(features.size() == num_features());
+  data_.insert(data_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+  weights_.push_back(weight);
+}
+
+int Dataset::NumClasses() const {
+  int max_label = 1;
+  for (int l : labels_) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+double Dataset::TotalWeight() const {
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  return total;
+}
+
+Dataset Dataset::Select(const std::vector<size_t>& indices) const {
+  Dataset out(feature_names_);
+  out.data_.reserve(indices.size() * num_features());
+  out.labels_.reserve(indices.size());
+  out.weights_.reserve(indices.size());
+  for (size_t idx : indices) {
+    TELCO_DCHECK(idx < num_rows());
+    const auto row = Row(idx);
+    out.data_.insert(out.data_.end(), row.begin(), row.end());
+    out.labels_.push_back(labels_[idx]);
+    out.weights_.push_back(weights_[idx]);
+  }
+  return out;
+}
+
+Status Dataset::Append(const Dataset& other) {
+  if (other.feature_names_ != feature_names_) {
+    return Status::InvalidArgument("appending dataset with different schema");
+  }
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+  weights_.insert(weights_.end(), other.weights_.begin(),
+                  other.weights_.end());
+  return Status::OK();
+}
+
+Dataset::Standardization Dataset::ComputeStandardization() const {
+  const size_t n = num_rows();
+  const size_t f = num_features();
+  Standardization st;
+  st.mean.assign(f, 0.0);
+  st.stddev.assign(f, 1.0);
+  if (n == 0) return st;
+  for (size_t r = 0; r < n; ++r) {
+    const auto row = Row(r);
+    for (size_t j = 0; j < f; ++j) st.mean[j] += row[j];
+  }
+  for (size_t j = 0; j < f; ++j) st.mean[j] /= static_cast<double>(n);
+  std::vector<double> var(f, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    const auto row = Row(r);
+    for (size_t j = 0; j < f; ++j) {
+      const double d = row[j] - st.mean[j];
+      var[j] += d * d;
+    }
+  }
+  for (size_t j = 0; j < f; ++j) {
+    st.stddev[j] = std::max(std::sqrt(var[j] / static_cast<double>(n)), 1e-9);
+  }
+  return st;
+}
+
+TrainTestSplit SplitTrainTest(const Dataset& data, double test_fraction,
+                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<size_t> order(data.num_rows());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  const size_t test_n = static_cast<size_t>(
+      std::llround(test_fraction * static_cast<double>(order.size())));
+  std::vector<size_t> test_idx(order.begin(), order.begin() + test_n);
+  std::vector<size_t> train_idx(order.begin() + test_n, order.end());
+  return TrainTestSplit{data.Select(train_idx), data.Select(test_idx)};
+}
+
+}  // namespace telco

@@ -1,0 +1,103 @@
+// Dataset: the dense design matrix consumed by every classifier.
+//
+// The feature-engineering layer materialises the paper's "unified wide
+// table" (one tuple per customer) and converts it to a Dataset: row-major
+// doubles, integer class labels and per-instance weights (the paper's
+// preferred imbalance treatment, Section 5.7).
+
+#ifndef TELCO_ML_DATASET_H_
+#define TELCO_ML_DATASET_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace telco {
+
+/// \brief Dense labelled dataset with instance weights.
+class Dataset {
+ public:
+  /// Creates an empty dataset with the given feature names.
+  explicit Dataset(std::vector<std::string> feature_names);
+
+  /// Builds a dataset from a wide table: `feature_columns` become the
+  /// design matrix (numeric columns only; nulls become 0), `label_column`
+  /// the integer class labels. Weights default to 1.
+  static Result<Dataset> FromTable(
+      const Table& table, const std::vector<std::string>& feature_columns,
+      const std::string& label_column);
+
+  /// Builds an unlabelled dataset (labels all 0) for prediction.
+  static Result<Dataset> FromTableUnlabeled(
+      const Table& table, const std::vector<std::string>& feature_columns);
+
+  size_t num_rows() const { return labels_.size(); }
+  size_t num_features() const { return feature_names_.size(); }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+  /// Appends a row. `features` must have num_features() entries.
+  void AddRow(std::span<const double> features, int label,
+              double weight = 1.0);
+
+  /// Feature vector of row i.
+  std::span<const double> Row(size_t i) const {
+    return std::span<const double>(data_.data() + i * num_features(),
+                                   num_features());
+  }
+
+  int label(size_t i) const { return labels_[i]; }
+  double weight(size_t i) const { return weights_[i]; }
+  void set_weight(size_t i, double w) { weights_[i] = w; }
+  void set_label(size_t i, int label) { labels_[i] = label; }
+
+  const std::vector<int>& labels() const { return labels_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// One cell.
+  double At(size_t row, size_t feature) const {
+    return data_[row * num_features() + feature];
+  }
+
+  /// Highest label + 1 (2 for binary churn, C for retention offers).
+  int NumClasses() const;
+
+  /// Total instance weight.
+  double TotalWeight() const;
+
+  /// A new dataset with the rows at `indices` (duplicates allowed).
+  Dataset Select(const std::vector<size_t>& indices) const;
+
+  /// Concatenates another dataset with the same feature layout.
+  Status Append(const Dataset& other);
+
+  /// Per-feature mean/stddev used to standardise linear models.
+  struct Standardization {
+    std::vector<double> mean;
+    std::vector<double> stddev;  // >= epsilon
+  };
+  Standardization ComputeStandardization() const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<double> data_;  // row-major num_rows x num_features
+  std::vector<int> labels_;
+  std::vector<double> weights_;
+};
+
+/// \brief Deterministic train/test split by shuffled row indices.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+TrainTestSplit SplitTrainTest(const Dataset& data, double test_fraction,
+                              uint64_t seed);
+
+}  // namespace telco
+
+#endif  // TELCO_ML_DATASET_H_

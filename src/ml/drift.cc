@@ -1,0 +1,75 @@
+#include "ml/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace telco {
+
+double DriftReport::MaxPsi() const {
+  double max_psi = 0.0;
+  for (const auto& f : features) max_psi = std::max(max_psi, f.psi);
+  return max_psi;
+}
+
+double DriftReport::MeanPsi() const {
+  if (features.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& f : features) total += f.psi;
+  return total / features.size();
+}
+
+std::vector<std::string> DriftReport::DriftedFeatures(
+    double threshold) const {
+  std::vector<std::string> out;
+  for (const auto& f : features) {
+    if (f.psi > threshold) out.push_back(f.feature);
+  }
+  return out;
+}
+
+Result<DriftReport> ComputeDrift(const Dataset& reference,
+                                 const Dataset& current, int bins) {
+  if (reference.feature_names() != current.feature_names()) {
+    return Status::InvalidArgument(
+        "reference and current datasets have different feature layouts");
+  }
+  if (reference.num_rows() == 0 || current.num_rows() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  TELCO_ASSIGN_OR_RETURN(const FeatureBinner binner,
+                         FeatureBinner::Fit(reference, bins));
+
+  // The classic epsilon-smoothed PSI: empty bins get a floor so the log
+  // stays finite.
+  constexpr double kFloor = 1e-4;
+  DriftReport report;
+  report.features.reserve(reference.num_features());
+  for (size_t j = 0; j < reference.num_features(); ++j) {
+    const int num_bins = binner.NumBins(j);
+    std::vector<double> ref_counts(num_bins, 0.0);
+    std::vector<double> cur_counts(num_bins, 0.0);
+    for (size_t r = 0; r < reference.num_rows(); ++r) {
+      ++ref_counts[binner.BinOf(j, reference.At(r, j))];
+    }
+    for (size_t r = 0; r < current.num_rows(); ++r) {
+      ++cur_counts[binner.BinOf(j, current.At(r, j))];
+    }
+    double psi = 0.0;
+    for (int b = 0; b < num_bins; ++b) {
+      const double p_ref = std::max(
+          ref_counts[b] / static_cast<double>(reference.num_rows()), kFloor);
+      const double p_cur = std::max(
+          cur_counts[b] / static_cast<double>(current.num_rows()), kFloor);
+      psi += (p_cur - p_ref) * std::log(p_cur / p_ref);
+    }
+    report.features.push_back(
+        FeatureDrift{reference.feature_names()[j], psi});
+  }
+  std::stable_sort(report.features.begin(), report.features.end(),
+                   [](const FeatureDrift& a, const FeatureDrift& b) {
+                     return a.psi > b.psi;
+                   });
+  return report;
+}
+
+}  // namespace telco

@@ -1,0 +1,51 @@
+// Feature-drift monitoring via the Population Stability Index (PSI).
+//
+// The paper's Volume/Velocity findings hinge on non-stationarity ("the
+// churner behaviors in Month 1 may be quite different from those in
+// Month 7"); a deployed monthly-retrained system needs to *measure* that
+// drift. PSI is the standard telco/scoring industry statistic:
+//
+//   PSI = sum_bins (p_cur - p_ref) * ln(p_cur / p_ref)
+//
+// with the conventional reading: < 0.1 stable, 0.1-0.25 moderate drift,
+// > 0.25 significant drift (retrain).
+
+#ifndef TELCO_ML_DRIFT_H_
+#define TELCO_ML_DRIFT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/binning.h"
+
+namespace telco {
+
+/// Drift of a single feature between a reference and a current dataset.
+struct FeatureDrift {
+  std::string feature;
+  double psi = 0.0;
+};
+
+/// Result of a dataset-level drift check.
+struct DriftReport {
+  /// Per-feature PSI, sorted by descending PSI.
+  std::vector<FeatureDrift> features;
+
+  /// The largest per-feature PSI.
+  double MaxPsi() const;
+  /// Mean PSI across features.
+  double MeanPsi() const;
+  /// Features whose PSI exceeds the threshold (default: "significant").
+  std::vector<std::string> DriftedFeatures(double threshold = 0.25) const;
+};
+
+/// \brief Computes per-feature PSI between `reference` (the training
+/// month) and `current` (the scoring month). Both datasets must share
+/// the same feature layout; bins are fitted on the reference.
+Result<DriftReport> ComputeDrift(const Dataset& reference,
+                                 const Dataset& current, int bins = 10);
+
+}  // namespace telco
+
+#endif  // TELCO_ML_DRIFT_H_

@@ -1,0 +1,174 @@
+#include "ml/fm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace telco {
+
+namespace {
+// Stability bounds for SGD updates (see Fit).
+constexpr double kMaxUpdate = 1.0;
+constexpr double kMaxLatent = 10.0;
+}  // namespace
+
+FactorizationMachine::FactorizationMachine(
+    FactorizationMachineOptions options)
+    : options_(options) {}
+
+Status FactorizationMachine::Fit(const Dataset& data) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (data.NumClasses() > 2) {
+    return Status::InvalidArgument("FactorizationMachine is binary-only");
+  }
+  if (options_.latent_dim < 1) {
+    return Status::InvalidArgument("latent_dim must be >= 1");
+  }
+  const size_t n = data.num_rows();
+  const size_t f = data.num_features();
+  const int k = options_.latent_dim;
+  num_features_ = f;
+
+  standardized_ = options_.standardize;
+  if (standardized_) standardization_ = data.ComputeStandardization();
+
+  Rng rng(options_.seed);
+  w0_ = 0.0;
+  w_.assign(f, 0.0);
+  v_.resize(f * k);
+  for (auto& v : v_) v = rng.Gaussian(0.0, options_.init_scale);
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::vector<double> x(f);
+  std::vector<double> sum_vx(k);
+
+  size_t step = 0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t idx : order) {
+      const auto raw = data.Row(idx);
+      for (size_t j = 0; j < f; ++j) {
+        x[j] = standardized_ ? (raw[j] - standardization_.mean[j]) /
+                                   standardization_.stddev[j]
+                             : raw[j];
+      }
+      // Margin via the O(f k) identity:
+      // sum_{i<j} <v_i,v_j> x_i x_j = 1/2 sum_d [(sum_i v_id x_i)^2
+      //                                          - sum_i v_id^2 x_i^2].
+      double margin = w0_;
+      double sum_sq = 0.0;
+      std::fill(sum_vx.begin(), sum_vx.end(), 0.0);
+      for (size_t j = 0; j < f; ++j) {
+        margin += w_[j] * x[j];
+        const double* vj = &v_[j * k];
+        for (int d = 0; d < k; ++d) {
+          const double vx = vj[d] * x[j];
+          sum_vx[d] += vx;
+          sum_sq += vx * vx;
+        }
+      }
+      double pair_term = 0.0;
+      for (int d = 0; d < k; ++d) pair_term += sum_vx[d] * sum_vx[d];
+      margin += 0.5 * (pair_term - sum_sq);
+
+      const double p = Sigmoid(margin);
+      const double y = data.label(idx) == 1 ? 1.0 : 0.0;
+      const double lr = options_.learning_rate /
+                        std::sqrt(1.0 + static_cast<double>(step) / n);
+      const double g = data.weight(idx) * (p - y);
+
+      w0_ -= lr * g;
+      for (size_t j = 0; j < f; ++j) {
+        if (x[j] == 0.0) {
+          // Regularisation-only updates are skipped for zero inputs
+          // (LIBFM's sparse-update behaviour).
+          continue;
+        }
+        w_[j] -= lr * Clamp(g * x[j] + options_.l2_linear * w_[j],
+                            -kMaxUpdate, kMaxUpdate);
+        double* vj = &v_[j * k];
+        for (int d = 0; d < k; ++d) {
+          const double grad_v = x[j] * (sum_vx[d] - vj[d] * x[j]);
+          // Clipped updates and bounded latents keep the pair term from
+          // blowing up under the paper's aggressive 0.1 learning rate
+          // (unbounded, diverging latents also sink training into
+          // denormal-arithmetic slow paths).
+          vj[d] -= lr * Clamp(g * grad_v + options_.l2_latent * vj[d],
+                              -kMaxUpdate, kMaxUpdate);
+          vj[d] = Clamp(vj[d], -kMaxLatent, kMaxLatent);
+        }
+      }
+      ++step;
+    }
+  }
+  return Status::OK();
+}
+
+double FactorizationMachine::PredictMargin(
+    std::span<const double> row, std::vector<double>* x_buffer) const {
+  const size_t f = num_features_;
+  const int k = options_.latent_dim;
+  auto& x = *x_buffer;
+  x.resize(f);
+  for (size_t j = 0; j < f; ++j) {
+    const double raw = j < row.size() ? row[j] : 0.0;
+    x[j] = standardized_ ? (raw - standardization_.mean[j]) /
+                               standardization_.stddev[j]
+                         : raw;
+  }
+  double margin = w0_;
+  double sum_sq = 0.0;
+  std::vector<double> sum_vx(k, 0.0);
+  for (size_t j = 0; j < f; ++j) {
+    margin += w_[j] * x[j];
+    const double* vj = &v_[j * k];
+    for (int d = 0; d < k; ++d) {
+      const double vx = vj[d] * x[j];
+      sum_vx[d] += vx;
+      sum_sq += vx * vx;
+    }
+  }
+  double pair_term = 0.0;
+  for (int d = 0; d < k; ++d) pair_term += sum_vx[d] * sum_vx[d];
+  return margin + 0.5 * (pair_term - sum_sq);
+}
+
+double FactorizationMachine::PredictProba(std::span<const double> row) const {
+  std::vector<double> buffer;
+  return Sigmoid(PredictMargin(row, &buffer));
+}
+
+double FactorizationMachine::PairWeight(size_t i, size_t j) const {
+  TELCO_DCHECK(i < num_features_ && j < num_features_);
+  const int k = options_.latent_dim;
+  const double* vi = &v_[i * k];
+  const double* vj = &v_[j * k];
+  double dot = 0.0;
+  for (int d = 0; d < k; ++d) dot += vi[d] * vj[d];
+  return dot;
+}
+
+std::vector<FactorizationMachine::RankedPair>
+FactorizationMachine::RankPairWeights(size_t top_k) const {
+  std::vector<RankedPair> pairs;
+  pairs.reserve(num_features_ * (num_features_ - 1) / 2);
+  for (size_t i = 0; i < num_features_; ++i) {
+    for (size_t j = i + 1; j < num_features_; ++j) {
+      pairs.push_back(RankedPair{i, j, PairWeight(i, j)});
+    }
+  }
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const RankedPair& a, const RankedPair& b) {
+                     return std::fabs(a.weight) > std::fabs(b.weight);
+                   });
+  if (pairs.size() > top_k) pairs.resize(top_k);
+  return pairs;
+}
+
+}  // namespace telco

@@ -1,0 +1,69 @@
+// Factorization machine (paper Section 4.1.4, Eq. 3; the LIBFM
+// comparator of Section 5.8):
+//
+//   y(x) = w0 + sum_i w_i x_i + sum_{i<j} <v_i, v_j> x_i x_j
+//
+// trained by SGD on the logistic loss. Besides classification, the model
+// exposes PairWeight(i, j) = <v_i, v_j>, which the feature-engineering
+// layer ranks to select the 20 strongest second-order features (F9).
+
+#ifndef TELCO_ML_FM_H_
+#define TELCO_ML_FM_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace telco {
+
+struct FactorizationMachineOptions {
+  /// Latent dimensionality of the v_i vectors.
+  int latent_dim = 8;
+  double learning_rate = 0.1;  // paper fixes 0.1
+  double l2_linear = 1e-4;
+  double l2_latent = 1e-4;
+  int epochs = 30;
+  /// Stddev of the latent initialisation.
+  double init_scale = 0.01;
+  uint64_t seed = 17;
+  bool standardize = true;
+};
+
+/// \brief Binary factorization-machine classifier.
+class FactorizationMachine final : public Classifier {
+ public:
+  explicit FactorizationMachine(FactorizationMachineOptions options = {});
+
+  Status Fit(const Dataset& data) override;
+  double PredictProba(std::span<const double> row) const override;
+  std::string name() const override { return "FactorizationMachine"; }
+
+  /// The learned second-order weight <v_i, v_j> (Eq. 3).
+  double PairWeight(size_t i, size_t j) const;
+
+  /// All pairs (i, j), i < j, sorted by descending |<v_i, v_j>|; the F9
+  /// extractor takes the top 20 ("select 20 second-order features with
+  /// the top largest weights").
+  struct RankedPair {
+    size_t i;
+    size_t j;
+    double weight;
+  };
+  std::vector<RankedPair> RankPairWeights(size_t top_k) const;
+
+ private:
+  double PredictMargin(std::span<const double> row,
+                       std::vector<double>* x_buffer) const;
+
+  FactorizationMachineOptions options_;
+  size_t num_features_ = 0;
+  double w0_ = 0.0;
+  std::vector<double> w_;  // linear weights
+  std::vector<double> v_;  // latent, feature-major [f * latent_dim]
+  Dataset::Standardization standardization_;
+  bool standardized_ = false;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_ML_FM_H_

@@ -1,0 +1,86 @@
+#include "ml/imbalance.h"
+
+#include "common/rng.h"
+
+namespace telco {
+
+const char* ImbalanceStrategyToString(ImbalanceStrategy strategy) {
+  switch (strategy) {
+    case ImbalanceStrategy::kNone:
+      return "Not Balanced";
+    case ImbalanceStrategy::kUpSampling:
+      return "Up Sampling";
+    case ImbalanceStrategy::kDownSampling:
+      return "Down Sampling";
+    case ImbalanceStrategy::kWeightedInstance:
+      return "Weighted Instance";
+  }
+  return "Unknown";
+}
+
+Result<Dataset> ApplyImbalanceStrategy(const Dataset& data,
+                                       ImbalanceStrategy strategy,
+                                       uint64_t seed) {
+  if (data.NumClasses() > 2) {
+    return Status::InvalidArgument(
+        "imbalance strategies are defined for binary labels");
+  }
+  std::vector<size_t> positives;
+  std::vector<size_t> negatives;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    (data.label(i) == 1 ? positives : negatives).push_back(i);
+  }
+  if (positives.empty() || negatives.empty()) {
+    return Status::InvalidArgument(
+        "both classes must be present to rebalance");
+  }
+  Rng rng(seed);
+
+  switch (strategy) {
+    case ImbalanceStrategy::kNone: {
+      std::vector<size_t> all(data.num_rows());
+      for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+      return data.Select(all);
+    }
+    case ImbalanceStrategy::kUpSampling: {
+      // "Randomly copies the churner instances to the same number of
+      // non-churner instances."
+      std::vector<size_t> all;
+      all.reserve(negatives.size() * 2);
+      all.insert(all.end(), negatives.begin(), negatives.end());
+      all.insert(all.end(), positives.begin(), positives.end());
+      for (size_t i = positives.size(); i < negatives.size(); ++i) {
+        all.push_back(positives[rng.UniformInt(positives.size())]);
+      }
+      return data.Select(all);
+    }
+    case ImbalanceStrategy::kDownSampling: {
+      // "Randomly samples a subset of non-churner instances to the same
+      // number of churner instances."
+      rng.Shuffle(negatives);
+      negatives.resize(std::min(negatives.size(), positives.size()));
+      std::vector<size_t> all;
+      all.reserve(positives.size() + negatives.size());
+      all.insert(all.end(), positives.begin(), positives.end());
+      all.insert(all.end(), negatives.begin(), negatives.end());
+      return data.Select(all);
+    }
+    case ImbalanceStrategy::kWeightedInstance: {
+      // "Assigns a proportion weight to each instance": class weights
+      // n_total / (2 * n_class), so both classes carry equal total mass.
+      std::vector<size_t> all(data.num_rows());
+      for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+      Dataset out = data.Select(all);
+      const double total = static_cast<double>(data.num_rows());
+      const double w_pos = total / (2.0 * static_cast<double>(positives.size()));
+      const double w_neg = total / (2.0 * static_cast<double>(negatives.size()));
+      for (size_t i = 0; i < out.num_rows(); ++i) {
+        out.set_weight(i, out.label(i) == 1 ? w_pos : w_neg);
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace telco

@@ -1,0 +1,37 @@
+// The four imbalance treatments compared in paper Section 5.7 / Table 7:
+// Not Balanced, Up Sampling, Down Sampling and Weighted Instance (the
+// paper's recommendation).
+
+#ifndef TELCO_ML_IMBALANCE_H_
+#define TELCO_ML_IMBALANCE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+
+namespace telco {
+
+enum class ImbalanceStrategy : int {
+  /// Train on the raw class ratio.
+  kNone = 0,
+  /// Randomly replicate minority (churner) rows to parity.
+  kUpSampling = 1,
+  /// Randomly subsample majority (non-churner) rows to parity.
+  kDownSampling = 2,
+  /// Keep all rows; weight each class inversely to its frequency.
+  kWeightedInstance = 3,
+};
+
+const char* ImbalanceStrategyToString(ImbalanceStrategy strategy);
+
+/// \brief Applies the strategy to a binary dataset, returning the dataset
+/// to train on. kNone returns a copy; sampling strategies change the row
+/// multiset; kWeightedInstance only changes instance weights.
+Result<Dataset> ApplyImbalanceStrategy(const Dataset& data,
+                                       ImbalanceStrategy strategy,
+                                       uint64_t seed);
+
+}  // namespace telco
+
+#endif  // TELCO_ML_IMBALANCE_H_

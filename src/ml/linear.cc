@@ -1,0 +1,77 @@
+#include "ml/linear.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace telco {
+
+LogisticRegression::LogisticRegression(LogisticRegressionOptions options)
+    : options_(options) {}
+
+Status LogisticRegression::Fit(const Dataset& data) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (data.NumClasses() > 2) {
+    return Status::InvalidArgument("LogisticRegression is binary-only");
+  }
+  const size_t n = data.num_rows();
+  const size_t f = data.num_features();
+  standardized_ = options_.standardize;
+  if (standardized_) {
+    standardization_ = data.ComputeStandardization();
+  }
+  weights_.assign(f, 0.0);
+  bias_ = 0.0;
+
+  Rng rng(options_.seed);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::vector<double> x(f);
+
+  size_t step = 0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t idx : order) {
+      const auto raw = data.Row(idx);
+      if (standardized_) {
+        for (size_t j = 0; j < f; ++j) {
+          x[j] = (raw[j] - standardization_.mean[j]) /
+                 standardization_.stddev[j];
+        }
+      } else {
+        for (size_t j = 0; j < f; ++j) x[j] = raw[j];
+      }
+      double margin = bias_;
+      for (size_t j = 0; j < f; ++j) margin += weights_[j] * x[j];
+      const double p = Sigmoid(margin);
+      const double y = data.label(idx) == 1 ? 1.0 : 0.0;
+      // 1/sqrt(t) decay keeps the paper's base rate while converging.
+      const double lr = options_.learning_rate /
+                        std::sqrt(1.0 + static_cast<double>(step) / n);
+      const double g = data.weight(idx) * (p - y);
+      for (size_t j = 0; j < f; ++j) {
+        weights_[j] -= lr * (g * x[j] + options_.l2 * weights_[j]);
+      }
+      bias_ -= lr * g;
+      ++step;
+    }
+  }
+  return Status::OK();
+}
+
+double LogisticRegression::PredictProba(std::span<const double> row) const {
+  double margin = bias_;
+  for (size_t j = 0; j < weights_.size() && j < row.size(); ++j) {
+    const double x = standardized_
+                         ? (row[j] - standardization_.mean[j]) /
+                               standardization_.stddev[j]
+                         : row[j];
+    margin += weights_[j] * x;
+  }
+  return Sigmoid(margin);
+}
+
+}  // namespace telco

@@ -1,0 +1,50 @@
+// L2-regularised logistic regression (the paper's LIBLINEAR comparator).
+//
+// Trained by averaged stochastic gradient descent on the standardised
+// design matrix with the paper's learning rate 0.1. For the Section 5.8
+// comparison the caller feeds discrete binary features produced by
+// QuantileOneHotEncoder, matching the paper's preprocessing ("linear
+// models are more suitable for sparse binary features").
+
+#ifndef TELCO_ML_LINEAR_H_
+#define TELCO_ML_LINEAR_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace telco {
+
+struct LogisticRegressionOptions {
+  double learning_rate = 0.1;  // paper fixes 0.1
+  double l2 = 1e-4;
+  int epochs = 30;
+  uint64_t seed = 13;
+  /// Standardise features before optimisation (recommended for raw
+  /// continuous features; harmless for one-hot inputs).
+  bool standardize = true;
+};
+
+/// \brief Binary logistic-regression classifier.
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {});
+
+  Status Fit(const Dataset& data) override;
+  double PredictProba(std::span<const double> row) const override;
+  std::string name() const override { return "LogisticRegression"; }
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  LogisticRegressionOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  Dataset::Standardization standardization_;
+  bool standardized_ = false;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_ML_LINEAR_H_

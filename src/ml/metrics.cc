@@ -1,0 +1,198 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace telco {
+
+namespace {
+
+// Instances sorted by descending score (the paper ranks churn likelihood
+// in descending order for both evaluation and campaigns).
+std::vector<ScoredInstance> SortedDescending(
+    std::vector<ScoredInstance> instances) {
+  std::stable_sort(instances.begin(), instances.end(),
+                   [](const ScoredInstance& a, const ScoredInstance& b) {
+                     return a.score > b.score;
+                   });
+  return instances;
+}
+
+size_t CountPositives(const std::vector<ScoredInstance>& instances) {
+  size_t p = 0;
+  for (const auto& it : instances) p += it.positive;
+  return p;
+}
+
+}  // namespace
+
+double Auc(const std::vector<ScoredInstance>& instances) {
+  const size_t p = CountPositives(instances);
+  const size_t n = instances.size() - p;
+  if (p == 0 || n == 0) return 0.5;
+
+  // Ascending by score so rank 1 = lowest score, as Eq. (10) requires
+  // after its descending-rank reindexing (highest likelihood = rank N).
+  std::vector<ScoredInstance> sorted(instances);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ScoredInstance& a, const ScoredInstance& b) {
+              return a.score < b.score;
+            });
+  // Average ranks over score ties, then sum positive ranks.
+  double positive_rank_sum = 0.0;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j].score == sorted[i].score) ++j;
+    const double avg_rank = (static_cast<double>(i + 1) +
+                             static_cast<double>(j)) / 2.0;
+    for (size_t k = i; k < j; ++k) {
+      if (sorted[k].positive) positive_rank_sum += avg_rank;
+    }
+    i = j;
+  }
+  const double pd = static_cast<double>(p);
+  const double nd = static_cast<double>(n);
+  return (positive_rank_sum - pd * (pd + 1.0) / 2.0) / (pd * nd);
+}
+
+double PrAuc(const std::vector<ScoredInstance>& instances) {
+  const size_t p = CountPositives(instances);
+  if (instances.empty()) return 0.0;
+  if (p == 0) return 0.0;
+  const auto sorted = SortedDescending(instances);
+
+  // Sweep the ranking; emit one (recall, precision) point per score group
+  // and integrate with the trapezoidal rule.
+  double area = 0.0;
+  double prev_recall = 0.0;
+  double prev_precision = 1.0;
+  size_t tp = 0;
+  size_t seen = 0;
+  size_t i = 0;
+  const double pd = static_cast<double>(p);
+  while (i < sorted.size()) {
+    size_t j = i;
+    size_t group_tp = 0;
+    while (j < sorted.size() && sorted[j].score == sorted[i].score) {
+      group_tp += sorted[j].positive;
+      ++j;
+    }
+    tp += group_tp;
+    seen = j;
+    const double recall = static_cast<double>(tp) / pd;
+    const double precision =
+        static_cast<double>(tp) / static_cast<double>(seen);
+    area += (recall - prev_recall) * (precision + prev_precision) / 2.0;
+    prev_recall = recall;
+    prev_precision = precision;
+    i = j;
+  }
+  return area;
+}
+
+double RecallAtU(const std::vector<ScoredInstance>& instances, size_t u) {
+  const size_t p = CountPositives(instances);
+  if (p == 0) return 0.0;
+  const auto sorted = SortedDescending(instances);
+  const size_t limit = std::min(u, sorted.size());
+  size_t tp = 0;
+  for (size_t i = 0; i < limit; ++i) tp += sorted[i].positive;
+  return static_cast<double>(tp) / static_cast<double>(p);
+}
+
+double PrecisionAtU(const std::vector<ScoredInstance>& instances, size_t u) {
+  if (u == 0) return 0.0;
+  const auto sorted = SortedDescending(instances);
+  const size_t limit = std::min(u, sorted.size());
+  if (limit == 0) return 0.0;
+  size_t tp = 0;
+  for (size_t i = 0; i < limit; ++i) tp += sorted[i].positive;
+  // Per Eq. (9) the denominator is U itself; when the test set is smaller
+  // than U we fall back to the attainable denominator.
+  return static_cast<double>(tp) / static_cast<double>(std::min(u, limit));
+}
+
+double LiftAtU(const std::vector<ScoredInstance>& instances, size_t u) {
+  if (instances.empty()) return 0.0;
+  const double base = static_cast<double>(CountPositives(instances)) /
+                      static_cast<double>(instances.size());
+  if (base <= 0.0) return 0.0;
+  return PrecisionAtU(instances, u) / base;
+}
+
+std::string RankingMetrics::ToString() const {
+  return StrFormat("AUC=%.5f PR-AUC=%.5f R@%zu=%.5f P@%zu=%.5f", auc, pr_auc,
+                   u, recall_at_u, u, precision_at_u);
+}
+
+RankingMetrics EvaluateRanking(const std::vector<ScoredInstance>& instances,
+                               size_t u) {
+  RankingMetrics m;
+  m.u = u;
+  m.auc = Auc(instances);
+  m.pr_auc = PrAuc(instances);
+  m.recall_at_u = RecallAtU(instances, u);
+  m.precision_at_u = PrecisionAtU(instances, u);
+  return m;
+}
+
+double ConfusionMatrix::Precision() const {
+  const size_t denom = true_positives + false_positives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::Recall() const {
+  const size_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return (p + r) <= 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::Accuracy() const {
+  const size_t total = true_positives + false_positives + true_negatives +
+                       false_negatives;
+  return total == 0 ? 0.0
+                    : static_cast<double>(true_positives + true_negatives) /
+                          static_cast<double>(total);
+}
+
+ConfusionMatrix ComputeConfusion(const std::vector<ScoredInstance>& instances,
+                                 double threshold) {
+  ConfusionMatrix cm;
+  for (const auto& it : instances) {
+    const bool predicted = it.score >= threshold;
+    if (predicted && it.positive) {
+      ++cm.true_positives;
+    } else if (predicted && !it.positive) {
+      ++cm.false_positives;
+    } else if (!predicted && it.positive) {
+      ++cm.false_negatives;
+    } else {
+      ++cm.true_negatives;
+    }
+  }
+  return cm;
+}
+
+double LogLoss(const std::vector<ScoredInstance>& instances) {
+  if (instances.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& it : instances) {
+    const double p = std::clamp(it.score, 1e-12, 1.0 - 1e-12);
+    total += it.positive ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return total / static_cast<double>(instances.size());
+}
+
+}  // namespace telco

@@ -1,0 +1,76 @@
+// Ranking metrics of Section 5.1: AUC (Eq. 10), PR-AUC, R@U (Eq. 8) and
+// P@U (Eq. 9), plus standard classification diagnostics.
+
+#ifndef TELCO_ML_METRICS_H_
+#define TELCO_ML_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace telco {
+
+/// \brief One scored test instance: predicted churn likelihood and truth.
+struct ScoredInstance {
+  double score;
+  bool positive;
+};
+
+/// \brief Area under the ROC curve via the rank formula of paper Eq. (10):
+/// AUC = (sum of positive ranks - P(P+1)/2) / (P * N). Ties receive the
+/// average rank. Returns 0.5 when either class is empty.
+double Auc(const std::vector<ScoredInstance>& instances);
+
+/// \brief Area under the precision-recall curve (trapezoidal over the
+/// ranked sweep; the paper's preferred metric under class imbalance [10]).
+/// Returns the positive prevalence when there are no positives.
+double PrAuc(const std::vector<ScoredInstance>& instances);
+
+/// \brief Recall@U (paper Eq. 8): true churners in the top U by score over
+/// all true churners.
+double RecallAtU(const std::vector<ScoredInstance>& instances, size_t u);
+
+/// \brief Precision@U (paper Eq. 9): true churners in the top U over U.
+double PrecisionAtU(const std::vector<ScoredInstance>& instances, size_t u);
+
+/// \brief Lift@U: precision@U over base positive rate.
+double LiftAtU(const std::vector<ScoredInstance>& instances, size_t u);
+
+/// The four headline metrics reported by every experiment table.
+struct RankingMetrics {
+  double auc = 0.0;
+  double pr_auc = 0.0;
+  double recall_at_u = 0.0;
+  double precision_at_u = 0.0;
+  size_t u = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Computes AUC, PR-AUC, R@U and P@U in one pass over the ranking.
+RankingMetrics EvaluateRanking(const std::vector<ScoredInstance>& instances,
+                               size_t u);
+
+/// \brief Binary confusion counts at a score threshold.
+struct ConfusionMatrix {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t true_negatives = 0;
+  size_t false_negatives = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+  double Accuracy() const;
+};
+ConfusionMatrix ComputeConfusion(const std::vector<ScoredInstance>& instances,
+                                 double threshold);
+
+/// \brief Weighted logistic loss of probabilities against binary truth.
+double LogLoss(const std::vector<ScoredInstance>& instances);
+
+}  // namespace telco
+
+#endif  // TELCO_ML_METRICS_H_

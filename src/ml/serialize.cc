@@ -1,0 +1,149 @@
+#include "ml/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace telco {
+
+namespace {
+
+constexpr char kMagic[] = "telcochurn-rf";
+constexpr int kVersion = 1;
+
+// Doubles are written as hex-float literals for byte-exact round trips.
+void WriteDouble(std::ostream& out, double v) {
+  out << StrFormat("%a", v);
+}
+
+Result<double> ReadDouble(std::istream& in) {
+  std::string token;
+  if (!(in >> token)) return Status::IoError("unexpected end of model file");
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    return Status::IoError("malformed double '" + token + "'");
+  }
+  return v;
+}
+
+Result<int64_t> ReadInt(std::istream& in) {
+  int64_t v;
+  if (!(in >> v)) return Status::IoError("unexpected end of model file");
+  return v;
+}
+
+}  // namespace
+
+Status WriteRandomForest(const RandomForest& forest, std::ostream& out) {
+  if (forest.num_trees() == 0) {
+    return Status::InvalidArgument("cannot serialise an unfitted forest");
+  }
+  out << kMagic << ' ' << kVersion << '\n';
+  out << forest.num_classes() << ' ' << forest.num_trees() << ' '
+      << forest.FeatureImportance().size() << '\n';
+  for (double v : forest.FeatureImportance()) {
+    WriteDouble(out, v);
+    out << ' ';
+  }
+  out << '\n';
+  std::vector<ClassificationTree::SerializedNode> nodes;
+  std::vector<double> leaf_proba;
+  for (const ClassificationTree& tree : forest.trees()) {
+    tree.Export(&nodes, &leaf_proba);
+    out << nodes.size() << ' ' << leaf_proba.size() << '\n';
+    for (const auto& n : nodes) {
+      out << n.feature << ' ';
+      WriteDouble(out, n.threshold);
+      out << ' ' << n.left << ' ' << n.right << ' ' << n.proba_offset
+          << '\n';
+    }
+    for (double p : leaf_proba) {
+      WriteDouble(out, p);
+      out << ' ';
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("error writing model stream");
+  return Status::OK();
+}
+
+Result<RandomForest> ReadRandomForest(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic) {
+    return Status::IoError("not a telcochurn forest file");
+  }
+  if (version != kVersion) {
+    return Status::IoError(
+        StrFormat("unsupported model version %d", version));
+  }
+  TELCO_ASSIGN_OR_RETURN(const int64_t num_classes, ReadInt(in));
+  TELCO_ASSIGN_OR_RETURN(const int64_t num_trees, ReadInt(in));
+  TELCO_ASSIGN_OR_RETURN(const int64_t num_features, ReadInt(in));
+  if (num_classes < 2 || num_trees < 1 || num_trees > 100000 ||
+      num_features < 0) {
+    return Status::IoError("implausible model header");
+  }
+  std::vector<double> importance;
+  importance.reserve(num_features);
+  for (int64_t j = 0; j < num_features; ++j) {
+    TELCO_ASSIGN_OR_RETURN(const double v, ReadDouble(in));
+    importance.push_back(v);
+  }
+  std::vector<ClassificationTree> trees;
+  trees.reserve(num_trees);
+  for (int64_t t = 0; t < num_trees; ++t) {
+    TELCO_ASSIGN_OR_RETURN(const int64_t num_nodes, ReadInt(in));
+    TELCO_ASSIGN_OR_RETURN(const int64_t proba_len, ReadInt(in));
+    if (num_nodes < 1 || proba_len < num_classes) {
+      return Status::IoError("implausible tree header");
+    }
+    std::vector<ClassificationTree::SerializedNode> nodes(num_nodes);
+    for (auto& n : nodes) {
+      TELCO_ASSIGN_OR_RETURN(const int64_t feature, ReadInt(in));
+      TELCO_ASSIGN_OR_RETURN(const double threshold, ReadDouble(in));
+      TELCO_ASSIGN_OR_RETURN(const int64_t left, ReadInt(in));
+      TELCO_ASSIGN_OR_RETURN(const int64_t right, ReadInt(in));
+      TELCO_ASSIGN_OR_RETURN(const int64_t proba_offset, ReadInt(in));
+      n.feature = static_cast<int32_t>(feature);
+      n.threshold = threshold;
+      n.left = static_cast<int32_t>(left);
+      n.right = static_cast<int32_t>(right);
+      n.proba_offset = static_cast<int32_t>(proba_offset);
+    }
+    std::vector<double> leaf_proba;
+    leaf_proba.reserve(proba_len);
+    for (int64_t i = 0; i < proba_len; ++i) {
+      TELCO_ASSIGN_OR_RETURN(const double p, ReadDouble(in));
+      leaf_proba.push_back(p);
+    }
+    TELCO_ASSIGN_OR_RETURN(
+        ClassificationTree tree,
+        ClassificationTree::Import(nodes, std::move(leaf_proba),
+                                   static_cast<int>(num_classes)));
+    trees.push_back(std::move(tree));
+  }
+  return RandomForest::FromParts(RandomForestOptions{},
+                                 static_cast<int>(num_classes),
+                                 std::move(trees), std::move(importance));
+}
+
+Status SaveRandomForest(const RandomForest& forest,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  TELCO_RETURN_NOT_OK(WriteRandomForest(forest, out));
+  out.flush();
+  if (!out) return Status::IoError("error flushing '" + path + "'");
+  return Status::OK();
+}
+
+Result<RandomForest> LoadRandomForest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  return ReadRandomForest(in);
+}
+
+}  // namespace telco

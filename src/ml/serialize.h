@@ -1,0 +1,30 @@
+// Model persistence: the deployed system retrains monthly and serves the
+// current model between retrains, so forests must round-trip to disk.
+//
+// Format: a versioned line-oriented text format — debuggable, portable,
+// and byte-exact for doubles (hex float literals).
+
+#ifndef TELCO_ML_SERIALIZE_H_
+#define TELCO_ML_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "ml/random_forest.h"
+
+namespace telco {
+
+/// \brief Writes a fitted forest to a stream.
+Status WriteRandomForest(const RandomForest& forest, std::ostream& out);
+
+/// \brief Reads a forest written by WriteRandomForest.
+Result<RandomForest> ReadRandomForest(std::istream& in);
+
+/// \brief File-level convenience wrappers.
+Status SaveRandomForest(const RandomForest& forest, const std::string& path);
+Result<RandomForest> LoadRandomForest(const std::string& path);
+
+}  // namespace telco
+
+#endif  // TELCO_ML_SERIALIZE_H_

@@ -1,0 +1,90 @@
+#include "ml/validation.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace telco {
+
+double CrossValidationResult::MeanAuc() const {
+  double total = 0.0;
+  for (const auto& f : folds) total += f.auc;
+  return folds.empty() ? 0.0 : total / folds.size();
+}
+
+double CrossValidationResult::MeanPrAuc() const {
+  double total = 0.0;
+  for (const auto& f : folds) total += f.pr_auc;
+  return folds.empty() ? 0.0 : total / folds.size();
+}
+
+double CrossValidationResult::AucStdDev() const {
+  if (folds.size() < 2) return 0.0;
+  const double mean = MeanAuc();
+  double total = 0.0;
+  for (const auto& f : folds) total += (f.auc - mean) * (f.auc - mean);
+  return std::sqrt(total / (folds.size() - 1));
+}
+
+Result<std::vector<int>> StratifiedFolds(const Dataset& data, int num_folds,
+                                         uint64_t seed) {
+  if (num_folds < 2) {
+    return Status::InvalidArgument("need at least 2 folds");
+  }
+  if (data.num_rows() < static_cast<size_t>(num_folds)) {
+    return Status::InvalidArgument("fewer rows than folds");
+  }
+  // Shuffle within each class, then deal round-robin into folds.
+  std::vector<size_t> positives;
+  std::vector<size_t> negatives;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    (data.label(i) == 1 ? positives : negatives).push_back(i);
+  }
+  Rng rng(seed);
+  rng.Shuffle(positives);
+  rng.Shuffle(negatives);
+  std::vector<int> fold_of(data.num_rows(), 0);
+  int next = 0;
+  for (size_t idx : positives) {
+    fold_of[idx] = next;
+    next = (next + 1) % num_folds;
+  }
+  for (size_t idx : negatives) {
+    fold_of[idx] = next;
+    next = (next + 1) % num_folds;
+  }
+  return fold_of;
+}
+
+Result<CrossValidationResult> CrossValidate(const Dataset& data,
+                                            const ClassifierFactory& factory,
+                                            int num_folds, uint64_t seed) {
+  TELCO_ASSIGN_OR_RETURN(const std::vector<int> fold_of,
+                         StratifiedFolds(data, num_folds, seed));
+  CrossValidationResult result;
+  result.folds.reserve(num_folds);
+  for (int fold = 0; fold < num_folds; ++fold) {
+    std::vector<size_t> train_idx;
+    std::vector<size_t> test_idx;
+    for (size_t i = 0; i < data.num_rows(); ++i) {
+      (fold_of[i] == fold ? test_idx : train_idx).push_back(i);
+    }
+    const Dataset train = data.Select(train_idx);
+    const Dataset test = data.Select(test_idx);
+    std::unique_ptr<Classifier> model = factory();
+    if (model == nullptr) {
+      return Status::InvalidArgument("classifier factory returned null");
+    }
+    TELCO_RETURN_NOT_OK(model->Fit(train));
+    const auto scored = ScoreDataset(*model, test);
+    FoldResult fr;
+    fr.auc = Auc(scored);
+    fr.pr_auc = PrAuc(scored);
+    fr.train_rows = train.num_rows();
+    fr.test_rows = test.num_rows();
+    result.folds.push_back(fr);
+  }
+  return result;
+}
+
+}  // namespace telco

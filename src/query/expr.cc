@@ -1,0 +1,313 @@
+#include "query/expr.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace telco {
+
+namespace {
+
+bool IsBinaryArith(ExprKind k) {
+  return k == ExprKind::kAdd || k == ExprKind::kSub || k == ExprKind::kMul ||
+         k == ExprKind::kDiv;
+}
+
+bool IsComparison(ExprKind k) {
+  return k == ExprKind::kEq || k == ExprKind::kNe || k == ExprKind::kLt ||
+         k == ExprKind::kLe || k == ExprKind::kGt || k == ExprKind::kGe;
+}
+
+const char* OpSymbol(ExprKind k) {
+  switch (k) {
+    case ExprKind::kAdd:
+      return "+";
+    case ExprKind::kSub:
+      return "-";
+    case ExprKind::kMul:
+      return "*";
+    case ExprKind::kDiv:
+      return "/";
+    case ExprKind::kEq:
+      return "==";
+    case ExprKind::kNe:
+      return "!=";
+    case ExprKind::kLt:
+      return "<";
+    case ExprKind::kLe:
+      return "<=";
+    case ExprKind::kGt:
+      return ">";
+    case ExprKind::kGe:
+      return ">=";
+    case ExprKind::kAnd:
+      return "AND";
+    case ExprKind::kOr:
+      return "OR";
+    default:
+      return "?";
+  }
+}
+
+Value EvalArith(ExprKind kind, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  // Integer arithmetic stays integral except division, which is always
+  // floating point (the SQL-engine behaviour the feature jobs rely on for
+  // ratios like balance_rate).
+  if (a.is_int64() && b.is_int64() && kind != ExprKind::kDiv) {
+    const int64_t x = a.int64();
+    const int64_t y = b.int64();
+    switch (kind) {
+      case ExprKind::kAdd:
+        return Value(x + y);
+      case ExprKind::kSub:
+        return Value(x - y);
+      case ExprKind::kMul:
+        return Value(x * y);
+      default:
+        break;
+    }
+  }
+  if (a.is_string() || b.is_string()) return Value::Null();
+  const double x = a.AsDouble();
+  const double y = b.AsDouble();
+  switch (kind) {
+    case ExprKind::kAdd:
+      return Value(x + y);
+    case ExprKind::kSub:
+      return Value(x - y);
+    case ExprKind::kMul:
+      return Value(x * y);
+    case ExprKind::kDiv:
+      return y == 0.0 ? Value::Null() : Value(x / y);
+    default:
+      break;
+  }
+  return Value::Null();
+}
+
+Value EvalComparison(ExprKind kind, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  int cmp;
+  if (a.is_string() && b.is_string()) {
+    const int raw = a.str().compare(b.str());
+    cmp = raw < 0 ? -1 : (raw > 0 ? 1 : 0);
+  } else if (!a.is_string() && !b.is_string()) {
+    const double x = a.AsDouble();
+    const double y = b.AsDouble();
+    cmp = x < y ? -1 : (x > y ? 1 : 0);
+  } else {
+    return Value::Null();  // Incomparable types.
+  }
+  bool out = false;
+  switch (kind) {
+    case ExprKind::kEq:
+      out = cmp == 0;
+      break;
+    case ExprKind::kNe:
+      out = cmp != 0;
+      break;
+    case ExprKind::kLt:
+      out = cmp < 0;
+      break;
+    case ExprKind::kLe:
+      out = cmp <= 0;
+      break;
+    case ExprKind::kGt:
+      out = cmp > 0;
+      break;
+    case ExprKind::kGe:
+      out = cmp >= 0;
+      break;
+    default:
+      break;
+  }
+  return Value(static_cast<int64_t>(out));
+}
+
+// SQL three-valued logic truth value: 1 true, 0 false, -1 unknown.
+int Truth(const Value& v) {
+  if (v.is_null()) return -1;
+  if (v.is_int64()) return v.int64() != 0 ? 1 : 0;
+  if (v.is_double()) return v.dbl() != 0.0 ? 1 : 0;
+  return -1;
+}
+
+}  // namespace
+
+ExprPtr Expr::Column(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kColumn));
+  e->name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Literal(Value value) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kLiteral));
+  e->literal_ = std::move(value);
+  return e;
+}
+
+ExprPtr Expr::Udf(std::string name,
+                  std::function<Value(const std::vector<Value>&)> fn,
+                  std::vector<ExprPtr> args) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kUdf));
+  e->name_ = std::move(name);
+  e->udf_ = std::move(fn);
+  e->children_ = std::move(args);
+  return e;
+}
+
+#define TELCO_DEFINE_BINARY(Name, Kind)                            \
+  ExprPtr Expr::Name(ExprPtr a, ExprPtr b) {                       \
+    auto e = std::shared_ptr<Expr>(new Expr(ExprKind::Kind));      \
+    e->children_ = {std::move(a), std::move(b)};                   \
+    return e;                                                      \
+  }
+
+TELCO_DEFINE_BINARY(Add, kAdd)
+TELCO_DEFINE_BINARY(Sub, kSub)
+TELCO_DEFINE_BINARY(Mul, kMul)
+TELCO_DEFINE_BINARY(Div, kDiv)
+TELCO_DEFINE_BINARY(Eq, kEq)
+TELCO_DEFINE_BINARY(Ne, kNe)
+TELCO_DEFINE_BINARY(Lt, kLt)
+TELCO_DEFINE_BINARY(Le, kLe)
+TELCO_DEFINE_BINARY(Gt, kGt)
+TELCO_DEFINE_BINARY(Ge, kGe)
+TELCO_DEFINE_BINARY(And, kAnd)
+TELCO_DEFINE_BINARY(Or, kOr)
+#undef TELCO_DEFINE_BINARY
+
+ExprPtr Expr::Not(ExprPtr a) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kNot));
+  e->children_ = {std::move(a)};
+  return e;
+}
+
+ExprPtr Expr::IsNull(ExprPtr a) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kIsNull));
+  e->children_ = {std::move(a)};
+  return e;
+}
+
+Status Expr::Bind(const Schema& schema) const {
+  if (kind_ == ExprKind::kColumn) {
+    TELCO_ASSIGN_OR_RETURN(bound_index_, schema.GetFieldIndex(name_));
+    return Status::OK();
+  }
+  for (const auto& child : children_) {
+    TELCO_RETURN_NOT_OK(child->Bind(schema));
+  }
+  return Status::OK();
+}
+
+Value Expr::Evaluate(const Table& table, size_t row) const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      TELCO_DCHECK(bound_index_ != SIZE_MAX) << "unbound column " << name_;
+      return table.GetValue(row, bound_index_);
+    case ExprKind::kLiteral:
+      return literal_;
+    case ExprKind::kUdf: {
+      std::vector<Value> args;
+      args.reserve(children_.size());
+      for (const auto& c : children_) args.push_back(c->Evaluate(table, row));
+      return udf_(args);
+    }
+    case ExprKind::kNot: {
+      const int t = Truth(children_[0]->Evaluate(table, row));
+      if (t < 0) return Value::Null();
+      return Value(static_cast<int64_t>(t == 0));
+    }
+    case ExprKind::kIsNull:
+      return Value(
+          static_cast<int64_t>(children_[0]->Evaluate(table, row).is_null()));
+    case ExprKind::kAnd: {
+      const int a = Truth(children_[0]->Evaluate(table, row));
+      if (a == 0) return Value(static_cast<int64_t>(0));
+      const int b = Truth(children_[1]->Evaluate(table, row));
+      if (b == 0) return Value(static_cast<int64_t>(0));
+      if (a < 0 || b < 0) return Value::Null();
+      return Value(static_cast<int64_t>(1));
+    }
+    case ExprKind::kOr: {
+      const int a = Truth(children_[0]->Evaluate(table, row));
+      if (a == 1) return Value(static_cast<int64_t>(1));
+      const int b = Truth(children_[1]->Evaluate(table, row));
+      if (b == 1) return Value(static_cast<int64_t>(1));
+      if (a < 0 || b < 0) return Value::Null();
+      return Value(static_cast<int64_t>(0));
+    }
+    default:
+      break;
+  }
+  const Value a = children_[0]->Evaluate(table, row);
+  const Value b = children_[1]->Evaluate(table, row);
+  if (IsBinaryArith(kind_)) return EvalArith(kind_, a, b);
+  TELCO_DCHECK(IsComparison(kind_));
+  return EvalComparison(kind_, a, b);
+}
+
+Result<DataType> Expr::InferType(const Schema& schema) const {
+  switch (kind_) {
+    case ExprKind::kColumn: {
+      TELCO_ASSIGN_OR_RETURN(const size_t idx, schema.GetFieldIndex(name_));
+      return schema.field(idx).type;
+    }
+    case ExprKind::kLiteral:
+      if (literal_.is_int64()) return DataType::kInt64;
+      if (literal_.is_string()) return DataType::kString;
+      return DataType::kDouble;  // double literal, or null → double default.
+    case ExprKind::kUdf:
+      // UDF output type is unknown statically; default to double (the
+      // dominant feature-engineering case). Callers needing another type
+      // should wrap with an explicit Project column type via ProjectAs.
+      return DataType::kDouble;
+    case ExprKind::kNot:
+    case ExprKind::kIsNull:
+      return DataType::kInt64;
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+      return DataType::kInt64;
+    default:
+      break;
+  }
+  if (IsComparison(kind_)) return DataType::kInt64;
+  TELCO_DCHECK(IsBinaryArith(kind_));
+  TELCO_ASSIGN_OR_RETURN(const DataType at, children_[0]->InferType(schema));
+  TELCO_ASSIGN_OR_RETURN(const DataType bt, children_[1]->InferType(schema));
+  if (at == DataType::kString || bt == DataType::kString) {
+    return Status::TypeError("arithmetic on string operand");
+  }
+  if (kind_ == ExprKind::kDiv) return DataType::kDouble;
+  if (at == DataType::kInt64 && bt == DataType::kInt64) {
+    return DataType::kInt64;
+  }
+  return DataType::kDouble;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return name_;
+    case ExprKind::kLiteral:
+      return literal_.ToString();
+    case ExprKind::kUdf: {
+      std::string out = name_ + "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kNot:
+      return "NOT " + children_[0]->ToString();
+    case ExprKind::kIsNull:
+      return children_[0]->ToString() + " IS NULL";
+    default:
+      return "(" + children_[0]->ToString() + " " + OpSymbol(kind_) + " " +
+             children_[1]->ToString() + ")";
+  }
+}
+
+}  // namespace telco

@@ -1,0 +1,111 @@
+// Expression trees evaluated over warehouse tables.
+//
+// This is the scalar-expression language of the query layer (the role
+// Spark SQL expressions play in the paper's feature-engineering jobs):
+// column references, literals, arithmetic, comparisons, boolean logic and
+// user-defined functions.
+
+#ifndef TELCO_QUERY_EXPR_H_
+#define TELCO_QUERY_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace telco {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Node kinds of the expression tree.
+enum class ExprKind : int {
+  kColumn,
+  kLiteral,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+  kIsNull,
+  kUdf,
+};
+
+/// \brief An immutable scalar expression node.
+///
+/// Booleans are represented as int64 0/1. Arithmetic on a null operand
+/// yields null; comparisons with null yield null; And/Or use SQL
+/// three-valued logic.
+class Expr {
+ public:
+  /// Reference to a column by name.
+  static ExprPtr Column(std::string name);
+  /// A constant.
+  static ExprPtr Literal(Value value);
+  /// A scalar user-defined function over the argument expressions.
+  static ExprPtr Udf(std::string name,
+                     std::function<Value(const std::vector<Value>&)> fn,
+                     std::vector<ExprPtr> args);
+
+  static ExprPtr Add(ExprPtr a, ExprPtr b);
+  static ExprPtr Sub(ExprPtr a, ExprPtr b);
+  static ExprPtr Mul(ExprPtr a, ExprPtr b);
+  static ExprPtr Div(ExprPtr a, ExprPtr b);
+  static ExprPtr Eq(ExprPtr a, ExprPtr b);
+  static ExprPtr Ne(ExprPtr a, ExprPtr b);
+  static ExprPtr Lt(ExprPtr a, ExprPtr b);
+  static ExprPtr Le(ExprPtr a, ExprPtr b);
+  static ExprPtr Gt(ExprPtr a, ExprPtr b);
+  static ExprPtr Ge(ExprPtr a, ExprPtr b);
+  static ExprPtr And(ExprPtr a, ExprPtr b);
+  static ExprPtr Or(ExprPtr a, ExprPtr b);
+  static ExprPtr Not(ExprPtr a);
+  static ExprPtr IsNull(ExprPtr a);
+
+  ExprKind kind() const { return kind_; }
+  const std::string& column_name() const { return name_; }
+  const Value& literal() const { return literal_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  /// Resolves column references against `schema`; returns the indices used.
+  /// Must be called (via Bind) before evaluation against a table.
+  Status Bind(const Schema& schema) const;
+
+  /// Evaluates the (bound) expression for one row of `table`.
+  Value Evaluate(const Table& table, size_t row) const;
+
+  /// Infers the output type against a schema (used by Project).
+  Result<DataType> InferType(const Schema& schema) const;
+
+  /// Debug rendering, e.g. "(balance < 10)".
+  std::string ToString() const;
+
+ private:
+  Expr(ExprKind kind) : kind_(kind) {}
+
+  ExprKind kind_;
+  std::string name_;                      // kColumn / kUdf
+  Value literal_;                         // kLiteral
+  std::vector<ExprPtr> children_;
+  std::function<Value(const std::vector<Value>&)> udf_;
+  mutable size_t bound_index_ = SIZE_MAX;  // kColumn: resolved column index
+};
+
+/// Convenience literal/column factories used pervasively in feature code.
+inline ExprPtr Col(std::string name) { return Expr::Column(std::move(name)); }
+inline ExprPtr Lit(Value v) { return Expr::Literal(std::move(v)); }
+
+}  // namespace telco
+
+#endif  // TELCO_QUERY_EXPR_H_

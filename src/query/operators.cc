@@ -1,0 +1,513 @@
+#include "query/operators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace telco {
+
+namespace {
+
+// Serialises the key cells of one row into a hashable byte string with type
+// tags, so (int64 1) and (string "1") never collide. Null keys serialise to
+// a sentinel the callers treat as non-matching.
+constexpr char kNullTag = 'N';
+
+bool EncodeKey(const Table& table, const std::vector<size_t>& key_cols,
+               size_t row, std::string* out) {
+  out->clear();
+  for (size_t col : key_cols) {
+    const Column& c = table.column(col);
+    if (c.IsNull(row)) {
+      out->push_back(kNullTag);
+      return false;  // Null keys never participate in equality.
+    }
+    switch (c.type()) {
+      case DataType::kInt64: {
+        out->push_back('I');
+        const int64_t v = c.GetInt64(row);
+        out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kDouble: {
+        out->push_back('D');
+        const double v = c.GetDouble(row);
+        out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kString: {
+        out->push_back('S');
+        const std::string& s = c.GetString(row);
+        const uint32_t len = static_cast<uint32_t>(s.size());
+        out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+        out->append(s);
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+Result<std::vector<size_t>> ResolveColumns(
+    const Schema& schema, const std::vector<std::string>& names) {
+  std::vector<size_t> out;
+  out.reserve(names.size());
+  for (const auto& name : names) {
+    TELCO_ASSIGN_OR_RETURN(const size_t idx, schema.GetFieldIndex(name));
+    out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<TablePtr> Filter(const TablePtr& input, const ExprPtr& predicate) {
+  if (input == nullptr) return Status::InvalidArgument("null input table");
+  TELCO_RETURN_NOT_OK(predicate->Bind(input->schema()));
+  std::vector<size_t> keep;
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    const Value v = predicate->Evaluate(*input, r);
+    if (v.is_null()) continue;
+    const bool truthy = v.is_int64() ? v.int64() != 0 : v.AsDouble() != 0.0;
+    if (truthy) keep.push_back(r);
+  }
+  return input->TakeRows(keep);
+}
+
+Result<TablePtr> Project(const TablePtr& input,
+                         std::vector<ProjectedColumn> columns) {
+  if (input == nullptr) return Status::InvalidArgument("null input table");
+  std::vector<Field> fields;
+  fields.reserve(columns.size());
+  for (auto& pc : columns) {
+    TELCO_RETURN_NOT_OK(pc.expr->Bind(input->schema()));
+    DataType type;
+    if (pc.type) {
+      type = *pc.type;
+    } else {
+      TELCO_ASSIGN_OR_RETURN(type, pc.expr->InferType(input->schema()));
+    }
+    fields.push_back(Field{pc.name, type});
+  }
+  TELCO_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  TableBuilder builder(std::move(schema));
+  builder.Reserve(input->num_rows());
+  std::vector<Value> row(columns.size());
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      row[c] = columns[c].expr->Evaluate(*input, r);
+    }
+    TELCO_RETURN_NOT_OK(builder.AppendRow(row));
+  }
+  return builder.Finish();
+}
+
+Result<TablePtr> SelectColumns(const TablePtr& input,
+                               const std::vector<std::string>& names) {
+  if (input == nullptr) return Status::InvalidArgument("null input table");
+  TELCO_ASSIGN_OR_RETURN(const std::vector<size_t> cols,
+                         ResolveColumns(input->schema(), names));
+  std::vector<Field> fields;
+  std::vector<Column> out_cols;
+  fields.reserve(cols.size());
+  out_cols.reserve(cols.size());
+  for (size_t idx : cols) {
+    fields.push_back(input->schema().field(idx));
+    out_cols.push_back(input->column(idx));
+  }
+  TELCO_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  return Table::Make(std::move(schema), std::move(out_cols));
+}
+
+Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
+                          const std::vector<std::string>& left_keys,
+                          const std::vector<std::string>& right_keys,
+                          JoinType type, const std::string& right_suffix) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("null input table");
+  }
+  if (left_keys.size() != right_keys.size() || left_keys.empty()) {
+    return Status::InvalidArgument(
+        "join requires equal, non-empty key lists");
+  }
+  TELCO_ASSIGN_OR_RETURN(const std::vector<size_t> lkeys,
+                         ResolveColumns(left->schema(), left_keys));
+  TELCO_ASSIGN_OR_RETURN(const std::vector<size_t> rkeys,
+                         ResolveColumns(right->schema(), right_keys));
+  for (size_t i = 0; i < lkeys.size(); ++i) {
+    if (left->schema().field(lkeys[i]).type !=
+        right->schema().field(rkeys[i]).type) {
+      return Status::TypeError("join key type mismatch on '" + left_keys[i] +
+                               "' vs '" + right_keys[i] + "'");
+    }
+  }
+
+  // Output schema: left columns then non-key right columns.
+  std::unordered_set<size_t> right_key_set(rkeys.begin(), rkeys.end());
+  std::vector<Field> fields = left->schema().fields();
+  std::vector<size_t> right_out_cols;
+  for (size_t c = 0; c < right->num_columns(); ++c) {
+    if (right_key_set.count(c)) continue;
+    Field f = right->schema().field(c);
+    if (left->schema().HasField(f.name)) f.name += right_suffix;
+    fields.push_back(std::move(f));
+    right_out_cols.push_back(c);
+  }
+  TELCO_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+
+  // Build phase on the right table.
+  std::unordered_map<std::string, std::vector<size_t>> build;
+  build.reserve(right->num_rows() * 2);
+  std::string key;
+  for (size_t r = 0; r < right->num_rows(); ++r) {
+    if (!EncodeKey(*right, rkeys, r, &key)) continue;
+    build[key].push_back(r);
+  }
+
+  // Probe phase: collect matching row-index pairs (SIZE_MAX marks a null
+  // right side for left joins).
+  std::vector<size_t> left_idx;
+  std::vector<size_t> right_idx;
+  for (size_t r = 0; r < left->num_rows(); ++r) {
+    const bool valid = EncodeKey(*left, lkeys, r, &key);
+    const auto it = valid ? build.find(key) : build.end();
+    if (it == build.end()) {
+      if (type == JoinType::kLeft) {
+        left_idx.push_back(r);
+        right_idx.push_back(SIZE_MAX);
+      }
+      continue;
+    }
+    for (size_t rr : it->second) {
+      left_idx.push_back(r);
+      right_idx.push_back(rr);
+    }
+  }
+
+  // Materialise.
+  std::vector<Column> out_cols;
+  out_cols.reserve(schema.num_fields());
+  for (size_t c = 0; c < left->num_columns(); ++c) {
+    out_cols.push_back(left->column(c).Take(left_idx));
+  }
+  for (size_t rc : right_out_cols) {
+    const Column& src = right->column(rc);
+    Column col(src.type());
+    col.Reserve(right_idx.size());
+    for (size_t rr : right_idx) {
+      if (rr == SIZE_MAX || src.IsNull(rr)) {
+        col.AppendNull();
+      } else {
+        switch (src.type()) {
+          case DataType::kInt64:
+            col.AppendInt64(src.GetInt64(rr));
+            break;
+          case DataType::kDouble:
+            col.AppendDouble(src.GetDouble(rr));
+            break;
+          case DataType::kString:
+            col.AppendString(src.GetString(rr));
+            break;
+        }
+      }
+    }
+    out_cols.push_back(std::move(col));
+  }
+  return Table::Make(std::move(schema), std::move(out_cols));
+}
+
+namespace {
+
+// Mutable accumulator for one (group, aggregate) pair.
+struct AggState {
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  size_t count = 0;  // non-null inputs seen
+  Value first = Value::Null();
+  bool first_set = false;
+  std::set<std::string> distinct;
+};
+
+Result<DataType> AggOutputType(const Aggregate& agg, const Schema& schema) {
+  switch (agg.kind) {
+    case AggKind::kCount:
+    case AggKind::kCountDistinct:
+      return DataType::kInt64;
+    case AggKind::kMean:
+      return DataType::kDouble;
+    case AggKind::kFirst: {
+      TELCO_ASSIGN_OR_RETURN(const size_t idx,
+                             schema.GetFieldIndex(agg.input));
+      return schema.field(idx).type;
+    }
+    case AggKind::kSum:
+    case AggKind::kMin:
+    case AggKind::kMax: {
+      TELCO_ASSIGN_OR_RETURN(const size_t idx,
+                             schema.GetFieldIndex(agg.input));
+      const DataType t = schema.field(idx).type;
+      if (t == DataType::kString) {
+        return Status::TypeError("numeric aggregate over string column '" +
+                                 agg.input + "'");
+      }
+      return t == DataType::kInt64 && agg.kind == AggKind::kSum
+                 ? DataType::kInt64
+                 : DataType::kDouble;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+std::string EncodeSingleValue(const Column& col, size_t row) {
+  std::string out;
+  switch (col.type()) {
+    case DataType::kInt64:
+      out = "I" + std::to_string(col.GetInt64(row));
+      break;
+    case DataType::kDouble:
+      out = "D" + StrFormat("%.17g", col.GetDouble(row));
+      break;
+    case DataType::kString:
+      out = "S" + col.GetString(row);
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<TablePtr> GroupByAggregate(const TablePtr& input,
+                                  const std::vector<std::string>& keys,
+                                  const std::vector<Aggregate>& aggs) {
+  if (input == nullptr) return Status::InvalidArgument("null input table");
+  TELCO_ASSIGN_OR_RETURN(const std::vector<size_t> key_cols,
+                         ResolveColumns(input->schema(), keys));
+  // Resolve aggregate inputs ("" = count rows).
+  std::vector<ssize_t> agg_cols(aggs.size(), -1);
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (aggs[i].input.empty()) {
+      if (aggs[i].kind != AggKind::kCount) {
+        return Status::InvalidArgument(
+            "empty input column only valid for kCount");
+      }
+      continue;
+    }
+    TELCO_ASSIGN_OR_RETURN(const size_t idx,
+                           input->schema().GetFieldIndex(aggs[i].input));
+    agg_cols[i] = static_cast<ssize_t>(idx);
+  }
+
+  // Output schema: keys then aggregates.
+  std::vector<Field> fields;
+  for (size_t idx : key_cols) fields.push_back(input->schema().field(idx));
+  for (const auto& agg : aggs) {
+    DataType type = DataType::kInt64;
+    if (!agg.input.empty() || agg.kind != AggKind::kCount) {
+      TELCO_ASSIGN_OR_RETURN(type, AggOutputType(agg, input->schema()));
+    }
+    fields.push_back(Field{agg.output, type});
+  }
+  TELCO_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+
+  // Group rows. A group is identified by its encoded key; groups are kept
+  // in first-appearance order. When keys are empty everything is group 0.
+  std::unordered_map<std::string, size_t> group_of;
+  std::vector<size_t> group_rep_row;   // representative row per group
+  std::vector<std::vector<AggState>> states;
+  std::string key;
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    size_t g;
+    if (key_cols.empty()) {
+      if (states.empty()) {
+        group_rep_row.push_back(r);
+        states.emplace_back(aggs.size());
+      }
+      g = 0;
+    } else {
+      EncodeKey(*input, key_cols, r, &key);
+      // Unlike joins, SQL GROUP BY treats nulls as one group; EncodeKey
+      // already embeds a null tag, so grouping on it is correct. But
+      // EncodeKey returns early on the first null, which would merge
+      // distinct suffixes. Re-encode fully for grouping:
+      key.clear();
+      for (size_t col : key_cols) {
+        const Column& c = input->column(col);
+        if (c.IsNull(r)) {
+          key.push_back(kNullTag);
+        } else {
+          key += EncodeSingleValue(c, r);
+        }
+        key.push_back('\x1f');
+      }
+      const auto [it, inserted] = group_of.emplace(key, states.size());
+      if (inserted) {
+        group_rep_row.push_back(r);
+        states.emplace_back(aggs.size());
+      }
+      g = it->second;
+    }
+    auto& row_states = states[g];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      AggState& st = row_states[a];
+      if (aggs[a].kind == AggKind::kCount && aggs[a].input.empty()) {
+        ++st.count;
+        continue;
+      }
+      const Column& col = input->column(static_cast<size_t>(agg_cols[a]));
+      if (col.IsNull(r)) continue;
+      switch (aggs[a].kind) {
+        case AggKind::kSum:
+        case AggKind::kMean: {
+          st.sum += col.GetNumeric(r);
+          ++st.count;
+          break;
+        }
+        case AggKind::kCount:
+          ++st.count;
+          break;
+        case AggKind::kMin:
+          st.min = std::min(st.min, col.GetNumeric(r));
+          ++st.count;
+          break;
+        case AggKind::kMax:
+          st.max = std::max(st.max, col.GetNumeric(r));
+          ++st.count;
+          break;
+        case AggKind::kCountDistinct:
+          st.distinct.insert(EncodeSingleValue(col, r));
+          break;
+        case AggKind::kFirst:
+          if (!st.first_set) {
+            st.first = col.GetValue(r);
+            st.first_set = true;
+          }
+          break;
+      }
+    }
+  }
+
+  // Emit one row per group.
+  TableBuilder builder(schema);
+  builder.Reserve(states.size());
+  for (size_t g = 0; g < states.size(); ++g) {
+    std::vector<Value> row;
+    row.reserve(schema.num_fields());
+    for (size_t idx : key_cols) {
+      row.push_back(input->GetValue(group_rep_row[g], idx));
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const AggState& st = states[g][a];
+      const DataType out_type = schema.field(key_cols.size() + a).type;
+      switch (aggs[a].kind) {
+        case AggKind::kSum:
+          if (st.count == 0) {
+            row.push_back(Value::Null());
+          } else if (out_type == DataType::kInt64) {
+            row.push_back(Value(static_cast<int64_t>(std::llround(st.sum))));
+          } else {
+            row.push_back(Value(st.sum));
+          }
+          break;
+        case AggKind::kCount:
+          row.push_back(Value(static_cast<int64_t>(st.count)));
+          break;
+        case AggKind::kMean:
+          row.push_back(st.count == 0
+                            ? Value::Null()
+                            : Value(st.sum / static_cast<double>(st.count)));
+          break;
+        case AggKind::kMin:
+          row.push_back(st.count == 0 ? Value::Null() : Value(st.min));
+          break;
+        case AggKind::kMax:
+          row.push_back(st.count == 0 ? Value::Null() : Value(st.max));
+          break;
+        case AggKind::kCountDistinct:
+          row.push_back(Value(static_cast<int64_t>(st.distinct.size())));
+          break;
+        case AggKind::kFirst:
+          row.push_back(st.first);
+          break;
+      }
+    }
+    TELCO_RETURN_NOT_OK(builder.AppendRow(row));
+  }
+  return builder.Finish();
+}
+
+Result<TablePtr> SortBy(const TablePtr& input,
+                        const std::vector<SortKey>& keys) {
+  if (input == nullptr) return Status::InvalidArgument("null input table");
+  std::vector<size_t> cols;
+  cols.reserve(keys.size());
+  for (const auto& k : keys) {
+    TELCO_ASSIGN_OR_RETURN(const size_t idx,
+                           input->schema().GetFieldIndex(k.column));
+    cols.push_back(idx);
+  }
+  std::vector<size_t> order(input->num_rows());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  auto compare_cell = [&](size_t col, size_t a, size_t b) -> int {
+    const Column& c = input->column(col);
+    const bool na = c.IsNull(a);
+    const bool nb = c.IsNull(b);
+    if (na || nb) return na == nb ? 0 : (na ? -1 : 1);
+    switch (c.type()) {
+      case DataType::kString: {
+        const int raw = c.GetString(a).compare(c.GetString(b));
+        return raw < 0 ? -1 : (raw > 0 ? 1 : 0);
+      }
+      default: {
+        const double x = c.GetNumeric(a);
+        const double y = c.GetNumeric(b);
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+    }
+  };
+
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      const int cmp = compare_cell(cols[k], a, b);
+      if (cmp != 0) return keys[k].ascending ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  });
+  return input->TakeRows(order);
+}
+
+Result<TablePtr> Limit(const TablePtr& input, size_t n) {
+  if (input == nullptr) return Status::InvalidArgument("null input table");
+  const size_t m = std::min(n, input->num_rows());
+  std::vector<size_t> indices(m);
+  for (size_t i = 0; i < m; ++i) indices[i] = i;
+  return input->TakeRows(indices);
+}
+
+Result<TablePtr> Union(const std::vector<TablePtr>& inputs) {
+  if (inputs.empty()) return Status::InvalidArgument("empty union");
+  for (const auto& t : inputs) {
+    if (t == nullptr) return Status::InvalidArgument("null input table");
+    if (!(t->schema() == inputs[0]->schema())) {
+      return Status::InvalidArgument("union over mismatched schemas");
+    }
+  }
+  TableBuilder builder(inputs[0]->schema());
+  size_t total = 0;
+  for (const auto& t : inputs) total += t->num_rows();
+  builder.Reserve(total);
+  for (const auto& t : inputs) {
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      builder.AppendRowUnchecked(t->GetRow(r));
+    }
+  }
+  return builder.Finish();
+}
+
+}  // namespace telco

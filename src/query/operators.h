@@ -1,0 +1,104 @@
+// Relational operators over warehouse tables.
+//
+// These implement the query shapes the paper's Hive/Spark SQL feature
+// jobs use: filters, projections, equi-joins ("join the local call table
+// and the roam call table"), group-by aggregations ("aggregate local call
+// tables of different days to summarize a customer's call information"),
+// sorts, limits and unions. Every operator consumes immutable tables and
+// produces a new table.
+
+#ifndef TELCO_QUERY_OPERATORS_H_
+#define TELCO_QUERY_OPERATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/expr.h"
+#include "storage/table.h"
+
+namespace telco {
+
+/// \brief Rows of `input` for which `predicate` evaluates to true
+/// (nulls are dropped, SQL WHERE semantics).
+Result<TablePtr> Filter(const TablePtr& input, const ExprPtr& predicate);
+
+/// One output column of a projection: a name and its defining expression.
+struct ProjectedColumn {
+  std::string name;
+  ExprPtr expr;
+  /// Output type; when unset it is inferred from the expression.
+  std::optional<DataType> type;
+};
+
+/// \brief Evaluates each projected expression per row into a new table.
+Result<TablePtr> Project(const TablePtr& input,
+                         std::vector<ProjectedColumn> columns);
+
+/// \brief Keeps only the named columns, in the given order.
+Result<TablePtr> SelectColumns(const TablePtr& input,
+                               const std::vector<std::string>& names);
+
+/// Join variants supported by HashJoin.
+enum class JoinType : int { kInner = 0, kLeft = 1 };
+
+/// \brief Hash equi-join of `left` and `right` on the given key columns.
+///
+/// Output schema: all left columns, then every non-key right column; a
+/// right column whose name collides with a left column is suffixed with
+/// `right_suffix`. For kLeft, unmatched left rows get nulls on the right.
+/// Null keys never match (SQL semantics).
+Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
+                          const std::vector<std::string>& left_keys,
+                          const std::vector<std::string>& right_keys,
+                          JoinType type = JoinType::kInner,
+                          const std::string& right_suffix = "_right");
+
+/// Aggregate functions supported by GroupByAggregate.
+enum class AggKind : int {
+  kSum = 0,
+  kCount = 1,        // non-null count of the input column ("" counts rows)
+  kMean = 2,
+  kMin = 3,
+  kMax = 4,
+  kCountDistinct = 5,
+  kFirst = 6,
+};
+
+/// One aggregate output: function, input column ("" for kCount rows) and
+/// output column name.
+struct Aggregate {
+  AggKind kind;
+  std::string input;
+  std::string output;
+};
+
+/// \brief Groups `input` by the key columns and computes the aggregates.
+///
+/// With empty `keys` the whole table forms one group (global aggregate).
+/// Group order is first-appearance order, making results deterministic.
+/// Numeric aggregates ignore null inputs; an all-null group yields null.
+Result<TablePtr> GroupByAggregate(const TablePtr& input,
+                                  const std::vector<std::string>& keys,
+                                  const std::vector<Aggregate>& aggs);
+
+/// One sort key: column name and direction.
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+/// \brief Stable sort by the given keys; nulls sort first ascending.
+Result<TablePtr> SortBy(const TablePtr& input,
+                        const std::vector<SortKey>& keys);
+
+/// \brief First `n` rows.
+Result<TablePtr> Limit(const TablePtr& input, size_t n);
+
+/// \brief Concatenation of tables with identical schemas.
+Result<TablePtr> Union(const std::vector<TablePtr>& inputs);
+
+}  // namespace telco
+
+#endif  // TELCO_QUERY_OPERATORS_H_

@@ -1,0 +1,91 @@
+#include "query/query.h"
+
+namespace telco {
+
+Query Query::From(const Catalog& catalog, const std::string& table_name) {
+  Query q;
+  auto table = catalog.Get(table_name);
+  if (!table.ok()) {
+    q.error_ = table.status();
+  } else {
+    q.table_ = std::move(table).ValueOrDie();
+  }
+  return q;
+}
+
+Query Query::FromTable(TablePtr table) {
+  Query q;
+  if (table == nullptr) {
+    q.error_ = Status::InvalidArgument("FromTable: null table");
+  } else {
+    q.table_ = std::move(table);
+  }
+  return q;
+}
+
+#define TELCO_QUERY_STAGE(result_expr)        \
+  do {                                        \
+    if (!error_.ok()) return *this;           \
+    auto _res = (result_expr);                \
+    if (!_res.ok()) {                         \
+      error_ = _res.status();                 \
+      table_.reset();                         \
+    } else {                                  \
+      table_ = std::move(_res).ValueOrDie();  \
+    }                                         \
+    return *this;                             \
+  } while (false)
+
+Query& Query::Filter(const ExprPtr& predicate) {
+  TELCO_QUERY_STAGE(::telco::Filter(table_, predicate));
+}
+
+Query& Query::Project(std::vector<ProjectedColumn> columns) {
+  TELCO_QUERY_STAGE(::telco::Project(table_, std::move(columns)));
+}
+
+Query& Query::Select(const std::vector<std::string>& names) {
+  TELCO_QUERY_STAGE(::telco::SelectColumns(table_, names));
+}
+
+Query& Query::Join(const Catalog& catalog, const std::string& right_table,
+                   const std::vector<std::string>& left_keys,
+                   const std::vector<std::string>& right_keys, JoinType type) {
+  if (!error_.ok()) return *this;
+  auto right = catalog.Get(right_table);
+  if (!right.ok()) {
+    error_ = right.status();
+    table_.reset();
+    return *this;
+  }
+  return JoinTable(std::move(right).ValueOrDie(), left_keys, right_keys, type);
+}
+
+Query& Query::JoinTable(const TablePtr& right,
+                        const std::vector<std::string>& left_keys,
+                        const std::vector<std::string>& right_keys,
+                        JoinType type) {
+  TELCO_QUERY_STAGE(
+      ::telco::HashJoin(table_, right, left_keys, right_keys, type));
+}
+
+Query& Query::GroupBy(const std::vector<std::string>& keys,
+                      const std::vector<Aggregate>& aggs) {
+  TELCO_QUERY_STAGE(::telco::GroupByAggregate(table_, keys, aggs));
+}
+
+Query& Query::OrderBy(const std::vector<SortKey>& keys) {
+  TELCO_QUERY_STAGE(::telco::SortBy(table_, keys));
+}
+
+Query& Query::Limit(size_t n) { TELCO_QUERY_STAGE(::telco::Limit(table_, n)); }
+
+#undef TELCO_QUERY_STAGE
+
+Result<TablePtr> Query::Execute() {
+  if (!error_.ok()) return error_;
+  if (table_ == nullptr) return Status::Internal("query has no table");
+  return std::move(table_);
+}
+
+}  // namespace telco

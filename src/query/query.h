@@ -1,0 +1,81 @@
+// Query: a fluent pipeline builder over Catalog tables.
+//
+// The feature-engineering code composes operators as chained stages, in
+// the style of a Spark SQL job:
+//
+//   TELCO_ASSIGN_OR_RETURN(auto wide,
+//     Query::From(catalog, "billing_m3")
+//         .Filter(Expr::Gt(Col("total_charge"), Lit(0)))
+//         .Join(catalog, "cdr_agg_m3", {"imsi"}, {"imsi"})
+//         .GroupBy({"imsi"}, {{AggKind::kSum, "call_dur", "call_dur_sum"}})
+//         .Execute());
+//
+// Stages are applied eagerly; the first failing stage is remembered and
+// reported by Execute(), so call sites stay linear.
+
+#ifndef TELCO_QUERY_QUERY_H_
+#define TELCO_QUERY_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/operators.h"
+#include "storage/catalog.h"
+
+namespace telco {
+
+/// \brief Eager, error-latching relational pipeline.
+class Query {
+ public:
+  /// Starts a pipeline from a catalog table.
+  static Query From(const Catalog& catalog, const std::string& table_name);
+
+  /// Starts a pipeline from an existing table.
+  static Query FromTable(TablePtr table);
+
+  /// WHERE predicate.
+  Query& Filter(const ExprPtr& predicate);
+
+  /// SELECT of computed columns (replaces the schema).
+  Query& Project(std::vector<ProjectedColumn> columns);
+
+  /// SELECT of existing columns by name.
+  Query& Select(const std::vector<std::string>& names);
+
+  /// Equi-join with a catalog table.
+  Query& Join(const Catalog& catalog, const std::string& right_table,
+              const std::vector<std::string>& left_keys,
+              const std::vector<std::string>& right_keys,
+              JoinType type = JoinType::kInner);
+
+  /// Equi-join with an in-flight table.
+  Query& JoinTable(const TablePtr& right,
+                   const std::vector<std::string>& left_keys,
+                   const std::vector<std::string>& right_keys,
+                   JoinType type = JoinType::kInner);
+
+  /// GROUP BY + aggregates.
+  Query& GroupBy(const std::vector<std::string>& keys,
+                 const std::vector<Aggregate>& aggs);
+
+  /// ORDER BY.
+  Query& OrderBy(const std::vector<SortKey>& keys);
+
+  /// LIMIT.
+  Query& Limit(size_t n);
+
+  /// Finishes the pipeline: the resulting table, or the first stage error.
+  /// The query is consumed (its table handle is moved out).
+  Result<TablePtr> Execute();
+
+ private:
+  Query() = default;
+
+  TablePtr table_;
+  Status error_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_QUERY_QUERY_H_

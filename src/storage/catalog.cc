@@ -1,0 +1,68 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+namespace telco {
+
+Status Catalog::Register(const std::string& name,
+                         std::shared_ptr<Table> table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("cannot register a null table");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!tables_.emplace(name, std::move(table)).second) {
+    return Status::AlreadyExists("table '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+void Catalog::RegisterOrReplace(const std::string& name,
+                                std::shared_ptr<Table> table) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tables_[name] = std::move(table);
+}
+
+Result<std::shared_ptr<Table>> Catalog::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not found");
+  }
+  return it->second;
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tables_.count(name) > 0;
+}
+
+Status Catalog::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("table '" + name + "' not found");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t Catalog::TotalRows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const auto& [_, table] : tables_) total += table->num_rows();
+  return total;
+}
+
+size_t Catalog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tables_.size();
+}
+
+}  // namespace telco

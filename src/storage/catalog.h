@@ -1,0 +1,59 @@
+// Catalog: the named-table store of the telcochurn warehouse.
+//
+// Substitutes for the paper's HDFS + Hive metastore: raw BSS/OSS tables
+// and intermediate feature-engineering results are registered here by
+// name and consumed by src/query operators. The paper stresses that
+// intermediate Hive tables are cached "since the feature engineering may
+// be repeated many times"; the Catalog is that cache.
+
+#ifndef TELCO_STORAGE_CATALOG_H_
+#define TELCO_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace telco {
+
+/// \brief Thread-safe map from table name to immutable Table.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers a table; fails with AlreadyExists if the name is taken.
+  Status Register(const std::string& name, std::shared_ptr<Table> table);
+
+  /// Registers or replaces a table under the given name.
+  void RegisterOrReplace(const std::string& name,
+                         std::shared_ptr<Table> table);
+
+  /// Looks up a table by name.
+  Result<std::shared_ptr<Table>> Get(const std::string& name) const;
+
+  /// True iff a table with that name exists.
+  bool Contains(const std::string& name) const;
+
+  /// Removes a table; fails with NotFound if absent.
+  Status Drop(const std::string& name);
+
+  /// Names of all registered tables, sorted.
+  std::vector<std::string> ListTables() const;
+
+  /// Total number of rows across all tables (warehouse size metric).
+  size_t TotalRows() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Table>> tables_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_STORAGE_CATALOG_H_

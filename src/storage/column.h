@@ -1,0 +1,117 @@
+// Column: one typed, nullable column of a warehouse table.
+
+#ifndef TELCO_STORAGE_COLUMN_H_
+#define TELCO_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "storage/data_type.h"
+#include "storage/value.h"
+
+namespace telco {
+
+/// \brief Columnar storage for one field: a typed vector plus validity.
+///
+/// Nulls are stored as default-valued slots with validity[i] == 0. Typed
+/// bulk accessors (int64_data / double_data) expose the underlying vector
+/// directly for operator kernels; Value-based access is for row-at-a-time
+/// boundaries.
+class Column {
+ public:
+  /// Creates an empty column of the given type.
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const { return validity_.size(); }
+  bool empty() const { return validity_.empty(); }
+
+  /// Appends a cell; the value's type must match the column type
+  /// (int64 is promoted into a double column).
+  void Append(const Value& v);
+
+  /// Typed appends (non-null); faster than Append(Value) in bulk loaders.
+  void AppendInt64(int64_t v) {
+    TELCO_DCHECK(type_ == DataType::kInt64);
+    int64_data_.push_back(v);
+    validity_.push_back(1);
+  }
+  void AppendDouble(double v) {
+    TELCO_DCHECK(type_ == DataType::kDouble);
+    double_data_.push_back(v);
+    validity_.push_back(1);
+  }
+  void AppendString(std::string v) {
+    TELCO_DCHECK(type_ == DataType::kString);
+    string_data_.push_back(std::move(v));
+    validity_.push_back(1);
+  }
+  void AppendNull();
+
+  /// Reserves capacity for n cells.
+  void Reserve(size_t n);
+
+  bool IsNull(size_t i) const {
+    TELCO_DCHECK(i < size());
+    return validity_[i] == 0;
+  }
+
+  /// Cell as a dynamically-typed Value (null-aware).
+  Value GetValue(size_t i) const;
+
+  /// Typed cell accessors. Preconditions: matching type, non-null cell
+  /// for meaningful results (null slots hold the type's default).
+  int64_t GetInt64(size_t i) const {
+    TELCO_DCHECK(type_ == DataType::kInt64 && i < size());
+    return int64_data_[i];
+  }
+  double GetDouble(size_t i) const {
+    TELCO_DCHECK(type_ == DataType::kDouble && i < size());
+    return double_data_[i];
+  }
+  const std::string& GetString(size_t i) const {
+    TELCO_DCHECK(type_ == DataType::kString && i < size());
+    return string_data_[i];
+  }
+
+  /// Numeric cell as double regardless of int64/double storage.
+  /// Precondition: numeric column. Null slots return 0.0.
+  double GetNumeric(size_t i) const {
+    if (type_ == DataType::kInt64) return static_cast<double>(GetInt64(i));
+    return GetDouble(i);
+  }
+
+  /// Raw typed storage (includes default-valued null slots).
+  const std::vector<int64_t>& int64_data() const {
+    TELCO_DCHECK(type_ == DataType::kInt64);
+    return int64_data_;
+  }
+  const std::vector<double>& double_data() const {
+    TELCO_DCHECK(type_ == DataType::kDouble);
+    return double_data_;
+  }
+  const std::vector<std::string>& string_data() const {
+    TELCO_DCHECK(type_ == DataType::kString);
+    return string_data_;
+  }
+  const std::vector<uint8_t>& validity() const { return validity_; }
+
+  /// Number of null cells.
+  size_t null_count() const;
+
+  /// A new column containing the cells at `indices`, in order.
+  Column Take(const std::vector<size_t>& indices) const;
+
+ private:
+  DataType type_;
+  std::vector<int64_t> int64_data_;
+  std::vector<double> double_data_;
+  std::vector<std::string> string_data_;
+  std::vector<uint8_t> validity_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_STORAGE_COLUMN_H_

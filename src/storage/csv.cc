@@ -1,0 +1,197 @@
+#include "storage/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace telco {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void WriteRow(std::ostream& out, const Table& table, size_t row) {
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out << ',';
+    const Value v = table.GetValue(row, c);
+    if (v.is_null()) continue;
+    if (v.is_string()) {
+      out << (NeedsQuoting(v.str()) ? QuoteField(v.str()) : v.str());
+    } else if (v.is_int64()) {
+      out << v.int64();
+    } else {
+      out << StrFormat("%.17g", v.dbl());
+    }
+  }
+  out << '\n';
+}
+
+void WriteHeader(std::ostream& out, const Table& table) {
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out << ',';
+    const std::string& name = table.schema().field(c).name;
+    out << (NeedsQuoting(name) ? QuoteField(name) : name);
+  }
+  out << '\n';
+}
+
+// Splits one CSV record into fields, honouring quotes. Returns false on a
+// malformed record (unterminated quote).
+bool SplitRecord(const std::string& line, std::vector<std::string>* fields) {
+  fields->clear();
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields->push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF line endings.
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) return false;
+  fields->push_back(std::move(cur));
+  return true;
+}
+
+Result<Value> ParseField(const std::string& field, DataType type) {
+  if (field.empty()) return Value::Null();
+  switch (type) {
+    case DataType::kInt64: {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(field.c_str(), &end, 10);
+      if (errno != 0 || end == field.c_str() || *end != '\0') {
+        return Status::TypeError("cannot parse '" + field + "' as int64");
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case DataType::kDouble: {
+      errno = 0;
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (errno != 0 || end == field.c_str() || *end != '\0') {
+        return Status::TypeError("cannot parse '" + field + "' as double");
+      }
+      return Value(v);
+    }
+    case DataType::kString:
+      return Value(field);
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<std::shared_ptr<Table>> ParseCsvStream(std::istream& in,
+                                              const Schema& schema) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("CSV input is empty (missing header)");
+  }
+  std::vector<std::string> header;
+  if (!SplitRecord(line, &header)) {
+    return Status::IoError("malformed CSV header");
+  }
+  if (header.size() != schema.num_fields()) {
+    return Status::InvalidArgument(StrFormat(
+        "CSV header width %zu does not match schema width %zu",
+        header.size(), schema.num_fields()));
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (std::string(Trim(header[i])) != schema.field(i).name) {
+      return Status::InvalidArgument(
+          "CSV header field '" + header[i] + "' does not match schema field '" +
+          schema.field(i).name + "'");
+    }
+  }
+
+  TableBuilder builder(schema);
+  std::vector<std::string> fields;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || (line.size() == 1 && line[0] == '\r')) continue;
+    if (!SplitRecord(line, &fields)) {
+      return Status::IoError(StrFormat("malformed CSV record at line %zu",
+                                       line_no));
+    }
+    if (fields.size() != schema.num_fields()) {
+      return Status::InvalidArgument(StrFormat(
+          "CSV record at line %zu has %zu fields, expected %zu", line_no,
+          fields.size(), schema.num_fields()));
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      TELCO_ASSIGN_OR_RETURN(Value v,
+                             ParseField(fields[i], schema.field(i).type));
+      row.push_back(std::move(v));
+    }
+    TELCO_RETURN_NOT_OK(builder.AppendRow(row));
+  }
+  return builder.Finish();
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  WriteHeader(out, table);
+  for (size_t r = 0; r < table.num_rows(); ++r) WriteRow(out, table, r);
+  out.flush();
+  if (!out) return Status::IoError("error while writing '" + path + "'");
+  return Status::OK();
+}
+
+std::string ToCsvString(const Table& table) {
+  std::ostringstream out;
+  WriteHeader(out, table);
+  for (size_t r = 0; r < table.num_rows(); ++r) WriteRow(out, table, r);
+  return out.str();
+}
+
+Result<std::shared_ptr<Table>> ReadCsv(const std::string& path,
+                                       const Schema& schema) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  return ParseCsvStream(in, schema);
+}
+
+Result<std::shared_ptr<Table>> ParseCsvString(const std::string& text,
+                                              const Schema& schema) {
+  std::istringstream in(text);
+  return ParseCsvStream(in, schema);
+}
+
+}  // namespace telco

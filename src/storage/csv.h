@@ -1,0 +1,33 @@
+// CSV import/export for warehouse tables (the repo's ETL boundary).
+
+#ifndef TELCO_STORAGE_CSV_H_
+#define TELCO_STORAGE_CSV_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace telco {
+
+/// \brief Writes a table as RFC-4180-style CSV with a header row.
+/// Strings containing separators, quotes or newlines are quoted; nulls are
+/// written as empty fields.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// \brief Serialises a table to a CSV string (testing convenience).
+std::string ToCsvString(const Table& table);
+
+/// \brief Reads a CSV file into a table using the given schema.
+/// Empty fields become nulls; int64/double fields are parsed strictly.
+Result<std::shared_ptr<Table>> ReadCsv(const std::string& path,
+                                       const Schema& schema);
+
+/// \brief Parses CSV text into a table (testing convenience).
+Result<std::shared_ptr<Table>> ParseCsvString(const std::string& text,
+                                              const Schema& schema);
+
+}  // namespace telco
+
+#endif  // TELCO_STORAGE_CSV_H_

@@ -1,0 +1,26 @@
+// Logical column types of the telcochurn warehouse.
+
+#ifndef TELCO_STORAGE_DATA_TYPE_H_
+#define TELCO_STORAGE_DATA_TYPE_H_
+
+#include <string>
+
+namespace telco {
+
+/// \brief Logical type of a column cell.
+///
+/// The warehouse intentionally supports a small closed set of types — the
+/// paper's raw BSS/OSS tables are all integers (ids, counts, flags),
+/// decimals (durations, KPIs, money) and strings (text, identifiers).
+enum class DataType : int {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+/// "int64" / "double" / "string".
+const char* DataTypeToString(DataType type);
+
+}  // namespace telco
+
+#endif  // TELCO_STORAGE_DATA_TYPE_H_

@@ -1,0 +1,62 @@
+// Field and Schema: the column layout of a warehouse table.
+
+#ifndef TELCO_STORAGE_SCHEMA_H_
+#define TELCO_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/data_type.h"
+
+namespace telco {
+
+/// \brief A named, typed column descriptor.
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& other) const = default;
+};
+
+/// \brief An ordered list of fields with O(1) lookup by name.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; duplicate names are a programming error surfaced by
+  /// the fallible Make factory below — this constructor asserts.
+  explicit Schema(std::vector<Field> fields);
+
+  /// Fallible construction rejecting duplicate or empty field names.
+  static Result<Schema> Make(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field with the given name, if present.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// Index of the field with the given name, or an error status.
+  Result<size_t> GetFieldIndex(const std::string& name) const;
+
+  bool HasField(const std::string& name) const {
+    return IndexOf(name).has_value();
+  }
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+  /// "name:type, name:type, ...".
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_STORAGE_SCHEMA_H_

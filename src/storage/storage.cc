@@ -1,0 +1,285 @@
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace telco {
+
+// ---------------------------------------------------------------- DataType
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------------- Value
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int64()) return std::to_string(int64());
+  if (is_double()) return StrFormat("%.6g", dbl());
+  return "\"" + str() + "\"";
+}
+
+// ------------------------------------------------------------------ Schema
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    TELCO_CHECK(!fields_[i].name.empty()) << "empty field name";
+    const bool inserted = index_.emplace(fields_[i].name, i).second;
+    TELCO_CHECK(inserted) << "duplicate field name: " << fields_[i].name;
+  }
+}
+
+Result<Schema> Schema::Make(std::vector<Field> fields) {
+  std::unordered_map<std::string, size_t> seen;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name.empty()) {
+      return Status::InvalidArgument("schema field name must not be empty");
+    }
+    if (!seen.emplace(fields[i].name, i).second) {
+      return Status::InvalidArgument("duplicate field name: " + fields[i].name);
+    }
+  }
+  return Schema(std::move(fields));
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<size_t> Schema::GetFieldIndex(const std::string& name) const {
+  const auto idx = IndexOf(name);
+  if (!idx) return Status::NotFound("no field named '" + name + "'");
+  return *idx;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const auto& f : fields_) {
+    parts.push_back(f.name + ":" + DataTypeToString(f.type));
+  }
+  return Join(parts, ", ");
+}
+
+// ------------------------------------------------------------------ Column
+
+void Column::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      TELCO_DCHECK(v.is_int64()) << "appending " << v.ToString() << " to int64";
+      AppendInt64(v.int64());
+      return;
+    case DataType::kDouble:
+      // Accept int64 literals into double columns: ubiquitous in feature
+      // engineering expressions (e.g. `count * 2`).
+      AppendDouble(v.AsDouble());
+      return;
+    case DataType::kString:
+      TELCO_DCHECK(v.is_string());
+      AppendString(v.str());
+      return;
+  }
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case DataType::kInt64:
+      int64_data_.push_back(0);
+      break;
+    case DataType::kDouble:
+      double_data_.push_back(0.0);
+      break;
+    case DataType::kString:
+      string_data_.emplace_back();
+      break;
+  }
+  validity_.push_back(0);
+}
+
+void Column::Reserve(size_t n) {
+  validity_.reserve(n);
+  switch (type_) {
+    case DataType::kInt64:
+      int64_data_.reserve(n);
+      break;
+    case DataType::kDouble:
+      double_data_.reserve(n);
+      break;
+    case DataType::kString:
+      string_data_.reserve(n);
+      break;
+  }
+}
+
+Value Column::GetValue(size_t i) const {
+  TELCO_DCHECK(i < size());
+  if (validity_[i] == 0) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+      return Value(int64_data_[i]);
+    case DataType::kDouble:
+      return Value(double_data_[i]);
+    case DataType::kString:
+      return Value(string_data_[i]);
+  }
+  return Value::Null();
+}
+
+size_t Column::null_count() const {
+  size_t n = 0;
+  for (uint8_t v : validity_) n += (v == 0);
+  return n;
+}
+
+Column Column::Take(const std::vector<size_t>& indices) const {
+  Column out(type_);
+  out.Reserve(indices.size());
+  for (size_t idx : indices) {
+    TELCO_DCHECK(idx < size());
+    if (validity_[idx] == 0) {
+      out.AppendNull();
+      continue;
+    }
+    switch (type_) {
+      case DataType::kInt64:
+        out.AppendInt64(int64_data_[idx]);
+        break;
+      case DataType::kDouble:
+        out.AppendDouble(double_data_[idx]);
+        break;
+      case DataType::kString:
+        out.AppendString(string_data_[idx]);
+        break;
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- Table
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const auto& f : schema_.fields()) columns_.emplace_back(f.type);
+}
+
+Result<std::shared_ptr<Table>> Table::Make(Schema schema,
+                                           std::vector<Column> columns) {
+  if (columns.size() != schema.num_fields()) {
+    return Status::InvalidArgument(StrFormat(
+        "column count %zu does not match schema field count %zu",
+        columns.size(), schema.num_fields()));
+  }
+  size_t rows = columns.empty() ? 0 : columns[0].size();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].type() != schema.field(i).type) {
+      return Status::TypeError("column type mismatch for field '" +
+                               schema.field(i).name + "'");
+    }
+    if (columns[i].size() != rows) {
+      return Status::InvalidArgument("ragged columns: field '" +
+                                     schema.field(i).name + "'");
+    }
+  }
+  auto table = std::make_shared<Table>(std::move(schema));
+  table->columns_ = std::move(columns);
+  table->num_rows_ = rows;
+  return table;
+}
+
+Result<const Column*> Table::GetColumn(const std::string& name) const {
+  TELCO_ASSIGN_OR_RETURN(const size_t idx, schema_.GetFieldIndex(name));
+  return &columns_[idx];
+}
+
+std::vector<Value> Table::GetRow(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(num_columns());
+  for (size_t c = 0; c < num_columns(); ++c) out.push_back(GetValue(row, c));
+  return out;
+}
+
+std::shared_ptr<Table> Table::TakeRows(
+    const std::vector<size_t>& indices) const {
+  std::vector<Column> cols;
+  cols.reserve(columns_.size());
+  for (const auto& col : columns_) cols.push_back(col.Take(indices));
+  auto result = Table::Make(schema_, std::move(cols));
+  TELCO_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream out;
+  out << schema_.ToString() << "  (" << num_rows_ << " rows)\n";
+  const size_t limit = std::min(max_rows, num_rows_);
+  for (size_t r = 0; r < limit; ++r) {
+    for (size_t c = 0; c < num_columns(); ++c) {
+      if (c > 0) out << " | ";
+      out << GetValue(r, c).ToString();
+    }
+    out << "\n";
+  }
+  if (limit < num_rows_) out << "... (" << (num_rows_ - limit) << " more)\n";
+  return out.str();
+}
+
+// ------------------------------------------------------------ TableBuilder
+
+TableBuilder::TableBuilder(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const auto& f : schema_.fields()) columns_.emplace_back(f.type);
+}
+
+Status TableBuilder::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != schema_.num_fields()) {
+    return Status::InvalidArgument(StrFormat(
+        "row width %zu does not match schema width %zu", row.size(),
+        schema_.num_fields()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    // int64 literals are accepted into double columns (Column::Append).
+    const bool numeric_promotion =
+        schema_.field(i).type == DataType::kDouble && row[i].is_int64();
+    if (!numeric_promotion && !row[i].TypeMatches(schema_.field(i).type)) {
+      return Status::TypeError(StrFormat(
+          "value %s does not match type %s of field '%s'",
+          row[i].ToString().c_str(), DataTypeToString(schema_.field(i).type),
+          schema_.field(i).name.c_str()));
+    }
+  }
+  AppendRowUnchecked(row);
+  return Status::OK();
+}
+
+void TableBuilder::AppendRowUnchecked(const std::vector<Value>& row) {
+  TELCO_DCHECK(row.size() == schema_.num_fields());
+  for (size_t i = 0; i < row.size(); ++i) columns_[i].Append(row[i]);
+}
+
+void TableBuilder::Reserve(size_t n) {
+  for (auto& col : columns_) col.Reserve(n);
+}
+
+Result<std::shared_ptr<Table>> TableBuilder::Finish() {
+  return Table::Make(std::move(schema_), std::move(columns_));
+}
+
+}  // namespace telco

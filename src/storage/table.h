@@ -1,0 +1,99 @@
+// Table: an immutable-after-build columnar table, and TableBuilder.
+
+#ifndef TELCO_STORAGE_TABLE_H_
+#define TELCO_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+
+namespace telco {
+
+class Table;
+/// Shared-ownership handle to an immutable table (the currency of the
+/// query layer and the catalog).
+using TablePtr = std::shared_ptr<Table>;
+
+/// \brief A columnar table: a schema plus one Column per field.
+///
+/// Tables are the unit of storage in the warehouse (Catalog) and the
+/// input/output of every relational operator in src/query. Operators
+/// produce new tables; tables are shared via shared_ptr and treated as
+/// immutable once published.
+class Table {
+ public:
+  /// Creates an empty table with the given schema.
+  explicit Table(Schema schema);
+
+  /// Creates a table from a schema and matching pre-built columns.
+  /// All columns must have equal length and types matching the schema.
+  static Result<std::shared_ptr<Table>> Make(Schema schema,
+                                             std::vector<Column> columns);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Column by name, or an error if absent.
+  Result<const Column*> GetColumn(const std::string& name) const;
+
+  /// Cell accessor through the dynamic Value type.
+  Value GetValue(size_t row, size_t col) const {
+    return columns_[col].GetValue(row);
+  }
+
+  /// One row as a vector of Values (row-at-a-time boundary API).
+  std::vector<Value> GetRow(size_t row) const;
+
+  /// A new table containing the rows at `indices`, in order
+  /// (duplicates allowed — used by up-sampling and joins).
+  std::shared_ptr<Table> TakeRows(const std::vector<size_t>& indices) const;
+
+  /// Renders up to `max_rows` rows as an aligned ASCII table for debugging.
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  friend class TableBuilder;
+
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+/// \brief Row-at-a-time builder for Table, with typed fast paths.
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema);
+
+  /// Appends a row; the value count and types must match the schema.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Unchecked append used by bulk loaders; asserts in debug builds.
+  void AppendRowUnchecked(const std::vector<Value>& row);
+
+  /// Direct access to column i for typed bulk appends. The caller is
+  /// responsible for keeping all columns the same length before Finish.
+  Column& column(size_t i) { return columns_[i]; }
+
+  /// Reserves capacity for n rows in every column.
+  void Reserve(size_t n);
+
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+
+  /// Validates column lengths and moves the data into a Table.
+  Result<std::shared_ptr<Table>> Finish();
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_STORAGE_TABLE_H_

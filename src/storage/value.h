@@ -1,0 +1,87 @@
+// Value: one dynamically-typed cell of a warehouse table.
+
+#ifndef TELCO_STORAGE_VALUE_H_
+#define TELCO_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/logging.h"
+#include "storage/data_type.h"
+
+namespace telco {
+
+/// \brief A nullable, dynamically-typed cell value.
+///
+/// Used at API boundaries (row construction, expression evaluation,
+/// query results). Bulk columnar access goes through Column's typed
+/// vectors instead.
+class Value {
+ public:
+  /// The null value.
+  Value() : repr_(std::monostate{}) {}
+
+  Value(int64_t v) : repr_(v) {}                  // NOLINT
+  Value(int v) : repr_(static_cast<int64_t>(v)) {}  // NOLINT
+  Value(double v) : repr_(v) {}                   // NOLINT
+  Value(std::string v) : repr_(std::move(v)) {}   // NOLINT
+  Value(const char* v) : repr_(std::string(v)) {} // NOLINT
+
+  /// Explicit null factory, clearer than `Value()` at call sites.
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  /// Accessors. Preconditions: the value holds the requested type.
+  int64_t int64() const {
+    TELCO_DCHECK(is_int64());
+    return std::get<int64_t>(repr_);
+  }
+  double dbl() const {
+    TELCO_DCHECK(is_double());
+    return std::get<double>(repr_);
+  }
+  const std::string& str() const {
+    TELCO_DCHECK(is_string());
+    return std::get<std::string>(repr_);
+  }
+
+  /// Numeric coercion: int64 or double as double. Precondition: numeric.
+  double AsDouble() const {
+    if (is_int64()) return static_cast<double>(int64());
+    TELCO_DCHECK(is_double());
+    return dbl();
+  }
+
+  /// True iff the value matches the given logical type (null matches all).
+  bool TypeMatches(DataType type) const {
+    if (is_null()) return true;
+    switch (type) {
+      case DataType::kInt64:
+        return is_int64();
+      case DataType::kDouble:
+        return is_double();
+      case DataType::kString:
+        return is_string();
+    }
+    return false;
+  }
+
+  /// Equality: same type and payload (null == null).
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Debug rendering ("NULL", "42", "3.14", "\"text\"").
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_STORAGE_VALUE_H_

@@ -1,0 +1,99 @@
+#include "storage/warehouse_io.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_util.h"
+#include "storage/csv.h"
+
+namespace telco {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Result<DataType> ParseType(const std::string& name) {
+  if (name == "int64") return DataType::kInt64;
+  if (name == "double") return DataType::kDouble;
+  if (name == "string") return DataType::kString;
+  return Status::InvalidArgument("unknown type '" + name + "' in manifest");
+}
+
+std::string SchemaSpec(const Schema& schema) {
+  std::vector<std::string> parts;
+  parts.reserve(schema.num_fields());
+  for (const auto& f : schema.fields()) {
+    parts.push_back(f.name + ":" + DataTypeToString(f.type));
+  }
+  return Join(parts, ",");
+}
+
+Result<Schema> ParseSchemaSpec(const std::string& spec) {
+  std::vector<Field> fields;
+  for (const auto& part : Split(spec, ',')) {
+    const auto pieces = Split(part, ':');
+    if (pieces.size() != 2) {
+      return Status::InvalidArgument("malformed schema entry '" + part +
+                                     "'");
+    }
+    TELCO_ASSIGN_OR_RETURN(const DataType type, ParseType(pieces[1]));
+    fields.push_back(Field{pieces[0], type});
+  }
+  return Schema::Make(std::move(fields));
+}
+
+}  // namespace
+
+Status SaveWarehouse(const Catalog& catalog, const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::IoError("cannot create directory '" + directory +
+                           "': " + ec.message());
+  }
+  std::ofstream manifest(fs::path(directory) / "MANIFEST");
+  if (!manifest) {
+    return Status::IoError("cannot write manifest in '" + directory + "'");
+  }
+  for (const std::string& name : catalog.ListTables()) {
+    TELCO_ASSIGN_OR_RETURN(const TablePtr table, catalog.Get(name));
+    const fs::path file = fs::path(directory) / (name + ".csv");
+    TELCO_RETURN_NOT_OK(WriteCsv(*table, file.string()));
+    manifest << name << '|' << SchemaSpec(table->schema()) << '\n';
+  }
+  manifest.flush();
+  if (!manifest) {
+    return Status::IoError("error writing manifest in '" + directory + "'");
+  }
+  return Status::OK();
+}
+
+Status LoadWarehouse(const std::string& directory, Catalog* catalog) {
+  if (catalog == nullptr) {
+    return Status::InvalidArgument("null catalog");
+  }
+  std::ifstream manifest(fs::path(directory) / "MANIFEST");
+  if (!manifest) {
+    return Status::IoError("cannot open manifest in '" + directory + "'");
+  }
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(manifest, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const size_t bar = line.find('|');
+    if (bar == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("malformed manifest line %zu", line_no));
+    }
+    const std::string name = line.substr(0, bar);
+    TELCO_ASSIGN_OR_RETURN(const Schema schema,
+                           ParseSchemaSpec(line.substr(bar + 1)));
+    const fs::path file = fs::path(directory) / (name + ".csv");
+    TELCO_ASSIGN_OR_RETURN(TablePtr table, ReadCsv(file.string(), schema));
+    catalog->RegisterOrReplace(name, std::move(table));
+  }
+  return Status::OK();
+}
+
+}  // namespace telco

@@ -1,0 +1,27 @@
+// Warehouse persistence: saves/loads a whole Catalog as a directory of
+// CSV files plus a schema manifest — the repo's stand-in for the paper's
+// HDFS-resident warehouse, and the bridge for bringing real exported
+// telco data into the pipeline.
+
+#ifndef TELCO_STORAGE_WAREHOUSE_IO_H_
+#define TELCO_STORAGE_WAREHOUSE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+
+namespace telco {
+
+/// \brief Writes every table of `catalog` into `directory` (created if
+/// missing): one `<table>.csv` per table plus a `MANIFEST` file recording
+/// each table's schema (`name|field:type,field:type,...`).
+Status SaveWarehouse(const Catalog& catalog, const std::string& directory);
+
+/// \brief Loads a directory written by SaveWarehouse into `catalog`
+/// (existing tables with the same names are replaced).
+Status LoadWarehouse(const std::string& directory, Catalog* catalog);
+
+}  // namespace telco
+
+#endif  // TELCO_STORAGE_WAREHOUSE_IO_H_

@@ -1,0 +1,225 @@
+#include "text/lda.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace telco {
+
+namespace {
+
+// Flattened view of the corpus non-zeros for cache-friendly sweeps.
+struct Nonzeros {
+  std::vector<uint32_t> doc;
+  std::vector<uint32_t> word;
+  std::vector<double> count;
+
+  explicit Nonzeros(const Corpus& corpus) {
+    size_t total = 0;
+    for (size_t d = 0; d < corpus.num_documents(); ++d) {
+      total += corpus.document(d).word_counts.size();
+    }
+    doc.reserve(total);
+    word.reserve(total);
+    count.reserve(total);
+    for (size_t d = 0; d < corpus.num_documents(); ++d) {
+      for (const auto& [w, c] : corpus.document(d).word_counts) {
+        doc.push_back(static_cast<uint32_t>(d));
+        word.push_back(w);
+        count.push_back(static_cast<double>(c));
+      }
+    }
+  }
+
+  size_t size() const { return doc.size(); }
+};
+
+}  // namespace
+
+Result<LdaModel> LdaModel::Train(const Corpus& corpus,
+                                 const LdaOptions& options) {
+  if (options.num_topics < 2) {
+    return Status::InvalidArgument("LDA needs at least 2 topics");
+  }
+  if (corpus.num_documents() == 0) {
+    return Status::InvalidArgument("LDA over an empty corpus");
+  }
+  if (corpus.vocab_size() == 0) {
+    return Status::InvalidArgument("LDA over an empty vocabulary");
+  }
+  const uint32_t K = options.num_topics;
+  const size_t M = corpus.num_documents();
+  const size_t W = corpus.vocab_size();
+  const Nonzeros nz(corpus);
+
+  // Messages mu: one K-vector per non-zero, randomly initialised.
+  Rng rng(options.seed);
+  std::vector<double> mu(nz.size() * K);
+  for (size_t i = 0; i < nz.size(); ++i) {
+    double total = 0.0;
+    for (uint32_t k = 0; k < K; ++k) {
+      const double v = 0.5 + rng.Uniform();
+      mu[i * K + k] = v;
+      total += v;
+    }
+    for (uint32_t k = 0; k < K; ++k) mu[i * K + k] /= total;
+  }
+
+  // Message-weighted counts.
+  std::vector<double> theta_hat(M * K, 0.0);  // doc-topic
+  std::vector<double> phi_hat(W * K, 0.0);    // word-topic
+  std::vector<double> phi_tot(K, 0.0);        // per-topic token mass
+  auto accumulate = [&] {
+    std::fill(theta_hat.begin(), theta_hat.end(), 0.0);
+    std::fill(phi_hat.begin(), phi_hat.end(), 0.0);
+    std::fill(phi_tot.begin(), phi_tot.end(), 0.0);
+    for (size_t i = 0; i < nz.size(); ++i) {
+      const double x = nz.count[i];
+      const double* m = &mu[i * K];
+      double* th = &theta_hat[static_cast<size_t>(nz.doc[i]) * K];
+      double* ph = &phi_hat[static_cast<size_t>(nz.word[i]) * K];
+      for (uint32_t k = 0; k < K; ++k) {
+        const double v = x * m[k];
+        th[k] += v;
+        ph[k] += v;
+        phi_tot[k] += v;
+      }
+    }
+  };
+  accumulate();
+
+  const double wb = static_cast<double>(W) * options.beta;
+  LdaModel model;
+  model.num_topics_ = K;
+  model.alpha_ = options.alpha;
+
+  std::vector<double> fresh(K);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double total_change = 0.0;
+    for (size_t i = 0; i < nz.size(); ++i) {
+      const double x = nz.count[i];
+      double* m = &mu[i * K];
+      double* th = &theta_hat[static_cast<size_t>(nz.doc[i]) * K];
+      double* ph = &phi_hat[static_cast<size_t>(nz.word[i]) * K];
+      double norm = 0.0;
+      for (uint32_t k = 0; k < K; ++k) {
+        // Exclude this cell's own mass (the "cavity" of BP).
+        const double self = x * m[k];
+        const double t = th[k] - self + options.alpha;
+        const double p = ph[k] - self + options.beta;
+        const double z = phi_tot[k] - self + wb;
+        const double v = (t > 0.0 && p > 0.0 && z > 0.0) ? t * p / z : 1e-12;
+        fresh[k] = v;
+        norm += v;
+      }
+      for (uint32_t k = 0; k < K; ++k) {
+        const double updated = fresh[k] / norm;
+        const double delta = updated - m[k];
+        total_change += std::fabs(delta);
+        // Incremental count update keeps the sweep O(nnz * K).
+        const double dm = x * delta;
+        th[k] += dm;
+        ph[k] += dm;
+        phi_tot[k] += dm;
+        m[k] = updated;
+      }
+    }
+    ++model.iterations_;
+    const double mean_change =
+        total_change / (static_cast<double>(nz.size()) * K + 1e-12);
+    if (mean_change < options.tolerance) {
+      model.converged_ = true;
+      break;
+    }
+  }
+
+  // Final normalised parameter estimates.
+  model.theta_.assign(M * K, 0.0);
+  for (size_t d = 0; d < M; ++d) {
+    double total = 0.0;
+    for (uint32_t k = 0; k < K; ++k) {
+      total += theta_hat[d * K + k] + options.alpha;
+    }
+    for (uint32_t k = 0; k < K; ++k) {
+      model.theta_[d * K + k] = (theta_hat[d * K + k] + options.alpha) / total;
+    }
+  }
+  model.phi_.assign(W * K, 0.0);
+  std::vector<double> topic_norm(K, 0.0);
+  for (uint32_t k = 0; k < K; ++k) topic_norm[k] = phi_tot[k] + wb;
+  for (size_t w = 0; w < W; ++w) {
+    for (uint32_t k = 0; k < K; ++k) {
+      model.phi_[w * K + k] =
+          (phi_hat[w * K + k] + options.beta) / topic_norm[k];
+    }
+  }
+  return model;
+}
+
+std::vector<double> LdaModel::DocumentTopics(size_t doc) const {
+  TELCO_CHECK(doc < num_documents());
+  return std::vector<double>(theta_.begin() + doc * num_topics_,
+                             theta_.begin() + (doc + 1) * num_topics_);
+}
+
+std::vector<double> LdaModel::TopicWords(uint32_t topic) const {
+  TELCO_CHECK(topic < num_topics_);
+  const size_t W = vocab_size();
+  std::vector<double> out(W);
+  double total = 0.0;
+  for (size_t w = 0; w < W; ++w) total += Phi(topic, static_cast<uint32_t>(w));
+  for (size_t w = 0; w < W; ++w) {
+    out[w] = Phi(topic, static_cast<uint32_t>(w)) / (total > 0 ? total : 1.0);
+  }
+  return out;
+}
+
+std::vector<double> LdaModel::InferDocument(const Document& doc,
+                                            int fold_in_iterations) const {
+  const uint32_t K = num_topics_;
+  std::vector<double> theta(K, 1.0 / K);
+  if (doc.word_counts.empty()) return theta;
+  std::vector<double> counts(K, 0.0);
+  for (int iter = 0; iter < fold_in_iterations; ++iter) {
+    std::fill(counts.begin(), counts.end(), 0.0);
+    for (const auto& [w, c] : doc.word_counts) {
+      if (w >= vocab_size()) continue;
+      double norm = 0.0;
+      std::vector<double> post(K);
+      for (uint32_t k = 0; k < K; ++k) {
+        post[k] = theta[k] * Phi(k, w);
+        norm += post[k];
+      }
+      if (norm <= 0.0) continue;
+      for (uint32_t k = 0; k < K; ++k) {
+        counts[k] += c * post[k] / norm;
+      }
+    }
+    double total = 0.0;
+    for (uint32_t k = 0; k < K; ++k) total += counts[k] + alpha_;
+    for (uint32_t k = 0; k < K; ++k) theta[k] = (counts[k] + alpha_) / total;
+  }
+  return theta;
+}
+
+double LdaModel::Perplexity(const Corpus& corpus) const {
+  const uint32_t K = num_topics_;
+  double log_lik = 0.0;
+  uint64_t tokens = 0;
+  for (size_t d = 0; d < corpus.num_documents(); ++d) {
+    const std::vector<double> theta = d < num_documents()
+                                          ? DocumentTopics(d)
+                                          : InferDocument(corpus.document(d));
+    for (const auto& [w, c] : corpus.document(d).word_counts) {
+      if (w >= vocab_size()) continue;
+      double p = 0.0;
+      for (uint32_t k = 0; k < K; ++k) p += theta[k] * Phi(k, w);
+      log_lik += c * std::log(std::max(p, 1e-300));
+      tokens += c;
+    }
+  }
+  if (tokens == 0) return 0.0;
+  return std::exp(-log_lik / static_cast<double>(tokens));
+}
+
+}  // namespace telco

@@ -1,0 +1,89 @@
+// Smoothed LDA trained by synchronous belief propagation (paper
+// Section 4.1.3; Zeng et al., "Learning Topic Models by Belief
+// Propagation", TPAMI 2013).
+//
+// The trainer maintains a message mu_{w,d}(k) — the posterior topic
+// distribution of each non-zero (word, document) cell — and iterates the
+// coordinate-descent update
+//
+//   mu_{w,d}(k) ∝ (theta_hat_d(k) - x_wd mu_wd(k) + alpha)
+//              * (phi_hat_w(k) - x_wd mu_wd(k) + beta)
+//              / (phi_tot(k)   - x_wd mu_wd(k) + W beta)
+//
+// where theta_hat / phi_hat are message-weighted counts. This maximises
+// the posterior p(theta, phi | x, alpha, beta) of Eq. (2). The outputs are
+// the multinomial matrices theta (K x M, the paper's per-customer topic
+// features with K = 10) and phi (K x W).
+
+#ifndef TELCO_TEXT_LDA_H_
+#define TELCO_TEXT_LDA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "text/vocabulary.h"
+
+namespace telco {
+
+/// Hyper-parameters of the LDA trainer.
+struct LdaOptions {
+  /// Number of topics K (the paper fixes K = 10).
+  uint32_t num_topics = 10;
+  /// Symmetric Dirichlet hyper-parameter for document-topic.
+  double alpha = 0.1;
+  /// Symmetric Dirichlet hyper-parameter for topic-word.
+  double beta = 0.01;
+  int max_iterations = 100;
+  /// Stop when the mean absolute message change drops below this.
+  double tolerance = 1e-4;
+  uint64_t seed = 42;
+};
+
+/// \brief A trained LDA model: theta and phi plus fold-in inference.
+class LdaModel {
+ public:
+  /// Trains on `corpus` with the given options.
+  static Result<LdaModel> Train(const Corpus& corpus,
+                                const LdaOptions& options = {});
+
+  uint32_t num_topics() const { return num_topics_; }
+  size_t num_documents() const { return theta_.size() / num_topics_; }
+  size_t vocab_size() const { return phi_.size() / num_topics_; }
+  int iterations() const { return iterations_; }
+  bool converged() const { return converged_; }
+
+  /// Document-topic distribution theta_d (length K, sums to 1).
+  std::vector<double> DocumentTopics(size_t doc) const;
+
+  /// Topic-word distribution phi_k (length W, sums to 1).
+  std::vector<double> TopicWords(uint32_t topic) const;
+
+  /// Folds in an unseen document against the trained phi, returning its
+  /// topic distribution. Empty documents return the uniform distribution.
+  std::vector<double> InferDocument(const Document& doc,
+                                    int fold_in_iterations = 20) const;
+
+  /// Perplexity of the corpus under the trained model (lower is better).
+  double Perplexity(const Corpus& corpus) const;
+
+ private:
+  LdaModel() = default;
+
+  double Phi(uint32_t topic, uint32_t word) const {
+    return phi_[static_cast<size_t>(word) * num_topics_ + topic];
+  }
+
+  uint32_t num_topics_ = 0;
+  double alpha_ = 0.1;
+  // theta_: doc-major M x K; phi_: word-major W x K (both normalised).
+  std::vector<double> theta_;
+  std::vector<double> phi_;
+  int iterations_ = 0;
+  bool converged_ = false;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_TEXT_LDA_H_

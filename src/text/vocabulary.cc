@@ -1,0 +1,92 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace telco {
+
+uint32_t Vocabulary::AddOccurrence(const std::string& word) {
+  const auto [it, inserted] =
+      ids_.emplace(word, static_cast<uint32_t>(words_.size()));
+  if (inserted) {
+    words_.push_back(word);
+    counts_.push_back(0);
+  }
+  ++counts_[it->second];
+  return it->second;
+}
+
+std::optional<uint32_t> Vocabulary::IdOf(const std::string& word) const {
+  const auto it = ids_.find(word);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+Vocabulary Vocabulary::Pruned(uint64_t min_count) const {
+  Vocabulary out;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (counts_[i] < min_count) continue;
+    const uint32_t id =
+        out.ids_.emplace(words_[i], static_cast<uint32_t>(out.words_.size()))
+            .first->second;
+    (void)id;
+    out.words_.push_back(words_[i]);
+    out.counts_.push_back(counts_[i]);
+  }
+  return out;
+}
+
+Status Corpus::AddDocument(Document doc) {
+  std::map<uint32_t, uint32_t> merged;
+  for (const auto& [w, c] : doc.word_counts) {
+    if (w >= vocab_size_) {
+      return Status::OutOfRange(StrFormat(
+          "word id %u out of range for vocabulary of %zu", w, vocab_size_));
+    }
+    if (c == 0) continue;
+    merged[w] += c;
+  }
+  Document clean;
+  clean.word_counts.assign(merged.begin(), merged.end());
+  documents_.push_back(std::move(clean));
+  return Status::OK();
+}
+
+Status Corpus::AddTokens(const Vocabulary& vocab,
+                         const std::vector<std::string>& tokens) {
+  std::map<uint32_t, uint32_t> merged;
+  for (const auto& tok : tokens) {
+    const auto id = vocab.IdOf(tok);
+    if (id) ++merged[*id];
+  }
+  Document doc;
+  doc.word_counts.assign(merged.begin(), merged.end());
+  return AddDocument(std::move(doc));
+}
+
+uint64_t Corpus::TotalTokens() const {
+  uint64_t total = 0;
+  for (const auto& d : documents_) total += d.TotalTokens();
+  return total;
+}
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) {
+        out.push_back(ToLower(cur));
+        cur.clear();
+      }
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(ToLower(cur));
+  return out;
+}
+
+}  // namespace telco

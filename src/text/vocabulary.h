@@ -1,0 +1,93 @@
+// Vocabulary and bag-of-words corpus for the topic-feature pipeline.
+//
+// The paper forms per-customer documents from complaint / search text,
+// removes low-frequency words (keeping 2408 complaint and 15974 search
+// vocabulary words at operator scale) and feeds the sparse counts to LDA.
+
+#ifndef TELCO_TEXT_VOCABULARY_H_
+#define TELCO_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace telco {
+
+/// \brief Bidirectional word <-> id mapping with frequency pruning.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Adds an occurrence of `word`, creating an id on first sight.
+  uint32_t AddOccurrence(const std::string& word);
+
+  /// Id of a word, if present.
+  std::optional<uint32_t> IdOf(const std::string& word) const;
+
+  /// The word with the given id. Precondition: id < size().
+  const std::string& WordOf(uint32_t id) const { return words_[id]; }
+
+  /// Total occurrences recorded for the given id.
+  uint64_t CountOf(uint32_t id) const { return counts_[id]; }
+
+  size_t size() const { return words_.size(); }
+
+  /// A new vocabulary containing only words with >= min_count occurrences
+  /// ("after removing less frequent words"), with dense re-assigned ids.
+  Vocabulary Pruned(uint64_t min_count) const;
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> words_;
+  std::vector<uint64_t> counts_;
+};
+
+/// \brief One document: sparse (word id, count) pairs.
+struct Document {
+  std::vector<std::pair<uint32_t, uint32_t>> word_counts;
+
+  /// Sum of counts.
+  uint64_t TotalTokens() const {
+    uint64_t total = 0;
+    for (const auto& [w, c] : word_counts) total += c;
+    return total;
+  }
+};
+
+/// \brief A corpus of documents sharing one vocabulary.
+class Corpus {
+ public:
+  explicit Corpus(size_t vocab_size) : vocab_size_(vocab_size) {}
+
+  /// Appends a document; word ids must be < vocab_size. Zero counts are
+  /// dropped; duplicate ids within a document are merged.
+  Status AddDocument(Document doc);
+
+  /// Tokenised convenience: counts the words of `tokens` that exist in
+  /// `vocab` and appends the resulting document (possibly empty).
+  Status AddTokens(const Vocabulary& vocab,
+                   const std::vector<std::string>& tokens);
+
+  size_t num_documents() const { return documents_.size(); }
+  size_t vocab_size() const { return vocab_size_; }
+  const Document& document(size_t i) const { return documents_[i]; }
+
+  /// Total token count across the corpus.
+  uint64_t TotalTokens() const;
+
+ private:
+  size_t vocab_size_;
+  std::vector<Document> documents_;
+};
+
+/// \brief Whitespace tokeniser with ASCII lower-casing (the repo's text
+/// sources are synthetic and already clean).
+std::vector<std::string> Tokenize(const std::string& text);
+
+}  // namespace telco
+
+#endif  // TELCO_TEXT_VOCABULARY_H_

@@ -1,0 +1,111 @@
+#include "churn/campaign_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "../features/sim_fixture.h"
+
+namespace telco {
+namespace {
+
+TEST(CampaignSimulatorTest, DeterministicResponses) {
+  auto& shared = sim_fixture::GetSharedSim();
+  CampaignSimulator world(shared.sim->config(), shared.sim->truth(), 5);
+  const MonthTruth& mt = shared.sim->truth().months[1];
+  for (size_t i = 0; i < std::min<size_t>(mt.active_imsis.size(), 50); ++i) {
+    const auto a = world.Respond(mt.active_imsis[i], 2,
+                                 OfferKind::kCashback100);
+    const auto b = world.Respond(mt.active_imsis[i], 2,
+                                 OfferKind::kCashback100);
+    EXPECT_EQ(a.recharged, b.recharged);
+    EXPECT_EQ(a.accepted, b.accepted);
+  }
+}
+
+TEST(CampaignSimulatorTest, InactiveCustomerNeverResponds) {
+  auto& shared = sim_fixture::GetSharedSim();
+  CampaignSimulator world(shared.sim->config(), shared.sim->truth(), 5);
+  const auto out = world.Respond(999999, 2, OfferKind::kCashback100);
+  EXPECT_FALSE(out.recharged);
+  EXPECT_EQ(out.accepted, OfferKind::kNone);
+}
+
+TEST(CampaignSimulatorTest, NonChurnersRechargeRegardless) {
+  auto& shared = sim_fixture::GetSharedSim();
+  CampaignSimulator world(shared.sim->config(), shared.sim->truth(), 5);
+  const MonthTruth& mt = shared.sim->truth().months[1];
+  for (size_t i = 0; i < mt.active_imsis.size(); ++i) {
+    if (!mt.churned[i]) {
+      EXPECT_TRUE(
+          world.Respond(mt.active_imsis[i], 2, OfferKind::kNone).recharged);
+    }
+  }
+}
+
+TEST(CampaignSimulatorTest, ChurnersRarelyRechargeWithoutOffer) {
+  auto& shared = sim_fixture::GetSharedSim();
+  CampaignSimulator world(shared.sim->config(), shared.sim->truth(), 5);
+  size_t churners = 0;
+  size_t recharged = 0;
+  for (const MonthTruth& mt : shared.sim->truth().months) {
+    for (size_t i = 0; i < mt.active_imsis.size(); ++i) {
+      if (!mt.churned[i]) continue;
+      ++churners;
+      recharged += world.Respond(mt.active_imsis[i], mt.month,
+                                 OfferKind::kNone)
+                       .recharged;
+    }
+  }
+  ASSERT_GT(churners, 100u);
+  // Table 6 Group A: ~1-2% of true churners recharge.
+  EXPECT_LT(static_cast<double>(recharged) / churners, 0.03);
+}
+
+TEST(CampaignSimulatorTest, MatchedOffersBeatMismatched) {
+  auto& shared = sim_fixture::GetSharedSim();
+  CampaignSimulator world(shared.sim->config(), shared.sim->truth(), 5);
+  size_t matched_total = 0;
+  size_t matched_accepted = 0;
+  size_t mismatched_total = 0;
+  size_t mismatched_accepted = 0;
+  for (const MonthTruth& mt : shared.sim->truth().months) {
+    for (size_t i = 0; i < mt.active_imsis.size(); ++i) {
+      if (!mt.churned[i]) continue;
+      const int64_t imsi = mt.active_imsis[i];
+      const OfferKind affinity = shared.sim->truth().offer_affinity.at(imsi);
+      if (affinity == OfferKind::kNone) continue;
+      const OfferKind wrong = affinity == OfferKind::kFlux500M
+                                  ? OfferKind::kVoice200Min
+                                  : OfferKind::kFlux500M;
+      ++matched_total;
+      matched_accepted +=
+          world.Respond(imsi, mt.month, affinity).recharged;
+      ++mismatched_total;
+      mismatched_accepted +=
+          world.Respond(imsi, mt.month, wrong).recharged;
+    }
+  }
+  ASSERT_GT(matched_total, 100u);
+  const double matched_rate =
+      static_cast<double>(matched_accepted) / matched_total;
+  const double mismatched_rate =
+      static_cast<double>(mismatched_accepted) / mismatched_total;
+  EXPECT_GT(matched_rate, 2.0 * mismatched_rate);
+  EXPECT_NEAR(matched_rate, shared.sim->config().accept_matched, 0.06);
+}
+
+TEST(CampaignSimulatorTest, AcceptedOfferMatchesOffered) {
+  auto& shared = sim_fixture::GetSharedSim();
+  CampaignSimulator world(shared.sim->config(), shared.sim->truth(), 5);
+  const MonthTruth& mt = shared.sim->truth().months[0];
+  for (size_t i = 0; i < mt.active_imsis.size(); ++i) {
+    const auto out =
+        world.Respond(mt.active_imsis[i], 1, OfferKind::kFlux500M);
+    if (out.accepted != OfferKind::kNone) {
+      EXPECT_EQ(out.accepted, OfferKind::kFlux500M);
+      EXPECT_TRUE(out.recharged);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace telco

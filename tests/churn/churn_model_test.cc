@@ -1,0 +1,108 @@
+#include "churn/churn_model.h"
+
+#include <gtest/gtest.h>
+
+#include "../ml/ml_test_util.h"
+
+namespace telco {
+namespace {
+
+using ml_testing::LinearlySeparable;
+
+ChurnModelOptions FastOptions(ClassifierKind kind) {
+  ChurnModelOptions options;
+  options.kind = kind;
+  options.rf.num_trees = 25;
+  options.rf.min_samples_split = 20;
+  options.gbdt.num_trees = 30;
+  options.lr.epochs = 15;
+  options.fm.epochs = 15;
+  return options;
+}
+
+class ChurnModelKindTest
+    : public ::testing::TestWithParam<ClassifierKind> {};
+
+TEST_P(ChurnModelKindTest, LearnsImbalancedSeparableData) {
+  const Dataset data = LinearlySeparable(3000, 777, 0.2, 0.1);
+  const auto split = SplitTrainTest(data, 0.3, 1);
+  ChurnModel model(FastOptions(GetParam()));
+  ASSERT_TRUE(model.Train(split.train).ok());
+  const auto scored = model.ScoreLabeled(split.test);
+  EXPECT_GT(Auc(scored), 0.85) << ClassifierKindToString(GetParam());
+  for (const auto& s : scored) {
+    EXPECT_GE(s.score, 0.0);
+    EXPECT_LE(s.score, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ChurnModelKindTest,
+    ::testing::Values(ClassifierKind::kRandomForest, ClassifierKind::kGbdt,
+                      ClassifierKind::kLogisticRegression,
+                      ClassifierKind::kFactorizationMachine,
+                      ClassifierKind::kAdaBoost),
+    [](const ::testing::TestParamInfo<ClassifierKind>& info) {
+      return ClassifierKindToString(info.param);
+    });
+
+TEST(ChurnModelTest, ForestAccessorOnlyForRf) {
+  const Dataset data = LinearlySeparable(500, 779);
+  ChurnModel rf(FastOptions(ClassifierKind::kRandomForest));
+  ASSERT_TRUE(rf.Train(data).ok());
+  EXPECT_NE(rf.forest(), nullptr);
+  EXPECT_EQ(rf.forest()->FeatureImportance().size(), 3u);
+
+  ChurnModel gbdt(FastOptions(ClassifierKind::kGbdt));
+  ASSERT_TRUE(gbdt.Train(data).ok());
+  EXPECT_EQ(gbdt.forest(), nullptr);
+}
+
+TEST(ChurnModelTest, ScoreAllMatchesScore) {
+  const Dataset data = LinearlySeparable(200, 781);
+  ChurnModel model(FastOptions(ClassifierKind::kRandomForest));
+  ASSERT_TRUE(model.Train(data).ok());
+  const auto all = model.ScoreAll(data);
+  ASSERT_EQ(all.size(), data.num_rows());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(all[i], model.Score(data.Row(i)));
+  }
+}
+
+TEST(ChurnModelTest, ImbalanceStrategiesAllTrain) {
+  const Dataset data = LinearlySeparable(1500, 783, 0.3, 0.1);
+  for (const auto strategy :
+       {ImbalanceStrategy::kNone, ImbalanceStrategy::kUpSampling,
+        ImbalanceStrategy::kDownSampling,
+        ImbalanceStrategy::kWeightedInstance}) {
+    ChurnModelOptions options = FastOptions(ClassifierKind::kRandomForest);
+    options.imbalance = strategy;
+    ChurnModel model(options);
+    ASSERT_TRUE(model.Train(data).ok())
+        << ImbalanceStrategyToString(strategy);
+    EXPECT_GT(Auc(model.ScoreLabeled(data)), 0.8);
+  }
+}
+
+TEST(ChurnModelTest, LinearModelsUseOneHotEncoding) {
+  // Scores of an LR churn model should be piecewise constant in each
+  // feature (bin indicators), so two inputs in the same bins score equal.
+  const Dataset data = LinearlySeparable(2000, 787);
+  ChurnModelOptions options = FastOptions(ClassifierKind::kLogisticRegression);
+  options.onehot_bins = 4;
+  ChurnModel model(options);
+  ASSERT_TRUE(model.Train(data).ok());
+  // Two nearly identical rows fall into identical bins.
+  const std::vector<double> a = {0.001, 0.001, 0.001};
+  const std::vector<double> b = {0.0012, 0.0011, 0.0009};
+  EXPECT_DOUBLE_EQ(model.Score(a), model.Score(b));
+}
+
+TEST(ChurnModelTest, TrainOnEmptyFails) {
+  Dataset empty({"x"});
+  ChurnModel model(FastOptions(ClassifierKind::kRandomForest));
+  EXPECT_FALSE(model.Train(empty).ok());
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,126 @@
+#include "churn/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "../features/sim_fixture.h"
+
+namespace telco {
+namespace {
+
+PipelineOptions FastOptions() {
+  PipelineOptions options;
+  options.model.rf.num_trees = 30;
+  options.model.rf.min_samples_split = 30;
+  return options;
+}
+
+TEST(PipelineTest, BuildMonthDatasetShapes) {
+  auto& shared = sim_fixture::GetSharedSim();
+  ChurnPipeline pipeline(&shared.catalog, FastOptions());
+  auto data = pipeline.BuildMonthDataset(2, 2);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->num_rows(),
+            shared.sim->truth().months[1].active_imsis.size());
+  EXPECT_GE(data->num_features(), 135u);
+  EXPECT_EQ(data->NumClasses(), 2);
+}
+
+TEST(PipelineTest, FamilySubsetShrinksFeatures) {
+  auto& shared = sim_fixture::GetSharedSim();
+  PipelineOptions options = FastOptions();
+  options.families = {FeatureFamily::kF2Cs};
+  ChurnPipeline pipeline(&shared.catalog, options);
+  auto data = pipeline.BuildMonthDataset(2, 2);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_features(), 9u);
+}
+
+TEST(PipelineTest, TrainAndPredictRankedDescending) {
+  auto& shared = sim_fixture::GetSharedSim();
+  ChurnPipeline pipeline(&shared.catalog, FastOptions());
+  auto prediction = pipeline.TrainAndPredict(3);
+  ASSERT_TRUE(prediction.ok()) << prediction.status().ToString();
+  ASSERT_EQ(prediction->imsis.size(),
+            shared.sim->truth().months[2].active_imsis.size());
+  for (size_t i = 1; i < prediction->scores.size(); ++i) {
+    EXPECT_GE(prediction->scores[i - 1], prediction->scores[i]);
+  }
+  EXPECT_NE(pipeline.model(), nullptr);
+}
+
+TEST(PipelineTest, PredictionBeatsRandom) {
+  auto& shared = sim_fixture::GetSharedSim();
+  ChurnPipeline pipeline(&shared.catalog, FastOptions());
+  auto metrics = pipeline.Evaluate(3, 200);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT(metrics->auc, 0.7);
+  EXPECT_GT(metrics->pr_auc, 0.2);
+  // Top of the list is enriched in churners.
+  EXPECT_GT(metrics->precision_at_u, 0.25);
+}
+
+TEST(PipelineTest, LabelsMatchRechargeRule) {
+  auto& shared = sim_fixture::GetSharedSim();
+  ChurnPipeline pipeline(&shared.catalog, FastOptions());
+  auto prediction = pipeline.TrainAndPredict(3);
+  ASSERT_TRUE(prediction.ok());
+  const MonthTruth& mt = shared.sim->truth().months[2];
+  std::unordered_map<int64_t, int> truth;
+  for (size_t i = 0; i < mt.active_imsis.size(); ++i) {
+    truth[mt.active_imsis[i]] = mt.churned[i];
+  }
+  for (size_t i = 0; i < prediction->imsis.size(); ++i) {
+    EXPECT_EQ(prediction->labels[i], truth.at(prediction->imsis[i]));
+  }
+}
+
+TEST(PipelineTest, MultiMonthTrainingWindow) {
+  auto& shared = sim_fixture::GetSharedSim();
+  PipelineOptions options = FastOptions();
+  options.training_months = 2;
+  ChurnPipeline pipeline(&shared.catalog, options);
+  auto metrics = pipeline.Evaluate(4, 200);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_GT(metrics->auc, 0.7);
+}
+
+TEST(PipelineTest, InsufficientHistoryRejected) {
+  auto& shared = sim_fixture::GetSharedSim();
+  ChurnPipeline pipeline(&shared.catalog, FastOptions());
+  EXPECT_TRUE(
+      pipeline.TrainAndPredict(1).status().IsInvalidArgument());
+  PipelineOptions deep = FastOptions();
+  deep.training_months = 10;
+  ChurnPipeline deep_pipeline(&shared.catalog, deep);
+  EXPECT_TRUE(
+      deep_pipeline.TrainAndPredict(4).status().IsInvalidArgument());
+}
+
+TEST(PipelineTest, EarlyMonthsGapReducesAccuracy) {
+  auto& shared = sim_fixture::GetSharedSim();
+  ChurnPipeline fresh(&shared.catalog, FastOptions());
+  PipelineOptions early_options = FastOptions();
+  early_options.early_months = 1;
+  ChurnPipeline early(&shared.catalog, early_options, &fresh.wide_builder());
+  auto fresh_metrics = fresh.Evaluate(4, 200);
+  auto early_metrics = early.Evaluate(4, 200);
+  ASSERT_TRUE(fresh_metrics.ok()) << fresh_metrics.status().ToString();
+  ASSERT_TRUE(early_metrics.ok()) << early_metrics.status().ToString();
+  // Fig 8: earlier features are clearly worse.
+  EXPECT_GT(fresh_metrics->pr_auc, early_metrics->pr_auc);
+}
+
+TEST(PipelineTest, SharedBuilderReusesCaches) {
+  auto& shared = sim_fixture::GetSharedSim();
+  ChurnPipeline a(&shared.catalog, FastOptions());
+  auto first = a.TrainAndPredict(3);
+  ASSERT_TRUE(first.ok());
+  ChurnPipeline b(&shared.catalog, FastOptions(), &a.wide_builder());
+  auto second = b.TrainAndPredict(3);
+  ASSERT_TRUE(second.ok());
+  // Same features + same model options -> identical ranking.
+  EXPECT_EQ(first->imsis, second->imsis);
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,125 @@
+#include "churn/root_cause.h"
+
+#include <gtest/gtest.h>
+
+#include "../features/sim_fixture.h"
+#include "features/churn_labels.h"
+
+namespace telco {
+namespace {
+
+struct Fixture {
+  WideTable wide;
+  RootCauseAnalyzer analyzer;
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = [] {
+    auto& shared = sim_fixture::GetSharedSim();
+    WideTableBuilder builder(&shared.catalog);
+    auto wide = builder.Build(3);
+    EXPECT_TRUE(wide.ok()) << wide.status().ToString();
+    auto analyzer = RootCauseAnalyzer::Fit(*wide);
+    EXPECT_TRUE(analyzer.ok()) << analyzer.status().ToString();
+    return new Fixture{*wide, std::move(*analyzer)};
+  }();
+  return *fixture;
+}
+
+TEST(RootCauseTest, ReturnsAllCausesSorted) {
+  auto& f = GetFixture();
+  auto causes = f.analyzer.AnalyzeRow(0);
+  ASSERT_TRUE(causes.ok());
+  ASSERT_EQ(causes->size(), static_cast<size_t>(kNumChurnCauses));
+  for (size_t i = 1; i < causes->size(); ++i) {
+    EXPECT_GE((*causes)[i - 1].score, (*causes)[i].score);
+  }
+  // All five distinct causes present.
+  std::set<int> seen;
+  for (const auto& c : *causes) seen.insert(static_cast<int>(c.cause));
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kNumChurnCauses));
+}
+
+TEST(RootCauseTest, AnalyzeImsiMatchesRow) {
+  auto& f = GetFixture();
+  const int64_t imsi = (*f.wide.table->GetColumn("imsi"))->GetInt64(5);
+  auto by_row = f.analyzer.AnalyzeRow(5);
+  auto by_imsi = f.analyzer.AnalyzeImsi(imsi);
+  ASSERT_TRUE(by_row.ok() && by_imsi.ok());
+  for (size_t i = 0; i < by_row->size(); ++i) {
+    EXPECT_EQ((*by_row)[i].cause, (*by_imsi)[i].cause);
+    EXPECT_DOUBLE_EQ((*by_row)[i].score, (*by_imsi)[i].score);
+  }
+}
+
+TEST(RootCauseTest, ChurnersScoreWorseThanNonChurners) {
+  // Average top-cause severity of churners must exceed non-churners':
+  // the causes are exactly what drives churn in the world.
+  auto& shared = sim_fixture::GetSharedSim();
+  auto& f = GetFixture();
+  auto labels = *LoadChurnLabels(shared.catalog, 3);
+  auto imsi_col = *f.wide.table->GetColumn("imsi");
+  double churner_total = 0.0;
+  double other_total = 0.0;
+  size_t churners = 0;
+  size_t others = 0;
+  for (size_t r = 0; r < f.wide.table->num_rows(); ++r) {
+    auto causes = f.analyzer.AnalyzeRow(r);
+    ASSERT_TRUE(causes.ok());
+    const double top = (*causes)[0].score;
+    if (labels.at(imsi_col->GetInt64(r)) == 1) {
+      churner_total += top;
+      ++churners;
+    } else {
+      other_total += top;
+      ++others;
+    }
+  }
+  ASSERT_GT(churners, 0u);
+  EXPECT_GT(churner_total / churners, other_total / others);
+}
+
+TEST(RootCauseTest, FinancialCauseTracksLowBalance) {
+  // The bottom-decile balance customers should score financial cause
+  // higher than the top decile.
+  auto& f = GetFixture();
+  auto balance = *f.wide.table->GetColumn("balance");
+  std::vector<std::pair<double, size_t>> by_balance;
+  for (size_t r = 0; r < f.wide.table->num_rows(); ++r) {
+    by_balance.emplace_back(balance->GetNumeric(r), r);
+  }
+  std::sort(by_balance.begin(), by_balance.end());
+  const size_t decile = by_balance.size() / 10;
+  auto financial_score = [&](size_t row) {
+    auto causes = *f.analyzer.AnalyzeRow(row);
+    for (const auto& c : causes) {
+      if (c.cause == ChurnCause::kFinancial) return c.score;
+    }
+    return 0.0;
+  };
+  double low_total = 0.0;
+  double high_total = 0.0;
+  for (size_t i = 0; i < decile; ++i) {
+    low_total += financial_score(by_balance[i].second);
+    high_total += financial_score(by_balance[by_balance.size() - 1 - i].second);
+  }
+  EXPECT_GT(low_total, high_total);
+}
+
+TEST(RootCauseTest, ReportMentionsTopCause) {
+  auto& f = GetFixture();
+  const int64_t imsi = (*f.wide.table->GetColumn("imsi"))->GetInt64(0);
+  auto report = f.analyzer.Report(imsi);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("imsi"), std::string::npos);
+  EXPECT_NE(report->find("**"), std::string::npos);
+}
+
+TEST(RootCauseTest, UnknownImsiRejected) {
+  auto& f = GetFixture();
+  EXPECT_TRUE(f.analyzer.AnalyzeImsi(42).status().IsNotFound());
+  EXPECT_TRUE(f.analyzer.AnalyzeRow(1u << 30).status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace telco

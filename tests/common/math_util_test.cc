@@ -1,0 +1,83 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace telco {
+namespace {
+
+TEST(MathUtilTest, SigmoidKnownValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(2.0), 0.88079707797788, 1e-12);
+  EXPECT_NEAR(Sigmoid(-2.0), 1.0 - Sigmoid(2.0), 1e-12);
+}
+
+TEST(MathUtilTest, SigmoidStableAtExtremes) {
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(MathUtilTest, LogitInvertsSigmoid) {
+  for (const double x : {-5.0, -1.0, 0.0, 0.3, 4.0}) {
+    EXPECT_NEAR(Logit(Sigmoid(x)), x, 1e-9);
+  }
+}
+
+TEST(MathUtilTest, LogitClampsBoundaries) {
+  EXPECT_TRUE(std::isfinite(Logit(0.0)));
+  EXPECT_TRUE(std::isfinite(Logit(1.0)));
+  EXPECT_LT(Logit(0.0), -20.0);
+  EXPECT_GT(Logit(1.0), 20.0);
+}
+
+TEST(MathUtilTest, MeanAndVariance) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(StdDev(xs), std::sqrt(1.25));
+}
+
+TEST(MathUtilTest, EmptyAndSingletonStatistics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+}
+
+TEST(MathUtilTest, QuantileInterpolates) {
+  std::vector<double> xs = {3.0, 1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+}
+
+TEST(MathUtilTest, PearsonCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, neg), -1.0, 1e-12);
+  const std::vector<double> constant = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(xs, constant), 0.0);
+}
+
+TEST(MathUtilTest, LogSumExp) {
+  EXPECT_NEAR(LogSumExp({0.0, 0.0}), std::log(2.0), 1e-12);
+  // Stability: huge inputs must not overflow.
+  EXPECT_NEAR(LogSumExp({1000.0, 1000.0}), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_EQ(LogSumExp({}), -HUGE_VAL);
+}
+
+TEST(MathUtilTest, NormalizeInPlace) {
+  std::vector<double> xs = {1.0, 3.0};
+  NormalizeInPlace(xs);
+  EXPECT_DOUBLE_EQ(xs[0], 0.25);
+  EXPECT_DOUBLE_EQ(xs[1], 0.75);
+}
+
+TEST(MathUtilTest, NormalizeZeroVectorBecomesUniform) {
+  std::vector<double> xs = {0.0, 0.0, 0.0, 0.0};
+  NormalizeInPlace(xs);
+  for (double x : xs) EXPECT_DOUBLE_EQ(x, 0.25);
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,219 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace telco {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next64() == b.Next64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.Uniform();
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.UniformInt(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values reachable
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(29);
+  for (const double mean : {0.5, 3.0, 20.0, 100.0}) {
+    const int n = 50000;
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) total += rng.Poisson(mean);
+    EXPECT_NEAR(total / n, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(RngTest, PoissonZeroAndNegativeMeans) {
+  Rng rng(31);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(37);
+  const int n = 100000;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += rng.Exponential(2.0);
+  EXPECT_NEAR(total / n, 0.5, 0.02);
+}
+
+TEST(RngTest, GammaMeanMatchesShapeTimesScale) {
+  Rng rng(41);
+  for (const double shape : {0.5, 1.0, 3.5}) {
+    const int n = 50000;
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) total += rng.Gamma(shape, 2.0);
+    EXPECT_NEAR(total / n, shape * 2.0, shape * 0.2) << "shape=" << shape;
+  }
+}
+
+TEST(RngTest, BetaStaysInUnitIntervalWithCorrectMean) {
+  Rng rng(43);
+  const int n = 50000;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double b = rng.Beta(2.0, 3.0);
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+    total += b;
+  }
+  EXPECT_NEAR(total / n, 0.4, 0.01);  // a/(a+b)
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(47);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);  // zero-weight class never drawn
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, CategoricalAllZeroWeights) {
+  Rng rng(53);
+  EXPECT_EQ(rng.Categorical({0.0, 0.0, 0.0}), 0u);
+}
+
+TEST(RngTest, DirichletSumsToOne) {
+  Rng rng(59);
+  const auto probs = rng.Dirichlet(5, 0.3);
+  ASSERT_EQ(probs.size(), 5u);
+  double total = 0.0;
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(61);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(67);
+  const auto sample = rng.SampleWithoutReplacement(100, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (size_t idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementWholeRange) {
+  Rng rng(71);
+  const auto sample = rng.SampleWithoutReplacement(5, 10);
+  ASSERT_EQ(sample.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(73);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next64() == b.Next64());
+  EXPECT_LT(same, 2);
+}
+
+// Property sweep: bounded uniform ints hit both endpoints across a range
+// of bounds.
+class RngBoundSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundSweep, EndpointsReachable) {
+  const uint64_t bound = GetParam();
+  Rng rng(bound * 977 + 5);
+  bool saw_zero = false;
+  bool saw_max = false;
+  for (int i = 0; i < 20000 && !(saw_zero && saw_max); ++i) {
+    const uint64_t v = rng.UniformInt(bound);
+    ASSERT_LT(v, bound);
+    saw_zero |= (v == 0);
+    saw_max |= (v == bound - 1);
+  }
+  EXPECT_TRUE(saw_zero);
+  EXPECT_TRUE(saw_max);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(1, 2, 3, 7, 64, 1000));
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,95 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace telco {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status st = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad input");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  const Status original = Status::NotFound("missing");
+  const Status copy = original;  // NOLINT
+  EXPECT_TRUE(copy.IsNotFound());
+  EXPECT_EQ(copy.message(), "missing");
+  EXPECT_TRUE(original.IsNotFound());
+}
+
+TEST(StatusTest, CopyAssignOverOk) {
+  Status st;
+  st = Status::IoError("disk");
+  EXPECT_TRUE(st.IsIoError());
+  st = Status::OK();
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(StatusTest, MovePreservesState) {
+  Status original = Status::Internal("boom");
+  const Status moved = std::move(original);
+  EXPECT_TRUE(moved.IsInternal());
+  EXPECT_EQ(moved.message(), "boom");
+}
+
+TEST(StatusTest, SelfAssignIsSafe) {
+  Status st = Status::TypeError("t");
+  const Status& ref = st;
+  st = ref;
+  EXPECT_TRUE(st.IsTypeError());
+  EXPECT_EQ(st.message(), "t");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::OutOfRange("range"); };
+  auto wrapper = [&]() -> Status {
+    TELCO_RETURN_NOT_OK(fails());
+    return Status::Internal("unreachable");
+  };
+  EXPECT_TRUE(wrapper().IsOutOfRange());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPassesThroughOk) {
+  auto succeeds = [] { return Status::OK(); };
+  auto wrapper = [&]() -> Status {
+    TELCO_RETURN_NOT_OK(succeeds());
+    return Status::Internal("reached");
+  };
+  EXPECT_TRUE(wrapper().IsInternal());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,61 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace telco {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<int> hits(1000, 0);
+  pool.ParallelFor(0, hits.size(), [&](size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](size_t) { ++calls; });
+  pool.ParallelFor(7, 3, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallRangeFewerThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 3, [&](size_t i) { total += static_cast<int>(i); });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPoolTest, DefaultSizeIsPositive) {
+  EXPECT_GE(ThreadPool::Default().num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&done] { ++done; });
+    }
+  }  // destructor must wait for all
+  EXPECT_EQ(done.load(), 50);
+}
+
+}  // namespace
+}  // namespace telco

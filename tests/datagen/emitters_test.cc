@@ -1,0 +1,176 @@
+#include "datagen/emitters.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/table_names.h"
+
+namespace telco {
+namespace {
+
+class EmittersTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SimConfig config;
+    config.num_customers = 1500;
+    config.num_communities = 30;
+    config.num_cells = 15;
+    pop_ = new Population(config);
+    textgen_ = new TextGenerator(config);
+    catalog_ = new Catalog();
+    pop_->AdvanceMonth();
+    ASSERT_TRUE(EmitVocabTables(*textgen_, catalog_).ok());
+    ASSERT_TRUE(EmitMonthTables(*pop_, *textgen_, catalog_).ok());
+    ASSERT_TRUE(EmitCustomersTable(*pop_, catalog_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete pop_;
+    delete textgen_;
+    delete catalog_;
+  }
+
+  static Population* pop_;
+  static TextGenerator* textgen_;
+  static Catalog* catalog_;
+};
+
+Population* EmittersTest::pop_ = nullptr;
+TextGenerator* EmittersTest::textgen_ = nullptr;
+Catalog* EmittersTest::catalog_ = nullptr;
+
+TEST_F(EmittersTest, AllMonthTablesRegistered) {
+  for (const auto& name :
+       {CdrTableName(1), BillingTableName(1), RechargeTableName(1),
+        ComplaintTableName(1), ComplaintTextTableName(1),
+        SearchTextTableName(1), CsKpiTableName(1), PsKpiTableName(1),
+        MrTableName(1), CallEdgesTableName(1), MsgEdgesTableName(1),
+        CoocEdgesTableName(1)}) {
+    EXPECT_TRUE(catalog_->Contains(name)) << name;
+  }
+  EXPECT_TRUE(catalog_->Contains(kCustomersTable));
+  EXPECT_TRUE(catalog_->Contains(kComplaintVocabTable));
+  EXPECT_TRUE(catalog_->Contains(kSearchVocabTable));
+}
+
+TEST_F(EmittersTest, CdrHasWeeklyRowsPerCustomer) {
+  auto cdr = *catalog_->Get(CdrTableName(1));
+  EXPECT_EQ(cdr->num_rows(), pop_->active().size() * 4);
+  auto week = *cdr->GetColumn("week");
+  for (size_t r = 0; r < std::min<size_t>(cdr->num_rows(), 100); ++r) {
+    EXPECT_GE(week->GetInt64(r), 1);
+    EXPECT_LE(week->GetInt64(r), 4);
+  }
+}
+
+TEST_F(EmittersTest, BillingOneRowPerActiveCustomer) {
+  auto billing = *catalog_->Get(BillingTableName(1));
+  EXPECT_EQ(billing->num_rows(), pop_->active().size());
+  auto balance = *billing->GetColumn("balance");
+  for (size_t r = 0; r < billing->num_rows(); ++r) {
+    EXPECT_GE(balance->GetDouble(r), 0.0);
+  }
+}
+
+TEST_F(EmittersTest, RechargeMatchesStates) {
+  auto recharge = *catalog_->Get(RechargeTableName(1));
+  EXPECT_EQ(recharge->num_rows(), pop_->active().size());
+  auto day = *recharge->GetColumn("recharge_day");
+  size_t churn_like = 0;
+  for (size_t r = 0; r < recharge->num_rows(); ++r) {
+    const int64_t d = day->GetInt64(r);
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, 30);
+    if (d == 0 || d > 15) ++churn_like;
+  }
+  // Roughly the simulated churn rate.
+  const double rate = static_cast<double>(churn_like) / recharge->num_rows();
+  EXPECT_GT(rate, 0.03);
+  EXPECT_LT(rate, 0.25);
+}
+
+TEST_F(EmittersTest, KpiRatesWithinPhysicalBounds) {
+  auto cs = *catalog_->Get(CsKpiTableName(1));
+  auto succ = *cs->GetColumn("call_succ_rate");
+  auto drop = *cs->GetColumn("call_drop_rate");
+  auto mos = *cs->GetColumn("uplink_mos");
+  for (size_t r = 0; r < cs->num_rows(); ++r) {
+    EXPECT_GE(succ->GetDouble(r), 0.0);
+    EXPECT_LE(succ->GetDouble(r), 1.0);
+    EXPECT_GE(drop->GetDouble(r), 0.0);
+    EXPECT_GE(mos->GetDouble(r), 1.0);
+    EXPECT_LE(mos->GetDouble(r), 4.5);
+  }
+  auto ps = *catalog_->Get(PsKpiTableName(1));
+  auto thr = *ps->GetColumn("page_download_throughput");
+  for (size_t r = 0; r < ps->num_rows(); ++r) {
+    EXPECT_GT(thr->GetDouble(r), 0.0);
+  }
+}
+
+TEST_F(EmittersTest, MrFiveLocationsPerCustomer) {
+  auto mr = *catalog_->Get(MrTableName(1));
+  EXPECT_EQ(mr->num_rows(), pop_->active().size() * 5);
+  auto rank = *mr->GetColumn("rank");
+  for (size_t r = 0; r < std::min<size_t>(mr->num_rows(), 50); ++r) {
+    EXPECT_GE(rank->GetInt64(r), 1);
+    EXPECT_LE(rank->GetInt64(r), 5);
+  }
+}
+
+TEST_F(EmittersTest, EdgesReferenceActiveImsisOnly) {
+  std::set<int64_t> active_imsis;
+  for (uint32_t idx : pop_->active()) {
+    active_imsis.insert(pop_->customers()[idx].imsi);
+  }
+  for (const auto& name : {CallEdgesTableName(1), MsgEdgesTableName(1),
+                           CoocEdgesTableName(1)}) {
+    auto edges = *catalog_->Get(name);
+    EXPECT_GT(edges->num_rows(), 0u) << name;
+    auto a = *edges->GetColumn("imsi_a");
+    auto b = *edges->GetColumn("imsi_b");
+    auto w = *edges->GetColumn("weight");
+    for (size_t r = 0; r < edges->num_rows(); ++r) {
+      EXPECT_TRUE(active_imsis.count(a->GetInt64(r))) << name;
+      EXPECT_TRUE(active_imsis.count(b->GetInt64(r))) << name;
+      EXPECT_NE(a->GetInt64(r), b->GetInt64(r)) << "self loop in " << name;
+      EXPECT_GT(w->GetDouble(r), 0.0);
+    }
+  }
+}
+
+TEST_F(EmittersTest, MsgGraphSparserThanCallGraph) {
+  auto call = *catalog_->Get(CallEdgesTableName(1));
+  auto msg = *catalog_->Get(MsgEdgesTableName(1));
+  // OTT substitution: the message graph is much smaller.
+  EXPECT_LT(msg->num_rows(), call->num_rows() / 2);
+}
+
+TEST_F(EmittersTest, TextTablesReferenceVocab) {
+  auto text = *catalog_->Get(SearchTextTableName(1));
+  auto vocab = *catalog_->Get(kSearchVocabTable);
+  EXPECT_GT(text->num_rows(), 0u);
+  auto word = *text->GetColumn("word_id");
+  auto cnt = *text->GetColumn("cnt");
+  for (size_t r = 0; r < text->num_rows(); ++r) {
+    EXPECT_GE(word->GetInt64(r), 0);
+    EXPECT_LT(word->GetInt64(r), static_cast<int64_t>(vocab->num_rows()));
+    EXPECT_GT(cnt->GetInt64(r), 0);
+  }
+}
+
+TEST_F(EmittersTest, CustomersTableCoversEveryone) {
+  auto customers = *catalog_->Get(kCustomersTable);
+  EXPECT_EQ(customers->num_rows(), pop_->customers().size());
+}
+
+TEST(EmittersErrorTest, RequiresSimulatedMonth) {
+  SimConfig config;
+  config.num_customers = 100;
+  Population pop(config);
+  TextGenerator textgen(config);
+  Catalog catalog;
+  EXPECT_TRUE(
+      EmitMonthTables(pop, textgen, &catalog).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,177 @@
+#include "datagen/population.h"
+
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace telco {
+namespace {
+
+SimConfig SmallConfig() {
+  SimConfig config;
+  config.num_customers = 2000;
+  config.num_months = 4;
+  config.num_communities = 40;
+  config.num_cells = 20;
+  return config;
+}
+
+TEST(PopulationTest, InitialPoolMatchesConfig) {
+  Population pop(SmallConfig());
+  EXPECT_EQ(pop.customers().size(), 2000u);
+  EXPECT_EQ(pop.current_month(), 0);
+}
+
+TEST(PopulationTest, ActiveSnapshotIncludesChurners) {
+  Population pop(SmallConfig());
+  pop.AdvanceMonth();
+  EXPECT_EQ(pop.current_month(), 1);
+  EXPECT_EQ(pop.active().size(), 2000u);
+  size_t churners = 0;
+  for (uint32_t idx : pop.active()) {
+    EXPECT_TRUE(pop.IsActive(idx));
+    churners += pop.state(idx).churned;
+  }
+  EXPECT_GT(churners, 0u);
+}
+
+TEST(PopulationTest, ChurnRateNearPaperLevel) {
+  SimConfig config = SmallConfig();
+  config.num_customers = 8000;
+  Population pop(config);
+  double total_rate = 0.0;
+  for (int m = 0; m < 3; ++m) {
+    pop.AdvanceMonth();
+    size_t churners = 0;
+    for (uint32_t idx : pop.active()) churners += pop.state(idx).churned;
+    total_rate += static_cast<double>(churners) / pop.active().size();
+  }
+  // The paper's prepaid average is 9.2%; the simulator is tuned near it.
+  EXPECT_NEAR(total_rate / 3.0, 0.095, 0.03);
+}
+
+TEST(PopulationTest, DynamicBalanceOfJoinersAndLeavers) {
+  Population pop(SmallConfig());
+  pop.AdvanceMonth();
+  const size_t month1_active = pop.active().size();
+  pop.AdvanceMonth();
+  const size_t month2_active = pop.active().size();
+  // Table 1: totals stay roughly constant month over month.
+  EXPECT_NEAR(static_cast<double>(month2_active),
+              static_cast<double>(month1_active),
+              0.05 * month1_active);
+  // New customers were actually created.
+  EXPECT_GT(pop.customers().size(), 2000u);
+}
+
+TEST(PopulationTest, ChurnersLeaveTheNextMonth) {
+  Population pop(SmallConfig());
+  pop.AdvanceMonth();
+  std::set<uint32_t> churned;
+  for (uint32_t idx : pop.active()) {
+    if (pop.state(idx).churned) churned.insert(idx);
+  }
+  pop.AdvanceMonth();
+  for (uint32_t idx : pop.active()) {
+    EXPECT_EQ(churned.count(idx), 0u) << "churner still active";
+  }
+}
+
+TEST(PopulationTest, RechargeDayFollowsLabellingRule) {
+  Population pop(SmallConfig());
+  pop.AdvanceMonth();
+  for (uint32_t idx : pop.active()) {
+    const CustomerMonthState& s = pop.state(idx);
+    if (s.churned) {
+      // Churners never recharge within 15 days.
+      EXPECT_TRUE(s.recharge_day == 0 || s.recharge_day > 15);
+    } else {
+      EXPECT_GE(s.recharge_day, 1);
+      EXPECT_LE(s.recharge_day, 15);
+    }
+  }
+}
+
+TEST(PopulationTest, TiesAreSymmetric) {
+  Population pop(SmallConfig());
+  for (uint32_t i = 0; i < 200; ++i) {
+    for (uint32_t j : pop.CallTies(i)) {
+      const auto& back = pop.CallTies(j);
+      EXPECT_NE(std::find(back.begin(), back.end(), i), back.end());
+    }
+  }
+}
+
+TEST(PopulationTest, WeeklyEngagementMatchesMonthlyMean) {
+  Population pop(SmallConfig());
+  pop.AdvanceMonth();
+  for (uint32_t idx : pop.active()) {
+    const CustomerMonthState& s = pop.state(idx);
+    ASSERT_EQ(s.weekly_engagement.size(), 4u);
+    const double mean =
+        std::accumulate(s.weekly_engagement.begin(),
+                        s.weekly_engagement.end(), 0.0) /
+        4.0;
+    EXPECT_NEAR(mean, s.engagement, 1e-9);
+  }
+}
+
+TEST(PopulationTest, IntentLowersBalanceOnAverage) {
+  SimConfig config = SmallConfig();
+  config.num_customers = 8000;
+  Population pop(config);
+  pop.AdvanceMonth();
+  double intent_balance = 0.0;
+  double normal_balance = 0.0;
+  size_t intents = 0;
+  size_t normals = 0;
+  for (uint32_t idx : pop.active()) {
+    const CustomerMonthState& s = pop.state(idx);
+    if (s.expresses_usage) {
+      intent_balance += s.balance;
+      ++intents;
+    } else if (!s.intent) {
+      normal_balance += s.balance;
+      ++normals;
+    }
+  }
+  ASSERT_GT(intents, 0u);
+  ASSERT_GT(normals, 0u);
+  EXPECT_LT(intent_balance / intents, 0.7 * normal_balance / normals);
+}
+
+TEST(PopulationTest, DeterministicGivenSeed) {
+  Population a(SmallConfig());
+  Population b(SmallConfig());
+  a.AdvanceMonth();
+  b.AdvanceMonth();
+  ASSERT_EQ(a.active().size(), b.active().size());
+  for (size_t i = 0; i < a.active().size(); ++i) {
+    const uint32_t idx = a.active()[i];
+    EXPECT_EQ(a.state(idx).churned, b.state(idx).churned);
+    EXPECT_DOUBLE_EQ(a.state(idx).balance, b.state(idx).balance);
+  }
+}
+
+TEST(PopulationTest, MonthDriftIsDeterministicAndVaries) {
+  Population pop(SmallConfig());
+  EXPECT_DOUBLE_EQ(pop.MonthDrift(3), pop.MonthDrift(3));
+  EXPECT_NE(pop.MonthDrift(1), pop.MonthDrift(2));
+  EXPECT_GT(pop.MonthDrift(1), 0.0);
+}
+
+TEST(PopulationTest, OfferAffinityFollowsTraits) {
+  Population pop(SmallConfig());
+  for (const CustomerTraits& t : pop.customers()) {
+    if (t.offer_affinity == OfferKind::kFlux500M) {
+      EXPECT_GT(t.data_affinity, 0.62);
+    }
+    if (t.offer_affinity == OfferKind::kVoice200Min) {
+      EXPECT_GT(t.voice_affinity, 0.68);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,135 @@
+#include "datagen/telco_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/table_names.h"
+
+namespace telco {
+namespace {
+
+SimConfig SmallConfig() {
+  SimConfig config;
+  config.num_customers = 1200;
+  config.num_months = 3;
+  config.num_communities = 30;
+  config.num_cells = 15;
+  return config;
+}
+
+TEST(TelcoSimulatorTest, RunEmitsAllMonths) {
+  Catalog catalog;
+  TelcoSimulator sim(SmallConfig());
+  ASSERT_TRUE(sim.Run(&catalog).ok());
+  for (int m = 1; m <= 3; ++m) {
+    EXPECT_TRUE(catalog.Contains(BillingTableName(m)));
+    EXPECT_TRUE(catalog.Contains(RechargeTableName(m)));
+  }
+  EXPECT_FALSE(catalog.Contains(BillingTableName(4)));
+  ASSERT_EQ(sim.truth().months.size(), 3u);
+}
+
+TEST(TelcoSimulatorTest, TruthIsConsistentWithTables) {
+  Catalog catalog;
+  TelcoSimulator sim(SmallConfig());
+  ASSERT_TRUE(sim.Run(&catalog).ok());
+  const MonthTruth& mt = sim.truth().months[1];
+  auto billing = *catalog.Get(BillingTableName(2));
+  EXPECT_EQ(billing->num_rows(), mt.active_imsis.size());
+  // Recharge table days agree with truth.
+  auto recharge = *catalog.Get(RechargeTableName(2));
+  auto imsi = *recharge->GetColumn("imsi");
+  auto day = *recharge->GetColumn("recharge_day");
+  std::unordered_map<int64_t, int> truth_day;
+  for (size_t i = 0; i < mt.active_imsis.size(); ++i) {
+    truth_day[mt.active_imsis[i]] = mt.recharge_day[i];
+  }
+  for (size_t r = 0; r < recharge->num_rows(); ++r) {
+    EXPECT_EQ(day->GetInt64(r), truth_day[imsi->GetInt64(r)]);
+  }
+}
+
+TEST(TelcoSimulatorTest, TruthChurnLookup) {
+  Catalog catalog;
+  TelcoSimulator sim(SmallConfig());
+  ASSERT_TRUE(sim.Run(&catalog).ok());
+  const MonthTruth& mt = sim.truth().months[0];
+  bool found_churner = false;
+  for (size_t i = 0; i < mt.active_imsis.size() && !found_churner; ++i) {
+    if (mt.churned[i]) {
+      EXPECT_TRUE(sim.truth().Churned(1, mt.active_imsis[i]));
+      found_churner = true;
+    }
+  }
+  EXPECT_TRUE(found_churner);
+  EXPECT_FALSE(sim.truth().Churned(99, mt.active_imsis[0]));
+}
+
+TEST(TelcoSimulatorTest, OfferAffinityCoversEveryCustomer) {
+  Catalog catalog;
+  TelcoSimulator sim(SmallConfig());
+  ASSERT_TRUE(sim.Run(&catalog).ok());
+  for (const MonthTruth& mt : sim.truth().months) {
+    for (int64_t imsi : mt.active_imsis) {
+      EXPECT_TRUE(sim.truth().offer_affinity.count(imsi));
+    }
+  }
+}
+
+TEST(TelcoSimulatorTest, DeterministicAcrossRuns) {
+  Catalog c1;
+  Catalog c2;
+  TelcoSimulator a(SmallConfig());
+  TelcoSimulator b(SmallConfig());
+  ASSERT_TRUE(a.Run(&c1).ok());
+  ASSERT_TRUE(b.Run(&c2).ok());
+  ASSERT_EQ(a.truth().months.size(), b.truth().months.size());
+  for (size_t m = 0; m < a.truth().months.size(); ++m) {
+    EXPECT_EQ(a.truth().months[m].active_imsis,
+              b.truth().months[m].active_imsis);
+    EXPECT_EQ(a.truth().months[m].churned, b.truth().months[m].churned);
+  }
+}
+
+TEST(TelcoSimulatorTest, NullCatalogRejected) {
+  TelcoSimulator sim(SmallConfig());
+  EXPECT_TRUE(sim.Run(nullptr).IsInvalidArgument());
+}
+
+TEST(TelcoSimulatorTest, Figure1SeriesShape) {
+  const auto series = TelcoSimulator::ChurnRateSeries(12, SimConfig{});
+  ASSERT_EQ(series.size(), 12u);
+  double prepaid_total = 0.0;
+  double postpaid_total = 0.0;
+  for (const auto& p : series) {
+    EXPECT_GT(p.prepaid_rate, p.postpaid_rate);  // Fig 1's key contrast
+    prepaid_total += p.prepaid_rate;
+    postpaid_total += p.postpaid_rate;
+  }
+  EXPECT_NEAR(prepaid_total / 12.0, 0.094, 0.02);
+  EXPECT_NEAR(postpaid_total / 12.0, 0.052, 0.015);
+}
+
+TEST(TelcoSimulatorTest, Figure5RechargeDistributionShape) {
+  Catalog catalog;
+  TelcoSimulator sim(SmallConfig());
+  ASSERT_TRUE(sim.Run(&catalog).ok());
+  // Histogram of recharge days across all months.
+  std::vector<size_t> by_day(31, 0);
+  size_t total = 0;
+  for (const MonthTruth& mt : sim.truth().months) {
+    for (int day : mt.recharge_day) {
+      if (day >= 1 && day <= 30) {
+        ++by_day[day];
+        ++total;
+      }
+    }
+  }
+  // Early days dominate; beyond day 15 is < 5% of recharges (Fig 5).
+  EXPECT_GT(by_day[1], by_day[5]);
+  size_t late = 0;
+  for (int d = 16; d <= 30; ++d) late += by_day[d];
+  EXPECT_LT(static_cast<double>(late) / total, 0.05);
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,143 @@
+#include "datagen/text_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace telco {
+namespace {
+
+TextGenerator MakeGen() { return TextGenerator(SimConfig{}); }
+
+CustomerTraits DefaultTraits() {
+  CustomerTraits t;
+  t.imsi = 460000000123;
+  t.data_affinity = 0.6;
+  return t;
+}
+
+TEST(TextGenTest, VocabularySizes) {
+  const TextGenerator gen = MakeGen();
+  EXPECT_EQ(gen.complaint_vocab().size(),
+            static_cast<size_t>(TextGenerator::kNumComplaintTopics *
+                                TextGenerator::kWordsPerTopic));
+  EXPECT_EQ(gen.search_vocab().size(),
+            static_cast<size_t>(TextGenerator::kNumSearchTopics *
+                                TextGenerator::kWordsPerTopic));
+}
+
+TEST(TextGenTest, NoComplaintsMeansEmptyDoc) {
+  const TextGenerator gen = MakeGen();
+  CustomerMonthState state;
+  state.complaints = 0;
+  Rng rng(1);
+  EXPECT_TRUE(gen.ComplaintDoc(DefaultTraits(), state, &rng)
+                  .word_counts.empty());
+}
+
+TEST(TextGenTest, ComplaintsProduceWordsInVocab) {
+  const TextGenerator gen = MakeGen();
+  CustomerMonthState state;
+  state.complaints = 2;
+  state.ps_quality = 0.3;
+  Rng rng(2);
+  const Document doc = gen.ComplaintDoc(DefaultTraits(), state, &rng);
+  EXPECT_FALSE(doc.word_counts.empty());
+  for (const auto& [w, c] : doc.word_counts) {
+    EXPECT_LT(w, gen.complaint_vocab().size());
+    EXPECT_GT(c, 0u);
+  }
+}
+
+TEST(TextGenTest, BadPsQualitySkewsTowardNetspeedTopic) {
+  const TextGenerator gen = MakeGen();
+  CustomerMonthState bad;
+  bad.complaints = 3;
+  bad.ps_quality = 0.1;
+  bad.cs_quality = 0.95;
+  Rng rng(3);
+  size_t netspeed_tokens = 0;
+  size_t total_tokens = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Document doc = gen.ComplaintDoc(DefaultTraits(), bad, &rng);
+    for (const auto& [w, c] : doc.word_counts) {
+      total_tokens += c;
+      // Topic 1 = netspeed; its words occupy block [30, 60).
+      if (w >= 30 && w < 60) netspeed_tokens += c;
+    }
+  }
+  EXPECT_GT(static_cast<double>(netspeed_tokens) / total_tokens, 0.3);
+}
+
+TEST(TextGenTest, CompetitorSearchFloodsCompetitorTopic) {
+  const TextGenerator gen = MakeGen();
+  CustomerMonthState searching;
+  searching.engagement = 0.8;
+  searching.competitor_search = true;
+  CustomerMonthState normal;
+  normal.engagement = 0.8;
+  normal.competitor_search = false;
+
+  Rng rng(4);
+  const uint32_t comp_lo = TextGenerator::kCompetitorTopic *
+                           TextGenerator::kWordsPerTopic;
+  auto competitor_fraction = [&](const CustomerMonthState& state) {
+    size_t comp = 0;
+    size_t total = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+      const Document doc = gen.SearchDoc(DefaultTraits(), state, &rng);
+      for (const auto& [w, c] : doc.word_counts) {
+        total += c;
+        if (w >= comp_lo) comp += c;
+      }
+    }
+    return total == 0 ? 0.0 : static_cast<double>(comp) / total;
+  };
+  EXPECT_GT(competitor_fraction(searching), 0.3);
+  EXPECT_LT(competitor_fraction(normal), 0.05);
+}
+
+TEST(TextGenTest, SearchLengthScalesWithEngagement) {
+  const TextGenerator gen = MakeGen();
+  CustomerMonthState active;
+  active.engagement = 1.0;
+  CustomerMonthState dormant;
+  dormant.engagement = 0.05;
+  Rng rng(5);
+  uint64_t active_tokens = 0;
+  uint64_t dormant_tokens = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    active_tokens += gen.SearchDoc(DefaultTraits(), active, &rng)
+                         .TotalTokens();
+    dormant_tokens += gen.SearchDoc(DefaultTraits(), dormant, &rng)
+                          .TotalTokens();
+  }
+  EXPECT_GT(active_tokens, dormant_tokens * 2);
+}
+
+TEST(TextGenTest, InterestsAreStablePerCustomer) {
+  // The same customer's docs across months should share a dominant topic
+  // profile (interests are seeded from the imsi).
+  const TextGenerator gen = MakeGen();
+  CustomerMonthState state;
+  state.engagement = 0.9;
+  CustomerTraits t = DefaultTraits();
+  t.imsi = 460000000777;
+  Rng rng(6);
+  std::vector<uint64_t> topic_mass(TextGenerator::kNumSearchTopics, 0);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Document doc = gen.SearchDoc(t, state, &rng);
+    for (const auto& [w, c] : doc.word_counts) {
+      topic_mass[w / TextGenerator::kWordsPerTopic] += c;
+    }
+  }
+  uint64_t total = 0;
+  uint64_t max_mass = 0;
+  for (uint64_t m : topic_mass) {
+    total += m;
+    max_mass = std::max(max_mass, m);
+  }
+  // A dominant interest topic exists (Dirichlet(0.5) is sparse).
+  EXPECT_GT(static_cast<double>(max_mass) / total, 0.25);
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,65 @@
+#include "features/churn_labels.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/table_names.h"
+#include "sim_fixture.h"
+
+namespace telco {
+namespace {
+
+TEST(ChurnLabelsTest, MatchesGroundTruth) {
+  auto& shared = sim_fixture::GetSharedSim();
+  auto labels = LoadChurnLabels(shared.catalog, 2);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  const MonthTruth& mt = shared.sim->truth().months[1];
+  ASSERT_EQ(labels->size(), mt.active_imsis.size());
+  for (size_t i = 0; i < mt.active_imsis.size(); ++i) {
+    const auto it = labels->find(mt.active_imsis[i]);
+    ASSERT_NE(it, labels->end());
+    EXPECT_EQ(it->second, static_cast<int>(mt.churned[i]))
+        << "imsi " << mt.active_imsis[i];
+  }
+}
+
+TEST(ChurnLabelsTest, FifteenDayRuleFromRawTable) {
+  // Hand-built recharge table exercising the boundary conditions.
+  Catalog catalog;
+  TableBuilder builder(Schema({{"imsi", DataType::kInt64},
+                               {"recharge_day", DataType::kInt64},
+                               {"recharge_amount", DataType::kDouble}}));
+  ASSERT_TRUE(builder.AppendRow({Value(1), Value(1), Value(50.0)}).ok());
+  ASSERT_TRUE(builder.AppendRow({Value(2), Value(15), Value(50.0)}).ok());
+  ASSERT_TRUE(builder.AppendRow({Value(3), Value(16), Value(50.0)}).ok());
+  ASSERT_TRUE(builder.AppendRow({Value(4), Value(0), Value(0.0)}).ok());
+  ASSERT_TRUE(
+      builder.AppendRow({Value(5), Value::Null(), Value(0.0)}).ok());
+  catalog.RegisterOrReplace(RechargeTableName(7), *builder.Finish());
+
+  auto labels = LoadChurnLabels(catalog, 7);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels->at(1), 0);  // day 1: recharged
+  EXPECT_EQ(labels->at(2), 0);  // day 15: just inside the deadline
+  EXPECT_EQ(labels->at(3), 1);  // day 16: churner
+  EXPECT_EQ(labels->at(4), 1);  // never recharged
+  EXPECT_EQ(labels->at(5), 1);  // null day treated as never
+}
+
+TEST(ChurnLabelsTest, MissingMonthFails) {
+  Catalog catalog;
+  EXPECT_TRUE(LoadChurnLabels(catalog, 1).status().IsNotFound());
+}
+
+TEST(ChurnLabelsTest, ChurnRateInExpectedBand) {
+  auto& shared = sim_fixture::GetSharedSim();
+  auto labels = LoadChurnLabels(shared.catalog, 1);
+  ASSERT_TRUE(labels.ok());
+  size_t churners = 0;
+  for (const auto& [imsi, label] : *labels) churners += label;
+  const double rate = static_cast<double>(churners) / labels->size();
+  EXPECT_GT(rate, 0.04);
+  EXPECT_LT(rate, 0.2);
+}
+
+}  // namespace
+}  // namespace telco

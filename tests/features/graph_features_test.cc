@@ -1,0 +1,144 @@
+#include "features/graph_features.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/table_names.h"
+#include "features/churn_labels.h"
+#include "sim_fixture.h"
+
+namespace telco {
+namespace {
+
+TablePtr EdgeTable(std::vector<std::tuple<int64_t, int64_t, double>> edges) {
+  TableBuilder builder(Schema({{"imsi_a", DataType::kInt64},
+                               {"imsi_b", DataType::kInt64},
+                               {"weight", DataType::kDouble}}));
+  for (const auto& [a, b, w] : edges) {
+    EXPECT_TRUE(builder.AppendRow({Value(a), Value(b), Value(w)}).ok());
+  }
+  return *builder.Finish();
+}
+
+TEST(BuildCustomerGraphTest, MapsImsisToDenseVertices) {
+  const auto edges = EdgeTable({{100, 200, 1.0}, {200, 300, 2.0}});
+  auto graph = BuildCustomerGraph(*edges, {100, 200, 300, 400});
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->graph.num_vertices(), 4u);
+  EXPECT_EQ(graph->graph.num_edges(), 2u);
+  EXPECT_EQ(graph->vertex_of.at(100), 0u);
+  EXPECT_EQ(graph->imsi_of[3], 400);
+  EXPECT_EQ(graph->graph.Degree(3), 0u);  // 400 isolated
+}
+
+TEST(BuildCustomerGraphTest, DropsEdgesOutsideUniverse) {
+  const auto edges = EdgeTable({{100, 200, 1.0}, {100, 999, 5.0}});
+  auto graph = BuildCustomerGraph(*edges, {100, 200});
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->graph.num_edges(), 1u);
+}
+
+TEST(BuildCustomerGraphTest, MergesParallelEdges) {
+  const auto edges = EdgeTable({{1, 2, 1.0}, {2, 1, 2.0}});
+  auto graph = BuildCustomerGraph(*edges, {1, 2});
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->graph.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(graph->graph.WeightedDegree(0), 3.0);
+}
+
+TEST(BuildCustomerGraphTest, EmptyUniverseRejected) {
+  const auto edges = EdgeTable({});
+  EXPECT_TRUE(
+      BuildCustomerGraph(*edges, {}).status().IsInvalidArgument());
+}
+
+TEST(ComputeGraphFeaturesTest, OutputsCoverUniverse) {
+  const auto current = EdgeTable({{1, 2, 1.0}, {2, 3, 1.0}});
+  const std::vector<int64_t> universe = {1, 2, 3, 4};
+  GraphFeatureInputs inputs;
+  inputs.current_edges = current.get();
+  inputs.current_universe = &universe;
+  auto features = ComputeGraphFeatures(inputs, "test");
+  ASSERT_TRUE(features.ok()) << features.status().ToString();
+  EXPECT_EQ((*features)->num_rows(), 4u);
+  EXPECT_TRUE((*features)->schema().HasField("test_pagerank"));
+  EXPECT_TRUE((*features)->schema().HasField("test_lp_churn"));
+  // No previous month: LP defaults to the 0.5 prior.
+  auto lp = *(*features)->GetColumn("test_lp_churn");
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(lp->GetDouble(r), 0.5);
+  }
+  // Centre vertex (imsi 2) has the highest PageRank.
+  auto pr = *(*features)->GetColumn("test_pagerank");
+  EXPECT_GT(pr->GetDouble(1), pr->GetDouble(0));
+  EXPECT_GT(pr->GetDouble(1), pr->GetDouble(3));
+}
+
+TEST(ComputeGraphFeaturesTest, LpPropagatesFromPreviousChurners) {
+  // Previous month: 1-2-3 path; 1 churned, 3 did not.
+  const auto prev = EdgeTable({{1, 2, 1.0}, {2, 3, 1.0}});
+  const auto current = EdgeTable({{2, 3, 1.0}});
+  const std::vector<int64_t> prev_universe = {1, 2, 3};
+  const std::vector<int64_t> current_universe = {2, 3};
+  std::unordered_map<int64_t, int> labels = {{1, 1}, {3, 0}};
+  GraphFeatureInputs inputs;
+  inputs.current_edges = current.get();
+  inputs.current_universe = &current_universe;
+  inputs.previous_edges = prev.get();
+  inputs.previous_universe = &prev_universe;
+  inputs.previous_labels = &labels;
+  auto features = ComputeGraphFeatures(inputs, "g");
+  ASSERT_TRUE(features.ok());
+  auto lp = *(*features)->GetColumn("g_lp_churn");
+  // Vertex 2 sits between churner 1 and non-churner 3: strictly between.
+  const double p2 = lp->GetDouble(0);
+  EXPECT_GT(p2, 0.2);
+  EXPECT_LT(p2, 0.8);
+  // Vertex 3 was a clamped non-churner seed.
+  EXPECT_LT(lp->GetDouble(1), 0.1);
+}
+
+TEST(ComputeGraphFeaturesTest, MissingInputsRejected) {
+  GraphFeatureInputs inputs;
+  EXPECT_TRUE(
+      ComputeGraphFeatures(inputs, "x").status().IsInvalidArgument());
+}
+
+TEST(ComputeGraphFeaturesTest, SimulatedCoocLpPredictsChurn) {
+  // On the simulator, the propagated churn probability must correlate
+  // positively with next-month churn (the F6 signal).
+  auto& shared = sim_fixture::GetSharedSim();
+  auto prev_edges = *shared.catalog.Get(CoocEdgesTableName(2));
+  auto cur_edges = *shared.catalog.Get(CoocEdgesTableName(3));
+  const MonthTruth& m2 = shared.sim->truth().months[1];
+  const MonthTruth& m3 = shared.sim->truth().months[2];
+  auto labels = *LoadChurnLabels(shared.catalog, 2);
+
+  GraphFeatureInputs inputs;
+  inputs.current_edges = cur_edges.get();
+  inputs.current_universe = &m3.active_imsis;
+  inputs.previous_edges = prev_edges.get();
+  inputs.previous_universe = &m2.active_imsis;
+  inputs.previous_labels = &labels;
+  auto features = ComputeGraphFeatures(inputs, "cooc");
+  ASSERT_TRUE(features.ok());
+
+  auto lp = *(*features)->GetColumn("cooc_lp_churn");
+  double churner_mean = 0.0;
+  double other_mean = 0.0;
+  size_t churners = 0;
+  size_t others = 0;
+  for (size_t i = 0; i < m3.active_imsis.size(); ++i) {
+    if (m3.churned[i]) {
+      churner_mean += lp->GetDouble(i);
+      ++churners;
+    } else {
+      other_mean += lp->GetDouble(i);
+      ++others;
+    }
+  }
+  ASSERT_GT(churners, 0u);
+  EXPECT_GT(churner_mean / churners, other_mean / others);
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,39 @@
+// Shared small simulation for feature-layer tests (built once per binary).
+
+#ifndef TELCO_TESTS_FEATURES_SIM_FIXTURE_H_
+#define TELCO_TESTS_FEATURES_SIM_FIXTURE_H_
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "datagen/telco_simulator.h"
+
+namespace telco {
+namespace sim_fixture {
+
+struct SharedSim {
+  Catalog catalog;
+  std::unique_ptr<TelcoSimulator> sim;
+};
+
+inline SharedSim& GetSharedSim() {
+  static SharedSim* shared = [] {
+    auto* s = new SharedSim();
+    SimConfig config;
+    config.num_customers = 2500;
+    config.num_months = 4;
+    config.num_communities = 50;
+    config.num_cells = 25;
+    s->sim = std::make_unique<TelcoSimulator>(config);
+    const Status st = s->sim->Run(&s->catalog);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return s;
+  }();
+  return *shared;
+}
+
+}  // namespace sim_fixture
+}  // namespace telco
+
+#endif  // TELCO_TESTS_FEATURES_SIM_FIXTURE_H_

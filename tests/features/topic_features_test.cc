@@ -1,0 +1,117 @@
+#include "features/topic_features.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/table_names.h"
+#include "sim_fixture.h"
+
+namespace telco {
+namespace {
+
+TablePtr TextTable(
+    std::vector<std::tuple<int64_t, int64_t, int64_t>> rows) {
+  TableBuilder builder(Schema({{"imsi", DataType::kInt64},
+                               {"word_id", DataType::kInt64},
+                               {"cnt", DataType::kInt64}}));
+  for (const auto& [imsi, word, cnt] : rows) {
+    EXPECT_TRUE(
+        builder.AppendRow({Value(imsi), Value(word), Value(cnt)}).ok());
+  }
+  return *builder.Finish();
+}
+
+TEST(GatherDocumentsTest, GroupsByImsiAndFiltersBadRows) {
+  const auto table = TextTable(
+      {{1, 0, 2}, {1, 3, 1}, {2, 1, 5}, {2, 99, 1}, {3, 0, 0}});
+  auto docs = GatherDocuments(*table, 10);
+  ASSERT_TRUE(docs.ok());
+  EXPECT_EQ(docs->at(1).word_counts.size(), 2u);
+  EXPECT_EQ(docs->at(2).word_counts.size(), 1u);  // word 99 out of vocab
+  // imsi 3 had only a zero count -> present but empty or absent.
+  const auto it = docs->find(3);
+  if (it != docs->end()) {
+    EXPECT_TRUE(it->second.word_counts.empty());
+  }
+}
+
+TEST(TopicFeaturesTest, FoldInProducesAlignedFeatures) {
+  // Corpus with two word blocks; customers 1/2 use block A, 3/4 block B.
+  std::vector<std::tuple<int64_t, int64_t, int64_t>> rows;
+  for (int64_t imsi : {1, 2}) {
+    for (int64_t w = 0; w < 5; ++w) rows.push_back({imsi, w, 4});
+  }
+  for (int64_t imsi : {3, 4}) {
+    for (int64_t w = 5; w < 10; ++w) rows.push_back({imsi, w, 4});
+  }
+  const auto table = TextTable(rows);
+  LdaOptions options;
+  options.num_topics = 2;
+  options.max_iterations = 60;
+  auto model = TrainLdaOnTable(*table, 10, options);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  const std::vector<int64_t> universe = {1, 2, 3, 4, 5};  // 5 has no text
+  auto features = ComputeTopicFeatures(*model, *table, universe, 10, "t");
+  ASSERT_TRUE(features.ok());
+  EXPECT_EQ((*features)->num_rows(), 5u);
+  EXPECT_EQ((*features)->num_columns(), 3u);  // imsi + 2 topics
+
+  auto t0 = *(*features)->GetColumn("t_topic0");
+  auto t1 = *(*features)->GetColumn("t_topic1");
+  // Same-block customers agree on the dominant topic; different blocks
+  // disagree.
+  const int major1 = t0->GetDouble(0) > t1->GetDouble(0) ? 0 : 1;
+  const int major2 = t0->GetDouble(1) > t1->GetDouble(1) ? 0 : 1;
+  const int major3 = t0->GetDouble(2) > t1->GetDouble(2) ? 0 : 1;
+  EXPECT_EQ(major1, major2);
+  EXPECT_NE(major1, major3);
+  // Textless customer gets the uniform prior.
+  EXPECT_DOUBLE_EQ(t0->GetDouble(4), 0.5);
+  EXPECT_DOUBLE_EQ(t1->GetDouble(4), 0.5);
+}
+
+TEST(TopicFeaturesTest, RowsSumToOne) {
+  auto& shared = sim_fixture::GetSharedSim();
+  auto text = *shared.catalog.Get(SearchTextTableName(1));
+  auto vocab = *shared.catalog.Get(kSearchVocabTable);
+  const MonthTruth& mt = shared.sim->truth().months[0];
+  LdaOptions options;
+  options.num_topics = 5;
+  options.max_iterations = 25;
+  auto model = TrainLdaOnTable(*text, vocab->num_rows(), options);
+  ASSERT_TRUE(model.ok());
+  auto features = ComputeTopicFeatures(*model, *text, mt.active_imsis,
+                                       vocab->num_rows(), "srch");
+  ASSERT_TRUE(features.ok());
+  for (size_t r = 0; r < std::min<size_t>((*features)->num_rows(), 200);
+       ++r) {
+    double total = 0.0;
+    for (size_t c = 1; c < (*features)->num_columns(); ++c) {
+      const double v = (*features)->GetValue(r, c).dbl();
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6);
+  }
+}
+
+TEST(TopicFeaturesTest, EmptyUniverseRejected) {
+  const auto table = TextTable({{1, 0, 1}, {2, 1, 1}, {3, 2, 1}});
+  LdaOptions options;
+  options.num_topics = 2;
+  auto model = TrainLdaOnTable(*table, 10, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(ComputeTopicFeatures(*model, *table, {}, 10, "t")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(TrainLdaOnTableTest, TooFewDocumentsRejected) {
+  const auto table = TextTable({{1, 0, 1}});
+  LdaOptions options;
+  EXPECT_TRUE(
+      TrainLdaOnTable(*table, 10, options).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,89 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace telco {
+namespace {
+
+TEST(GraphBuilderTest, BuildsSymmetricAdjacency) {
+  GraphBuilder builder(4);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 2.0).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2, 3.0).ok());
+  const Graph g = std::move(builder).Build();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(3), 0u);
+  // Symmetry.
+  EXPECT_EQ(g.Neighbors(0)[0].neighbor, 1u);
+  bool found = false;
+  for (const auto& e : g.Neighbors(1)) {
+    if (e.neighbor == 0) {
+      EXPECT_DOUBLE_EQ(e.weight, 2.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GraphBuilderTest, ParallelEdgesMergeWeights) {
+  GraphBuilder builder(2);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1.5).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 0, 2.5).ok());
+  const Graph g = std::move(builder).Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_DOUBLE_EQ(g.Neighbors(0)[0].weight, 4.0);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(1), 4.0);
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoop) {
+  GraphBuilder builder(3);
+  EXPECT_TRUE(builder.AddEdge(1, 1, 1.0).IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRange) {
+  GraphBuilder builder(3);
+  EXPECT_TRUE(builder.AddEdge(0, 3, 1.0).IsOutOfRange());
+  EXPECT_TRUE(builder.AddEdge(5, 0, 1.0).IsOutOfRange());
+}
+
+TEST(GraphBuilderTest, RejectsNonPositiveWeight) {
+  GraphBuilder builder(3);
+  EXPECT_TRUE(builder.AddEdge(0, 1, 0.0).IsInvalidArgument());
+  EXPECT_TRUE(builder.AddEdge(0, 1, -1.0).IsInvalidArgument());
+}
+
+TEST(GraphTest, NeighborsSortedById) {
+  GraphBuilder builder(5);
+  ASSERT_TRUE(builder.AddEdge(2, 4, 1.0).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 0, 1.0).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 3, 1.0).ok());
+  const Graph g = std::move(builder).Build();
+  const auto nbrs = g.Neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0].neighbor, 0u);
+  EXPECT_EQ(nbrs[1].neighbor, 3u);
+  EXPECT_EQ(nbrs[2].neighbor, 4u);
+}
+
+TEST(GraphTest, WeightedDegree) {
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2, 2.5).ok());
+  const Graph g = std::move(builder).Build();
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(0), 3.5);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(1), 1.0);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  GraphBuilder builder(3);
+  const Graph g = std::move(builder).Build();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.Neighbors(0).empty());
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,110 @@
+#include "graph/label_propagation.h"
+
+#include <gtest/gtest.h>
+
+namespace telco {
+namespace {
+
+Graph PathGraph(size_t n) {
+  GraphBuilder builder(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    EXPECT_TRUE(
+        builder.AddEdge(static_cast<uint32_t>(i),
+                        static_cast<uint32_t>(i + 1), 1.0)
+            .ok());
+  }
+  return std::move(builder).Build();
+}
+
+TEST(LabelPropagationTest, SeedsStayClamped) {
+  const Graph g = PathGraph(5);
+  auto result = PropagateLabels(g, {{0, 1}, {4, 0}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->Probability(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(result->Probability(4, 0), 1.0);
+}
+
+TEST(LabelPropagationTest, InteriorInterpolatesBetweenSeeds) {
+  const Graph g = PathGraph(5);
+  auto result = PropagateLabels(g, {{0, 1}, {4, 0}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  // Harmonic solution on a path: monotone gradient from 1 to 0.
+  EXPECT_GT(result->Probability(1, 1), result->Probability(2, 1));
+  EXPECT_GT(result->Probability(2, 1), result->Probability(3, 1));
+  // Midpoint near 0.5.
+  EXPECT_NEAR(result->Probability(2, 1), 0.5, 0.05);
+}
+
+TEST(LabelPropagationTest, RowsSumToOne) {
+  const Graph g = PathGraph(6);
+  auto result = PropagateLabels(g, {{0, 1}, {5, 0}});
+  ASSERT_TRUE(result.ok());
+  for (uint32_t v = 0; v < 6; ++v) {
+    EXPECT_NEAR(result->Probability(v, 0) + result->Probability(v, 1), 1.0,
+                1e-9);
+  }
+}
+
+TEST(LabelPropagationTest, DisconnectedComponentStaysUniform) {
+  GraphBuilder builder(4);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1.0).ok());
+  // Vertices 2, 3 form their own component with no seeds.
+  ASSERT_TRUE(builder.AddEdge(2, 3, 1.0).ok());
+  auto result = PropagateLabels(std::move(builder).Build(), {{0, 1}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->Probability(2, 1), 0.5, 1e-6);
+  EXPECT_NEAR(result->Probability(3, 1), 0.5, 1e-6);
+  // Neighbour of the churner seed inherits its label.
+  EXPECT_GT(result->Probability(1, 1), 0.9);
+}
+
+TEST(LabelPropagationTest, EdgeWeightsBias) {
+  // Vertex 1 between seeds 0 (label 1, heavy) and 2 (label 0, light).
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 10.0).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2, 1.0).ok());
+  auto result =
+      PropagateLabels(std::move(builder).Build(), {{0, 1}, {2, 0}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->Probability(1, 1), 10.0 / 11.0, 1e-6);
+}
+
+TEST(LabelPropagationTest, MultiClass) {
+  const Graph g = PathGraph(7);
+  LabelPropagationOptions options;
+  options.num_classes = 3;
+  auto result = PropagateLabels(g, {{0, 0}, {3, 1}, {6, 2}}, options);
+  ASSERT_TRUE(result.ok());
+  // Nearest seed dominates.
+  EXPECT_GT(result->Probability(1, 0), result->Probability(1, 1));
+  EXPECT_GT(result->Probability(4, 1) + result->Probability(4, 2),
+            result->Probability(4, 0));
+  for (uint32_t v = 0; v < 7; ++v) {
+    double total = 0.0;
+    for (uint32_t c = 0; c < 3; ++c) total += result->Probability(v, c);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(LabelPropagationTest, InvalidInputsRejected) {
+  const Graph g = PathGraph(3);
+  LabelPropagationOptions one_class;
+  one_class.num_classes = 1;
+  EXPECT_TRUE(
+      PropagateLabels(g, {{0, 0}}, one_class).status().IsInvalidArgument());
+  EXPECT_TRUE(PropagateLabels(g, {{9, 0}}).status().IsOutOfRange());
+  EXPECT_TRUE(PropagateLabels(g, {{0, 5}}).status().IsOutOfRange());
+}
+
+TEST(LabelPropagationTest, NoSeedsStaysUniform) {
+  const Graph g = PathGraph(4);
+  auto result = PropagateLabels(g, {});
+  ASSERT_TRUE(result.ok());
+  for (uint32_t v = 0; v < 4; ++v) {
+    EXPECT_NEAR(result->Probability(v, 1), 0.5, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,107 @@
+#include "graph/pagerank.h"
+
+#include <gtest/gtest.h>
+
+namespace telco {
+namespace {
+
+Graph PathGraph(size_t n) {
+  GraphBuilder builder(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    EXPECT_TRUE(
+        builder.AddEdge(static_cast<uint32_t>(i),
+                        static_cast<uint32_t>(i + 1), 1.0)
+            .ok());
+  }
+  return std::move(builder).Build();
+}
+
+TEST(PageRankTest, ConvergesOnPath) {
+  const Graph g = PathGraph(5);
+  auto result = PageRank(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_GT(result->iterations, 1);
+  // Middle vertex has the highest score on a path.
+  const auto& s = result->scores;
+  EXPECT_GT(s[2], s[0]);
+  EXPECT_GT(s[1], s[0]);
+  // Symmetric graph -> symmetric scores.
+  EXPECT_NEAR(s[0], s[4], 1e-8);
+  EXPECT_NEAR(s[1], s[3], 1e-8);
+}
+
+TEST(PageRankTest, CompleteGraphIsUniform) {
+  const size_t n = 6;
+  GraphBuilder builder(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      ASSERT_TRUE(builder.AddEdge(i, j, 1.0).ok());
+    }
+  }
+  auto result = PageRank(std::move(builder).Build());
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < n; ++i) {
+    EXPECT_NEAR(result->scores[i], result->scores[0], 1e-9);
+  }
+}
+
+TEST(PageRankTest, ScoresConvergeToUnitMass) {
+  // Each sweep maps total mass S to (1-d) + d*S, whose fixed point is 1:
+  // the converged scores form a probability distribution even though the
+  // paper initialises x_m = 1 per vertex.
+  const Graph g = PathGraph(7);
+  auto result = PageRank(g);
+  ASSERT_TRUE(result.ok());
+  double total = 0.0;
+  for (double s : result->scores) total += s;
+  EXPECT_NEAR(total, 1.0, 0.01);
+}
+
+TEST(PageRankTest, IsolatedVertexGetsFloor) {
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1.0).ok());
+  auto result = PageRank(std::move(builder).Build());
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->scores[2], (1.0 - 0.85) / 3.0, 1e-9);
+  EXPECT_GT(result->scores[0], result->scores[2]);
+}
+
+TEST(PageRankTest, WeightsRedirectMass) {
+  // Star: vertex 0 connected to 1 and 2, but edge to 1 is much heavier.
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 10.0).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2, 1.0).ok());
+  auto result = PageRank(std::move(builder).Build());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->scores[1], result->scores[2]);
+}
+
+TEST(PageRankTest, InvalidDampingRejected) {
+  const Graph g = PathGraph(3);
+  PageRankOptions options;
+  options.damping = 1.0;
+  EXPECT_TRUE(PageRank(g, options).status().IsInvalidArgument());
+  options.damping = -0.1;
+  EXPECT_TRUE(PageRank(g, options).status().IsInvalidArgument());
+}
+
+TEST(PageRankTest, EmptyGraphRejected) {
+  GraphBuilder builder(0);
+  EXPECT_TRUE(
+      PageRank(std::move(builder).Build()).status().IsInvalidArgument());
+}
+
+TEST(PageRankTest, IterationCapRespected) {
+  const Graph g = PathGraph(50);
+  PageRankOptions options;
+  options.max_iterations = 2;
+  options.tolerance = 0.0;
+  auto result = PageRank(g, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->iterations, 2);
+  EXPECT_FALSE(result->converged);
+}
+
+}  // namespace
+}  // namespace telco

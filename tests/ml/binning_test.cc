@@ -1,0 +1,117 @@
+#include "ml/binning.h"
+
+#include <gtest/gtest.h>
+
+#include "ml_test_util.h"
+
+namespace telco {
+namespace {
+
+TEST(FeatureBinnerTest, ConstantFeatureGetsOneBin) {
+  Dataset data({"c"});
+  for (int i = 0; i < 10; ++i) {
+    const double v = 3.0;
+    data.AddRow(std::span<const double>(&v, 1), 0);
+  }
+  auto binner = FeatureBinner::Fit(data, 16);
+  ASSERT_TRUE(binner.ok());
+  EXPECT_EQ(binner->NumBins(0), 1);
+  EXPECT_EQ(binner->BinOf(0, 3.0), 0);
+  EXPECT_EQ(binner->BinOf(0, 100.0), 0);
+}
+
+TEST(FeatureBinnerTest, BinaryFeatureGetsTwoBins) {
+  Dataset data({"b"});
+  for (int i = 0; i < 20; ++i) {
+    const double v = (i % 2 == 0) ? 0.0 : 1.0;
+    data.AddRow(std::span<const double>(&v, 1), 0);
+  }
+  auto binner = FeatureBinner::Fit(data, 16);
+  ASSERT_TRUE(binner.ok());
+  EXPECT_EQ(binner->NumBins(0), 2);
+  EXPECT_EQ(binner->BinOf(0, 0.0), 0);
+  EXPECT_EQ(binner->BinOf(0, 1.0), 1);
+  EXPECT_EQ(binner->BinOf(0, 0.5), 1);  // above the 0.0 edge
+}
+
+TEST(FeatureBinnerTest, MonotoneBinCodes) {
+  const Dataset data = ml_testing::LinearlySeparable(500, 11);
+  auto binner = FeatureBinner::Fit(data, 32);
+  ASSERT_TRUE(binner.ok());
+  uint8_t prev = 0;
+  for (double v = -3.0; v <= 3.0; v += 0.1) {
+    const uint8_t code = binner->BinOf(0, v);
+    EXPECT_GE(code, prev);
+    prev = code;
+  }
+  EXPECT_GE(binner->NumBins(0), 16);
+}
+
+TEST(FeatureBinnerTest, UpperEdgeConsistentWithBinOf) {
+  const Dataset data = ml_testing::LinearlySeparable(500, 13);
+  auto binner = FeatureBinner::Fit(data, 16);
+  ASSERT_TRUE(binner.ok());
+  for (int b = 0; b + 1 < binner->NumBins(0); ++b) {
+    const double edge = binner->UpperEdge(0, b);
+    EXPECT_LE(binner->BinOf(0, edge), b);           // edge value goes left
+    EXPECT_GT(binner->BinOf(0, edge + 1e-9), b);    // above goes right
+  }
+}
+
+TEST(FeatureBinnerTest, InvalidArgs) {
+  const Dataset data = ml_testing::LinearlySeparable(10, 17);
+  EXPECT_TRUE(FeatureBinner::Fit(data, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(FeatureBinner::Fit(data, 257).status().IsInvalidArgument());
+  Dataset empty({"x"});
+  EXPECT_TRUE(FeatureBinner::Fit(empty, 16).status().IsInvalidArgument());
+}
+
+TEST(EncodeBinsTest, ShapeAndRange) {
+  const Dataset data = ml_testing::LinearlySeparable(100, 19);
+  auto binner = FeatureBinner::Fit(data, 8);
+  ASSERT_TRUE(binner.ok());
+  const BinnedDataset binned = EncodeBins(*binner, data);
+  EXPECT_EQ(binned.num_rows, 100u);
+  EXPECT_EQ(binned.num_features, 3u);
+  for (size_t r = 0; r < binned.num_rows; ++r) {
+    for (size_t j = 0; j < binned.num_features; ++j) {
+      EXPECT_LT(binned.Code(r, j), binner->NumBins(j));
+      EXPECT_EQ(binned.Code(r, j), binner->BinOf(j, data.At(r, j)));
+    }
+  }
+}
+
+TEST(QuantileOneHotEncoderTest, ProducesIndicators) {
+  const Dataset data = ml_testing::LinearlySeparable(200, 23);
+  auto encoder = QuantileOneHotEncoder::Fit(data, 4);
+  ASSERT_TRUE(encoder.ok());
+  const Dataset encoded = encoder->Transform(data);
+  EXPECT_EQ(encoded.num_rows(), 200u);
+  EXPECT_EQ(encoded.num_features(), encoder->EncodedWidth());
+  // Each row has exactly one 1 per original feature block.
+  for (size_t r = 0; r < 20; ++r) {
+    double total = 0.0;
+    for (size_t j = 0; j < encoded.num_features(); ++j) {
+      const double v = encoded.At(r, j);
+      EXPECT_TRUE(v == 0.0 || v == 1.0);
+      total += v;
+    }
+    EXPECT_DOUBLE_EQ(total, 3.0);  // three original features
+  }
+  // Labels/weights carried over.
+  EXPECT_EQ(encoded.label(0), data.label(0));
+}
+
+TEST(QuantileOneHotEncoderTest, TransformRowMatchesTransform) {
+  const Dataset data = ml_testing::LinearlySeparable(50, 29);
+  auto encoder = QuantileOneHotEncoder::Fit(data, 4);
+  ASSERT_TRUE(encoder.ok());
+  const Dataset encoded = encoder->Transform(data);
+  const auto row = encoder->TransformRow(data.Row(7));
+  for (size_t j = 0; j < row.size(); ++j) {
+    EXPECT_DOUBLE_EQ(row[j], encoded.At(7, j));
+  }
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,195 @@
+#include "ml/decision_tree.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "ml_test_util.h"
+
+namespace telco {
+namespace {
+
+using ml_testing::LinearlySeparable;
+using ml_testing::ThreeClassBlobs;
+using ml_testing::XorDataset;
+
+struct FittedTree {
+  ClassificationTree tree;
+  std::vector<double> importance;
+};
+
+FittedTree FitOn(const Dataset& data, TreeOptions options = {},
+                 int num_classes = 2) {
+  FittedTree out;
+  auto binner = FeatureBinner::Fit(data, 32);
+  EXPECT_TRUE(binner.ok());
+  const BinnedDataset binned = EncodeBins(*binner, data);
+  std::vector<size_t> indices(data.num_rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  out.importance.assign(data.num_features(), 0.0);
+  Rng rng(7);
+  EXPECT_TRUE(out.tree
+                  .Fit(binned, data, indices, num_classes, options, &rng,
+                       &out.importance)
+                  .ok());
+  return out;
+}
+
+double AccuracyOf(const ClassificationTree& tree, const Dataset& data) {
+  size_t correct = 0;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto proba = tree.PredictProba(data.Row(i));
+    int best = 0;
+    for (size_t c = 1; c < proba.size(); ++c) {
+      if (proba[c] > proba[best]) best = static_cast<int>(c);
+    }
+    correct += (best == data.label(i));
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.num_rows());
+}
+
+TEST(ClassificationTreeTest, LearnsSeparableData) {
+  const Dataset data = LinearlySeparable(2000, 31, 0.05);
+  TreeOptions options;
+  options.min_samples_split = 20;
+  const FittedTree fitted = FitOn(data, options);
+  EXPECT_GT(AccuracyOf(fitted.tree, data), 0.95);
+  EXPECT_GT(fitted.tree.num_nodes(), 3u);
+}
+
+TEST(ClassificationTreeTest, LearnsXorInteraction) {
+  const Dataset data = XorDataset(3000, 37);
+  TreeOptions options;
+  options.min_samples_split = 20;
+  const FittedTree fitted = FitOn(data, options);
+  EXPECT_GT(AccuracyOf(fitted.tree, data), 0.9);
+}
+
+TEST(ClassificationTreeTest, MultiClass) {
+  const Dataset data = ThreeClassBlobs(1500, 41);
+  TreeOptions options;
+  options.min_samples_split = 20;
+  const FittedTree fitted = FitOn(data, options, 3);
+  EXPECT_GT(AccuracyOf(fitted.tree, data), 0.9);
+  const auto proba = fitted.tree.PredictProba(data.Row(0));
+  EXPECT_EQ(proba.size(), 3u);
+  double total = 0.0;
+  for (double p : proba) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ClassificationTreeTest, MinSamplesSplitStopsGrowth) {
+  const Dataset data = LinearlySeparable(200, 43);
+  TreeOptions options;
+  options.min_samples_split = 1000;  // larger than the dataset
+  const FittedTree fitted = FitOn(data, options);
+  EXPECT_EQ(fitted.tree.num_nodes(), 1u);  // root leaf only
+  const auto proba = fitted.tree.PredictProba(data.Row(0));
+  // Leaf distribution equals the class prior.
+  size_t positives = 0;
+  for (size_t i = 0; i < data.num_rows(); ++i) positives += data.label(i);
+  EXPECT_NEAR(proba[1],
+              static_cast<double>(positives) / data.num_rows(), 1e-9);
+}
+
+TEST(ClassificationTreeTest, MaxDepthZeroIsLeaf) {
+  const Dataset data = LinearlySeparable(500, 47);
+  TreeOptions options;
+  options.max_depth = 0;
+  const FittedTree fitted = FitOn(data, options);
+  EXPECT_EQ(fitted.tree.num_nodes(), 1u);
+}
+
+TEST(ClassificationTreeTest, ImportanceConcentratesOnSignal) {
+  // x0 is the dominant signal, x2 is pure noise.
+  const Dataset data = LinearlySeparable(3000, 53, 0.05);
+  TreeOptions options;
+  options.min_samples_split = 50;
+  const FittedTree fitted = FitOn(data, options);
+  EXPECT_GT(fitted.importance[0], fitted.importance[2] * 5.0);
+  EXPECT_GT(fitted.importance[0], fitted.importance[1]);
+}
+
+TEST(ClassificationTreeTest, InstanceWeightsShiftLeafDistribution) {
+  // All-positive rows weighted heavily must dominate the root leaf.
+  Dataset data({"x"});
+  for (int i = 0; i < 10; ++i) {
+    const double v = 0.0;  // constant feature: unsplittable
+    data.AddRow(std::span<const double>(&v, 1), i < 5 ? 1 : 0,
+                i < 5 ? 10.0 : 1.0);
+  }
+  const FittedTree fitted = FitOn(data);
+  const auto proba = fitted.tree.PredictProba(data.Row(0));
+  EXPECT_NEAR(proba[1], 50.0 / 55.0, 1e-9);
+}
+
+TEST(ClassificationTreeTest, RejectsEmptyIndices) {
+  const Dataset data = LinearlySeparable(10, 59);
+  auto binner = FeatureBinner::Fit(data, 8);
+  ASSERT_TRUE(binner.ok());
+  const BinnedDataset binned = EncodeBins(*binner, data);
+  ClassificationTree tree;
+  Rng rng(1);
+  EXPECT_TRUE(tree.Fit(binned, data, {}, 2, {}, &rng, nullptr)
+                  .IsInvalidArgument());
+}
+
+TEST(RegressionTreeTest, FitsNewtonLeaves) {
+  // Gradients: g = prediction - target with hessian 1 -> leaf = mean
+  // target. Feature x splits targets into -1 (x<0) and +1 (x>=0).
+  Dataset data({"x"});
+  std::vector<double> grad;
+  std::vector<double> hess;
+  Rng rng(61);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Gaussian();
+    data.AddRow(std::span<const double>(&x, 1), 0);
+    const double target = x < 0.0 ? -1.0 : 1.0;
+    grad.push_back(-target);  // leaf value = -sum(g)/sum(h) = mean target
+    hess.push_back(1.0);
+  }
+  auto binner = FeatureBinner::Fit(data, 32);
+  ASSERT_TRUE(binner.ok());
+  const BinnedDataset binned = EncodeBins(*binner, data);
+  std::vector<size_t> indices(data.num_rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  TreeOptions options;
+  options.min_samples_split = 20;
+  RegressionTree tree;
+  Rng fit_rng(2);
+  ASSERT_TRUE(
+      tree.Fit(binned, grad, hess, indices, options, 0.0, &fit_rng).ok());
+  const double lo = -2.0;
+  const double hi = 2.0;
+  EXPECT_NEAR(tree.Predict(std::span<const double>(&lo, 1)), -1.0, 0.1);
+  EXPECT_NEAR(tree.Predict(std::span<const double>(&hi, 1)), 1.0, 0.1);
+}
+
+TEST(RegressionTreeTest, LambdaShrinksLeaves) {
+  Dataset data({"x"});
+  std::vector<double> grad;
+  std::vector<double> hess;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.0;
+    data.AddRow(std::span<const double>(&x, 1), 0);
+    grad.push_back(-1.0);
+    hess.push_back(1.0);
+  }
+  auto binner = FeatureBinner::Fit(data, 8);
+  ASSERT_TRUE(binner.ok());
+  const BinnedDataset binned = EncodeBins(*binner, data);
+  std::vector<size_t> indices(data.num_rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  RegressionTree no_reg;
+  RegressionTree heavy_reg;
+  Rng rng(3);
+  ASSERT_TRUE(no_reg.Fit(binned, grad, hess, indices, {}, 0.0, &rng).ok());
+  ASSERT_TRUE(
+      heavy_reg.Fit(binned, grad, hess, indices, {}, 50.0, &rng).ok());
+  const double x = 0.0;
+  EXPECT_NEAR(no_reg.Predict(std::span<const double>(&x, 1)), 1.0, 1e-9);
+  EXPECT_LT(heavy_reg.Predict(std::span<const double>(&x, 1)), 0.6);
+}
+
+}  // namespace
+}  // namespace telco

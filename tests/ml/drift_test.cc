@@ -1,0 +1,92 @@
+#include "ml/drift.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml_test_util.h"
+
+namespace telco {
+namespace {
+
+Dataset GaussianData(size_t n, double shift, double scale, uint64_t seed) {
+  Dataset data({"stable", "shifted"});
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const double row[2] = {rng.Gaussian(),
+                           shift + scale * rng.Gaussian()};
+    data.AddRow(std::span<const double>(row, 2), 0);
+  }
+  return data;
+}
+
+TEST(DriftTest, IdenticalDistributionsHaveLowPsi) {
+  const Dataset ref = GaussianData(5000, 0.0, 1.0, 1);
+  const Dataset cur = GaussianData(5000, 0.0, 1.0, 2);
+  auto report = ComputeDrift(ref, cur);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->MaxPsi(), 0.1);  // "stable" band
+  EXPECT_TRUE(report->DriftedFeatures().empty());
+}
+
+TEST(DriftTest, MeanShiftDetected) {
+  const Dataset ref = GaussianData(5000, 0.0, 1.0, 3);
+  const Dataset cur = GaussianData(5000, 1.5, 1.0, 4);  // shifted feature
+  auto report = ComputeDrift(ref, cur);
+  ASSERT_TRUE(report.ok());
+  // The shifted feature tops the ranking with significant PSI; the
+  // stable feature stays quiet.
+  ASSERT_EQ(report->features.size(), 2u);
+  EXPECT_EQ(report->features[0].feature, "shifted");
+  EXPECT_GT(report->features[0].psi, 0.25);
+  EXPECT_LT(report->features[1].psi, 0.1);
+  const auto drifted = report->DriftedFeatures();
+  ASSERT_EQ(drifted.size(), 1u);
+  EXPECT_EQ(drifted[0], "shifted");
+}
+
+TEST(DriftTest, VarianceChangeDetected) {
+  const Dataset ref = GaussianData(5000, 0.0, 1.0, 5);
+  const Dataset cur = GaussianData(5000, 0.0, 3.0, 6);
+  auto report = ComputeDrift(ref, cur);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->features[0].feature, "shifted");
+  EXPECT_GT(report->features[0].psi, 0.25);
+}
+
+TEST(DriftTest, PsiRoughlySymmetric) {
+  const Dataset a = GaussianData(4000, 0.0, 1.0, 7);
+  const Dataset b = GaussianData(4000, 0.8, 1.0, 8);
+  auto ab = ComputeDrift(a, b);
+  auto ba = ComputeDrift(b, a);
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  EXPECT_NEAR(ab->MaxPsi(), ba->MaxPsi(), 0.25 * ab->MaxPsi() + 0.05);
+}
+
+TEST(DriftTest, MismatchedLayoutsRejected) {
+  Dataset a({"x"});
+  Dataset b({"y"});
+  const double v = 1.0;
+  a.AddRow(std::span<const double>(&v, 1), 0);
+  b.AddRow(std::span<const double>(&v, 1), 0);
+  EXPECT_TRUE(ComputeDrift(a, b).status().IsInvalidArgument());
+}
+
+TEST(DriftTest, EmptyDatasetRejected) {
+  Dataset a({"x"});
+  const double v = 1.0;
+  a.AddRow(std::span<const double>(&v, 1), 0);
+  Dataset empty({"x"});
+  EXPECT_TRUE(ComputeDrift(a, empty).status().IsInvalidArgument());
+}
+
+TEST(DriftTest, MeanPsiAggregates) {
+  const Dataset ref = GaussianData(3000, 0.0, 1.0, 9);
+  const Dataset cur = GaussianData(3000, 2.0, 1.0, 10);
+  auto report = ComputeDrift(ref, cur);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->MeanPsi(), 0.0);
+  EXPECT_LE(report->MeanPsi(), report->MaxPsi());
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,105 @@
+#include "ml/fm.h"
+
+#include <gtest/gtest.h>
+
+#include "ml_test_util.h"
+
+namespace telco {
+namespace {
+
+using ml_testing::LinearlySeparable;
+using ml_testing::XorDataset;
+
+FactorizationMachineOptions FastOptions() {
+  FactorizationMachineOptions options;
+  options.epochs = 40;
+  options.latent_dim = 6;
+  return options;
+}
+
+TEST(FactorizationMachineTest, SeparableDataHighAuc) {
+  const Dataset data = LinearlySeparable(2000, 401, 0.1);
+  const auto split = SplitTrainTest(data, 0.3, 1);
+  FactorizationMachine model(FastOptions());
+  ASSERT_TRUE(model.Fit(split.train).ok());
+  EXPECT_GT(Auc(ScoreDataset(model, split.test)), 0.94);
+}
+
+TEST(FactorizationMachineTest, LearnsXorUnlikeLinearModel) {
+  // XOR is exactly a second-order interaction: the FM's pair term must
+  // capture what a pure linear model cannot.
+  const Dataset data = XorDataset(4000, 403);
+  const auto split = SplitTrainTest(data, 0.3, 2);
+  FactorizationMachine model(FastOptions());
+  ASSERT_TRUE(model.Fit(split.train).ok());
+  EXPECT_GT(Auc(ScoreDataset(model, split.test)), 0.8);
+}
+
+TEST(FactorizationMachineTest, XorPairWeightIsNegativeAndDominant) {
+  // For XOR, x0*x1 < 0 predicts the positive class, so <v_0, v_1> learns
+  // a negative weight, and it should top the pair ranking.
+  const Dataset data = XorDataset(4000, 407);
+  FactorizationMachine model(FastOptions());
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_LT(model.PairWeight(0, 1), 0.0);
+  const auto ranked = model.RankPairWeights(1);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0].i, 0u);
+  EXPECT_EQ(ranked[0].j, 1u);
+}
+
+TEST(FactorizationMachineTest, PairWeightSymmetric) {
+  const Dataset data = LinearlySeparable(500, 409);
+  FactorizationMachine model(FastOptions());
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_DOUBLE_EQ(model.PairWeight(0, 2), model.PairWeight(2, 0));
+}
+
+TEST(FactorizationMachineTest, RankPairWeightsSortedAndCapped) {
+  const Dataset data = LinearlySeparable(500, 411);
+  FactorizationMachine model(FastOptions());
+  ASSERT_TRUE(model.Fit(data).ok());
+  const auto ranked = model.RankPairWeights(2);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_GE(std::fabs(ranked[0].weight), std::fabs(ranked[1].weight));
+  const auto all = model.RankPairWeights(100);
+  EXPECT_EQ(all.size(), 3u);  // C(3, 2)
+}
+
+TEST(FactorizationMachineTest, ProbabilitiesInRange) {
+  const Dataset data = LinearlySeparable(300, 413);
+  FactorizationMachine model(FastOptions());
+  ASSERT_TRUE(model.Fit(data).ok());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const double p = model.PredictProba(data.Row(i));
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST(FactorizationMachineTest, DeterministicGivenSeed) {
+  const Dataset data = LinearlySeparable(400, 417);
+  FactorizationMachine a(FastOptions());
+  FactorizationMachine b(FastOptions());
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(data.Row(i)), b.PredictProba(data.Row(i)));
+  }
+}
+
+TEST(FactorizationMachineTest, RejectsInvalidInputs) {
+  FactorizationMachine model(FastOptions());
+  Dataset empty({"x"});
+  EXPECT_TRUE(model.Fit(empty).IsInvalidArgument());
+  EXPECT_TRUE(
+      model.Fit(ml_testing::ThreeClassBlobs(50, 419)).IsInvalidArgument());
+  FactorizationMachineOptions bad;
+  bad.latent_dim = 0;
+  FactorizationMachine zero_dim(bad);
+  EXPECT_TRUE(zero_dim.Fit(ml_testing::LinearlySeparable(50, 421))
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace telco

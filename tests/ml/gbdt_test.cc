@@ -1,0 +1,100 @@
+#include "ml/gbdt.h"
+
+#include <gtest/gtest.h>
+
+#include "ml_test_util.h"
+
+namespace telco {
+namespace {
+
+using ml_testing::LinearlySeparable;
+using ml_testing::XorDataset;
+
+GbdtOptions FastOptions(int trees = 40) {
+  GbdtOptions options;
+  options.num_trees = trees;
+  options.max_depth = 4;
+  options.min_samples_split = 20;
+  return options;
+}
+
+TEST(GbdtTest, SeparableDataHighAuc) {
+  const Dataset data = LinearlySeparable(2000, 201, 0.1);
+  const auto split = SplitTrainTest(data, 0.3, 1);
+  Gbdt model(FastOptions());
+  ASSERT_TRUE(model.Fit(split.train).ok());
+  EXPECT_GT(Auc(ScoreDataset(model, split.test)), 0.95);
+}
+
+TEST(GbdtTest, XorInteraction) {
+  const Dataset data = XorDataset(3000, 203);
+  const auto split = SplitTrainTest(data, 0.3, 2);
+  Gbdt model(FastOptions(60));
+  ASSERT_TRUE(model.Fit(split.train).ok());
+  EXPECT_GT(Auc(ScoreDataset(model, split.test)), 0.9);
+}
+
+TEST(GbdtTest, MoreRoundsImproveTrainingFit) {
+  const Dataset data = LinearlySeparable(1000, 207, 0.3);
+  Gbdt small(FastOptions(5));
+  Gbdt large(FastOptions(80));
+  ASSERT_TRUE(small.Fit(data).ok());
+  ASSERT_TRUE(large.Fit(data).ok());
+  EXPECT_LT(LogLoss(ScoreDataset(large, data)),
+            LogLoss(ScoreDataset(small, data)));
+}
+
+TEST(GbdtTest, ProbabilitiesInRange) {
+  const Dataset data = LinearlySeparable(500, 211);
+  Gbdt model(FastOptions(10));
+  ASSERT_TRUE(model.Fit(data).ok());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const double p = model.PredictProba(data.Row(i));
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST(GbdtTest, BaseMarginMatchesPrior) {
+  // Unsplittable constant feature -> prediction equals class prior.
+  Dataset data({"c"});
+  for (int i = 0; i < 100; ++i) {
+    const double v = 1.0;
+    data.AddRow(std::span<const double>(&v, 1), i < 25 ? 1 : 0);
+  }
+  Gbdt model(FastOptions(5));
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_NEAR(model.PredictProba(data.Row(0)), 0.25, 0.02);
+}
+
+TEST(GbdtTest, SubsamplingStillLearns) {
+  GbdtOptions options = FastOptions(60);
+  options.subsample = 0.5;
+  const Dataset data = LinearlySeparable(2000, 213, 0.1);
+  const auto split = SplitTrainTest(data, 0.3, 3);
+  Gbdt model(options);
+  ASSERT_TRUE(model.Fit(split.train).ok());
+  EXPECT_GT(Auc(ScoreDataset(model, split.test)), 0.93);
+}
+
+TEST(GbdtTest, DeterministicGivenSeed) {
+  const Dataset data = LinearlySeparable(500, 217);
+  Gbdt a(FastOptions(10));
+  Gbdt b(FastOptions(10));
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(data.Row(i)), b.PredictProba(data.Row(i)));
+  }
+}
+
+TEST(GbdtTest, RejectsInvalidInputs) {
+  Dataset empty({"x"});
+  Gbdt model(FastOptions());
+  EXPECT_TRUE(model.Fit(empty).IsInvalidArgument());
+  const Dataset multi = ml_testing::ThreeClassBlobs(50, 219);
+  EXPECT_TRUE(model.Fit(multi).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,109 @@
+#include "ml/imbalance.h"
+
+#include <gtest/gtest.h>
+
+#include "ml_test_util.h"
+
+namespace telco {
+namespace {
+
+Dataset ImbalancedData(size_t n, uint64_t seed) {
+  return ml_testing::LinearlySeparable(n, seed, 0.3, 0.1);
+}
+
+size_t CountPositives(const Dataset& data) {
+  size_t p = 0;
+  for (size_t i = 0; i < data.num_rows(); ++i) p += (data.label(i) == 1);
+  return p;
+}
+
+TEST(ImbalanceTest, NoneKeepsEverything) {
+  const Dataset data = ImbalancedData(1000, 1);
+  auto result = ApplyImbalanceStrategy(data, ImbalanceStrategy::kNone, 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), data.num_rows());
+  EXPECT_EQ(CountPositives(*result), CountPositives(data));
+}
+
+TEST(ImbalanceTest, UpSamplingBalancesByReplication) {
+  const Dataset data = ImbalancedData(1000, 2);
+  const size_t pos = CountPositives(data);
+  const size_t neg = data.num_rows() - pos;
+  ASSERT_LT(pos, neg);
+  auto result =
+      ApplyImbalanceStrategy(data, ImbalanceStrategy::kUpSampling, 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 2 * neg);
+  EXPECT_EQ(CountPositives(*result), neg);
+}
+
+TEST(ImbalanceTest, DownSamplingBalancesBySubsampling) {
+  const Dataset data = ImbalancedData(1000, 3);
+  const size_t pos = CountPositives(data);
+  auto result =
+      ApplyImbalanceStrategy(data, ImbalanceStrategy::kDownSampling, 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 2 * pos);
+  EXPECT_EQ(CountPositives(*result), pos);
+}
+
+TEST(ImbalanceTest, WeightedInstanceEqualisesClassMass) {
+  const Dataset data = ImbalancedData(1000, 4);
+  auto result =
+      ApplyImbalanceStrategy(data, ImbalanceStrategy::kWeightedInstance, 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), data.num_rows());
+  double pos_mass = 0.0;
+  double neg_mass = 0.0;
+  for (size_t i = 0; i < result->num_rows(); ++i) {
+    (result->label(i) == 1 ? pos_mass : neg_mass) += result->weight(i);
+  }
+  EXPECT_NEAR(pos_mass, neg_mass, 1e-6);
+  EXPECT_NEAR(pos_mass + neg_mass, static_cast<double>(data.num_rows()),
+              1e-6);
+}
+
+TEST(ImbalanceTest, DeterministicGivenSeed) {
+  const Dataset data = ImbalancedData(500, 5);
+  auto a = ApplyImbalanceStrategy(data, ImbalanceStrategy::kDownSampling, 9);
+  auto b = ApplyImbalanceStrategy(data, ImbalanceStrategy::kDownSampling, 9);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  for (size_t i = 0; i < a->num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a->At(i, 0), b->At(i, 0));
+  }
+}
+
+TEST(ImbalanceTest, SingleClassRejected) {
+  Dataset data({"x"});
+  const double v = 1.0;
+  for (int i = 0; i < 10; ++i) {
+    data.AddRow(std::span<const double>(&v, 1), 0);
+  }
+  EXPECT_TRUE(
+      ApplyImbalanceStrategy(data, ImbalanceStrategy::kUpSampling, 1)
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST(ImbalanceTest, MultiClassRejected) {
+  const Dataset data = ml_testing::ThreeClassBlobs(60, 6);
+  EXPECT_TRUE(ApplyImbalanceStrategy(data, ImbalanceStrategy::kNone, 1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ImbalanceTest, StrategyNames) {
+  EXPECT_STREQ(ImbalanceStrategyToString(ImbalanceStrategy::kNone),
+               "Not Balanced");
+  EXPECT_STREQ(ImbalanceStrategyToString(ImbalanceStrategy::kUpSampling),
+               "Up Sampling");
+  EXPECT_STREQ(ImbalanceStrategyToString(ImbalanceStrategy::kDownSampling),
+               "Down Sampling");
+  EXPECT_STREQ(
+      ImbalanceStrategyToString(ImbalanceStrategy::kWeightedInstance),
+      "Weighted Instance");
+}
+
+}  // namespace
+}  // namespace telco

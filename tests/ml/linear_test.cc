@@ -1,0 +1,104 @@
+#include "ml/linear.h"
+
+#include <gtest/gtest.h>
+
+#include "ml_test_util.h"
+
+namespace telco {
+namespace {
+
+using ml_testing::LinearlySeparable;
+using ml_testing::XorDataset;
+
+TEST(LogisticRegressionTest, SeparableDataHighAuc) {
+  const Dataset data = LinearlySeparable(2000, 301, 0.1);
+  const auto split = SplitTrainTest(data, 0.3, 1);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(split.train).ok());
+  EXPECT_GT(Auc(ScoreDataset(model, split.test)), 0.95);
+}
+
+TEST(LogisticRegressionTest, SignalFeatureGetsLargestWeight) {
+  const Dataset data = LinearlySeparable(3000, 303, 0.1);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  const auto& w = model.weights();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_GT(w[0], std::fabs(w[2]) * 3.0);
+  EXPECT_GT(w[0], w[1]);  // x0 stronger than x1
+  EXPECT_GT(w[1], 0.0);
+}
+
+TEST(LogisticRegressionTest, CannotLearnXor) {
+  // Sanity check that this really is a linear model.
+  const Dataset data = XorDataset(2000, 307);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_LT(Auc(ScoreDataset(model, data)), 0.6);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesInRange) {
+  const Dataset data = LinearlySeparable(500, 311);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const double p = model.PredictProba(data.Row(i));
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST(LogisticRegressionTest, InstanceWeightsShiftBias) {
+  const Dataset data = LinearlySeparable(1000, 313, 0.3, 0.1);
+  Dataset weighted = data.Select([&] {
+    std::vector<size_t> all(data.num_rows());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    return all;
+  }());
+  for (size_t i = 0; i < weighted.num_rows(); ++i) {
+    if (weighted.label(i) == 1) weighted.set_weight(i, 10.0);
+  }
+  LogisticRegression plain;
+  LogisticRegression heavy;
+  ASSERT_TRUE(plain.Fit(data).ok());
+  ASSERT_TRUE(heavy.Fit(weighted).ok());
+  double plain_mean = 0.0;
+  double heavy_mean = 0.0;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    plain_mean += plain.PredictProba(data.Row(i));
+    heavy_mean += heavy.PredictProba(data.Row(i));
+  }
+  EXPECT_GT(heavy_mean, plain_mean);
+}
+
+TEST(LogisticRegressionTest, DeterministicGivenSeed) {
+  const Dataset data = LinearlySeparable(500, 317);
+  LogisticRegression a;
+  LogisticRegression b;
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(data.Row(i)), b.PredictProba(data.Row(i)));
+  }
+}
+
+TEST(LogisticRegressionTest, RejectsInvalidInputs) {
+  Dataset empty({"x"});
+  LogisticRegression model;
+  EXPECT_TRUE(model.Fit(empty).IsInvalidArgument());
+  EXPECT_TRUE(
+      model.Fit(ml_testing::ThreeClassBlobs(50, 319)).IsInvalidArgument());
+}
+
+TEST(LogisticRegressionTest, WithoutStandardizationStillLearns) {
+  LogisticRegressionOptions options;
+  options.standardize = false;
+  options.epochs = 50;
+  const Dataset data = LinearlySeparable(2000, 323, 0.1);
+  LogisticRegression model(options);
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_GT(Auc(ScoreDataset(model, data)), 0.93);
+}
+
+}  // namespace
+}  // namespace telco

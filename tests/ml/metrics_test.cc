@@ -1,0 +1,156 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace telco {
+namespace {
+
+TEST(AucTest, PerfectRanking) {
+  const std::vector<ScoredInstance> inst = {
+      {0.9, true}, {0.8, true}, {0.3, false}, {0.1, false}};
+  EXPECT_DOUBLE_EQ(Auc(inst), 1.0);
+}
+
+TEST(AucTest, InvertedRanking) {
+  const std::vector<ScoredInstance> inst = {
+      {0.1, true}, {0.2, true}, {0.8, false}, {0.9, false}};
+  EXPECT_DOUBLE_EQ(Auc(inst), 0.0);
+}
+
+TEST(AucTest, RandomScoresNearHalf) {
+  Rng rng(3);
+  std::vector<ScoredInstance> inst;
+  for (int i = 0; i < 20000; ++i) {
+    inst.push_back({rng.Uniform(), rng.Bernoulli(0.1)});
+  }
+  EXPECT_NEAR(Auc(inst), 0.5, 0.02);
+}
+
+TEST(AucTest, TiesGetAverageRank) {
+  // One positive tied with one negative at the same score, plus a clear
+  // positive above and negative below: AUC = (1*2 + 0.5) / (2*2) = 0.625...
+  // Compute directly: pairs (p,n): (0.9 vs 0.5)=1, (0.9 vs 0.1)=1,
+  // (0.5 vs 0.5)=0.5, (0.5 vs 0.1)=1 -> 3.5/4.
+  const std::vector<ScoredInstance> inst = {
+      {0.9, true}, {0.5, true}, {0.5, false}, {0.1, false}};
+  EXPECT_DOUBLE_EQ(Auc(inst), 3.5 / 4.0);
+}
+
+TEST(AucTest, DegenerateClassesReturnHalf) {
+  EXPECT_DOUBLE_EQ(Auc({{0.5, true}, {0.6, true}}), 0.5);
+  EXPECT_DOUBLE_EQ(Auc({{0.5, false}}), 0.5);
+  EXPECT_DOUBLE_EQ(Auc({}), 0.5);
+}
+
+TEST(PrAucTest, PerfectRankingIsOne) {
+  const std::vector<ScoredInstance> inst = {
+      {0.9, true}, {0.8, true}, {0.3, false}, {0.1, false}};
+  EXPECT_NEAR(PrAuc(inst), 1.0, 1e-9);
+}
+
+TEST(PrAucTest, RandomApproachesPrevalence) {
+  Rng rng(5);
+  std::vector<ScoredInstance> inst;
+  for (int i = 0; i < 50000; ++i) {
+    inst.push_back({rng.Uniform(), rng.Bernoulli(0.2)});
+  }
+  EXPECT_NEAR(PrAuc(inst), 0.2, 0.02);
+}
+
+TEST(PrAucTest, NoPositivesIsZero) {
+  EXPECT_DOUBLE_EQ(PrAuc({{0.5, false}, {0.2, false}}), 0.0);
+  EXPECT_DOUBLE_EQ(PrAuc({}), 0.0);
+}
+
+TEST(RecallPrecisionAtU, TopOfList) {
+  // Ranked: t, f, t, f, f with 2 positives total.
+  const std::vector<ScoredInstance> inst = {
+      {0.9, true}, {0.8, false}, {0.7, true}, {0.2, false}, {0.1, false}};
+  EXPECT_DOUBLE_EQ(RecallAtU(inst, 1), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtU(inst, 3), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtU(inst, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtU(inst, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtU(inst, 3), 2.0 / 3.0);
+}
+
+TEST(RecallPrecisionAtU, ULargerThanList) {
+  const std::vector<ScoredInstance> inst = {{0.9, true}, {0.1, false}};
+  EXPECT_DOUBLE_EQ(RecallAtU(inst, 10), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtU(inst, 10), 0.5);
+}
+
+TEST(RecallPrecisionAtU, EdgeCases) {
+  EXPECT_DOUBLE_EQ(PrecisionAtU({}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtU({{0.5, false}}, 1), 0.0);
+}
+
+TEST(LiftAtU, PerfectTopGivesInversePrevalence) {
+  // 1 positive in 4 instances ranked on top: lift@1 = 1.0 / 0.25 = 4.
+  const std::vector<ScoredInstance> inst = {
+      {0.9, true}, {0.5, false}, {0.4, false}, {0.3, false}};
+  EXPECT_DOUBLE_EQ(LiftAtU(inst, 1), 4.0);
+}
+
+TEST(EvaluateRankingTest, BundlesAllMetrics) {
+  const std::vector<ScoredInstance> inst = {
+      {0.9, true}, {0.8, true}, {0.3, false}, {0.1, false}};
+  const RankingMetrics m = EvaluateRanking(inst, 2);
+  EXPECT_DOUBLE_EQ(m.auc, 1.0);
+  EXPECT_NEAR(m.pr_auc, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.recall_at_u, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision_at_u, 1.0);
+  EXPECT_EQ(m.u, 2u);
+  EXPECT_FALSE(m.ToString().empty());
+}
+
+TEST(ConfusionMatrixTest, CountsAndDerivedRates) {
+  const std::vector<ScoredInstance> inst = {
+      {0.9, true}, {0.8, false}, {0.4, true}, {0.1, false}};
+  const ConfusionMatrix cm = ComputeConfusion(inst, 0.5);
+  EXPECT_EQ(cm.true_positives, 1u);
+  EXPECT_EQ(cm.false_positives, 1u);
+  EXPECT_EQ(cm.false_negatives, 1u);
+  EXPECT_EQ(cm.true_negatives, 1u);
+  EXPECT_DOUBLE_EQ(cm.Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.Recall(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.F1(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.5);
+}
+
+TEST(ConfusionMatrixTest, EmptyDenominatorsSafe) {
+  const ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.F1(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.0);
+}
+
+TEST(LogLossTest, PerfectAndWorst) {
+  EXPECT_NEAR(LogLoss({{1.0, true}, {0.0, false}}), 0.0, 1e-9);
+  EXPECT_GT(LogLoss({{0.0, true}}), 10.0);
+  EXPECT_DOUBLE_EQ(LogLoss({}), 0.0);
+}
+
+// Property: AUC is invariant under any strictly monotone transform of the
+// scores.
+class AucMonotoneInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(AucMonotoneInvariance, Holds) {
+  Rng rng(100 + GetParam());
+  std::vector<ScoredInstance> inst;
+  for (int i = 0; i < 500; ++i) {
+    inst.push_back({rng.Gaussian(), rng.Bernoulli(0.3)});
+  }
+  const double base = Auc(inst);
+  std::vector<ScoredInstance> transformed = inst;
+  for (auto& s : transformed) s.score = std::exp(0.5 * s.score) + 3.0;
+  EXPECT_NEAR(Auc(transformed), base, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AucMonotoneInvariance,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,168 @@
+#include "ml/random_forest.h"
+
+#include <gtest/gtest.h>
+
+#include "ml_test_util.h"
+
+namespace telco {
+namespace {
+
+using ml_testing::LinearlySeparable;
+using ml_testing::ThreeClassBlobs;
+using ml_testing::XorDataset;
+
+RandomForestOptions FastOptions(int trees = 30) {
+  RandomForestOptions options;
+  options.num_trees = trees;
+  options.min_samples_split = 20;
+  options.parallel = false;  // determinism in tests regardless of pool
+  return options;
+}
+
+TEST(RandomForestTest, SeparableDataHighAuc) {
+  const Dataset data = LinearlySeparable(2000, 101, 0.1);
+  const auto split = SplitTrainTest(data, 0.3, 1);
+  RandomForest forest(FastOptions());
+  ASSERT_TRUE(forest.Fit(split.train).ok());
+  const auto scored = ScoreDataset(forest, split.test);
+  EXPECT_GT(Auc(scored), 0.95);
+}
+
+TEST(RandomForestTest, XorInteraction) {
+  const Dataset data = XorDataset(3000, 103);
+  const auto split = SplitTrainTest(data, 0.3, 2);
+  RandomForest forest(FastOptions(50));
+  ASSERT_TRUE(forest.Fit(split.train).ok());
+  const auto scored = ScoreDataset(forest, split.test);
+  EXPECT_GT(Auc(scored), 0.9);
+}
+
+TEST(RandomForestTest, ProbabilitiesInRange) {
+  const Dataset data = LinearlySeparable(500, 107);
+  RandomForest forest(FastOptions(10));
+  ASSERT_TRUE(forest.Fit(data).ok());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const double p = forest.PredictProba(data.Row(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(RandomForestTest, MultiClassDistributionSumsToOne) {
+  const Dataset data = ThreeClassBlobs(1500, 109);
+  RandomForest forest(FastOptions());
+  ASSERT_TRUE(forest.Fit(data).ok());
+  EXPECT_EQ(forest.num_classes(), 3);
+  size_t correct = 0;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto proba = forest.PredictClassProba(data.Row(i));
+    ASSERT_EQ(proba.size(), 3u);
+    double total = 0.0;
+    int best = 0;
+    for (size_t c = 0; c < 3; ++c) {
+      total += proba[c];
+      if (proba[c] > proba[best]) best = static_cast<int>(c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    correct += (best == data.label(i));
+  }
+  EXPECT_GT(static_cast<double>(correct) / data.num_rows(), 0.9);
+}
+
+TEST(RandomForestTest, ImportanceNormalisedAndSignalRanked) {
+  const Dataset data = LinearlySeparable(3000, 113, 0.05);
+  RandomForest forest(FastOptions(40));
+  ASSERT_TRUE(forest.Fit(data).ok());
+  const auto& imp = forest.FeatureImportance();
+  ASSERT_EQ(imp.size(), 3u);
+  double total = 0.0;
+  for (double v : imp) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  const auto ranked = forest.RankedImportance();
+  EXPECT_EQ(ranked[0].first, 0u);       // x0 is the strongest signal
+  EXPECT_EQ(ranked.back().first, 2u);   // x2 is noise
+}
+
+TEST(RandomForestTest, DeterministicGivenSeed) {
+  const Dataset data = LinearlySeparable(500, 127);
+  RandomForest a(FastOptions(10));
+  RandomForest b(FastOptions(10));
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(data.Row(i)),
+                     b.PredictProba(data.Row(i)));
+  }
+}
+
+TEST(RandomForestTest, ParallelMatchesSerial) {
+  const Dataset data = LinearlySeparable(800, 131);
+  RandomForestOptions serial = FastOptions(16);
+  RandomForestOptions parallel = FastOptions(16);
+  parallel.parallel = true;
+  RandomForest a(serial);
+  RandomForest b(parallel);
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  // Per-tree seeds are derived from (seed, tree index), so scheduling
+  // cannot change results.
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(data.Row(i)),
+                     b.PredictProba(data.Row(i)));
+  }
+}
+
+TEST(RandomForestTest, WeightsChangeDecisions) {
+  // Imbalanced data; weighting the rare class must raise its scores.
+  const Dataset data = LinearlySeparable(2000, 137, 0.3, 0.1);
+  Dataset weighted = data.Select([&] {
+    std::vector<size_t> all(data.num_rows());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    return all;
+  }());
+  for (size_t i = 0; i < weighted.num_rows(); ++i) {
+    if (weighted.label(i) == 1) weighted.set_weight(i, 20.0);
+  }
+  RandomForest plain(FastOptions(20));
+  RandomForest heavy(FastOptions(20));
+  ASSERT_TRUE(plain.Fit(data).ok());
+  ASSERT_TRUE(heavy.Fit(weighted).ok());
+  double plain_mean = 0.0;
+  double heavy_mean = 0.0;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    plain_mean += plain.PredictProba(data.Row(i));
+    heavy_mean += heavy.PredictProba(data.Row(i));
+  }
+  EXPECT_GT(heavy_mean, plain_mean);
+}
+
+TEST(RandomForestTest, InvalidInputs) {
+  Dataset empty({"x"});
+  RandomForest forest(FastOptions());
+  EXPECT_TRUE(forest.Fit(empty).IsInvalidArgument());
+  RandomForestOptions zero_trees;
+  zero_trees.num_trees = 0;
+  RandomForest bad(zero_trees);
+  const Dataset data = LinearlySeparable(10, 139);
+  EXPECT_TRUE(bad.Fit(data).IsInvalidArgument());
+}
+
+// Property sweep: more trees never catastrophically degrade AUC.
+class ForestSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForestSizeSweep, ReasonableAuc) {
+  const Dataset data = LinearlySeparable(1000, 149, 0.2);
+  const auto split = SplitTrainTest(data, 0.3, 3);
+  RandomForest forest(FastOptions(GetParam()));
+  ASSERT_TRUE(forest.Fit(split.train).ok());
+  EXPECT_GT(Auc(ScoreDataset(forest, split.test)), 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ForestSizeSweep,
+                         ::testing::Values(1, 5, 20, 60));
+
+}  // namespace
+}  // namespace telco

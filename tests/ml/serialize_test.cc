@@ -1,0 +1,109 @@
+#include "ml/serialize.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "ml_test_util.h"
+
+namespace telco {
+namespace {
+
+RandomForest FittedForest(const Dataset& data) {
+  RandomForestOptions options;
+  options.num_trees = 15;
+  options.min_samples_split = 20;
+  options.parallel = false;
+  RandomForest forest(options);
+  EXPECT_TRUE(forest.Fit(data).ok());
+  return forest;
+}
+
+TEST(SerializeTest, RoundTripPredictionsIdentical) {
+  const Dataset data = ml_testing::LinearlySeparable(800, 901);
+  const RandomForest original = FittedForest(data);
+  std::stringstream stream;
+  ASSERT_TRUE(WriteRandomForest(original, stream).ok());
+  auto loaded = ReadRandomForest(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_trees(), original.num_trees());
+  EXPECT_EQ(loaded->num_classes(), original.num_classes());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded->PredictProba(data.Row(i)),
+                     original.PredictProba(data.Row(i)));
+  }
+}
+
+TEST(SerializeTest, RoundTripImportance) {
+  const Dataset data = ml_testing::LinearlySeparable(800, 903);
+  const RandomForest original = FittedForest(data);
+  std::stringstream stream;
+  ASSERT_TRUE(WriteRandomForest(original, stream).ok());
+  auto loaded = ReadRandomForest(stream);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->FeatureImportance().size(),
+            original.FeatureImportance().size());
+  for (size_t j = 0; j < original.FeatureImportance().size(); ++j) {
+    EXPECT_DOUBLE_EQ(loaded->FeatureImportance()[j],
+                     original.FeatureImportance()[j]);
+  }
+}
+
+TEST(SerializeTest, MultiClassRoundTrip) {
+  const Dataset data = ml_testing::ThreeClassBlobs(900, 905);
+  const RandomForest original = FittedForest(data);
+  std::stringstream stream;
+  ASSERT_TRUE(WriteRandomForest(original, stream).ok());
+  auto loaded = ReadRandomForest(stream);
+  ASSERT_TRUE(loaded.ok());
+  for (size_t i = 0; i < 100; ++i) {
+    const auto a = original.PredictClassProba(data.Row(i));
+    const auto b = loaded->PredictClassProba(data.Row(i));
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t c = 0; c < a.size(); ++c) EXPECT_DOUBLE_EQ(a[c], b[c]);
+  }
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const Dataset data = ml_testing::LinearlySeparable(400, 907);
+  const RandomForest original = FittedForest(data);
+  const std::string path = ::testing::TempDir() + "/telco_rf_test.model";
+  ASSERT_TRUE(SaveRandomForest(original, path).ok());
+  auto loaded = LoadRandomForest(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_DOUBLE_EQ(loaded->PredictProba(data.Row(0)),
+                   original.PredictProba(data.Row(0)));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  std::stringstream stream("not a model at all");
+  EXPECT_TRUE(ReadRandomForest(stream).status().IsIoError());
+}
+
+TEST(SerializeTest, RejectsTruncated) {
+  const Dataset data = ml_testing::LinearlySeparable(200, 909);
+  const RandomForest original = FittedForest(data);
+  std::stringstream stream;
+  ASSERT_TRUE(WriteRandomForest(original, stream).ok());
+  const std::string full = stream.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_FALSE(ReadRandomForest(truncated).ok());
+}
+
+TEST(SerializeTest, RejectsCorruptChildIndex) {
+  // Header says 2 classes / 1 tree / 0 features; tree has one inner node
+  // pointing at an out-of-range child.
+  std::stringstream stream(
+      "telcochurn-rf 1\n2 1 0\n\n1 2\n0 0x1p+0 5 6 -1\n0x1p-1 0x1p-1 \n");
+  EXPECT_FALSE(ReadRandomForest(stream).ok());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  EXPECT_TRUE(
+      LoadRandomForest("/nonexistent/model").status().IsIoError());
+}
+
+}  // namespace
+}  // namespace telco

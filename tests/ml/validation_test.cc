@@ -1,0 +1,88 @@
+#include "ml/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/random_forest.h"
+#include "ml_test_util.h"
+
+namespace telco {
+namespace {
+
+using ml_testing::LinearlySeparable;
+
+TEST(StratifiedFoldsTest, PreservesPositiveRatePerFold) {
+  const Dataset data = LinearlySeparable(1000, 601, 0.2, 0.1);
+  auto folds = StratifiedFolds(data, 5, 7);
+  ASSERT_TRUE(folds.ok());
+  size_t total_pos = 0;
+  for (size_t i = 0; i < data.num_rows(); ++i) total_pos += data.label(i);
+  const double overall = static_cast<double>(total_pos) / data.num_rows();
+  for (int f = 0; f < 5; ++f) {
+    size_t n = 0;
+    size_t pos = 0;
+    for (size_t i = 0; i < data.num_rows(); ++i) {
+      if ((*folds)[i] == f) {
+        ++n;
+        pos += data.label(i);
+      }
+    }
+    EXPECT_NEAR(static_cast<double>(n), 200.0, 3.0);
+    EXPECT_NEAR(static_cast<double>(pos) / n, overall, 0.02) << "fold " << f;
+  }
+}
+
+TEST(StratifiedFoldsTest, InvalidInputsRejected) {
+  const Dataset data = LinearlySeparable(10, 603);
+  EXPECT_TRUE(StratifiedFolds(data, 1, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(StratifiedFolds(data, 20, 1).status().IsInvalidArgument());
+}
+
+TEST(CrossValidateTest, RunsAllFoldsWithReasonableAuc) {
+  const Dataset data = LinearlySeparable(1200, 605, 0.2);
+  auto result = CrossValidate(
+      data,
+      [] {
+        RandomForestOptions options;
+        options.num_trees = 15;
+        options.min_samples_split = 20;
+        options.parallel = false;
+        return std::make_unique<RandomForest>(options);
+      },
+      4, 11);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->folds.size(), 4u);
+  for (const auto& f : result->folds) {
+    EXPECT_EQ(f.train_rows + f.test_rows, 1200u);
+    EXPECT_GT(f.auc, 0.9);
+  }
+  EXPECT_GT(result->MeanAuc(), 0.9);
+  EXPECT_GT(result->MeanPrAuc(), 0.8);
+  EXPECT_LT(result->AucStdDev(), 0.1);
+}
+
+TEST(CrossValidateTest, DeterministicGivenSeed) {
+  const Dataset data = LinearlySeparable(400, 607);
+  auto factory = [] {
+    RandomForestOptions options;
+    options.num_trees = 8;
+    options.parallel = false;
+    options.min_samples_split = 20;
+    return std::make_unique<RandomForest>(options);
+  };
+  auto a = CrossValidate(data, factory, 3, 21);
+  auto b = CrossValidate(data, factory, 3, 21);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t f = 0; f < a->folds.size(); ++f) {
+    EXPECT_DOUBLE_EQ(a->folds[f].auc, b->folds[f].auc);
+  }
+}
+
+TEST(CrossValidateTest, NullFactoryRejected) {
+  const Dataset data = LinearlySeparable(100, 609);
+  auto result = CrossValidate(
+      data, [] { return std::unique_ptr<Classifier>(); }, 2, 1);
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace telco

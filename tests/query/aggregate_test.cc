@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "query/operators.h"
+#include "test_tables.h"
+
+namespace telco {
+namespace {
+
+using testing_tables::Orders;
+
+TEST(GroupByTest, SumCountMeanPerGroup) {
+  auto result = GroupByAggregate(
+      Orders(), {"grp"},
+      {{AggKind::kSum, "amount", "total"},
+       {AggKind::kCount, "amount", "n_amount"},
+       {AggKind::kMean, "amount", "avg"},
+       {AggKind::kCount, "", "n_rows"}});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Groups in first-appearance order: "a", "b", NULL.
+  ASSERT_EQ((*result)->num_rows(), 3u);
+  // Group "a": 10 + 30.
+  EXPECT_EQ((*result)->GetValue(0, 0).str(), "a");
+  EXPECT_DOUBLE_EQ((*result)->GetValue(0, 1).dbl(), 40.0);
+  EXPECT_EQ((*result)->GetValue(0, 2).int64(), 2);
+  EXPECT_DOUBLE_EQ((*result)->GetValue(0, 3).dbl(), 20.0);
+  EXPECT_EQ((*result)->GetValue(0, 4).int64(), 2);
+  // Group "b": amount 20 + NULL -> sum 20, count 1, rows 2.
+  EXPECT_EQ((*result)->GetValue(1, 0).str(), "b");
+  EXPECT_DOUBLE_EQ((*result)->GetValue(1, 1).dbl(), 20.0);
+  EXPECT_EQ((*result)->GetValue(1, 2).int64(), 1);
+  EXPECT_EQ((*result)->GetValue(1, 4).int64(), 2);
+  // NULL group exists (SQL GROUP BY treats null as one group).
+  EXPECT_TRUE((*result)->GetValue(2, 0).is_null());
+  EXPECT_DOUBLE_EQ((*result)->GetValue(2, 1).dbl(), 50.0);
+}
+
+TEST(GroupByTest, MinMax) {
+  auto result = GroupByAggregate(Orders(), {"grp"},
+                                 {{AggKind::kMin, "amount", "lo"},
+                                  {AggKind::kMax, "amount", "hi"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ((*result)->GetValue(0, 1).dbl(), 10.0);
+  EXPECT_DOUBLE_EQ((*result)->GetValue(0, 2).dbl(), 30.0);
+}
+
+TEST(GroupByTest, AllNullGroupYieldsNullAggregate) {
+  TableBuilder builder(Schema({{"k", DataType::kInt64},
+                               {"v", DataType::kDouble}}));
+  ASSERT_TRUE(builder.AppendRow({Value(1), Value::Null()}).ok());
+  ASSERT_TRUE(builder.AppendRow({Value(1), Value::Null()}).ok());
+  auto result = GroupByAggregate(*builder.Finish(), {"k"},
+                                 {{AggKind::kSum, "v", "s"},
+                                  {AggKind::kMean, "v", "m"},
+                                  {AggKind::kMin, "v", "lo"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE((*result)->GetValue(0, 1).is_null());
+  EXPECT_TRUE((*result)->GetValue(0, 2).is_null());
+  EXPECT_TRUE((*result)->GetValue(0, 3).is_null());
+}
+
+TEST(GroupByTest, IntegerSumStaysInt) {
+  auto result = GroupByAggregate(Orders(), {},
+                                 {{AggKind::kSum, "id", "id_sum"}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ((*result)->num_rows(), 1u);
+  const Value v = (*result)->GetValue(0, 0);
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.int64(), 15);
+}
+
+TEST(GroupByTest, GlobalAggregateWithoutKeys) {
+  auto result = GroupByAggregate(Orders(), {},
+                                 {{AggKind::kCount, "", "n"},
+                                  {AggKind::kMax, "amount", "hi"}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ((*result)->num_rows(), 1u);
+  EXPECT_EQ((*result)->GetValue(0, 0).int64(), 5);
+  EXPECT_DOUBLE_EQ((*result)->GetValue(0, 1).dbl(), 50.0);
+}
+
+TEST(GroupByTest, CountDistinct) {
+  auto result = GroupByAggregate(Orders(), {},
+                                 {{AggKind::kCountDistinct, "grp", "k"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->GetValue(0, 0).int64(), 2);  // "a", "b" (null skipped)
+}
+
+TEST(GroupByTest, First) {
+  auto result = GroupByAggregate(Orders(), {"grp"},
+                                 {{AggKind::kFirst, "id", "first_id"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->GetValue(0, 1).int64(), 1);  // group "a"
+  EXPECT_EQ((*result)->GetValue(1, 1).int64(), 2);  // group "b"
+}
+
+TEST(GroupByTest, NumericAggregateOverStringFails) {
+  EXPECT_TRUE(GroupByAggregate(Orders(), {},
+                               {{AggKind::kSum, "grp", "x"}})
+                  .status()
+                  .IsTypeError());
+}
+
+TEST(GroupByTest, EmptyInputColumnOnlyForCount) {
+  EXPECT_TRUE(GroupByAggregate(Orders(), {},
+                               {{AggKind::kSum, "", "x"}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(GroupByTest, EmptyTableProducesNoGroups) {
+  TableBuilder builder(Schema({{"k", DataType::kInt64},
+                               {"v", DataType::kDouble}}));
+  auto result = GroupByAggregate(*builder.Finish(), {"k"},
+                                 {{AggKind::kSum, "v", "s"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 0u);
+}
+
+TEST(GroupByTest, MultiKeyGrouping) {
+  TableBuilder builder(Schema({{"a", DataType::kInt64},
+                               {"b", DataType::kInt64},
+                               {"v", DataType::kDouble}}));
+  ASSERT_TRUE(builder.AppendRow({Value(1), Value(1), Value(1.0)}).ok());
+  ASSERT_TRUE(builder.AppendRow({Value(1), Value(2), Value(2.0)}).ok());
+  ASSERT_TRUE(builder.AppendRow({Value(1), Value(1), Value(3.0)}).ok());
+  auto result = GroupByAggregate(*builder.Finish(), {"a", "b"},
+                                 {{AggKind::kSum, "v", "s"}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ((*result)->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ((*result)->GetValue(0, 2).dbl(), 4.0);
+  EXPECT_DOUBLE_EQ((*result)->GetValue(1, 2).dbl(), 2.0);
+}
+
+}  // namespace
+}  // namespace telco

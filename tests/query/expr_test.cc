@@ -1,0 +1,165 @@
+#include "query/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "test_tables.h"
+
+namespace telco {
+namespace {
+
+using testing_tables::Orders;
+
+Value Eval(const ExprPtr& expr, const TablePtr& table, size_t row) {
+  EXPECT_TRUE(expr->Bind(table->schema()).ok());
+  return expr->Evaluate(*table, row);
+}
+
+TEST(ExprTest, ColumnReference) {
+  const auto t = Orders();
+  EXPECT_EQ(Eval(Col("id"), t, 1).int64(), 2);
+  EXPECT_DOUBLE_EQ(Eval(Col("amount"), t, 0).dbl(), 10.0);
+  EXPECT_TRUE(Eval(Col("amount"), t, 3).is_null());
+}
+
+TEST(ExprTest, BindUnknownColumnFails) {
+  const auto t = Orders();
+  EXPECT_TRUE(Col("missing")->Bind(t->schema()).IsNotFound());
+}
+
+TEST(ExprTest, Literal) {
+  const auto t = Orders();
+  EXPECT_EQ(Eval(Lit(Value(7)), t, 0).int64(), 7);
+  EXPECT_TRUE(Eval(Lit(Value::Null()), t, 0).is_null());
+}
+
+TEST(ExprTest, IntegerArithmeticStaysIntegral) {
+  const auto t = Orders();
+  const Value v = Eval(Expr::Add(Col("id"), Lit(Value(10))), t, 0);
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.int64(), 11);
+  EXPECT_EQ(Eval(Expr::Mul(Col("id"), Col("id")), t, 2).int64(), 9);
+  EXPECT_EQ(Eval(Expr::Sub(Lit(Value(1)), Col("id")), t, 1).int64(), -1);
+}
+
+TEST(ExprTest, DivisionIsAlwaysDouble) {
+  const auto t = Orders();
+  const Value v = Eval(Expr::Div(Lit(Value(3)), Lit(Value(2))), t, 0);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.dbl(), 1.5);
+}
+
+TEST(ExprTest, DivisionByZeroYieldsNull) {
+  const auto t = Orders();
+  EXPECT_TRUE(Eval(Expr::Div(Col("amount"), Lit(Value(0.0))), t, 0).is_null());
+}
+
+TEST(ExprTest, MixedArithmeticPromotesToDouble) {
+  const auto t = Orders();
+  const Value v = Eval(Expr::Add(Col("id"), Col("amount")), t, 0);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.dbl(), 11.0);
+}
+
+TEST(ExprTest, NullPropagatesThroughArithmetic) {
+  const auto t = Orders();
+  EXPECT_TRUE(Eval(Expr::Add(Col("amount"), Lit(Value(1.0))), t, 3).is_null());
+}
+
+TEST(ExprTest, NumericComparisons) {
+  const auto t = Orders();
+  EXPECT_EQ(Eval(Expr::Lt(Col("amount"), Lit(Value(15.0))), t, 0).int64(), 1);
+  EXPECT_EQ(Eval(Expr::Lt(Col("amount"), Lit(Value(15.0))), t, 1).int64(), 0);
+  EXPECT_EQ(Eval(Expr::Ge(Col("id"), Lit(Value(2))), t, 1).int64(), 1);
+  EXPECT_EQ(Eval(Expr::Eq(Col("id"), Lit(Value(3))), t, 2).int64(), 1);
+  EXPECT_EQ(Eval(Expr::Ne(Col("id"), Lit(Value(3))), t, 2).int64(), 0);
+}
+
+TEST(ExprTest, CrossTypeNumericComparison) {
+  const auto t = Orders();
+  // int64 id vs double literal compares numerically.
+  EXPECT_EQ(Eval(Expr::Eq(Col("id"), Lit(Value(1.0))), t, 0).int64(), 1);
+}
+
+TEST(ExprTest, StringComparison) {
+  const auto t = Orders();
+  EXPECT_EQ(Eval(Expr::Eq(Col("grp"), Lit(Value("a"))), t, 0).int64(), 1);
+  EXPECT_EQ(Eval(Expr::Lt(Col("grp"), Lit(Value("b"))), t, 0).int64(), 1);
+}
+
+TEST(ExprTest, ComparisonWithNullIsNull) {
+  const auto t = Orders();
+  EXPECT_TRUE(Eval(Expr::Eq(Col("grp"), Lit(Value("a"))), t, 4).is_null());
+}
+
+TEST(ExprTest, IncomparableTypesYieldNull) {
+  const auto t = Orders();
+  EXPECT_TRUE(Eval(Expr::Eq(Col("grp"), Lit(Value(1))), t, 0).is_null());
+}
+
+TEST(ExprTest, ThreeValuedAnd) {
+  const auto t = Orders();
+  const auto tru = Lit(Value(1));
+  const auto fls = Lit(Value(0));
+  const auto nul = Lit(Value::Null());
+  EXPECT_EQ(Eval(Expr::And(tru, tru), t, 0).int64(), 1);
+  EXPECT_EQ(Eval(Expr::And(tru, fls), t, 0).int64(), 0);
+  // false AND null = false; true AND null = null.
+  EXPECT_EQ(Eval(Expr::And(fls, nul), t, 0).int64(), 0);
+  EXPECT_TRUE(Eval(Expr::And(tru, nul), t, 0).is_null());
+}
+
+TEST(ExprTest, ThreeValuedOr) {
+  const auto t = Orders();
+  const auto tru = Lit(Value(1));
+  const auto fls = Lit(Value(0));
+  const auto nul = Lit(Value::Null());
+  EXPECT_EQ(Eval(Expr::Or(fls, tru), t, 0).int64(), 1);
+  EXPECT_EQ(Eval(Expr::Or(fls, fls), t, 0).int64(), 0);
+  // true OR null = true; false OR null = null.
+  EXPECT_EQ(Eval(Expr::Or(tru, nul), t, 0).int64(), 1);
+  EXPECT_TRUE(Eval(Expr::Or(fls, nul), t, 0).is_null());
+}
+
+TEST(ExprTest, NotAndIsNull) {
+  const auto t = Orders();
+  EXPECT_EQ(Eval(Expr::Not(Lit(Value(0))), t, 0).int64(), 1);
+  EXPECT_TRUE(Eval(Expr::Not(Lit(Value::Null())), t, 0).is_null());
+  EXPECT_EQ(Eval(Expr::IsNull(Col("amount")), t, 3).int64(), 1);
+  EXPECT_EQ(Eval(Expr::IsNull(Col("amount")), t, 0).int64(), 0);
+}
+
+TEST(ExprTest, Udf) {
+  const auto t = Orders();
+  auto doubler = Expr::Udf(
+      "double_it",
+      [](const std::vector<Value>& args) {
+        return Value(args[0].AsDouble() * 2.0);
+      },
+      {Col("amount")});
+  EXPECT_DOUBLE_EQ(Eval(doubler, t, 0).dbl(), 20.0);
+}
+
+TEST(ExprTest, InferType) {
+  const auto t = Orders();
+  EXPECT_EQ(*Col("id")->InferType(t->schema()), DataType::kInt64);
+  EXPECT_EQ(*Col("amount")->InferType(t->schema()), DataType::kDouble);
+  EXPECT_EQ(*Expr::Add(Col("id"), Col("id"))->InferType(t->schema()),
+            DataType::kInt64);
+  EXPECT_EQ(*Expr::Div(Col("id"), Col("id"))->InferType(t->schema()),
+            DataType::kDouble);
+  EXPECT_EQ(*Expr::Lt(Col("id"), Col("id"))->InferType(t->schema()),
+            DataType::kInt64);
+  EXPECT_TRUE(Expr::Add(Col("grp"), Col("id"))
+                  ->InferType(t->schema())
+                  .status()
+                  .IsTypeError());
+}
+
+TEST(ExprTest, ToStringRenders) {
+  const auto expr = Expr::And(Expr::Lt(Col("a"), Lit(Value(3))),
+                              Expr::Not(Expr::IsNull(Col("b"))));
+  EXPECT_EQ(expr->ToString(), "((a < 3) AND NOT b IS NULL)");
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "query/operators.h"
+#include "test_tables.h"
+
+namespace telco {
+namespace {
+
+using testing_tables::Orders;
+
+TEST(FilterTest, KeepsMatchingRows) {
+  auto result = Filter(Orders(), Expr::Gt(Col("amount"), Lit(Value(15.0))));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ((*result)->num_rows(), 3u);  // 20, 30, 50
+  EXPECT_EQ((*result)->GetValue(0, 0).int64(), 2);
+  EXPECT_EQ((*result)->GetValue(1, 0).int64(), 3);
+  EXPECT_EQ((*result)->GetValue(2, 0).int64(), 5);
+}
+
+TEST(FilterTest, NullPredicateRowsAreDropped) {
+  // amount IS NULL on row id=4 -> comparison yields null -> dropped.
+  auto result = Filter(Orders(), Expr::Le(Col("amount"), Lit(Value(100.0))));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 4u);
+}
+
+TEST(FilterTest, EmptyResult) {
+  auto result = Filter(Orders(), Expr::Gt(Col("amount"), Lit(Value(1e9))));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 0u);
+  EXPECT_EQ((*result)->schema(), Orders()->schema());
+}
+
+TEST(FilterTest, UnknownColumnFails) {
+  EXPECT_FALSE(Filter(Orders(), Col("nope")).ok());
+}
+
+TEST(FilterTest, NullInputTableFails) {
+  EXPECT_TRUE(
+      Filter(nullptr, Lit(Value(1))).status().IsInvalidArgument());
+}
+
+TEST(ProjectTest, ComputesExpressions) {
+  auto result = Project(
+      Orders(),
+      {ProjectedColumn{"id", Col("id"), DataType::kInt64},
+       ProjectedColumn{"double_amount",
+                       Expr::Mul(Col("amount"), Lit(Value(2.0))),
+                       std::nullopt}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_columns(), 2u);
+  EXPECT_EQ((*result)->schema().field(1).type, DataType::kDouble);
+  EXPECT_DOUBLE_EQ((*result)->GetValue(0, 1).dbl(), 20.0);
+  EXPECT_TRUE((*result)->GetValue(3, 1).is_null());  // null in -> null out
+}
+
+TEST(ProjectTest, TypeInference) {
+  auto result = Project(
+      Orders(), {ProjectedColumn{"flag",
+                                 Expr::Gt(Col("id"), Lit(Value(2))),
+                                 std::nullopt}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->schema().field(0).type, DataType::kInt64);
+}
+
+TEST(ProjectTest, DuplicateOutputNameFails) {
+  auto result = Project(Orders(),
+                        {ProjectedColumn{"x", Col("id"), std::nullopt},
+                         ProjectedColumn{"x", Col("id"), std::nullopt}});
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(SelectColumnsTest, ReordersColumns) {
+  auto result = SelectColumns(Orders(), {"amount", "id"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->schema().field(0).name, "amount");
+  EXPECT_EQ((*result)->schema().field(1).name, "id");
+  EXPECT_EQ((*result)->num_rows(), 5u);
+  EXPECT_DOUBLE_EQ((*result)->GetValue(0, 0).dbl(), 10.0);
+}
+
+TEST(SelectColumnsTest, MissingColumnFails) {
+  EXPECT_TRUE(
+      SelectColumns(Orders(), {"ghost"}).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace telco

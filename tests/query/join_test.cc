@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "query/operators.h"
+#include "test_tables.h"
+
+namespace telco {
+namespace {
+
+using testing_tables::Cities;
+using testing_tables::Orders;
+
+TEST(HashJoinTest, InnerJoinMatchesAndDuplicates) {
+  auto result = HashJoin(Orders(), Cities(), {"id"}, {"id"});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // id=1 matches rome; id=3 matches oslo AND kiev -> 3 rows.
+  ASSERT_EQ((*result)->num_rows(), 3u);
+  EXPECT_EQ((*result)->schema().field(3).name, "city");
+  EXPECT_EQ((*result)->GetValue(0, 3).str(), "rome");
+  EXPECT_EQ((*result)->GetValue(1, 3).str(), "oslo");
+  EXPECT_EQ((*result)->GetValue(2, 3).str(), "kiev");
+}
+
+TEST(HashJoinTest, LeftJoinKeepsUnmatchedWithNulls) {
+  auto result =
+      HashJoin(Orders(), Cities(), {"id"}, {"id"}, JoinType::kLeft);
+  ASSERT_TRUE(result.ok());
+  // 5 left rows; id=3 duplicated -> 6 rows total.
+  ASSERT_EQ((*result)->num_rows(), 6u);
+  // id=2 has no city -> null.
+  bool found_null_city = false;
+  for (size_t r = 0; r < (*result)->num_rows(); ++r) {
+    if ((*result)->GetValue(r, 0).int64() == 2) {
+      EXPECT_TRUE((*result)->GetValue(r, 3).is_null());
+      found_null_city = true;
+    }
+  }
+  EXPECT_TRUE(found_null_city);
+}
+
+TEST(HashJoinTest, NameCollisionGetsSuffix) {
+  // Join Orders with itself on id: amount/grp collide.
+  auto result = HashJoin(Orders(), Orders(), {"id"}, {"id"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE((*result)->schema().HasField("grp_right"));
+  EXPECT_TRUE((*result)->schema().HasField("amount_right"));
+  EXPECT_EQ((*result)->num_rows(), 5u);
+}
+
+TEST(HashJoinTest, CustomSuffix) {
+  auto result = HashJoin(Orders(), Orders(), {"id"}, {"id"},
+                         JoinType::kInner, "_b");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE((*result)->schema().HasField("grp_b"));
+}
+
+TEST(HashJoinTest, KeyTypeMismatchFails) {
+  auto result = HashJoin(Orders(), Orders(), {"id"}, {"grp"});
+  EXPECT_TRUE(result.status().IsTypeError());
+}
+
+TEST(HashJoinTest, EmptyKeysFail) {
+  EXPECT_TRUE(HashJoin(Orders(), Cities(), {}, {})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(HashJoin(Orders(), Cities(), {"id"}, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(HashJoinTest, NullKeysNeverMatch) {
+  // Join Orders on grp against itself; the null-grp row must not match
+  // even another null.
+  auto result = HashJoin(Orders(), Orders(), {"grp"}, {"grp"});
+  ASSERT_TRUE(result.ok());
+  for (size_t r = 0; r < (*result)->num_rows(); ++r) {
+    EXPECT_FALSE((*result)->GetValue(r, 1).is_null());
+  }
+  // Rows: grp=a (2 left x 2 right) + grp=b (2 x 2) = 8.
+  EXPECT_EQ((*result)->num_rows(), 8u);
+}
+
+TEST(HashJoinTest, LeftJoinNullKeyRowKept) {
+  auto result =
+      HashJoin(Orders(), Orders(), {"grp"}, {"grp"}, JoinType::kLeft);
+  ASSERT_TRUE(result.ok());
+  // 8 matches + 1 null-grp row preserved with nulls.
+  EXPECT_EQ((*result)->num_rows(), 9u);
+}
+
+TEST(HashJoinTest, MultiColumnKeys) {
+  // Self-join on (id, grp) is exact row identity for non-null keys.
+  auto result = HashJoin(Orders(), Orders(), {"id", "grp"}, {"id", "grp"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 4u);  // null-grp row excluded
+}
+
+TEST(HashJoinTest, JoinAgainstEmptyRight) {
+  TableBuilder empty(Schema({{"id", DataType::kInt64}}));
+  auto result = HashJoin(Orders(), *empty.Finish(), {"id"}, {"id"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace telco

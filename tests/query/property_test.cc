@@ -1,0 +1,148 @@
+// Property tests: relational-algebra invariants over randomly generated
+// tables (TEST_P sweeps across seeds).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "query/operators.h"
+
+namespace telco {
+namespace {
+
+TablePtr RandomTable(uint64_t seed, size_t rows, size_t num_keys) {
+  TableBuilder builder(Schema({{"k", DataType::kInt64},
+                               {"v", DataType::kDouble},
+                               {"w", DataType::kDouble}}));
+  Rng rng(seed);
+  std::vector<Value> row(3);
+  for (size_t r = 0; r < rows; ++r) {
+    row[0] = Value(static_cast<int64_t>(rng.UniformInt(num_keys)));
+    row[1] = rng.Bernoulli(0.05) ? Value::Null() : Value(rng.Gaussian());
+    row[2] = Value(rng.Uniform() * 10.0);
+    builder.AppendRowUnchecked(row);
+  }
+  return *builder.Finish();
+}
+
+class QueryProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryProperty, FilterPartitionsRows) {
+  // |filter(p)| + |filter(!p)| + |rows where p is null| == |input|.
+  const auto table = RandomTable(GetParam(), 500, 20);
+  const auto pred = Expr::Gt(Col("v"), Lit(Value(0.0)));
+  const auto anti = Expr::Le(Col("v"), Lit(Value(0.0)));
+  const auto null_pred = Expr::IsNull(Col("v"));
+  const size_t pos = (*Filter(table, pred))->num_rows();
+  const size_t neg = (*Filter(table, anti))->num_rows();
+  const size_t nul = (*Filter(table, null_pred))->num_rows();
+  EXPECT_EQ(pos + neg + nul, table->num_rows());
+}
+
+TEST_P(QueryProperty, GroupBySumPreservesTotal) {
+  // Sum of per-group sums == global sum (over non-null values).
+  const auto table = RandomTable(GetParam(), 400, 13);
+  const auto grouped = *GroupByAggregate(table, {"k"},
+                                         {{AggKind::kSum, "w", "s"}});
+  const auto global = *GroupByAggregate(table, {},
+                                        {{AggKind::kSum, "w", "s"}});
+  double group_total = 0.0;
+  const Column* s = *grouped->GetColumn("s");
+  for (size_t r = 0; r < grouped->num_rows(); ++r) {
+    group_total += s->GetDouble(r);
+  }
+  EXPECT_NEAR(group_total, (*global->GetColumn("s"))->GetDouble(0), 1e-9);
+}
+
+TEST_P(QueryProperty, GroupByCountsPreserveRows) {
+  const auto table = RandomTable(GetParam(), 400, 7);
+  const auto grouped = *GroupByAggregate(table, {"k"},
+                                         {{AggKind::kCount, "", "n"}});
+  int64_t total = 0;
+  const Column* n = *grouped->GetColumn("n");
+  for (size_t r = 0; r < grouped->num_rows(); ++r) {
+    total += n->GetInt64(r);
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(table->num_rows()));
+}
+
+TEST_P(QueryProperty, InnerJoinRowCountIsSymmetric) {
+  const auto left = RandomTable(GetParam(), 300, 15);
+  const auto right = RandomTable(GetParam() + 1000, 200, 15);
+  const auto lr = *HashJoin(left, right, {"k"}, {"k"});
+  const auto rl = *HashJoin(right, left, {"k"}, {"k"});
+  EXPECT_EQ(lr->num_rows(), rl->num_rows());
+}
+
+TEST_P(QueryProperty, InnerJoinCountMatchesKeyHistogramProduct) {
+  const auto left = RandomTable(GetParam(), 250, 10);
+  const auto right = RandomTable(GetParam() + 2000, 250, 10);
+  // Expected: sum over keys of count_left(k) * count_right(k).
+  auto histo = [](const TablePtr& t) {
+    std::map<int64_t, size_t> out;
+    const Column* k = *t->GetColumn("k");
+    for (size_t r = 0; r < t->num_rows(); ++r) ++out[k->GetInt64(r)];
+    return out;
+  };
+  const auto lh = histo(left);
+  const auto rh = histo(right);
+  size_t expected = 0;
+  for (const auto& [key, cnt] : lh) {
+    const auto it = rh.find(key);
+    if (it != rh.end()) expected += cnt * it->second;
+  }
+  const auto joined = *HashJoin(left, right, {"k"}, {"k"});
+  EXPECT_EQ(joined->num_rows(), expected);
+}
+
+TEST_P(QueryProperty, LeftJoinKeepsEveryLeftRowAtLeastOnce) {
+  const auto left = RandomTable(GetParam(), 300, 25);
+  const auto right = RandomTable(GetParam() + 3000, 100, 25);
+  const auto joined =
+      *HashJoin(left, right, {"k"}, {"k"}, JoinType::kLeft);
+  EXPECT_GE(joined->num_rows(), left->num_rows());
+  // Every left key value appears in the output.
+  std::set<int64_t> left_keys;
+  const Column* lk = *left->GetColumn("k");
+  for (size_t r = 0; r < left->num_rows(); ++r) {
+    left_keys.insert(lk->GetInt64(r));
+  }
+  std::set<int64_t> joined_keys;
+  const Column* jk = *joined->GetColumn("k");
+  for (size_t r = 0; r < joined->num_rows(); ++r) {
+    joined_keys.insert(jk->GetInt64(r));
+  }
+  EXPECT_EQ(joined_keys, left_keys);
+}
+
+TEST_P(QueryProperty, SortIsPermutation) {
+  const auto table = RandomTable(GetParam(), 300, 10);
+  const auto sorted = *SortBy(table, {{"v", true}, {"k", false}});
+  ASSERT_EQ(sorted->num_rows(), table->num_rows());
+  // Multiset of w values is preserved.
+  auto collect = [](const TablePtr& t) {
+    std::multiset<double> out;
+    const Column* w = *t->GetColumn("w");
+    for (size_t r = 0; r < t->num_rows(); ++r) out.insert(w->GetDouble(r));
+    return out;
+  };
+  EXPECT_EQ(collect(sorted), collect(table));
+  // And v is non-decreasing over non-null rows.
+  const Column* v = *sorted->GetColumn("v");
+  double prev = -1e300;
+  for (size_t r = 0; r < sorted->num_rows(); ++r) {
+    if (v->IsNull(r)) continue;
+    EXPECT_GE(v->GetDouble(r), prev);
+    prev = v->GetDouble(r);
+  }
+}
+
+TEST_P(QueryProperty, UnionRowCountAdds) {
+  const auto a = RandomTable(GetParam(), 123, 5);
+  const auto b = RandomTable(GetParam() + 5000, 77, 5);
+  EXPECT_EQ((*Union({a, b}))->num_rows(), 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryProperty, ::testing::Range<uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace telco

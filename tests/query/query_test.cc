@@ -1,0 +1,84 @@
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+#include "test_tables.h"
+
+namespace telco {
+namespace {
+
+using testing_tables::Cities;
+using testing_tables::Orders;
+
+TEST(QueryTest, FluentPipeline) {
+  Catalog catalog;
+  catalog.RegisterOrReplace("orders", Orders());
+  catalog.RegisterOrReplace("cities", Cities());
+
+  auto result = Query::From(catalog, "orders")
+                    .Filter(Expr::Gt(Col("amount"), Lit(Value(5.0))))
+                    .Join(catalog, "cities", {"id"}, {"id"})
+                    .OrderBy({{"amount", false}})
+                    .Limit(2)
+                    .Execute();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ((*result)->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ((*result)->GetValue(0, 2).dbl(), 30.0);
+}
+
+TEST(QueryTest, GroupByStage) {
+  auto result = Query::FromTable(Orders())
+                    .GroupBy({"grp"}, {{AggKind::kSum, "amount", "total"}})
+                    .OrderBy({{"total", false}})
+                    .Execute();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ((*result)->num_rows(), 3u);
+  EXPECT_DOUBLE_EQ((*result)->GetValue(0, 1).dbl(), 50.0);
+}
+
+TEST(QueryTest, ProjectAndSelect) {
+  auto result =
+      Query::FromTable(Orders())
+          .Project({ProjectedColumn{"id", Col("id"), DataType::kInt64},
+                    ProjectedColumn{"half",
+                                    Expr::Div(Col("amount"), Lit(Value(2.0))),
+                                    std::nullopt}})
+          .Select({"half"})
+          .Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_columns(), 1u);
+  EXPECT_DOUBLE_EQ((*result)->GetValue(0, 0).dbl(), 5.0);
+}
+
+TEST(QueryTest, MissingTableErrorLatches) {
+  Catalog catalog;
+  auto result = Query::From(catalog, "nope")
+                    .Filter(Lit(Value(1)))
+                    .Limit(1)
+                    .Execute();
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(QueryTest, MidPipelineErrorLatches) {
+  auto result = Query::FromTable(Orders())
+                    .Filter(Col("ghost"))  // fails here
+                    .Limit(1)              // must not mask the error
+                    .Execute();
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(QueryTest, FromNullTableFails) {
+  EXPECT_TRUE(
+      Query::FromTable(nullptr).Execute().status().IsInvalidArgument());
+}
+
+TEST(QueryTest, JoinTableStage) {
+  auto result = Query::FromTable(Orders())
+                    .JoinTable(Cities(), {"id"}, {"id"}, JoinType::kLeft)
+                    .Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 6u);
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "query/operators.h"
+#include "test_tables.h"
+
+namespace telco {
+namespace {
+
+using testing_tables::Orders;
+
+TEST(SortByTest, AscendingNumeric) {
+  auto result = SortBy(Orders(), {{"amount", true}});
+  ASSERT_TRUE(result.ok());
+  // Nulls sort first ascending: NULL, 10, 20, 30, 50.
+  EXPECT_TRUE((*result)->GetValue(0, 2).is_null());
+  EXPECT_DOUBLE_EQ((*result)->GetValue(1, 2).dbl(), 10.0);
+  EXPECT_DOUBLE_EQ((*result)->GetValue(4, 2).dbl(), 50.0);
+}
+
+TEST(SortByTest, DescendingNumeric) {
+  auto result = SortBy(Orders(), {{"amount", false}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ((*result)->GetValue(0, 2).dbl(), 50.0);
+  EXPECT_TRUE((*result)->GetValue(4, 2).is_null());
+}
+
+TEST(SortByTest, StringKeyAndStability) {
+  auto result = SortBy(Orders(), {{"grp", true}});
+  ASSERT_TRUE(result.ok());
+  // NULL first, then a (ids 1, 3 keep original order), then b (2, 4).
+  EXPECT_TRUE((*result)->GetValue(0, 1).is_null());
+  EXPECT_EQ((*result)->GetValue(1, 0).int64(), 1);
+  EXPECT_EQ((*result)->GetValue(2, 0).int64(), 3);
+  EXPECT_EQ((*result)->GetValue(3, 0).int64(), 2);
+  EXPECT_EQ((*result)->GetValue(4, 0).int64(), 4);
+}
+
+TEST(SortByTest, MultiKey) {
+  auto result = SortBy(Orders(), {{"grp", true}, {"amount", false}});
+  ASSERT_TRUE(result.ok());
+  // Within group "a": 30 before 10.
+  EXPECT_EQ((*result)->GetValue(1, 0).int64(), 3);
+  EXPECT_EQ((*result)->GetValue(2, 0).int64(), 1);
+}
+
+TEST(SortByTest, MissingKeyFails) {
+  EXPECT_TRUE(SortBy(Orders(), {{"ghost", true}}).status().IsNotFound());
+}
+
+TEST(LimitTest, TruncatesAndClamps) {
+  auto two = Limit(Orders(), 2);
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ((*two)->num_rows(), 2u);
+  auto all = Limit(Orders(), 100);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ((*all)->num_rows(), 5u);
+  auto none = Limit(Orders(), 0);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ((*none)->num_rows(), 0u);
+}
+
+TEST(UnionTest, Concatenates) {
+  auto result = Union({Orders(), Orders()});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 10u);
+  EXPECT_EQ((*result)->GetValue(5, 0).int64(), 1);
+}
+
+TEST(UnionTest, SchemaMismatchFails) {
+  TableBuilder other(Schema({{"x", DataType::kInt64}}));
+  EXPECT_TRUE(Union({Orders(), *other.Finish()})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(UnionTest, EmptyListFails) {
+  EXPECT_TRUE(Union({}).status().IsInvalidArgument());
+}
+
+TEST(UnionTest, SingleInput) {
+  auto result = Union({Orders()});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 5u);
+}
+
+}  // namespace
+}  // namespace telco

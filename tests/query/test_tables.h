@@ -1,0 +1,47 @@
+// Shared fixtures for query-layer tests.
+
+#ifndef TELCO_TESTS_QUERY_TEST_TABLES_H_
+#define TELCO_TESTS_QUERY_TEST_TABLES_H_
+
+#include "storage/table.h"
+
+namespace telco {
+namespace testing_tables {
+
+// id | group | amount
+//  1 |   "a" |  10.0
+//  2 |   "b" |  20.0
+//  3 |   "a" |  30.0
+//  4 |   "b" |  NULL
+//  5 |  NULL |  50.0
+inline TablePtr Orders() {
+  TableBuilder builder(Schema({{"id", DataType::kInt64},
+                               {"grp", DataType::kString},
+                               {"amount", DataType::kDouble}}));
+  EXPECT_TRUE(builder.AppendRow({Value(1), Value("a"), Value(10.0)}).ok());
+  EXPECT_TRUE(builder.AppendRow({Value(2), Value("b"), Value(20.0)}).ok());
+  EXPECT_TRUE(builder.AppendRow({Value(3), Value("a"), Value(30.0)}).ok());
+  EXPECT_TRUE(builder.AppendRow({Value(4), Value("b"), Value::Null()}).ok());
+  EXPECT_TRUE(builder.AppendRow({Value(5), Value::Null(), Value(50.0)}).ok());
+  return *builder.Finish();
+}
+
+// id | city
+//  1 | "rome"
+//  3 | "oslo"
+//  3 | "kiev"      (duplicate key)
+//  9 | "lima"      (no match in Orders)
+inline TablePtr Cities() {
+  TableBuilder builder(Schema({{"id", DataType::kInt64},
+                               {"city", DataType::kString}}));
+  EXPECT_TRUE(builder.AppendRow({Value(1), Value("rome")}).ok());
+  EXPECT_TRUE(builder.AppendRow({Value(3), Value("oslo")}).ok());
+  EXPECT_TRUE(builder.AppendRow({Value(3), Value("kiev")}).ok());
+  EXPECT_TRUE(builder.AppendRow({Value(9), Value("lima")}).ok());
+  return *builder.Finish();
+}
+
+}  // namespace testing_tables
+}  // namespace telco
+
+#endif  // TELCO_TESTS_QUERY_TEST_TABLES_H_

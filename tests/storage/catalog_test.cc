@@ -1,0 +1,78 @@
+#include "storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace telco {
+namespace {
+
+TablePtr MakeTable(int rows) {
+  TableBuilder builder(Schema({{"id", DataType::kInt64}}));
+  for (int i = 0; i < rows; ++i) {
+    EXPECT_TRUE(builder.AppendRow({Value(i)}).ok());
+  }
+  return *builder.Finish();
+}
+
+TEST(CatalogTest, RegisterAndGet) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register("t1", MakeTable(3)).ok());
+  auto table = catalog.Get("t1");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 3u);
+  EXPECT_TRUE(catalog.Contains("t1"));
+  EXPECT_FALSE(catalog.Contains("t2"));
+}
+
+TEST(CatalogTest, RegisterDuplicateFails) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register("t", MakeTable(1)).ok());
+  EXPECT_TRUE(catalog.Register("t", MakeTable(2)).IsAlreadyExists());
+}
+
+TEST(CatalogTest, RegisterNullFails) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.Register("t", nullptr).IsInvalidArgument());
+}
+
+TEST(CatalogTest, RegisterOrReplaceOverwrites) {
+  Catalog catalog;
+  catalog.RegisterOrReplace("t", MakeTable(1));
+  catalog.RegisterOrReplace("t", MakeTable(5));
+  EXPECT_EQ((*catalog.Get("t"))->num_rows(), 5u);
+}
+
+TEST(CatalogTest, GetMissingIsNotFound) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.Get("nope").status().IsNotFound());
+}
+
+TEST(CatalogTest, Drop) {
+  Catalog catalog;
+  catalog.RegisterOrReplace("t", MakeTable(1));
+  ASSERT_TRUE(catalog.Drop("t").ok());
+  EXPECT_FALSE(catalog.Contains("t"));
+  EXPECT_TRUE(catalog.Drop("t").IsNotFound());
+}
+
+TEST(CatalogTest, ListTablesSorted) {
+  Catalog catalog;
+  catalog.RegisterOrReplace("zeta", MakeTable(1));
+  catalog.RegisterOrReplace("alpha", MakeTable(1));
+  catalog.RegisterOrReplace("mid", MakeTable(1));
+  const auto names = catalog.ListTables();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "mid");
+  EXPECT_EQ(names[2], "zeta");
+}
+
+TEST(CatalogTest, TotalRows) {
+  Catalog catalog;
+  catalog.RegisterOrReplace("a", MakeTable(3));
+  catalog.RegisterOrReplace("b", MakeTable(4));
+  EXPECT_EQ(catalog.TotalRows(), 7u);
+  EXPECT_EQ(catalog.size(), 2u);
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,84 @@
+#include "storage/column.h"
+
+#include <gtest/gtest.h>
+
+namespace telco {
+namespace {
+
+TEST(ColumnTest, AppendTypedInt64) {
+  Column col(DataType::kInt64);
+  col.AppendInt64(1);
+  col.AppendInt64(2);
+  EXPECT_EQ(col.size(), 2u);
+  EXPECT_EQ(col.GetInt64(0), 1);
+  EXPECT_EQ(col.GetInt64(1), 2);
+  EXPECT_EQ(col.null_count(), 0u);
+}
+
+TEST(ColumnTest, AppendNullTracksValidity) {
+  Column col(DataType::kDouble);
+  col.AppendDouble(1.5);
+  col.AppendNull();
+  col.AppendDouble(2.5);
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_FALSE(col.IsNull(2));
+  EXPECT_EQ(col.null_count(), 1u);
+  EXPECT_TRUE(col.GetValue(1).is_null());
+}
+
+TEST(ColumnTest, AppendValueDispatchesByType) {
+  Column col(DataType::kString);
+  col.Append(Value("hi"));
+  col.Append(Value::Null());
+  EXPECT_EQ(col.GetString(0), "hi");
+  EXPECT_TRUE(col.IsNull(1));
+}
+
+TEST(ColumnTest, IntPromotedIntoDoubleColumn) {
+  Column col(DataType::kDouble);
+  col.Append(Value(3));
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_DOUBLE_EQ(col.GetDouble(0), 3.0);
+}
+
+TEST(ColumnTest, GetNumericWorksForBothNumericTypes) {
+  Column ints(DataType::kInt64);
+  ints.AppendInt64(7);
+  EXPECT_DOUBLE_EQ(ints.GetNumeric(0), 7.0);
+  Column dbls(DataType::kDouble);
+  dbls.AppendDouble(1.25);
+  EXPECT_DOUBLE_EQ(dbls.GetNumeric(0), 1.25);
+}
+
+TEST(ColumnTest, TakeReordersAndDuplicates) {
+  Column col(DataType::kInt64);
+  for (int i = 0; i < 5; ++i) col.AppendInt64(i * 10);
+  const Column taken = col.Take({4, 0, 0, 2});
+  ASSERT_EQ(taken.size(), 4u);
+  EXPECT_EQ(taken.GetInt64(0), 40);
+  EXPECT_EQ(taken.GetInt64(1), 0);
+  EXPECT_EQ(taken.GetInt64(2), 0);
+  EXPECT_EQ(taken.GetInt64(3), 20);
+}
+
+TEST(ColumnTest, TakePreservesNulls) {
+  Column col(DataType::kString);
+  col.AppendString("a");
+  col.AppendNull();
+  const Column taken = col.Take({1, 0});
+  EXPECT_TRUE(taken.IsNull(0));
+  EXPECT_EQ(taken.GetString(1), "a");
+}
+
+TEST(ColumnTest, GetValueRoundTrip) {
+  Column col(DataType::kInt64);
+  col.AppendInt64(99);
+  const Value v = col.GetValue(0);
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.int64(), 99);
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,103 @@
+#include "storage/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace telco {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"score", DataType::kDouble},
+                 {"name", DataType::kString}});
+}
+
+TablePtr MakeTestTable() {
+  TableBuilder builder(TestSchema());
+  EXPECT_TRUE(builder.AppendRow({Value(1), Value(0.5), Value("alice")}).ok());
+  EXPECT_TRUE(builder.AppendRow({Value(2), Value::Null(), Value("bob,jr")})
+                  .ok());
+  EXPECT_TRUE(
+      builder.AppendRow({Value(3), Value(-1.25), Value("say \"hi\"")}).ok());
+  return *builder.Finish();
+}
+
+TEST(CsvTest, SerializeBasics) {
+  const std::string csv = ToCsvString(*MakeTestTable());
+  EXPECT_NE(csv.find("id,score,name"), std::string::npos);
+  EXPECT_NE(csv.find("1,0.5,alice"), std::string::npos);
+  // Comma-containing field gets quoted; null becomes empty.
+  EXPECT_NE(csv.find("2,,\"bob,jr\""), std::string::npos);
+  // Embedded quotes get doubled.
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(CsvTest, RoundTripThroughString) {
+  const auto original = MakeTestTable();
+  const std::string csv = ToCsvString(*original);
+  auto parsed = ParseCsvString(csv, TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ((*parsed)->num_rows(), original->num_rows());
+  for (size_t r = 0; r < original->num_rows(); ++r) {
+    for (size_t c = 0; c < original->num_columns(); ++c) {
+      EXPECT_EQ((*parsed)->GetValue(r, c), original->GetValue(r, c))
+          << "cell (" << r << ", " << c << ")";
+    }
+  }
+}
+
+TEST(CsvTest, RoundTripThroughFile) {
+  const std::string path = ::testing::TempDir() + "/telco_csv_test.csv";
+  const auto original = MakeTestTable();
+  ASSERT_TRUE(WriteCsv(*original, path).ok());
+  auto parsed = ReadCsv(path, TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ((*parsed)->num_rows(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_TRUE(
+      ReadCsv("/nonexistent/file.csv", TestSchema()).status().IsIoError());
+}
+
+TEST(CsvTest, HeaderMismatchRejected) {
+  const std::string csv = "id,wrong,name\n1,0.5,x\n";
+  EXPECT_TRUE(
+      ParseCsvString(csv, TestSchema()).status().IsInvalidArgument());
+}
+
+TEST(CsvTest, WidthMismatchRejected) {
+  const std::string csv = "id,score,name\n1,0.5\n";
+  EXPECT_TRUE(
+      ParseCsvString(csv, TestSchema()).status().IsInvalidArgument());
+}
+
+TEST(CsvTest, BadNumberRejected) {
+  const std::string csv = "id,score,name\nnot_a_number,0.5,x\n";
+  EXPECT_TRUE(ParseCsvString(csv, TestSchema()).status().IsTypeError());
+}
+
+TEST(CsvTest, EmptyInputRejected) {
+  EXPECT_TRUE(ParseCsvString("", TestSchema()).status().IsIoError());
+}
+
+TEST(CsvTest, ToleratesCrlfAndBlankLines) {
+  const std::string csv = "id,score,name\r\n1,2.0,x\r\n\r\n2,3.0,y\r\n";
+  auto parsed = ParseCsvString(csv, TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ((*parsed)->num_rows(), 2u);
+}
+
+TEST(CsvTest, EmptyFieldsBecomeNulls) {
+  const std::string csv = "id,score,name\n,,\n";
+  auto parsed = ParseCsvString(csv, TestSchema());
+  ASSERT_TRUE(parsed.ok());
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_TRUE((*parsed)->GetValue(0, c).is_null());
+  }
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,61 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace telco {
+namespace {
+
+TEST(SchemaTest, LookupByName) {
+  const Schema schema({{"a", DataType::kInt64}, {"b", DataType::kDouble}});
+  EXPECT_EQ(schema.num_fields(), 2u);
+  EXPECT_EQ(schema.IndexOf("a"), 0u);
+  EXPECT_EQ(schema.IndexOf("b"), 1u);
+  EXPECT_FALSE(schema.IndexOf("c").has_value());
+  EXPECT_TRUE(schema.HasField("a"));
+  EXPECT_FALSE(schema.HasField("z"));
+}
+
+TEST(SchemaTest, GetFieldIndexErrors) {
+  const Schema schema({{"x", DataType::kString}});
+  EXPECT_EQ(*schema.GetFieldIndex("x"), 0u);
+  EXPECT_TRUE(schema.GetFieldIndex("y").status().IsNotFound());
+}
+
+TEST(SchemaTest, MakeRejectsDuplicates) {
+  auto result = Schema::Make({{"a", DataType::kInt64},
+                              {"a", DataType::kDouble}});
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, MakeRejectsEmptyName) {
+  auto result = Schema::Make({{"", DataType::kInt64}});
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, MakeAcceptsValid) {
+  auto result = Schema::Make({{"a", DataType::kInt64},
+                              {"b", DataType::kString}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_fields(), 2u);
+}
+
+TEST(SchemaTest, Equality) {
+  const Schema a({{"x", DataType::kInt64}});
+  const Schema b({{"x", DataType::kInt64}});
+  const Schema c({{"x", DataType::kDouble}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SchemaTest, ToString) {
+  const Schema schema({{"id", DataType::kInt64}, {"v", DataType::kDouble}});
+  EXPECT_EQ(schema.ToString(), "id:int64, v:double");
+}
+
+TEST(SchemaTest, EmptySchema) {
+  const Schema schema;
+  EXPECT_EQ(schema.num_fields(), 0u);
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,108 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+namespace telco {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({{"id", DataType::kInt64}, {"v", DataType::kDouble}});
+}
+
+TEST(TableBuilderTest, AppendAndFinish) {
+  TableBuilder builder(TwoColSchema());
+  ASSERT_TRUE(builder.AppendRow({Value(1), Value(1.5)}).ok());
+  ASSERT_TRUE(builder.AppendRow({Value(2), Value::Null()}).ok());
+  auto table = builder.Finish();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 2u);
+  EXPECT_EQ((*table)->num_columns(), 2u);
+  EXPECT_EQ((*table)->GetValue(0, 0).int64(), 1);
+  EXPECT_TRUE((*table)->GetValue(1, 1).is_null());
+}
+
+TEST(TableBuilderTest, RejectsWrongWidth) {
+  TableBuilder builder(TwoColSchema());
+  EXPECT_TRUE(builder.AppendRow({Value(1)}).IsInvalidArgument());
+}
+
+TEST(TableBuilderTest, RejectsWrongType) {
+  TableBuilder builder(TwoColSchema());
+  EXPECT_TRUE(
+      builder.AppendRow({Value("text"), Value(1.0)}).IsTypeError());
+}
+
+TEST(TableBuilderTest, AcceptsIntIntoDoubleColumn) {
+  TableBuilder builder(TwoColSchema());
+  ASSERT_TRUE(builder.AppendRow({Value(1), Value(3)}).ok());
+  auto table = builder.Finish();
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ((*table)->GetValue(0, 1).dbl(), 3.0);
+}
+
+TEST(TableTest, MakeValidatesColumnShapes) {
+  Column ids(DataType::kInt64);
+  ids.AppendInt64(1);
+  Column vals(DataType::kDouble);  // empty: ragged
+  auto bad = Table::Make(TwoColSchema(), {ids, vals});
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+
+  Column wrong_type(DataType::kString);
+  wrong_type.AppendString("x");
+  auto mismatched = Table::Make(TwoColSchema(), {ids, wrong_type});
+  EXPECT_TRUE(mismatched.status().IsTypeError());
+}
+
+TEST(TableTest, GetColumnByName) {
+  TableBuilder builder(TwoColSchema());
+  ASSERT_TRUE(builder.AppendRow({Value(5), Value(0.5)}).ok());
+  auto table = *builder.Finish();
+  auto col = table->GetColumn("v");
+  ASSERT_TRUE(col.ok());
+  EXPECT_DOUBLE_EQ((*col)->GetDouble(0), 0.5);
+  EXPECT_TRUE(table->GetColumn("nope").status().IsNotFound());
+}
+
+TEST(TableTest, GetRow) {
+  TableBuilder builder(TwoColSchema());
+  ASSERT_TRUE(builder.AppendRow({Value(9), Value(2.0)}).ok());
+  auto table = *builder.Finish();
+  const auto row = table->GetRow(0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0].int64(), 9);
+  EXPECT_DOUBLE_EQ(row[1].dbl(), 2.0);
+}
+
+TEST(TableTest, TakeRows) {
+  TableBuilder builder(TwoColSchema());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(builder.AppendRow({Value(i), Value(i * 0.5)}).ok());
+  }
+  auto table = *builder.Finish();
+  const auto subset = table->TakeRows({3, 1, 1});
+  ASSERT_EQ(subset->num_rows(), 3u);
+  EXPECT_EQ(subset->GetValue(0, 0).int64(), 3);
+  EXPECT_EQ(subset->GetValue(1, 0).int64(), 1);
+  EXPECT_EQ(subset->GetValue(2, 0).int64(), 1);
+}
+
+TEST(TableTest, EmptyTable) {
+  TableBuilder builder(TwoColSchema());
+  auto table = *builder.Finish();
+  EXPECT_EQ(table->num_rows(), 0u);
+  EXPECT_EQ(table->TakeRows({})->num_rows(), 0u);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  TableBuilder builder(TwoColSchema());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(builder.AppendRow({Value(i), Value(0.0)}).ok());
+  }
+  auto table = *builder.Finish();
+  const std::string repr = table->ToString(3);
+  EXPECT_NE(repr.find("(20 rows)"), std::string::npos);
+  EXPECT_NE(repr.find("more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,75 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+namespace telco {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  const Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_int64());
+  EXPECT_FALSE(v.is_double());
+  EXPECT_FALSE(v.is_string());
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, Int64) {
+  const Value v(int64_t{42});
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.int64(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, IntPromotesToInt64) {
+  const Value v(7);
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.int64(), 7);
+}
+
+TEST(ValueTest, Double) {
+  const Value v(2.5);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.dbl(), 2.5);
+}
+
+TEST(ValueTest, String) {
+  const Value v("hello");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.str(), "hello");
+  EXPECT_EQ(v.ToString(), "\"hello\"");
+}
+
+TEST(ValueTest, AsDoubleCoercesInt) {
+  EXPECT_DOUBLE_EQ(Value(3).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(1.5).AsDouble(), 1.5);
+}
+
+TEST(ValueTest, TypeMatches) {
+  EXPECT_TRUE(Value(1).TypeMatches(DataType::kInt64));
+  EXPECT_FALSE(Value(1).TypeMatches(DataType::kDouble));
+  EXPECT_TRUE(Value(1.0).TypeMatches(DataType::kDouble));
+  EXPECT_TRUE(Value("s").TypeMatches(DataType::kString));
+  // Null matches every type.
+  EXPECT_TRUE(Value::Null().TypeMatches(DataType::kInt64));
+  EXPECT_TRUE(Value::Null().TypeMatches(DataType::kDouble));
+  EXPECT_TRUE(Value::Null().TypeMatches(DataType::kString));
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_NE(Value(1), Value(2));
+  EXPECT_NE(Value(1), Value(1.0));  // type-sensitive
+  EXPECT_EQ(Value("x"), Value("x"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value(0));
+}
+
+TEST(ValueTest, DataTypeToStringNames) {
+  EXPECT_STREQ(DataTypeToString(DataType::kInt64), "int64");
+  EXPECT_STREQ(DataTypeToString(DataType::kDouble), "double");
+  EXPECT_STREQ(DataTypeToString(DataType::kString), "string");
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,82 @@
+#include "storage/warehouse_io.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace telco {
+namespace {
+
+TablePtr SampleTable() {
+  TableBuilder builder(Schema({{"id", DataType::kInt64},
+                               {"name", DataType::kString},
+                               {"v", DataType::kDouble}}));
+  EXPECT_TRUE(builder.AppendRow({Value(1), Value("a"), Value(0.5)}).ok());
+  EXPECT_TRUE(
+      builder.AppendRow({Value(2), Value::Null(), Value(1.25)}).ok());
+  return *builder.Finish();
+}
+
+std::string FreshDir(const char* tag) {
+  const std::string dir =
+      ::testing::TempDir() + "/telco_warehouse_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(WarehouseIoTest, RoundTrip) {
+  Catalog original;
+  original.RegisterOrReplace("alpha", SampleTable());
+  original.RegisterOrReplace("beta", SampleTable());
+  const std::string dir = FreshDir("roundtrip");
+  ASSERT_TRUE(SaveWarehouse(original, dir).ok());
+
+  Catalog loaded;
+  ASSERT_TRUE(LoadWarehouse(dir, &loaded).ok());
+  EXPECT_EQ(loaded.size(), 2u);
+  auto alpha = loaded.Get("alpha");
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_EQ((*alpha)->num_rows(), 2u);
+  EXPECT_EQ((*alpha)->schema().ToString(),
+            "id:int64, name:string, v:double");
+  EXPECT_TRUE((*alpha)->GetValue(1, 1).is_null());
+  EXPECT_DOUBLE_EQ((*alpha)->GetValue(1, 2).dbl(), 1.25);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WarehouseIoTest, LoadReplacesExisting) {
+  Catalog original;
+  original.RegisterOrReplace("t", SampleTable());
+  const std::string dir = FreshDir("replace");
+  ASSERT_TRUE(SaveWarehouse(original, dir).ok());
+
+  Catalog target;
+  TableBuilder other(Schema({{"x", DataType::kInt64}}));
+  target.RegisterOrReplace("t", *other.Finish());
+  ASSERT_TRUE(LoadWarehouse(dir, &target).ok());
+  EXPECT_EQ((*target.Get("t"))->num_columns(), 3u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WarehouseIoTest, MissingDirectoryFails) {
+  Catalog catalog;
+  EXPECT_TRUE(
+      LoadWarehouse("/nonexistent/warehouse", &catalog).IsIoError());
+}
+
+TEST(WarehouseIoTest, NullCatalogRejected) {
+  EXPECT_TRUE(LoadWarehouse("/tmp", nullptr).IsInvalidArgument());
+}
+
+TEST(WarehouseIoTest, EmptyCatalogRoundTrips) {
+  Catalog empty;
+  const std::string dir = FreshDir("empty");
+  ASSERT_TRUE(SaveWarehouse(empty, dir).ok());
+  Catalog loaded;
+  ASSERT_TRUE(LoadWarehouse(dir, &loaded).ok());
+  EXPECT_EQ(loaded.size(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace telco

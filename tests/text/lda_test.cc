@@ -1,0 +1,173 @@
+#include "text/lda.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace telco {
+namespace {
+
+// Builds a corpus with two perfectly separated topics: words 0..4 and
+// words 5..9, each document drawn from a single topic.
+Corpus TwoTopicCorpus(int docs_per_topic, uint64_t seed) {
+  Corpus corpus(10);
+  Rng rng(seed);
+  for (int t = 0; t < 2; ++t) {
+    for (int d = 0; d < docs_per_topic; ++d) {
+      Document doc;
+      for (int i = 0; i < 30; ++i) {
+        const uint32_t word =
+            static_cast<uint32_t>(t * 5 + rng.UniformInt(5));
+        doc.word_counts.emplace_back(word, 1);
+      }
+      EXPECT_TRUE(corpus.AddDocument(doc).ok());
+    }
+  }
+  return corpus;
+}
+
+TEST(LdaTest, RecoversSeparatedTopics) {
+  const Corpus corpus = TwoTopicCorpus(40, 5);
+  LdaOptions options;
+  options.num_topics = 2;
+  options.max_iterations = 80;
+  auto model = LdaModel::Train(corpus, options);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  // Every document should be dominated (>90%) by a single topic, and the
+  // first docs (topic A) should agree with each other and disagree with
+  // the last docs (topic B).
+  const auto first = model->DocumentTopics(0);
+  const auto last = model->DocumentTopics(corpus.num_documents() - 1);
+  const int first_major = first[0] > first[1] ? 0 : 1;
+  const int last_major = last[0] > last[1] ? 0 : 1;
+  EXPECT_NE(first_major, last_major);
+  EXPECT_GT(first[first_major], 0.9);
+  EXPECT_GT(last[last_major], 0.9);
+
+  // Topic-word distributions concentrate on their own word block.
+  const auto words_a = model->TopicWords(first_major);
+  double mass_block0 = 0.0;
+  for (int w = 0; w < 5; ++w) mass_block0 += words_a[w];
+  EXPECT_GT(mass_block0, 0.9);
+}
+
+TEST(LdaTest, ThetaRowsSumToOne) {
+  const Corpus corpus = TwoTopicCorpus(10, 7);
+  LdaOptions options;
+  options.num_topics = 3;
+  auto model = LdaModel::Train(corpus, options);
+  ASSERT_TRUE(model.ok());
+  for (size_t d = 0; d < corpus.num_documents(); ++d) {
+    const auto theta = model->DocumentTopics(d);
+    double total = 0.0;
+    for (double p : theta) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(LdaTest, DeterministicGivenSeed) {
+  const Corpus corpus = TwoTopicCorpus(10, 9);
+  LdaOptions options;
+  options.num_topics = 2;
+  auto a = LdaModel::Train(corpus, options);
+  auto b = LdaModel::Train(corpus, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t d = 0; d < corpus.num_documents(); ++d) {
+    const auto ta = a->DocumentTopics(d);
+    const auto tb = b->DocumentTopics(d);
+    for (size_t k = 0; k < ta.size(); ++k) {
+      EXPECT_DOUBLE_EQ(ta[k], tb[k]);
+    }
+  }
+}
+
+TEST(LdaTest, InferDocumentMatchesTraining) {
+  const Corpus corpus = TwoTopicCorpus(40, 11);
+  LdaOptions options;
+  options.num_topics = 2;
+  auto model = LdaModel::Train(corpus, options);
+  ASSERT_TRUE(model.ok());
+  // A fresh topic-0-style document folds in to the same dominant topic as
+  // training document 0.
+  Document fresh;
+  for (uint32_t w = 0; w < 5; ++w) fresh.word_counts.emplace_back(w, 6);
+  const auto inferred = model->InferDocument(fresh);
+  const auto trained = model->DocumentTopics(0);
+  const int inferred_major = inferred[0] > inferred[1] ? 0 : 1;
+  const int trained_major = trained[0] > trained[1] ? 0 : 1;
+  EXPECT_EQ(inferred_major, trained_major);
+  EXPECT_GT(inferred[inferred_major], 0.85);
+}
+
+TEST(LdaTest, InferEmptyDocumentUniform) {
+  const Corpus corpus = TwoTopicCorpus(10, 13);
+  LdaOptions options;
+  options.num_topics = 4;
+  auto model = LdaModel::Train(corpus, options);
+  ASSERT_TRUE(model.ok());
+  const auto theta = model->InferDocument(Document{});
+  for (double p : theta) EXPECT_DOUBLE_EQ(p, 0.25);
+}
+
+TEST(LdaTest, PerplexityLowerForStructuredCorpus) {
+  const Corpus structured = TwoTopicCorpus(30, 17);
+  // Scrambled corpus: same word budget, uniform over the vocabulary.
+  Corpus scrambled(10);
+  Rng rng(19);
+  for (int d = 0; d < 60; ++d) {
+    Document doc;
+    for (int i = 0; i < 30; ++i) {
+      doc.word_counts.emplace_back(static_cast<uint32_t>(rng.UniformInt(10)),
+                                   1);
+    }
+    ASSERT_TRUE(scrambled.AddDocument(doc).ok());
+  }
+  LdaOptions options;
+  options.num_topics = 2;
+  auto m1 = LdaModel::Train(structured, options);
+  auto m2 = LdaModel::Train(scrambled, options);
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  EXPECT_LT(m1->Perplexity(structured), m2->Perplexity(scrambled));
+}
+
+TEST(LdaTest, InvalidInputsRejected) {
+  Corpus empty(10);
+  LdaOptions options;
+  EXPECT_TRUE(LdaModel::Train(empty, options).status().IsInvalidArgument());
+
+  const Corpus corpus = TwoTopicCorpus(5, 21);
+  options.num_topics = 1;
+  EXPECT_TRUE(LdaModel::Train(corpus, options).status().IsInvalidArgument());
+}
+
+// Property sweep: for any K, theta stays a valid distribution and the
+// model trains without error.
+class LdaTopicSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LdaTopicSweep, ValidDistributions) {
+  const Corpus corpus = TwoTopicCorpus(15, 23);
+  LdaOptions options;
+  options.num_topics = static_cast<uint32_t>(GetParam());
+  options.max_iterations = 30;
+  auto model = LdaModel::Train(corpus, options);
+  ASSERT_TRUE(model.ok());
+  for (uint32_t k = 0; k < options.num_topics; ++k) {
+    const auto words = model->TopicWords(k);
+    double total = 0.0;
+    for (double p : words) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topics, LdaTopicSweep,
+                         ::testing::Values(2, 3, 5, 10));
+
+}  // namespace
+}  // namespace telco

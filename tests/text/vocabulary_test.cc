@@ -1,0 +1,94 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace telco {
+namespace {
+
+TEST(VocabularyTest, AssignsStableIds) {
+  Vocabulary vocab;
+  const uint32_t a = vocab.AddOccurrence("alpha");
+  const uint32_t b = vocab.AddOccurrence("beta");
+  const uint32_t a2 = vocab.AddOccurrence("alpha");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab.WordOf(a), "alpha");
+  EXPECT_EQ(vocab.IdOf("beta"), b);
+  EXPECT_FALSE(vocab.IdOf("gamma").has_value());
+}
+
+TEST(VocabularyTest, CountsOccurrences) {
+  Vocabulary vocab;
+  vocab.AddOccurrence("x");
+  vocab.AddOccurrence("x");
+  vocab.AddOccurrence("y");
+  EXPECT_EQ(vocab.CountOf(*vocab.IdOf("x")), 2u);
+  EXPECT_EQ(vocab.CountOf(*vocab.IdOf("y")), 1u);
+}
+
+TEST(VocabularyTest, PrunedRemovesRareWords) {
+  Vocabulary vocab;
+  for (int i = 0; i < 5; ++i) vocab.AddOccurrence("common");
+  vocab.AddOccurrence("rare");
+  const Vocabulary pruned = vocab.Pruned(2);
+  EXPECT_EQ(pruned.size(), 1u);
+  EXPECT_TRUE(pruned.IdOf("common").has_value());
+  EXPECT_FALSE(pruned.IdOf("rare").has_value());
+  EXPECT_EQ(*pruned.IdOf("common"), 0u);  // ids re-densified
+}
+
+TEST(CorpusTest, AddDocumentMergesDuplicates) {
+  Corpus corpus(10);
+  Document doc;
+  doc.word_counts = {{3, 2}, {3, 1}, {5, 4}, {7, 0}};
+  ASSERT_TRUE(corpus.AddDocument(doc).ok());
+  ASSERT_EQ(corpus.num_documents(), 1u);
+  const Document& stored = corpus.document(0);
+  ASSERT_EQ(stored.word_counts.size(), 2u);  // zero count dropped
+  EXPECT_EQ(stored.word_counts[0].first, 3u);
+  EXPECT_EQ(stored.word_counts[0].second, 3u);
+  EXPECT_EQ(stored.word_counts[1].second, 4u);
+  EXPECT_EQ(stored.TotalTokens(), 7u);
+}
+
+TEST(CorpusTest, RejectsOutOfVocabWords) {
+  Corpus corpus(4);
+  Document doc;
+  doc.word_counts = {{4, 1}};
+  EXPECT_TRUE(corpus.AddDocument(doc).IsOutOfRange());
+}
+
+TEST(CorpusTest, AddTokensCountsKnownWords) {
+  Vocabulary vocab;
+  vocab.AddOccurrence("hello");
+  vocab.AddOccurrence("world");
+  Corpus corpus(vocab.size());
+  ASSERT_TRUE(
+      corpus.AddTokens(vocab, {"hello", "hello", "unknown", "world"}).ok());
+  const Document& doc = corpus.document(0);
+  EXPECT_EQ(doc.TotalTokens(), 3u);
+}
+
+TEST(CorpusTest, TotalTokens) {
+  Corpus corpus(10);
+  Document a;
+  a.word_counts = {{0, 2}};
+  Document b;
+  b.word_counts = {{1, 3}};
+  ASSERT_TRUE(corpus.AddDocument(a).ok());
+  ASSERT_TRUE(corpus.AddDocument(b).ok());
+  EXPECT_EQ(corpus.TotalTokens(), 5u);
+}
+
+TEST(TokenizeTest, SplitsAndLowercases) {
+  const auto tokens = Tokenize("  Hello\tWorld\nFOO ");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "foo");
+  EXPECT_TRUE(Tokenize("").empty());
+}
+
+}  // namespace
+}  // namespace telco

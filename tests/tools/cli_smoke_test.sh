@@ -1,0 +1,39 @@
+#!/bin/sh
+# End-to-end smoke test of the telcochurn CLI:
+# simulate -> train -> predict -> evaluate over a CSV warehouse.
+set -e
+
+CLI="$1"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+"$CLI" simulate --out "$WORKDIR/wh" --customers 1500 --months 3 --seed 7 \
+    2> /dev/null
+test -f "$WORKDIR/wh/MANIFEST" || { echo "missing MANIFEST"; exit 1; }
+
+"$CLI" train --warehouse "$WORKDIR/wh" --month 2 \
+    --model "$WORKDIR/churn.model" --trees 20 2> /dev/null
+test -s "$WORKDIR/churn.model" || { echo "missing model"; exit 1; }
+test -s "$WORKDIR/churn.model.features" || { echo "missing sidecar"; exit 1; }
+
+PREDICTION="$("$CLI" predict --warehouse "$WORKDIR/wh" \
+    --model "$WORKDIR/churn.model" --month 3 --top 3 2> /dev/null)"
+echo "$PREDICTION" | head -1 | grep -q "rank,imsi,likelihood" || {
+  echo "bad prediction header"; exit 1; }
+LINES=$(echo "$PREDICTION" | wc -l)
+test "$LINES" -eq 4 || { echo "expected 3 prediction rows"; exit 1; }
+
+"$CLI" evaluate --warehouse "$WORKDIR/wh" --month 3 --trees 20 --u 40 \
+    2> /dev/null | grep -q "AUC=" || { echo "missing metrics"; exit 1; }
+
+# Error handling: unknown flag and missing warehouse must fail.
+if "$CLI" evaluate --warehouse "$WORKDIR/wh" --month 3 --bogus 1 \
+    2> /dev/null; then
+  echo "unknown flag accepted"; exit 1
+fi
+if "$CLI" train --warehouse /nonexistent --month 2 --model /tmp/x \
+    2> /dev/null; then
+  echo "missing warehouse accepted"; exit 1
+fi
+
+echo "cli smoke ok"

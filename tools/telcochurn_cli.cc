@@ -1,0 +1,289 @@
+// telcochurn command-line driver.
+//
+// Subcommands mirror the deployed system's operational loop:
+//
+//   telcochurn simulate --out DIR [--customers N] [--months M] [--seed S]
+//       Simulate the operator and persist the raw warehouse as CSVs.
+//
+//   telcochurn train --warehouse DIR --month M --model PATH
+//                    [--training-months K] [--trees T]
+//       Build wide tables, train the churn forest on labelled months
+//       ending at M, and save the model (plus a .features sidecar).
+//
+//   telcochurn predict --warehouse DIR --model PATH --month M [--top U]
+//       Score month M's customers with a saved model and print the
+//       ranked churner list as CSV (rank,imsi,likelihood).
+//
+//   telcochurn evaluate --warehouse DIR --month M [--u U]
+//                       [--training-months K] [--trees T]
+//       End-to-end sliding-window evaluation with hindsight labels.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+
+#include "churn/pipeline.h"
+#include "common/string_util.h"
+#include "datagen/telco_simulator.h"
+#include "ml/serialize.h"
+#include "storage/warehouse_io.h"
+
+namespace telco {
+namespace {
+
+// ------------------------------------------------------------ flag parsing
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        error_ = "unexpected argument '" + arg + "'";
+        return;
+      }
+      arg = arg.substr(2);
+      if (i + 1 >= argc) {
+        error_ = "flag --" + arg + " needs a value";
+        return;
+      }
+      values_[arg] = argv[++i];
+    }
+  }
+
+  const std::string& error() const { return error_; }
+
+  Result<std::string> Required(const std::string& name) {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      return Status::InvalidArgument("missing required flag --" + name);
+    }
+    used_.insert(it->first);
+    return it->second;
+  }
+
+  std::string Get(const std::string& name, const std::string& fallback) {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    used_.insert(it->first);
+    return it->second;
+  }
+
+  int64_t GetInt(const std::string& name, int64_t fallback) {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    used_.insert(it->first);
+    return std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+  Status CheckAllUsed() const {
+    for (const auto& [name, _] : values_) {
+      if (!used_.count(name)) {
+        return Status::InvalidArgument("unknown flag --" + name);
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> used_;
+  std::string error_;
+};
+
+// --------------------------------------------------------------- commands
+
+Status RunSimulate(Flags& flags) {
+  TELCO_ASSIGN_OR_RETURN(const std::string out, flags.Required("out"));
+  SimConfig config;
+  config.num_customers =
+      static_cast<size_t>(flags.GetInt("customers", 10000));
+  config.num_months = static_cast<int>(flags.GetInt("months", 9));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 2015));
+  TELCO_RETURN_NOT_OK(flags.CheckAllUsed());
+
+  Catalog catalog;
+  TelcoSimulator simulator(config);
+  TELCO_RETURN_NOT_OK(simulator.Run(&catalog));
+  TELCO_RETURN_NOT_OK(SaveWarehouse(catalog, out));
+  std::printf("wrote %zu tables (%zu rows) to %s\n", catalog.size(),
+              catalog.TotalRows(), out.c_str());
+  return Status::OK();
+}
+
+Status LoadWarehouseFromFlag(Flags& flags, Catalog* catalog) {
+  TELCO_ASSIGN_OR_RETURN(const std::string dir,
+                         flags.Required("warehouse"));
+  TELCO_RETURN_NOT_OK(LoadWarehouse(dir, catalog));
+  std::fprintf(stderr, "loaded %zu tables from %s\n", catalog->size(),
+               dir.c_str());
+  return Status::OK();
+}
+
+PipelineOptions PipelineOptionsFromFlags(Flags& flags) {
+  PipelineOptions options;
+  options.model.rf.num_trees =
+      static_cast<int>(flags.GetInt("trees", 120));
+  options.training_months =
+      static_cast<int>(flags.GetInt("training-months", 1));
+  return options;
+}
+
+Status RunTrain(Flags& flags) {
+  Catalog catalog;
+  TELCO_RETURN_NOT_OK(LoadWarehouseFromFlag(flags, &catalog));
+  TELCO_ASSIGN_OR_RETURN(const std::string model_path,
+                         flags.Required("model"));
+  const int month = static_cast<int>(flags.GetInt("month", 0));
+  PipelineOptions options = PipelineOptionsFromFlags(flags);
+  TELCO_RETURN_NOT_OK(flags.CheckAllUsed());
+  if (month < 1) {
+    return Status::InvalidArgument("--month must be >= 1");
+  }
+
+  ChurnPipeline pipeline(&catalog, options);
+  // Train on the window of labelled months ending at `month`: the same
+  // path TrainAndPredict uses, via a prediction one month ahead would
+  // need labels; instead build and fit directly.
+  Dataset train({});
+  bool first = true;
+  for (int m = month - options.training_months + 1; m <= month; ++m) {
+    TELCO_ASSIGN_OR_RETURN(Dataset month_data,
+                           pipeline.BuildMonthDataset(m, m));
+    if (first) {
+      train = std::move(month_data);
+      first = false;
+    } else {
+      TELCO_RETURN_NOT_OK(train.Append(month_data));
+    }
+  }
+  ChurnModel model(options.model);
+  TELCO_RETURN_NOT_OK(model.Train(train));
+  const RandomForest* forest = model.forest();
+  if (forest == nullptr) {
+    return Status::Internal("CLI training currently targets the RF model");
+  }
+  TELCO_RETURN_NOT_OK(SaveRandomForest(*forest, model_path));
+  // Sidecar: the exact feature-column order the model expects.
+  std::ofstream features(model_path + ".features");
+  for (const auto& name : train.feature_names()) features << name << '\n';
+  if (!features) {
+    return Status::IoError("cannot write " + model_path + ".features");
+  }
+  std::printf("trained on %zu rows x %zu features; model -> %s\n",
+              train.num_rows(), train.num_features(), model_path.c_str());
+  return Status::OK();
+}
+
+Status RunPredict(Flags& flags) {
+  Catalog catalog;
+  TELCO_RETURN_NOT_OK(LoadWarehouseFromFlag(flags, &catalog));
+  TELCO_ASSIGN_OR_RETURN(const std::string model_path,
+                         flags.Required("model"));
+  const int month = static_cast<int>(flags.GetInt("month", 0));
+  const size_t top = static_cast<size_t>(flags.GetInt("top", 50));
+  TELCO_RETURN_NOT_OK(flags.CheckAllUsed());
+  if (month < 1) return Status::InvalidArgument("--month must be >= 1");
+
+  TELCO_ASSIGN_OR_RETURN(const RandomForest forest,
+                         LoadRandomForest(model_path));
+  std::ifstream feature_file(model_path + ".features");
+  if (!feature_file) {
+    return Status::IoError("missing sidecar " + model_path + ".features");
+  }
+  std::vector<std::string> feature_names;
+  std::string line;
+  while (std::getline(feature_file, line)) {
+    if (!line.empty()) feature_names.push_back(line);
+  }
+
+  WideTableBuilder builder(&catalog);
+  TELCO_ASSIGN_OR_RETURN(const WideTable wide, builder.Build(month));
+  TELCO_ASSIGN_OR_RETURN(
+      const Dataset data,
+      Dataset::FromTableUnlabeled(*wide.table, feature_names));
+  TELCO_ASSIGN_OR_RETURN(const Column* imsi_col,
+                         wide.table->GetColumn("imsi"));
+
+  std::vector<std::pair<double, int64_t>> scored;
+  scored.reserve(data.num_rows());
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    scored.emplace_back(forest.PredictProba(data.Row(r)),
+                        imsi_col->GetInt64(r));
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::printf("rank,imsi,likelihood\n");
+  for (size_t i = 0; i < top && i < scored.size(); ++i) {
+    std::printf("%zu,%lld,%.6f\n", i + 1,
+                static_cast<long long>(scored[i].second),
+                scored[i].first);
+  }
+  return Status::OK();
+}
+
+Status RunEvaluate(Flags& flags) {
+  Catalog catalog;
+  TELCO_RETURN_NOT_OK(LoadWarehouseFromFlag(flags, &catalog));
+  const int month = static_cast<int>(flags.GetInt("month", 0));
+  PipelineOptions options = PipelineOptionsFromFlags(flags);
+  const size_t u = static_cast<size_t>(flags.GetInt("u", 250));
+  TELCO_RETURN_NOT_OK(flags.CheckAllUsed());
+  if (month < 2) return Status::InvalidArgument("--month must be >= 2");
+
+  ChurnPipeline pipeline(&catalog, options);
+  TELCO_ASSIGN_OR_RETURN(const RankingMetrics metrics,
+                         pipeline.Evaluate(month, u));
+  std::printf("%s\n", metrics.ToString().c_str());
+  return Status::OK();
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: telcochurn <simulate|train|predict|evaluate> [flags]\n"
+      "  simulate --out DIR [--customers N] [--months M] [--seed S]\n"
+      "  train    --warehouse DIR --month M --model PATH\n"
+      "           [--training-months K] [--trees T]\n"
+      "  predict  --warehouse DIR --model PATH --month M [--top U]\n"
+      "  evaluate --warehouse DIR --month M [--u U]\n"
+      "           [--training-months K] [--trees T]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  Logger::SetLevel(LogLevel::kWarning);
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (!flags.error().empty()) {
+    std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+    return Usage();
+  }
+  Status st;
+  if (command == "simulate") {
+    st = RunSimulate(flags);
+  } else if (command == "train") {
+    st = RunTrain(flags);
+  } else if (command == "predict") {
+    st = RunPredict(flags);
+  } else if (command == "evaluate") {
+    st = RunEvaluate(flags);
+  } else {
+    return Usage();
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace telco
+
+int main(int argc, char** argv) { return telco::Main(argc, argv); }

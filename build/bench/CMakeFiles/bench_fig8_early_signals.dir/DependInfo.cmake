@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_early_signals.cc" "bench/CMakeFiles/bench_fig8_early_signals.dir/bench_fig8_early_signals.cc.o" "gcc" "bench/CMakeFiles/bench_fig8_early_signals.dir/bench_fig8_early_signals.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/telco_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/churn/CMakeFiles/telco_churn.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/telco_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/telco_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/telco_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/telco_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/telco_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/telco_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/telco_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/telco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_early_signals.dir/bench_fig8_early_signals.cc.o"
+  "CMakeFiles/bench_fig8_early_signals.dir/bench_fig8_early_signals.cc.o.d"
+  "bench_fig8_early_signals"
+  "bench_fig8_early_signals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_early_signals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_classifiers.dir/bench_fig9_classifiers.cc.o"
+  "CMakeFiles/bench_fig9_classifiers.dir/bench_fig9_classifiers.cc.o.d"
+  "bench_fig9_classifiers"
+  "bench_fig9_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_variety.dir/bench_table2_variety.cc.o"
+  "CMakeFiles/bench_table2_variety.dir/bench_table2_variety.cc.o.d"
+  "bench_table2_variety"
+  "bench_table2_variety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_variety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

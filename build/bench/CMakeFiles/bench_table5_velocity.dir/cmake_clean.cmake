@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_velocity.dir/bench_table5_velocity.cc.o"
+  "CMakeFiles/bench_table5_velocity.dir/bench_table5_velocity.cc.o.d"
+  "bench_table5_velocity"
+  "bench_table5_velocity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_velocity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

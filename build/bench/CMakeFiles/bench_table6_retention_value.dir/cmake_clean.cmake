@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_retention_value.dir/bench_table6_retention_value.cc.o"
+  "CMakeFiles/bench_table6_retention_value.dir/bench_table6_retention_value.cc.o.d"
+  "bench_table6_retention_value"
+  "bench_table6_retention_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_retention_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_imbalance.dir/bench_table7_imbalance.cc.o"
+  "CMakeFiles/bench_table7_imbalance.dir/bench_table7_imbalance.cc.o.d"
+  "bench_table7_imbalance"
+  "bench_table7_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

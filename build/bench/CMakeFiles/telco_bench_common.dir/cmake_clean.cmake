@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/telco_bench_common.dir/bench_common.cc.o.d"
+  "libtelco_bench_common.a"
+  "libtelco_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

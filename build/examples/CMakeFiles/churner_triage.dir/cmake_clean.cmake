@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churner_triage.dir/churner_triage.cpp.o"
+  "CMakeFiles/churner_triage.dir/churner_triage.cpp.o.d"
+  "churner_triage"
+  "churner_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churner_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for churner_triage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_engineering_tour.dir/feature_engineering_tour.cpp.o"
+  "CMakeFiles/feature_engineering_tour.dir/feature_engineering_tour.cpp.o.d"
+  "feature_engineering_tour"
+  "feature_engineering_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_engineering_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_quality_insight.dir/network_quality_insight.cpp.o"
+  "CMakeFiles/network_quality_insight.dir/network_quality_insight.cpp.o.d"
+  "network_quality_insight"
+  "network_quality_insight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_quality_insight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retention_campaign.dir/retention_campaign.cpp.o"
+  "CMakeFiles/retention_campaign.dir/retention_campaign.cpp.o.d"
+  "retention_campaign"
+  "retention_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retention_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

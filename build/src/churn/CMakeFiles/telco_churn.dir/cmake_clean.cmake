@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_churn.dir/campaign_simulator.cc.o"
+  "CMakeFiles/telco_churn.dir/campaign_simulator.cc.o.d"
+  "CMakeFiles/telco_churn.dir/churn_model.cc.o"
+  "CMakeFiles/telco_churn.dir/churn_model.cc.o.d"
+  "CMakeFiles/telco_churn.dir/pipeline.cc.o"
+  "CMakeFiles/telco_churn.dir/pipeline.cc.o.d"
+  "CMakeFiles/telco_churn.dir/retention.cc.o"
+  "CMakeFiles/telco_churn.dir/retention.cc.o.d"
+  "CMakeFiles/telco_churn.dir/root_cause.cc.o"
+  "CMakeFiles/telco_churn.dir/root_cause.cc.o.d"
+  "libtelco_churn.a"
+  "libtelco_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_common.dir/logging.cc.o"
+  "CMakeFiles/telco_common.dir/logging.cc.o.d"
+  "CMakeFiles/telco_common.dir/math_util.cc.o"
+  "CMakeFiles/telco_common.dir/math_util.cc.o.d"
+  "CMakeFiles/telco_common.dir/status.cc.o"
+  "CMakeFiles/telco_common.dir/status.cc.o.d"
+  "CMakeFiles/telco_common.dir/string_util.cc.o"
+  "CMakeFiles/telco_common.dir/string_util.cc.o.d"
+  "CMakeFiles/telco_common.dir/thread_pool.cc.o"
+  "CMakeFiles/telco_common.dir/thread_pool.cc.o.d"
+  "libtelco_common.a"
+  "libtelco_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/emitters.cc" "src/datagen/CMakeFiles/telco_datagen.dir/emitters.cc.o" "gcc" "src/datagen/CMakeFiles/telco_datagen.dir/emitters.cc.o.d"
+  "/root/repo/src/datagen/population.cc" "src/datagen/CMakeFiles/telco_datagen.dir/population.cc.o" "gcc" "src/datagen/CMakeFiles/telco_datagen.dir/population.cc.o.d"
+  "/root/repo/src/datagen/telco_simulator.cc" "src/datagen/CMakeFiles/telco_datagen.dir/telco_simulator.cc.o" "gcc" "src/datagen/CMakeFiles/telco_datagen.dir/telco_simulator.cc.o.d"
+  "/root/repo/src/datagen/text_gen.cc" "src/datagen/CMakeFiles/telco_datagen.dir/text_gen.cc.o" "gcc" "src/datagen/CMakeFiles/telco_datagen.dir/text_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/telco_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/telco_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/telco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

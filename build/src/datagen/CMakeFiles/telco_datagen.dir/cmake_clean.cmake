@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_datagen.dir/emitters.cc.o"
+  "CMakeFiles/telco_datagen.dir/emitters.cc.o.d"
+  "CMakeFiles/telco_datagen.dir/population.cc.o"
+  "CMakeFiles/telco_datagen.dir/population.cc.o.d"
+  "CMakeFiles/telco_datagen.dir/telco_simulator.cc.o"
+  "CMakeFiles/telco_datagen.dir/telco_simulator.cc.o.d"
+  "CMakeFiles/telco_datagen.dir/text_gen.cc.o"
+  "CMakeFiles/telco_datagen.dir/text_gen.cc.o.d"
+  "libtelco_datagen.a"
+  "libtelco_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/churn_labels.cc" "src/features/CMakeFiles/telco_features.dir/churn_labels.cc.o" "gcc" "src/features/CMakeFiles/telco_features.dir/churn_labels.cc.o.d"
+  "/root/repo/src/features/feature_families.cc" "src/features/CMakeFiles/telco_features.dir/feature_families.cc.o" "gcc" "src/features/CMakeFiles/telco_features.dir/feature_families.cc.o.d"
+  "/root/repo/src/features/graph_features.cc" "src/features/CMakeFiles/telco_features.dir/graph_features.cc.o" "gcc" "src/features/CMakeFiles/telco_features.dir/graph_features.cc.o.d"
+  "/root/repo/src/features/topic_features.cc" "src/features/CMakeFiles/telco_features.dir/topic_features.cc.o" "gcc" "src/features/CMakeFiles/telco_features.dir/topic_features.cc.o.d"
+  "/root/repo/src/features/wide_table.cc" "src/features/CMakeFiles/telco_features.dir/wide_table.cc.o" "gcc" "src/features/CMakeFiles/telco_features.dir/wide_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/telco_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/telco_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/telco_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/telco_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/telco_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/telco_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/telco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

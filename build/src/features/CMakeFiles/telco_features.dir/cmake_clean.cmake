@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_features.dir/churn_labels.cc.o"
+  "CMakeFiles/telco_features.dir/churn_labels.cc.o.d"
+  "CMakeFiles/telco_features.dir/feature_families.cc.o"
+  "CMakeFiles/telco_features.dir/feature_families.cc.o.d"
+  "CMakeFiles/telco_features.dir/graph_features.cc.o"
+  "CMakeFiles/telco_features.dir/graph_features.cc.o.d"
+  "CMakeFiles/telco_features.dir/topic_features.cc.o"
+  "CMakeFiles/telco_features.dir/topic_features.cc.o.d"
+  "CMakeFiles/telco_features.dir/wide_table.cc.o"
+  "CMakeFiles/telco_features.dir/wide_table.cc.o.d"
+  "libtelco_features.a"
+  "libtelco_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

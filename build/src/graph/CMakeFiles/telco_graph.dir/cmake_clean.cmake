@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_graph.dir/graph.cc.o"
+  "CMakeFiles/telco_graph.dir/graph.cc.o.d"
+  "CMakeFiles/telco_graph.dir/label_propagation.cc.o"
+  "CMakeFiles/telco_graph.dir/label_propagation.cc.o.d"
+  "CMakeFiles/telco_graph.dir/pagerank.cc.o"
+  "CMakeFiles/telco_graph.dir/pagerank.cc.o.d"
+  "libtelco_graph.a"
+  "libtelco_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

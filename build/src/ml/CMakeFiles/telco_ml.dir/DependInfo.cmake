@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/adaboost.cc" "src/ml/CMakeFiles/telco_ml.dir/adaboost.cc.o" "gcc" "src/ml/CMakeFiles/telco_ml.dir/adaboost.cc.o.d"
+  "/root/repo/src/ml/binning.cc" "src/ml/CMakeFiles/telco_ml.dir/binning.cc.o" "gcc" "src/ml/CMakeFiles/telco_ml.dir/binning.cc.o.d"
+  "/root/repo/src/ml/classifier.cc" "src/ml/CMakeFiles/telco_ml.dir/classifier.cc.o" "gcc" "src/ml/CMakeFiles/telco_ml.dir/classifier.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/telco_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/telco_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/telco_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/telco_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/drift.cc" "src/ml/CMakeFiles/telco_ml.dir/drift.cc.o" "gcc" "src/ml/CMakeFiles/telco_ml.dir/drift.cc.o.d"
+  "/root/repo/src/ml/fm.cc" "src/ml/CMakeFiles/telco_ml.dir/fm.cc.o" "gcc" "src/ml/CMakeFiles/telco_ml.dir/fm.cc.o.d"
+  "/root/repo/src/ml/gbdt.cc" "src/ml/CMakeFiles/telco_ml.dir/gbdt.cc.o" "gcc" "src/ml/CMakeFiles/telco_ml.dir/gbdt.cc.o.d"
+  "/root/repo/src/ml/imbalance.cc" "src/ml/CMakeFiles/telco_ml.dir/imbalance.cc.o" "gcc" "src/ml/CMakeFiles/telco_ml.dir/imbalance.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/ml/CMakeFiles/telco_ml.dir/linear.cc.o" "gcc" "src/ml/CMakeFiles/telco_ml.dir/linear.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/telco_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/telco_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/telco_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/telco_ml.dir/random_forest.cc.o.d"
+  "/root/repo/src/ml/serialize.cc" "src/ml/CMakeFiles/telco_ml.dir/serialize.cc.o" "gcc" "src/ml/CMakeFiles/telco_ml.dir/serialize.cc.o.d"
+  "/root/repo/src/ml/validation.cc" "src/ml/CMakeFiles/telco_ml.dir/validation.cc.o" "gcc" "src/ml/CMakeFiles/telco_ml.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/telco_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/telco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

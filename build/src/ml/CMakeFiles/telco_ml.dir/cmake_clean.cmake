@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_ml.dir/adaboost.cc.o"
+  "CMakeFiles/telco_ml.dir/adaboost.cc.o.d"
+  "CMakeFiles/telco_ml.dir/binning.cc.o"
+  "CMakeFiles/telco_ml.dir/binning.cc.o.d"
+  "CMakeFiles/telco_ml.dir/classifier.cc.o"
+  "CMakeFiles/telco_ml.dir/classifier.cc.o.d"
+  "CMakeFiles/telco_ml.dir/dataset.cc.o"
+  "CMakeFiles/telco_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/telco_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/telco_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/telco_ml.dir/drift.cc.o"
+  "CMakeFiles/telco_ml.dir/drift.cc.o.d"
+  "CMakeFiles/telco_ml.dir/fm.cc.o"
+  "CMakeFiles/telco_ml.dir/fm.cc.o.d"
+  "CMakeFiles/telco_ml.dir/gbdt.cc.o"
+  "CMakeFiles/telco_ml.dir/gbdt.cc.o.d"
+  "CMakeFiles/telco_ml.dir/imbalance.cc.o"
+  "CMakeFiles/telco_ml.dir/imbalance.cc.o.d"
+  "CMakeFiles/telco_ml.dir/linear.cc.o"
+  "CMakeFiles/telco_ml.dir/linear.cc.o.d"
+  "CMakeFiles/telco_ml.dir/metrics.cc.o"
+  "CMakeFiles/telco_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/telco_ml.dir/random_forest.cc.o"
+  "CMakeFiles/telco_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/telco_ml.dir/serialize.cc.o"
+  "CMakeFiles/telco_ml.dir/serialize.cc.o.d"
+  "CMakeFiles/telco_ml.dir/validation.cc.o"
+  "CMakeFiles/telco_ml.dir/validation.cc.o.d"
+  "libtelco_ml.a"
+  "libtelco_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_query.dir/expr.cc.o"
+  "CMakeFiles/telco_query.dir/expr.cc.o.d"
+  "CMakeFiles/telco_query.dir/operators.cc.o"
+  "CMakeFiles/telco_query.dir/operators.cc.o.d"
+  "CMakeFiles/telco_query.dir/query.cc.o"
+  "CMakeFiles/telco_query.dir/query.cc.o.d"
+  "libtelco_query.a"
+  "libtelco_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_storage.dir/catalog.cc.o"
+  "CMakeFiles/telco_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/telco_storage.dir/csv.cc.o"
+  "CMakeFiles/telco_storage.dir/csv.cc.o.d"
+  "CMakeFiles/telco_storage.dir/storage.cc.o"
+  "CMakeFiles/telco_storage.dir/storage.cc.o.d"
+  "CMakeFiles/telco_storage.dir/warehouse_io.cc.o"
+  "CMakeFiles/telco_storage.dir/warehouse_io.cc.o.d"
+  "libtelco_storage.a"
+  "libtelco_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_text.dir/lda.cc.o"
+  "CMakeFiles/telco_text.dir/lda.cc.o.d"
+  "CMakeFiles/telco_text.dir/vocabulary.cc.o"
+  "CMakeFiles/telco_text.dir/vocabulary.cc.o.d"
+  "libtelco_text.a"
+  "libtelco_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_churn_test.dir/churn/campaign_test.cc.o"
+  "CMakeFiles/telco_churn_test.dir/churn/campaign_test.cc.o.d"
+  "CMakeFiles/telco_churn_test.dir/churn/churn_model_test.cc.o"
+  "CMakeFiles/telco_churn_test.dir/churn/churn_model_test.cc.o.d"
+  "CMakeFiles/telco_churn_test.dir/churn/pipeline_test.cc.o"
+  "CMakeFiles/telco_churn_test.dir/churn/pipeline_test.cc.o.d"
+  "CMakeFiles/telco_churn_test.dir/churn/retention_test.cc.o"
+  "CMakeFiles/telco_churn_test.dir/churn/retention_test.cc.o.d"
+  "CMakeFiles/telco_churn_test.dir/churn/root_cause_test.cc.o"
+  "CMakeFiles/telco_churn_test.dir/churn/root_cause_test.cc.o.d"
+  "telco_churn_test"
+  "telco_churn_test.pdb"
+  "telco_churn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_churn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_common_test.dir/common/math_util_test.cc.o"
+  "CMakeFiles/telco_common_test.dir/common/math_util_test.cc.o.d"
+  "CMakeFiles/telco_common_test.dir/common/result_test.cc.o"
+  "CMakeFiles/telco_common_test.dir/common/result_test.cc.o.d"
+  "CMakeFiles/telco_common_test.dir/common/rng_test.cc.o"
+  "CMakeFiles/telco_common_test.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/telco_common_test.dir/common/status_test.cc.o"
+  "CMakeFiles/telco_common_test.dir/common/status_test.cc.o.d"
+  "CMakeFiles/telco_common_test.dir/common/string_util_test.cc.o"
+  "CMakeFiles/telco_common_test.dir/common/string_util_test.cc.o.d"
+  "CMakeFiles/telco_common_test.dir/common/thread_pool_test.cc.o"
+  "CMakeFiles/telco_common_test.dir/common/thread_pool_test.cc.o.d"
+  "telco_common_test"
+  "telco_common_test.pdb"
+  "telco_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

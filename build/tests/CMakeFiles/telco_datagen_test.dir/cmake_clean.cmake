@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_datagen_test.dir/datagen/emitters_test.cc.o"
+  "CMakeFiles/telco_datagen_test.dir/datagen/emitters_test.cc.o.d"
+  "CMakeFiles/telco_datagen_test.dir/datagen/population_test.cc.o"
+  "CMakeFiles/telco_datagen_test.dir/datagen/population_test.cc.o.d"
+  "CMakeFiles/telco_datagen_test.dir/datagen/simulator_test.cc.o"
+  "CMakeFiles/telco_datagen_test.dir/datagen/simulator_test.cc.o.d"
+  "CMakeFiles/telco_datagen_test.dir/datagen/text_gen_test.cc.o"
+  "CMakeFiles/telco_datagen_test.dir/datagen/text_gen_test.cc.o.d"
+  "telco_datagen_test"
+  "telco_datagen_test.pdb"
+  "telco_datagen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_datagen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

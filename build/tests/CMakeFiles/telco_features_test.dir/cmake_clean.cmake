@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_features_test.dir/features/churn_labels_test.cc.o"
+  "CMakeFiles/telco_features_test.dir/features/churn_labels_test.cc.o.d"
+  "CMakeFiles/telco_features_test.dir/features/graph_features_test.cc.o"
+  "CMakeFiles/telco_features_test.dir/features/graph_features_test.cc.o.d"
+  "CMakeFiles/telco_features_test.dir/features/topic_features_test.cc.o"
+  "CMakeFiles/telco_features_test.dir/features/topic_features_test.cc.o.d"
+  "CMakeFiles/telco_features_test.dir/features/wide_table_test.cc.o"
+  "CMakeFiles/telco_features_test.dir/features/wide_table_test.cc.o.d"
+  "telco_features_test"
+  "telco_features_test.pdb"
+  "telco_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

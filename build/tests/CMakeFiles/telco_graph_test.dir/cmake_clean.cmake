@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_graph_test.dir/graph/graph_test.cc.o"
+  "CMakeFiles/telco_graph_test.dir/graph/graph_test.cc.o.d"
+  "CMakeFiles/telco_graph_test.dir/graph/label_propagation_test.cc.o"
+  "CMakeFiles/telco_graph_test.dir/graph/label_propagation_test.cc.o.d"
+  "CMakeFiles/telco_graph_test.dir/graph/pagerank_test.cc.o"
+  "CMakeFiles/telco_graph_test.dir/graph/pagerank_test.cc.o.d"
+  "telco_graph_test"
+  "telco_graph_test.pdb"
+  "telco_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_integration_test.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/telco_integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "telco_integration_test"
+  "telco_integration_test.pdb"
+  "telco_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

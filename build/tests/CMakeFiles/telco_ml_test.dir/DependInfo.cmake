@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/adaboost_test.cc" "tests/CMakeFiles/telco_ml_test.dir/ml/adaboost_test.cc.o" "gcc" "tests/CMakeFiles/telco_ml_test.dir/ml/adaboost_test.cc.o.d"
+  "/root/repo/tests/ml/binning_test.cc" "tests/CMakeFiles/telco_ml_test.dir/ml/binning_test.cc.o" "gcc" "tests/CMakeFiles/telco_ml_test.dir/ml/binning_test.cc.o.d"
+  "/root/repo/tests/ml/dataset_test.cc" "tests/CMakeFiles/telco_ml_test.dir/ml/dataset_test.cc.o" "gcc" "tests/CMakeFiles/telco_ml_test.dir/ml/dataset_test.cc.o.d"
+  "/root/repo/tests/ml/decision_tree_test.cc" "tests/CMakeFiles/telco_ml_test.dir/ml/decision_tree_test.cc.o" "gcc" "tests/CMakeFiles/telco_ml_test.dir/ml/decision_tree_test.cc.o.d"
+  "/root/repo/tests/ml/drift_test.cc" "tests/CMakeFiles/telco_ml_test.dir/ml/drift_test.cc.o" "gcc" "tests/CMakeFiles/telco_ml_test.dir/ml/drift_test.cc.o.d"
+  "/root/repo/tests/ml/fm_test.cc" "tests/CMakeFiles/telco_ml_test.dir/ml/fm_test.cc.o" "gcc" "tests/CMakeFiles/telco_ml_test.dir/ml/fm_test.cc.o.d"
+  "/root/repo/tests/ml/gbdt_test.cc" "tests/CMakeFiles/telco_ml_test.dir/ml/gbdt_test.cc.o" "gcc" "tests/CMakeFiles/telco_ml_test.dir/ml/gbdt_test.cc.o.d"
+  "/root/repo/tests/ml/imbalance_test.cc" "tests/CMakeFiles/telco_ml_test.dir/ml/imbalance_test.cc.o" "gcc" "tests/CMakeFiles/telco_ml_test.dir/ml/imbalance_test.cc.o.d"
+  "/root/repo/tests/ml/linear_test.cc" "tests/CMakeFiles/telco_ml_test.dir/ml/linear_test.cc.o" "gcc" "tests/CMakeFiles/telco_ml_test.dir/ml/linear_test.cc.o.d"
+  "/root/repo/tests/ml/metrics_test.cc" "tests/CMakeFiles/telco_ml_test.dir/ml/metrics_test.cc.o" "gcc" "tests/CMakeFiles/telco_ml_test.dir/ml/metrics_test.cc.o.d"
+  "/root/repo/tests/ml/random_forest_test.cc" "tests/CMakeFiles/telco_ml_test.dir/ml/random_forest_test.cc.o" "gcc" "tests/CMakeFiles/telco_ml_test.dir/ml/random_forest_test.cc.o.d"
+  "/root/repo/tests/ml/serialize_test.cc" "tests/CMakeFiles/telco_ml_test.dir/ml/serialize_test.cc.o" "gcc" "tests/CMakeFiles/telco_ml_test.dir/ml/serialize_test.cc.o.d"
+  "/root/repo/tests/ml/validation_test.cc" "tests/CMakeFiles/telco_ml_test.dir/ml/validation_test.cc.o" "gcc" "tests/CMakeFiles/telco_ml_test.dir/ml/validation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/churn/CMakeFiles/telco_churn.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/telco_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/telco_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/telco_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/telco_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/telco_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/telco_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/telco_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/telco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

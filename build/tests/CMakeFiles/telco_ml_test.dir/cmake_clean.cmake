@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_ml_test.dir/ml/adaboost_test.cc.o"
+  "CMakeFiles/telco_ml_test.dir/ml/adaboost_test.cc.o.d"
+  "CMakeFiles/telco_ml_test.dir/ml/binning_test.cc.o"
+  "CMakeFiles/telco_ml_test.dir/ml/binning_test.cc.o.d"
+  "CMakeFiles/telco_ml_test.dir/ml/dataset_test.cc.o"
+  "CMakeFiles/telco_ml_test.dir/ml/dataset_test.cc.o.d"
+  "CMakeFiles/telco_ml_test.dir/ml/decision_tree_test.cc.o"
+  "CMakeFiles/telco_ml_test.dir/ml/decision_tree_test.cc.o.d"
+  "CMakeFiles/telco_ml_test.dir/ml/drift_test.cc.o"
+  "CMakeFiles/telco_ml_test.dir/ml/drift_test.cc.o.d"
+  "CMakeFiles/telco_ml_test.dir/ml/fm_test.cc.o"
+  "CMakeFiles/telco_ml_test.dir/ml/fm_test.cc.o.d"
+  "CMakeFiles/telco_ml_test.dir/ml/gbdt_test.cc.o"
+  "CMakeFiles/telco_ml_test.dir/ml/gbdt_test.cc.o.d"
+  "CMakeFiles/telco_ml_test.dir/ml/imbalance_test.cc.o"
+  "CMakeFiles/telco_ml_test.dir/ml/imbalance_test.cc.o.d"
+  "CMakeFiles/telco_ml_test.dir/ml/linear_test.cc.o"
+  "CMakeFiles/telco_ml_test.dir/ml/linear_test.cc.o.d"
+  "CMakeFiles/telco_ml_test.dir/ml/metrics_test.cc.o"
+  "CMakeFiles/telco_ml_test.dir/ml/metrics_test.cc.o.d"
+  "CMakeFiles/telco_ml_test.dir/ml/random_forest_test.cc.o"
+  "CMakeFiles/telco_ml_test.dir/ml/random_forest_test.cc.o.d"
+  "CMakeFiles/telco_ml_test.dir/ml/serialize_test.cc.o"
+  "CMakeFiles/telco_ml_test.dir/ml/serialize_test.cc.o.d"
+  "CMakeFiles/telco_ml_test.dir/ml/validation_test.cc.o"
+  "CMakeFiles/telco_ml_test.dir/ml/validation_test.cc.o.d"
+  "telco_ml_test"
+  "telco_ml_test.pdb"
+  "telco_ml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_query_test.dir/query/aggregate_test.cc.o"
+  "CMakeFiles/telco_query_test.dir/query/aggregate_test.cc.o.d"
+  "CMakeFiles/telco_query_test.dir/query/expr_test.cc.o"
+  "CMakeFiles/telco_query_test.dir/query/expr_test.cc.o.d"
+  "CMakeFiles/telco_query_test.dir/query/filter_project_test.cc.o"
+  "CMakeFiles/telco_query_test.dir/query/filter_project_test.cc.o.d"
+  "CMakeFiles/telco_query_test.dir/query/join_test.cc.o"
+  "CMakeFiles/telco_query_test.dir/query/join_test.cc.o.d"
+  "CMakeFiles/telco_query_test.dir/query/property_test.cc.o"
+  "CMakeFiles/telco_query_test.dir/query/property_test.cc.o.d"
+  "CMakeFiles/telco_query_test.dir/query/query_test.cc.o"
+  "CMakeFiles/telco_query_test.dir/query/query_test.cc.o.d"
+  "CMakeFiles/telco_query_test.dir/query/sort_limit_union_test.cc.o"
+  "CMakeFiles/telco_query_test.dir/query/sort_limit_union_test.cc.o.d"
+  "telco_query_test"
+  "telco_query_test.pdb"
+  "telco_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_storage_test.dir/storage/catalog_test.cc.o"
+  "CMakeFiles/telco_storage_test.dir/storage/catalog_test.cc.o.d"
+  "CMakeFiles/telco_storage_test.dir/storage/column_test.cc.o"
+  "CMakeFiles/telco_storage_test.dir/storage/column_test.cc.o.d"
+  "CMakeFiles/telco_storage_test.dir/storage/csv_test.cc.o"
+  "CMakeFiles/telco_storage_test.dir/storage/csv_test.cc.o.d"
+  "CMakeFiles/telco_storage_test.dir/storage/schema_test.cc.o"
+  "CMakeFiles/telco_storage_test.dir/storage/schema_test.cc.o.d"
+  "CMakeFiles/telco_storage_test.dir/storage/table_test.cc.o"
+  "CMakeFiles/telco_storage_test.dir/storage/table_test.cc.o.d"
+  "CMakeFiles/telco_storage_test.dir/storage/value_test.cc.o"
+  "CMakeFiles/telco_storage_test.dir/storage/value_test.cc.o.d"
+  "CMakeFiles/telco_storage_test.dir/storage/warehouse_io_test.cc.o"
+  "CMakeFiles/telco_storage_test.dir/storage/warehouse_io_test.cc.o.d"
+  "telco_storage_test"
+  "telco_storage_test.pdb"
+  "telco_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_text_test.dir/text/lda_test.cc.o"
+  "CMakeFiles/telco_text_test.dir/text/lda_test.cc.o.d"
+  "CMakeFiles/telco_text_test.dir/text/vocabulary_test.cc.o"
+  "CMakeFiles/telco_text_test.dir/text/vocabulary_test.cc.o.d"
+  "telco_text_test"
+  "telco_text_test.pdb"
+  "telco_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/telco_common_test[1]_include.cmake")
+include("/root/repo/build/tests/telco_storage_test[1]_include.cmake")
+include("/root/repo/build/tests/telco_query_test[1]_include.cmake")
+include("/root/repo/build/tests/telco_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/telco_text_test[1]_include.cmake")
+include("/root/repo/build/tests/telco_ml_test[1]_include.cmake")
+include("/root/repo/build/tests/telco_datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/telco_features_test[1]_include.cmake")
+include("/root/repo/build/tests/telco_churn_test[1]_include.cmake")
+include("/root/repo/build/tests/telco_integration_test[1]_include.cmake")
+add_test(cli_smoke "/root/repo/tests/tools/cli_smoke_test.sh" "/root/repo/build/tools/telcochurn")
+set_tests_properties(cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;86;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telcochurn.dir/telcochurn_cli.cc.o"
+  "CMakeFiles/telcochurn.dir/telcochurn_cli.cc.o.d"
+  "telcochurn"
+  "telcochurn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telcochurn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

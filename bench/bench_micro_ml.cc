@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "graph/label_propagation.h"
 #include "graph/pagerank.h"
 #include "ml/gbdt.h"
@@ -63,6 +64,41 @@ void BM_RandomForestPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_RandomForestPredict);
 
+// Batch scoring across a pool; Arg = worker threads (results are
+// bit-identical for every arg — this measures wall-clock only).
+void BM_RandomForestPredictBatch(benchmark::State& state) {
+  const Dataset data = SyntheticData(5000, 50, 2);
+  RandomForestOptions options;
+  options.num_trees = 50;
+  options.min_samples_split = 50;
+  RandomForest forest(options);
+  benchmark::DoNotOptimize(forest.Fit(data));
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.PredictProbaBatch(data, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_rows());
+}
+BENCHMARK(BM_RandomForestPredictBatch)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Tree fitting across a pool; Arg = worker threads.
+void BM_RandomForestFitParallel(benchmark::State& state) {
+  const Dataset data = SyntheticData(5000, 50, 1);
+  RandomForestOptions options;
+  options.num_trees = 50;
+  options.min_samples_split = 50;
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  options.pool = &pool;
+  for (auto _ : state) {
+    RandomForest forest(options);
+    benchmark::DoNotOptimize(forest.Fit(data));
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_rows());
+}
+BENCHMARK(BM_RandomForestFitParallel)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GbdtFit(benchmark::State& state) {
   const Dataset data = SyntheticData(
       static_cast<size_t>(state.range(0)), 50, 3);
@@ -100,6 +136,20 @@ void BM_PageRank(benchmark::State& state) {
 }
 BENCHMARK(BM_PageRank)->Arg(10000)->Arg(50000)
     ->Unit(benchmark::kMillisecond);
+
+// Chunked PageRank sweeps; Args = {vertices, worker threads}.
+void BM_PageRankParallel(benchmark::State& state) {
+  const Graph g = RandomGraph(static_cast<size_t>(state.range(0)), 8.0, 4);
+  ThreadPool pool(static_cast<size_t>(state.range(1)));
+  PageRankOptions options;
+  options.pool = &pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PageRank(g, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PageRankParallel)->Args({50000, 1})->Args({50000, 2})
+    ->Args({50000, 4})->Unit(benchmark::kMillisecond);
 
 void BM_LabelPropagation(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

@@ -43,6 +43,11 @@ int main() {
                 avg->auc, avg->pr_auc, avg->recall_at_u,
                 avg->precision_at_u,
                 100.0 * (avg->pr_auc - base_pr) / base_pr);
+    // Stage breakdown of the last prediction month (threads from
+    // TELCO_THREADS), showing where the velocity budget goes.
+    std::printf("# %s stage timings (%zu threads):\n%s\n", row.label,
+                pipeline.pool()->num_threads(),
+                pipeline.timings().ToString().c_str());
   }
   std::printf("# paper Table 5: 0.000%% / 0.345%% / 0.576%% / 0.692%% — "
               "small, monotone gains from fresher data\n");

@@ -1,6 +1,7 @@
 #include "churn/churn_model.h"
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace telco {
 
@@ -43,6 +44,7 @@ Status ChurnModel::Train(const Dataset& labeled) {
   switch (options_.kind) {
     case ClassifierKind::kRandomForest: {
       RandomForestOptions rf = options_.rf;
+      rf.pool = options_.pool;
       rf.seed = HashCombine64(options_.seed, 1);
       classifier_ = std::make_unique<RandomForest>(rf);
       break;
@@ -87,20 +89,26 @@ double ChurnModel::Score(std::span<const double> row) const {
 }
 
 std::vector<double> ChurnModel::ScoreAll(const Dataset& data) const {
-  std::vector<double> out;
-  out.reserve(data.num_rows());
-  for (size_t i = 0; i < data.num_rows(); ++i) {
-    out.push_back(Score(data.Row(i)));
-  }
+  TELCO_CHECK(classifier_ != nullptr) << "Score before Train";
+  // Rows are scored independently (one whole row per task), so batch
+  // scores are bit-identical to the serial Score loop.
+  ThreadPool* pool =
+      options_.pool != nullptr ? options_.pool : &ThreadPool::Default();
+  if (!encoder_) return classifier_->PredictProbaBatch(data, pool);
+  std::vector<double> out(data.num_rows());
+  pool->ParallelFor(0, data.num_rows(), [&](size_t i) {
+    out[i] = classifier_->PredictProba(encoder_->TransformRow(data.Row(i)));
+  });
   return out;
 }
 
 std::vector<ScoredInstance> ChurnModel::ScoreLabeled(
     const Dataset& data) const {
+  const std::vector<double> scores = ScoreAll(data);
   std::vector<ScoredInstance> out;
   out.reserve(data.num_rows());
   for (size_t i = 0; i < data.num_rows(); ++i) {
-    out.push_back(ScoredInstance{Score(data.Row(i)), data.label(i) == 1});
+    out.push_back(ScoredInstance{scores[i], data.label(i) == 1});
   }
   return out;
 }

@@ -23,6 +23,8 @@
 
 namespace telco {
 
+class ThreadPool;
+
 /// The classifier families compared in Figure 9, plus AdaBoost (the
 /// boosting family of the paper's related work) as an extra comparator.
 enum class ClassifierKind : int {
@@ -46,6 +48,9 @@ struct ChurnModelOptions {
   /// Quantile bins for the linear models' one-hot preprocessing.
   int onehot_bins = 16;
   uint64_t seed = 31;
+  /// Pool for tree training and batch scoring (null = the process-wide
+  /// default pool). Scores are bit-identical for any thread count.
+  ThreadPool* pool = nullptr;
 
   ChurnModelOptions() {
     // Bench-scale defaults (the paper's production values, 500 trees,

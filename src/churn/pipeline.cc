@@ -22,6 +22,15 @@ ChurnPipeline::ChurnPipeline(Catalog* catalog, PipelineOptions options,
                              WideTableBuilder* shared_builder)
     : catalog_(catalog), options_(std::move(options)) {
   TELCO_CHECK(catalog_ != nullptr);
+  if (options_.num_threads > 0) {
+    owned_pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(options_.num_threads));
+    pool_ = owned_pool_.get();
+  } else {
+    pool_ = &ThreadPool::Default();
+  }
+  if (options_.wide.pool == nullptr) options_.wide.pool = pool_;
+  if (options_.model.pool == nullptr) options_.model.pool = pool_;
   if (shared_builder != nullptr) {
     wide_builder_ = shared_builder;
   } else {
@@ -70,35 +79,52 @@ Result<ChurnPrediction> ChurnPipeline::TrainAndPredict(int predict_month) {
         predict_month, first_train_label, last_train_label, gap));
   }
 
+  timings_.Clear();
+
   // Accumulate the training window.
   Dataset train({});
-  bool first = true;
-  for (int label_month = first_train_label; label_month <= last_train_label;
-       ++label_month) {
-    TELCO_ASSIGN_OR_RETURN(
-        Dataset month_data,
-        BuildMonthDataset(label_month - gap, label_month));
-    if (first) {
-      train = std::move(month_data);
-      first = false;
-    } else {
-      TELCO_RETURN_NOT_OK(train.Append(month_data));
+  {
+    ScopedStageTimer timer(&timings_, "features_train");
+    bool first = true;
+    for (int label_month = first_train_label; label_month <= last_train_label;
+         ++label_month) {
+      TELCO_ASSIGN_OR_RETURN(
+          Dataset month_data,
+          BuildMonthDataset(label_month - gap, label_month));
+      if (first) {
+        train = std::move(month_data);
+        first = false;
+      } else {
+        TELCO_RETURN_NOT_OK(train.Append(month_data));
+      }
     }
   }
 
   model_ = std::make_unique<ChurnModel>(options_.model);
-  TELCO_RETURN_NOT_OK(model_->Train(train));
+  {
+    ScopedStageTimer timer(&timings_, "train");
+    TELCO_RETURN_NOT_OK(model_->Train(train));
+  }
 
   // Score the prediction month (features observed `gap` months early).
-  TELCO_ASSIGN_OR_RETURN(const Dataset test,
-                         BuildMonthDataset(predict_month - gap,
-                                           predict_month));
+  Dataset test({});
+  {
+    ScopedStageTimer timer(&timings_, "features_test");
+    TELCO_ASSIGN_OR_RETURN(test, BuildMonthDataset(predict_month - gap,
+                                                   predict_month));
+  }
   TELCO_ASSIGN_OR_RETURN(const WideTable wide,
                          wide_builder_->Build(predict_month - gap));
   TELCO_ASSIGN_OR_RETURN(const auto labels,
                          LoadChurnLabels(*catalog_, predict_month));
   TELCO_ASSIGN_OR_RETURN(const Column* imsi_col,
                          wide.table->GetColumn("imsi"));
+
+  std::vector<double> scores;
+  {
+    ScopedStageTimer timer(&timings_, "score");
+    scores = model_->ScoreAll(test);
+  }
 
   ChurnPrediction prediction;
   prediction.imsis.reserve(test.num_rows());
@@ -112,7 +138,7 @@ Result<ChurnPrediction> ChurnPipeline::TrainAndPredict(int predict_month) {
     const auto it = labels.find(imsi);
     if (it == labels.end()) continue;
     prediction.imsis.push_back(imsi);
-    prediction.scores.push_back(model_->Score(test.Row(test_row)));
+    prediction.scores.push_back(scores[test_row]);
     prediction.labels.push_back(it->second);
     ++test_row;
   }

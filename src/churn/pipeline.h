@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "churn/churn_model.h"
+#include "common/stage_timer.h"
+#include "common/thread_pool.h"
 #include "features/wide_table.h"
 #include "ml/metrics.h"
 #include "storage/catalog.h"
@@ -35,6 +37,12 @@ struct PipelineOptions {
   /// Extra months between observed features and predicted labels
   /// (0 = the deployed setting; Fig 8 sweeps 1..3 extra months).
   int early_months = 0;
+  /// Worker threads for the parallel stages (wide-table family fan-out,
+  /// tree training, batch scoring). 0 = share the process-wide default
+  /// pool (TELCO_THREADS or hardware concurrency); > 0 = the pipeline
+  /// owns a dedicated pool of that size. Results are bit-identical for
+  /// any setting.
+  int num_threads = 0;
 };
 
 /// \brief The ranked churner list the deployed system hands to campaigns.
@@ -79,14 +87,24 @@ class ChurnPipeline {
   /// The wide-table builder (shared caches across experiments).
   WideTableBuilder& wide_builder() { return *wide_builder_; }
 
+  /// Wall-clock per stage of the most recent TrainAndPredict call
+  /// (surfaced by `telcochurn evaluate --timings`).
+  const StageTimings& timings() const { return timings_; }
+
+  /// The pool the pipeline's parallel stages run on.
+  ThreadPool* pool() const { return pool_; }
+
   const PipelineOptions& options() const { return options_; }
 
  private:
   Catalog* catalog_;
   PipelineOptions options_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;
   std::unique_ptr<WideTableBuilder> owned_builder_;
   WideTableBuilder* wide_builder_;
   std::unique_ptr<ChurnModel> model_;
+  StageTimings timings_;
 };
 
 }  // namespace telco

@@ -1,0 +1,78 @@
+// Lightweight named stage timings: pipeline stages accumulate wall-clock
+// seconds under a name, and the collected report is printed by
+// `telcochurn evaluate --timings` and the bench harnesses.
+
+#ifndef TELCO_COMMON_STAGE_TIMER_H_
+#define TELCO_COMMON_STAGE_TIMER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace telco {
+
+/// \brief Accumulates wall-clock seconds per named stage, preserving
+/// first-seen order.
+class StageTimings {
+ public:
+  /// Adds `seconds` to the named stage (created on first use).
+  void Add(const std::string& name, double seconds) {
+    for (auto& [n, s] : entries_) {
+      if (n == name) {
+        s += seconds;
+        return;
+      }
+    }
+    entries_.emplace_back(name, seconds);
+  }
+
+  /// (stage, seconds) pairs in first-seen order.
+  const std::vector<std::pair<std::string, double>>& entries() const {
+    return entries_;
+  }
+
+  double Total() const {
+    double total = 0.0;
+    for (const auto& [_, s] : entries_) total += s;
+    return total;
+  }
+
+  void Clear() { entries_.clear(); }
+
+  /// One line per stage: "  <name>  <seconds> s", plus a total.
+  std::string ToString() const {
+    std::string out;
+    for (const auto& [name, seconds] : entries_) {
+      out += StrFormat("  %-14s %9.3f s\n", name.c_str(), seconds);
+    }
+    out += StrFormat("  %-14s %9.3f s", "total", Total());
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+/// \brief Adds the elapsed scope time to a stage on destruction.
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(StageTimings* timings, std::string name)
+      : timings_(timings), name_(std::move(name)) {}
+  ~ScopedStageTimer() {
+    if (timings_ != nullptr) timings_->Add(name_, watch_.ElapsedSeconds());
+  }
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  StageTimings* timings_;
+  std::string name_;
+  Stopwatch watch_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_COMMON_STAGE_TIMER_H_

@@ -1,13 +1,39 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace telco {
 
-ThreadPool::ThreadPool(size_t num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
+namespace {
+
+// The pool whose WorkerLoop is running on this thread, if any. Lets
+// ParallelFor detect nested use (a worker waiting on the queue it is
+// supposed to drain would deadlock a fixed-size pool).
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+// Shared completion state of one ParallelForChunks call.
+struct ChunkWait {
+  std::mutex mutex;
+  std::condition_variable done;
+  size_t pending = 0;
+  std::exception_ptr error;
+  size_t error_chunk = 0;
+};
+
+}  // namespace
+
+size_t ThreadPool::DefaultNumThreads() {
+  if (const char* env = std::getenv("TELCO_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
   }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultNumThreads();
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -23,7 +49,10 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::InWorkerThread() const { return tls_worker_pool == this; }
+
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   while (true) {
     std::function<void()> task;
     {
@@ -37,29 +66,95 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(size_t begin, size_t end,
-                             const std::function<void(size_t)>& fn) {
+void ThreadPool::ParallelForChunks(size_t begin, size_t end,
+                                   size_t num_chunks, const ChunkFn& fn) {
   if (begin >= end) return;
   const size_t n = end - begin;
-  const size_t num_chunks =
-      std::min<size_t>(n, std::max<size_t>(1, num_threads() * 4));
-  const size_t chunk = (n + num_chunks - 1) / num_chunks;
-  std::vector<std::future<void>> futures;
-  futures.reserve(num_chunks);
-  for (size_t c = 0; c < num_chunks; ++c) {
-    const size_t lo = begin + c * chunk;
-    if (lo >= end) break;
-    const size_t hi = std::min(end, lo + chunk);
-    futures.push_back(Submit([lo, hi, &fn] {
-      for (size_t i = lo; i < hi; ++i) fn(i);
-    }));
+  if (num_chunks == 0) {
+    num_chunks = std::min<size_t>(n, std::max<size_t>(1, num_threads() * 4));
   }
-  for (auto& f : futures) f.get();
+  num_chunks = std::min(num_chunks, n);
+  const size_t chunk_size = (n + num_chunks - 1) / num_chunks;
+  const size_t chunks = (n + chunk_size - 1) / chunk_size;
+
+  // Inline execution: nothing to fan out, a single worker (queueing would
+  // only add latency), or a nested call from one of this pool's own
+  // workers (queueing would deadlock). Chunks run in order, so the first
+  // exception propagates naturally.
+  if (chunks == 1 || num_threads() == 1 || InWorkerThread()) {
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t lo = begin + c * chunk_size;
+      fn(c, lo, std::min(end, lo + chunk_size));
+    }
+    return;
+  }
+
+  ChunkWait wait;
+  wait.pending = chunks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t lo = begin + c * chunk_size;
+      const size_t hi = std::min(end, lo + chunk_size);
+      tasks_.emplace([&wait, &fn, c, lo, hi] {
+        try {
+          fn(c, lo, hi);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(wait.mutex);
+          // Keep the lowest-index chunk's exception so the error a caller
+          // sees does not depend on scheduling.
+          if (!wait.error || c < wait.error_chunk) {
+            wait.error = std::current_exception();
+            wait.error_chunk = c;
+          }
+        }
+        std::lock_guard<std::mutex> lk(wait.mutex);
+        if (--wait.pending == 0) wait.done.notify_all();
+      });
+    }
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lk(wait.mutex);
+  wait.done.wait(lk, [&wait] { return wait.pending == 0; });
+  if (wait.error) std::rethrow_exception(wait.error);
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  ParallelForChunks(begin, end, 0, [&fn](size_t, size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) fn(i);
+  });
 }
 
 ThreadPool& ThreadPool::Default() {
   static ThreadPool pool;
   return pool;
+}
+
+void RunParallelChunks(ThreadPool* pool, size_t begin, size_t end,
+                       size_t num_chunks, const ThreadPool::ChunkFn& fn) {
+  if (begin >= end) return;
+  if (pool != nullptr) {
+    pool->ParallelForChunks(begin, end, num_chunks, fn);
+    return;
+  }
+  const size_t n = end - begin;
+  if (num_chunks == 0) num_chunks = 1;
+  num_chunks = std::min(num_chunks, n);
+  const size_t chunk_size = (n + num_chunks - 1) / num_chunks;
+  const size_t chunks = (n + chunk_size - 1) / chunk_size;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t lo = begin + c * chunk_size;
+    fn(c, lo, std::min(end, lo + chunk_size));
+  }
+}
+
+void RunParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                    const std::function<void(size_t)>& fn) {
+  RunParallelChunks(pool, begin, end, pool == nullptr ? 1 : 0,
+                    [&fn](size_t, size_t lo, size_t hi) {
+                      for (size_t i = lo; i < hi; ++i) fn(i);
+                    });
 }
 
 }  // namespace telco

@@ -1,6 +1,19 @@
-// Fixed-size thread pool with a ParallelFor convenience, used to
-// parallelise embarrassingly-parallel stages (random-forest tree fitting,
-// PageRank sweeps, simulator months).
+// Fixed-size thread pool with ParallelFor/ParallelForChunks convenience
+// wrappers, used to parallelise embarrassingly-parallel stages
+// (random-forest tree fitting and batch scoring, wide-table family
+// builds, PageRank sweeps, LDA finalisation, warehouse CSV loading).
+//
+// Concurrency contract:
+//  - ParallelFor called from inside a pool worker runs inline on the
+//    calling thread (a fixed pool with a blocking wait would otherwise
+//    deadlock on nested use).
+//  - The first exception thrown by an iteration (lowest chunk index wins)
+//    is rethrown on the calling thread after all chunks finish.
+//  - Chunk grids derived from an explicit `num_chunks` are independent of
+//    the pool size, so per-chunk reductions combined in chunk order are
+//    bit-identical across thread counts (see RunParallelChunks).
+//  - The TELCO_THREADS environment variable overrides the size of the
+//    process-wide Default() pool (and any pool constructed with 0).
 
 #ifndef TELCO_COMMON_THREAD_POOL_H_
 #define TELCO_COMMON_THREAD_POOL_H_
@@ -19,7 +32,11 @@ namespace telco {
 /// \brief A fixed pool of worker threads executing queued tasks FIFO.
 class ThreadPool {
  public:
-  /// Starts `num_threads` workers (default: hardware concurrency, min 1).
+  /// Body of one contiguous chunk: fn(chunk_index, lo, hi) covers [lo, hi).
+  using ChunkFn = std::function<void(size_t, size_t, size_t)>;
+
+  /// Starts `num_threads` workers (default: TELCO_THREADS if set, else
+  /// hardware concurrency, min 1).
   explicit ThreadPool(size_t num_threads = 0);
 
   /// Drains outstanding tasks then joins all workers.
@@ -30,6 +47,9 @@ class ThreadPool {
 
   /// Number of worker threads.
   size_t num_threads() const { return workers_.size(); }
+
+  /// True iff the calling thread is one of this pool's workers.
+  bool InWorkerThread() const;
 
   /// Enqueues a task; the future resolves when it completes.
   template <typename F>
@@ -47,11 +67,25 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [begin, end) across the pool and blocks until all
   /// iterations finish. Iterations are chunked to limit queueing overhead.
+  /// Safe to call from a pool worker (runs inline); rethrows the first
+  /// iteration exception.
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t)>& fn);
 
-  /// Process-wide default pool.
+  /// Runs fn(chunk, lo, hi) over a grid of at most `num_chunks` contiguous
+  /// chunks covering [begin, end). Pass an explicit num_chunks derived
+  /// from the problem size (not the pool size) when the chunks feed a
+  /// reduction that must be bit-identical across thread counts;
+  /// num_chunks == 0 picks a grid from the pool size.
+  void ParallelForChunks(size_t begin, size_t end, size_t num_chunks,
+                         const ChunkFn& fn);
+
+  /// Process-wide default pool (sized by TELCO_THREADS when set).
   static ThreadPool& Default();
+
+  /// Threads a default-constructed pool starts: TELCO_THREADS if set to a
+  /// positive integer, else hardware concurrency (min 1).
+  static size_t DefaultNumThreads();
 
  private:
   void WorkerLoop();
@@ -62,6 +96,17 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stop_ = false;
 };
+
+/// \brief Pool-optional chunked parallel loop: runs fn(chunk, lo, hi) over
+/// the same chunk grid whether `pool` is null (inline, in chunk order) or
+/// not, so per-chunk reductions combined in chunk order give bit-identical
+/// results serially and in parallel.
+void RunParallelChunks(ThreadPool* pool, size_t begin, size_t end,
+                       size_t num_chunks, const ThreadPool::ChunkFn& fn);
+
+/// \brief Pool-optional element-wise parallel loop over [begin, end).
+void RunParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                    const std::function<void(size_t)>& fn);
 
 }  // namespace telco
 

@@ -44,7 +44,8 @@ namespace {
 // imsi's propagated churn probability.
 Result<std::unordered_map<int64_t, double>> PropagateChurn(
     const Table& previous_edges, const std::vector<int64_t>& prev_universe,
-    const std::unordered_map<int64_t, int>& previous_labels, uint64_t seed) {
+    const std::unordered_map<int64_t, int>& previous_labels, uint64_t seed,
+    ThreadPool* pool) {
   TELCO_ASSIGN_OR_RETURN(const CustomerGraph graph,
                          BuildCustomerGraph(previous_edges, prev_universe));
   // Positive seeds: every known churner. Negative seeds: an equal-sized
@@ -72,6 +73,7 @@ Result<std::unordered_map<int64_t, double>> PropagateChurn(
   LabelPropagationOptions options;
   options.num_classes = 2;
   options.max_iterations = 30;
+  options.pool = pool;
   TELCO_ASSIGN_OR_RETURN(const LabelPropagationResult lp,
                          PropagateLabels(graph.graph, seeds, options));
   out.reserve(graph.imsi_of.size() * 2);
@@ -95,6 +97,7 @@ Result<TablePtr> ComputeGraphFeatures(const GraphFeatureInputs& inputs,
   const size_t n = graph.imsi_of.size();
 
   PageRankOptions pr_options;  // d = 0.85, x_m init 1 (paper Eq. 1)
+  pr_options.pool = inputs.pool;
   TELCO_ASSIGN_OR_RETURN(const PageRankResult pr,
                          PageRank(graph.graph, pr_options));
 
@@ -106,7 +109,7 @@ Result<TablePtr> ComputeGraphFeatures(const GraphFeatureInputs& inputs,
     TELCO_ASSIGN_OR_RETURN(
         lp_churn,
         PropagateChurn(*inputs.previous_edges, *inputs.previous_universe,
-                       *inputs.previous_labels, inputs.seed));
+                       *inputs.previous_labels, inputs.seed, inputs.pool));
   }
 
   TableBuilder builder(Schema({{"imsi", DataType::kInt64},

@@ -22,6 +22,8 @@
 
 namespace telco {
 
+class ThreadPool;
+
 /// \brief A customer graph built from an (imsi_a, imsi_b, weight) edge
 /// table, restricted to a given universe of customers.
 struct CustomerGraph {
@@ -51,6 +53,8 @@ struct GraphFeatureInputs {
   const std::unordered_map<int64_t, int>* previous_labels = nullptr;
   /// Deterministic seed for the negative-class subsample.
   uint64_t seed = 99;
+  /// Pool for the PageRank / label-propagation sweeps (null = serial).
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief Computes (imsi, <prefix>_pagerank, <prefix>_lp_churn) for every

@@ -1,6 +1,9 @@
 #include "features/topic_features.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace telco {
 
@@ -47,7 +50,8 @@ Result<TablePtr> ComputeTopicFeatures(const LdaModel& model,
                                       const Table& text_table,
                                       const std::vector<int64_t>& universe,
                                       size_t vocab_size,
-                                      const std::string& prefix) {
+                                      const std::string& prefix,
+                                      ThreadPool* pool) {
   if (universe.empty()) {
     return Status::InvalidArgument("empty customer universe");
   }
@@ -61,19 +65,27 @@ Result<TablePtr> ComputeTopicFeatures(const LdaModel& model,
     fields.push_back(
         Field{StrFormat("%s_topic%u", prefix.c_str(), k), DataType::kDouble});
   }
-  TableBuilder builder(Schema(std::move(fields)));
-  builder.Reserve(universe.size());
 
-  std::vector<Value> row(1 + K);
+  // Fold-in inference per customer: independent rows, so chunk the
+  // universe across the pool into a preallocated theta matrix, then
+  // append rows serially in universe order.
+  std::vector<double> thetas(universe.size() * K);
   const std::vector<double> uniform(K, 1.0 / K);
-  for (int64_t imsi : universe) {
-    const auto it = docs.find(imsi);
+  RunParallelFor(pool, 0, universe.size(), [&](size_t i) {
+    const auto it = docs.find(universe[i]);
     const std::vector<double> theta =
         (it == docs.end() || it->second.word_counts.empty())
             ? uniform
             : model.InferDocument(it->second);
-    row[0] = Value(imsi);
-    for (uint32_t k = 0; k < K; ++k) row[1 + k] = Value(theta[k]);
+    std::copy(theta.begin(), theta.end(), thetas.begin() + i * K);
+  });
+
+  TableBuilder builder(Schema(std::move(fields)));
+  builder.Reserve(universe.size());
+  std::vector<Value> row(1 + K);
+  for (size_t i = 0; i < universe.size(); ++i) {
+    row[0] = Value(universe[i]);
+    for (uint32_t k = 0; k < K; ++k) row[1 + k] = Value(thetas[i * K + k]);
     builder.AppendRowUnchecked(row);
   }
   return builder.Finish();

@@ -29,12 +29,14 @@ Result<LdaModel> TrainLdaOnTable(const Table& text_table, size_t vocab_size,
 /// universe by folding each customer's document into a *fixed* trained
 /// model — the same phi across months, so topic k means the same thing in
 /// every month's wide table. Customers with no text get the uniform
-/// distribution.
+/// distribution. Per-customer inference is independent and chunks across
+/// `pool` (null = serial) with bit-identical results.
 Result<TablePtr> ComputeTopicFeatures(const LdaModel& model,
                                       const Table& text_table,
                                       const std::vector<int64_t>& universe,
                                       size_t vocab_size,
-                                      const std::string& prefix);
+                                      const std::string& prefix,
+                                      ThreadPool* pool = nullptr);
 
 }  // namespace telco
 

@@ -1,10 +1,12 @@
 #include "features/wide_table.h"
 
 #include <algorithm>
+#include <iterator>
 #include <unordered_map>
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "datagen/table_names.h"
 #include "features/churn_labels.h"
 #include "features/graph_features.h"
@@ -363,6 +365,7 @@ Result<TablePtr> WideTableBuilder::BuildGraphFamily(
   GraphFeatureInputs inputs;
   inputs.current_edges = current.get();
   inputs.current_universe = &universe;
+  inputs.pool = options_.pool;
   inputs.seed = HashCombine64(options_.seed,
                               static_cast<uint64_t>(month) * 10 +
                                   static_cast<uint64_t>(family));
@@ -398,6 +401,7 @@ Result<const LdaModel*> WideTableBuilder::EnsureLdaModel(bool complaint) {
   TELCO_ASSIGN_OR_RETURN(TablePtr text, catalog_->Get(table_name));
   TELCO_ASSIGN_OR_RETURN(TablePtr vocab, catalog_->Get(vocab_name));
   LdaOptions lda = options_.lda;
+  lda.pool = options_.pool;
   lda.seed = HashCombine64(options_.seed, complaint ? 7 : 8);
   TELCO_ASSIGN_OR_RETURN(LdaModel model,
                          TrainLdaOnTable(*text, vocab->num_rows(), lda));
@@ -423,7 +427,7 @@ Result<TablePtr> WideTableBuilder::BuildTopics(
     columns->push_back(StrFormat("%s_topic%u", prefix.c_str(), k));
   }
   return ComputeTopicFeatures(*model, *text, universe, vocab->num_rows(),
-                              prefix);
+                              prefix, options_.pool);
 }
 
 Result<std::vector<std::pair<std::string, std::string>>>
@@ -498,33 +502,52 @@ Result<WideTable> WideTableBuilder::BuildWithoutSecondOrder(int month) {
   TELCO_ASSIGN_OR_RETURN(const std::vector<int64_t> universe,
                          ReadImsis(*table));
 
-  TELCO_ASSIGN_OR_RETURN(TablePtr f2, BuildF2(month, &cols));
-  wide.columns[FeatureFamily::kF2Cs] = cols;
-  TELCO_ASSIGN_OR_RETURN(table, HashJoin(table, f2, {"imsi"}, {"imsi"},
-                                         JoinType::kLeft, kRightSuffix));
-
-  TELCO_ASSIGN_OR_RETURN(TablePtr f3, BuildF3(month, &cols));
-  wide.columns[FeatureFamily::kF3Ps] = cols;
-  TELCO_ASSIGN_OR_RETURN(table, HashJoin(table, f3, {"imsi"}, {"imsi"},
-                                         JoinType::kLeft, kRightSuffix));
-
-  for (FeatureFamily f : {FeatureFamily::kF4CallGraph,
-                          FeatureFamily::kF5MsgGraph,
-                          FeatureFamily::kF6CoocGraph}) {
-    TELCO_ASSIGN_OR_RETURN(TablePtr g,
-                           BuildGraphFamily(month, f, universe, &cols));
-    wide.columns[f] = cols;
-    TELCO_ASSIGN_OR_RETURN(table, HashJoin(table, g, {"imsi"}, {"imsi"},
-                                           JoinType::kLeft, kRightSuffix));
+  // F1 fixed the universe; families F2..F8 only read the (thread-safe)
+  // catalog and the universe, so fan them out across the pool. The F7/F8
+  // tasks may both lazily train an LDA model, but they use distinct slots
+  // (complaint vs search), so they never race. Each family lands in its
+  // own slot and the joins below run serially in the fixed F2..F8 order,
+  // making the wide table bit-identical to a serial build.
+  static constexpr FeatureFamily kParallelFamilies[] = {
+      FeatureFamily::kF2Cs,           FeatureFamily::kF3Ps,
+      FeatureFamily::kF4CallGraph,    FeatureFamily::kF5MsgGraph,
+      FeatureFamily::kF6CoocGraph,    FeatureFamily::kF7ComplaintTopics,
+      FeatureFamily::kF8SearchTopics};
+  constexpr size_t kNumParallel = std::size(kParallelFamilies);
+  std::vector<Result<TablePtr>> family_tables(
+      kNumParallel, Result<TablePtr>(Status::Internal("family not built")));
+  std::vector<std::vector<std::string>> family_cols(kNumParallel);
+  ThreadPool* pool =
+      options_.pool != nullptr ? options_.pool : &ThreadPool::Default();
+  pool->ParallelFor(0, kNumParallel, [&](size_t i) {
+    switch (kParallelFamilies[i]) {
+      case FeatureFamily::kF2Cs:
+        family_tables[i] = BuildF2(month, &family_cols[i]);
+        break;
+      case FeatureFamily::kF3Ps:
+        family_tables[i] = BuildF3(month, &family_cols[i]);
+        break;
+      case FeatureFamily::kF4CallGraph:
+      case FeatureFamily::kF5MsgGraph:
+      case FeatureFamily::kF6CoocGraph:
+        family_tables[i] = BuildGraphFamily(month, kParallelFamilies[i],
+                                            universe, &family_cols[i]);
+        break;
+      default:
+        family_tables[i] = BuildTopics(month, kParallelFamilies[i], universe,
+                                       &family_cols[i]);
+        break;
+    }
+  });
+  // Surface the first failure in family order (deterministic across runs).
+  for (size_t i = 0; i < kNumParallel; ++i) {
+    if (!family_tables[i].ok()) return family_tables[i].status();
   }
-
-  for (FeatureFamily f : {FeatureFamily::kF7ComplaintTopics,
-                          FeatureFamily::kF8SearchTopics}) {
-    TELCO_ASSIGN_OR_RETURN(TablePtr t,
-                           BuildTopics(month, f, universe, &cols));
-    wide.columns[f] = cols;
-    TELCO_ASSIGN_OR_RETURN(table, HashJoin(table, t, {"imsi"}, {"imsi"},
-                                           JoinType::kLeft, kRightSuffix));
+  for (size_t i = 0; i < kNumParallel; ++i) {
+    wide.columns[kParallelFamilies[i]] = std::move(family_cols[i]);
+    TELCO_ASSIGN_OR_RETURN(table,
+                           HashJoin(table, *family_tables[i], {"imsi"},
+                                    {"imsi"}, JoinType::kLeft, kRightSuffix));
   }
 
   wide.table = std::move(table);

@@ -25,6 +25,8 @@
 
 namespace telco {
 
+class ThreadPool;
+
 /// Options of the wide-table build.
 struct WideTableOptions {
   /// LDA settings for F7/F8 (paper: K = 10).
@@ -43,6 +45,12 @@ struct WideTableOptions {
   uint64_t seed = 123;
   /// Cache finished wide tables in the catalog under "wide_m<N>[_sK]".
   bool cache_in_catalog = true;
+  /// Pool for the per-family fan-out and the per-customer stages inside
+  /// each family (null = the process-wide default pool). Families F2..F8
+  /// are built concurrently after F1 fixes the universe, then joined in
+  /// the fixed F2..F9 order — results are bit-identical to a serial
+  /// build for any thread count.
+  ThreadPool* pool = nullptr;
 
   WideTableOptions() {
     lda.num_topics = 10;

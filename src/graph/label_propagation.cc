@@ -3,8 +3,16 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace telco {
+
+namespace {
+
+// Vertices per parallel chunk (fixed, thread-count independent).
+constexpr size_t kSweepGrain = 4096;
+
+}  // namespace
 
 Result<LabelPropagationResult> PropagateLabels(
     const Graph& graph, const std::vector<LabeledVertex>& seeds,
@@ -41,34 +49,49 @@ Result<LabelPropagationResult> PropagateLabels(
   clamp_seeds();
 
   std::vector<double> next(n * c, 0.0);
+  const size_t num_chunks = (n + kSweepGrain - 1) / kSweepGrain;
+  std::vector<double> chunk_delta(num_chunks, 0.0);
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Each chunk of vertices gathers from the previous round's
+    // probabilities and writes only its own rows of `next`.
+    RunParallelChunks(
+        options.pool, 0, n, num_chunks,
+        [&](size_t chunk, size_t lo, size_t hi) {
+          double local_delta = 0.0;
+          for (size_t vi = lo; vi < hi; ++vi) {
+            const auto v = static_cast<uint32_t>(vi);
+            double* out = &next[static_cast<size_t>(v) * c];
+            for (uint32_t k = 0; k < c; ++k) out[k] = 0.0;
+            // Step 1: Y <- W Y (row v gathers from its neighbors).
+            for (const auto& e : graph.Neighbors(v)) {
+              const double* in =
+                  &result.probabilities[static_cast<size_t>(e.neighbor) * c];
+              for (uint32_t k = 0; k < c; ++k) out[k] += e.weight * in[k];
+            }
+            // Step 2: row-normalise; isolated/unreached rows stay uniform.
+            double total = 0.0;
+            for (uint32_t k = 0; k < c; ++k) total += out[k];
+            if (total <= 0.0) {
+              for (uint32_t k = 0; k < c; ++k) out[k] = 1.0 / c;
+            } else {
+              for (uint32_t k = 0; k < c; ++k) out[k] /= total;
+            }
+            // Step 3: clamp seeds.
+            if (seed_label[v] >= 0) {
+              for (uint32_t k = 0; k < c; ++k) out[k] = 0.0;
+              out[seed_label[v]] = 1.0;
+            }
+            const double* cur =
+                &result.probabilities[static_cast<size_t>(v) * c];
+            for (uint32_t k = 0; k < c; ++k) {
+              local_delta = std::max(local_delta, std::fabs(out[k] - cur[k]));
+            }
+          }
+          chunk_delta[chunk] = local_delta;
+        });
     double max_delta = 0.0;
-    for (uint32_t v = 0; v < n; ++v) {
-      double* out = &next[static_cast<size_t>(v) * c];
-      for (uint32_t k = 0; k < c; ++k) out[k] = 0.0;
-      // Step 1: Y <- W Y (row v gathers from its neighbors).
-      for (const auto& e : graph.Neighbors(v)) {
-        const double* in =
-            &result.probabilities[static_cast<size_t>(e.neighbor) * c];
-        for (uint32_t k = 0; k < c; ++k) out[k] += e.weight * in[k];
-      }
-      // Step 2: row-normalise; isolated/unreached rows stay uniform.
-      double total = 0.0;
-      for (uint32_t k = 0; k < c; ++k) total += out[k];
-      if (total <= 0.0) {
-        for (uint32_t k = 0; k < c; ++k) out[k] = 1.0 / c;
-      } else {
-        for (uint32_t k = 0; k < c; ++k) out[k] /= total;
-      }
-      // Step 3: clamp seeds.
-      if (seed_label[v] >= 0) {
-        for (uint32_t k = 0; k < c; ++k) out[k] = 0.0;
-        out[seed_label[v]] = 1.0;
-      }
-      const double* cur = &result.probabilities[static_cast<size_t>(v) * c];
-      for (uint32_t k = 0; k < c; ++k) {
-        max_delta = std::max(max_delta, std::fabs(out[k] - cur[k]));
-      }
+    for (size_t ch = 0; ch < num_chunks; ++ch) {
+      max_delta = std::max(max_delta, chunk_delta[ch]);
     }
     result.probabilities.swap(next);
     ++result.iterations;

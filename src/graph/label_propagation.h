@@ -19,6 +19,8 @@
 
 namespace telco {
 
+class ThreadPool;
+
 /// A labelled seed vertex.
 struct LabeledVertex {
   uint32_t vertex;
@@ -31,6 +33,10 @@ struct LabelPropagationOptions {
   /// Stop when the max absolute probability change drops below this.
   double tolerance = 1e-6;
   int max_iterations = 100;
+  /// Pool for the propagation rounds (null = serial). Per-vertex updates
+  /// read only the previous round, so results are bit-identical for any
+  /// thread count.
+  ThreadPool* pool = nullptr;
 };
 
 /// Outcome of a propagation run.

@@ -2,7 +2,17 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace telco {
+
+namespace {
+
+// Vertices per parallel chunk. Fixed (thread-count independent) so the
+// per-chunk delta partials always sum in the same order.
+constexpr size_t kSweepGrain = 4096;
+
+}  // namespace
 
 Result<PageRankResult> PageRank(const Graph& graph,
                                 const PageRankOptions& options) {
@@ -26,20 +36,33 @@ Result<PageRankResult> PageRank(const Graph& graph,
   result.scores.assign(n, options.initial_value);
   std::vector<double> next(n, 0.0);
 
+  const size_t num_chunks = (n + kSweepGrain - 1) / kSweepGrain;
+  std::vector<double> chunk_delta(num_chunks, 0.0);
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     // Scatter: each vertex v sends score_v * w_vu / W_v to each neighbor u.
     // Because the graph is undirected, gathering over u's neighbors with
-    // the sender's normaliser is equivalent and cache-friendlier.
+    // the sender's normaliser is equivalent and cache-friendlier. Each
+    // chunk reads only the previous iteration's scores and writes only its
+    // own slice of `next`, so chunks are independent.
+    RunParallelChunks(
+        options.pool, 0, n, num_chunks,
+        [&](size_t chunk, size_t lo, size_t hi) {
+          double local_delta = 0.0;
+          for (size_t u = lo; u < hi; ++u) {
+            double acc = 0.0;
+            for (const auto& e : graph.Neighbors(static_cast<uint32_t>(u))) {
+              acc += result.scores[e.neighbor] * e.weight *
+                     inv_weighted_degree[e.neighbor];
+            }
+            next[u] = base + options.damping * acc;
+            local_delta += std::fabs(next[u] - result.scores[u]);
+          }
+          chunk_delta[chunk] = local_delta;
+        });
+    // Combine partials in chunk order: deterministic for any thread count.
     double delta = 0.0;
-    for (uint32_t u = 0; u < n; ++u) {
-      double acc = 0.0;
-      for (const auto& e : graph.Neighbors(u)) {
-        acc += result.scores[e.neighbor] * e.weight *
-               inv_weighted_degree[e.neighbor];
-      }
-      next[u] = base + options.damping * acc;
-      delta += std::fabs(next[u] - result.scores[u]);
-    }
+    for (size_t c = 0; c < num_chunks; ++c) delta += chunk_delta[c];
     result.scores.swap(next);
     ++result.iterations;
     if (delta < options.tolerance) {

@@ -16,6 +16,8 @@
 
 namespace telco {
 
+class ThreadPool;
+
 /// Options controlling the PageRank iteration.
 struct PageRankOptions {
   /// Damping factor d ("set to 0.85 practically").
@@ -28,6 +30,10 @@ struct PageRankOptions {
   int max_iterations = 250;
   /// Initial score per vertex (the paper uses 1).
   double initial_value = 1.0;
+  /// Pool for the power-iteration sweeps (null = serial). The vertex grid
+  /// and the convergence-delta reduction order depend only on the graph
+  /// size, so scores are bit-identical for any thread count.
+  ThreadPool* pool = nullptr;
 };
 
 /// Outcome of a PageRank run.

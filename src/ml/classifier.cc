@@ -1,6 +1,16 @@
 #include "ml/classifier.h"
 
+#include "common/thread_pool.h"
+
 namespace telco {
+
+std::vector<double> Classifier::PredictProbaBatch(const Dataset& data,
+                                                  ThreadPool* pool) const {
+  std::vector<double> out(data.num_rows(), 0.0);
+  RunParallelFor(pool, 0, data.num_rows(),
+                 [&](size_t i) { out[i] = PredictProba(data.Row(i)); });
+  return out;
+}
 
 std::vector<ScoredInstance> ScoreDataset(const Classifier& model,
                                          const Dataset& data) {

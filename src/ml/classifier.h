@@ -16,6 +16,8 @@
 
 namespace telco {
 
+class ThreadPool;
+
 /// \brief Abstract probabilistic classifier.
 ///
 /// Binary models implement PredictProba (probability of class 1, the
@@ -31,6 +33,12 @@ class Classifier {
 
   /// Probability that `row` belongs to class 1.
   virtual double PredictProba(std::span<const double> row) const = 0;
+
+  /// Class-1 probabilities of every row. Rows are chunked across `pool`
+  /// (null = serial); each row is scored entirely by one thread, so the
+  /// result is bit-identical to the serial loop for any thread count.
+  virtual std::vector<double> PredictProbaBatch(const Dataset& data,
+                                                ThreadPool* pool) const;
 
   /// Full class distribution; the default wraps the binary case.
   virtual std::vector<double> PredictClassProba(

@@ -61,7 +61,9 @@ Status RandomForest::Fit(const Dataset& data) {
   };
 
   if (options_.parallel) {
-    ThreadPool::Default().ParallelFor(0, trees_.size(), fit_tree);
+    ThreadPool* pool =
+        options_.pool != nullptr ? options_.pool : &ThreadPool::Default();
+    pool->ParallelFor(0, trees_.size(), fit_tree);
   } else {
     for (size_t t = 0; t < trees_.size(); ++t) fit_tree(t);
   }

@@ -14,6 +14,8 @@
 
 namespace telco {
 
+class ThreadPool;
+
 /// Hyper-parameters; paper defaults are 500 trees and min split 100.
 struct RandomForestOptions {
   int num_trees = 500;
@@ -25,8 +27,11 @@ struct RandomForestOptions {
   /// Bootstrap sample size as a fraction of the training set.
   double bootstrap_fraction = 1.0;
   uint64_t seed = 7;
-  /// Fit trees on the default thread pool.
+  /// Fit trees on a thread pool (per-tree RNG streams keyed by
+  /// HashCombine64(seed, tree), so results are identical to serial).
   bool parallel = true;
+  /// Pool used when parallel (null = the process-wide default pool).
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief Random-forest classifier (binary and multi-class).

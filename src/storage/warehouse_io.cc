@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "storage/csv.h"
 
 namespace telco {
@@ -68,7 +69,8 @@ Status SaveWarehouse(const Catalog& catalog, const std::string& directory) {
   return Status::OK();
 }
 
-Status LoadWarehouse(const std::string& directory, Catalog* catalog) {
+Status LoadWarehouse(const std::string& directory, Catalog* catalog,
+                     ThreadPool* pool) {
   if (catalog == nullptr) {
     return Status::InvalidArgument("null catalog");
   }
@@ -76,6 +78,13 @@ Status LoadWarehouse(const std::string& directory, Catalog* catalog) {
   if (!manifest) {
     return Status::IoError("cannot open manifest in '" + directory + "'");
   }
+  // Parse the manifest serially (it is tiny), then fan the per-table CSV
+  // parsing — the expensive part — out across the pool.
+  struct PendingTable {
+    std::string name;
+    Schema schema;
+  };
+  std::vector<PendingTable> pending;
   std::string line;
   size_t line_no = 0;
   while (std::getline(manifest, line)) {
@@ -86,12 +95,29 @@ Status LoadWarehouse(const std::string& directory, Catalog* catalog) {
       return Status::InvalidArgument(
           StrFormat("malformed manifest line %zu", line_no));
     }
-    const std::string name = line.substr(0, bar);
-    TELCO_ASSIGN_OR_RETURN(const Schema schema,
+    PendingTable entry;
+    entry.name = line.substr(0, bar);
+    TELCO_ASSIGN_OR_RETURN(entry.schema,
                            ParseSchemaSpec(line.substr(bar + 1)));
-    const fs::path file = fs::path(directory) / (name + ".csv");
-    TELCO_ASSIGN_OR_RETURN(TablePtr table, ReadCsv(file.string(), schema));
-    catalog->RegisterOrReplace(name, std::move(table));
+    pending.push_back(std::move(entry));
+  }
+
+  std::vector<TablePtr> tables(pending.size());
+  std::vector<Status> statuses(pending.size(), Status::OK());
+  if (pool == nullptr) pool = &ThreadPool::Default();
+  pool->ParallelFor(0, pending.size(), [&](size_t i) {
+    const fs::path file = fs::path(directory) / (pending[i].name + ".csv");
+    Result<TablePtr> table = ReadCsv(file.string(), pending[i].schema);
+    if (table.ok()) {
+      tables[i] = std::move(table).ValueOrDie();
+    } else {
+      statuses[i] = table.status();
+    }
+  });
+  // Register in manifest order; report the first failure by entry order.
+  for (size_t i = 0; i < pending.size(); ++i) {
+    TELCO_RETURN_NOT_OK(statuses[i]);
+    catalog->RegisterOrReplace(pending[i].name, std::move(tables[i]));
   }
   return Status::OK();
 }

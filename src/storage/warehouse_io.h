@@ -13,14 +13,20 @@
 
 namespace telco {
 
+class ThreadPool;
+
 /// \brief Writes every table of `catalog` into `directory` (created if
 /// missing): one `<table>.csv` per table plus a `MANIFEST` file recording
 /// each table's schema (`name|field:type,field:type,...`).
 Status SaveWarehouse(const Catalog& catalog, const std::string& directory);
 
 /// \brief Loads a directory written by SaveWarehouse into `catalog`
-/// (existing tables with the same names are replaced).
-Status LoadWarehouse(const std::string& directory, Catalog* catalog);
+/// (existing tables with the same names are replaced). Per-table CSV
+/// parsing fans out across `pool` (null = the process-wide default pool);
+/// tables register in manifest order regardless of thread count, and the
+/// first failing manifest entry's error is reported.
+Status LoadWarehouse(const std::string& directory, Catalog* catalog,
+                     ThreadPool* pool = nullptr);
 
 }  // namespace telco
 

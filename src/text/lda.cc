@@ -3,10 +3,15 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace telco {
 
 namespace {
+
+// Non-zeros (or documents) per parallel chunk. Fixed so RNG substreams
+// and reduction order do not depend on the thread count.
+constexpr size_t kLdaGrain = 8192;
 
 // Flattened view of the corpus non-zeros for cache-friendly sweeps.
 struct Nonzeros {
@@ -52,18 +57,25 @@ Result<LdaModel> LdaModel::Train(const Corpus& corpus,
   const size_t W = corpus.vocab_size();
   const Nonzeros nz(corpus);
 
-  // Messages mu: one K-vector per non-zero, randomly initialised.
-  Rng rng(options.seed);
+  // Messages mu: one K-vector per non-zero, randomly initialised from
+  // per-chunk RNG streams keyed by HashCombine64(seed, chunk) — the same
+  // stream grid whether run serially or across the pool.
   std::vector<double> mu(nz.size() * K);
-  for (size_t i = 0; i < nz.size(); ++i) {
-    double total = 0.0;
-    for (uint32_t k = 0; k < K; ++k) {
-      const double v = 0.5 + rng.Uniform();
-      mu[i * K + k] = v;
-      total += v;
-    }
-    for (uint32_t k = 0; k < K; ++k) mu[i * K + k] /= total;
-  }
+  const size_t init_chunks = (nz.size() + kLdaGrain - 1) / kLdaGrain;
+  RunParallelChunks(
+      options.pool, 0, nz.size(), init_chunks,
+      [&](size_t chunk, size_t lo, size_t hi) {
+        Rng rng(HashCombine64(options.seed, chunk));
+        for (size_t i = lo; i < hi; ++i) {
+          double total = 0.0;
+          for (uint32_t k = 0; k < K; ++k) {
+            const double v = 0.5 + rng.Uniform();
+            mu[i * K + k] = v;
+            total += v;
+          }
+          for (uint32_t k = 0; k < K; ++k) mu[i * K + k] /= total;
+        }
+      });
 
   // Message-weighted counts.
   std::vector<double> theta_hat(M * K, 0.0);  // doc-topic
@@ -133,9 +145,10 @@ Result<LdaModel> LdaModel::Train(const Corpus& corpus,
     }
   }
 
-  // Final normalised parameter estimates.
+  // Final normalised parameter estimates (elementwise per document/word,
+  // so parallel results match serial bit-for-bit).
   model.theta_.assign(M * K, 0.0);
-  for (size_t d = 0; d < M; ++d) {
+  RunParallelFor(options.pool, 0, M, [&](size_t d) {
     double total = 0.0;
     for (uint32_t k = 0; k < K; ++k) {
       total += theta_hat[d * K + k] + options.alpha;
@@ -143,16 +156,16 @@ Result<LdaModel> LdaModel::Train(const Corpus& corpus,
     for (uint32_t k = 0; k < K; ++k) {
       model.theta_[d * K + k] = (theta_hat[d * K + k] + options.alpha) / total;
     }
-  }
+  });
   model.phi_.assign(W * K, 0.0);
   std::vector<double> topic_norm(K, 0.0);
   for (uint32_t k = 0; k < K; ++k) topic_norm[k] = phi_tot[k] + wb;
-  for (size_t w = 0; w < W; ++w) {
+  RunParallelFor(options.pool, 0, W, [&](size_t w) {
     for (uint32_t k = 0; k < K; ++k) {
       model.phi_[w * K + k] =
           (phi_hat[w * K + k] + options.beta) / topic_norm[k];
     }
-  }
+  });
   return model;
 }
 
@@ -202,21 +215,37 @@ std::vector<double> LdaModel::InferDocument(const Document& doc,
   return theta;
 }
 
-double LdaModel::Perplexity(const Corpus& corpus) const {
+double LdaModel::Perplexity(const Corpus& corpus, ThreadPool* pool) const {
   const uint32_t K = num_topics_;
+  const size_t docs = corpus.num_documents();
+  const size_t grain = 256;  // documents per chunk; fixed grid
+  const size_t num_chunks = (docs + grain - 1) / grain;
+  std::vector<double> chunk_log_lik(num_chunks, 0.0);
+  std::vector<uint64_t> chunk_tokens(num_chunks, 0);
+  RunParallelChunks(
+      pool, 0, docs, num_chunks, [&](size_t chunk, size_t lo, size_t hi) {
+        double log_lik = 0.0;
+        uint64_t tokens = 0;
+        for (size_t d = lo; d < hi; ++d) {
+          const std::vector<double> theta =
+              d < num_documents() ? DocumentTopics(d)
+                                  : InferDocument(corpus.document(d));
+          for (const auto& [w, c] : corpus.document(d).word_counts) {
+            if (w >= vocab_size()) continue;
+            double p = 0.0;
+            for (uint32_t k = 0; k < K; ++k) p += theta[k] * Phi(k, w);
+            log_lik += c * std::log(std::max(p, 1e-300));
+            tokens += c;
+          }
+        }
+        chunk_log_lik[chunk] = log_lik;
+        chunk_tokens[chunk] = tokens;
+      });
   double log_lik = 0.0;
   uint64_t tokens = 0;
-  for (size_t d = 0; d < corpus.num_documents(); ++d) {
-    const std::vector<double> theta = d < num_documents()
-                                          ? DocumentTopics(d)
-                                          : InferDocument(corpus.document(d));
-    for (const auto& [w, c] : corpus.document(d).word_counts) {
-      if (w >= vocab_size()) continue;
-      double p = 0.0;
-      for (uint32_t k = 0; k < K; ++k) p += theta[k] * Phi(k, w);
-      log_lik += c * std::log(std::max(p, 1e-300));
-      tokens += c;
-    }
+  for (size_t ch = 0; ch < num_chunks; ++ch) {
+    log_lik += chunk_log_lik[ch];
+    tokens += chunk_tokens[ch];
   }
   if (tokens == 0) return 0.0;
   return std::exp(-log_lik / static_cast<double>(tokens));

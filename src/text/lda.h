@@ -27,6 +27,8 @@
 
 namespace telco {
 
+class ThreadPool;
+
 /// Hyper-parameters of the LDA trainer.
 struct LdaOptions {
   /// Number of topics K (the paper fixes K = 10).
@@ -39,6 +41,12 @@ struct LdaOptions {
   /// Stop when the mean absolute message change drops below this.
   double tolerance = 1e-4;
   uint64_t seed = 42;
+  /// Pool for the embarrassingly-parallel phases (message initialisation
+  /// and theta/phi finalisation; null = serial). The BP sweeps themselves
+  /// stay serial — their incremental count updates are order-dependent.
+  /// Results are bit-identical for any thread count: the init RNG is a
+  /// per-chunk stream on a fixed grid, finalisation is elementwise.
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief A trained LDA model: theta and phi plus fold-in inference.
@@ -66,7 +74,10 @@ class LdaModel {
                                     int fold_in_iterations = 20) const;
 
   /// Perplexity of the corpus under the trained model (lower is better).
-  double Perplexity(const Corpus& corpus) const;
+  /// Documents are independent; `pool` chunks them across workers with a
+  /// document-count-keyed grid, so the value is identical for any thread
+  /// count (per-chunk partial log-likelihoods combine in chunk order).
+  double Perplexity(const Corpus& corpus, ThreadPool* pool = nullptr) const;
 
  private:
   LdaModel() = default;

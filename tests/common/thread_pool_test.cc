@@ -1,7 +1,11 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -55,6 +59,101 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
     }
   }  // destructor must wait for all
   EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolCoversRange) {
+  ThreadPool pool(1);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(0, hits.size(), [&](size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+// Regression test: a ParallelFor issued from inside a pool worker used to
+// deadlock (the worker blocked waiting for chunks only it could run). The
+// nested call must detect the worker thread and run inline.
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  constexpr size_t kOuter = 4;
+  constexpr size_t kInner = 50;
+  std::vector<std::vector<int>> hits(kOuter, std::vector<int>(kInner, 0));
+  pool.ParallelFor(0, kOuter, [&](size_t o) {
+    EXPECT_TRUE(pool.InWorkerThread());
+    pool.ParallelFor(0, kInner, [&](size_t i) { hits[o][i] += 1; });
+  });
+  for (const auto& row : hits) {
+    for (int h : row) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPoolTest, InWorkerThreadFalseOutside) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.InWorkerThread());
+}
+
+TEST(ThreadPoolTest, PropagatesFirstExceptionByChunkIndex) {
+  ThreadPool pool(4);
+  // Every chunk throws; the rethrown exception must be the lowest chunk's,
+  // independent of scheduling order.
+  try {
+    pool.ParallelForChunks(0, 64, 16, [](size_t chunk, size_t, size_t) {
+      throw std::runtime_error("chunk " + std::to_string(chunk));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 0");
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionLeavesPoolUsable) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 8, [](size_t) { throw std::logic_error("boom"); }),
+      std::logic_error);
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 10, [&](size_t) { ++total; });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelForChunksGridIndependentOfPoolSize) {
+  // The chunk grid must depend only on (range, num_chunks) so reductions
+  // combined in chunk order are identical across pool sizes.
+  auto record_grid = [](ThreadPool& pool) {
+    std::vector<std::pair<size_t, size_t>> bounds(7);
+    pool.ParallelForChunks(0, 1000, 7, [&](size_t c, size_t lo, size_t hi) {
+      bounds[c] = {lo, hi};
+    });
+    return bounds;
+  };
+  ThreadPool one(1);
+  ThreadPool four(4);
+  EXPECT_EQ(record_grid(one), record_grid(four));
+}
+
+TEST(ThreadPoolTest, RunParallelChunksNullPoolMatchesPooled) {
+  auto sum_chunked = [](ThreadPool* pool) {
+    std::vector<double> partial(5, 0.0);
+    RunParallelChunks(pool, 0, 1000, 5, [&](size_t c, size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        partial[c] += 1.0 / static_cast<double>(i + 1);
+      }
+    });
+    double total = 0.0;
+    for (double p : partial) total += p;
+    return total;
+  };
+  ThreadPool pool(3);
+  // Bit-identical: same grid, same per-chunk partials, same combine order.
+  EXPECT_EQ(sum_chunked(nullptr), sum_chunked(&pool));
+}
+
+TEST(ThreadPoolTest, DefaultNumThreadsHonoursEnvOverride) {
+  // setenv/getenv here is safe: tests in this binary run single-threaded.
+  setenv("TELCO_THREADS", "3", /*overwrite=*/1);
+  EXPECT_EQ(ThreadPool::DefaultNumThreads(), 3u);
+  setenv("TELCO_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1u);
+  unsetenv("TELCO_THREADS");
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1u);
 }
 
 }  // namespace

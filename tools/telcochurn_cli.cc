@@ -28,6 +28,7 @@
 
 #include "churn/pipeline.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "datagen/telco_simulator.h"
 #include "ml/serialize.h"
 #include "storage/warehouse_io.h"
@@ -47,9 +48,10 @@ class Flags {
         return;
       }
       arg = arg.substr(2);
-      if (i + 1 >= argc) {
-        error_ = "flag --" + arg + " needs a value";
-        return;
+      // A flag followed by another flag (or nothing) is a boolean switch.
+      if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+        values_[arg] = "1";
+        continue;
       }
       values_[arg] = argv[++i];
     }
@@ -78,6 +80,13 @@ class Flags {
     if (it == values_.end()) return fallback;
     used_.insert(it->first);
     return std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+  bool GetBool(const std::string& name) {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return false;
+    used_.insert(it->first);
+    return it->second != "0" && it->second != "false";
   }
 
   Status CheckAllUsed() const {
@@ -130,6 +139,9 @@ PipelineOptions PipelineOptionsFromFlags(Flags& flags) {
       static_cast<int>(flags.GetInt("trees", 120));
   options.training_months =
       static_cast<int>(flags.GetInt("training-months", 1));
+  // 0 = the process-wide default pool (TELCO_THREADS or hardware
+  // concurrency); results are identical for any value.
+  options.num_threads = static_cast<int>(flags.GetInt("threads", 0));
   return options;
 }
 
@@ -209,11 +221,12 @@ Status RunPredict(Flags& flags) {
   TELCO_ASSIGN_OR_RETURN(const Column* imsi_col,
                          wide.table->GetColumn("imsi"));
 
+  const std::vector<double> likelihoods =
+      forest.PredictProbaBatch(data, &ThreadPool::Default());
   std::vector<std::pair<double, int64_t>> scored;
   scored.reserve(data.num_rows());
   for (size_t r = 0; r < data.num_rows(); ++r) {
-    scored.emplace_back(forest.PredictProba(data.Row(r)),
-                        imsi_col->GetInt64(r));
+    scored.emplace_back(likelihoods[r], imsi_col->GetInt64(r));
   }
   std::sort(scored.begin(), scored.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
@@ -232,6 +245,7 @@ Status RunEvaluate(Flags& flags) {
   const int month = static_cast<int>(flags.GetInt("month", 0));
   PipelineOptions options = PipelineOptionsFromFlags(flags);
   const size_t u = static_cast<size_t>(flags.GetInt("u", 250));
+  const bool print_timings = flags.GetBool("timings");
   TELCO_RETURN_NOT_OK(flags.CheckAllUsed());
   if (month < 2) return Status::InvalidArgument("--month must be >= 2");
 
@@ -239,6 +253,11 @@ Status RunEvaluate(Flags& flags) {
   TELCO_ASSIGN_OR_RETURN(const RankingMetrics metrics,
                          pipeline.Evaluate(month, u));
   std::printf("%s\n", metrics.ToString().c_str());
+  if (print_timings) {
+    std::printf("stage timings (%zu threads):\n%s\n",
+                pipeline.pool()->num_threads(),
+                pipeline.timings().ToString().c_str());
+  }
   return Status::OK();
 }
 
@@ -251,7 +270,9 @@ int Usage() {
       "           [--training-months K] [--trees T]\n"
       "  predict  --warehouse DIR --model PATH --month M [--top U]\n"
       "  evaluate --warehouse DIR --month M [--u U]\n"
-      "           [--training-months K] [--trees T]\n");
+      "           [--training-months K] [--trees T] [--threads N]\n"
+      "           [--timings]\n"
+      "TELCO_THREADS overrides the default worker-pool size.\n");
   return 2;
 }
 

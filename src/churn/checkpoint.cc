@@ -1,0 +1,323 @@
+#include "churn/checkpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "common/crc32.h"
+#include "common/fault_injection.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "ml/serialize.h"
+#include "storage/atomic_file.h"
+#include "storage/csv.h"
+#include "storage/warehouse_io.h"
+
+namespace telco {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kStagesMagic[] = "telcochurn-checkpoint";
+constexpr int kStagesVersion = 1;
+constexpr char kStagesFile[] = "STAGES";
+constexpr char kConfigFile[] = "CONFIG";
+
+Result<FeatureFamily> FamilyFromLabel(const std::string& label) {
+  for (FeatureFamily f : AllFeatureFamilies()) {
+    if (label == FeatureFamilyLabel(f)) return f;
+  }
+  return Status::InvalidArgument("unknown feature family '" + label + "'");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PipelineCheckpoint>> PipelineCheckpoint::Open(
+    const std::string& dir, const std::string& config) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create checkpoint directory '" + dir +
+                           "': " + ec.message());
+  }
+  std::unique_ptr<PipelineCheckpoint> cp(new PipelineCheckpoint(dir));
+  const fs::path config_path = fs::path(dir) / kConfigFile;
+  bool same_config = false;
+  if (fs::exists(config_path)) {
+    TELCO_ASSIGN_OR_RETURN(const std::string existing,
+                           ReadFileToString(config_path.string()));
+    same_config = existing == config;
+  }
+  if (same_config) {
+    TELCO_RETURN_NOT_OK(cp->LoadManifest());
+  } else {
+    // A checkpoint of a different run (or a partial one with no CONFIG)
+    // must not be resumed into this run: forget its stages before the new
+    // CONFIG becomes visible, so a crash in between leaves a checkpoint
+    // that a retry will also wipe.
+    const fs::path stages_path = fs::path(dir) / kStagesFile;
+    if (fs::exists(stages_path)) {
+      TELCO_LOG(Warning) << "checkpoint in " << dir
+                         << " was written by a different run config; "
+                            "discarding its stages";
+      fs::remove(stages_path, ec);
+      if (ec) {
+        return Status::IoError("cannot discard stale checkpoint manifest: " +
+                               ec.message());
+      }
+    }
+    TELCO_RETURN_NOT_OK(WriteFileAtomic(config_path.string(), config));
+  }
+  return cp;
+}
+
+Result<std::string> PipelineCheckpoint::ReadConfig(const std::string& dir) {
+  const fs::path config_path = fs::path(dir) / kConfigFile;
+  return ReadFileToString(config_path.string());
+}
+
+bool PipelineCheckpoint::HasStage(const std::string& stage) const {
+  return stages_.count(stage) > 0;
+}
+
+std::string PipelineCheckpoint::ArtifactPath(
+    const std::string& filename) const {
+  return (fs::path(dir_) / filename).string();
+}
+
+Status PipelineCheckpoint::WriteArtifact(const std::string& filename,
+                                         const std::string& content) {
+  TELCO_RETURN_NOT_OK(MaybeInjectFault("checkpoint.artifact"));
+  TELCO_RETURN_NOT_OK(WriteFileAtomic(ArtifactPath(filename), content));
+  staged_.emplace_back(filename, Crc32(content));
+  return Status::OK();
+}
+
+Status PipelineCheckpoint::RecordArtifact(const std::string& filename) {
+  TELCO_ASSIGN_OR_RETURN(const std::string content,
+                         ReadFileToString(ArtifactPath(filename)));
+  staged_.emplace_back(filename, Crc32(content));
+  return Status::OK();
+}
+
+Result<std::string> PipelineCheckpoint::ReadArtifact(
+    const std::string& stage, const std::string& filename) {
+  const auto it = stages_.find(stage);
+  if (it == stages_.end()) {
+    return Status::InvalidArgument("stage '" + stage +
+                                   "' is not checkpointed");
+  }
+  const auto entry =
+      std::find_if(it->second.begin(), it->second.end(),
+                   [&](const auto& e) { return e.first == filename; });
+  if (entry == it->second.end()) {
+    return Status::IoError("checkpoint stage '" + stage +
+                           "' has no artifact '" + filename + "'");
+  }
+  TELCO_ASSIGN_OR_RETURN(const std::string content,
+                         ReadFileToString(ArtifactPath(filename)));
+  if (Crc32(content) != entry->second) {
+    return Status::IoError("checksum mismatch in checkpoint artifact '" +
+                           filename + "' (corrupt or torn file)");
+  }
+  return content;
+}
+
+Status PipelineCheckpoint::CommitStage(const std::string& stage) {
+  stages_[stage] = std::move(staged_);
+  staged_.clear();
+  std::ostringstream out;
+  out << kStagesMagic << ' ' << kStagesVersion << '\n';
+  for (const auto& [name, artifacts] : stages_) {
+    out << name << '|';
+    for (size_t i = 0; i < artifacts.size(); ++i) {
+      if (i > 0) out << ',';
+      out << artifacts[i].first << ':' << Crc32Hex(artifacts[i].second);
+    }
+    out << '\n';
+  }
+  TELCO_RETURN_NOT_OK(MaybeInjectFault("checkpoint.manifest"));
+  return WriteFileAtomic((fs::path(dir_) / kStagesFile).string(), out.str());
+}
+
+Status PipelineCheckpoint::LoadManifest() {
+  const fs::path stages_path = fs::path(dir_) / kStagesFile;
+  if (!fs::exists(stages_path)) return Status::OK();  // fresh checkpoint
+  TELCO_ASSIGN_OR_RETURN(const std::string text,
+                         ReadFileToString(stages_path.string()));
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line_no == 1) {
+      const auto head = Split(line, ' ');
+      if (head.size() != 2 || head[0] != kStagesMagic ||
+          std::atoi(head[1].c_str()) != kStagesVersion) {
+        return Status::InvalidArgument("unrecognised checkpoint manifest '" +
+                                       stages_path.string() + "'");
+      }
+      continue;
+    }
+    const auto parts = Split(line, '|');
+    if (parts.size() != 2) {
+      return Status::InvalidArgument(
+          StrFormat("malformed checkpoint manifest line %zu", line_no));
+    }
+    std::vector<std::pair<std::string, uint32_t>> artifacts;
+    for (const auto& item : Split(parts[1], ',')) {
+      const size_t colon = item.rfind(':');
+      uint32_t crc = 0;
+      if (colon == std::string::npos ||
+          !ParseCrc32Hex(item.substr(colon + 1), &crc)) {
+        return Status::InvalidArgument(
+            StrFormat("malformed checkpoint artifact entry '%s' (line %zu)",
+                      item.c_str(), line_no));
+      }
+      artifacts.emplace_back(item.substr(0, colon), crc);
+    }
+    stages_[parts[0]] = std::move(artifacts);
+  }
+  return Status::OK();
+}
+
+Status PipelineCheckpoint::SaveWideTable(const std::string& stage,
+                                         const WideTable& wide) {
+  TELCO_RETURN_NOT_OK(
+      WriteArtifact(stage + ".csv", ToCsvString(*wide.table)));
+  std::ostringstream meta;
+  meta << "schema|" << SchemaToSpec(wide.table->schema()) << '\n';
+  for (FeatureFamily f : AllFeatureFamilies()) {
+    const auto it = wide.columns.find(f);
+    meta << FeatureFamilyLabel(f) << '|';
+    if (it != wide.columns.end()) meta << Join(it->second, ",");
+    meta << '\n';
+  }
+  TELCO_RETURN_NOT_OK(WriteArtifact(stage + ".meta", meta.str()));
+  return CommitStage(stage);
+}
+
+Result<WideTable> PipelineCheckpoint::LoadWideTable(
+    const std::string& stage) {
+  TELCO_ASSIGN_OR_RETURN(const std::string meta,
+                         ReadArtifact(stage, stage + ".meta"));
+  WideTable wide;
+  Schema schema;
+  std::istringstream in(meta);
+  std::string line;
+  bool have_schema = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const size_t bar = line.find('|');
+    if (bar == std::string::npos) {
+      return Status::InvalidArgument("malformed checkpoint meta line '" +
+                                     line + "'");
+    }
+    const std::string key = line.substr(0, bar);
+    const std::string value = line.substr(bar + 1);
+    if (key == "schema") {
+      TELCO_ASSIGN_OR_RETURN(schema, SchemaFromSpec(value));
+      have_schema = true;
+    } else {
+      TELCO_ASSIGN_OR_RETURN(const FeatureFamily family,
+                             FamilyFromLabel(key));
+      wide.columns[family] =
+          value.empty() ? std::vector<std::string>{} : Split(value, ',');
+    }
+  }
+  if (!have_schema) {
+    return Status::InvalidArgument("checkpoint meta for '" + stage +
+                                   "' has no schema line");
+  }
+  TELCO_ASSIGN_OR_RETURN(const std::string csv,
+                         ReadArtifact(stage, stage + ".csv"));
+  TELCO_ASSIGN_OR_RETURN(wide.table, ParseCsvString(csv, schema));
+  return wide;
+}
+
+Status PipelineCheckpoint::SaveLabels(
+    const std::string& stage,
+    const std::unordered_map<int64_t, int>& labels) {
+  // Sorted by imsi so the artifact is byte-identical across runs
+  // regardless of hash-map iteration order.
+  std::vector<std::pair<int64_t, int>> sorted(labels.begin(), labels.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::ostringstream out;
+  out << "imsi,label\n";
+  for (const auto& [imsi, label] : sorted) {
+    out << imsi << ',' << label << '\n';
+  }
+  TELCO_RETURN_NOT_OK(WriteArtifact(stage + ".csv", out.str()));
+  return CommitStage(stage);
+}
+
+Result<std::unordered_map<int64_t, int>> PipelineCheckpoint::LoadLabels(
+    const std::string& stage) {
+  TELCO_ASSIGN_OR_RETURN(const std::string text,
+                         ReadArtifact(stage, stage + ".csv"));
+  std::unordered_map<int64_t, int> labels;
+  std::istringstream in(text);
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    const auto parts = Split(line, ',');
+    if (parts.size() != 2) {
+      return Status::InvalidArgument("malformed checkpoint label line '" +
+                                     line + "'");
+    }
+    labels[std::strtoll(parts[0].c_str(), nullptr, 10)] =
+        std::atoi(parts[1].c_str());
+  }
+  return labels;
+}
+
+Status PipelineCheckpoint::SaveForest(
+    const std::string& stage, const RandomForest& forest,
+    const std::vector<std::string>& features) {
+  const std::string model_file = stage + ".rf";
+  TELCO_RETURN_NOT_OK(SaveRandomForest(forest, ArtifactPath(model_file)));
+  TELCO_RETURN_NOT_OK(RecordArtifact(model_file));
+  TELCO_RETURN_NOT_OK(
+      WriteArtifact(model_file + ".features", Join(features, "\n") + "\n"));
+  return CommitStage(stage);
+}
+
+Result<ForestArtifact> PipelineCheckpoint::LoadForest(
+    const std::string& stage) {
+  if (!HasStage(stage)) {
+    return Status::InvalidArgument("stage '" + stage +
+                                   "' is not checkpointed");
+  }
+  ForestArtifact artifact;
+  // The model file carries its own checksum trailer, which
+  // LoadRandomForest verifies fail-closed (with retry on transient
+  // faults) — stronger than the manifest CRC.
+  TELCO_ASSIGN_OR_RETURN(artifact.forest,
+                         LoadRandomForest(ArtifactPath(stage + ".rf")));
+  TELCO_ASSIGN_OR_RETURN(const std::string features,
+                         ReadArtifact(stage, stage + ".rf.features"));
+  for (const auto& name : Split(features, '\n')) {
+    if (!name.empty()) artifact.features.push_back(name);
+  }
+  return artifact;
+}
+
+Status PipelineCheckpoint::SaveText(const std::string& stage,
+                                    const std::string& content) {
+  TELCO_RETURN_NOT_OK(WriteArtifact(stage + ".csv", content));
+  return CommitStage(stage);
+}
+
+Result<std::string> PipelineCheckpoint::LoadText(const std::string& stage) {
+  return ReadArtifact(stage, stage + ".csv");
+}
+
+}  // namespace telco

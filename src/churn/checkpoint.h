@@ -1,0 +1,113 @@
+// PipelineCheckpoint: durable stage-level checkpoints for the churn
+// pipeline, so an interrupted run (crash, preemption, injected fault)
+// resumes from the last completed stage instead of starting over — the
+// operational property the paper's monthly retrain loop needs on shared
+// cluster infrastructure.
+//
+// Layout of a checkpoint directory:
+//   CONFIG            key=value fingerprint of the run's inputs; a run
+//                     opened with a different config wipes recorded stages
+//   STAGES            manifest of completed stages ("stage|file:crc,...")
+//   wide_m<N>.csv/.meta, labels_m<N>.csv, model.rf(.features),
+//   prediction.csv    per-stage artifacts
+//
+// Commit protocol: every artifact commits via atomic
+// tmp-write-fsync-rename, and STAGES is rewritten (atomically) only after
+// all of a stage's artifacts are durable. A crash at any point leaves
+// either a manifest that doesn't mention the stage (it recomputes on
+// resume) or a manifest whose artifacts are all intact. Artifact loads
+// verify CRC32 checksums; a corrupt artifact is reported to the caller,
+// which falls back to recomputing the stage.
+
+#ifndef TELCO_CHURN_CHECKPOINT_H_
+#define TELCO_CHURN_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "features/wide_table.h"
+#include "ml/random_forest.h"
+
+namespace telco {
+
+/// \brief A forest artifact plus the feature-column order it expects.
+struct ForestArtifact {
+  RandomForest forest;
+  std::vector<std::string> features;
+};
+
+class PipelineCheckpoint {
+ public:
+  /// Opens (creating if needed) a checkpoint directory for a run with the
+  /// given config fingerprint. If the directory holds a checkpoint of a
+  /// *different* config, its recorded stages are discarded (artifacts of
+  /// a different run must never be resumed into this one); the new CONFIG
+  /// is then committed atomically.
+  static Result<std::unique_ptr<PipelineCheckpoint>> Open(
+      const std::string& dir, const std::string& config);
+
+  /// Reads the CONFIG of an existing checkpoint directory (`resume`
+  /// re-derives the run's flags from it).
+  static Result<std::string> ReadConfig(const std::string& dir);
+
+  /// True when `stage` is recorded complete in the STAGES manifest.
+  bool HasStage(const std::string& stage) const;
+
+  /// Wide table of one month: `<stage>.csv` (the table) plus
+  /// `<stage>.meta` (schema + family -> columns index).
+  Status SaveWideTable(const std::string& stage, const WideTable& wide);
+  Result<WideTable> LoadWideTable(const std::string& stage);
+
+  /// Churn labels of one month as an `imsi,label` CSV sorted by imsi.
+  Status SaveLabels(const std::string& stage,
+                    const std::unordered_map<int64_t, int>& labels);
+  Result<std::unordered_map<int64_t, int>> LoadLabels(
+      const std::string& stage);
+
+  /// Trained forest (checksummed model file via ml/serialize) plus its
+  /// `.features` sidecar naming the training columns in order.
+  Status SaveForest(const std::string& stage, const RandomForest& forest,
+                    const std::vector<std::string>& features);
+  Result<ForestArtifact> LoadForest(const std::string& stage);
+
+  /// Free-form single-file text stage (e.g. the final prediction CSV).
+  Status SaveText(const std::string& stage, const std::string& content);
+  Result<std::string> LoadText(const std::string& stage);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  explicit PipelineCheckpoint(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string ArtifactPath(const std::string& filename) const;
+  /// Commits one artifact atomically and stages its checksum for the next
+  /// CommitStage call.
+  Status WriteArtifact(const std::string& filename,
+                       const std::string& content);
+  /// Records an artifact written externally (already durable on disk).
+  Status RecordArtifact(const std::string& filename);
+  /// Reads an artifact and verifies its checksum against the manifest.
+  Result<std::string> ReadArtifact(const std::string& stage,
+                                   const std::string& filename);
+  /// Marks `stage` complete: rewrites STAGES with the artifacts staged
+  /// since the previous commit.
+  Status CommitStage(const std::string& stage);
+  Status LoadManifest();
+
+  std::string dir_;
+  /// stage -> [(filename, crc32)] of committed stages.
+  std::map<std::string, std::vector<std::pair<std::string, uint32_t>>>
+      stages_;
+  /// Artifacts written since the last CommitStage.
+  std::vector<std::pair<std::string, uint32_t>> staged_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_CHURN_CHECKPOINT_H_

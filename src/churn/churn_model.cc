@@ -79,6 +79,20 @@ Status ChurnModel::Train(const Dataset& labeled) {
   return classifier_->Fit(train);
 }
 
+Status ChurnModel::RestoreForest(RandomForest forest) {
+  if (options_.kind != ClassifierKind::kRandomForest) {
+    return Status::InvalidArgument(
+        "RestoreForest requires a random-forest model, got " +
+        std::string(ClassifierKindToString(options_.kind)));
+  }
+  if (forest.num_trees() == 0) {
+    return Status::InvalidArgument("cannot restore an unfitted forest");
+  }
+  encoder_.reset();
+  classifier_ = std::make_unique<RandomForest>(std::move(forest));
+  return Status::OK();
+}
+
 double ChurnModel::Score(std::span<const double> row) const {
   TELCO_CHECK(classifier_ != nullptr) << "Score before Train";
   if (encoder_) {

@@ -73,6 +73,10 @@ class ChurnModel {
   /// Trains on a labelled dataset after applying the imbalance strategy.
   Status Train(const Dataset& labeled);
 
+  /// Installs an already-fitted forest (e.g. deserialised from a
+  /// checkpoint) in place of training. Requires kind == kRandomForest.
+  Status RestoreForest(RandomForest forest);
+
   /// Churn likelihood of one feature row.
   double Score(std::span<const double> row) const;
 

@@ -1,13 +1,55 @@
 #include "churn/pipeline.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
+#include <sstream>
 
+#include "churn/checkpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "features/churn_labels.h"
 
 namespace telco {
+
+namespace {
+
+// The prediction checkpoint: the final ranked list, one row per scored
+// customer, with scores at full precision so a replayed run is
+// bit-identical to the run that wrote it.
+std::string PredictionToCsv(const ChurnPrediction& prediction) {
+  std::ostringstream out;
+  out << "rank,imsi,score,label\n";
+  for (size_t i = 0; i < prediction.imsis.size(); ++i) {
+    out << i + 1 << ',' << prediction.imsis[i] << ','
+        << StrFormat("%.17g", prediction.scores[i]) << ','
+        << prediction.labels[i] << '\n';
+  }
+  return out.str();
+}
+
+Result<ChurnPrediction> PredictionFromCsv(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "rank,imsi,score,label") {
+    return Status::IoError("unrecognised prediction checkpoint header");
+  }
+  ChurnPrediction prediction;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto parts = Split(line, ',');
+    if (parts.size() != 4) {
+      return Status::IoError("malformed prediction checkpoint row '" + line +
+                             "'");
+    }
+    prediction.imsis.push_back(std::strtoll(parts[1].c_str(), nullptr, 10));
+    prediction.scores.push_back(std::strtod(parts[2].c_str(), nullptr));
+    prediction.labels.push_back(std::atoi(parts[3].c_str()));
+  }
+  return prediction;
+}
+
+}  // namespace
 
 std::vector<ScoredInstance> ChurnPrediction::ToScoredInstances() const {
   std::vector<ScoredInstance> out;
@@ -40,12 +82,70 @@ ChurnPipeline::ChurnPipeline(Catalog* catalog, PipelineOptions options,
   }
 }
 
+Result<WideTable> ChurnPipeline::BuildWideCheckpointed(int month) {
+  PipelineCheckpoint* cp = options_.checkpoint;
+  if (cp == nullptr || wide_checkpointed_.count(month) > 0) {
+    return wide_builder_->Build(month);  // memoised after the first touch
+  }
+  const std::string stage = StrFormat("wide_m%d", month);
+  if (cp->HasStage(stage)) {
+    Result<WideTable> restored = cp->LoadWideTable(stage);
+    if (restored.ok()) {
+      wide_builder_->InjectCached(month, std::move(restored).ValueOrDie());
+      wide_checkpointed_.insert(month);
+      return wide_builder_->Build(month);
+    }
+    // Fail-open: a corrupt artifact costs a recompute, never the run.
+    TELCO_LOG(Warning) << "checkpoint stage " << stage << " unusable ("
+                       << restored.status().ToString() << "); recomputing";
+  }
+  TELCO_ASSIGN_OR_RETURN(WideTable wide, wide_builder_->Build(month));
+  TELCO_RETURN_NOT_OK(cp->SaveWideTable(stage, wide));
+  wide_checkpointed_.insert(month);
+  return wide;
+}
+
+Result<std::unordered_map<int64_t, int>>
+ChurnPipeline::LoadLabelsCheckpointed(int month) {
+  PipelineCheckpoint* cp = options_.checkpoint;
+  if (cp == nullptr) return LoadChurnLabels(*catalog_, month);
+  const std::string stage = StrFormat("labels_m%d", month);
+  if (cp->HasStage(stage)) {
+    Result<std::unordered_map<int64_t, int>> restored = cp->LoadLabels(stage);
+    if (restored.ok()) return restored;
+    TELCO_LOG(Warning) << "checkpoint stage " << stage << " unusable ("
+                       << restored.status().ToString() << "); recomputing";
+  }
+  TELCO_ASSIGN_OR_RETURN(auto labels, LoadChurnLabels(*catalog_, month));
+  TELCO_RETURN_NOT_OK(cp->SaveLabels(stage, labels));
+  return labels;
+}
+
+Result<bool> ChurnPipeline::TryRestoreModel(
+    std::vector<std::string>* features) {
+  PipelineCheckpoint* cp = options_.checkpoint;
+  if (cp == nullptr || !cp->HasStage("model")) return false;
+  if (options_.model.kind != ClassifierKind::kRandomForest) return false;
+  Result<ForestArtifact> loaded = cp->LoadForest("model");
+  if (!loaded.ok()) {
+    TELCO_LOG(Warning) << "checkpointed model unusable ("
+                       << loaded.status().ToString() << "); retraining";
+    return false;
+  }
+  ForestArtifact artifact = std::move(loaded).ValueOrDie();
+  auto model = std::make_unique<ChurnModel>(options_.model);
+  TELCO_RETURN_NOT_OK(model->RestoreForest(std::move(artifact.forest)));
+  model_ = std::move(model);
+  *features = std::move(artifact.features);
+  return true;
+}
+
 Result<Dataset> ChurnPipeline::BuildMonthDataset(int feature_month,
                                                  int label_month) {
   TELCO_ASSIGN_OR_RETURN(const WideTable wide,
-                         wide_builder_->Build(feature_month));
+                         BuildWideCheckpointed(feature_month));
   TELCO_ASSIGN_OR_RETURN(const auto labels,
-                         LoadChurnLabels(*catalog_, label_month));
+                         LoadLabelsCheckpointed(label_month));
   const std::vector<std::string> feature_cols =
       wide.ColumnsForFamilies(options_.families);
   TELCO_ASSIGN_OR_RETURN(
@@ -80,30 +180,56 @@ Result<ChurnPrediction> ChurnPipeline::TrainAndPredict(int predict_month) {
   }
 
   timings_.Clear();
+  PipelineCheckpoint* cp = options_.checkpoint;
 
-  // Accumulate the training window.
-  Dataset train({});
-  {
-    ScopedStageTimer timer(&timings_, "features_train");
-    bool first = true;
-    for (int label_month = first_train_label; label_month <= last_train_label;
-         ++label_month) {
-      TELCO_ASSIGN_OR_RETURN(
-          Dataset month_data,
-          BuildMonthDataset(label_month - gap, label_month));
-      if (first) {
-        train = std::move(month_data);
-        first = false;
-      } else {
-        TELCO_RETURN_NOT_OK(train.Append(month_data));
-      }
+  // A finished run replays from its final checkpoint without touching the
+  // warehouse: the ranked prediction round-trips bit-identically.
+  if (cp != nullptr && cp->HasStage("prediction")) {
+    Result<std::string> text = cp->LoadText("prediction");
+    if (text.ok()) {
+      Result<ChurnPrediction> replay =
+          PredictionFromCsv(std::move(text).ValueOrDie());
+      if (replay.ok()) return replay;
+      text = replay.status();
     }
+    TELCO_LOG(Warning) << "prediction checkpoint unusable ("
+                       << text.status().ToString() << "); recomputing";
   }
 
-  model_ = std::make_unique<ChurnModel>(options_.model);
-  {
-    ScopedStageTimer timer(&timings_, "train");
-    TELCO_RETURN_NOT_OK(model_->Train(train));
+  // Train, unless a checkpointed model lets us skip the training window
+  // (and therefore its wide tables) entirely.
+  std::vector<std::string> model_features;
+  TELCO_ASSIGN_OR_RETURN(const bool restored,
+                         TryRestoreModel(&model_features));
+  if (!restored) {
+    Dataset train({});
+    {
+      ScopedStageTimer timer(&timings_, "features_train");
+      bool first = true;
+      for (int label_month = first_train_label;
+           label_month <= last_train_label; ++label_month) {
+        TELCO_ASSIGN_OR_RETURN(
+            Dataset month_data,
+            BuildMonthDataset(label_month - gap, label_month));
+        if (first) {
+          train = std::move(month_data);
+          first = false;
+        } else {
+          TELCO_RETURN_NOT_OK(train.Append(month_data));
+        }
+      }
+    }
+
+    model_ = std::make_unique<ChurnModel>(options_.model);
+    {
+      ScopedStageTimer timer(&timings_, "train");
+      TELCO_RETURN_NOT_OK(model_->Train(train));
+    }
+    model_features = train.feature_names();
+    if (cp != nullptr && model_->forest() != nullptr) {
+      TELCO_RETURN_NOT_OK(
+          cp->SaveForest("model", *model_->forest(), model_features));
+    }
   }
 
   // Score the prediction month (features observed `gap` months early).
@@ -113,10 +239,15 @@ Result<ChurnPrediction> ChurnPipeline::TrainAndPredict(int predict_month) {
     TELCO_ASSIGN_OR_RETURN(test, BuildMonthDataset(predict_month - gap,
                                                    predict_month));
   }
+  if (restored && test.feature_names() != model_features) {
+    return Status::InvalidArgument(
+        "checkpointed model was trained on different feature columns than "
+        "this run produces; delete the checkpoint or fix the run config");
+  }
   TELCO_ASSIGN_OR_RETURN(const WideTable wide,
-                         wide_builder_->Build(predict_month - gap));
+                         BuildWideCheckpointed(predict_month - gap));
   TELCO_ASSIGN_OR_RETURN(const auto labels,
-                         LoadChurnLabels(*catalog_, predict_month));
+                         LoadLabelsCheckpointed(predict_month));
   TELCO_ASSIGN_OR_RETURN(const Column* imsi_col,
                          wide.table->GetColumn("imsi"));
 
@@ -158,6 +289,9 @@ Result<ChurnPrediction> ChurnPipeline::TrainAndPredict(int predict_month) {
     sorted.imsis.push_back(prediction.imsis[idx]);
     sorted.scores.push_back(prediction.scores[idx]);
     sorted.labels.push_back(prediction.labels[idx]);
+  }
+  if (cp != nullptr) {
+    TELCO_RETURN_NOT_OK(cp->SaveText("prediction", PredictionToCsv(sorted)));
   }
   return sorted;
 }

@@ -15,6 +15,8 @@
 #define TELCO_CHURN_PIPELINE_H_
 
 #include <memory>
+#include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "churn/churn_model.h"
@@ -25,6 +27,8 @@
 #include "storage/catalog.h"
 
 namespace telco {
+
+class PipelineCheckpoint;
 
 struct PipelineOptions {
   ChurnModelOptions model;
@@ -43,6 +47,12 @@ struct PipelineOptions {
   /// owns a dedicated pool of that size. Results are bit-identical for
   /// any setting.
   int num_threads = 0;
+  /// When non-null, the pipeline persists each completed stage (monthly
+  /// wide tables, labels, the trained model, the final prediction) into
+  /// this checkpoint and skips stages the checkpoint already holds —
+  /// resumed runs produce bit-identical output. Not owned; must outlive
+  /// the pipeline. Corrupt checkpoint artifacts are recomputed.
+  PipelineCheckpoint* checkpoint = nullptr;
 };
 
 /// \brief The ranked churner list the deployed system hands to campaigns.
@@ -97,6 +107,15 @@ class ChurnPipeline {
   const PipelineOptions& options() const { return options_; }
 
  private:
+  /// Build(month) through the checkpoint: restores a checkpointed wide
+  /// table into the builder's cache, or builds and persists it.
+  Result<WideTable> BuildWideCheckpointed(int month);
+  /// LoadChurnLabels through the checkpoint.
+  Result<std::unordered_map<int64_t, int>> LoadLabelsCheckpointed(int month);
+  /// Restores the checkpointed model if present; returns true on success
+  /// and fills `features` with the training feature-column order.
+  Result<bool> TryRestoreModel(std::vector<std::string>* features);
+
   Catalog* catalog_;
   PipelineOptions options_;
   std::unique_ptr<ThreadPool> owned_pool_;
@@ -105,6 +124,9 @@ class ChurnPipeline {
   WideTableBuilder* wide_builder_;
   std::unique_ptr<ChurnModel> model_;
   StageTimings timings_;
+  /// Months whose wide table is already synchronised with the checkpoint
+  /// this run (restored or saved), so repeat builds skip checkpoint I/O.
+  std::set<int> wide_checkpointed_;
 };
 
 }  // namespace telco

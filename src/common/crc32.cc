@@ -1,0 +1,55 @@
+#include "common/crc32.h"
+
+#include <array>
+
+#include "common/string_util.h"
+
+namespace telco {
+
+namespace {
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  uint32_t c = seed ^ 0xffffffffu;
+  for (const char ch : data) {
+    c = kTable[(c ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::string Crc32Hex(uint32_t crc) { return StrFormat("%08x", crc); }
+
+bool ParseCrc32Hex(std::string_view hex, uint32_t* crc) {
+  if (hex.size() != 8 || crc == nullptr) return false;
+  uint32_t v = 0;
+  for (const char c : hex) {
+    uint32_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint32_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | digit;
+  }
+  *crc = v;
+  return true;
+}
+
+}  // namespace telco

@@ -1,0 +1,27 @@
+// CRC32 (the zlib/PNG polynomial, reflected): the integrity checksum of
+// every durable artifact — warehouse CSVs, model files, checkpoint
+// manifests. A torn or bit-flipped file must never load as valid data.
+
+#ifndef TELCO_COMMON_CRC32_H_
+#define TELCO_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace telco {
+
+/// \brief CRC32 of `data`. Pass a previous result as `seed` to checksum a
+/// stream incrementally: Crc32(b, Crc32(a)) == Crc32(ab).
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+/// \brief Fixed-width lower-case hex rendering ("00000000".."ffffffff"),
+/// the on-disk form used by manifests.
+std::string Crc32Hex(uint32_t crc);
+
+/// \brief Parses Crc32Hex output. Returns false on malformed input.
+bool ParseCrc32Hex(std::string_view hex, uint32_t* crc);
+
+}  // namespace telco
+
+#endif  // TELCO_COMMON_CRC32_H_

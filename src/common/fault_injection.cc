@@ -1,0 +1,124 @@
+#include "common/fault_injection.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace telco {
+
+namespace {
+
+// Every site must appear here: the crash-consistency harness iterates this
+// list, so an unlisted site would silently escape coverage (and a listed
+// but unreachable one would hang the harness's kill assertion).
+const char* const kSites[] = {
+    "atomic.commit",            // AtomicFile: before fsync of the tmp file
+    "atomic.rename",            // AtomicFile: after fsync, before rename
+    "csv.write",                // WriteCsv: table serialised, not committed
+    "warehouse.save.table",     // SaveWarehouse: before each table commit
+    "warehouse.save.manifest",  // SaveWarehouse: before MANIFEST commit
+    "warehouse.load.table",     // LoadWarehouse: per-table read (retried)
+    "model.save",               // SaveRandomForest: before commit
+    "model.load",               // LoadRandomForest: file read (retried)
+    "checkpoint.artifact",      // PipelineCheckpoint: before artifact commit
+    "checkpoint.manifest",      // PipelineCheckpoint: before STAGES commit
+};
+
+struct FaultSpec {
+  std::string site;
+  int trigger_at = 0;  // 1-based hit count that fires the fault
+  bool as_error = false;
+  int hits = 0;
+};
+
+struct FaultState {
+  std::mutex mutex;
+  bool parsed = false;
+  std::vector<FaultSpec> specs;
+};
+
+FaultState& State() {
+  static FaultState* state = new FaultState();
+  return *state;
+}
+
+bool KnownSite(const std::string& site) {
+  for (const char* s : kSites) {
+    if (site == s) return true;
+  }
+  return false;
+}
+
+// Parses "site:n[:error][,site:n[:error]...]"; malformed entries are
+// reported once and skipped rather than failing the process.
+std::vector<FaultSpec> ParseEnv() {
+  std::vector<FaultSpec> specs;
+  const char* env = std::getenv("TELCO_FAULT");
+  if (env == nullptr || env[0] == '\0') return specs;
+  for (const auto& entry : Split(env, ',')) {
+    const auto pieces = Split(entry, ':');
+    FaultSpec spec;
+    bool valid = pieces.size() == 2 || pieces.size() == 3;
+    if (valid) {
+      spec.site = pieces[0];
+      spec.trigger_at = std::atoi(pieces[1].c_str());
+      valid = spec.trigger_at >= 1 && KnownSite(spec.site);
+      if (valid && pieces.size() == 3) {
+        spec.as_error = pieces[2] == "error";
+        valid = spec.as_error;
+      }
+    }
+    if (!valid) {
+      TELCO_LOG(Warning) << "ignoring malformed TELCO_FAULT entry '" << entry
+                         << "'";
+      continue;
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<std::string>& KnownFaultSites() {
+  static const std::vector<std::string>* sites = [] {
+    auto* v = new std::vector<std::string>();
+    for (const char* s : kSites) v->push_back(s);
+    return v;
+  }();
+  return *sites;
+}
+
+Status MaybeInjectFault(const char* site) {
+  FaultState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (!state.parsed) {
+    state.specs = ParseEnv();
+    state.parsed = true;
+  }
+  for (FaultSpec& spec : state.specs) {
+    if (spec.site != site) continue;
+    if (++spec.hits != spec.trigger_at) continue;
+    if (spec.as_error) {
+      return Status::IoError(StrFormat(
+          "injected transient fault at %s (hit %d)", site, spec.hits));
+    }
+    // Simulated crash: skip all cleanup, exactly like a kill -9 as far as
+    // the filesystem is concerned (no flushes, no atexit handlers).
+    ::_exit(kFaultExitCode);
+  }
+  return Status::OK();
+}
+
+void ResetFaultInjection() {
+  FaultState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.specs = ParseEnv();
+  state.parsed = true;
+}
+
+}  // namespace telco

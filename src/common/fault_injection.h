@@ -1,0 +1,47 @@
+// Fault injection for crash-consistency testing.
+//
+// Durable-I/O code paths call MaybeInjectFault("<site>") at the points
+// where a crash would be most damaging (mid-write, between artifact and
+// manifest, during reads). Normally the call is a cheap no-op; under
+//
+//   TELCO_FAULT=<site>:<n>          kill the process (_exit) at the n-th
+//                                   hit of <site> — a simulated crash
+//   TELCO_FAULT=<site>:<n>:error    return a transient IoError instead,
+//                                   exercising the retry-with-backoff path
+//
+// the n-th execution of that site fires. Multiple comma-separated specs
+// are honoured independently. The crash-consistency ctest harness loops
+// over KnownFaultSites(), kills a checkpointed pipeline run at each one,
+// and asserts that `telcochurn resume` converges to bit-identical output.
+
+#ifndef TELCO_COMMON_FAULT_INJECTION_H_
+#define TELCO_COMMON_FAULT_INJECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace telco {
+
+/// Exit code of an injected kill, distinguishable from ordinary failures
+/// so test harnesses can assert the crash happened at the intended site.
+inline constexpr int kFaultExitCode = 86;
+
+/// \brief All registered kill/fault sites, in a stable order. Every entry
+/// is reachable from the `telcochurn` CLI flows (run/resume/simulate), so
+/// harnesses can iterate the list blindly.
+const std::vector<std::string>& KnownFaultSites();
+
+/// \brief The kill-point. Returns OK unless a TELCO_FAULT spec for `site`
+/// reaches its trigger count; then either _exit(kFaultExitCode)s (default)
+/// or returns a transient IoError (":error" specs).
+Status MaybeInjectFault(const char* site);
+
+/// \brief Re-reads TELCO_FAULT and resets all hit counters (tests only —
+/// production processes parse the environment once, lazily).
+void ResetFaultInjection();
+
+}  // namespace telco
+
+#endif  // TELCO_COMMON_FAULT_INJECTION_H_

@@ -1,0 +1,53 @@
+// Retry-with-backoff for transient I/O failures.
+//
+// The paper's platform reruns failed Hive/Spark stages automatically; the
+// single-node analogue is retrying reads that fail with a transient
+// IoError (NFS hiccup, concurrent writer mid-rename, injected fault)
+// before surfacing the failure to the pipeline.
+
+#ifndef TELCO_COMMON_RETRY_H_
+#define TELCO_COMMON_RETRY_H_
+
+#include <chrono>
+#include <thread>
+#include <type_traits>
+
+#include "common/result.h"
+
+namespace telco {
+
+struct RetryOptions {
+  /// Total attempts, including the first (1 = no retries).
+  int max_attempts = 3;
+  /// Sleep before the first retry; doubles after each further failure.
+  std::chrono::milliseconds initial_backoff{5};
+};
+
+/// \brief Invokes `fn` (returning Status or Result<T>) until it succeeds,
+/// fails with a non-IoError status, or exhausts `options.max_attempts`.
+/// Only IoError is treated as transient; other codes surface immediately.
+template <typename Fn>
+auto RetryWithBackoff(const RetryOptions& options, Fn&& fn)
+    -> std::invoke_result_t<Fn> {
+  using R = std::invoke_result_t<Fn>;
+  auto backoff = options.initial_backoff;
+  for (int attempt = 1;; ++attempt) {
+    R result = fn();
+    Status status;
+    if constexpr (std::is_same_v<R, Status>) {
+      status = result;
+    } else {
+      status = result.status();
+    }
+    if (status.ok() || !status.IsIoError() ||
+        attempt >= options.max_attempts) {
+      return result;
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff *= 2;
+  }
+}
+
+}  // namespace telco
+
+#endif  // TELCO_COMMON_RETRY_H_

@@ -565,6 +565,11 @@ Result<WideTable> WideTableBuilder::Build(int month) {
   wide.table = std::move(with_f9);
   wide.columns[FeatureFamily::kF9SecondOrder] = cols;
 
+  InjectCached(month, wide);
+  return wide;
+}
+
+void WideTableBuilder::InjectCached(int month, WideTable wide) {
   if (options_.cache_in_catalog) {
     const std::string name =
         options_.staleness_weeks > 0
@@ -572,8 +577,7 @@ Result<WideTable> WideTableBuilder::Build(int month) {
             : StrFormat("wide_m%d", month);
     catalog_->RegisterOrReplace(name, wide.table);
   }
-  cache_.emplace(month, wide);
-  return wide;
+  cache_.insert_or_assign(month, std::move(wide));
 }
 
 }  // namespace telco

@@ -82,6 +82,12 @@ class WideTableBuilder {
   /// Results are memoised per month.
   Result<WideTable> Build(int month);
 
+  /// Seeds the memo for `month` with an externally materialised wide
+  /// table (e.g. restored from a pipeline checkpoint), registering it in
+  /// the catalog exactly as Build would. Subsequent Build(month) calls
+  /// return it without recomputing.
+  void InjectCached(int month, WideTable wide);
+
   /// The (name_i, name_j) second-order pairs selected by the FM (fitted
   /// lazily on the pair-selection month). Exposed for diagnostics.
   Result<std::vector<std::pair<std::string, std::string>>>

@@ -103,16 +103,18 @@ double RecallAtU(const std::vector<ScoredInstance>& instances, size_t u) {
   return static_cast<double>(tp) / static_cast<double>(p);
 }
 
-double PrecisionAtU(const std::vector<ScoredInstance>& instances, size_t u) {
+double PrecisionAtU(const std::vector<ScoredInstance>& instances, size_t u,
+                    bool cap_at_list_size) {
   if (u == 0) return 0.0;
   const auto sorted = SortedDescending(instances);
   const size_t limit = std::min(u, sorted.size());
   if (limit == 0) return 0.0;
   size_t tp = 0;
   for (size_t i = 0; i < limit; ++i) tp += sorted[i].positive;
-  // Per Eq. (9) the denominator is U itself; when the test set is smaller
-  // than U we fall back to the attainable denominator.
-  return static_cast<double>(tp) / static_cast<double>(std::min(u, limit));
+  // Per Eq. (9) the denominator is U itself, even when fewer than U
+  // instances were ranked; the attainable-denominator fallback is opt-in.
+  const size_t denom = cap_at_list_size ? limit : u;
+  return static_cast<double>(tp) / static_cast<double>(denom);
 }
 
 double LiftAtU(const std::vector<ScoredInstance>& instances, size_t u) {

@@ -32,8 +32,14 @@ double PrAuc(const std::vector<ScoredInstance>& instances);
 /// all true churners.
 double RecallAtU(const std::vector<ScoredInstance>& instances, size_t u);
 
-/// \brief Precision@U (paper Eq. 9): true churners in the top U over U.
-double PrecisionAtU(const std::vector<ScoredInstance>& instances, size_t u);
+/// \brief Precision@U (paper Eq. 9): true churners in the top U over U —
+/// the denominator is U itself, so ranking fewer than U instances caps
+/// the attainable precision (a campaign of size U with too few candidates
+/// wastes the remainder). Pass `cap_at_list_size = true` to divide by
+/// min(U, |instances|) instead, for small test sets where the strict
+/// denominator is not meaningful.
+double PrecisionAtU(const std::vector<ScoredInstance>& instances, size_t u,
+                    bool cap_at_list_size = false);
 
 /// \brief Lift@U: precision@U over base positive rate.
 double LiftAtU(const std::vector<ScoredInstance>& instances, size_t u);

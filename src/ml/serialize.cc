@@ -1,9 +1,12 @@
 #include "ml/serialize.h"
 
-#include <fstream>
 #include <sstream>
 
+#include "common/crc32.h"
+#include "common/fault_injection.h"
+#include "common/retry.h"
 #include "common/string_util.h"
+#include "storage/atomic_file.h"
 
 namespace telco {
 
@@ -132,18 +135,48 @@ Result<RandomForest> ReadRandomForest(std::istream& in) {
 
 Status SaveRandomForest(const RandomForest& forest,
                         const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
-  TELCO_RETURN_NOT_OK(WriteRandomForest(forest, out));
-  out.flush();
-  if (!out) return Status::IoError("error flushing '" + path + "'");
-  return Status::OK();
+  std::ostringstream body;
+  TELCO_RETURN_NOT_OK(WriteRandomForest(forest, body));
+  // The trailer checksums every byte above it; a truncated, bit-flipped
+  // or trailer-less file is rejected by LoadRandomForest.
+  std::string content = body.str();
+  content += "crc32 " + Crc32Hex(Crc32(content)) + '\n';
+  TELCO_RETURN_NOT_OK(MaybeInjectFault("model.save"));
+  return WriteFileAtomic(path, content);
 }
 
 Result<RandomForest> LoadRandomForest(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
-  return ReadRandomForest(in);
+  return RetryWithBackoff(RetryOptions{}, [&]() -> Result<RandomForest> {
+    TELCO_RETURN_NOT_OK(MaybeInjectFault("model.load"));
+    TELCO_ASSIGN_OR_RETURN(const std::string content,
+                           ReadFileToString(path));
+    if (content.empty() || content.back() != '\n') {
+      return Status::IoError("model file '" + path +
+                             "' is truncated (no final newline)");
+    }
+    size_t trailer_start =
+        content.size() >= 2 ? content.rfind('\n', content.size() - 2)
+                            : std::string::npos;
+    trailer_start = trailer_start == std::string::npos ? 0 : trailer_start + 1;
+    const std::string trailer =
+        content.substr(trailer_start, content.size() - trailer_start - 1);
+    if (!StartsWith(trailer, "crc32 ")) {
+      return Status::IoError("model file '" + path +
+                             "' has no checksum trailer (truncated file?)");
+    }
+    uint32_t expected = 0;
+    if (!ParseCrc32Hex(trailer.substr(6), &expected)) {
+      return Status::IoError("model file '" + path +
+                             "' has a malformed checksum trailer");
+    }
+    const std::string model_body = content.substr(0, trailer_start);
+    if (Crc32(model_body) != expected) {
+      return Status::IoError("checksum mismatch in model file '" + path +
+                             "' (corrupt or torn file)");
+    }
+    std::istringstream in(model_body);
+    return ReadRandomForest(in);
+  });
 }
 
 }  // namespace telco

@@ -21,8 +21,14 @@ Status WriteRandomForest(const RandomForest& forest, std::ostream& out);
 /// \brief Reads a forest written by WriteRandomForest.
 Result<RandomForest> ReadRandomForest(std::istream& in);
 
-/// \brief File-level convenience wrappers.
+/// \brief Saves a forest to `path` atomically (tmp-write-fsync-rename)
+/// with a trailing `crc32 <8 hex>` line covering every byte above it.
 Status SaveRandomForest(const RandomForest& forest, const std::string& path);
+
+/// \brief Loads a file written by SaveRandomForest, verifying the
+/// checksum trailer before parsing (fail-closed: a truncated, corrupt or
+/// trailer-less file is an IoError). Transient read failures are retried
+/// with backoff.
 Result<RandomForest> LoadRandomForest(const std::string& path);
 
 }  // namespace telco

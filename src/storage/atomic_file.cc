@@ -1,0 +1,93 @@
+#include "storage/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "common/fault_injection.h"
+
+namespace telco {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+// Best-effort fsync of `path` (a file or directory). Returns OK on
+// platforms/filesystems that refuse directory fds.
+Status FsyncPath(const std::string& path, bool directory) {
+  const int flags = directory ? O_RDONLY | O_DIRECTORY : O_WRONLY;
+  const int fd = ::open(path.c_str(), flags | O_CLOEXEC);
+  if (fd < 0) {
+    if (directory) return Status::OK();
+    return ErrnoStatus("cannot open for fsync", path);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && !directory) return ErrnoStatus("fsync failed on", path);
+  return Status::OK();
+}
+
+}  // namespace
+
+AtomicFile::AtomicFile(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {}
+
+AtomicFile::~AtomicFile() {
+  if (opened_ && !committed_) {
+    out_.close();
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+Status AtomicFile::Open() {
+  out_.open(tmp_path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    return Status::IoError("cannot open '" + tmp_path_ + "' for writing");
+  }
+  opened_ = true;
+  return Status::OK();
+}
+
+Status AtomicFile::Commit() {
+  if (!opened_) return Status::Internal("Commit before Open");
+  if (committed_) return Status::Internal("Commit called twice");
+  out_.flush();
+  if (!out_) return Status::IoError("error while writing '" + tmp_path_ + "'");
+  out_.close();
+  TELCO_RETURN_NOT_OK(MaybeInjectFault("atomic.commit"));
+  TELCO_RETURN_NOT_OK(FsyncPath(tmp_path_, /*directory=*/false));
+  TELCO_RETURN_NOT_OK(MaybeInjectFault("atomic.rename"));
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    return ErrnoStatus("cannot rename into", path_);
+  }
+  committed_ = true;
+  std::filesystem::path parent = std::filesystem::path(path_).parent_path();
+  if (parent.empty()) parent = ".";
+  return FsyncPath(parent.string(), /*directory=*/true);
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view content) {
+  AtomicFile file(path);
+  TELCO_RETURN_NOT_OK(file.Open());
+  file.stream().write(content.data(),
+                      static_cast<std::streamsize>(content.size()));
+  return file.Commit();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("error while reading '" + path + "'");
+  return buffer.str();
+}
+
+}  // namespace telco

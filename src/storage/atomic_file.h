@@ -1,0 +1,61 @@
+// AtomicFile: crash-safe file replacement (write tmp, fsync, rename).
+//
+// Every durable artifact of the warehouse — table CSVs, the MANIFEST,
+// model files, checkpoint manifests — goes through this helper, so a
+// crash at any instant leaves either the old file or the new file, never
+// a torn one. This is the single-node analogue of the paper's HDFS
+// write-then-rename job-output commit.
+
+#ifndef TELCO_STORAGE_ATOMIC_FILE_H_
+#define TELCO_STORAGE_ATOMIC_FILE_H_
+
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace telco {
+
+/// \brief Writes `<path>.tmp`, then on Commit fsyncs and renames it over
+/// `path` (plus a parent-directory fsync so the rename itself is durable).
+/// If the object is destroyed without a successful Commit, the tmp file is
+/// removed and `path` is untouched.
+class AtomicFile {
+ public:
+  explicit AtomicFile(std::string path);
+  ~AtomicFile();
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// Opens the tmp file for writing (truncating a stale leftover).
+  Status Open();
+
+  /// The stream to write through. Valid only after a successful Open.
+  std::ostream& stream() { return out_; }
+
+  /// Flush + fsync + rename + directory fsync. After OK, readers of
+  /// `path` see the complete new content.
+  Status Commit();
+
+  /// The final path this file will commit to.
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream out_;
+  bool opened_ = false;
+  bool committed_ = false;
+};
+
+/// \brief One-shot atomic whole-file write.
+Status WriteFileAtomic(const std::string& path, std::string_view content);
+
+/// \brief Reads an entire file (binary) into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace telco
+
+#endif  // TELCO_STORAGE_ATOMIC_FILE_H_

@@ -5,7 +5,10 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/crc32.h"
+#include "common/fault_injection.h"
 #include "common/string_util.h"
+#include "storage/atomic_file.h"
 
 namespace telco {
 
@@ -29,9 +32,15 @@ void WriteRow(std::ostream& out, const Table& table, size_t row) {
   for (size_t c = 0; c < table.num_columns(); ++c) {
     if (c > 0) out << ',';
     const Value v = table.GetValue(row, c);
-    if (v.is_null()) continue;
+    if (v.is_null()) continue;  // NULL is a bare empty field
     if (v.is_string()) {
-      out << (NeedsQuoting(v.str()) ? QuoteField(v.str()) : v.str());
+      if (v.str().empty()) {
+        // An empty string must stay distinguishable from NULL: it is
+        // written as a quoted empty field.
+        out << "\"\"";
+      } else {
+        out << (NeedsQuoting(v.str()) ? QuoteField(v.str()) : v.str());
+      }
     } else if (v.is_int64()) {
       out << v.int64();
     } else {
@@ -50,104 +59,141 @@ void WriteHeader(std::ostream& out, const Table& table) {
   out << '\n';
 }
 
-// Splits one CSV record into fields, honouring quotes. Returns false on a
-// malformed record (unterminated quote).
-bool SplitRecord(const std::string& line, std::vector<std::string>* fields) {
+/// One parsed field plus whether it was quoted in the source — the only
+/// way to tell a stored empty string ("" in the file) from NULL (a bare
+/// empty field).
+struct CsvField {
+  std::string text;
+  bool quoted = false;
+};
+
+// Reads one logical CSV record, honouring quotes. A quoted field may
+// embed newlines, in which case the record spans several physical lines
+// and this keeps consuming until the quote closes. Returns false when the
+// stream is exhausted before any input; fails on a quote left open at EOF.
+// `line_no` advances by the number of physical lines consumed.
+Result<bool> ReadRecord(std::istream& in, std::vector<CsvField>* fields,
+                        size_t* line_no) {
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  ++*line_no;
   fields->clear();
-  std::string cur;
+  CsvField cur;
   bool in_quotes = false;
-  for (size_t i = 0; i < line.size(); ++i) {
-    const char c = line[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          cur += '"';
-          ++i;
+  size_t i = 0;
+  while (true) {
+    for (; i < line.size(); ++i) {
+      const char c = line[i];
+      if (in_quotes) {
+        if (c == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            cur.text += '"';
+            ++i;
+          } else {
+            in_quotes = false;
+          }
         } else {
-          in_quotes = false;
+          cur.text += c;  // includes '\r': quoted content is verbatim
         }
+      } else if (c == '"') {
+        in_quotes = true;
+        cur.quoted = true;
+      } else if (c == ',') {
+        fields->push_back(std::move(cur));
+        cur = CsvField();
+      } else if (c == '\r') {
+        // Tolerate CRLF line endings outside quotes.
       } else {
-        cur += c;
+        cur.text += c;
       }
-    } else if (c == '"') {
-      in_quotes = true;
-    } else if (c == ',') {
-      fields->push_back(std::move(cur));
-      cur.clear();
-    } else if (c == '\r') {
-      // Tolerate CRLF line endings.
-    } else {
-      cur += c;
     }
+    if (!in_quotes) break;
+    // The open quote swallowed the line break: the record continues on
+    // the next physical line with a literal newline in between.
+    cur.text += '\n';
+    if (!std::getline(in, line)) {
+      return Status::IoError(
+          StrFormat("unterminated quote in CSV record ending at line %zu",
+                    *line_no));
+    }
+    ++*line_no;
+    i = 0;
   }
-  if (in_quotes) return false;
   fields->push_back(std::move(cur));
   return true;
 }
 
-Result<Value> ParseField(const std::string& field, DataType type) {
-  if (field.empty()) return Value::Null();
+Result<Value> ParseField(const CsvField& field, DataType type) {
+  // A bare empty field is NULL; a quoted empty field ("") is an empty
+  // string (and a type error in numeric columns, like any other
+  // unparsable text).
+  if (field.text.empty() && !field.quoted) return Value::Null();
   switch (type) {
     case DataType::kInt64: {
       errno = 0;
       char* end = nullptr;
-      const long long v = std::strtoll(field.c_str(), &end, 10);
-      if (errno != 0 || end == field.c_str() || *end != '\0') {
-        return Status::TypeError("cannot parse '" + field + "' as int64");
+      const long long v = std::strtoll(field.text.c_str(), &end, 10);
+      if (errno != 0 || end == field.text.c_str() || *end != '\0') {
+        return Status::TypeError("cannot parse '" + field.text +
+                                 "' as int64");
       }
       return Value(static_cast<int64_t>(v));
     }
     case DataType::kDouble: {
       errno = 0;
       char* end = nullptr;
-      const double v = std::strtod(field.c_str(), &end);
-      if (errno != 0 || end == field.c_str() || *end != '\0') {
-        return Status::TypeError("cannot parse '" + field + "' as double");
+      const double v = std::strtod(field.text.c_str(), &end);
+      if (errno != 0 || end == field.text.c_str() || *end != '\0') {
+        return Status::TypeError("cannot parse '" + field.text +
+                                 "' as double");
       }
       return Value(v);
     }
     case DataType::kString:
-      return Value(field);
+      return Value(field.text);
   }
   return Status::Internal("unreachable");
 }
 
+// True for the record a blank physical line parses to. Only meaningful
+// for multi-column schemas: with a single column a blank line is a
+// legitimate NULL row and must not be dropped.
+bool IsBlankRecord(const std::vector<CsvField>& fields) {
+  return fields.size() == 1 && fields[0].text.empty() && !fields[0].quoted;
+}
+
 Result<std::shared_ptr<Table>> ParseCsvStream(std::istream& in,
                                               const Schema& schema) {
-  std::string line;
-  if (!std::getline(in, line)) {
+  std::vector<CsvField> fields;
+  size_t line_no = 0;
+  TELCO_ASSIGN_OR_RETURN(const bool has_header,
+                         ReadRecord(in, &fields, &line_no));
+  if (!has_header) {
     return Status::IoError("CSV input is empty (missing header)");
   }
-  std::vector<std::string> header;
-  if (!SplitRecord(line, &header)) {
-    return Status::IoError("malformed CSV header");
-  }
-  if (header.size() != schema.num_fields()) {
+  if (fields.size() != schema.num_fields()) {
     return Status::InvalidArgument(StrFormat(
         "CSV header width %zu does not match schema width %zu",
-        header.size(), schema.num_fields()));
+        fields.size(), schema.num_fields()));
   }
-  for (size_t i = 0; i < header.size(); ++i) {
-    if (std::string(Trim(header[i])) != schema.field(i).name) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (std::string(Trim(fields[i].text)) != schema.field(i).name) {
       return Status::InvalidArgument(
-          "CSV header field '" + header[i] + "' does not match schema field '" +
-          schema.field(i).name + "'");
+          "CSV header field '" + fields[i].text +
+          "' does not match schema field '" + schema.field(i).name + "'");
     }
   }
 
   TableBuilder builder(schema);
-  std::vector<std::string> fields;
-  size_t line_no = 1;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty() || (line.size() == 1 && line[0] == '\r')) continue;
-    if (!SplitRecord(line, &fields)) {
-      return Status::IoError(StrFormat("malformed CSV record at line %zu",
-                                       line_no));
-    }
+  while (true) {
+    const size_t record_line = line_no + 1;
+    TELCO_ASSIGN_OR_RETURN(const bool more,
+                           ReadRecord(in, &fields, &line_no));
+    if (!more) break;
+    if (schema.num_fields() > 1 && IsBlankRecord(fields)) continue;
     if (fields.size() != schema.num_fields()) {
       return Status::InvalidArgument(StrFormat(
-          "CSV record at line %zu has %zu fields, expected %zu", line_no,
+          "CSV record at line %zu has %zu fields, expected %zu", record_line,
           fields.size(), schema.num_fields()));
     }
     std::vector<Value> row;
@@ -164,14 +210,15 @@ Result<std::shared_ptr<Table>> ParseCsvStream(std::istream& in,
 
 }  // namespace
 
-Status WriteCsv(const Table& table, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
-  WriteHeader(out, table);
-  for (size_t r = 0; r < table.num_rows(); ++r) WriteRow(out, table, r);
-  out.flush();
-  if (!out) return Status::IoError("error while writing '" + path + "'");
-  return Status::OK();
+Status WriteCsv(const Table& table, const std::string& path,
+                uint32_t* crc32) {
+  // Serialise fully before touching the filesystem so the commit is a
+  // single atomic replace and the checksum covers exactly what was
+  // written.
+  const std::string content = ToCsvString(table);
+  if (crc32 != nullptr) *crc32 = Crc32(content);
+  TELCO_RETURN_NOT_OK(MaybeInjectFault("csv.write"));
+  return WriteFileAtomic(path, content);
 }
 
 std::string ToCsvString(const Table& table) {

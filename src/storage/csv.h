@@ -3,6 +3,7 @@
 #ifndef TELCO_STORAGE_CSV_H_
 #define TELCO_STORAGE_CSV_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -11,16 +12,21 @@
 
 namespace telco {
 
-/// \brief Writes a table as RFC-4180-style CSV with a header row.
-/// Strings containing separators, quotes or newlines are quoted; nulls are
-/// written as empty fields.
-Status WriteCsv(const Table& table, const std::string& path);
+/// \brief Writes a table as RFC-4180-style CSV with a header row, via an
+/// atomic tmp-write-fsync-rename so a crash never leaves a torn file.
+/// Strings containing separators, quotes or newlines are quoted; NULL is a
+/// bare empty field; an empty string is a quoted empty field (""). When
+/// `crc32` is non-null it receives the CRC32 of the written bytes.
+Status WriteCsv(const Table& table, const std::string& path,
+                uint32_t* crc32 = nullptr);
 
 /// \brief Serialises a table to a CSV string (testing convenience).
 std::string ToCsvString(const Table& table);
 
-/// \brief Reads a CSV file into a table using the given schema.
-/// Empty fields become nulls; int64/double fields are parsed strictly.
+/// \brief Reads a CSV file into a table using the given schema. Quoted
+/// fields may span physical lines (embedded newlines round-trip); bare
+/// empty fields become NULL, quoted empty fields become empty strings;
+/// int64/double fields are parsed strictly.
 Result<std::shared_ptr<Table>> ReadCsv(const std::string& path,
                                        const Schema& schema);
 

@@ -1,10 +1,14 @@
 #include "storage/warehouse_io.h"
 
 #include <filesystem>
-#include <fstream>
+#include <sstream>
 
+#include "common/crc32.h"
+#include "common/fault_injection.h"
+#include "common/retry.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "storage/atomic_file.h"
 #include "storage/csv.h"
 
 namespace telco {
@@ -13,6 +17,9 @@ namespace {
 
 namespace fs = std::filesystem;
 
+constexpr char kManifestMagic[] = "telcochurn-warehouse";
+constexpr int kManifestVersion = 2;
+
 Result<DataType> ParseType(const std::string& name) {
   if (name == "int64") return DataType::kInt64;
   if (name == "double") return DataType::kDouble;
@@ -20,7 +27,69 @@ Result<DataType> ParseType(const std::string& name) {
   return Status::InvalidArgument("unknown type '" + name + "' in manifest");
 }
 
-std::string SchemaSpec(const Schema& schema) {
+struct ManifestEntry {
+  std::string name;
+  Schema schema;
+  /// Row count and checksum; absent (-1 / no crc) in legacy v1 manifests.
+  int64_t rows = -1;
+  bool has_crc = false;
+  uint32_t crc = 0;
+};
+
+Result<ManifestEntry> ParseManifestLine(const std::string& line,
+                                        size_t line_no, int version) {
+  const auto parts = Split(line, '|');
+  const size_t expected = version >= 2 ? 4 : 2;
+  if (parts.size() != expected) {
+    return Status::InvalidArgument(
+        StrFormat("malformed manifest line %zu", line_no));
+  }
+  ManifestEntry entry;
+  entry.name = parts[0];
+  TELCO_ASSIGN_OR_RETURN(entry.schema, SchemaFromSpec(parts[1]));
+  if (version >= 2) {
+    errno = 0;
+    char* end = nullptr;
+    entry.rows = std::strtoll(parts[2].c_str(), &end, 10);
+    if (errno != 0 || end == parts[2].c_str() || *end != '\0' ||
+        entry.rows < 0) {
+      return Status::InvalidArgument(
+          StrFormat("bad row count in manifest line %zu", line_no));
+    }
+    if (!ParseCrc32Hex(parts[3], &entry.crc)) {
+      return Status::InvalidArgument(
+          StrFormat("bad checksum in manifest line %zu", line_no));
+    }
+    entry.has_crc = true;
+  }
+  return entry;
+}
+
+// Reads, verifies and parses one table file. Transient failures (including
+// injected ones) are retried by the caller.
+Result<TablePtr> LoadTableVerified(const std::string& path,
+                                   const ManifestEntry& entry) {
+  TELCO_RETURN_NOT_OK(MaybeInjectFault("warehouse.load.table"));
+  TELCO_ASSIGN_OR_RETURN(const std::string content, ReadFileToString(path));
+  if (entry.has_crc && Crc32(content) != entry.crc) {
+    return Status::IoError("checksum mismatch for table '" + entry.name +
+                           "' (corrupt or torn file " + path + ")");
+  }
+  TELCO_ASSIGN_OR_RETURN(TablePtr table,
+                         ParseCsvString(content, entry.schema));
+  if (entry.rows >= 0 &&
+      table->num_rows() != static_cast<size_t>(entry.rows)) {
+    return Status::IoError(StrFormat(
+        "table '%s' has %zu rows but the manifest records %lld",
+        entry.name.c_str(), table->num_rows(),
+        static_cast<long long>(entry.rows)));
+  }
+  return table;
+}
+
+}  // namespace
+
+std::string SchemaToSpec(const Schema& schema) {
   std::vector<std::string> parts;
   parts.reserve(schema.num_fields());
   for (const auto& f : schema.fields()) {
@@ -29,7 +98,7 @@ std::string SchemaSpec(const Schema& schema) {
   return Join(parts, ",");
 }
 
-Result<Schema> ParseSchemaSpec(const std::string& spec) {
+Result<Schema> SchemaFromSpec(const std::string& spec) {
   std::vector<Field> fields;
   for (const auto& part : Split(spec, ',')) {
     const auto pieces = Split(part, ':');
@@ -43,8 +112,6 @@ Result<Schema> ParseSchemaSpec(const std::string& spec) {
   return Schema::Make(std::move(fields));
 }
 
-}  // namespace
-
 Status SaveWarehouse(const Catalog& catalog, const std::string& directory) {
   std::error_code ec;
   fs::create_directories(directory, ec);
@@ -52,21 +119,23 @@ Status SaveWarehouse(const Catalog& catalog, const std::string& directory) {
     return Status::IoError("cannot create directory '" + directory +
                            "': " + ec.message());
   }
-  std::ofstream manifest(fs::path(directory) / "MANIFEST");
-  if (!manifest) {
-    return Status::IoError("cannot write manifest in '" + directory + "'");
-  }
+  // Each table commits atomically; the MANIFEST commits last, so a crash
+  // anywhere in this loop leaves no manifest referencing a missing or
+  // torn table.
+  std::ostringstream manifest;
+  manifest << kManifestMagic << ' ' << kManifestVersion << '\n';
   for (const std::string& name : catalog.ListTables()) {
     TELCO_ASSIGN_OR_RETURN(const TablePtr table, catalog.Get(name));
     const fs::path file = fs::path(directory) / (name + ".csv");
-    TELCO_RETURN_NOT_OK(WriteCsv(*table, file.string()));
-    manifest << name << '|' << SchemaSpec(table->schema()) << '\n';
+    TELCO_RETURN_NOT_OK(MaybeInjectFault("warehouse.save.table"));
+    uint32_t crc = 0;
+    TELCO_RETURN_NOT_OK(WriteCsv(*table, file.string(), &crc));
+    manifest << name << '|' << SchemaToSpec(table->schema()) << '|'
+             << table->num_rows() << '|' << Crc32Hex(crc) << '\n';
   }
-  manifest.flush();
-  if (!manifest) {
-    return Status::IoError("error writing manifest in '" + directory + "'");
-  }
-  return Status::OK();
+  TELCO_RETURN_NOT_OK(MaybeInjectFault("warehouse.save.manifest"));
+  const fs::path manifest_path = fs::path(directory) / "MANIFEST";
+  return WriteFileAtomic(manifest_path.string(), manifest.str());
 }
 
 Status LoadWarehouse(const std::string& directory, Catalog* catalog,
@@ -74,31 +143,33 @@ Status LoadWarehouse(const std::string& directory, Catalog* catalog,
   if (catalog == nullptr) {
     return Status::InvalidArgument("null catalog");
   }
-  std::ifstream manifest(fs::path(directory) / "MANIFEST");
-  if (!manifest) {
-    return Status::IoError("cannot open manifest in '" + directory + "'");
-  }
+  const fs::path manifest_path = fs::path(directory) / "MANIFEST";
+  TELCO_ASSIGN_OR_RETURN(const std::string manifest_text,
+                         ReadFileToString(manifest_path.string()));
   // Parse the manifest serially (it is tiny), then fan the per-table CSV
-  // parsing — the expensive part — out across the pool.
-  struct PendingTable {
-    std::string name;
-    Schema schema;
-  };
-  std::vector<PendingTable> pending;
+  // reading + verification — the expensive part — out across the pool.
+  std::istringstream manifest(manifest_text);
   std::string line;
   size_t line_no = 0;
+  int version = 1;
+  std::vector<ManifestEntry> pending;
   while (std::getline(manifest, line)) {
     ++line_no;
     if (line.empty()) continue;
-    const size_t bar = line.find('|');
-    if (bar == std::string::npos) {
-      return Status::InvalidArgument(
-          StrFormat("malformed manifest line %zu", line_no));
+    if (line_no == 1 && StartsWith(line, kManifestMagic)) {
+      const auto head = Split(line, ' ');
+      if (head.size() != 2) {
+        return Status::InvalidArgument("malformed manifest header");
+      }
+      version = std::atoi(head[1].c_str());
+      if (version < 1 || version > kManifestVersion) {
+        return Status::InvalidArgument(
+            StrFormat("unsupported warehouse manifest version %d", version));
+      }
+      continue;
     }
-    PendingTable entry;
-    entry.name = line.substr(0, bar);
-    TELCO_ASSIGN_OR_RETURN(entry.schema,
-                           ParseSchemaSpec(line.substr(bar + 1)));
+    TELCO_ASSIGN_OR_RETURN(ManifestEntry entry,
+                           ParseManifestLine(line, line_no, version));
     pending.push_back(std::move(entry));
   }
 
@@ -107,7 +178,9 @@ Status LoadWarehouse(const std::string& directory, Catalog* catalog,
   if (pool == nullptr) pool = &ThreadPool::Default();
   pool->ParallelFor(0, pending.size(), [&](size_t i) {
     const fs::path file = fs::path(directory) / (pending[i].name + ".csv");
-    Result<TablePtr> table = ReadCsv(file.string(), pending[i].schema);
+    Result<TablePtr> table = RetryWithBackoff(RetryOptions{}, [&] {
+      return LoadTableVerified(file.string(), pending[i]);
+    });
     if (table.ok()) {
       tables[i] = std::move(table).ValueOrDie();
     } else {
@@ -115,8 +188,10 @@ Status LoadWarehouse(const std::string& directory, Catalog* catalog,
     }
   });
   // Register in manifest order; report the first failure by entry order.
+  // Nothing registers unless every table verified, so a corrupt warehouse
+  // never partially replaces a good catalog.
+  for (const Status& st : statuses) TELCO_RETURN_NOT_OK(st);
   for (size_t i = 0; i < pending.size(); ++i) {
-    TELCO_RETURN_NOT_OK(statuses[i]);
     catalog->RegisterOrReplace(pending[i].name, std::move(tables[i]));
   }
   return Status::OK();

@@ -2,6 +2,13 @@
 // CSV files plus a schema manifest — the repo's stand-in for the paper's
 // HDFS-resident warehouse, and the bridge for bringing real exported
 // telco data into the pipeline.
+//
+// Durability model: every table file and the MANIFEST are written via
+// atomic tmp-write-fsync-rename, and the MANIFEST is written last, so an
+// interrupted SaveWarehouse leaves either the previous complete warehouse
+// or no manifest at all — never a loadable-but-corrupt state. The v2
+// manifest records per-table row counts and CRC32 checksums that
+// LoadWarehouse verifies (fail-closed) before registering any table.
 
 #ifndef TELCO_STORAGE_WAREHOUSE_IO_H_
 #define TELCO_STORAGE_WAREHOUSE_IO_H_
@@ -16,17 +23,28 @@ namespace telco {
 class ThreadPool;
 
 /// \brief Writes every table of `catalog` into `directory` (created if
-/// missing): one `<table>.csv` per table plus a `MANIFEST` file recording
-/// each table's schema (`name|field:type,field:type,...`).
+/// missing): one `<table>.csv` per table plus a `MANIFEST` file, written
+/// last, recording each table's schema, row count and CRC32
+/// (`name|field:type,...|rows|crc32hex`).
 Status SaveWarehouse(const Catalog& catalog, const std::string& directory);
 
 /// \brief Loads a directory written by SaveWarehouse into `catalog`
 /// (existing tables with the same names are replaced). Per-table CSV
 /// parsing fans out across `pool` (null = the process-wide default pool);
 /// tables register in manifest order regardless of thread count, and the
-/// first failing manifest entry's error is reported.
+/// first failing manifest entry's error is reported. Checksums and row
+/// counts from a v2 manifest are verified before registration; transient
+/// per-table read failures are retried with backoff. Legacy (v1)
+/// manifests without checksums still load.
 Status LoadWarehouse(const std::string& directory, Catalog* catalog,
                      ThreadPool* pool = nullptr);
+
+/// \brief Renders a schema as the manifest/checkpoint spec
+/// `field:type,field:type,...`.
+std::string SchemaToSpec(const Schema& schema);
+
+/// \brief Parses SchemaToSpec output back into a Schema.
+Result<Schema> SchemaFromSpec(const std::string& spec);
 
 }  // namespace telco
 

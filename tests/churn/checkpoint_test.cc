@@ -1,0 +1,230 @@
+#include "churn/checkpoint.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "../features/sim_fixture.h"
+#include "churn/pipeline.h"
+#include "common/string_util.h"
+#include "storage/atomic_file.h"
+
+namespace telco {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const char* tag) {
+  const std::string dir = ::testing::TempDir() + "/telco_checkpoint_" + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+PipelineOptions FastOptions() {
+  PipelineOptions options;
+  options.model.rf.num_trees = 30;
+  options.model.rf.min_samples_split = 30;
+  return options;
+}
+
+TEST(CheckpointTest, OpenCreatesDirAndConfig) {
+  const std::string dir = FreshDir("open");
+  auto cp = PipelineCheckpoint::Open(dir, "month=3\n");
+  ASSERT_TRUE(cp.ok()) << cp.status().ToString();
+  auto config = PipelineCheckpoint::ReadConfig(dir);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(*config, "month=3\n");
+  EXPECT_FALSE((*cp)->HasStage("model"));
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointTest, ConfigMismatchWipesStages) {
+  const std::string dir = FreshDir("wipe");
+  {
+    auto cp = PipelineCheckpoint::Open(dir, "month=3\n");
+    ASSERT_TRUE(cp.ok());
+    ASSERT_TRUE((*cp)->SaveText("prediction", "rank,imsi\n").ok());
+    ASSERT_TRUE((*cp)->HasStage("prediction"));
+  }
+  {
+    // Same config: stages survive.
+    auto cp = PipelineCheckpoint::Open(dir, "month=3\n");
+    ASSERT_TRUE(cp.ok());
+    EXPECT_TRUE((*cp)->HasStage("prediction"));
+  }
+  {
+    // Different config: stale stages must not be resumed.
+    auto cp = PipelineCheckpoint::Open(dir, "month=4\n");
+    ASSERT_TRUE(cp.ok());
+    EXPECT_FALSE((*cp)->HasStage("prediction"));
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointTest, TextRoundTrip) {
+  const std::string dir = FreshDir("text");
+  auto cp = PipelineCheckpoint::Open(dir, "c\n");
+  ASSERT_TRUE(cp.ok());
+  ASSERT_TRUE((*cp)->SaveText("prediction", "rank,imsi\n1,42\n").ok());
+  auto text = (*cp)->LoadText("prediction");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_EQ(*text, "rank,imsi\n1,42\n");
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointTest, CorruptArtifactDetected) {
+  const std::string dir = FreshDir("corrupt");
+  auto cp = PipelineCheckpoint::Open(dir, "c\n");
+  ASSERT_TRUE(cp.ok());
+  ASSERT_TRUE((*cp)->SaveText("prediction", "rank,imsi\n1,42\n").ok());
+  ASSERT_TRUE(
+      WriteFileAtomic(dir + "/prediction.csv", "rank,imsi\n1,43\n").ok());
+  const auto text = (*cp)->LoadText("prediction");
+  EXPECT_TRUE(text.status().IsIoError());
+  EXPECT_NE(text.status().ToString().find("checksum mismatch"),
+            std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointTest, LabelsRoundTripSorted) {
+  const std::string dir = FreshDir("labels");
+  auto cp = PipelineCheckpoint::Open(dir, "c\n");
+  ASSERT_TRUE(cp.ok());
+  const std::unordered_map<int64_t, int> labels = {
+      {30, 1}, {10, 0}, {20, 1}};
+  ASSERT_TRUE((*cp)->SaveLabels("labels_m2", labels).ok());
+  auto loaded = (*cp)->LoadLabels("labels_m2");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, labels);
+  // Deterministic bytes regardless of hash order.
+  auto bytes = ReadFileToString(dir + "/labels_m2.csv");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "imsi,label\n10,0\n20,1\n30,1\n");
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointTest, WideTableRoundTripsExactly) {
+  auto& shared = sim_fixture::GetSharedSim();
+  WideTableBuilder builder(&shared.catalog);
+  auto wide = builder.Build(2);
+  ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+
+  const std::string dir = FreshDir("wide");
+  auto cp = PipelineCheckpoint::Open(dir, "c\n");
+  ASSERT_TRUE(cp.ok());
+  ASSERT_TRUE((*cp)->SaveWideTable("wide_m2", *wide).ok());
+  auto loaded = (*cp)->LoadWideTable("wide_m2");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->table->schema(), wide->table->schema());
+  EXPECT_EQ(loaded->columns, wide->columns);
+  ASSERT_EQ(loaded->table->num_rows(), wide->table->num_rows());
+  // Bit-exact cells (doubles included) are what make resume bit-identical.
+  for (size_t r = 0; r < wide->table->num_rows(); ++r) {
+    for (size_t c = 0; c < wide->table->num_columns(); ++c) {
+      ASSERT_EQ(loaded->table->GetValue(r, c), wide->table->GetValue(r, c))
+          << "cell (" << r << ", " << c << ")";
+    }
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointTest, ResumedPipelineBitIdentical) {
+  auto& shared = sim_fixture::GetSharedSim();
+  const std::string dir = FreshDir("resume");
+  auto cp = PipelineCheckpoint::Open(dir, "c\n");
+  ASSERT_TRUE(cp.ok());
+
+  PipelineOptions options = FastOptions();
+  options.checkpoint = cp->get();
+  ChurnPipeline first(&shared.catalog, options);
+  auto baseline = first.TrainAndPredict(3);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  // A fresh pipeline over the same checkpoint replays the stored
+  // prediction: identical down to the last score bit.
+  auto cp2 = PipelineCheckpoint::Open(dir, "c\n");
+  ASSERT_TRUE(cp2.ok());
+  PipelineOptions options2 = FastOptions();
+  options2.checkpoint = cp2->get();
+  ChurnPipeline second(&shared.catalog, options2);
+  auto resumed = second.TrainAndPredict(3);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->imsis, baseline->imsis);
+  EXPECT_EQ(resumed->scores, baseline->scores);
+  EXPECT_EQ(resumed->labels, baseline->labels);
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointTest, PartialCheckpointResumesFromModel) {
+  auto& shared = sim_fixture::GetSharedSim();
+  const std::string dir = FreshDir("partial");
+  auto cp = PipelineCheckpoint::Open(dir, "c\n");
+  ASSERT_TRUE(cp.ok());
+  PipelineOptions options = FastOptions();
+  options.checkpoint = cp->get();
+  ChurnPipeline first(&shared.catalog, options);
+  auto baseline = first.TrainAndPredict(3);
+  ASSERT_TRUE(baseline.ok());
+
+  // Drop the final stage, as if the run died mid-scoring: the resumed run
+  // restores the model (skipping training) and recomputes the rest.
+  fs::remove(dir + "/prediction.csv");
+  auto stages = ReadFileToString(dir + "/STAGES");
+  ASSERT_TRUE(stages.ok());
+  std::string pruned;
+  for (const auto& line : Split(*stages, '\n')) {
+    if (line.empty() || line.rfind("prediction|", 0) == 0) continue;
+    pruned += line + "\n";
+  }
+  ASSERT_TRUE(WriteFileAtomic(dir + "/STAGES", pruned).ok());
+
+  auto cp3 = PipelineCheckpoint::Open(dir, "c\n");
+  ASSERT_TRUE(cp3.ok());
+  EXPECT_TRUE((*cp3)->HasStage("model"));
+  EXPECT_FALSE((*cp3)->HasStage("prediction"));
+  PipelineOptions options3 = FastOptions();
+  options3.checkpoint = cp3->get();
+  ChurnPipeline resumed(&shared.catalog, options3);
+  auto prediction = resumed.TrainAndPredict(3);
+  ASSERT_TRUE(prediction.ok()) << prediction.status().ToString();
+  EXPECT_EQ(prediction->imsis, baseline->imsis);
+  EXPECT_EQ(prediction->scores, baseline->scores);
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointTest, CorruptWideArtifactRecomputed) {
+  auto& shared = sim_fixture::GetSharedSim();
+  const std::string dir = FreshDir("recompute");
+  auto cp = PipelineCheckpoint::Open(dir, "c\n");
+  ASSERT_TRUE(cp.ok());
+  PipelineOptions options = FastOptions();
+  options.checkpoint = cp->get();
+  ChurnPipeline first(&shared.catalog, options);
+  auto baseline = first.TrainAndPredict(3);
+  ASSERT_TRUE(baseline.ok());
+
+  // Corrupt every artifact except the manifest: the resumed run must
+  // notice each mismatch, recompute, and still match the baseline.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name == "STAGES" || name == "CONFIG") continue;
+    auto bytes = ReadFileToString(entry.path().string());
+    ASSERT_TRUE(bytes.ok());
+    ASSERT_TRUE(
+        WriteFileAtomic(entry.path().string(), *bytes + "TRAILING JUNK")
+            .ok());
+  }
+  auto cp2 = PipelineCheckpoint::Open(dir, "c\n");
+  ASSERT_TRUE(cp2.ok());
+  PipelineOptions options2 = FastOptions();
+  options2.checkpoint = cp2->get();
+  ChurnPipeline resumed(&shared.catalog, options2);
+  auto prediction = resumed.TrainAndPredict(3);
+  ASSERT_TRUE(prediction.ok()) << prediction.status().ToString();
+  EXPECT_EQ(prediction->scores, baseline->scores);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace telco

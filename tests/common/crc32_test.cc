@@ -1,0 +1,46 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+namespace telco {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // The standard CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_EQ(Crc32("a"), 0xe8b7be43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string a = "hello, ";
+  const std::string b = "warehouse";
+  EXPECT_EQ(Crc32(b, Crc32(a)), Crc32(a + b));
+}
+
+TEST(Crc32Test, SensitiveToSingleBitFlip) {
+  std::string data = "the quick brown fox";
+  const uint32_t before = Crc32(data);
+  data[5] ^= 0x01;
+  EXPECT_NE(Crc32(data), before);
+}
+
+TEST(Crc32Test, HexRoundTrip) {
+  const uint32_t crc = Crc32("roundtrip");
+  const std::string hex = Crc32Hex(crc);
+  EXPECT_EQ(hex.size(), 8u);
+  uint32_t parsed = 0;
+  ASSERT_TRUE(ParseCrc32Hex(hex, &parsed));
+  EXPECT_EQ(parsed, crc);
+}
+
+TEST(Crc32Test, ParseRejectsMalformed) {
+  uint32_t parsed = 0;
+  EXPECT_FALSE(ParseCrc32Hex("", &parsed));
+  EXPECT_FALSE(ParseCrc32Hex("deadbee", &parsed));    // too short
+  EXPECT_FALSE(ParseCrc32Hex("deadbeef0", &parsed));  // too long
+  EXPECT_FALSE(ParseCrc32Hex("deadbeeg", &parsed));   // non-hex digit
+}
+
+}  // namespace
+}  // namespace telco

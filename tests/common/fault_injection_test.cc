@@ -1,0 +1,131 @@
+#include "common/fault_injection.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/retry.h"
+
+namespace telco {
+namespace {
+
+// Error-mode injection only: kill-mode (_exit) is exercised by the
+// crash-consistency shell harness, where the dying process is a child.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("TELCO_FAULT");
+    ResetFaultInjection();
+  }
+
+  void SetFault(const char* spec) {
+    ::setenv("TELCO_FAULT", spec, 1);
+    ResetFaultInjection();
+  }
+};
+
+TEST_F(FaultInjectionTest, NoEnvNoFault) {
+  SetFault("");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(MaybeInjectFault("model.load").ok());
+  }
+}
+
+TEST_F(FaultInjectionTest, ErrorModeFiresOnNthHitOnly) {
+  SetFault("model.load:3:error");
+  EXPECT_TRUE(MaybeInjectFault("model.load").ok());
+  EXPECT_TRUE(MaybeInjectFault("model.load").ok());
+  const Status st = MaybeInjectFault("model.load");
+  EXPECT_TRUE(st.IsIoError()) << st.ToString();
+  // One-shot: later hits pass again.
+  EXPECT_TRUE(MaybeInjectFault("model.load").ok());
+}
+
+TEST_F(FaultInjectionTest, OtherSitesUnaffected) {
+  SetFault("model.load:1:error");
+  EXPECT_TRUE(MaybeInjectFault("model.save").ok());
+  EXPECT_TRUE(MaybeInjectFault("atomic.commit").ok());
+  EXPECT_TRUE(MaybeInjectFault("model.load").IsIoError());
+}
+
+TEST_F(FaultInjectionTest, MultipleSpecsIndependent) {
+  SetFault("model.load:1:error,model.save:2:error");
+  EXPECT_TRUE(MaybeInjectFault("model.load").IsIoError());
+  EXPECT_TRUE(MaybeInjectFault("model.save").ok());
+  EXPECT_TRUE(MaybeInjectFault("model.save").IsIoError());
+}
+
+TEST_F(FaultInjectionTest, MalformedEntriesIgnored) {
+  SetFault("nonsense,unknown.site:1:error,model.load:0:error,model.load:x");
+  EXPECT_TRUE(MaybeInjectFault("model.load").ok());
+}
+
+TEST_F(FaultInjectionTest, KnownSitesNonEmptyAndStable) {
+  const auto& sites = KnownFaultSites();
+  ASSERT_FALSE(sites.empty());
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "atomic.commit"),
+            sites.end());
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "model.save"),
+            sites.end());
+}
+
+TEST_F(FaultInjectionTest, RetryAbsorbsTransientFault) {
+  SetFault("model.load:1:error");
+  int calls = 0;
+  const Status st = RetryWithBackoff(RetryOptions{}, [&] {
+    ++calls;
+    return MaybeInjectFault("model.load");
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  // The first attempt absorbs the injected IoError; the retry succeeds.
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryTest, ReturnsFirstSuccess) {
+  int calls = 0;
+  const Status st = RetryWithBackoff(RetryOptions{}, [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, RetriesIoErrorUntilExhausted) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.initial_backoff = std::chrono::milliseconds(0);
+  int calls = 0;
+  const Status st = RetryWithBackoff(options, [&] {
+    ++calls;
+    return Status::IoError("flaky");
+  });
+  EXPECT_TRUE(st.IsIoError());
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryTest, NonIoErrorSurfacesImmediately) {
+  int calls = 0;
+  const Status st = RetryWithBackoff(RetryOptions{}, [&] {
+    ++calls;
+    return Status::InvalidArgument("permanent");
+  });
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, WorksWithResultValues) {
+  RetryOptions options;
+  options.initial_backoff = std::chrono::milliseconds(0);
+  int calls = 0;
+  const Result<int> r = RetryWithBackoff(options, [&]() -> Result<int> {
+    if (++calls < 3) return Status::IoError("flaky");
+    return 42;
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(calls, 3);
+}
+
+}  // namespace
+}  // namespace telco

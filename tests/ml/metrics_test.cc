@@ -78,7 +78,21 @@ TEST(RecallPrecisionAtU, TopOfList) {
 TEST(RecallPrecisionAtU, ULargerThanList) {
   const std::vector<ScoredInstance> inst = {{0.9, true}, {0.1, false}};
   EXPECT_DOUBLE_EQ(RecallAtU(inst, 10), 1.0);
-  EXPECT_DOUBLE_EQ(PrecisionAtU(inst, 10), 0.5);
+  // Eq. (9) divides by U itself: ranking only 2 candidates for a
+  // 10-customer campaign caps precision at 2/10.
+  EXPECT_DOUBLE_EQ(PrecisionAtU(inst, 10), 0.1);
+  // The attainable-denominator fallback is explicit opt-in.
+  EXPECT_DOUBLE_EQ(PrecisionAtU(inst, 10, /*cap_at_list_size=*/true), 0.5);
+}
+
+TEST(RecallPrecisionAtU, CapMatchesStrictWhenListIsLongEnough) {
+  const std::vector<ScoredInstance> inst = {
+      {0.9, true}, {0.8, false}, {0.7, true}, {0.2, false}, {0.1, false}};
+  for (size_t u = 1; u <= 5; ++u) {
+    EXPECT_DOUBLE_EQ(PrecisionAtU(inst, u),
+                     PrecisionAtU(inst, u, /*cap_at_list_size=*/true))
+        << "u=" << u;
+  }
 }
 
 TEST(RecallPrecisionAtU, EdgeCases) {

@@ -1,11 +1,15 @@
 #include "ml/serialize.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "common/crc32.h"
+#include "common/fault_injection.h"
 #include "ml_test_util.h"
+#include "storage/atomic_file.h"
 
 namespace telco {
 namespace {
@@ -103,6 +107,87 @@ TEST(SerializeTest, RejectsCorruptChildIndex) {
 TEST(SerializeTest, MissingFileFails) {
   EXPECT_TRUE(
       LoadRandomForest("/nonexistent/model").status().IsIoError());
+}
+
+TEST(SerializeTest, SavedFileCarriesChecksumTrailer) {
+  const Dataset data = ml_testing::LinearlySeparable(200, 911);
+  const RandomForest original = FittedForest(data);
+  const std::string path = ::testing::TempDir() + "/telco_rf_trailer.model";
+  ASSERT_TRUE(SaveRandomForest(original, path).ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  // Last line is "crc32 <8 hex>" covering everything above it.
+  const size_t trailer = content->rfind("crc32 ");
+  ASSERT_NE(trailer, std::string::npos);
+  uint32_t recorded = 0;
+  ASSERT_TRUE(ParseCrc32Hex(content->substr(trailer + 6, 8), &recorded));
+  EXPECT_EQ(recorded, Crc32(content->substr(0, trailer)));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CorruptSavedFileFailsClosed) {
+  const Dataset data = ml_testing::LinearlySeparable(200, 913);
+  const RandomForest original = FittedForest(data);
+  const std::string path = ::testing::TempDir() + "/telco_rf_corrupt.model";
+  ASSERT_TRUE(SaveRandomForest(original, path).ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  std::string tampered = *content;
+  tampered[tampered.size() / 3] ^= 0x04;  // flip one bit in the body
+  ASSERT_TRUE(WriteFileAtomic(path, tampered).ok());
+  const auto loaded = LoadRandomForest(path);
+  EXPECT_TRUE(loaded.status().IsIoError());
+  EXPECT_NE(loaded.status().ToString().find("checksum mismatch"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedSavedFileFailsClosed) {
+  const Dataset data = ml_testing::LinearlySeparable(200, 917);
+  const RandomForest original = FittedForest(data);
+  const std::string path =
+      ::testing::TempDir() + "/telco_rf_truncated.model";
+  ASSERT_TRUE(SaveRandomForest(original, path).ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  // Cut mid-file: the trailer disappears, so the load must refuse.
+  ASSERT_TRUE(
+      WriteFileAtomic(path, content->substr(0, content->size() / 2)).ok());
+  EXPECT_TRUE(LoadRandomForest(path).status().IsIoError());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TrailerlessFileFailsClosed) {
+  const Dataset data = ml_testing::LinearlySeparable(200, 919);
+  const RandomForest original = FittedForest(data);
+  std::stringstream stream;
+  ASSERT_TRUE(WriteRandomForest(original, stream).ok());
+  const std::string path =
+      ::testing::TempDir() + "/telco_rf_trailerless.model";
+  // A complete body written without SaveRandomForest (no trailer) is
+  // rejected: files from the unchecksummed writer must go through the
+  // stream API instead.
+  ASSERT_TRUE(WriteFileAtomic(path, stream.str()).ok());
+  const auto loaded = LoadRandomForest(path);
+  EXPECT_TRUE(loaded.status().IsIoError());
+  EXPECT_NE(loaded.status().ToString().find("trailer"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TransientLoadFaultIsRetried) {
+  const Dataset data = ml_testing::LinearlySeparable(200, 921);
+  const RandomForest original = FittedForest(data);
+  const std::string path = ::testing::TempDir() + "/telco_rf_retry.model";
+  ASSERT_TRUE(SaveRandomForest(original, path).ok());
+  ::setenv("TELCO_FAULT", "model.load:1:error", 1);
+  ResetFaultInjection();
+  const auto loaded = LoadRandomForest(path);
+  ::unsetenv("TELCO_FAULT");
+  ResetFaultInjection();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_trees(), original.num_trees());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,98 @@
+#include "storage/atomic_file.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+
+namespace telco {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/telco_atomic_" + name;
+}
+
+TEST(AtomicFileTest, WriteAndCommit) {
+  const std::string path = TempPath("basic");
+  fs::remove(path);
+  {
+    AtomicFile file(path);
+    ASSERT_TRUE(file.Open().ok());
+    file.stream() << "hello\n";
+    ASSERT_TRUE(file.Commit().ok());
+  }
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "hello\n");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  fs::remove(path);
+}
+
+TEST(AtomicFileTest, AbandonedWriteLeavesTargetUntouched) {
+  const std::string path = TempPath("abandon");
+  ASSERT_TRUE(WriteFileAtomic(path, "original").ok());
+  {
+    AtomicFile file(path);
+    ASSERT_TRUE(file.Open().ok());
+    file.stream() << "half-written garbage";
+    // No Commit: destructor must clean up.
+  }
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "original");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  fs::remove(path);
+}
+
+TEST(AtomicFileTest, CommitReplacesPreviousContent) {
+  const std::string path = TempPath("replace");
+  ASSERT_TRUE(WriteFileAtomic(path, "old").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "new").ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "new");
+  fs::remove(path);
+}
+
+TEST(AtomicFileTest, OpenFailsInMissingDirectory) {
+  AtomicFile file("/nonexistent/dir/file.txt");
+  EXPECT_TRUE(file.Open().IsIoError());
+}
+
+TEST(AtomicFileTest, ReadFileToStringMissingFails) {
+  EXPECT_TRUE(ReadFileToString("/nonexistent/file").status().IsIoError());
+}
+
+TEST(AtomicFileTest, ReadFileToStringPreservesBinaryContent) {
+  const std::string path = TempPath("binary");
+  const std::string content("a\0b\r\nc", 6);
+  ASSERT_TRUE(WriteFileAtomic(path, content).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, content);
+  fs::remove(path);
+}
+
+// Error-mode fault before the commit: the target keeps its old content
+// and no committed tmp file survives.
+TEST(AtomicFileTest, InjectedCommitFaultFailsClosed) {
+  const std::string path = TempPath("fault");
+  ASSERT_TRUE(WriteFileAtomic(path, "old").ok());
+  ::setenv("TELCO_FAULT", "atomic.commit:1:error", 1);
+  ResetFaultInjection();
+  const Status st = WriteFileAtomic(path, "new");
+  ::unsetenv("TELCO_FAULT");
+  ResetFaultInjection();
+  EXPECT_TRUE(st.IsIoError()) << st.ToString();
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "old");
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace telco

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+
 namespace telco {
 namespace {
 
@@ -97,6 +99,130 @@ TEST(CsvTest, EmptyFieldsBecomeNulls) {
   for (size_t c = 0; c < 3; ++c) {
     EXPECT_TRUE((*parsed)->GetValue(0, c).is_null());
   }
+}
+
+TEST(CsvTest, QuotedFieldsSpanPhysicalLines) {
+  // WriteCsv quotes embedded newlines; the reader must consume the whole
+  // logical record, not reject it as an unterminated quote.
+  const std::string csv = "id,score,name\n1,2.0,\"line one\nline two\"\n";
+  auto parsed = ParseCsvString(csv, TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ((*parsed)->num_rows(), 1u);
+  EXPECT_EQ((*parsed)->GetValue(0, 2).str(), "line one\nline two");
+}
+
+TEST(CsvTest, MultiLineQuotedRoundTrip) {
+  TableBuilder builder(TestSchema());
+  ASSERT_TRUE(
+      builder.AppendRow({Value(1), Value(0.5), Value("a\nb\r\nc,\"d\"")})
+          .ok());
+  ASSERT_TRUE(builder.AppendRow({Value(2), Value(1.5), Value("\n")}).ok());
+  const TablePtr original = *builder.Finish();
+  auto parsed = ParseCsvString(ToCsvString(*original), TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ((*parsed)->num_rows(), 2u);
+  EXPECT_EQ((*parsed)->GetValue(0, 2).str(), "a\nb\r\nc,\"d\"");
+  EXPECT_EQ((*parsed)->GetValue(1, 2).str(), "\n");
+}
+
+TEST(CsvTest, UnterminatedQuoteAtEofRejected) {
+  const std::string csv = "id,score,name\n1,2.0,\"never closed\n";
+  EXPECT_TRUE(ParseCsvString(csv, TestSchema()).status().IsIoError());
+}
+
+TEST(CsvTest, EmptyStringDistinctFromNull) {
+  TableBuilder builder(TestSchema());
+  ASSERT_TRUE(builder.AppendRow({Value(1), Value(0.5), Value("")}).ok());
+  ASSERT_TRUE(
+      builder.AppendRow({Value(2), Value(0.5), Value::Null()}).ok());
+  const TablePtr original = *builder.Finish();
+  const std::string csv = ToCsvString(*original);
+  // On disk: "" for the empty string, a bare empty field for NULL.
+  EXPECT_NE(csv.find("1,0.5,\"\"\n"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("2,0.5,\n"), std::string::npos) << csv;
+  auto parsed = ParseCsvString(csv, TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE((*parsed)->GetValue(0, 2).is_null());
+  EXPECT_EQ((*parsed)->GetValue(0, 2).str(), "");
+  EXPECT_TRUE((*parsed)->GetValue(1, 2).is_null());
+}
+
+TEST(CsvTest, QuotedEmptyNumericFieldRejected) {
+  const std::string csv = "id,score,name\n\"\",1.0,x\n";
+  EXPECT_TRUE(ParseCsvString(csv, TestSchema()).status().IsTypeError());
+}
+
+TEST(CsvTest, SingleStringColumnNullRoundTrips) {
+  // With one string column a NULL row serialises as a blank line, which
+  // must parse back as a NULL row rather than be skipped.
+  const Schema schema({{"s", DataType::kString}});
+  TableBuilder builder(schema);
+  ASSERT_TRUE(builder.AppendRow({Value("x")}).ok());
+  ASSERT_TRUE(builder.AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(builder.AppendRow({Value("y")}).ok());
+  const TablePtr original = *builder.Finish();
+  auto parsed = ParseCsvString(ToCsvString(*original), schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ((*parsed)->num_rows(), 3u);
+  EXPECT_TRUE((*parsed)->GetValue(1, 0).is_null());
+}
+
+TEST(CsvTest, CarriageReturnInsideQuotesPreserved) {
+  const std::string csv = "id,score,name\n1,2.0,\"a\rb\"\r\n";
+  auto parsed = ParseCsvString(csv, TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ((*parsed)->GetValue(0, 2).str(), "a\rb");
+}
+
+// Property test: random tables with every nasty string shape — quotes,
+// commas, CR, LF, CRLF, empty strings, NULLs — round-trip value-exactly.
+TEST(CsvTest, RoundTripPropertyNastyStrings) {
+  const char* kAlphabet[] = {"a",  "\"", ",",  "\n", "\r", "\r\n",
+                             "x,", "\"\"", " ", "\t"};
+  Rng rng(20260806);
+  for (int iter = 0; iter < 50; ++iter) {
+    TableBuilder builder(TestSchema());
+    const size_t rows = 1 + rng.UniformInt(uint64_t{12});
+    for (size_t r = 0; r < rows; ++r) {
+      const Value id = rng.Bernoulli(0.1)
+                           ? Value::Null()
+                           : Value(static_cast<int64_t>(
+                                 rng.UniformInt(int64_t{-1000}, 1000)));
+      const Value score = rng.Bernoulli(0.1)
+                              ? Value::Null()
+                              : Value(rng.Uniform(-1e6, 1e6));
+      Value name = Value::Null();
+      if (!rng.Bernoulli(0.15)) {
+        std::string s;
+        const size_t pieces = rng.UniformInt(uint64_t{7});
+        for (size_t p = 0; p < pieces; ++p) {
+          s += kAlphabet[rng.UniformInt(
+              uint64_t{sizeof(kAlphabet) / sizeof(kAlphabet[0])})];
+        }
+        name = Value(std::move(s));
+      }
+      ASSERT_TRUE(builder.AppendRow({id, score, name}).ok());
+    }
+    const TablePtr original = *builder.Finish();
+    auto parsed = ParseCsvString(ToCsvString(*original), TestSchema());
+    ASSERT_TRUE(parsed.ok())
+        << parsed.status().ToString() << "\n" << ToCsvString(*original);
+    ASSERT_EQ((*parsed)->num_rows(), original->num_rows()) << "iter " << iter;
+    for (size_t r = 0; r < original->num_rows(); ++r) {
+      for (size_t c = 0; c < original->num_columns(); ++c) {
+        EXPECT_EQ((*parsed)->GetValue(r, c), original->GetValue(r, c))
+            << "iter " << iter << " cell (" << r << ", " << c << ")";
+      }
+    }
+  }
+}
+
+TEST(CsvTest, WriteCsvReportsChecksum) {
+  const std::string path = ::testing::TempDir() + "/telco_csv_crc.csv";
+  uint32_t crc = 0;
+  ASSERT_TRUE(WriteCsv(*MakeTestTable(), path, &crc).ok());
+  EXPECT_NE(crc, 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

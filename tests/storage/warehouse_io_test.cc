@@ -1,8 +1,14 @@
 #include "storage/warehouse_io.h"
 
+#include <cstdlib>
 #include <filesystem>
 
 #include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "common/fault_injection.h"
+#include "common/string_util.h"
+#include "storage/atomic_file.h"
 
 namespace telco {
 namespace {
@@ -75,6 +81,117 @@ TEST(WarehouseIoTest, EmptyCatalogRoundTrips) {
   Catalog loaded;
   ASSERT_TRUE(LoadWarehouse(dir, &loaded).ok());
   EXPECT_EQ(loaded.size(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WarehouseIoTest, ManifestRecordsRowCountsAndChecksums) {
+  Catalog original;
+  original.RegisterOrReplace("t", SampleTable());
+  const std::string dir = FreshDir("manifest_v2");
+  ASSERT_TRUE(SaveWarehouse(original, dir).ok());
+  auto manifest = ReadFileToString(dir + "/MANIFEST");
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_TRUE(StartsWith(*manifest, "telcochurn-warehouse 2\n")) << *manifest;
+  // name|schema|rows|crc
+  EXPECT_NE(manifest->find("t|id:int64,name:string,v:double|2|"),
+            std::string::npos)
+      << *manifest;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WarehouseIoTest, CorruptTableFailsClosed) {
+  Catalog original;
+  original.RegisterOrReplace("good", SampleTable());
+  original.RegisterOrReplace("tampered", SampleTable());
+  const std::string dir = FreshDir("corrupt");
+  ASSERT_TRUE(SaveWarehouse(original, dir).ok());
+  // Flip bytes in one table without updating the manifest.
+  auto content = ReadFileToString(dir + "/tampered.csv");
+  ASSERT_TRUE(content.ok());
+  std::string tampered = *content;
+  tampered[tampered.size() / 2] ^= 0x20;
+  ASSERT_TRUE(WriteFileAtomic(dir + "/tampered.csv", tampered).ok());
+
+  Catalog loaded;
+  const Status st = LoadWarehouse(dir, &loaded);
+  EXPECT_TRUE(st.IsIoError()) << st.ToString();
+  EXPECT_NE(st.ToString().find("checksum mismatch"), std::string::npos);
+  // Fail-closed: nothing registered, not even the intact table.
+  EXPECT_EQ(loaded.size(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WarehouseIoTest, RowCountMismatchFailsClosed) {
+  Catalog original;
+  original.RegisterOrReplace("t", SampleTable());
+  const std::string dir = FreshDir("rowcount");
+  ASSERT_TRUE(SaveWarehouse(original, dir).ok());
+  // Rewrite the manifest claiming one extra row, with a matching crc so
+  // only the row-count check can catch it.
+  auto table_bytes = ReadFileToString(dir + "/t.csv");
+  ASSERT_TRUE(table_bytes.ok());
+  const std::string manifest =
+      "telcochurn-warehouse 2\nt|id:int64,name:string,v:double|3|" +
+      Crc32Hex(Crc32(*table_bytes)) + "\n";
+  ASSERT_TRUE(WriteFileAtomic(dir + "/MANIFEST", manifest).ok());
+  Catalog loaded;
+  const Status st = LoadWarehouse(dir, &loaded);
+  EXPECT_TRUE(st.IsIoError()) << st.ToString();
+  EXPECT_EQ(loaded.size(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WarehouseIoTest, MissingTableFileFailsClosed) {
+  Catalog original;
+  original.RegisterOrReplace("t", SampleTable());
+  const std::string dir = FreshDir("missing_table");
+  ASSERT_TRUE(SaveWarehouse(original, dir).ok());
+  std::filesystem::remove(dir + "/t.csv");
+  Catalog loaded;
+  EXPECT_TRUE(LoadWarehouse(dir, &loaded).IsIoError());
+  EXPECT_EQ(loaded.size(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WarehouseIoTest, LegacyV1ManifestStillLoads) {
+  Catalog original;
+  original.RegisterOrReplace("t", SampleTable());
+  const std::string dir = FreshDir("legacy");
+  ASSERT_TRUE(SaveWarehouse(original, dir).ok());
+  // Downgrade the manifest to the pre-checksum format: no header line,
+  // name|schema only.
+  ASSERT_TRUE(WriteFileAtomic(dir + "/MANIFEST",
+                              "t|id:int64,name:string,v:double\n")
+                  .ok());
+  Catalog loaded;
+  ASSERT_TRUE(LoadWarehouse(dir, &loaded).ok());
+  EXPECT_EQ((*loaded.Get("t"))->num_rows(), 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WarehouseIoTest, UnsupportedManifestVersionRejected) {
+  const std::string dir = FreshDir("badversion");
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(
+      WriteFileAtomic(dir + "/MANIFEST", "telcochurn-warehouse 99\n").ok());
+  Catalog loaded;
+  EXPECT_TRUE(LoadWarehouse(dir, &loaded).IsInvalidArgument());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WarehouseIoTest, TransientLoadFaultIsRetried) {
+  Catalog original;
+  original.RegisterOrReplace("t", SampleTable());
+  const std::string dir = FreshDir("retry");
+  ASSERT_TRUE(SaveWarehouse(original, dir).ok());
+  ::setenv("TELCO_FAULT", "warehouse.load.table:1:error", 1);
+  ResetFaultInjection();
+  Catalog loaded;
+  const Status st = LoadWarehouse(dir, &loaded);
+  ::unsetenv("TELCO_FAULT");
+  ResetFaultInjection();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(loaded.size(), 1u);
   std::filesystem::remove_all(dir);
 }
 

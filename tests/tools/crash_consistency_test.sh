@@ -1,0 +1,130 @@
+#!/bin/sh
+# Crash-consistency harness for the telcochurn CLI.
+#
+# For every registered fault site, runs the pipeline with
+# TELCO_FAULT=<site>:1 (kill mode), expecting either a completed run or
+# the process dying at the kill-point (exit 86). Then resumes and asserts
+# the surviving checkpoint converges to the same bytes as an undisturbed
+# baseline run: identical metrics, identical prediction.csv, identical
+# model.rf.
+#
+# Also exercises: idempotent resume, retry of transient (error-mode)
+# faults, and the warehouse fail-closed property — a save killed mid-way
+# must never leave a directory that loads as a silently corrupt warehouse.
+set -e
+
+CLI="$1"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+FAULT_EXIT=86
+
+fail() { echo "FAIL: $1"; exit 1; }
+
+# Small but non-trivial warehouse: enough customers that training is
+# meaningful, small enough to keep the whole sweep within the timeout.
+"$CLI" simulate --out "$WORKDIR/wh" --customers 900 --months 3 --seed 11 \
+    2> /dev/null
+
+RUN_FLAGS="--warehouse $WORKDIR/wh --month 3 --trees 20 --u 60"
+
+# --- Baseline -------------------------------------------------------------
+BASE="$WORKDIR/base"
+"$CLI" run $RUN_FLAGS --checkpoint-dir "$BASE" 2> /dev/null \
+    > "$WORKDIR/base_metrics" || fail "baseline run"
+test -s "$BASE/prediction.csv" || fail "baseline left no prediction"
+test -s "$BASE/model.rf" || fail "baseline left no model"
+
+# Resume over a complete checkpoint replays stored stages: identical.
+"$CLI" resume --checkpoint-dir "$BASE" 2> /dev/null \
+    > "$WORKDIR/idem_metrics" || fail "idempotent resume"
+cmp -s "$WORKDIR/base_metrics" "$WORKDIR/idem_metrics" \
+    || fail "idempotent resume changed metrics"
+
+# --- Transient-error retry ------------------------------------------------
+# One-shot IoErrors at retryable sites are absorbed by backoff: the run
+# still completes with baseline-identical output.
+for SITE in warehouse.load.table model.load; do
+  DIR="$WORKDIR/retry_$(echo "$SITE" | tr '.' '_')"
+  TELCO_FAULT="$SITE:1:error" "$CLI" run $RUN_FLAGS \
+      --checkpoint-dir "$DIR" 2> /dev/null > "$WORKDIR/retry_metrics" \
+      || fail "transient $SITE not absorbed"
+  cmp -s "$WORKDIR/base_metrics" "$WORKDIR/retry_metrics" \
+      || fail "transient $SITE changed metrics"
+done
+
+# --- Kill at every fault site, then resume --------------------------------
+"$CLI" fault-sites > "$WORKDIR/sites" || fail "fault-sites"
+test -s "$WORKDIR/sites" || fail "no fault sites registered"
+
+N=0
+while read -r SITE; do
+  [ -n "$SITE" ] || continue
+  N=$((N + 1))
+  DIR="$WORKDIR/kill_$N"
+
+  set +e
+  TELCO_FAULT="$SITE:1" "$CLI" run $RUN_FLAGS --checkpoint-dir "$DIR" \
+      2> /dev/null > /dev/null
+  STATUS=$?
+  set -e
+  if [ "$STATUS" -ne 0 ] && [ "$STATUS" -ne "$FAULT_EXIT" ]; then
+    fail "kill at $SITE: unexpected exit $STATUS"
+  fi
+
+  # Resume from whatever survived. A kill before CONFIG became durable
+  # leaves nothing to resume; rerunning `run` is the documented recovery.
+  if [ -f "$DIR/CONFIG" ]; then
+    "$CLI" resume --checkpoint-dir "$DIR" 2> /dev/null \
+        > "$WORKDIR/kill_metrics" || fail "resume after kill at $SITE"
+  else
+    "$CLI" run $RUN_FLAGS --checkpoint-dir "$DIR" 2> /dev/null \
+        > "$WORKDIR/kill_metrics" || fail "rerun after kill at $SITE"
+  fi
+  cmp -s "$WORKDIR/base_metrics" "$WORKDIR/kill_metrics" \
+      || fail "kill at $SITE: metrics diverged after resume"
+  cmp -s "$BASE/prediction.csv" "$DIR/prediction.csv" \
+      || fail "kill at $SITE: prediction.csv not bit-identical"
+  cmp -s "$BASE/model.rf" "$DIR/model.rf" \
+      || fail "kill at $SITE: model.rf not bit-identical"
+done < "$WORKDIR/sites"
+test "$N" -ge 8 || fail "expected at least 8 fault sites, saw $N"
+
+# --- Interrupted warehouse save fails closed ------------------------------
+# Killing simulate mid-save must not leave a directory that loads as a
+# valid-but-incomplete warehouse: either the load refuses, or (kill after
+# the final rename) the warehouse is complete and produces baseline
+# results.
+for SITE in warehouse.save.table warehouse.save.manifest atomic.commit; do
+  DIR="$WORKDIR/wh_$(echo "$SITE" | tr '.' '_')"
+  set +e
+  TELCO_FAULT="$SITE:1" "$CLI" simulate --out "$DIR" --customers 900 \
+      --months 3 --seed 11 2> /dev/null
+  STATUS=$?
+  set -e
+  if [ "$STATUS" -ne 0 ] && [ "$STATUS" -ne "$FAULT_EXIT" ]; then
+    fail "kill simulate at $SITE: unexpected exit $STATUS"
+  fi
+
+  set +e
+  "$CLI" evaluate --warehouse "$DIR" --month 3 --trees 20 --u 60 \
+      2> /dev/null > "$WORKDIR/wh_metrics"
+  LOAD_STATUS=$?
+  set -e
+  if [ "$STATUS" -eq "$FAULT_EXIT" ] && [ "$LOAD_STATUS" -eq 0 ]; then
+    # The torn save happened to complete the warehouse (kill landed after
+    # the last durable write) — then results must match the baseline.
+    cmp -s "$WORKDIR/base_metrics" "$WORKDIR/wh_metrics" \
+        || fail "torn warehouse at $SITE loaded with different results"
+  fi
+
+  # Re-running the save from scratch converges.
+  "$CLI" simulate --out "$DIR" --customers 900 --months 3 --seed 11 \
+      2> /dev/null || fail "re-simulate after kill at $SITE"
+  "$CLI" evaluate --warehouse "$DIR" --month 3 --trees 20 --u 60 \
+      2> /dev/null > "$WORKDIR/wh_metrics" \
+      || fail "evaluate after re-simulate at $SITE"
+  cmp -s "$WORKDIR/base_metrics" "$WORKDIR/wh_metrics" \
+      || fail "re-simulate at $SITE diverged"
+done
+
+echo "crash consistency ok"

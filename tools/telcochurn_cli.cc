@@ -17,6 +17,19 @@
 //   telcochurn evaluate --warehouse DIR --month M [--u U]
 //                       [--training-months K] [--trees T]
 //       End-to-end sliding-window evaluation with hindsight labels.
+//
+//   telcochurn run --warehouse DIR --month M --checkpoint-dir DIR
+//                  [--u U] [--training-months K] [--trees T] [--threads N]
+//       Like evaluate, but checkpoints every completed stage so an
+//       interrupted run resumes where it stopped.
+//
+//   telcochurn resume --checkpoint-dir DIR [--threads N]
+//       Continue an interrupted `run` from its checkpoint (the run's
+//       flags are re-read from the checkpoint's CONFIG); completed
+//       stages are skipped and the output is bit-identical.
+//
+//   telcochurn fault-sites
+//       List the fault-injection sites accepted by TELCO_FAULT.
 
 #include <algorithm>
 #include <cstdio>
@@ -26,11 +39,14 @@
 #include <set>
 #include <string>
 
+#include "churn/checkpoint.h"
 #include "churn/pipeline.h"
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "datagen/telco_simulator.h"
 #include "ml/serialize.h"
+#include "storage/atomic_file.h"
 #include "storage/warehouse_io.h"
 
 namespace telco {
@@ -181,11 +197,9 @@ Status RunTrain(Flags& flags) {
   }
   TELCO_RETURN_NOT_OK(SaveRandomForest(*forest, model_path));
   // Sidecar: the exact feature-column order the model expects.
-  std::ofstream features(model_path + ".features");
-  for (const auto& name : train.feature_names()) features << name << '\n';
-  if (!features) {
-    return Status::IoError("cannot write " + model_path + ".features");
-  }
+  std::string features;
+  for (const auto& name : train.feature_names()) features += name + "\n";
+  TELCO_RETURN_NOT_OK(WriteFileAtomic(model_path + ".features", features));
   std::printf("trained on %zu rows x %zu features; model -> %s\n",
               train.num_rows(), train.num_features(), model_path.c_str());
   return Status::OK();
@@ -261,10 +275,100 @@ Status RunEvaluate(Flags& flags) {
   return Status::OK();
 }
 
+// Shared driver of `run` and `resume`: a checkpointed end-to-end
+// evaluation. The checkpoint opens before the warehouse loads so a crash
+// during warehouse verification still leaves a resumable CONFIG.
+Status RunCheckpointed(const std::string& warehouse,
+                       const std::string& checkpoint_dir, int month,
+                       size_t u, int training_months, int trees,
+                       int threads) {
+  if (month < 2) return Status::InvalidArgument("--month must be >= 2");
+  // The fingerprint excludes --threads: results are bit-identical for any
+  // thread count, so resuming with a different one is safe.
+  const std::string config = StrFormat(
+      "month=%d\ntraining-months=%d\ntrees=%d\nu=%zu\nwarehouse=%s\n",
+      month, training_months, trees, u, warehouse.c_str());
+  TELCO_ASSIGN_OR_RETURN(const auto checkpoint,
+                         PipelineCheckpoint::Open(checkpoint_dir, config));
+  Catalog catalog;
+  TELCO_RETURN_NOT_OK(LoadWarehouse(warehouse, &catalog));
+  std::fprintf(stderr, "loaded %zu tables from %s\n", catalog.size(),
+               warehouse.c_str());
+
+  PipelineOptions options;
+  options.model.rf.num_trees = trees;
+  options.training_months = training_months;
+  options.num_threads = threads;
+  options.checkpoint = checkpoint.get();
+  ChurnPipeline pipeline(&catalog, options);
+  TELCO_ASSIGN_OR_RETURN(const ChurnPrediction prediction,
+                         pipeline.TrainAndPredict(month));
+  const RankingMetrics metrics =
+      EvaluateRanking(prediction.ToScoredInstances(), u);
+  std::printf("%s\n", metrics.ToString().c_str());
+  return Status::OK();
+}
+
+Status RunRun(Flags& flags) {
+  TELCO_ASSIGN_OR_RETURN(const std::string warehouse,
+                         flags.Required("warehouse"));
+  TELCO_ASSIGN_OR_RETURN(const std::string dir,
+                         flags.Required("checkpoint-dir"));
+  const int month = static_cast<int>(flags.GetInt("month", 0));
+  const size_t u = static_cast<size_t>(flags.GetInt("u", 250));
+  const int training_months =
+      static_cast<int>(flags.GetInt("training-months", 1));
+  const int trees = static_cast<int>(flags.GetInt("trees", 120));
+  const int threads = static_cast<int>(flags.GetInt("threads", 0));
+  TELCO_RETURN_NOT_OK(flags.CheckAllUsed());
+  return RunCheckpointed(warehouse, dir, month, u, training_months, trees,
+                         threads);
+}
+
+Status RunResume(Flags& flags) {
+  TELCO_ASSIGN_OR_RETURN(const std::string dir,
+                         flags.Required("checkpoint-dir"));
+  const int threads = static_cast<int>(flags.GetInt("threads", 0));
+  TELCO_RETURN_NOT_OK(flags.CheckAllUsed());
+  TELCO_ASSIGN_OR_RETURN(const std::string config,
+                         PipelineCheckpoint::ReadConfig(dir));
+  std::map<std::string, std::string> kv;
+  for (const auto& line : Split(config, '\n')) {
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("malformed checkpoint CONFIG line '" +
+                                     line + "'");
+    }
+    kv[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  for (const char* key : {"warehouse", "month", "training-months", "trees",
+                          "u"}) {
+    if (!kv.count(key)) {
+      return Status::InvalidArgument(
+          std::string("checkpoint CONFIG is missing '") + key + "'");
+    }
+  }
+  return RunCheckpointed(kv["warehouse"], dir,
+                         std::atoi(kv["month"].c_str()),
+                         static_cast<size_t>(std::atoll(kv["u"].c_str())),
+                         std::atoi(kv["training-months"].c_str()),
+                         std::atoi(kv["trees"].c_str()), threads);
+}
+
+Status RunFaultSites(Flags& flags) {
+  TELCO_RETURN_NOT_OK(flags.CheckAllUsed());
+  for (const std::string& site : KnownFaultSites()) {
+    std::printf("%s\n", site.c_str());
+  }
+  return Status::OK();
+}
+
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: telcochurn <simulate|train|predict|evaluate> [flags]\n"
+      "usage: telcochurn "
+      "<simulate|train|predict|evaluate|run|resume|fault-sites> [flags]\n"
       "  simulate --out DIR [--customers N] [--months M] [--seed S]\n"
       "  train    --warehouse DIR --month M --model PATH\n"
       "           [--training-months K] [--trees T]\n"
@@ -272,7 +376,13 @@ int Usage() {
       "  evaluate --warehouse DIR --month M [--u U]\n"
       "           [--training-months K] [--trees T] [--threads N]\n"
       "           [--timings]\n"
-      "TELCO_THREADS overrides the default worker-pool size.\n");
+      "  run      --warehouse DIR --month M --checkpoint-dir DIR [--u U]\n"
+      "           [--training-months K] [--trees T] [--threads N]\n"
+      "  resume   --checkpoint-dir DIR [--threads N]\n"
+      "  fault-sites\n"
+      "TELCO_THREADS overrides the default worker-pool size.\n"
+      "TELCO_FAULT=site:n[:error],... injects a crash (or, with :error, a\n"
+      "transient I/O error) at the n-th hit of a fault site.\n");
   return 2;
 }
 
@@ -294,6 +404,12 @@ int Main(int argc, char** argv) {
     st = RunPredict(flags);
   } else if (command == "evaluate") {
     st = RunEvaluate(flags);
+  } else if (command == "run") {
+    st = RunRun(flags);
+  } else if (command == "resume") {
+    st = RunResume(flags);
+  } else if (command == "fault-sites") {
+    st = RunFaultSites(flags);
   } else {
     return Usage();
   }

@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "common/stopwatch.h"
+#include "common/telemetry/timer.h"
 
 int main() {
   using namespace telco;

@@ -3,7 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/timer.h"
+#include "storage/atomic_file.h"
 
 namespace telco {
 namespace bench {
@@ -19,7 +22,7 @@ int64_t EnvInt(const char* name, int64_t fallback) {
 }  // namespace
 
 std::unique_ptr<World> BuildWorld() {
-  Logger::SetLevel(LogLevel::kWarning);
+  Logger::InitFromEnv(LogLevel::kWarning);
   auto world = std::make_unique<World>();
   world->config.num_customers =
       static_cast<size_t>(EnvInt("TELCO_BENCH_CUSTOMERS", 12000));
@@ -81,6 +84,34 @@ Result<AveragedMetrics> AverageOverMonths(ChurnPipeline& pipeline,
   avg.recall_at_u /= avg.runs;
   avg.precision_at_u /= avg.runs;
   return avg;
+}
+
+void WriteBenchReport(const std::string& name, const World& world,
+                      const StageTimings* timings,
+                      const RunQuality* quality) {
+  RunReport report;
+  report.kind = "bench";
+  report.command = name;
+  report.AddConfig("customers",
+                   StrFormat("%zu", world.config.num_customers));
+  report.AddConfig("months", StrFormat("%d", world.config.num_months));
+  report.AddConfig("seed", StrFormat("%llu", static_cast<unsigned long long>(
+                                                 world.config.seed)));
+  if (timings != nullptr) report.SetStages(*timings);
+  if (quality != nullptr) report.SetQuality(*quality);
+  report.metrics = MetricsRegistry::Global().Snapshot();
+
+  const char* dir = std::getenv("TELCO_BENCH_REPORT_DIR");
+  const std::string path = (dir != nullptr && *dir != '\0')
+                               ? std::string(dir) + "/BENCH_" + name + ".json"
+                               : "BENCH_" + name + ".json";
+  const Status st = WriteFileAtomic(path, report.ToJson() + "\n");
+  if (!st.ok()) {
+    std::fprintf(stderr, "# bench report write failed: %s\n",
+                 st.ToString().c_str());
+    return;
+  }
+  std::printf("# report -> %s\n", path.c_str());
 }
 
 }  // namespace bench

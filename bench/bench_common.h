@@ -12,6 +12,7 @@
 #include <string>
 
 #include "churn/pipeline.h"
+#include "common/telemetry/run_report.h"
 #include "datagen/telco_simulator.h"
 
 namespace telco {
@@ -56,6 +57,16 @@ struct AveragedMetrics {
 Result<AveragedMetrics> AverageOverMonths(ChurnPipeline& pipeline,
                                           const std::vector<int>& months,
                                           size_t u);
+
+/// Writes a RunReport (kind == "bench") for a finished bench run to
+/// BENCH_<name>.json in the current directory — the same schema the CLI's
+/// --report-out uses, so `telcochurn metrics --report BENCH_<name>.json`
+/// pretty-prints it. TELCO_BENCH_REPORT_DIR overrides the directory.
+/// `timings` and `quality` may be null. Failures are reported to stderr,
+/// never fatal: report-writing must not fail a bench.
+void WriteBenchReport(const std::string& name, const World& world,
+                      const StageTimings* timings,
+                      const RunQuality* quality);
 
 }  // namespace bench
 }  // namespace telco

@@ -33,5 +33,10 @@ int main() {
   std::printf("AUC = %.5f, PR-AUC = %.5f\n", Auc(inst), PrAuc(inst));
   std::printf("# paper: P@50000 = 0.959, R@50000 = 0.228, AUC = 0.933, "
               "PR-AUC = 0.716\n");
+
+  const size_t report_u = ScaledU(*world, 5e4);
+  const RunQuality quality{Auc(inst), PrAuc(inst), RecallAtU(inst, report_u),
+                           PrecisionAtU(inst, report_u), report_u};
+  WriteBenchReport("pipeline", *world, &pipeline.timings(), &quality);
   return 0;
 }

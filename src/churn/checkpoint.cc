@@ -9,6 +9,8 @@
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
 #include "ml/serialize.h"
 #include "storage/atomic_file.h"
 #include "storage/csv.h"
@@ -89,8 +91,14 @@ std::string PipelineCheckpoint::ArtifactPath(
 
 Status PipelineCheckpoint::WriteArtifact(const std::string& filename,
                                          const std::string& content) {
+  static const Counter artifacts_written =
+      MetricsRegistry::Global().GetCounter("churn.checkpoint.artifacts_written");
+  static const Counter bytes_written =
+      MetricsRegistry::Global().GetCounter("churn.checkpoint.bytes_written");
   TELCO_RETURN_NOT_OK(MaybeInjectFault("checkpoint.artifact"));
   TELCO_RETURN_NOT_OK(WriteFileAtomic(ArtifactPath(filename), content));
+  artifacts_written.Add();
+  bytes_written.Add(content.size());
   staged_.emplace_back(filename, Crc32(content));
   return Status::OK();
 }
@@ -126,6 +134,10 @@ Result<std::string> PipelineCheckpoint::ReadArtifact(
 }
 
 Status PipelineCheckpoint::CommitStage(const std::string& stage) {
+  static const Counter stages_committed =
+      MetricsRegistry::Global().GetCounter("churn.checkpoint.stages_committed");
+  TraceSpan span("checkpoint.commit:" + stage);
+  stages_committed.Add();
   stages_[stage] = std::move(staged_);
   staged_.clear();
   std::ostringstream out;

@@ -8,11 +8,27 @@
 #include "churn/checkpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
 #include "features/churn_labels.h"
 
 namespace telco {
 
 namespace {
+
+// A checkpointed stage either replays from disk or recomputes; the pair of
+// counters shows how much work a resume actually saved.
+void RecordStageReplayed() {
+  static const Counter replayed =
+      MetricsRegistry::Global().GetCounter("churn.pipeline.stages_replayed");
+  replayed.Add();
+}
+
+void RecordStageRecomputed() {
+  static const Counter recomputed =
+      MetricsRegistry::Global().GetCounter("churn.pipeline.stages_recomputed");
+  recomputed.Add();
+}
 
 // The prediction checkpoint: the final ranked list, one row per scored
 // customer, with scores at full precision so a replayed run is
@@ -93,6 +109,7 @@ Result<WideTable> ChurnPipeline::BuildWideCheckpointed(int month) {
     if (restored.ok()) {
       wide_builder_->InjectCached(month, std::move(restored).ValueOrDie());
       wide_checkpointed_.insert(month);
+      RecordStageReplayed();
       return wide_builder_->Build(month);
     }
     // Fail-open: a corrupt artifact costs a recompute, never the run.
@@ -102,6 +119,7 @@ Result<WideTable> ChurnPipeline::BuildWideCheckpointed(int month) {
   TELCO_ASSIGN_OR_RETURN(WideTable wide, wide_builder_->Build(month));
   TELCO_RETURN_NOT_OK(cp->SaveWideTable(stage, wide));
   wide_checkpointed_.insert(month);
+  RecordStageRecomputed();
   return wide;
 }
 
@@ -112,12 +130,16 @@ ChurnPipeline::LoadLabelsCheckpointed(int month) {
   const std::string stage = StrFormat("labels_m%d", month);
   if (cp->HasStage(stage)) {
     Result<std::unordered_map<int64_t, int>> restored = cp->LoadLabels(stage);
-    if (restored.ok()) return restored;
+    if (restored.ok()) {
+      RecordStageReplayed();
+      return restored;
+    }
     TELCO_LOG(Warning) << "checkpoint stage " << stage << " unusable ("
                        << restored.status().ToString() << "); recomputing";
   }
   TELCO_ASSIGN_OR_RETURN(auto labels, LoadChurnLabels(*catalog_, month));
   TELCO_RETURN_NOT_OK(cp->SaveLabels(stage, labels));
+  RecordStageRecomputed();
   return labels;
 }
 
@@ -137,6 +159,7 @@ Result<bool> ChurnPipeline::TryRestoreModel(
   TELCO_RETURN_NOT_OK(model->RestoreForest(std::move(artifact.forest)));
   model_ = std::move(model);
   *features = std::move(artifact.features);
+  RecordStageReplayed();
   return true;
 }
 
@@ -179,6 +202,16 @@ Result<ChurnPrediction> ChurnPipeline::TrainAndPredict(int predict_month) {
         predict_month, first_train_label, last_train_label, gap));
   }
 
+  static const Counter runs =
+      MetricsRegistry::Global().GetCounter("churn.pipeline.runs");
+  static const Counter rows_scored =
+      MetricsRegistry::Global().GetCounter("churn.pipeline.rows_scored");
+  static const Counter train_rows =
+      MetricsRegistry::Global().GetCounter("churn.pipeline.train_rows");
+  TraceSpan run_span(StrFormat("pipeline.train_and_predict:m%d",
+                               predict_month));
+  runs.Add();
+
   timings_.Clear();
   PipelineCheckpoint* cp = options_.checkpoint;
 
@@ -189,7 +222,11 @@ Result<ChurnPrediction> ChurnPipeline::TrainAndPredict(int predict_month) {
     if (text.ok()) {
       Result<ChurnPrediction> replay =
           PredictionFromCsv(std::move(text).ValueOrDie());
-      if (replay.ok()) return replay;
+      if (replay.ok()) {
+        RecordStageReplayed();
+        rows_scored.Add(replay->imsis.size());
+        return replay;
+      }
       text = replay.status();
     }
     TELCO_LOG(Warning) << "prediction checkpoint unusable ("
@@ -220,6 +257,7 @@ Result<ChurnPrediction> ChurnPipeline::TrainAndPredict(int predict_month) {
       }
     }
 
+    train_rows.Add(train.num_rows());
     model_ = std::make_unique<ChurnModel>(options_.model);
     {
       ScopedStageTimer timer(&timings_, "train");
@@ -256,6 +294,7 @@ Result<ChurnPrediction> ChurnPipeline::TrainAndPredict(int predict_month) {
     ScopedStageTimer timer(&timings_, "score");
     scores = model_->ScoreAll(test);
   }
+  rows_scored.Add(scores.size());
 
   ChurnPrediction prediction;
   prediction.imsis.reserve(test.num_rows());

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "churn/churn_model.h"
-#include "common/stage_timer.h"
+#include "common/telemetry/timer.h"
 #include "common/thread_pool.h"
 #include "features/wide_table.h"
 #include "ml/metrics.h"

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/telemetry/metrics.h"
 
 namespace telco {
 
@@ -94,6 +95,11 @@ const std::vector<std::string>& KnownFaultSites() {
 }
 
 Status MaybeInjectFault(const char* site) {
+  static const Counter site_hits =
+      MetricsRegistry::Global().GetCounter("common.fault.site_hits");
+  static const Counter injected_errors =
+      MetricsRegistry::Global().GetCounter("common.fault.injected_errors");
+  site_hits.Add();
   FaultState& state = State();
   std::lock_guard<std::mutex> lock(state.mutex);
   if (!state.parsed) {
@@ -104,6 +110,7 @@ Status MaybeInjectFault(const char* site) {
     if (spec.site != site) continue;
     if (++spec.hits != spec.trigger_at) continue;
     if (spec.as_error) {
+      injected_errors.Add();
       return Status::IoError(StrFormat(
           "injected transient fault at %s (hit %d)", site, spec.hits));
     }

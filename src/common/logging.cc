@@ -1,6 +1,10 @@
 #include "common/logging.h"
 
+#include <chrono>
+#include <cstdio>
 #include <mutex>
+
+#include "common/string_util.h"
 
 namespace telco {
 
@@ -23,12 +27,58 @@ const char* LevelTag(LogLevel level) {
   }
   return "?";
 }
+
+// Monotonic seconds since the first log line (not wall time: comparable
+// across lines even if the system clock steps).
+double SecondsSinceStart() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point kStart = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - kStart).count();
+}
+
 }  // namespace
+
+bool Logger::ParseLevel(const std::string& text, LogLevel* level) {
+  const std::string lower = ToLower(text);
+  if (lower == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void Logger::InitFromEnv(LogLevel fallback) {
+  LogLevel level = fallback;
+  const char* env = std::getenv("TELCO_LOG_LEVEL");
+  if (env != nullptr && *env != '\0' && !ParseLevel(env, &level)) {
+    SetLevel(fallback);
+    Emit(LogLevel::kWarning,
+         StrFormat("ignoring invalid TELCO_LOG_LEVEL '%s' "
+                   "(want debug|info|warning|error)",
+                   env));
+    return;
+  }
+  SetLevel(level);
+}
 
 void Logger::Emit(LogLevel level, const std::string& msg) {
   if (!Enabled(level)) return;
+  // Build the whole line first so exactly one write happens under the
+  // mutex — concurrent ThreadPool workers cannot interleave characters.
+  std::string line =
+      StrFormat("%-5s %10.3f ", LevelTag(level), SecondsSinceStart());
+  line += msg;
+  line += '\n';
   std::lock_guard<std::mutex> lock(EmitMutex());
-  std::cerr << LevelTag(level) << " " << msg << std::endl;
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace telco

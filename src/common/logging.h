@@ -3,6 +3,7 @@
 #ifndef TELCO_COMMON_LOGGING_H_
 #define TELCO_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -16,16 +17,33 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 class Logger {
  public:
   /// Sets the minimum level that is emitted (default kInfo).
-  static void SetLevel(LogLevel level) { MinLevel() = level; }
-  static LogLevel GetLevel() { return MinLevel(); }
+  static void SetLevel(LogLevel level) {
+    MinLevel().store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  static LogLevel GetLevel() {
+    return static_cast<LogLevel>(MinLevel().load(std::memory_order_relaxed));
+  }
 
-  static bool Enabled(LogLevel level) { return level >= MinLevel(); }
+  static bool Enabled(LogLevel level) {
+    return static_cast<int>(level) >=
+           MinLevel().load(std::memory_order_relaxed);
+  }
 
+  /// Parses "debug" / "info" / "warning" (or "warn") / "error" into
+  /// `*level`; false (leaving it untouched) on anything else.
+  static bool ParseLevel(const std::string& text, LogLevel* level);
+
+  /// Applies TELCO_LOG_LEVEL from the environment, if set and valid, on
+  /// top of `fallback`. Call once at process startup (CLI / bench mains).
+  static void InitFromEnv(LogLevel fallback);
+
+  /// Writes one line "<LEVEL> <seconds-since-start> <msg>" with a single
+  /// mutexed stderr write, so ThreadPool workers cannot interleave lines.
   static void Emit(LogLevel level, const std::string& msg);
 
  private:
-  static LogLevel& MinLevel() {
-    static LogLevel level = LogLevel::kInfo;
+  static std::atomic<int>& MinLevel() {
+    static std::atomic<int> level{static_cast<int>(LogLevel::kInfo)};
     return level;
   }
 };

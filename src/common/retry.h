@@ -13,6 +13,7 @@
 #include <type_traits>
 
 #include "common/result.h"
+#include "common/telemetry/metrics.h"
 
 namespace telco {
 
@@ -30,8 +31,15 @@ template <typename Fn>
 auto RetryWithBackoff(const RetryOptions& options, Fn&& fn)
     -> std::invoke_result_t<Fn> {
   using R = std::invoke_result_t<Fn>;
+  static const Counter attempts_counter =
+      MetricsRegistry::Global().GetCounter("common.retry.attempts");
+  static const Counter retries_counter =
+      MetricsRegistry::Global().GetCounter("common.retry.retries");
+  static const Counter exhausted_counter =
+      MetricsRegistry::Global().GetCounter("common.retry.exhausted");
   auto backoff = options.initial_backoff;
   for (int attempt = 1;; ++attempt) {
+    attempts_counter.Add();
     R result = fn();
     Status status;
     if constexpr (std::is_same_v<R, Status>) {
@@ -41,8 +49,13 @@ auto RetryWithBackoff(const RetryOptions& options, Fn&& fn)
     }
     if (status.ok() || !status.IsIoError() ||
         attempt >= options.max_attempts) {
+      if (!status.ok() && status.IsIoError() &&
+          attempt >= options.max_attempts) {
+        exhausted_counter.Add();
+      }
       return result;
     }
+    retries_counter.Add();
     std::this_thread::sleep_for(backoff);
     backoff *= 2;
   }

@@ -1,0 +1,60 @@
+// Minimal JSON reader/writer helpers for telemetry artifacts.
+//
+// The telemetry subsystem emits (run reports, Chrome trace events) and
+// re-reads (the `telcochurn metrics` verb, the bench_smoke harness) its
+// own JSON documents. This is a small purpose-built parser for that
+// round-trip, not a general-purpose JSON library: it accepts standard
+// JSON (objects, arrays, strings with escapes, numbers, booleans, null)
+// with a fixed nesting-depth limit.
+
+#ifndef TELCO_COMMON_TELEMETRY_JSON_H_
+#define TELCO_COMMON_TELEMETRY_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace telco {
+
+/// \brief One parsed JSON value; a tagged union over the JSON types.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;  // kArray
+  /// Object members in document order (duplicate keys keep the first).
+  std::vector<std::pair<std::string, JsonValue>> fields;  // kObject
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  /// Member lookup on an object; null for missing keys or non-objects.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// The member's number (or `fallback` when absent / not a number).
+  double NumberOr(const std::string& key, double fallback) const;
+
+  /// The member's string (or `fallback` when absent / not a string).
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+};
+
+/// \brief Parses a complete JSON document (trailing garbage is an error).
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// \brief Escapes a string for embedding between JSON double quotes.
+std::string JsonEscape(std::string_view text);
+
+/// \brief Formats a double as a JSON number token round-trippable at full
+/// precision; non-finite values (which JSON cannot represent) become 0.
+std::string JsonNumber(double value);
+
+}  // namespace telco
+
+#endif  // TELCO_COMMON_TELEMETRY_JSON_H_

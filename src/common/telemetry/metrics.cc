@@ -1,0 +1,268 @@
+#include "common/telemetry/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.h"
+#include "common/telemetry/json.h"
+
+namespace telco {
+
+namespace {
+
+// Round-robin stripe assignment: each thread gets a stable shard index on
+// first use, spreading unrelated threads across shards without any
+// registry-specific thread-local state (which could dangle when scoped
+// test registries are destroyed).
+size_t ThisThreadStripe() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+
+}  // namespace
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+const std::vector<double>& DurationBuckets() {
+  static const std::vector<double>* const kBuckets = new std::vector<double>{
+      0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03,
+      0.1,    0.3,    1.0,   3.0,   10.0, 30.0, 100.0};
+  return *kBuckets;
+}
+
+const MetricValue* MetricsSnapshot::Find(const std::string& name) const {
+  for (const MetricValue& metric : metrics) {
+    if (metric.name == name) return &metric;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (const MetricValue& metric : metrics) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(metric.name) + "\",\"kind\":\"";
+    out += MetricKindName(metric.kind);
+    out += "\"";
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        out += ",\"value\":" + JsonNumber(static_cast<double>(metric.counter));
+        break;
+      case MetricKind::kGauge:
+        out += ",\"value\":" + JsonNumber(metric.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramSnapshot& h = metric.histogram;
+        out += ",\"count\":" + JsonNumber(static_cast<double>(h.count));
+        out += ",\"sum\":" + JsonNumber(h.sum);
+        out += ",\"min\":" + JsonNumber(h.min);
+        out += ",\"max\":" + JsonNumber(h.max);
+        out += ",\"bounds\":[";
+        for (size_t i = 0; i < h.bounds.size(); ++i) {
+          if (i > 0) out += ",";
+          out += JsonNumber(h.bounds[i]);
+        }
+        out += "],\"buckets\":[";
+        for (size_t i = 0; i < h.buckets.size(); ++i) {
+          if (i > 0) out += ",";
+          out += JsonNumber(static_cast<double>(h.buckets[i]));
+        }
+        out += "]";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+void Counter::Add(uint64_t n) const {
+  if (registry_ != nullptr) registry_->RecordCount(id_, n);
+}
+
+void Gauge::Set(double value) const {
+  if (registry_ != nullptr) registry_->RecordGauge(id_, value);
+}
+
+void Histogram::Observe(double value) const {
+  if (registry_ == nullptr) return;
+  const std::vector<double>& bounds = *bounds_;
+  // Upper-bound bucket search; the final bucket is the overflow bin.
+  const size_t bucket = static_cast<size_t>(
+      std::upper_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  registry_->RecordObservation(id_, bucket, bounds.size() + 1, value);
+}
+
+MetricsRegistry::MetricsRegistry() : shards_(kNumShards) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked so metric handles in function-local statics stay valid during
+  // static destruction.
+  static MetricsRegistry* const kGlobal = new MetricsRegistry();
+  return *kGlobal;
+}
+
+uint32_t MetricsRegistry::Register(const std::string& name, MetricKind kind,
+                                   const std::vector<double>* bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    const Descriptor& existing = descriptors_[it->second];
+    TELCO_CHECK(existing.kind == kind)
+        << "metric '" << name << "' re-registered as "
+        << MetricKindName(kind) << " but is a "
+        << MetricKindName(existing.kind);
+    if (kind == MetricKind::kHistogram) {
+      TELCO_CHECK(existing.bounds == *bounds)
+          << "metric '" << name << "' re-registered with different buckets";
+    }
+    return it->second;
+  }
+  const uint32_t id = static_cast<uint32_t>(descriptors_.size());
+  Descriptor desc;
+  desc.name = name;
+  desc.kind = kind;
+  if (bounds != nullptr) desc.bounds = *bounds;
+  descriptors_.push_back(std::move(desc));
+  by_name_.emplace(name, id);
+  if (gauges_.size() <= id) gauges_.resize(id + 1, 0.0);
+  return id;
+}
+
+Counter MetricsRegistry::GetCounter(const std::string& name) {
+  return Counter(this, Register(name, MetricKind::kCounter, nullptr));
+}
+
+Gauge MetricsRegistry::GetGauge(const std::string& name) {
+  return Gauge(this, Register(name, MetricKind::kGauge, nullptr));
+}
+
+Histogram MetricsRegistry::GetHistogram(const std::string& name,
+                                        const std::vector<double>& bounds) {
+  const uint32_t id = Register(name, MetricKind::kHistogram, &bounds);
+  const std::vector<double>* stable_bounds;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stable_bounds = &descriptors_[id].bounds;  // deque: stable address
+  }
+  return Histogram(this, id, stable_bounds);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::ShardForThisThread() const {
+  return const_cast<Shard&>(shards_[ThisThreadStripe() % kNumShards]);
+}
+
+void MetricsRegistry::RecordCount(uint32_t id, uint64_t n) {
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.cells.size() <= id) shard.cells.resize(id + 1);
+  shard.cells[id].count += n;
+}
+
+void MetricsRegistry::RecordObservation(uint32_t id, size_t bucket,
+                                        size_t num_buckets, double value) {
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.cells.size() <= id) shard.cells.resize(id + 1);
+  Cell& cell = shard.cells[id];
+  if (cell.buckets.empty()) cell.buckets.resize(num_buckets, 0);
+  if (cell.count == 0 || value < cell.min) cell.min = value;
+  if (cell.count == 0 || value > cell.max) cell.max = value;
+  ++cell.count;
+  cell.sum += value;
+  ++cell.buckets[bucket];
+}
+
+void MetricsRegistry::RecordGauge(uint32_t id, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (gauges_.size() <= id) gauges_.resize(id + 1, 0.0);
+  gauges_[id] = value;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::vector<Descriptor> descriptors;
+  std::vector<double> gauges;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    descriptors.assign(descriptors_.begin(), descriptors_.end());
+    gauges = gauges_;
+  }
+  snapshot.metrics.resize(descriptors.size());
+  for (size_t id = 0; id < descriptors.size(); ++id) {
+    MetricValue& metric = snapshot.metrics[id];
+    metric.name = descriptors[id].name;
+    metric.kind = descriptors[id].kind;
+    if (metric.kind == MetricKind::kGauge && id < gauges.size()) {
+      metric.gauge = gauges[id];
+    }
+    if (metric.kind == MetricKind::kHistogram) {
+      metric.histogram.bounds = descriptors[id].bounds;
+      metric.histogram.buckets.resize(descriptors[id].bounds.size() + 1, 0);
+    }
+  }
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (size_t id = 0; id < shard.cells.size() && id < snapshot.metrics.size();
+         ++id) {
+      const Cell& cell = shard.cells[id];
+      MetricValue& metric = snapshot.metrics[id];
+      switch (metric.kind) {
+        case MetricKind::kCounter:
+          metric.counter += cell.count;
+          break;
+        case MetricKind::kGauge:
+          break;
+        case MetricKind::kHistogram: {
+          HistogramSnapshot& h = metric.histogram;
+          if (cell.count > 0) {
+            if (h.count == 0 || cell.min < h.min) h.min = cell.min;
+            if (h.count == 0 || cell.max > h.max) h.max = cell.max;
+            h.count += cell.count;
+            h.sum += cell.sum;
+            for (size_t b = 0; b < cell.buckets.size() && b < h.buckets.size();
+                 ++b) {
+              h.buckets[b] += cell.buckets[b];
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+  std::sort(snapshot.metrics.begin(), snapshot.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.cells.clear();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(gauges_.begin(), gauges_.end(), 0.0);
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return descriptors_.size();
+}
+
+}  // namespace telco

@@ -1,0 +1,190 @@
+// MetricsRegistry: named counters, gauges and fixed-bucket histograms.
+//
+// Recording is sharded: each thread writes to one of a fixed set of
+// shard cells chosen by a per-thread stripe index, so concurrent hot-loop
+// updates from ThreadPool workers touch disjoint (uncontended) mutexes.
+// Snapshot() merges the shards into exact totals; gauges are last-write
+// values kept centrally (sharded merging has no meaningful semantics for
+// them). Metric handles are cheap value types safe to cache in
+// function-local statics:
+//
+//   static const Counter kRows =
+//       MetricsRegistry::Global().GetCounter("storage.warehouse.rows_read");
+//   kRows.Add(table.num_rows());
+//
+// Names follow the `layer.component.name` convention (DESIGN.md §8).
+// The process-wide Global() registry backs production instrumentation;
+// tests construct scoped registries for exact, isolated assertions.
+
+#ifndef TELCO_COMMON_TELEMETRY_METRICS_H_
+#define TELCO_COMMON_TELEMETRY_METRICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace telco {
+
+enum class MetricKind : int { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+/// "counter" / "gauge" / "histogram".
+const char* MetricKindName(MetricKind kind);
+
+/// \brief Merged state of one histogram: `bounds` are the upper bucket
+/// edges; `buckets` has bounds.size() + 1 entries (the last is overflow).
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> buckets;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // 0 when count == 0
+  double max = 0.0;
+};
+
+/// \brief One metric's merged value at snapshot time.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  uint64_t counter = 0;          // kCounter
+  double gauge = 0.0;            // kGauge
+  HistogramSnapshot histogram;   // kHistogram
+};
+
+/// \brief A point-in-time view of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;
+
+  const MetricValue* Find(const std::string& name) const;
+  /// JSON array in the run-report schema (see run_report.h).
+  std::string ToJson() const;
+};
+
+class MetricsRegistry;
+
+/// \brief Monotonic add-only counter handle.
+class Counter {
+ public:
+  Counter() = default;
+  void Add(uint64_t n = 1) const;
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* registry, uint32_t id)
+      : registry_(registry), id_(id) {}
+  MetricsRegistry* registry_ = nullptr;
+  uint32_t id_ = 0;
+};
+
+/// \brief Last-write-wins gauge handle.
+class Gauge {
+ public:
+  Gauge() = default;
+  void Set(double value) const;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* registry, uint32_t id)
+      : registry_(registry), id_(id) {}
+  MetricsRegistry* registry_ = nullptr;
+  uint32_t id_ = 0;
+};
+
+/// \brief Fixed-bucket histogram handle.
+class Histogram {
+ public:
+  Histogram() = default;
+  void Observe(double value) const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* registry, uint32_t id,
+            const std::vector<double>* bounds)
+      : registry_(registry), id_(id), bounds_(bounds) {}
+  MetricsRegistry* registry_ = nullptr;
+  uint32_t id_ = 0;
+  const std::vector<double>* bounds_ = nullptr;
+};
+
+/// Default histogram bucket policy for durations in seconds: decade steps
+/// from 100us to 100s with a 1-3 split (DESIGN.md §8).
+const std::vector<double>& DurationBuckets();
+
+/// \brief Registry of named metrics with sharded, low-contention recording.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or re-fetches) a metric. Re-registering an existing name
+  /// with a different kind (or different histogram bounds) is a
+  /// programming error and aborts.
+  Counter GetCounter(const std::string& name);
+  Gauge GetGauge(const std::string& name);
+  Histogram GetHistogram(const std::string& name,
+                         const std::vector<double>& bounds = DurationBuckets());
+
+  /// Merges every shard into exact totals. Totals are exact with respect
+  /// to all records that happened-before the call.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes all recorded values (registrations survive).
+  void Reset();
+
+  /// Number of registered metrics.
+  size_t size() const;
+
+  /// The process-wide registry used by production instrumentation.
+  static MetricsRegistry& Global();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  struct Descriptor {
+    std::string name;
+    MetricKind kind;
+    std::vector<double> bounds;  // kHistogram only
+  };
+
+  // Per-shard accumulation cell; which fields are live depends on kind.
+  struct Cell {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<uint64_t> buckets;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<Cell> cells;  // indexed by metric id, grown on demand
+  };
+
+  static constexpr size_t kNumShards = 32;
+
+  uint32_t Register(const std::string& name, MetricKind kind,
+                    const std::vector<double>* bounds);
+  Shard& ShardForThisThread() const;
+
+  void RecordCount(uint32_t id, uint64_t n);
+  void RecordObservation(uint32_t id, size_t bucket, size_t num_buckets,
+                         double value);
+  void RecordGauge(uint32_t id, double value);
+
+  mutable std::mutex mutex_;  // guards descriptors_, by_name_, gauges_
+  std::deque<Descriptor> descriptors_;  // stable addresses for handles
+  std::unordered_map<std::string, uint32_t> by_name_;
+  std::vector<double> gauges_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_COMMON_TELEMETRY_METRICS_H_

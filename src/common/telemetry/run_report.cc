@@ -1,0 +1,193 @@
+#include "common/telemetry/run_report.h"
+
+#include "common/string_util.h"
+#include "common/telemetry/json.h"
+
+namespace telco {
+
+namespace {
+
+std::string QuotedField(const std::string& key, const std::string& value) {
+  return "\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+}
+
+Result<MetricValue> MetricFromJson(const JsonValue& node) {
+  if (!node.is_object()) {
+    return Status::InvalidArgument("metric entry is not an object");
+  }
+  MetricValue metric;
+  metric.name = node.StringOr("name", "");
+  if (metric.name.empty()) {
+    return Status::InvalidArgument("metric entry missing name");
+  }
+  const std::string kind = node.StringOr("kind", "");
+  if (kind == "counter") {
+    metric.kind = MetricKind::kCounter;
+    metric.counter = static_cast<uint64_t>(node.NumberOr("value", 0.0));
+  } else if (kind == "gauge") {
+    metric.kind = MetricKind::kGauge;
+    metric.gauge = node.NumberOr("value", 0.0);
+  } else if (kind == "histogram") {
+    metric.kind = MetricKind::kHistogram;
+    HistogramSnapshot& h = metric.histogram;
+    h.count = static_cast<uint64_t>(node.NumberOr("count", 0.0));
+    h.sum = node.NumberOr("sum", 0.0);
+    h.min = node.NumberOr("min", 0.0);
+    h.max = node.NumberOr("max", 0.0);
+    if (const JsonValue* bounds = node.Find("bounds");
+        bounds != nullptr && bounds->is_array()) {
+      for (const JsonValue& b : bounds->items) h.bounds.push_back(b.number);
+    }
+    if (const JsonValue* buckets = node.Find("buckets");
+        buckets != nullptr && buckets->is_array()) {
+      for (const JsonValue& b : buckets->items) {
+        h.buckets.push_back(static_cast<uint64_t>(b.number));
+      }
+    }
+  } else {
+    return Status::InvalidArgument(
+        StrFormat("metric '%s' has unknown kind '%s'", metric.name.c_str(),
+                  kind.c_str()));
+  }
+  return metric;
+}
+
+}  // namespace
+
+std::string RunReport::ToJson() const {
+  std::string out = "{";
+  out += "\"schema_version\":" + JsonNumber(schema_version);
+  out += "," + QuotedField("kind", kind);
+  out += "," + QuotedField("command", command);
+  out += ",\"config\":{";
+  for (size_t i = 0; i < config.size(); ++i) {
+    if (i > 0) out += ",";
+    out += QuotedField(config[i].first, config[i].second);
+  }
+  out += "},\"stages\":[";
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{" + QuotedField("name", stages[i].name);
+    out += ",\"wall_seconds\":" + JsonNumber(stages[i].wall_seconds);
+    out += ",\"cpu_seconds\":" + JsonNumber(stages[i].cpu_seconds) + "}";
+  }
+  out += "],\"total_wall_seconds\":" + JsonNumber(total_wall_seconds);
+  if (has_quality) {
+    out += ",\"quality\":{";
+    out += "\"auc\":" + JsonNumber(quality.auc);
+    out += ",\"pr_auc\":" + JsonNumber(quality.pr_auc);
+    out += ",\"recall_at_u\":" + JsonNumber(quality.recall_at_u);
+    out += ",\"precision_at_u\":" + JsonNumber(quality.precision_at_u);
+    out += ",\"u\":" + JsonNumber(static_cast<double>(quality.u));
+    out += "}";
+  }
+  out += ",\"metrics\":" + metrics.ToJson();
+  out += "}";
+  return out;
+}
+
+Result<RunReport> RunReport::FromJson(std::string_view text) {
+  TELCO_ASSIGN_OR_RETURN(const JsonValue root, ParseJson(text));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("run report is not a JSON object");
+  }
+  RunReport report;
+  report.schema_version =
+      static_cast<int>(root.NumberOr("schema_version", 0.0));
+  if (report.schema_version != kSchemaVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported run report schema_version %d",
+                  report.schema_version));
+  }
+  report.kind = root.StringOr("kind", "run");
+  report.command = root.StringOr("command", "");
+  if (const JsonValue* config = root.Find("config");
+      config != nullptr && config->is_object()) {
+    for (const auto& [key, value] : config->fields) {
+      if (value.type == JsonValue::Type::kString) {
+        report.config.emplace_back(key, value.string);
+      }
+    }
+  }
+  if (const JsonValue* stages = root.Find("stages");
+      stages != nullptr && stages->is_array()) {
+    for (const JsonValue& node : stages->items) {
+      if (!node.is_object()) continue;
+      StageEntry entry;
+      entry.name = node.StringOr("name", "");
+      entry.wall_seconds = node.NumberOr("wall_seconds", 0.0);
+      entry.cpu_seconds = node.NumberOr("cpu_seconds", 0.0);
+      report.stages.push_back(std::move(entry));
+    }
+  }
+  report.total_wall_seconds = root.NumberOr("total_wall_seconds", 0.0);
+  if (const JsonValue* quality = root.Find("quality");
+      quality != nullptr && quality->is_object()) {
+    report.has_quality = true;
+    report.quality.auc = quality->NumberOr("auc", 0.0);
+    report.quality.pr_auc = quality->NumberOr("pr_auc", 0.0);
+    report.quality.recall_at_u = quality->NumberOr("recall_at_u", 0.0);
+    report.quality.precision_at_u = quality->NumberOr("precision_at_u", 0.0);
+    report.quality.u = static_cast<uint64_t>(quality->NumberOr("u", 0.0));
+  }
+  if (const JsonValue* metrics = root.Find("metrics");
+      metrics != nullptr && metrics->is_array()) {
+    for (const JsonValue& node : metrics->items) {
+      TELCO_ASSIGN_OR_RETURN(MetricValue metric, MetricFromJson(node));
+      report.metrics.metrics.push_back(std::move(metric));
+    }
+  }
+  return report;
+}
+
+std::string RunReport::ToPrettyString() const {
+  std::string out;
+  out += StrFormat("run report (schema v%d)\n", schema_version);
+  out += StrFormat("  kind:    %s\n", kind.c_str());
+  out += StrFormat("  command: %s\n", command.c_str());
+  if (!config.empty()) {
+    out += "config:\n";
+    for (const auto& [key, value] : config) {
+      out += StrFormat("  %-18s %s\n", key.c_str(), value.c_str());
+    }
+  }
+  if (!stages.empty()) {
+    out += "stages:\n";
+    for (const StageEntry& stage : stages) {
+      out += StrFormat("  %-18s %9.3f s  (cpu %9.3f s)\n", stage.name.c_str(),
+                       stage.wall_seconds, stage.cpu_seconds);
+    }
+    out += StrFormat("  %-18s %9.3f s\n", "total", total_wall_seconds);
+  }
+  if (has_quality) {
+    out += "quality:\n";
+    out += StrFormat("  AUC      %.6f\n", quality.auc);
+    out += StrFormat("  PR-AUC   %.6f\n", quality.pr_auc);
+    out += StrFormat("  R@U      %.6f  (U=%llu)\n", quality.recall_at_u,
+                     static_cast<unsigned long long>(quality.u));
+    out += StrFormat("  P@U      %.6f\n", quality.precision_at_u);
+  }
+  out += StrFormat("metrics (%zu):\n", metrics.metrics.size());
+  for (const MetricValue& metric : metrics.metrics) {
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        out += StrFormat("  %-44s counter    %llu\n", metric.name.c_str(),
+                         static_cast<unsigned long long>(metric.counter));
+        break;
+      case MetricKind::kGauge:
+        out += StrFormat("  %-44s gauge      %.6g\n", metric.name.c_str(),
+                         metric.gauge);
+        break;
+      case MetricKind::kHistogram:
+        out += StrFormat(
+            "  %-44s histogram  n=%llu sum=%.6g min=%.6g max=%.6g\n",
+            metric.name.c_str(),
+            static_cast<unsigned long long>(metric.histogram.count),
+            metric.histogram.sum, metric.histogram.min, metric.histogram.max);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace telco

@@ -1,0 +1,79 @@
+// RunReport: the one-JSON-document-per-run summary written by
+// `telcochurn ... --report-out` and by the bench harnesses
+// (BENCH_pipeline.json shares this schema, with kind == "bench").
+//
+// The document carries the config fingerprint, per-stage wall/CPU
+// timings, a full metric snapshot, and the four ranking-quality numbers.
+// ToJson/FromJson round-trip so the `telcochurn metrics` verb (and the
+// bench_smoke harness) can re-read and pretty-print a saved report.
+// This layer does no file I/O — callers persist the JSON string with
+// WriteFileAtomic (storage links common, not the reverse).
+
+#ifndef TELCO_COMMON_TELEMETRY_RUN_REPORT_H_
+#define TELCO_COMMON_TELEMETRY_RUN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/timer.h"
+
+namespace telco {
+
+/// \brief The four churn-ranking quality numbers (paper Eqs. 8–10).
+/// Mirrors ml's RankingMetrics without depending on the ml layer.
+struct RunQuality {
+  double auc = 0.0;
+  double pr_auc = 0.0;
+  double recall_at_u = 0.0;
+  double precision_at_u = 0.0;
+  uint64_t u = 0;
+};
+
+/// \brief One structured run summary; see file comment for the schema.
+struct RunReport {
+  static constexpr int kSchemaVersion = 1;
+
+  int schema_version = kSchemaVersion;
+  std::string kind = "run";  // "run" for CLI runs, "bench" for harnesses
+  std::string command;       // CLI verb or benchmark name
+  /// Config key/value pairs in insertion order; fingerprint-style.
+  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<StageEntry> stages;
+  double total_wall_seconds = 0.0;
+  bool has_quality = false;
+  RunQuality quality;
+  MetricsSnapshot metrics;
+
+  void AddConfig(const std::string& key, const std::string& value) {
+    config.emplace_back(key, value);
+  }
+
+  /// Copies the accumulated stage timings in.
+  void SetStages(const StageTimings& timings) {
+    stages = timings.stages();
+    total_wall_seconds = timings.Total();
+  }
+
+  void SetQuality(const RunQuality& q) {
+    has_quality = true;
+    quality = q;
+  }
+
+  /// The complete report as a single JSON object.
+  std::string ToJson() const;
+
+  /// Parses a document produced by ToJson (tolerates unknown keys).
+  static Result<RunReport> FromJson(std::string_view text);
+
+  /// Human-readable rendering used by `telcochurn metrics`.
+  std::string ToPrettyString() const;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_COMMON_TELEMETRY_RUN_REPORT_H_

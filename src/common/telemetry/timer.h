@@ -1,0 +1,147 @@
+// Unified telemetry timer types (replaces common/stopwatch.h and
+// common/stage_timer.h): a wall-clock Stopwatch, process-CPU-time
+// sampling, and the named per-stage accumulator behind
+// Pipeline::timings(), `telcochurn evaluate --timings`, the run report
+// and the bench harnesses. ScopedStageTimer additionally opens a
+// TraceSpan for the stage, so every timed pipeline stage appears in
+// --trace-out output for free.
+
+#ifndef TELCO_COMMON_TELEMETRY_TIMER_H_
+#define TELCO_COMMON_TELEMETRY_TIMER_H_
+
+#include <chrono>
+#include <ctime>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/telemetry/trace.h"
+
+namespace telco {
+
+/// \brief Measures elapsed wall-clock time; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief CPU seconds consumed by the whole process (all threads) so far;
+/// 0.0 where unsupported.
+inline double ProcessCpuSeconds() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+  return 0.0;
+#endif
+}
+
+/// \brief Wall + process-CPU seconds accumulated under one stage name.
+struct StageEntry {
+  std::string name;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+};
+
+/// \brief Accumulates per-stage timings, preserving first-seen order.
+class StageTimings {
+ public:
+  /// Adds to the named stage (created on first use).
+  void Add(const std::string& name, double wall_seconds,
+           double cpu_seconds = 0.0) {
+    for (StageEntry& entry : stages_) {
+      if (entry.name == name) {
+        entry.wall_seconds += wall_seconds;
+        entry.cpu_seconds += cpu_seconds;
+        return;
+      }
+    }
+    stages_.push_back(StageEntry{name, wall_seconds, cpu_seconds});
+  }
+
+  /// Stages in first-seen order.
+  const std::vector<StageEntry>& stages() const { return stages_; }
+
+  /// (stage, wall seconds) pairs; compatibility view of stages().
+  std::vector<std::pair<std::string, double>> entries() const {
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(stages_.size());
+    for (const StageEntry& entry : stages_) {
+      out.emplace_back(entry.name, entry.wall_seconds);
+    }
+    return out;
+  }
+
+  /// Total wall seconds across stages.
+  double Total() const {
+    double total = 0.0;
+    for (const StageEntry& entry : stages_) total += entry.wall_seconds;
+    return total;
+  }
+
+  void Clear() { stages_.clear(); }
+
+  /// One line per stage: "  <name>  <wall> s  (cpu <cpu> s)", plus total.
+  std::string ToString() const {
+    std::string out;
+    for (const StageEntry& entry : stages_) {
+      out += StrFormat("  %-14s %9.3f s  (cpu %9.3f s)\n", entry.name.c_str(),
+                       entry.wall_seconds, entry.cpu_seconds);
+    }
+    out += StrFormat("  %-14s %9.3f s", "total", Total());
+    return out;
+  }
+
+ private:
+  std::vector<StageEntry> stages_;
+};
+
+/// \brief Adds the elapsed scope wall/CPU time to a stage on destruction
+/// and traces the scope as a span named after the stage.
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(StageTimings* timings, std::string name)
+      : timings_(timings),
+        name_(std::move(name)),
+        span_(name_),
+        cpu_start_(ProcessCpuSeconds()) {}
+
+  ~ScopedStageTimer() {
+    if (timings_ != nullptr) {
+      timings_->Add(name_, watch_.ElapsedSeconds(),
+                    ProcessCpuSeconds() - cpu_start_);
+    }
+  }
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  StageTimings* timings_;
+  std::string name_;
+  TraceSpan span_;
+  Stopwatch watch_;
+  double cpu_start_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_COMMON_TELEMETRY_TIMER_H_

@@ -1,0 +1,145 @@
+#include "common/telemetry/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/telemetry/json.h"
+
+namespace telco {
+
+namespace {
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+thread_local uint64_t tls_current_span_id = 0;
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  // Leaked: spans may close during static destruction of other objects.
+  static TraceRecorder* const kGlobal = new TraceRecorder();
+  return *kGlobal;
+}
+
+void TraceRecorder::Start() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (ThreadBuffer* buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  epoch_ns_.store(SteadyNowNanos(), std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Stop() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+double TraceRecorder::NowMicros() const {
+  return static_cast<double>(SteadyNowNanos() -
+                             epoch_ns_.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  thread_local ThreadBuffer* tls_buffer = nullptr;
+  // The recorder (and its buffers) are leaked, so a cached pointer from a
+  // previous call can never dangle.
+  if (tls_buffer == nullptr) {
+    auto* buffer = new ThreadBuffer();
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffer->tid = next_tid_++;
+    buffers_.push_back(buffer);
+    tls_buffer = buffer;
+  }
+  return tls_buffer;
+}
+
+void TraceRecorder::Append(TraceEvent event) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  event.tid = buffer->tid;
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  buffer->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::Collect() {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (ThreadBuffer* buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+      buffer->events.clear();
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.begin_us != b.begin_us) return a.begin_us < b.begin_us;
+              if (a.duration_us != b.duration_us) {
+                return a.duration_us > b.duration_us;  // parents first
+              }
+              return a.id < b.id;
+            });
+  return all;
+}
+
+std::string TraceRecorder::ExportJson() {
+  const std::vector<TraceEvent> events = Collect();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"" + JsonEscape(event.name) + "\"";
+    out += ",\"cat\":\"telco\",\"ph\":\"X\"";
+    out += ",\"ts\":" + JsonNumber(event.begin_us);
+    out += ",\"dur\":" + JsonNumber(event.duration_us);
+    out += ",\"pid\":1,\"tid\":" + JsonNumber(static_cast<double>(event.tid));
+    out += ",\"args\":{\"id\":" + JsonNumber(static_cast<double>(event.id));
+    out += ",\"parent\":" + JsonNumber(static_cast<double>(event.parent_id));
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+uint64_t TraceContext::CurrentSpanId() { return tls_current_span_id; }
+
+void TraceContext::Set(uint64_t span_id) { tls_current_span_id = span_id; }
+
+TraceContext::Scope::Scope(uint64_t span_id) : saved_(tls_current_span_id) {
+  tls_current_span_id = span_id;
+}
+
+TraceContext::Scope::~Scope() { tls_current_span_id = saved_; }
+
+TraceSpan::TraceSpan(std::string name) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (!recorder.enabled()) return;
+  name_ = std::move(name);
+  id_ = recorder.NextSpanId();
+  parent_id_ = TraceContext::CurrentSpanId();
+  begin_us_ = recorder.NowMicros();
+  active_ = true;
+  TraceContext::Set(id_);
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  TraceContext::Set(parent_id_);
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (!recorder.enabled()) return;  // stopped mid-span: drop the event
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.id = id_;
+  event.parent_id = parent_id_;
+  event.begin_us = begin_us_;
+  event.duration_us = recorder.NowMicros() - begin_us_;
+  recorder.Append(std::move(event));
+}
+
+}  // namespace telco

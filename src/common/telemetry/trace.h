@@ -1,0 +1,134 @@
+// Trace spans with Chrome trace-event JSON export.
+//
+// A TraceSpan is an RAII timer: construction records the begin time, the
+// destructor appends one complete event to the recording thread's buffer.
+// Recording is off by default (one relaxed atomic load per span), enabled
+// by the CLI's --trace-out flag or a test's TraceRecorder::Start().
+//
+// Nesting across ThreadPool workers: every thread carries a current-span
+// id in TraceContext. ThreadPool::Submit / ParallelForChunks capture the
+// submitting thread's current id at enqueue and restore it inside the
+// worker with a TraceContext::Scope, so spans opened inside a pool task
+// report the submitting span as their parent. Export sorts events by
+// (begin, longest-first) which is the order Perfetto expects for nested
+// slices sharing a timestamp.
+
+#ifndef TELCO_COMMON_TELEMETRY_TRACE_H_
+#define TELCO_COMMON_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace telco {
+
+/// \brief One finished span, in microseconds since recorder start.
+struct TraceEvent {
+  std::string name;
+  uint64_t id = 0;         // unique per span
+  uint64_t parent_id = 0;  // 0 = root
+  uint32_t tid = 0;        // recorder-assigned stable thread number
+  double begin_us = 0.0;
+  double duration_us = 0.0;
+};
+
+/// \brief Process-wide span sink. Threads append to private buffers; Stop
+/// + Export drain them into Chrome trace-event JSON.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  /// Begins recording (clears previously collected events).
+  void Start();
+
+  /// Stops recording; spans finishing afterwards are dropped.
+  void Stop();
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drains all per-thread buffers, sorted by (begin, duration desc, id).
+  std::vector<TraceEvent> Collect();
+
+  /// Chrome trace-event JSON ("traceEvents" array of "ph":"X" slices).
+  /// Loadable in Perfetto / chrome://tracing.
+  std::string ExportJson();
+
+ private:
+  friend class TraceSpan;
+
+  struct ThreadBuffer {
+    std::mutex mutex;
+    uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  TraceRecorder() = default;
+
+  uint64_t NextSpanId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  double NowMicros() const;
+  ThreadBuffer* BufferForThisThread();
+  void Append(TraceEvent event);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<int64_t> epoch_ns_{0};
+
+  std::mutex registry_mutex_;
+  // Buffers are heap-allocated and leaked so thread-local pointers held by
+  // already-running threads stay valid for the process lifetime.
+  std::vector<ThreadBuffer*> buffers_;
+  uint32_t next_tid_ = 0;
+};
+
+/// \brief The calling thread's current (innermost open) span id.
+class TraceContext {
+ public:
+  static uint64_t CurrentSpanId();
+
+  /// Overrides the current span id for a scope; used by ThreadPool to make
+  /// task-side spans children of the submitting span.
+  class Scope {
+   public:
+    explicit Scope(uint64_t span_id);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    uint64_t saved_;
+  };
+
+ private:
+  friend class TraceSpan;
+  static void Set(uint64_t span_id);
+};
+
+/// \brief RAII span: times its scope and records one TraceEvent on the
+/// global recorder (no-op while recording is disabled).
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  uint64_t id() const { return id_; }
+
+ private:
+  std::string name_;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  double begin_us_ = 0.0;
+  bool active_ = false;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_COMMON_TELEMETRY_TRACE_H_

@@ -91,12 +91,15 @@ void ThreadPool::ParallelForChunks(size_t begin, size_t end,
 
   ChunkWait wait;
   wait.pending = chunks;
+  // Chunk-side spans nest under the caller's current span (see Submit).
+  const uint64_t trace_parent = TraceContext::CurrentSpanId();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (size_t c = 0; c < chunks; ++c) {
       const size_t lo = begin + c * chunk_size;
       const size_t hi = std::min(end, lo + chunk_size);
-      tasks_.emplace([&wait, &fn, c, lo, hi] {
+      tasks_.emplace([&wait, &fn, c, lo, hi, trace_parent] {
+        TraceContext::Scope trace_scope(trace_parent);
         try {
           fn(c, lo, hi);
         } catch (...) {

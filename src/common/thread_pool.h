@@ -27,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/telemetry/trace.h"
+
 namespace telco {
 
 /// \brief A fixed pool of worker threads executing queued tasks FIFO.
@@ -51,15 +53,22 @@ class ThreadPool {
   /// True iff the calling thread is one of this pool's workers.
   bool InWorkerThread() const;
 
-  /// Enqueues a task; the future resolves when it completes.
+  /// Enqueues a task; the future resolves when it completes. The
+  /// submitting thread's current trace span becomes the parent of spans
+  /// opened inside the task, so pool work nests under its submitter in
+  /// --trace-out output.
   template <typename F>
   std::future<void> Submit(F&& fn) {
     auto task = std::make_shared<std::packaged_task<void()>>(
         std::forward<F>(fn));
     std::future<void> fut = task->get_future();
+    const uint64_t trace_parent = TraceContext::CurrentSpanId();
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      tasks_.emplace([task] { (*task)(); });
+      tasks_.emplace([task, trace_parent] {
+        TraceContext::Scope trace_scope(trace_parent);
+        (*task)();
+      });
     }
     cv_.notify_one();
     return fut;

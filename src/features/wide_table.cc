@@ -6,6 +6,9 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/timer.h"
+#include "common/telemetry/trace.h"
 #include "common/thread_pool.h"
 #include "datagen/table_names.h"
 #include "features/churn_labels.h"
@@ -98,6 +101,22 @@ Result<TablePtr> AppendComputedColumns(const TablePtr& table,
   }
   for (auto& e : extras) columns.push_back(std::move(e));
   return Project(table, std::move(columns));
+}
+
+// Records one family build: "features.<F#>.build_seconds" histogram plus
+// shared rows-emitted/families-built counters.
+void RecordFamilyBuild(FeatureFamily family, double seconds,
+                       const Result<TablePtr>& table) {
+  static const Counter families_built =
+      MetricsRegistry::Global().GetCounter("features.family.builds");
+  static const Counter rows_emitted =
+      MetricsRegistry::Global().GetCounter("features.family.rows_emitted");
+  MetricsRegistry::Global()
+      .GetHistogram(StrFormat("features.%s.build_seconds",
+                              FeatureFamilyLabel(family)))
+      .Observe(seconds);
+  families_built.Add();
+  if (table.ok()) rows_emitted.Add((*table)->num_rows());
 }
 
 int MaxWeek(const Table& table) {
@@ -495,8 +514,17 @@ Result<WideTable> WideTableBuilder::BuildWithoutSecondOrder(int month) {
 
   WideTable wide;
   std::vector<std::string> cols;
+  TraceSpan build_span(StrFormat("features.build_wide:m%d", month));
 
-  TELCO_ASSIGN_OR_RETURN(TablePtr table, BuildF1(month, &cols));
+  Result<TablePtr> f1 = [&]() -> Result<TablePtr> {
+    TraceSpan span("features.F1");
+    Stopwatch watch;
+    Result<TablePtr> built = BuildF1(month, &cols);
+    RecordFamilyBuild(FeatureFamily::kF1Baseline, watch.ElapsedSeconds(),
+                      built);
+    return built;
+  }();
+  TELCO_ASSIGN_OR_RETURN(TablePtr table, std::move(f1));
   wide.columns[FeatureFamily::kF1Baseline] = cols;
 
   TELCO_ASSIGN_OR_RETURN(const std::vector<int64_t> universe,
@@ -520,6 +548,9 @@ Result<WideTable> WideTableBuilder::BuildWithoutSecondOrder(int month) {
   ThreadPool* pool =
       options_.pool != nullptr ? options_.pool : &ThreadPool::Default();
   pool->ParallelFor(0, kNumParallel, [&](size_t i) {
+    TraceSpan span(StrFormat("features.%s",
+                             FeatureFamilyLabel(kParallelFamilies[i])));
+    Stopwatch watch;
     switch (kParallelFamilies[i]) {
       case FeatureFamily::kF2Cs:
         family_tables[i] = BuildF2(month, &family_cols[i]);
@@ -538,6 +569,8 @@ Result<WideTable> WideTableBuilder::BuildWithoutSecondOrder(int month) {
                                        &family_cols[i]);
         break;
     }
+    RecordFamilyBuild(kParallelFamilies[i], watch.ElapsedSeconds(),
+                      family_tables[i]);
   });
   // Surface the first failure in family order (deterministic across runs).
   for (size_t i = 0; i < kNumParallel; ++i) {
@@ -561,8 +594,16 @@ Result<WideTable> WideTableBuilder::Build(int month) {
 
   TELCO_ASSIGN_OR_RETURN(WideTable wide, BuildWithoutSecondOrder(month));
   std::vector<std::string> cols;
-  TELCO_ASSIGN_OR_RETURN(TablePtr with_f9, AttachSecondOrder(wide, &cols));
-  wide.table = std::move(with_f9);
+  Result<TablePtr> with_f9 = [&]() -> Result<TablePtr> {
+    TraceSpan span("features.F9");
+    Stopwatch watch;
+    Result<TablePtr> built = AttachSecondOrder(wide, &cols);
+    RecordFamilyBuild(FeatureFamily::kF9SecondOrder, watch.ElapsedSeconds(),
+                      built);
+    return built;
+  }();
+  TELCO_RETURN_NOT_OK(with_f9.status());
+  wide.table = std::move(with_f9).ValueOrDie();
   wide.columns[FeatureFamily::kF9SecondOrder] = cols;
 
   InjectCached(month, wide);

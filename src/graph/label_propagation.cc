@@ -3,6 +3,9 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/timer.h"
+#include "common/telemetry/trace.h"
 #include "common/thread_pool.h"
 
 namespace telco {
@@ -21,6 +24,19 @@ Result<LabelPropagationResult> PropagateLabels(
   const uint32_t c = options.num_classes;
   if (c < 2) return Status::InvalidArgument("need at least 2 classes");
   if (n == 0) return Status::InvalidArgument("empty graph");
+  static const Counter runs =
+      MetricsRegistry::Global().GetCounter("graph.label_propagation.runs");
+  static const Counter iterations = MetricsRegistry::Global().GetCounter(
+      "graph.label_propagation.iterations");
+  static const Counter seed_count =
+      MetricsRegistry::Global().GetCounter("graph.label_propagation.seeds");
+  static const Histogram sweep_seconds = MetricsRegistry::Global().GetHistogram(
+      "graph.label_propagation.sweep_seconds");
+  static const Gauge final_delta = MetricsRegistry::Global().GetGauge(
+      "graph.label_propagation.final_delta");
+  TraceSpan span("graph.label_propagation");
+  runs.Add();
+  seed_count.Add(seeds.size());
 
   std::vector<int32_t> seed_label(n, -1);
   for (const auto& s : seeds) {
@@ -52,6 +68,7 @@ Result<LabelPropagationResult> PropagateLabels(
   const size_t num_chunks = (n + kSweepGrain - 1) / kSweepGrain;
   std::vector<double> chunk_delta(num_chunks, 0.0);
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    Stopwatch sweep_watch;
     // Each chunk of vertices gathers from the previous round's
     // probabilities and writes only its own rows of `next`.
     RunParallelChunks(
@@ -93,6 +110,9 @@ Result<LabelPropagationResult> PropagateLabels(
     for (size_t ch = 0; ch < num_chunks; ++ch) {
       max_delta = std::max(max_delta, chunk_delta[ch]);
     }
+    sweep_seconds.Observe(sweep_watch.ElapsedSeconds());
+    iterations.Add();
+    final_delta.Set(max_delta);
     result.probabilities.swap(next);
     ++result.iterations;
     if (max_delta < options.tolerance) {

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/timer.h"
+#include "common/telemetry/trace.h"
 #include "common/thread_pool.h"
 
 namespace telco {
@@ -22,6 +25,16 @@ Result<PageRankResult> PageRank(const Graph& graph,
   if (graph.num_vertices() == 0) {
     return Status::InvalidArgument("PageRank over an empty graph");
   }
+  static const Counter runs =
+      MetricsRegistry::Global().GetCounter("graph.pagerank.runs");
+  static const Counter iterations =
+      MetricsRegistry::Global().GetCounter("graph.pagerank.iterations");
+  static const Histogram sweep_seconds =
+      MetricsRegistry::Global().GetHistogram("graph.pagerank.sweep_seconds");
+  static const Gauge final_delta =
+      MetricsRegistry::Global().GetGauge("graph.pagerank.final_delta");
+  TraceSpan span("graph.pagerank");
+  runs.Add();
   const size_t n = graph.num_vertices();
   const double base = (1.0 - options.damping) / static_cast<double>(n);
 
@@ -40,6 +53,7 @@ Result<PageRankResult> PageRank(const Graph& graph,
   std::vector<double> chunk_delta(num_chunks, 0.0);
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    Stopwatch sweep_watch;
     // Scatter: each vertex v sends score_v * w_vu / W_v to each neighbor u.
     // Because the graph is undirected, gathering over u's neighbors with
     // the sender's normaliser is equivalent and cache-friendlier. Each
@@ -63,6 +77,9 @@ Result<PageRankResult> PageRank(const Graph& graph,
     // Combine partials in chunk order: deterministic for any thread count.
     double delta = 0.0;
     for (size_t c = 0; c < num_chunks; ++c) delta += chunk_delta[c];
+    sweep_seconds.Observe(sweep_watch.ElapsedSeconds());
+    iterations.Add();
+    final_delta.Set(delta);
     result.scores.swap(next);
     ++result.iterations;
     if (delta < options.tolerance) {

@@ -5,6 +5,10 @@
 
 #include "common/math_util.h"
 #include "common/rng.h"
+#include "common/string_util.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/timer.h"
+#include "common/telemetry/trace.h"
 
 namespace telco {
 
@@ -45,9 +49,19 @@ Status Gbdt::Fit(const Dataset& data) {
   std::vector<double> hess(n);
   Rng rng(options_.seed);
 
+  static const Counter trees_fitted =
+      MetricsRegistry::Global().GetCounter("ml.gbdt.trees_fitted");
+  static const Counter nodes_total =
+      MetricsRegistry::Global().GetCounter("ml.gbdt.nodes");
+  static const Histogram tree_fit_seconds =
+      MetricsRegistry::Global().GetHistogram("ml.gbdt.tree_fit_seconds");
+  TraceSpan fit_span(StrFormat("ml.gbdt.fit:%d_trees", options_.num_trees));
+
   trees_.clear();
   trees_.reserve(options_.num_trees);
   for (int t = 0; t < options_.num_trees; ++t) {
+    TraceSpan tree_span(StrFormat("ml.gbdt.tree:%d", t));
+    Stopwatch tree_watch;
     for (size_t i = 0; i < n; ++i) {
       const double p = Sigmoid(margin[i]);
       const double y = data.label(i) == 1 ? 1.0 : 0.0;
@@ -72,6 +86,9 @@ Status Gbdt::Fit(const Dataset& data) {
     for (size_t i = 0; i < n; ++i) {
       margin[i] += options_.learning_rate * tree.Predict(data.Row(i));
     }
+    tree_fit_seconds.Observe(tree_watch.ElapsedSeconds());
+    trees_fitted.Add();
+    nodes_total.Add(tree.num_nodes());
     trees_.push_back(std::move(tree));
   }
   return Status::OK();

@@ -5,6 +5,10 @@
 #include <mutex>
 
 #include "common/logging.h"
+#include "common/string_util.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/timer.h"
+#include "common/telemetry/trace.h"
 #include "common/thread_pool.h"
 
 namespace telco {
@@ -43,9 +47,19 @@ Status RandomForest::Fit(const Dataset& data) {
       options_.num_trees,
       std::vector<double>(data.num_features(), 0.0));
 
+  static const Counter trees_fitted =
+      MetricsRegistry::Global().GetCounter("ml.rf.trees_fitted");
+  static const Counter nodes_total =
+      MetricsRegistry::Global().GetCounter("ml.rf.nodes");
+  static const Histogram tree_fit_seconds =
+      MetricsRegistry::Global().GetHistogram("ml.rf.tree_fit_seconds");
+  TraceSpan fit_span(StrFormat("ml.rf.fit:%d_trees", options_.num_trees));
+
   Status first_error;
   std::mutex error_mutex;
   auto fit_tree = [&](size_t t) {
+    TraceSpan tree_span(StrFormat("ml.rf.tree:%zu", t));
+    Stopwatch tree_watch;
     Rng rng(HashCombine64(options_.seed, t));
     std::vector<size_t> sample(bootstrap_n);
     for (auto& idx : sample) {
@@ -57,7 +71,11 @@ Status RandomForest::Fit(const Dataset& data) {
     if (!st.ok()) {
       std::lock_guard<std::mutex> lock(error_mutex);
       if (first_error.ok()) first_error = st;
+      return;
     }
+    tree_fit_seconds.Observe(tree_watch.ElapsedSeconds());
+    trees_fitted.Add();
+    nodes_total.Add(trees_[t].num_nodes());
   };
 
   if (options_.parallel) {

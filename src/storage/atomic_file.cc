@@ -10,6 +10,8 @@
 #include <sstream>
 
 #include "common/fault_injection.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/timer.h"
 
 namespace telco {
 
@@ -56,13 +58,25 @@ Status AtomicFile::Open() {
 }
 
 Status AtomicFile::Commit() {
+  static const Counter commits =
+      MetricsRegistry::Global().GetCounter("storage.atomic_file.commits");
+  static const Counter bytes_fsynced =
+      MetricsRegistry::Global().GetCounter("storage.atomic_file.bytes_fsynced");
+  static const Histogram fsync_seconds =
+      MetricsRegistry::Global().GetHistogram(
+          "storage.atomic_file.fsync_seconds");
   if (!opened_) return Status::Internal("Commit before Open");
   if (committed_) return Status::Internal("Commit called twice");
   out_.flush();
   if (!out_) return Status::IoError("error while writing '" + tmp_path_ + "'");
+  const auto written = out_.tellp();
   out_.close();
   TELCO_RETURN_NOT_OK(MaybeInjectFault("atomic.commit"));
+  Stopwatch fsync_watch;
   TELCO_RETURN_NOT_OK(FsyncPath(tmp_path_, /*directory=*/false));
+  fsync_seconds.Observe(fsync_watch.ElapsedSeconds());
+  if (written > 0) bytes_fsynced.Add(static_cast<uint64_t>(written));
+  commits.Add();
   TELCO_RETURN_NOT_OK(MaybeInjectFault("atomic.rename"));
   if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
     return ErrnoStatus("cannot rename into", path_);

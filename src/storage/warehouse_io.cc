@@ -7,6 +7,9 @@
 #include "common/fault_injection.h"
 #include "common/retry.h"
 #include "common/string_util.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/timer.h"
+#include "common/telemetry/trace.h"
 #include "common/thread_pool.h"
 #include "storage/atomic_file.h"
 #include "storage/csv.h"
@@ -69,14 +72,33 @@ Result<ManifestEntry> ParseManifestLine(const std::string& line,
 // injected ones) are retried by the caller.
 Result<TablePtr> LoadTableVerified(const std::string& path,
                                    const ManifestEntry& entry) {
+  static const Counter rows_read =
+      MetricsRegistry::Global().GetCounter("storage.warehouse.rows_read");
+  static const Counter bytes_read =
+      MetricsRegistry::Global().GetCounter("storage.warehouse.bytes_read");
+  static const Histogram crc_verify_seconds =
+      MetricsRegistry::Global().GetHistogram(
+          "storage.warehouse.crc_verify_seconds");
+  static const Histogram csv_parse_seconds =
+      MetricsRegistry::Global().GetHistogram(
+          "storage.warehouse.csv_parse_seconds");
+  TraceSpan span("warehouse.load_table:" + entry.name);
   TELCO_RETURN_NOT_OK(MaybeInjectFault("warehouse.load.table"));
   TELCO_ASSIGN_OR_RETURN(const std::string content, ReadFileToString(path));
-  if (entry.has_crc && Crc32(content) != entry.crc) {
-    return Status::IoError("checksum mismatch for table '" + entry.name +
-                           "' (corrupt or torn file " + path + ")");
+  bytes_read.Add(content.size());
+  if (entry.has_crc) {
+    Stopwatch crc_watch;
+    const bool crc_ok = Crc32(content) == entry.crc;
+    crc_verify_seconds.Observe(crc_watch.ElapsedSeconds());
+    if (!crc_ok) {
+      return Status::IoError("checksum mismatch for table '" + entry.name +
+                             "' (corrupt or torn file " + path + ")");
+    }
   }
+  Stopwatch parse_watch;
   TELCO_ASSIGN_OR_RETURN(TablePtr table,
                          ParseCsvString(content, entry.schema));
+  csv_parse_seconds.Observe(parse_watch.ElapsedSeconds());
   if (entry.rows >= 0 &&
       table->num_rows() != static_cast<size_t>(entry.rows)) {
     return Status::IoError(StrFormat(
@@ -84,6 +106,7 @@ Result<TablePtr> LoadTableVerified(const std::string& path,
         entry.name.c_str(), table->num_rows(),
         static_cast<long long>(entry.rows)));
   }
+  rows_read.Add(table->num_rows());
   return table;
 }
 
@@ -113,6 +136,11 @@ Result<Schema> SchemaFromSpec(const std::string& spec) {
 }
 
 Status SaveWarehouse(const Catalog& catalog, const std::string& directory) {
+  static const Counter tables_saved =
+      MetricsRegistry::Global().GetCounter("storage.warehouse.tables_saved");
+  static const Counter rows_written =
+      MetricsRegistry::Global().GetCounter("storage.warehouse.rows_written");
+  TraceSpan span("warehouse.save");
   std::error_code ec;
   fs::create_directories(directory, ec);
   if (ec) {
@@ -130,6 +158,8 @@ Status SaveWarehouse(const Catalog& catalog, const std::string& directory) {
     TELCO_RETURN_NOT_OK(MaybeInjectFault("warehouse.save.table"));
     uint32_t crc = 0;
     TELCO_RETURN_NOT_OK(WriteCsv(*table, file.string(), &crc));
+    tables_saved.Add();
+    rows_written.Add(table->num_rows());
     manifest << name << '|' << SchemaToSpec(table->schema()) << '|'
              << table->num_rows() << '|' << Crc32Hex(crc) << '\n';
   }
@@ -140,9 +170,12 @@ Status SaveWarehouse(const Catalog& catalog, const std::string& directory) {
 
 Status LoadWarehouse(const std::string& directory, Catalog* catalog,
                      ThreadPool* pool) {
+  static const Counter tables_loaded =
+      MetricsRegistry::Global().GetCounter("storage.warehouse.tables_loaded");
   if (catalog == nullptr) {
     return Status::InvalidArgument("null catalog");
   }
+  TraceSpan span("warehouse.load");
   const fs::path manifest_path = fs::path(directory) / "MANIFEST";
   TELCO_ASSIGN_OR_RETURN(const std::string manifest_text,
                          ReadFileToString(manifest_path.string()));
@@ -194,6 +227,7 @@ Status LoadWarehouse(const std::string& directory, Catalog* catalog,
   for (size_t i = 0; i < pending.size(); ++i) {
     catalog->RegisterOrReplace(pending[i].name, std::move(tables[i]));
   }
+  tables_loaded.Add(pending.size());
   return Status::OK();
 }
 

@@ -3,6 +3,9 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/timer.h"
+#include "common/telemetry/trace.h"
 #include "common/thread_pool.h"
 
 namespace telco {
@@ -52,10 +55,23 @@ Result<LdaModel> LdaModel::Train(const Corpus& corpus,
   if (corpus.vocab_size() == 0) {
     return Status::InvalidArgument("LDA over an empty vocabulary");
   }
+  static const Counter trainings =
+      MetricsRegistry::Global().GetCounter("text.lda.trainings");
+  static const Counter epochs =
+      MetricsRegistry::Global().GetCounter("text.lda.epochs");
+  static const Counter tokens_seen =
+      MetricsRegistry::Global().GetCounter("text.lda.nonzeros");
+  static const Histogram epoch_seconds =
+      MetricsRegistry::Global().GetHistogram("text.lda.epoch_seconds");
+  static const Gauge final_mean_change =
+      MetricsRegistry::Global().GetGauge("text.lda.final_mean_change");
+  TraceSpan span("text.lda.train");
+  trainings.Add();
   const uint32_t K = options.num_topics;
   const size_t M = corpus.num_documents();
   const size_t W = corpus.vocab_size();
   const Nonzeros nz(corpus);
+  tokens_seen.Add(nz.size());
 
   // Messages mu: one K-vector per non-zero, randomly initialised from
   // per-chunk RNG streams keyed by HashCombine64(seed, chunk) — the same
@@ -107,6 +123,7 @@ Result<LdaModel> LdaModel::Train(const Corpus& corpus,
 
   std::vector<double> fresh(K);
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    Stopwatch epoch_watch;
     double total_change = 0.0;
     for (size_t i = 0; i < nz.size(); ++i) {
       const double x = nz.count[i];
@@ -137,8 +154,13 @@ Result<LdaModel> LdaModel::Train(const Corpus& corpus,
       }
     }
     ++model.iterations_;
+    epoch_seconds.Observe(epoch_watch.ElapsedSeconds());
+    epochs.Add();
     const double mean_change =
         total_change / (static_cast<double>(nz.size()) * K + 1e-12);
+    // A cheap per-epoch convergence proxy; true perplexity is O(corpus)
+    // and is recorded separately when Perplexity() runs (DESIGN.md §8).
+    final_mean_change.Set(mean_change);
     if (mean_change < options.tolerance) {
       model.converged_ = true;
       break;
@@ -216,6 +238,12 @@ std::vector<double> LdaModel::InferDocument(const Document& doc,
 }
 
 double LdaModel::Perplexity(const Corpus& corpus, ThreadPool* pool) const {
+  static const Gauge perplexity_gauge =
+      MetricsRegistry::Global().GetGauge("text.lda.perplexity");
+  static const Histogram perplexity_seconds =
+      MetricsRegistry::Global().GetHistogram("text.lda.perplexity_seconds");
+  TraceSpan span("text.lda.perplexity");
+  Stopwatch watch;
   const uint32_t K = num_topics_;
   const size_t docs = corpus.num_documents();
   const size_t grain = 256;  // documents per chunk; fixed grid
@@ -247,8 +275,11 @@ double LdaModel::Perplexity(const Corpus& corpus, ThreadPool* pool) const {
     log_lik += chunk_log_lik[ch];
     tokens += chunk_tokens[ch];
   }
+  perplexity_seconds.Observe(watch.ElapsedSeconds());
   if (tokens == 0) return 0.0;
-  return std::exp(-log_lik / static_cast<double>(tokens));
+  const double perplexity = std::exp(-log_lik / static_cast<double>(tokens));
+  perplexity_gauge.Set(perplexity);
+  return perplexity;
 }
 
 }  // namespace telco

@@ -1,0 +1,193 @@
+#include "common/telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/telemetry/json.h"
+
+namespace telco {
+namespace {
+
+TEST(TelemetryMetricsTest, CounterAccumulates) {
+  MetricsRegistry registry;
+  const Counter rows = registry.GetCounter("test.component.rows");
+  rows.Add();
+  rows.Add(41);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricValue* metric = snapshot.Find("test.component.rows");
+  ASSERT_NE(metric, nullptr);
+  EXPECT_EQ(metric->kind, MetricKind::kCounter);
+  EXPECT_EQ(metric->counter, 42u);
+}
+
+TEST(TelemetryMetricsTest, RefetchReturnsSameMetric) {
+  MetricsRegistry registry;
+  const Counter a = registry.GetCounter("test.refetch");
+  const Counter b = registry.GetCounter("test.refetch");
+  a.Add(1);
+  b.Add(2);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.Snapshot().Find("test.refetch")->counter, 3u);
+}
+
+TEST(TelemetryMetricsTest, GaugeIsLastWriteWins) {
+  MetricsRegistry registry;
+  const Gauge delta = registry.GetGauge("test.delta");
+  delta.Set(0.5);
+  delta.Set(0.125);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricValue* metric = snapshot.Find("test.delta");
+  ASSERT_NE(metric, nullptr);
+  EXPECT_EQ(metric->kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(metric->gauge, 0.125);
+}
+
+TEST(TelemetryMetricsTest, HistogramBucketsAndStats) {
+  MetricsRegistry registry;
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  const Histogram h = registry.GetHistogram("test.hist", bounds);
+  // upper-bound semantics: a value equal to a bound lands in that bound's
+  // bucket; anything above the last bound overflows.
+  h.Observe(0.5);   // bucket 0
+  h.Observe(1.0);   // bucket 1
+  h.Observe(3.0);   // bucket 2
+  h.Observe(100.0); // bucket 3 (overflow)
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricValue* metric = snapshot.Find("test.hist");
+  ASSERT_NE(metric, nullptr);
+  ASSERT_EQ(metric->kind, MetricKind::kHistogram);
+  const HistogramSnapshot& hist = metric->histogram;
+  EXPECT_EQ(hist.count, 4u);
+  EXPECT_DOUBLE_EQ(hist.sum, 104.5);
+  EXPECT_DOUBLE_EQ(hist.min, 0.5);
+  EXPECT_DOUBLE_EQ(hist.max, 100.0);
+  ASSERT_EQ(hist.buckets.size(), 4u);
+  EXPECT_EQ(hist.buckets[0], 1u);
+  EXPECT_EQ(hist.buckets[1], 1u);
+  EXPECT_EQ(hist.buckets[2], 1u);
+  EXPECT_EQ(hist.buckets[3], 1u);
+}
+
+TEST(TelemetryMetricsTest, ConcurrentCountersAreExact) {
+  MetricsRegistry registry;
+  const Counter hits = registry.GetCounter("test.concurrent.hits");
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hits] {
+      for (int i = 0; i < kIterations; ++i) hits.Add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.Snapshot().Find("test.concurrent.hits")->counter,
+            static_cast<uint64_t>(kThreads) * kIterations);
+}
+
+TEST(TelemetryMetricsTest, ConcurrentHistogramsAreExact) {
+  MetricsRegistry registry;
+  const Histogram h =
+      registry.GetHistogram("test.concurrent.hist", {1.0, 10.0});
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        h.Observe(t % 2 == 0 ? 0.5 : 5.0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot& hist =
+      snapshot.Find("test.concurrent.hist")->histogram;
+  const uint64_t half = static_cast<uint64_t>(kThreads / 2) * kIterations;
+  EXPECT_EQ(hist.count, 2 * half);
+  EXPECT_EQ(hist.buckets[0], half);
+  EXPECT_EQ(hist.buckets[1], half);
+  EXPECT_EQ(hist.buckets[2], 0u);
+  EXPECT_DOUBLE_EQ(hist.min, 0.5);
+  EXPECT_DOUBLE_EQ(hist.max, 5.0);
+  EXPECT_DOUBLE_EQ(hist.sum, 0.5 * half + 5.0 * half);
+}
+
+TEST(TelemetryMetricsTest, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  const Counter c = registry.GetCounter("test.reset.c");
+  const Gauge g = registry.GetGauge("test.reset.g");
+  const Histogram h = registry.GetHistogram("test.reset.h");
+  c.Add(7);
+  g.Set(3.0);
+  h.Observe(0.01);
+  registry.Reset();
+  EXPECT_EQ(registry.size(), 3u);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.Find("test.reset.c")->counter, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.Find("test.reset.g")->gauge, 0.0);
+  EXPECT_EQ(snapshot.Find("test.reset.h")->histogram.count, 0u);
+  // Handles stay usable after Reset.
+  c.Add(1);
+  EXPECT_EQ(registry.Snapshot().Find("test.reset.c")->counter, 1u);
+}
+
+TEST(TelemetryMetricsTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra");
+  registry.GetCounter("alpha");
+  registry.GetCounter("mid");
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.metrics.size(), 3u);
+  EXPECT_EQ(snapshot.metrics[0].name, "alpha");
+  EXPECT_EQ(snapshot.metrics[1].name, "mid");
+  EXPECT_EQ(snapshot.metrics[2].name, "zebra");
+}
+
+TEST(TelemetryMetricsTest, DurationBucketsAreSortedDecades) {
+  const std::vector<double>& buckets = DurationBuckets();
+  ASSERT_FALSE(buckets.empty());
+  EXPECT_DOUBLE_EQ(buckets.front(), 0.0001);
+  EXPECT_DOUBLE_EQ(buckets.back(), 100.0);
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_LT(buckets[i - 1], buckets[i]);
+  }
+}
+
+TEST(TelemetryMetricsTest, SnapshotJsonParses) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.json.counter").Add(5);
+  registry.GetGauge("test.json.gauge").Set(2.5);
+  registry.GetHistogram("test.json.hist").Observe(0.02);
+  const std::string json = registry.Snapshot().ToJson();
+  const Result<JsonValue> parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_array());
+  ASSERT_EQ(parsed->items.size(), 3u);
+  for (const JsonValue& metric : parsed->items) {
+    ASSERT_TRUE(metric.is_object());
+    EXPECT_NE(metric.Find("name"), nullptr);
+    EXPECT_NE(metric.Find("kind"), nullptr);
+  }
+}
+
+TEST(TelemetryMetricsDeathTest, KindMismatchAborts) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  MetricsRegistry registry;
+  registry.GetCounter("test.kind");
+  EXPECT_DEATH(registry.GetGauge("test.kind"), "re-registered");
+}
+
+TEST(TelemetryMetricsDeathTest, HistogramBoundsMismatchAborts) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  MetricsRegistry registry;
+  registry.GetHistogram("test.bounds", {1.0, 2.0});
+  EXPECT_DEATH(registry.GetHistogram("test.bounds", {1.0, 3.0}),
+               "different buckets");
+}
+
+}  // namespace
+}  // namespace telco

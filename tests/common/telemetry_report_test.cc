@@ -1,0 +1,131 @@
+#include "common/telemetry/run_report.h"
+
+#include <gtest/gtest.h>
+
+#include "common/telemetry/json.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/timer.h"
+
+namespace telco {
+namespace {
+
+RunReport MakeReport() {
+  RunReport report;
+  report.command = "evaluate";
+  report.AddConfig("warehouse", "/tmp/wh");
+  report.AddConfig("month", "9");
+  StageTimings timings;
+  timings.Add("features_train", 1.5, 1.25);
+  timings.Add("train", 4.0, 3.5);
+  report.SetStages(timings);
+  report.SetQuality(RunQuality{0.93, 0.71, 0.23, 0.96, 50000});
+
+  MetricsRegistry registry;
+  registry.GetCounter("storage.warehouse.rows_read").Add(123456);
+  registry.GetGauge("graph.pagerank.final_delta").Set(1e-7);
+  registry.GetHistogram("ml.rf.tree_fit_seconds").Observe(0.02);
+  report.metrics = registry.Snapshot();
+  return report;
+}
+
+TEST(TelemetryReportTest, JsonRoundTripPreservesEverything) {
+  const RunReport report = MakeReport();
+  const Result<RunReport> parsed = RunReport::FromJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  EXPECT_EQ(parsed->schema_version, RunReport::kSchemaVersion);
+  EXPECT_EQ(parsed->kind, "run");
+  EXPECT_EQ(parsed->command, "evaluate");
+  ASSERT_EQ(parsed->config.size(), 2u);
+  EXPECT_EQ(parsed->config[0].first, "warehouse");
+  EXPECT_EQ(parsed->config[0].second, "/tmp/wh");
+  EXPECT_EQ(parsed->config[1].second, "9");
+
+  ASSERT_EQ(parsed->stages.size(), 2u);
+  EXPECT_EQ(parsed->stages[0].name, "features_train");
+  EXPECT_DOUBLE_EQ(parsed->stages[0].wall_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(parsed->stages[0].cpu_seconds, 1.25);
+  EXPECT_DOUBLE_EQ(parsed->total_wall_seconds, 5.5);
+
+  ASSERT_TRUE(parsed->has_quality);
+  EXPECT_DOUBLE_EQ(parsed->quality.auc, 0.93);
+  EXPECT_DOUBLE_EQ(parsed->quality.pr_auc, 0.71);
+  EXPECT_DOUBLE_EQ(parsed->quality.recall_at_u, 0.23);
+  EXPECT_DOUBLE_EQ(parsed->quality.precision_at_u, 0.96);
+  EXPECT_EQ(parsed->quality.u, 50000u);
+
+  ASSERT_EQ(parsed->metrics.metrics.size(), 3u);
+  const MetricValue* rows =
+      parsed->metrics.Find("storage.warehouse.rows_read");
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->kind, MetricKind::kCounter);
+  EXPECT_EQ(rows->counter, 123456u);
+  const MetricValue* delta =
+      parsed->metrics.Find("graph.pagerank.final_delta");
+  ASSERT_NE(delta, nullptr);
+  EXPECT_DOUBLE_EQ(delta->gauge, 1e-7);
+  const MetricValue* hist = parsed->metrics.Find("ml.rf.tree_fit_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->histogram.count, 1u);
+  EXPECT_DOUBLE_EQ(hist->histogram.sum, 0.02);
+  EXPECT_EQ(hist->histogram.bounds.size(), DurationBuckets().size());
+  EXPECT_EQ(hist->histogram.buckets.size(), DurationBuckets().size() + 1);
+}
+
+TEST(TelemetryReportTest, QualityIsOptional) {
+  RunReport report;
+  report.command = "bench";
+  const Result<RunReport> parsed = RunReport::FromJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed->has_quality);
+  EXPECT_TRUE(parsed->stages.empty());
+  EXPECT_TRUE(parsed->metrics.metrics.empty());
+}
+
+TEST(TelemetryReportTest, RejectsWrongSchemaVersion) {
+  EXPECT_FALSE(RunReport::FromJson("{\"schema_version\":2}").ok());
+  EXPECT_FALSE(RunReport::FromJson("{}").ok());
+}
+
+TEST(TelemetryReportTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(RunReport::FromJson("").ok());
+  EXPECT_FALSE(RunReport::FromJson("not json").ok());
+  EXPECT_FALSE(RunReport::FromJson("[1,2,3]").ok());
+  // A metric with an unknown kind is an error, not silently dropped.
+  EXPECT_FALSE(RunReport::FromJson(
+                   "{\"schema_version\":1,\"metrics\":"
+                   "[{\"name\":\"x\",\"kind\":\"exotic\"}]}")
+                   .ok());
+}
+
+TEST(TelemetryReportTest, ToleratesUnknownKeys) {
+  const Result<RunReport> parsed = RunReport::FromJson(
+      "{\"schema_version\":1,\"command\":\"run\",\"future_field\":[1,2]}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->command, "run");
+}
+
+TEST(TelemetryReportTest, PrettyStringMentionsEverySection) {
+  const std::string pretty = MakeReport().ToPrettyString();
+  EXPECT_NE(pretty.find("command: evaluate"), std::string::npos);
+  EXPECT_NE(pretty.find("features_train"), std::string::npos);
+  EXPECT_NE(pretty.find("AUC"), std::string::npos);
+  EXPECT_NE(pretty.find("U=50000"), std::string::npos);
+  EXPECT_NE(pretty.find("storage.warehouse.rows_read"), std::string::npos);
+  EXPECT_NE(pretty.find("counter"), std::string::npos);
+  EXPECT_NE(pretty.find("histogram"), std::string::npos);
+}
+
+TEST(TelemetryReportTest, ConfigFingerprintKeepsInsertionOrder) {
+  RunReport report;
+  report.AddConfig("zeta", "1");
+  report.AddConfig("alpha", "2");
+  const Result<RunReport> parsed = RunReport::FromJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->config.size(), 2u);
+  EXPECT_EQ(parsed->config[0].first, "zeta");
+  EXPECT_EQ(parsed->config[1].first, "alpha");
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,173 @@
+#include "common/telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/telemetry/json.h"
+#include "common/thread_pool.h"
+
+namespace telco {
+namespace {
+
+// The recorder is a process-wide singleton; every test brackets its spans
+// with Start/Stop and drains via Collect so tests stay independent.
+
+TEST(TelemetryTraceTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Stop();
+  { TraceSpan span("telemetry_test.ignored"); }
+  EXPECT_TRUE(recorder.Collect().empty());
+}
+
+TEST(TelemetryTraceTest, NestedSpansReportParents) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  {
+    TraceSpan outer("telemetry_test.outer");
+    {
+      TraceSpan inner("telemetry_test.inner");
+      { TraceSpan leaf("telemetry_test.leaf"); }
+    }
+    { TraceSpan sibling("telemetry_test.sibling"); }
+  }
+  recorder.Stop();
+  const std::vector<TraceEvent> events = recorder.Collect();
+  ASSERT_EQ(events.size(), 4u);
+  // Sorted by begin time: outer opened first.
+  EXPECT_EQ(events[0].name, "telemetry_test.outer");
+  const TraceEvent& outer = events[0];
+  EXPECT_EQ(outer.parent_id, 0u);
+  for (const TraceEvent& event : events) {
+    if (event.name == "telemetry_test.inner" ||
+        event.name == "telemetry_test.sibling") {
+      EXPECT_EQ(event.parent_id, outer.id) << event.name;
+    }
+    if (event.name == "telemetry_test.leaf") {
+      EXPECT_NE(event.parent_id, outer.id);
+      EXPECT_NE(event.parent_id, 0u);
+    }
+  }
+  // Every span's interval nests inside its parent's.
+  for (const TraceEvent& event : events) {
+    if (event.parent_id == 0) continue;
+    const TraceEvent* parent = nullptr;
+    for (const TraceEvent& candidate : events) {
+      if (candidate.id == event.parent_id) parent = &candidate;
+    }
+    ASSERT_NE(parent, nullptr) << event.name;
+    EXPECT_GE(event.begin_us, parent->begin_us);
+    EXPECT_LE(event.begin_us + event.duration_us,
+              parent->begin_us + parent->duration_us + 1.0);
+  }
+}
+
+TEST(TelemetryTraceTest, CollectIsSortedAndDrains) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  { TraceSpan a("telemetry_test.a"); }
+  { TraceSpan b("telemetry_test.b"); }
+  recorder.Stop();
+  const std::vector<TraceEvent> events = recorder.Collect();
+  ASSERT_EQ(events.size(), 2u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].begin_us, events[i].begin_us);
+  }
+  EXPECT_TRUE(recorder.Collect().empty());  // drained
+}
+
+TEST(TelemetryTraceTest, SpansCrossThreadPoolTasks) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  ThreadPool pool(4);
+  recorder.Start();
+  uint64_t outer_id = 0;
+  {
+    TraceSpan outer("telemetry_test.pool_outer");
+    outer_id = outer.id();
+    pool.ParallelFor(0, 8, [](size_t i) {
+      TraceSpan task("telemetry_test.pool_task");
+      (void)i;
+    });
+  }
+  recorder.Stop();
+  const std::vector<TraceEvent> events = recorder.Collect();
+  ASSERT_EQ(events.size(), 9u);
+  size_t tasks = 0;
+  for (const TraceEvent& event : events) {
+    if (event.name != "telemetry_test.pool_task") continue;
+    ++tasks;
+    // Worker-side spans report the submitting span as parent even though
+    // they ran on different threads.
+    EXPECT_EQ(event.parent_id, outer_id);
+  }
+  EXPECT_EQ(tasks, 8u);
+}
+
+TEST(TelemetryTraceTest, ContextScopeRestores) {
+  EXPECT_EQ(TraceContext::CurrentSpanId(), 0u);
+  {
+    TraceContext::Scope scope(99);
+    EXPECT_EQ(TraceContext::CurrentSpanId(), 99u);
+    {
+      TraceContext::Scope nested(7);
+      EXPECT_EQ(TraceContext::CurrentSpanId(), 7u);
+    }
+    EXPECT_EQ(TraceContext::CurrentSpanId(), 99u);
+  }
+  EXPECT_EQ(TraceContext::CurrentSpanId(), 0u);
+}
+
+TEST(TelemetryTraceTest, ExportJsonIsWellFormedChromeTrace) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  {
+    TraceSpan outer("telemetry_test.export_outer");
+    { TraceSpan inner("telemetry_test.export_inner"); }
+  }
+  recorder.Stop();
+  const std::string json = recorder.ExportJson();
+  const Result<JsonValue> parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_object());
+  EXPECT_EQ(parsed->StringOr("displayTimeUnit", ""), "ms");
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->items.size(), 2u);
+  double last_ts = -1.0;
+  std::set<double> ids;
+  for (const JsonValue& event : events->items) {
+    ASSERT_TRUE(event.is_object());
+    EXPECT_EQ(event.StringOr("ph", ""), "X");
+    EXPECT_FALSE(event.StringOr("name", "").empty());
+    EXPECT_GE(event.NumberOr("dur", -1.0), 0.0);
+    const double ts = event.NumberOr("ts", -1.0);
+    EXPECT_GE(ts, last_ts);  // sorted by begin time
+    last_ts = ts;
+    const JsonValue* args = event.Find("args");
+    ASSERT_NE(args, nullptr);
+    ids.insert(args->NumberOr("id", 0.0));
+  }
+  EXPECT_EQ(ids.size(), 2u);  // unique span ids
+  // Parent precedes child in the export order.
+  EXPECT_EQ(events->items[0].StringOr("name", ""),
+            "telemetry_test.export_outer");
+  EXPECT_EQ(events->items[1].Find("args")->NumberOr("parent", -1.0),
+            events->items[0].Find("args")->NumberOr("id", -2.0));
+}
+
+TEST(TelemetryTraceTest, StartClearsPreviousEvents) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  { TraceSpan stale("telemetry_test.stale"); }
+  recorder.Start();  // restart without Collect: stale events are dropped
+  { TraceSpan fresh("telemetry_test.fresh"); }
+  recorder.Stop();
+  const std::vector<TraceEvent> events = recorder.Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "telemetry_test.fresh");
+}
+
+}  // namespace
+}  // namespace telco

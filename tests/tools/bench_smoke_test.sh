@@ -1,0 +1,74 @@
+#!/bin/sh
+# Telemetry smoke test: a tiny end-to-end run must produce a structured
+# run report with every schema section present, the `metrics` verb must
+# re-read it, and the bench harness must emit BENCH_pipeline.json in the
+# same schema.
+set -e
+
+CLI="$1"
+BENCH="$2"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+"$CLI" simulate --out "$WORKDIR/wh" --customers 600 --months 4 --seed 11 \
+    2> /dev/null
+
+"$CLI" evaluate --warehouse "$WORKDIR/wh" --month 4 --trees 8 --u 20 \
+    --trace-out "$WORKDIR/trace.json" \
+    --report-out "$WORKDIR/report.json" 2> /dev/null > /dev/null
+
+test -s "$WORKDIR/report.json" || { echo "missing report"; exit 1; }
+test -s "$WORKDIR/trace.json" || { echo "missing trace"; exit 1; }
+
+# The report must carry every top-level schema section.
+for key in schema_version kind command config stages total_wall_seconds \
+           quality metrics; do
+  grep -q "\"$key\"" "$WORKDIR/report.json" || {
+    echo "report missing key '$key'"; exit 1; }
+done
+for key in auc pr_auc recall_at_u precision_at_u; do
+  grep -q "\"$key\"" "$WORKDIR/report.json" || {
+    echo "report missing quality key '$key'"; exit 1; }
+done
+# Representative metrics from every instrumented layer.
+for metric in storage.warehouse.rows_read features.family.builds \
+              graph.pagerank.iterations text.lda.epochs \
+              ml.rf.trees_fitted churn.pipeline.rows_scored; do
+  grep -q "$metric" "$WORKDIR/report.json" || {
+    echo "report missing metric '$metric'"; exit 1; }
+done
+
+# The trace must be a Chrome trace-event document with nested spans.
+grep -q '"traceEvents"' "$WORKDIR/trace.json" || {
+  echo "trace missing traceEvents"; exit 1; }
+grep -q '"ph":"X"' "$WORKDIR/trace.json" || {
+  echo "trace missing complete events"; exit 1; }
+
+# The metrics verb must round-trip the report.
+METRICS="$("$CLI" metrics --report "$WORKDIR/report.json")"
+echo "$METRICS" | grep -q "command: evaluate" || {
+  echo "metrics verb lost the command"; exit 1; }
+echo "$METRICS" | grep -q "AUC" || { echo "metrics verb lost quality"; exit 1; }
+echo "$METRICS" | grep -q "ml.rf.trees_fitted" || {
+  echo "metrics verb lost metrics"; exit 1; }
+
+# A malformed report must fail cleanly.
+echo '{"schema_version":99}' > "$WORKDIR/bad.json"
+if "$CLI" metrics --report "$WORKDIR/bad.json" 2> /dev/null; then
+  echo "metrics verb accepted a bad schema"; exit 1
+fi
+
+# The bench harness emits the same schema (kind == "bench").
+if [ -n "$BENCH" ]; then
+  # The table-3 bench trains on 4 months, so the tiny world needs history.
+  (cd "$WORKDIR" && TELCO_BENCH_CUSTOMERS=400 TELCO_BENCH_MONTHS=7 \
+      TELCO_BENCH_TREES=8 "$BENCH" > /dev/null)
+  test -s "$WORKDIR/BENCH_pipeline.json" || {
+    echo "missing BENCH_pipeline.json"; exit 1; }
+  grep -q '"kind":"bench"' "$WORKDIR/BENCH_pipeline.json" || {
+    echo "bench report has wrong kind"; exit 1; }
+  "$CLI" metrics --report "$WORKDIR/BENCH_pipeline.json" > /dev/null || {
+    echo "bench report did not round-trip"; exit 1; }
+fi
+
+echo "bench smoke ok"

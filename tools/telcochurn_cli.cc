@@ -28,8 +28,15 @@
 //       flags are re-read from the checkpoint's CONFIG); completed
 //       stages are skipped and the output is bit-identical.
 //
+//   telcochurn metrics --report PATH
+//       Pretty-print a run report written by --report-out.
+//
 //   telcochurn fault-sites
 //       List the fault-injection sites accepted by TELCO_FAULT.
+//
+// evaluate/run/resume additionally accept:
+//   --trace-out PATH    write a Chrome trace-event JSON (Perfetto-loadable)
+//   --report-out PATH   write a structured run report (JSON)
 
 #include <algorithm>
 #include <cstdio>
@@ -43,6 +50,9 @@
 #include "churn/pipeline.h"
 #include "common/fault_injection.h"
 #include "common/string_util.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/run_report.h"
+#include "common/telemetry/trace.h"
 #include "common/thread_pool.h"
 #include "datagen/telco_simulator.h"
 #include "ml/serialize.h"
@@ -119,6 +129,55 @@ class Flags {
   std::set<std::string> used_;
   std::string error_;
 };
+
+// ------------------------------------------------------------- telemetry
+
+// --trace-out / --report-out destinations shared by evaluate/run/resume.
+struct TelemetryFlags {
+  std::string trace_out;
+  std::string report_out;
+};
+
+TelemetryFlags TelemetryFlagsFrom(Flags& flags) {
+  TelemetryFlags t;
+  t.trace_out = flags.Get("trace-out", "");
+  t.report_out = flags.Get("report-out", "");
+  // Start recording before any pipeline work (including the warehouse
+  // load) so the trace covers the whole command.
+  if (!t.trace_out.empty()) TraceRecorder::Global().Start();
+  return t;
+}
+
+// Writes the trace and the run report after the command's work is done.
+// `quality` may be null (e.g. a run that failed before scoring).
+Status WriteTelemetryArtifacts(
+    const TelemetryFlags& telemetry, const std::string& command,
+    const std::vector<std::pair<std::string, std::string>>& config,
+    const StageTimings* timings, const RankingMetrics* quality) {
+  if (!telemetry.trace_out.empty()) {
+    TraceRecorder::Global().Stop();
+    TELCO_RETURN_NOT_OK(WriteFileAtomic(
+        telemetry.trace_out, TraceRecorder::Global().ExportJson()));
+    std::fprintf(stderr, "trace -> %s\n", telemetry.trace_out.c_str());
+  }
+  if (!telemetry.report_out.empty()) {
+    RunReport report;
+    report.kind = "run";
+    report.command = command;
+    report.config = config;
+    if (timings != nullptr) report.SetStages(*timings);
+    if (quality != nullptr) {
+      report.SetQuality(RunQuality{quality->auc, quality->pr_auc,
+                                   quality->recall_at_u,
+                                   quality->precision_at_u, quality->u});
+    }
+    report.metrics = MetricsRegistry::Global().Snapshot();
+    TELCO_RETURN_NOT_OK(
+        WriteFileAtomic(telemetry.report_out, report.ToJson() + "\n"));
+    std::fprintf(stderr, "report -> %s\n", telemetry.report_out.c_str());
+  }
+  return Status::OK();
+}
 
 // --------------------------------------------------------------- commands
 
@@ -254,14 +313,22 @@ Status RunPredict(Flags& flags) {
 }
 
 Status RunEvaluate(Flags& flags) {
-  Catalog catalog;
-  TELCO_RETURN_NOT_OK(LoadWarehouseFromFlag(flags, &catalog));
+  // Parse every flag (and start the trace) before the warehouse load so
+  // the trace and report cover storage I/O too.
+  TELCO_ASSIGN_OR_RETURN(const std::string warehouse,
+                         flags.Required("warehouse"));
   const int month = static_cast<int>(flags.GetInt("month", 0));
   PipelineOptions options = PipelineOptionsFromFlags(flags);
   const size_t u = static_cast<size_t>(flags.GetInt("u", 250));
   const bool print_timings = flags.GetBool("timings");
+  const TelemetryFlags telemetry = TelemetryFlagsFrom(flags);
   TELCO_RETURN_NOT_OK(flags.CheckAllUsed());
   if (month < 2) return Status::InvalidArgument("--month must be >= 2");
+
+  Catalog catalog;
+  TELCO_RETURN_NOT_OK(LoadWarehouse(warehouse, &catalog));
+  std::fprintf(stderr, "loaded %zu tables from %s\n", catalog.size(),
+               warehouse.c_str());
 
   ChurnPipeline pipeline(&catalog, options);
   TELCO_ASSIGN_OR_RETURN(const RankingMetrics metrics,
@@ -272,7 +339,14 @@ Status RunEvaluate(Flags& flags) {
                 pipeline.pool()->num_threads(),
                 pipeline.timings().ToString().c_str());
   }
-  return Status::OK();
+  return WriteTelemetryArtifacts(
+      telemetry, "evaluate",
+      {{"warehouse", warehouse},
+       {"month", StrFormat("%d", month)},
+       {"training-months", StrFormat("%d", options.training_months)},
+       {"trees", StrFormat("%d", options.model.rf.num_trees)},
+       {"u", StrFormat("%zu", u)}},
+      &pipeline.timings(), &metrics);
 }
 
 // Shared driver of `run` and `resume`: a checkpointed end-to-end
@@ -281,7 +355,8 @@ Status RunEvaluate(Flags& flags) {
 Status RunCheckpointed(const std::string& warehouse,
                        const std::string& checkpoint_dir, int month,
                        size_t u, int training_months, int trees,
-                       int threads) {
+                       int threads, const std::string& command,
+                       const TelemetryFlags& telemetry) {
   if (month < 2) return Status::InvalidArgument("--month must be >= 2");
   // The fingerprint excludes --threads: results are bit-identical for any
   // thread count, so resuming with a different one is safe.
@@ -306,7 +381,15 @@ Status RunCheckpointed(const std::string& warehouse,
   const RankingMetrics metrics =
       EvaluateRanking(prediction.ToScoredInstances(), u);
   std::printf("%s\n", metrics.ToString().c_str());
-  return Status::OK();
+  return WriteTelemetryArtifacts(
+      telemetry, command,
+      {{"warehouse", warehouse},
+       {"checkpoint-dir", checkpoint_dir},
+       {"month", StrFormat("%d", month)},
+       {"training-months", StrFormat("%d", training_months)},
+       {"trees", StrFormat("%d", trees)},
+       {"u", StrFormat("%zu", u)}},
+      &pipeline.timings(), &metrics);
 }
 
 Status RunRun(Flags& flags) {
@@ -320,15 +403,17 @@ Status RunRun(Flags& flags) {
       static_cast<int>(flags.GetInt("training-months", 1));
   const int trees = static_cast<int>(flags.GetInt("trees", 120));
   const int threads = static_cast<int>(flags.GetInt("threads", 0));
+  const TelemetryFlags telemetry = TelemetryFlagsFrom(flags);
   TELCO_RETURN_NOT_OK(flags.CheckAllUsed());
   return RunCheckpointed(warehouse, dir, month, u, training_months, trees,
-                         threads);
+                         threads, "run", telemetry);
 }
 
 Status RunResume(Flags& flags) {
   TELCO_ASSIGN_OR_RETURN(const std::string dir,
                          flags.Required("checkpoint-dir"));
   const int threads = static_cast<int>(flags.GetInt("threads", 0));
+  const TelemetryFlags telemetry = TelemetryFlagsFrom(flags);
   TELCO_RETURN_NOT_OK(flags.CheckAllUsed());
   TELCO_ASSIGN_OR_RETURN(const std::string config,
                          PipelineCheckpoint::ReadConfig(dir));
@@ -353,7 +438,18 @@ Status RunResume(Flags& flags) {
                          std::atoi(kv["month"].c_str()),
                          static_cast<size_t>(std::atoll(kv["u"].c_str())),
                          std::atoi(kv["training-months"].c_str()),
-                         std::atoi(kv["trees"].c_str()), threads);
+                         std::atoi(kv["trees"].c_str()), threads, "resume",
+                         telemetry);
+}
+
+Status RunMetrics(Flags& flags) {
+  TELCO_ASSIGN_OR_RETURN(const std::string path, flags.Required("report"));
+  TELCO_RETURN_NOT_OK(flags.CheckAllUsed());
+  TELCO_ASSIGN_OR_RETURN(const std::string text, ReadFileToString(path));
+  TELCO_ASSIGN_OR_RETURN(const RunReport report,
+                         RunReport::FromJson(text));
+  std::printf("%s", report.ToPrettyString().c_str());
+  return Status::OK();
 }
 
 Status RunFaultSites(Flags& flags) {
@@ -368,26 +464,33 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: telcochurn "
-      "<simulate|train|predict|evaluate|run|resume|fault-sites> [flags]\n"
+      "<simulate|train|predict|evaluate|run|resume|metrics|fault-sites>"
+      " [flags]\n"
       "  simulate --out DIR [--customers N] [--months M] [--seed S]\n"
       "  train    --warehouse DIR --month M --model PATH\n"
       "           [--training-months K] [--trees T]\n"
       "  predict  --warehouse DIR --model PATH --month M [--top U]\n"
       "  evaluate --warehouse DIR --month M [--u U]\n"
       "           [--training-months K] [--trees T] [--threads N]\n"
-      "           [--timings]\n"
+      "           [--timings] [--trace-out PATH] [--report-out PATH]\n"
       "  run      --warehouse DIR --month M --checkpoint-dir DIR [--u U]\n"
       "           [--training-months K] [--trees T] [--threads N]\n"
+      "           [--trace-out PATH] [--report-out PATH]\n"
       "  resume   --checkpoint-dir DIR [--threads N]\n"
+      "           [--trace-out PATH] [--report-out PATH]\n"
+      "  metrics  --report PATH\n"
       "  fault-sites\n"
       "TELCO_THREADS overrides the default worker-pool size.\n"
+      "TELCO_LOG_LEVEL=debug|info|warning|error sets log verbosity.\n"
       "TELCO_FAULT=site:n[:error],... injects a crash (or, with :error, a\n"
-      "transient I/O error) at the n-th hit of a fault site.\n");
+      "transient I/O error) at the n-th hit of a fault site.\n"
+      "--trace-out writes Chrome trace-event JSON (load in Perfetto);\n"
+      "--report-out writes a structured run report (see `metrics`).\n");
   return 2;
 }
 
 int Main(int argc, char** argv) {
-  Logger::SetLevel(LogLevel::kWarning);
+  Logger::InitFromEnv(LogLevel::kWarning);
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   Flags flags(argc, argv, 2);
@@ -408,6 +511,8 @@ int Main(int argc, char** argv) {
     st = RunRun(flags);
   } else if (command == "resume") {
     st = RunResume(flags);
+  } else if (command == "metrics") {
+    st = RunMetrics(flags);
   } else if (command == "fault-sites") {
     st = RunFaultSites(flags);
   } else {

@@ -1,0 +1,206 @@
+// Online-scoring bench: throughput and latency of the serving core.
+//
+// Trains two monthly models at bench scale, publishes the older one,
+// then drives the ScoringExecutor with concurrent closed-loop clients
+// replaying the prediction month's feature rows. Halfway through, the
+// newer model is hot-swapped in while clients keep scoring — the bench
+// asserts every response came from a published snapshot and reports
+// throughput plus p50/p99 request latency into BENCH_serve.json.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/run_report.h"
+#include "serve/model_snapshot.h"
+#include "serve/scoring_executor.h"
+#include "serve/snapshot_registry.h"
+#include "storage/atomic_file.h"
+
+namespace telco {
+namespace bench {
+namespace {
+
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoll(value, nullptr, 10);
+}
+
+Status RunBench() {
+  auto world = BuildWorld();
+  PrintHeader("serve: online scoring throughput", *world);
+
+  const int predict_month = world->config.num_months;
+  ChurnPipeline pipeline(&world->catalog, DefaultPipelineOptions());
+
+  // Two consecutive monthly models: v1 serves first, v2 swaps in live.
+  TELCO_RETURN_NOT_OK(pipeline.TrainOnly(predict_month - 2));
+  TELCO_ASSIGN_OR_RETURN(
+      auto snapshot_v1,
+      ModelSnapshot::FromForest(*pipeline.model()->forest(),
+                                pipeline.model_features(), "bench-v1"));
+  TELCO_RETURN_NOT_OK(pipeline.TrainOnly(predict_month - 1));
+  TELCO_ASSIGN_OR_RETURN(
+      auto snapshot_v2,
+      ModelSnapshot::FromForest(*pipeline.model()->forest(),
+                                pipeline.model_features(), "bench-v2"));
+
+  TELCO_ASSIGN_OR_RETURN(const WideTable wide,
+                         pipeline.wide_builder().Build(predict_month));
+  TELCO_ASSIGN_OR_RETURN(
+      const Dataset data,
+      Dataset::FromTableUnlabeled(*wide.table, pipeline.model_features()));
+
+  SnapshotRegistry registry;
+  registry.Publish(std::move(snapshot_v1));
+
+  ScoringExecutorOptions exec_options;
+  exec_options.max_batch_size =
+      static_cast<size_t>(EnvInt64("TELCO_BENCH_SERVE_BATCH", 64));
+  exec_options.pool = pipeline.pool();
+  ScoringExecutor executor(&registry, exec_options);
+
+  const size_t clients =
+      static_cast<size_t>(EnvInt64("TELCO_BENCH_SERVE_CLIENTS", 4));
+  const size_t rounds =
+      static_cast<size_t>(EnvInt64("TELCO_BENCH_SERVE_ROUNDS", 4));
+  const size_t rows = data.num_rows();
+  const size_t total_requests = rows * rounds;
+
+  std::atomic<size_t> completed{0};
+  std::atomic<size_t> errors{0};
+  std::atomic<bool> swapped{false};
+  std::atomic<size_t> v2_responses{0};
+
+  Stopwatch wall;
+  std::vector<std::thread> workers;
+  workers.reserve(clients + 1);
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      // Each client replays its shard of rows, `rounds` times, keeping a
+      // bounded window of futures in flight so batches actually form.
+      constexpr size_t kWindow = 128;
+      std::vector<std::future<ScoreOutcome>> window;
+      window.reserve(kWindow);
+      auto drain = [&] {
+        for (auto& f : window) {
+          const ScoreOutcome outcome = f.get();
+          if (!outcome.status.ok()) {
+            errors.fetch_add(1);
+          } else if (outcome.snapshot_version >= 2) {
+            v2_responses.fetch_add(1);
+          }
+          completed.fetch_add(1);
+        }
+        window.clear();
+      };
+      ScoreRequest request;
+      for (size_t round = 0; round < rounds; ++round) {
+        for (size_t r = c; r < rows; r += clients) {
+          request.id = round * rows + r + 1;
+          request.imsi = static_cast<int64_t>(r);
+          const auto row = data.Row(r);
+          request.features.assign(row.begin(), row.end());
+          while (true) {
+            auto submitted = executor.Submit(request);
+            if (submitted.ok()) {
+              window.push_back(std::move(*submitted));
+              break;
+            }
+            if (!submitted.status().IsUnavailable()) {
+              errors.fetch_add(1);
+              completed.fetch_add(1);
+              break;
+            }
+            drain();  // backpressure: absorb our own in-flight window
+          }
+          if (window.size() >= kWindow) drain();
+        }
+      }
+      drain();
+    });
+  }
+  // Hot-swap v2 once half the stream has been scored.
+  workers.emplace_back([&] {
+    while (completed.load() < total_requests / 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    registry.Publish(std::move(snapshot_v2));
+    swapped.store(true);
+  });
+  for (auto& t : workers) t.join();
+  executor.Drain();
+  const double seconds = wall.ElapsedSeconds();
+
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const MetricValue* latency =
+      snapshot.Find("serve.executor.latency_seconds");
+  const double p50_ms =
+      latency != nullptr ? latency->histogram.Quantile(0.5) * 1e3 : 0.0;
+  const double p99_ms =
+      latency != nullptr ? latency->histogram.Quantile(0.99) * 1e3 : 0.0;
+  const double throughput =
+      seconds > 0.0 ? static_cast<double>(total_requests) / seconds : 0.0;
+
+  if (errors.load() != 0) {
+    return Status::Internal(
+        StrFormat("%zu scoring errors during the bench", errors.load()));
+  }
+  if (!swapped.load() || v2_responses.load() == 0) {
+    return Status::Internal("hot-swap never took effect mid-bench");
+  }
+
+  std::printf("# %zu requests (%zu clients x %zu rounds x %zu rows), "
+              "swap at ~50%%\n",
+              total_requests, clients, rounds, rows);
+  std::printf("throughput_per_sec,%0.1f\n", throughput);
+  std::printf("p50_ms,%0.4f\np99_ms,%0.4f\n", p50_ms, p99_ms);
+  std::printf("v2_responses,%zu\n", v2_responses.load());
+
+  RunReport report;
+  report.kind = "bench";
+  report.command = "serve";
+  report.AddConfig("customers",
+                   StrFormat("%zu", world->config.num_customers));
+  report.AddConfig("requests", StrFormat("%zu", total_requests));
+  report.AddConfig("clients", StrFormat("%zu", clients));
+  report.AddConfig("batch", StrFormat("%zu", exec_options.max_batch_size));
+  report.AddConfig("throughput_per_sec", StrFormat("%0.1f", throughput));
+  report.AddConfig("p50_ms", StrFormat("%0.4f", p50_ms));
+  report.AddConfig("p99_ms", StrFormat("%0.4f", p99_ms));
+  report.total_wall_seconds = seconds;
+  report.metrics = snapshot;
+  const char* dir = std::getenv("TELCO_BENCH_REPORT_DIR");
+  const std::string path = (dir != nullptr && *dir != '\0')
+                               ? std::string(dir) + "/BENCH_serve.json"
+                               : "BENCH_serve.json";
+  const Status st = WriteFileAtomic(path, report.ToJson() + "\n");
+  if (!st.ok()) {
+    std::fprintf(stderr, "# bench report write failed: %s\n",
+                 st.ToString().c_str());
+  } else {
+    std::printf("# report -> %s\n", path.c_str());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace telco
+
+int main() {
+  const telco::Status st = telco::bench::RunBench();
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench_serve failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

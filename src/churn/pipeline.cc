@@ -11,6 +11,8 @@
 #include "common/telemetry/metrics.h"
 #include "common/telemetry/trace.h"
 #include "features/churn_labels.h"
+#include "ml/serialize.h"
+#include "storage/atomic_file.h"
 
 namespace telco {
 
@@ -143,8 +145,7 @@ ChurnPipeline::LoadLabelsCheckpointed(int month) {
   return labels;
 }
 
-Result<bool> ChurnPipeline::TryRestoreModel(
-    std::vector<std::string>* features) {
+Result<bool> ChurnPipeline::TryRestoreModel() {
   PipelineCheckpoint* cp = options_.checkpoint;
   if (cp == nullptr || !cp->HasStage("model")) return false;
   if (options_.model.kind != ClassifierKind::kRandomForest) return false;
@@ -158,9 +159,67 @@ Result<bool> ChurnPipeline::TryRestoreModel(
   auto model = std::make_unique<ChurnModel>(options_.model);
   TELCO_RETURN_NOT_OK(model->RestoreForest(std::move(artifact.forest)));
   model_ = std::move(model);
-  *features = std::move(artifact.features);
+  model_features_ = std::move(artifact.features);
   RecordStageReplayed();
   return true;
+}
+
+Status ChurnPipeline::TrainWindow(int last_label_month) {
+  const int gap = options_.early_months;
+  const int first_train_label =
+      last_label_month - options_.training_months + 1;
+  if (first_train_label - gap < 1) {
+    return Status::InvalidArgument(StrFormat(
+        "training window needs label months %d..%d with feature gap %d; "
+        "not enough history",
+        first_train_label, last_label_month, gap));
+  }
+  static const Counter train_rows =
+      MetricsRegistry::Global().GetCounter("churn.pipeline.train_rows");
+
+  Dataset train({});
+  {
+    ScopedStageTimer timer(&timings_, "features_train");
+    bool first = true;
+    for (int label_month = first_train_label;
+         label_month <= last_label_month; ++label_month) {
+      TELCO_ASSIGN_OR_RETURN(
+          Dataset month_data,
+          BuildMonthDataset(label_month - gap, label_month));
+      if (first) {
+        train = std::move(month_data);
+        first = false;
+      } else {
+        TELCO_RETURN_NOT_OK(train.Append(month_data));
+      }
+    }
+  }
+
+  train_rows.Add(train.num_rows());
+  model_ = std::make_unique<ChurnModel>(options_.model);
+  {
+    ScopedStageTimer timer(&timings_, "train");
+    TELCO_RETURN_NOT_OK(model_->Train(train));
+  }
+  model_features_ = train.feature_names();
+  return Status::OK();
+}
+
+Status ChurnPipeline::TrainOnly(int last_label_month) {
+  timings_.Clear();
+  return TrainWindow(last_label_month);
+}
+
+Status ChurnPipeline::SaveModel(const std::string& path) const {
+  if (model_ == nullptr || model_->forest() == nullptr) {
+    return Status::Internal(
+        "no trained random-forest model to save (run TrainOnly or "
+        "TrainAndPredict with an RF model first)");
+  }
+  TELCO_RETURN_NOT_OK(SaveRandomForest(*model_->forest(), path));
+  std::string features;
+  for (const std::string& name : model_features_) features += name + "\n";
+  return WriteFileAtomic(path + ".features", features);
 }
 
 Result<Dataset> ChurnPipeline::BuildMonthDataset(int feature_month,
@@ -206,8 +265,6 @@ Result<ChurnPrediction> ChurnPipeline::TrainAndPredict(int predict_month) {
       MetricsRegistry::Global().GetCounter("churn.pipeline.runs");
   static const Counter rows_scored =
       MetricsRegistry::Global().GetCounter("churn.pipeline.rows_scored");
-  static const Counter train_rows =
-      MetricsRegistry::Global().GetCounter("churn.pipeline.train_rows");
   TraceSpan run_span(StrFormat("pipeline.train_and_predict:m%d",
                                predict_month));
   runs.Add();
@@ -235,38 +292,12 @@ Result<ChurnPrediction> ChurnPipeline::TrainAndPredict(int predict_month) {
 
   // Train, unless a checkpointed model lets us skip the training window
   // (and therefore its wide tables) entirely.
-  std::vector<std::string> model_features;
-  TELCO_ASSIGN_OR_RETURN(const bool restored,
-                         TryRestoreModel(&model_features));
+  TELCO_ASSIGN_OR_RETURN(const bool restored, TryRestoreModel());
   if (!restored) {
-    Dataset train({});
-    {
-      ScopedStageTimer timer(&timings_, "features_train");
-      bool first = true;
-      for (int label_month = first_train_label;
-           label_month <= last_train_label; ++label_month) {
-        TELCO_ASSIGN_OR_RETURN(
-            Dataset month_data,
-            BuildMonthDataset(label_month - gap, label_month));
-        if (first) {
-          train = std::move(month_data);
-          first = false;
-        } else {
-          TELCO_RETURN_NOT_OK(train.Append(month_data));
-        }
-      }
-    }
-
-    train_rows.Add(train.num_rows());
-    model_ = std::make_unique<ChurnModel>(options_.model);
-    {
-      ScopedStageTimer timer(&timings_, "train");
-      TELCO_RETURN_NOT_OK(model_->Train(train));
-    }
-    model_features = train.feature_names();
+    TELCO_RETURN_NOT_OK(TrainWindow(last_train_label));
     if (cp != nullptr && model_->forest() != nullptr) {
       TELCO_RETURN_NOT_OK(
-          cp->SaveForest("model", *model_->forest(), model_features));
+          cp->SaveForest("model", *model_->forest(), model_features_));
     }
   }
 
@@ -277,7 +308,7 @@ Result<ChurnPrediction> ChurnPipeline::TrainAndPredict(int predict_month) {
     TELCO_ASSIGN_OR_RETURN(test, BuildMonthDataset(predict_month - gap,
                                                    predict_month));
   }
-  if (restored && test.feature_names() != model_features) {
+  if (restored && test.feature_names() != model_features_) {
     return Status::InvalidArgument(
         "checkpointed model was trained on different feature columns than "
         "this run produces; delete the checkpoint or fix the run config");

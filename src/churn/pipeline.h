@@ -88,6 +88,22 @@ class ChurnPipeline {
   /// model and the ranked prediction.
   Result<ChurnPrediction> TrainAndPredict(int predict_month);
 
+  /// Trains on the window of labelled months ending at `last_label_month`
+  /// without scoring anything — the `telcochurn train` verb and serving-
+  /// snapshot exports, which ship a model before its prediction month's
+  /// labels exist.
+  Status TrainOnly(int last_label_month);
+
+  /// Saves the most recently trained model (checksummed forest file plus
+  /// `.features` sidecar) in the format `telcochurn predict` and
+  /// ModelSnapshot::LoadFromFile consume. Requires an RF model.
+  Status SaveModel(const std::string& path) const;
+
+  /// Feature-column order of the most recently trained/restored model.
+  const std::vector<std::string>& model_features() const {
+    return model_features_;
+  }
+
   /// TrainAndPredict + Section 5.1 metrics at top-U.
   Result<RankingMetrics> Evaluate(int predict_month, size_t u);
 
@@ -113,8 +129,11 @@ class ChurnPipeline {
   /// LoadChurnLabels through the checkpoint.
   Result<std::unordered_map<int64_t, int>> LoadLabelsCheckpointed(int month);
   /// Restores the checkpointed model if present; returns true on success
-  /// and fills `features` with the training feature-column order.
-  Result<bool> TryRestoreModel(std::vector<std::string>* features);
+  /// and records the training feature-column order in model_features_.
+  Result<bool> TryRestoreModel();
+  /// Builds the labelled training window ending at `last_label_month`
+  /// and fits model_ (shared by TrainAndPredict and TrainOnly).
+  Status TrainWindow(int last_label_month);
 
   Catalog* catalog_;
   PipelineOptions options_;
@@ -123,6 +142,7 @@ class ChurnPipeline {
   std::unique_ptr<WideTableBuilder> owned_builder_;
   WideTableBuilder* wide_builder_;
   std::unique_ptr<ChurnModel> model_;
+  std::vector<std::string> model_features_;
   StageTimings timings_;
   /// Months whose wide table is already synchronised with the checkpoint
   /// this run (restored or saved), so repeat builds skip checkpoint I/O.

@@ -27,6 +27,7 @@ const char* const kSites[] = {
     "model.load",               // LoadRandomForest: file read (retried)
     "checkpoint.artifact",      // PipelineCheckpoint: before artifact commit
     "checkpoint.manifest",      // PipelineCheckpoint: before STAGES commit
+    "serve.respond",            // StdioScoringServer: before a response line
 };
 
 struct FaultSpec {

@@ -29,8 +29,8 @@ namespace telco {
 inline constexpr int kFaultExitCode = 86;
 
 /// \brief All registered kill/fault sites, in a stable order. Every entry
-/// is reachable from the `telcochurn` CLI flows (run/resume/simulate), so
-/// harnesses can iterate the list blindly.
+/// is reachable from the `telcochurn` CLI flows (run/resume/simulate/
+/// serve), so harnesses can iterate the list blindly.
 const std::vector<std::string>& KnownFaultSites();
 
 /// \brief The kill-point. Returns OK unless a TELCO_FAULT spec for `site`

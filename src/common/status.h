@@ -24,6 +24,9 @@ enum class StatusCode : int {
   kIoError = 6,
   kNotImplemented = 7,
   kInternal = 8,
+  /// Transient overload (e.g. a full admission queue): the caller should
+  /// back off and retry, unlike the permanent failure codes above.
+  kUnavailable = 9,
 };
 
 /// \brief Human-readable name for a StatusCode (e.g. "InvalidArgument").
@@ -73,6 +76,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return state_ == nullptr; }
@@ -94,6 +100,7 @@ class Status {
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
  private:
   struct State {

@@ -39,6 +39,29 @@ const std::vector<double>& DurationBuckets() {
   return *kBuckets;
 }
 
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    // Interpolate inside bucket i: (lower, upper], where the first and
+    // overflow buckets borrow the observed min/max as their open edge.
+    double lower = i == 0 ? min : bounds[i - 1];
+    double upper = i < bounds.size() ? bounds[i] : max;
+    lower = std::max(lower, min);
+    upper = std::min(std::max(upper, lower), max);
+    const double fraction =
+        (target - before) / static_cast<double>(buckets[i]);
+    return lower + (upper - lower) * std::min(1.0, std::max(0.0, fraction));
+  }
+  return max;
+}
+
 const MetricValue* MetricsSnapshot::Find(const std::string& name) const {
   for (const MetricValue& metric : metrics) {
     if (metric.name == name) return &metric;

@@ -42,6 +42,12 @@ struct HistogramSnapshot {
   double sum = 0.0;
   double min = 0.0;  // 0 when count == 0
   double max = 0.0;
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside
+  /// the bucket containing the target rank, clamped to [min, max]. Exact
+  /// only at bucket edges; 0 when the histogram is empty. Used for the
+  /// serving latency p50/p99 summaries.
+  double Quantile(double q) const;
 };
 
 /// \brief One metric's merged value at snapshot time.

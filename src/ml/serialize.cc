@@ -179,4 +179,10 @@ Result<RandomForest> LoadRandomForest(const std::string& path) {
   });
 }
 
+Result<uint32_t> ForestChecksum(const RandomForest& forest) {
+  std::ostringstream body;
+  TELCO_RETURN_NOT_OK(WriteRandomForest(forest, body));
+  return Crc32(body.str());
+}
+
 }  // namespace telco

@@ -31,6 +31,12 @@ Status SaveRandomForest(const RandomForest& forest, const std::string& path);
 /// with backoff.
 Result<RandomForest> LoadRandomForest(const std::string& path);
 
+/// \brief CRC32 of the forest's canonical serialised form — the same
+/// value SaveRandomForest writes into the checksum trailer, so an
+/// in-memory forest and the file it round-trips through share one
+/// fingerprint (used by serving snapshots to identify the model).
+Result<uint32_t> ForestChecksum(const RandomForest& forest);
+
 }  // namespace telco
 
 #endif  // TELCO_ML_SERIALIZE_H_

@@ -1,0 +1,131 @@
+#include "serve/request_codec.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/string_util.h"
+#include "common/telemetry/json.h"
+
+namespace telco {
+
+namespace {
+
+// Ids and imsis travel as JSON numbers; reject anything that is not an
+// integral value representable without loss.
+Result<int64_t> IntegralMember(const JsonValue& object, const std::string& key,
+                               bool required, int64_t fallback) {
+  const JsonValue* member = object.Find(key);
+  if (member == nullptr) {
+    if (required) {
+      return Status::InvalidArgument("request is missing \"" + key + "\"");
+    }
+    return fallback;
+  }
+  if (member->type != JsonValue::Type::kNumber) {
+    return Status::InvalidArgument("request member \"" + key +
+                                   "\" must be a number");
+  }
+  const double value = member->number;
+  if (!std::isfinite(value) || value != std::floor(value) ||
+      std::abs(value) > 9.007199254740992e15) {  // 2^53
+    return Status::InvalidArgument("request member \"" + key +
+                                   "\" must be an integral number");
+  }
+  return static_cast<int64_t>(value);
+}
+
+}  // namespace
+
+Result<ServeRequest> ParseServeRequest(std::string_view line) {
+  TELCO_ASSIGN_OR_RETURN(const JsonValue doc, ParseJson(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request line must be a JSON object");
+  }
+
+  ServeRequest request;
+  if (const JsonValue* cmd = doc.Find("cmd"); cmd != nullptr) {
+    if (cmd->type != JsonValue::Type::kString) {
+      return Status::InvalidArgument("\"cmd\" must be a string");
+    }
+    if (cmd->string == "swap") {
+      const JsonValue* model = doc.Find("model");
+      if (model == nullptr || model->type != JsonValue::Type::kString ||
+          model->string.empty()) {
+        return Status::InvalidArgument(
+            "swap command requires a \"model\" path string");
+      }
+      request.type = ServeRequestType::kSwap;
+      request.model_path = model->string;
+      return request;
+    }
+    if (cmd->string == "stats") {
+      request.type = ServeRequestType::kStats;
+      return request;
+    }
+    if (cmd->string == "quit") {
+      request.type = ServeRequestType::kQuit;
+      return request;
+    }
+    return Status::InvalidArgument("unknown command \"" + cmd->string + "\"");
+  }
+
+  request.type = ServeRequestType::kScore;
+  TELCO_ASSIGN_OR_RETURN(const int64_t id,
+                         IntegralMember(doc, "id", /*required=*/true, 0));
+  if (id < 0) {
+    return Status::InvalidArgument("request \"id\" must be >= 0");
+  }
+  request.score.id = static_cast<uint64_t>(id);
+  TELCO_ASSIGN_OR_RETURN(request.score.imsi,
+                         IntegralMember(doc, "imsi", /*required=*/false, 0));
+  const JsonValue* features = doc.Find("features");
+  if (features == nullptr || !features->is_array()) {
+    return Status::InvalidArgument(
+        "score request requires a \"features\" array");
+  }
+  request.score.features.reserve(features->items.size());
+  for (const JsonValue& item : features->items) {
+    if (item.type != JsonValue::Type::kNumber) {
+      return Status::InvalidArgument("\"features\" must contain only numbers");
+    }
+    request.score.features.push_back(item.number);
+  }
+  if (request.score.features.empty()) {
+    return Status::InvalidArgument("\"features\" must not be empty");
+  }
+  return request;
+}
+
+std::string FormatScoreResponse(const ScoreRequest& request,
+                                const ScoreOutcome& outcome) {
+  if (!outcome.status.ok()) {
+    return FormatErrorResponse(request.id, outcome.status);
+  }
+  return StrFormat(
+      "{\"id\":%llu,\"imsi\":%lld,\"score\":%s,\"snapshot\":%llu}",
+      static_cast<unsigned long long>(request.id),
+      static_cast<long long>(request.imsi),
+      JsonNumber(outcome.score).c_str(),
+      static_cast<unsigned long long>(outcome.snapshot_version));
+}
+
+std::string FormatErrorResponse(uint64_t id, const Status& status) {
+  return StrFormat("{\"id\":%llu,\"error\":\"%s\",\"retry\":%s}",
+                   static_cast<unsigned long long>(id),
+                   JsonEscape(status.ToString()).c_str(),
+                   status.IsUnavailable() ? "true" : "false");
+}
+
+std::string FormatScoreRequest(const ScoreRequest& request) {
+  std::string out = StrFormat("{\"id\":%llu,\"imsi\":%lld,\"features\":[",
+                              static_cast<unsigned long long>(request.id),
+                              static_cast<long long>(request.imsi));
+  for (size_t i = 0; i < request.features.size(); ++i) {
+    if (i > 0) out += ",";
+    out += JsonNumber(request.features[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace telco

@@ -1,0 +1,68 @@
+// Newline-delimited JSON protocol of `telcochurn serve`.
+//
+// Each input line is one JSON object; each output line is one JSON
+// object. Scriptable over stdin/stdout with no network dependency.
+//
+//   score request   {"id":7,"imsi":1234,"features":[0.1,2,...]}
+//                   features are in the snapshot's schema order
+//   hot-swap        {"cmd":"swap","model":"/path/to/model.rf"}
+//   stats           {"cmd":"stats"}
+//   quit            {"cmd":"quit"}
+//
+//   score response  {"id":7,"imsi":1234,"score":0x...,"snapshot":1}
+//                   score is a full-precision JSON number (JsonNumber),
+//                   so responses round-trip bit-identically
+//   error response  {"id":7,"error":"...","retry":false}
+//                   retry:true marks transient overload (backpressure)
+//
+// Parsing is strict about types (a string where a number is expected is
+// an error, never a crash) — the serve_fuzz ctest feeds this parser
+// random and malformed documents under ASan.
+
+#ifndef TELCO_SERVE_REQUEST_CODEC_H_
+#define TELCO_SERVE_REQUEST_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "serve/scoring_executor.h"
+
+namespace telco {
+
+/// \brief What one input line asks the server to do.
+enum class ServeRequestType : int {
+  kScore = 0,
+  kSwap = 1,
+  kStats = 2,
+  kQuit = 3,
+};
+
+/// \brief One parsed input line.
+struct ServeRequest {
+  ServeRequestType type = ServeRequestType::kScore;
+  ScoreRequest score;      // kScore
+  std::string model_path;  // kSwap
+};
+
+/// \brief Parses one protocol line. Malformed JSON, wrong types, missing
+/// required members and non-integral ids are InvalidArgument.
+Result<ServeRequest> ParseServeRequest(std::string_view line);
+
+/// \brief One score-response line (no trailing newline).
+std::string FormatScoreResponse(const ScoreRequest& request,
+                                const ScoreOutcome& outcome);
+
+/// \brief One error-response line (no trailing newline). `retry` is set
+/// from Status::IsUnavailable — transient overload the client should
+/// back off and resubmit.
+std::string FormatErrorResponse(uint64_t id, const Status& status);
+
+/// \brief One NDJSON score request line (no trailing newline) — the
+/// inverse of ParseServeRequest for kScore, used by `telcochurn
+/// requests` to emit deterministic replayable streams.
+std::string FormatScoreRequest(const ScoreRequest& request);
+
+}  // namespace telco
+
+#endif  // TELCO_SERVE_REQUEST_CODEC_H_

@@ -1,0 +1,206 @@
+#include "serve/scoring_executor.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
+#include "common/thread_pool.h"
+
+namespace telco {
+
+namespace {
+
+struct ExecutorMetrics {
+  Counter requests;
+  Counter rejected;
+  Counter batches;
+  Histogram batch_size;
+  Histogram latency_seconds;
+  Gauge queue_depth;
+};
+
+const ExecutorMetrics& Metrics() {
+  static const ExecutorMetrics* const m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    static const std::vector<double> kBatchBounds{1,  2,  4,   8,   16,
+                                                  32, 64, 128, 256, 512};
+    return new ExecutorMetrics{
+        r.GetCounter("serve.executor.requests"),
+        r.GetCounter("serve.executor.rejected"),
+        r.GetCounter("serve.executor.batches"),
+        r.GetHistogram("serve.executor.batch_size", kBatchBounds),
+        r.GetHistogram("serve.executor.latency_seconds"),
+        r.GetGauge("serve.executor.queue_depth"),
+    };
+  }();
+  return *m;
+}
+
+}  // namespace
+
+ScoringExecutor::ScoringExecutor(SnapshotRegistry* registry,
+                                 ScoringExecutorOptions options)
+    : registry_(registry), options_(options) {
+  TELCO_CHECK(registry_ != nullptr);
+  if (options_.max_batch_size == 0) options_.max_batch_size = 1;
+  if (options_.max_queue_depth == 0) options_.max_queue_depth = 1;
+  if (options_.pool == nullptr) options_.pool = &ThreadPool::Default();
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+ScoringExecutor::~ScoringExecutor() { Shutdown(); }
+
+Result<std::future<ScoreOutcome>> ScoringExecutor::Submit(
+    ScoreRequest request) {
+  // Validate against the current snapshot before paying for a queue slot.
+  // The batch revalidates against *its* snapshot: a swap between here and
+  // dispatch could change the expected width.
+  const SnapshotRef ref = registry_->Acquire();
+  if (ref.snapshot == nullptr) {
+    return Status::InvalidArgument(
+        "no model snapshot published; publish one before scoring");
+  }
+  if (request.features.size() != ref.snapshot->num_features()) {
+    return Status::InvalidArgument(StrFormat(
+        "request %llu has %zu features; snapshot v%llu expects %zu",
+        static_cast<unsigned long long>(request.id), request.features.size(),
+        static_cast<unsigned long long>(ref.version),
+        ref.snapshot->num_features()));
+  }
+
+  Pending pending;
+  pending.request = std::move(request);
+  pending.enqueued = std::chrono::steady_clock::now();
+  std::future<ScoreOutcome> future = pending.promise.get_future();
+  size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      return Status::Internal("executor is shut down");
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      Metrics().rejected.Add();
+      return Status::Unavailable(StrFormat(
+          "admission queue full (%zu requests); drain a response and retry",
+          queue_.size()));
+    }
+    queue_.push_back(std::move(pending));
+    depth = queue_.size();
+  }
+  Metrics().requests.Add();
+  Metrics().queue_depth.Set(static_cast<double>(depth));
+  queue_cv_.notify_one();
+  return future;
+}
+
+void ScoringExecutor::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !in_flight_; });
+}
+
+void ScoringExecutor::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+size_t ScoringExecutor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ScoringExecutor::DispatchLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stop_ with an empty queue: everything accepted has completed.
+        return;
+      }
+      const size_t take = std::min(options_.max_batch_size, queue_.size());
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      in_flight_ = true;
+    }
+    ScoreBatch(std::move(batch));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void ScoringExecutor::ScoreBatch(std::vector<Pending> batch) {
+  TraceSpan span(StrFormat("serve.score_batch:%zu", batch.size()));
+  // One snapshot per batch: every request in it scores against the same
+  // model, whatever a concurrent Publish does.
+  const SnapshotRef ref = registry_->Acquire();
+  Metrics().batches.Add();
+  Metrics().batch_size.Observe(static_cast<double>(batch.size()));
+
+  const auto finish = [&](Pending& pending, ScoreOutcome outcome) {
+    const double latency =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      pending.enqueued)
+            .count();
+    Metrics().latency_seconds.Observe(latency);
+    pending.promise.set_value(std::move(outcome));
+  };
+
+  if (ref.snapshot == nullptr) {
+    for (Pending& pending : batch) {
+      finish(pending,
+             ScoreOutcome{Status::Internal("snapshot vanished mid-flight"),
+                          0.0, 0, 0});
+    }
+    return;
+  }
+
+  // Rows whose width matches the batch snapshot go through the batch
+  // path; mismatches (a swap changed the schema after Submit validated)
+  // fail individually without poisoning the batch.
+  Dataset rows{std::vector<std::string>(ref.snapshot->feature_names())};
+  std::vector<size_t> row_of_pending(batch.size(), SIZE_MAX);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].request.features.size() == ref.snapshot->num_features()) {
+      row_of_pending[i] = rows.num_rows();
+      rows.AddRow(batch[i].request.features, 0);
+    }
+  }
+  const std::vector<double> scores =
+      ref.snapshot->ScoreBatch(rows, options_.pool);
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (row_of_pending[i] == SIZE_MAX) {
+      finish(batch[i],
+             ScoreOutcome{
+                 Status::InvalidArgument(StrFormat(
+                     "request %llu has %zu features; snapshot v%llu "
+                     "expects %zu",
+                     static_cast<unsigned long long>(batch[i].request.id),
+                     batch[i].request.features.size(),
+                     static_cast<unsigned long long>(ref.version),
+                     ref.snapshot->num_features())),
+                 0.0, ref.version, ref.snapshot->fingerprint()});
+      continue;
+    }
+    finish(batch[i],
+           ScoreOutcome{Status::OK(), scores[row_of_pending[i]], ref.version,
+                        ref.snapshot->fingerprint()});
+  }
+}
+
+}  // namespace telco

@@ -1,0 +1,118 @@
+// ScoringExecutor: micro-batching online scorer on the shared ThreadPool.
+//
+// Requests carry one customer feature row. Submit enqueues into a bounded
+// admission queue (rejecting with a retry hint when full — backpressure,
+// never unbounded memory); a dispatcher thread coalesces queued requests
+// into batches of at most max_batch_size, acquires the current snapshot
+// ONCE per batch from the SnapshotRegistry, and scores the batch through
+// the same parallel row-wise path the offline pipeline uses. One snapshot
+// per batch means a concurrent hot-swap can never produce a torn batch:
+// every response reports the snapshot version that scored it, and its
+// score is bit-identical to that snapshot's offline prediction.
+//
+// Telemetry (PR-3 registry): serve.executor.requests / rejected /
+// batches counters, serve.executor.batch_size and
+// serve.executor.latency_seconds histograms (enqueue-to-completion),
+// serve.executor.queue_depth gauge.
+
+#ifndef TELCO_SERVE_SCORING_EXECUTOR_H_
+#define TELCO_SERVE_SCORING_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/snapshot_registry.h"
+
+namespace telco {
+
+class ThreadPool;
+
+/// \brief One scoring request: a customer and their feature row, in the
+/// serving snapshot's schema order.
+struct ScoreRequest {
+  uint64_t id = 0;
+  int64_t imsi = 0;
+  std::vector<double> features;
+};
+
+/// \brief Outcome of one scored request. `status` is non-OK when the row
+/// could not be scored (e.g. its width does not match the snapshot that
+/// its batch ran against); backpressure rejections never get this far —
+/// they fail at Submit.
+struct ScoreOutcome {
+  Status status;
+  double score = 0.0;
+  uint64_t snapshot_version = 0;
+  uint32_t model_fingerprint = 0;
+};
+
+struct ScoringExecutorOptions {
+  /// Largest batch one dispatch scores against one snapshot.
+  size_t max_batch_size = 64;
+  /// Admission-queue bound; Submit rejects with Unavailable beyond it.
+  size_t max_queue_depth = 1024;
+  /// Pool the batch scoring fans out on (null = process-wide default).
+  ThreadPool* pool = nullptr;
+};
+
+/// \brief Micro-batching scoring service core (in-process).
+class ScoringExecutor {
+ public:
+  explicit ScoringExecutor(SnapshotRegistry* registry,
+                           ScoringExecutorOptions options = {});
+
+  /// Drains the queue and joins the dispatcher.
+  ~ScoringExecutor();
+
+  ScoringExecutor(const ScoringExecutor&) = delete;
+  ScoringExecutor& operator=(const ScoringExecutor&) = delete;
+
+  /// Enqueues a request. Fails fast with Unavailable ("... retry") when
+  /// the admission queue is full — the caller should drain a response and
+  /// resubmit — and with InvalidArgument when the row width does not
+  /// match the current snapshot (or nothing is published yet).
+  Result<std::future<ScoreOutcome>> Submit(ScoreRequest request);
+
+  /// Blocks until every accepted request has completed.
+  void Drain();
+
+  /// Stops accepting work, completes what was accepted, joins the
+  /// dispatcher. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  /// Requests currently waiting for a batch (diagnostics).
+  size_t queue_depth() const;
+
+  const ScoringExecutorOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    ScoreRequest request;
+    std::promise<ScoreOutcome> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void DispatchLoop();
+  void ScoreBatch(std::vector<Pending> batch);
+
+  SnapshotRegistry* registry_;
+  ScoringExecutorOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;  // dispatcher: work or stop
+  std::condition_variable idle_cv_;   // Drain: queue empty + not scoring
+  std::deque<Pending> queue_;
+  bool in_flight_ = false;
+  bool stop_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_SERVE_SCORING_EXECUTOR_H_

@@ -1,0 +1,37 @@
+#include "serve/snapshot_registry.h"
+
+#include "common/logging.h"
+#include "common/telemetry/metrics.h"
+
+namespace telco {
+
+uint64_t SnapshotRegistry::Publish(
+    std::shared_ptr<const ModelSnapshot> snapshot) {
+  TELCO_CHECK(snapshot != nullptr) << "cannot publish a null snapshot";
+  static const Counter swaps =
+      MetricsRegistry::Global().GetCounter("serve.registry.swaps");
+  static const Gauge version_gauge =
+      MetricsRegistry::Global().GetGauge("serve.registry.version");
+
+  uint64_t version;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_.snapshot = std::move(snapshot);
+    version = ++current_.version;
+  }
+  swaps.Add();
+  version_gauge.Set(static_cast<double>(version));
+  return version;
+}
+
+SnapshotRef SnapshotRegistry::Acquire() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+uint64_t SnapshotRegistry::current_version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_.version;
+}
+
+}  // namespace telco

@@ -1,0 +1,57 @@
+// SnapshotRegistry: the publish/acquire point between the monthly retrain
+// loop and the online scoring threads.
+//
+// Swap semantics: Publish atomically replaces the current snapshot and
+// bumps a monotonic version; Acquire returns a consistent
+// (snapshot, version) pair. A scoring thread that acquired version N
+// keeps scoring against N's model even while version N+1 is published —
+// the shared_ptr refcount keeps the old snapshot alive until its last
+// in-flight batch drains, so there are no torn reads and no blocking of
+// scorers during a swap.
+
+#ifndef TELCO_SERVE_SNAPSHOT_REGISTRY_H_
+#define TELCO_SERVE_SNAPSHOT_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "serve/model_snapshot.h"
+
+namespace telco {
+
+/// \brief A consistent view of the registry at one acquire: the snapshot
+/// and the version it was published as. version == 0 means "nothing
+/// published yet" (snapshot is null).
+struct SnapshotRef {
+  std::shared_ptr<const ModelSnapshot> snapshot;
+  uint64_t version = 0;
+};
+
+/// \brief Holds the current serving snapshot; hot-swappable under load.
+class SnapshotRegistry {
+ public:
+  SnapshotRegistry() = default;
+
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// Atomically installs `snapshot` as the current model and returns the
+  /// version it was published as (1 for the first publish).
+  uint64_t Publish(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// The current (snapshot, version) pair. Cheap: one mutex-protected
+  /// shared_ptr copy; never blocks on scoring work.
+  SnapshotRef Acquire() const;
+
+  /// Version of the most recent Publish (0 before the first).
+  uint64_t current_version() const;
+
+ private:
+  mutable std::mutex mutex_;
+  SnapshotRef current_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_SERVE_SNAPSHOT_REGISTRY_H_

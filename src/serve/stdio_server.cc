@@ -1,0 +1,161 @@
+#include "serve/stdio_server.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/string_util.h"
+#include "common/telemetry/json.h"
+#include "common/telemetry/metrics.h"
+
+namespace telco {
+
+StdioScoringServer::StdioScoringServer(SnapshotRegistry* registry,
+                                       StdioServerOptions options)
+    : registry_(registry),
+      options_(options),
+      executor_(registry, options.executor) {
+  if (options_.window == 0) options_.window = 1;
+  options_.window =
+      std::min(options_.window, executor_.options().max_queue_depth);
+}
+
+Status StdioScoringServer::WriteLine(std::FILE* out,
+                                     const std::string& line) {
+  TELCO_RETURN_NOT_OK(MaybeInjectFault("serve.respond"));
+  const std::string with_newline = line + "\n";
+  // One write per response: a crash between responses never tears a line.
+  if (std::fwrite(with_newline.data(), 1, with_newline.size(), out) !=
+      with_newline.size()) {
+    return Status::IoError("short write on response stream");
+  }
+  if (std::fflush(out) != 0) {
+    return Status::IoError("flush failed on response stream");
+  }
+  return Status::OK();
+}
+
+Status StdioScoringServer::FlushOne(std::FILE* out) {
+  InFlight oldest = std::move(in_flight_.front());
+  in_flight_.pop_front();
+  const ScoreOutcome outcome = oldest.future.get();
+  return WriteLine(out, FormatScoreResponse(oldest.request, outcome));
+}
+
+Status StdioScoringServer::FlushAll(std::FILE* out) {
+  while (!in_flight_.empty()) TELCO_RETURN_NOT_OK(FlushOne(out));
+  return Status::OK();
+}
+
+Status StdioScoringServer::HandleScore(ScoreRequest request,
+                                       std::FILE* out) {
+  for (;;) {
+    Result<std::future<ScoreOutcome>> submitted = executor_.Submit(request);
+    if (submitted.ok()) {
+      InFlight entry;
+      entry.request = std::move(request);
+      entry.future = std::move(submitted).ValueOrDie();
+      in_flight_.push_back(std::move(entry));
+      break;
+    }
+    if (submitted.status().IsUnavailable() && !in_flight_.empty()) {
+      // Backpressure: draining the oldest response frees queue space as
+      // its batch completes, then the submit is retried.
+      TELCO_RETURN_NOT_OK(FlushOne(out));
+      continue;
+    }
+    // Permanent failure, or overload with nothing of ours in flight:
+    // surface the retry hint to the client instead of spinning.
+    return WriteLine(out,
+                     FormatErrorResponse(request.id, submitted.status()));
+  }
+  if (in_flight_.size() >= options_.window) {
+    TELCO_RETURN_NOT_OK(FlushOne(out));
+  }
+  return Status::OK();
+}
+
+Status StdioScoringServer::HandleSwap(const std::string& model_path,
+                                      std::FILE* out) {
+  Result<std::shared_ptr<const ModelSnapshot>> snapshot =
+      ModelSnapshot::LoadFromFile(model_path);
+  if (!snapshot.ok()) {
+    return WriteLine(
+        out, StrFormat("{\"cmd\":\"swap\",\"ok\":false,\"error\":\"%s\"}",
+                       JsonEscape(snapshot.status().ToString()).c_str()));
+  }
+  const uint32_t fingerprint = (*snapshot)->fingerprint();
+  const uint64_t version =
+      registry_->Publish(std::move(snapshot).ValueOrDie());
+  return WriteLine(
+      out,
+      StrFormat("{\"cmd\":\"swap\",\"ok\":true,\"snapshot\":%llu,"
+                "\"model\":\"%s\",\"fingerprint\":\"%08x\"}",
+                static_cast<unsigned long long>(version),
+                JsonEscape(model_path).c_str(), fingerprint));
+}
+
+Status StdioScoringServer::HandleStats(std::FILE* out) {
+  const SnapshotRef ref = registry_->Acquire();
+  const MetricsSnapshot metrics = MetricsRegistry::Global().Snapshot();
+  const auto counter = [&metrics](const char* name) -> unsigned long long {
+    const MetricValue* value = metrics.Find(name);
+    return value == nullptr ? 0 : value->counter;
+  };
+  double p50_ms = 0.0, p99_ms = 0.0;
+  if (const MetricValue* latency =
+          metrics.Find("serve.executor.latency_seconds");
+      latency != nullptr) {
+    p50_ms = latency->histogram.Quantile(0.5) * 1e3;
+    p99_ms = latency->histogram.Quantile(0.99) * 1e3;
+  }
+  return WriteLine(
+      out,
+      StrFormat("{\"cmd\":\"stats\",\"snapshot\":%llu,\"model\":\"%s\","
+                "\"requests\":%llu,\"batches\":%llu,\"rejected\":%llu,"
+                "\"p50_ms\":%s,\"p99_ms\":%s}",
+                static_cast<unsigned long long>(ref.version),
+                ref.snapshot == nullptr
+                    ? ""
+                    : JsonEscape(ref.snapshot->label()).c_str(),
+                counter("serve.executor.requests"),
+                counter("serve.executor.batches"),
+                counter("serve.executor.rejected"), JsonNumber(p50_ms).c_str(),
+                JsonNumber(p99_ms).c_str()));
+}
+
+Status StdioScoringServer::Run(std::istream& in, std::FILE* out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Result<ServeRequest> parsed = ParseServeRequest(line);
+    if (!parsed.ok()) {
+      // Error lines honour the ordering contract too: drain score
+      // responses first so output position identifies the bad input.
+      TELCO_RETURN_NOT_OK(FlushAll(out));
+      TELCO_RETURN_NOT_OK(
+          WriteLine(out, FormatErrorResponse(0, parsed.status())));
+      continue;
+    }
+    ServeRequest request = std::move(parsed).ValueOrDie();
+    switch (request.type) {
+      case ServeRequestType::kScore:
+        TELCO_RETURN_NOT_OK(HandleScore(std::move(request.score), out));
+        break;
+      case ServeRequestType::kSwap:
+        TELCO_RETURN_NOT_OK(FlushAll(out));
+        TELCO_RETURN_NOT_OK(HandleSwap(request.model_path, out));
+        break;
+      case ServeRequestType::kStats:
+        TELCO_RETURN_NOT_OK(FlushAll(out));
+        TELCO_RETURN_NOT_OK(HandleStats(out));
+        break;
+      case ServeRequestType::kQuit:
+        return FlushAll(out);
+    }
+  }
+  return FlushAll(out);
+}
+
+}  // namespace telco

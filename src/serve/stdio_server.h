@@ -1,0 +1,73 @@
+// StdioScoringServer: drives a ScoringExecutor over the newline-delimited
+// JSON protocol (request_codec.h) on an istream/FILE pair — `telcochurn
+// serve` wires it to stdin/stdout, tests to string streams and pipes.
+//
+// Ordering contract: responses to score requests are written in request
+// order. Control responses (swap/stats/errors) are written at the point
+// they occur, after every earlier score response has been flushed, so a
+// replayed stream produces byte-identical output. Each response line is
+// committed with a single write + flush — a kill between lines (the
+// serve.respond fault site) can never leave a partial JSON line.
+
+#ifndef TELCO_SERVE_STDIO_SERVER_H_
+#define TELCO_SERVE_STDIO_SERVER_H_
+
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <istream>
+
+#include "common/result.h"
+#include "serve/request_codec.h"
+#include "serve/scoring_executor.h"
+#include "serve/snapshot_registry.h"
+
+namespace telco {
+
+struct StdioServerOptions {
+  /// Score responses allowed in flight before the reader blocks on the
+  /// oldest one (pipelining window). Clamped to the executor queue bound.
+  size_t window = 128;
+  ScoringExecutorOptions executor;
+};
+
+/// \brief One serve session: reads requests until EOF or a quit command.
+class StdioScoringServer {
+ public:
+  /// `registry` must outlive the server and hold a published snapshot
+  /// before the first score request arrives.
+  StdioScoringServer(SnapshotRegistry* registry,
+                     StdioServerOptions options = {});
+
+  /// Runs the session loop. Returns non-OK only on I/O failure of `out`
+  /// or an injected serve.respond error; protocol-level problems become
+  /// error-response lines instead.
+  Status Run(std::istream& in, std::FILE* out);
+
+ private:
+  struct InFlight {
+    ScoreRequest request;
+    std::future<ScoreOutcome> future;
+  };
+
+  /// Waits for the oldest in-flight response and writes it.
+  Status FlushOne(std::FILE* out);
+  /// Flushes every in-flight response (ordering barrier before control
+  /// responses and at EOF).
+  Status FlushAll(std::FILE* out);
+  /// Commits one response line atomically (single write + flush).
+  Status WriteLine(std::FILE* out, const std::string& line);
+
+  Status HandleScore(ScoreRequest request, std::FILE* out);
+  Status HandleSwap(const std::string& model_path, std::FILE* out);
+  Status HandleStats(std::FILE* out);
+
+  SnapshotRegistry* registry_;
+  StdioServerOptions options_;
+  ScoringExecutor executor_;
+  std::deque<InFlight> in_flight_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_SERVE_STDIO_SERVER_H_

@@ -1,0 +1,276 @@
+// Offline/online parity: the serving path (ModelSnapshot +
+// ScoringExecutor micro-batches) must produce bit-identical scores to the
+// offline ChurnPipeline over the same wide table — including while a
+// concurrent hot-swap is replacing the model under the scoring threads.
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "churn/pipeline.h"
+#include "datagen/telco_simulator.h"
+#include "serve/scoring_executor.h"
+
+namespace telco {
+namespace {
+
+class ServeParityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SimConfig config;
+    config.num_customers = 2500;
+    config.num_months = 6;
+    config.num_communities = 60;
+    config.num_cells = 30;
+    sim_ = new TelcoSimulator(config);
+    catalog_ = new Catalog();
+    ASSERT_TRUE(sim_->Run(catalog_).ok());
+
+    PipelineOptions options;
+    options.model.rf.num_trees = 24;
+    options.model.rf.min_samples_split = 40;
+    pipeline_ = new ChurnPipeline(catalog_, options);
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete catalog_;
+    delete sim_;
+  }
+
+  // Snapshot of the model the pipeline currently holds.
+  static std::shared_ptr<const ModelSnapshot> CurrentSnapshot(
+      const std::string& label) {
+    auto snapshot = ModelSnapshot::FromForest(*pipeline_->model()->forest(),
+                                              pipeline_->model_features(),
+                                              label);
+    EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+    return *snapshot;
+  }
+
+  // The prediction month's unlabeled wide rows plus their imsis.
+  static void BuildServingRows(int month, Dataset* rows,
+                               std::vector<int64_t>* imsis) {
+    auto wide = pipeline_->wide_builder().Build(month);
+    ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+    auto data = Dataset::FromTableUnlabeled(*wide->table,
+                                            pipeline_->model_features());
+    ASSERT_TRUE(data.ok()) << data.status().ToString();
+    auto imsi_col = wide->table->GetColumn("imsi");
+    ASSERT_TRUE(imsi_col.ok());
+    imsis->clear();
+    imsis->reserve(data->num_rows());
+    for (size_t r = 0; r < data->num_rows(); ++r) {
+      imsis->push_back((*imsi_col)->GetInt64(r));
+    }
+    *rows = std::move(*data);
+  }
+
+  static ScoreRequest RowRequest(const Dataset& rows,
+                                 const std::vector<int64_t>& imsis,
+                                 size_t r) {
+    ScoreRequest request;
+    request.id = r + 1;
+    request.imsi = imsis[r];
+    const auto row = rows.Row(r);
+    request.features.assign(row.begin(), row.end());
+    return request;
+  }
+
+  static TelcoSimulator* sim_;
+  static Catalog* catalog_;
+  static ChurnPipeline* pipeline_;
+};
+
+TelcoSimulator* ServeParityTest::sim_ = nullptr;
+Catalog* ServeParityTest::catalog_ = nullptr;
+ChurnPipeline* ServeParityTest::pipeline_ = nullptr;
+
+// Headline: every customer the offline pipeline ranked gets the exact
+// same score from the online executor, whatever the micro-batch split.
+TEST_F(ServeParityTest, OnlineScoresBitIdenticalToOfflinePipeline) {
+  auto prediction = pipeline_->TrainAndPredict(5);
+  ASSERT_TRUE(prediction.ok()) << prediction.status().ToString();
+  std::unordered_map<int64_t, double> offline;
+  for (size_t i = 0; i < prediction->imsis.size(); ++i) {
+    offline[prediction->imsis[i]] = prediction->scores[i];
+  }
+  ASSERT_GT(offline.size(), 1000u);
+
+  Dataset rows{std::vector<std::string>{}};
+  std::vector<int64_t> imsis;
+  BuildServingRows(5, &rows, &imsis);
+
+  SnapshotRegistry registry;
+  registry.Publish(CurrentSnapshot("parity-v1"));
+  ScoringExecutorOptions options;
+  options.max_batch_size = 19;  // awkward batch split on purpose
+  ScoringExecutor executor(&registry, options);
+
+  std::vector<std::future<ScoreOutcome>> futures;
+  futures.reserve(rows.num_rows());
+  for (size_t r = 0; r < rows.num_rows(); ++r) {
+    while (true) {  // resubmit on backpressure: more rows than queue slots
+      auto submitted = executor.Submit(RowRequest(rows, imsis, r));
+      if (submitted.ok()) {
+        futures.push_back(std::move(*submitted));
+        break;
+      }
+      ASSERT_TRUE(submitted.status().IsUnavailable())
+          << submitted.status().ToString();
+    }
+  }
+  size_t compared = 0;
+  for (size_t r = 0; r < rows.num_rows(); ++r) {
+    const ScoreOutcome outcome = futures[r].get();
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    EXPECT_EQ(outcome.snapshot_version, 1u);
+    const auto it = offline.find(imsis[r]);
+    if (it == offline.end()) continue;  // row had no label offline
+    ASSERT_EQ(outcome.score, it->second)
+        << "imsi " << imsis[r] << " diverged from the offline pipeline";
+    ++compared;
+  }
+  EXPECT_EQ(compared, offline.size());
+}
+
+// A hot-swap between two submission waves is atomic: wave 1 scores are
+// exactly model A's, wave 2 scores exactly model B's.
+TEST_F(ServeParityTest, SwapBetweenWavesSwitchesModelsExactly) {
+  ASSERT_TRUE(pipeline_->TrainOnly(3).ok());
+  auto snap_a = CurrentSnapshot("wave-a");
+  ASSERT_TRUE(pipeline_->TrainOnly(4).ok());
+  auto snap_b = CurrentSnapshot("wave-b");
+  ASSERT_NE(snap_a->fingerprint(), snap_b->fingerprint());
+
+  Dataset rows{std::vector<std::string>{}};
+  std::vector<int64_t> imsis;
+  BuildServingRows(5, &rows, &imsis);
+  const std::vector<double> expect_a =
+      snap_a->ScoreBatch(rows, pipeline_->pool());
+  const std::vector<double> expect_b =
+      snap_b->ScoreBatch(rows, pipeline_->pool());
+
+  SnapshotRegistry registry;
+  registry.Publish(snap_a);
+  ScoringExecutor executor(&registry);
+
+  auto submit_all = [&] {
+    std::vector<std::future<ScoreOutcome>> futures;
+    for (size_t r = 0; r < rows.num_rows(); ++r) {
+      while (true) {  // resubmit on backpressure
+        auto submitted = executor.Submit(RowRequest(rows, imsis, r));
+        if (submitted.ok()) {
+          futures.push_back(std::move(*submitted));
+          break;
+        }
+        EXPECT_TRUE(submitted.status().IsUnavailable());
+      }
+    }
+    return futures;
+  };
+  auto wave1 = submit_all();
+  executor.Drain();
+  registry.Publish(snap_b);
+  auto wave2 = submit_all();
+
+  for (size_t r = 0; r < rows.num_rows(); ++r) {
+    const ScoreOutcome first = wave1[r].get();
+    const ScoreOutcome second = wave2[r].get();
+    ASSERT_TRUE(first.status.ok() && second.status.ok());
+    ASSERT_EQ(first.snapshot_version, 1u);
+    ASSERT_EQ(second.snapshot_version, 2u);
+    ASSERT_EQ(first.score, expect_a[r]) << "row " << r;
+    ASSERT_EQ(second.score, expect_b[r]) << "row " << r;
+  }
+}
+
+// No torn reads: while a swapper thread flips the registry between two
+// models, every response's (version, fingerprint, score) triple must be
+// internally consistent — the score always bit-matches the exact model
+// its fingerprint names. A torn batch would mix models within a batch or
+// report one model's version with the other's scores.
+TEST_F(ServeParityTest, ConcurrentHotSwapNeverTearsScores) {
+  ASSERT_TRUE(pipeline_->TrainOnly(3).ok());
+  auto snap_a = CurrentSnapshot("tear-a");
+  ASSERT_TRUE(pipeline_->TrainOnly(4).ok());
+  auto snap_b = CurrentSnapshot("tear-b");
+  ASSERT_NE(snap_a->fingerprint(), snap_b->fingerprint());
+
+  Dataset rows{std::vector<std::string>{}};
+  std::vector<int64_t> imsis;
+  BuildServingRows(5, &rows, &imsis);
+  const std::vector<double> expect_a =
+      snap_a->ScoreBatch(rows, pipeline_->pool());
+  const std::vector<double> expect_b =
+      snap_b->ScoreBatch(rows, pipeline_->pool());
+
+  SnapshotRegistry registry;
+  registry.Publish(snap_a);  // version 1 = A; publish k (k >= 2): B when
+                             // k even, A when k odd
+  ScoringExecutorOptions options;
+  options.max_batch_size = 17;
+  ScoringExecutor executor(&registry, options);
+
+  std::atomic<bool> done{false};
+  std::thread swapper([&] {
+    for (int k = 2; !done.load(); ++k) {
+      registry.Publish(k % 2 == 0 ? snap_b : snap_a);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  constexpr size_t kThreads = 3;
+  constexpr size_t kRounds = 2;
+  std::vector<std::thread> submitters;
+  std::atomic<size_t> v_a{0}, v_b{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        std::vector<std::future<ScoreOutcome>> futures;
+        std::vector<size_t> future_rows;
+        for (size_t r = t; r < rows.num_rows(); r += kThreads) {
+          while (true) {
+            auto submitted = executor.Submit(RowRequest(rows, imsis, r));
+            if (submitted.ok()) {
+              futures.push_back(std::move(*submitted));
+              future_rows.push_back(r);
+              break;
+            }
+            ASSERT_TRUE(submitted.status().IsUnavailable());
+          }
+        }
+        for (size_t i = 0; i < futures.size(); ++i) {
+          const ScoreOutcome outcome = futures[i].get();
+          const size_t r = future_rows[i];
+          ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+          // The version determines which model was live; the score must
+          // bit-match that model and no other.
+          const bool is_a = outcome.snapshot_version == 1 ||
+                            outcome.snapshot_version % 2 == 1;
+          if (is_a) {
+            ASSERT_EQ(outcome.model_fingerprint, snap_a->fingerprint());
+            ASSERT_EQ(outcome.score, expect_a[r]) << "row " << r;
+          } else {
+            ASSERT_EQ(outcome.model_fingerprint, snap_b->fingerprint());
+            ASSERT_EQ(outcome.score, expect_b[r]) << "row " << r;
+          }
+          (is_a ? v_a : v_b).fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  done.store(true);
+  swapper.join();
+  // Both models actually served part of the stream.
+  EXPECT_GT(v_a.load(), 0u);
+  EXPECT_GT(v_b.load(), 0u);
+}
+
+}  // namespace
+}  // namespace telco

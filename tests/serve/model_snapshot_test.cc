@@ -1,0 +1,142 @@
+#include "serve/model_snapshot.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "../ml/ml_test_util.h"
+#include "common/thread_pool.h"
+#include "ml/serialize.h"
+
+namespace telco {
+namespace {
+
+RandomForest FittedForest(const Dataset& data, int trees = 12) {
+  RandomForestOptions options;
+  options.num_trees = trees;
+  options.min_samples_split = 20;
+  RandomForest forest(options);
+  EXPECT_TRUE(forest.Fit(data).ok());
+  return forest;
+}
+
+class ModelSnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = ml_testing::LinearlySeparable(600, 1201);
+    forest_ = FittedForest(data_);
+  }
+
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+
+  Dataset data_{std::vector<std::string>{}};
+  RandomForest forest_;
+};
+
+TEST_F(ModelSnapshotTest, FromForestScoresMatchForest) {
+  auto snapshot =
+      ModelSnapshot::FromForest(forest_, data_.feature_names(), "unit");
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ((*snapshot)->num_features(), 3u);
+  EXPECT_EQ((*snapshot)->label(), "unit");
+  for (size_t i = 0; i < data_.num_rows(); ++i) {
+    EXPECT_EQ((*snapshot)->Score(data_.Row(i)),
+              forest_.PredictProba(data_.Row(i)));
+  }
+}
+
+TEST_F(ModelSnapshotTest, FingerprintEqualsCanonicalChecksum) {
+  auto snapshot =
+      ModelSnapshot::FromForest(forest_, data_.feature_names(), "unit");
+  ASSERT_TRUE(snapshot.ok());
+  auto checksum = ForestChecksum(forest_);
+  ASSERT_TRUE(checksum.ok());
+  EXPECT_EQ((*snapshot)->fingerprint(), *checksum);
+}
+
+TEST_F(ModelSnapshotTest, ScoreBatchBitIdenticalToRowScores) {
+  auto snapshot =
+      ModelSnapshot::FromForest(forest_, data_.feature_names(), "unit");
+  ASSERT_TRUE(snapshot.ok());
+  ThreadPool pool(3);
+  const std::vector<double> batch = (*snapshot)->ScoreBatch(data_, &pool);
+  ASSERT_EQ(batch.size(), data_.num_rows());
+  for (size_t i = 0; i < data_.num_rows(); ++i) {
+    EXPECT_EQ(batch[i], (*snapshot)->Score(data_.Row(i))) << "row " << i;
+  }
+}
+
+TEST_F(ModelSnapshotTest, RejectsUnfittedForest) {
+  RandomForest unfitted{RandomForestOptions{}};
+  auto snapshot = ModelSnapshot::FromForest(
+      unfitted, std::vector<std::string>{"x0"}, "bad");
+  EXPECT_FALSE(snapshot.ok());
+}
+
+TEST_F(ModelSnapshotTest, RejectsEmptySchema) {
+  auto snapshot =
+      ModelSnapshot::FromForest(forest_, std::vector<std::string>{}, "bad");
+  EXPECT_FALSE(snapshot.ok());
+}
+
+TEST_F(ModelSnapshotTest, LoadFromFileRoundTrips) {
+  const std::string path = TempPath("snapshot_roundtrip.rf");
+  ASSERT_TRUE(SaveRandomForest(forest_, path).ok());
+  {
+    std::ofstream sidecar(path + ".features");
+    for (const std::string& name : data_.feature_names()) {
+      sidecar << name << "\n";
+    }
+  }
+  auto loaded = ModelSnapshot::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->feature_names(), data_.feature_names());
+  EXPECT_EQ((*loaded)->label(), path);
+  auto checksum = ForestChecksum(forest_);
+  ASSERT_TRUE(checksum.ok());
+  EXPECT_EQ((*loaded)->fingerprint(), *checksum);
+  for (size_t i = 0; i < data_.num_rows(); ++i) {
+    EXPECT_EQ((*loaded)->Score(data_.Row(i)),
+              forest_.PredictProba(data_.Row(i)));
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".features").c_str());
+}
+
+TEST_F(ModelSnapshotTest, LoadFailsWithoutSidecar) {
+  const std::string path = TempPath("snapshot_nosidecar.rf");
+  ASSERT_TRUE(SaveRandomForest(forest_, path).ok());
+  auto loaded = ModelSnapshot::LoadFromFile(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(ModelSnapshotTest, LoadFailsClosedOnCorruptModel) {
+  const std::string path = TempPath("snapshot_corrupt.rf");
+  ASSERT_TRUE(SaveRandomForest(forest_, path).ok());
+  {
+    std::ofstream sidecar(path + ".features");
+    for (const std::string& name : data_.feature_names()) {
+      sidecar << name << "\n";
+    }
+  }
+  // Flip one byte in the middle of the model body.
+  std::fstream file(path,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  file.seekg(0, std::ios::end);
+  const auto size = file.tellg();
+  ASSERT_GT(size, 64);
+  file.seekp(static_cast<std::streamoff>(size) / 2);
+  file.put('#');
+  file.close();
+  auto loaded = ModelSnapshot::LoadFromFile(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+  std::remove((path + ".features").c_str());
+}
+
+}  // namespace
+}  // namespace telco

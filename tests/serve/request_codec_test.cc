@@ -1,0 +1,134 @@
+#include "serve/request_codec.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace telco {
+namespace {
+
+TEST(RequestCodecTest, ParsesScoreRequest) {
+  auto parsed =
+      ParseServeRequest(R"({"id":7,"imsi":1234,"features":[0.5,-1,2e3]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->type, ServeRequestType::kScore);
+  EXPECT_EQ(parsed->score.id, 7u);
+  EXPECT_EQ(parsed->score.imsi, 1234);
+  ASSERT_EQ(parsed->score.features.size(), 3u);
+  EXPECT_EQ(parsed->score.features[0], 0.5);
+  EXPECT_EQ(parsed->score.features[1], -1.0);
+  EXPECT_EQ(parsed->score.features[2], 2000.0);
+}
+
+TEST(RequestCodecTest, ImsiIsOptional) {
+  auto parsed = ParseServeRequest(R"({"id":1,"features":[1]})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->score.imsi, 0);
+}
+
+TEST(RequestCodecTest, ParsesControlCommands) {
+  auto swap = ParseServeRequest(R"({"cmd":"swap","model":"/tmp/m.rf"})");
+  ASSERT_TRUE(swap.ok());
+  EXPECT_EQ(swap->type, ServeRequestType::kSwap);
+  EXPECT_EQ(swap->model_path, "/tmp/m.rf");
+
+  auto stats = ParseServeRequest(R"({"cmd":"stats"})");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->type, ServeRequestType::kStats);
+
+  auto quit = ParseServeRequest(R"({"cmd":"quit"})");
+  ASSERT_TRUE(quit.ok());
+  EXPECT_EQ(quit->type, ServeRequestType::kQuit);
+}
+
+TEST(RequestCodecTest, RejectsMalformedLines) {
+  const char* bad[] = {
+      "",                                        // empty
+      "not json",                                // not JSON at all
+      "[1,2,3]",                                 // not an object
+      "42",                                      // not an object
+      R"({"features":[1]})",                     // missing id
+      R"({"id":"7","features":[1]})",            // string id
+      R"({"id":-1,"features":[1]})",             // negative id
+      R"({"id":1.5,"features":[1]})",            // fractional id
+      R"({"id":9.1e15,"features":[1]})",         // beyond 2^53
+      R"({"id":1})",                             // missing features
+      R"({"id":1,"features":[]})",               // empty features
+      R"({"id":1,"features":["a"]})",            // non-numeric feature
+      R"({"id":1,"features":[1,null]})",         // null feature
+      R"({"id":1,"imsi":"x","features":[1]})",   // string imsi
+      R"({"cmd":42})",                           // non-string cmd
+      R"({"cmd":"reboot"})",                     // unknown cmd
+      R"({"cmd":"swap"})",                       // swap without model
+      R"({"cmd":"swap","model":""})",            // empty model path
+      R"({"cmd":"swap","model":7})",             // non-string model
+      R"({"id":1,"features":[1,)",               // truncated JSON
+  };
+  for (const char* line : bad) {
+    auto parsed = ParseServeRequest(line);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << line;
+    if (!parsed.ok()) {
+      EXPECT_TRUE(parsed.status().IsInvalidArgument()) << line;
+    }
+  }
+}
+
+TEST(RequestCodecTest, ScoreRequestRoundTripsBitIdentically) {
+  ScoreRequest request;
+  request.id = 12345678901ull;
+  request.imsi = 460000000042;
+  request.features = {0.1, -2.5e-17, 3.141592653589793, 0.0, 1e300};
+  const std::string line = FormatScoreRequest(request);
+  auto parsed = ParseServeRequest(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->score.id, request.id);
+  EXPECT_EQ(parsed->score.imsi, request.imsi);
+  ASSERT_EQ(parsed->score.features.size(), request.features.size());
+  for (size_t i = 0; i < request.features.size(); ++i) {
+    EXPECT_EQ(parsed->score.features[i], request.features[i]) << i;
+  }
+}
+
+TEST(RequestCodecTest, ScoreResponseCarriesFullPrecision) {
+  ScoreRequest request;
+  request.id = 9;
+  request.imsi = 77;
+  ScoreOutcome outcome;
+  outcome.status = Status::OK();
+  outcome.score = 0.12345678901234567;  // does not round-trip at %g
+  outcome.snapshot_version = 3;
+  const std::string line = FormatScoreResponse(request, outcome);
+  EXPECT_NE(line.find("\"id\":9"), std::string::npos);
+  EXPECT_NE(line.find("\"imsi\":77"), std::string::npos);
+  EXPECT_NE(line.find("\"snapshot\":3"), std::string::npos);
+  // Re-parse the score member and compare bit-for-bit.
+  const size_t pos = line.find("\"score\":");
+  ASSERT_NE(pos, std::string::npos);
+  const double score =
+      std::strtod(line.c_str() + pos + sizeof("\"score\":") - 1, nullptr);
+  EXPECT_EQ(score, outcome.score);
+}
+
+TEST(RequestCodecTest, ErrorResponseSetsRetryFromUnavailable) {
+  const std::string transient =
+      FormatErrorResponse(4, Status::Unavailable("queue full; retry"));
+  EXPECT_NE(transient.find("\"retry\":true"), std::string::npos);
+  const std::string permanent =
+      FormatErrorResponse(4, Status::InvalidArgument("bad width"));
+  EXPECT_NE(permanent.find("\"retry\":false"), std::string::npos);
+}
+
+TEST(RequestCodecTest, ErrorResponseEscapesMessage) {
+  const std::string line = FormatErrorResponse(
+      1, Status::InvalidArgument("quote \" backslash \\ newline \n"));
+  // The message must be escaped into a single well-formed JSON line.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  auto reparsed = ParseServeRequest(line);  // parses as JSON (then fails
+  // request validation on the missing features member, not on syntax).
+  EXPECT_FALSE(reparsed.ok());
+  EXPECT_NE(reparsed.status().ToString().find("features"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace telco

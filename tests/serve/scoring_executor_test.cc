@@ -1,0 +1,223 @@
+#include "serve/scoring_executor.h"
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../ml/ml_test_util.h"
+#include "common/thread_pool.h"
+
+namespace telco {
+namespace {
+
+std::shared_ptr<const ModelSnapshot> MakeSnapshot(uint64_t seed) {
+  const Dataset data = ml_testing::LinearlySeparable(400, seed);
+  RandomForestOptions options;
+  options.num_trees = 8;
+  options.min_samples_split = 20;
+  RandomForest forest(options);
+  EXPECT_TRUE(forest.Fit(data).ok());
+  auto snapshot = ModelSnapshot::FromForest(std::move(forest),
+                                            data.feature_names(), "exec");
+  EXPECT_TRUE(snapshot.ok());
+  return *snapshot;
+}
+
+ScoreRequest MakeRequest(uint64_t id, const std::vector<double>& features) {
+  ScoreRequest request;
+  request.id = id;
+  request.imsi = static_cast<int64_t>(1000 + id);
+  request.features = features;
+  return request;
+}
+
+TEST(ScoringExecutorTest, ScoresMatchSnapshotExactly) {
+  SnapshotRegistry registry;
+  auto snapshot = MakeSnapshot(1401);
+  registry.Publish(snapshot);
+  ScoringExecutorOptions options;
+  options.max_batch_size = 7;  // odd size: batches straddle submissions
+  ScoringExecutor executor(&registry, options);
+
+  const Dataset data = ml_testing::LinearlySeparable(200, 1402);
+  std::vector<std::future<ScoreOutcome>> futures;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto row = data.Row(i);
+    auto submitted = executor.Submit(
+        MakeRequest(i, std::vector<double>(row.begin(), row.end())));
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(*submitted));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const ScoreOutcome outcome = futures[i].get();
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    EXPECT_EQ(outcome.score, snapshot->Score(data.Row(i))) << "row " << i;
+    EXPECT_EQ(outcome.snapshot_version, 1u);
+    EXPECT_EQ(outcome.model_fingerprint, snapshot->fingerprint());
+  }
+}
+
+TEST(ScoringExecutorTest, RejectsBeforeFirstPublish) {
+  SnapshotRegistry registry;
+  ScoringExecutor executor(&registry);
+  auto submitted = executor.Submit(MakeRequest(1, {0.1, 0.2, 0.3}));
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_TRUE(submitted.status().IsInvalidArgument());
+}
+
+TEST(ScoringExecutorTest, RejectsWrongRowWidth) {
+  SnapshotRegistry registry;
+  registry.Publish(MakeSnapshot(1403));
+  ScoringExecutor executor(&registry);
+  auto submitted = executor.Submit(MakeRequest(1, {0.1, 0.2}));  // 2 != 3
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_TRUE(submitted.status().IsInvalidArgument());
+}
+
+TEST(ScoringExecutorTest, BackpressureRejectsWithRetryHint) {
+  SnapshotRegistry registry;
+  registry.Publish(MakeSnapshot(1404));
+  ScoringExecutorOptions options;
+  options.max_batch_size = 1;
+  options.max_queue_depth = 1;
+  ScoringExecutor executor(&registry, options);
+
+  // Flood a depth-1 queue from a tight loop: while the dispatcher scores
+  // one request, the next two submissions fill and then overflow the
+  // queue. Every accepted request must still complete OK.
+  const std::vector<double> row{0.5, -0.5, 1.0};
+  std::vector<std::future<ScoreOutcome>> accepted;
+  Status rejection;
+  for (uint64_t id = 0; id < 100000 && rejection.ok(); ++id) {
+    auto submitted = executor.Submit(MakeRequest(id, row));
+    if (submitted.ok()) {
+      accepted.push_back(std::move(*submitted));
+    } else {
+      rejection = submitted.status();
+    }
+  }
+  ASSERT_FALSE(rejection.ok()) << "queue never overflowed";
+  EXPECT_TRUE(rejection.IsUnavailable()) << rejection.ToString();
+  EXPECT_NE(rejection.ToString().find("retry"), std::string::npos);
+  for (auto& future : accepted) {
+    EXPECT_TRUE(future.get().status.ok());
+  }
+}
+
+TEST(ScoringExecutorTest, HotSwapBetweenBatchesChangesScores) {
+  SnapshotRegistry registry;
+  auto v1 = MakeSnapshot(1405);
+  auto v2 = MakeSnapshot(1406);
+  ASSERT_NE(v1->fingerprint(), v2->fingerprint());
+  registry.Publish(v1);
+  ScoringExecutor executor(&registry);
+
+  const Dataset data = ml_testing::LinearlySeparable(50, 1407);
+  auto score_all = [&](uint64_t base_id) {
+    std::vector<std::future<ScoreOutcome>> futures;
+    for (size_t i = 0; i < data.num_rows(); ++i) {
+      const auto row = data.Row(i);
+      auto submitted = executor.Submit(MakeRequest(
+          base_id + i, std::vector<double>(row.begin(), row.end())));
+      EXPECT_TRUE(submitted.ok());
+      futures.push_back(std::move(*submitted));
+    }
+    std::vector<ScoreOutcome> outcomes;
+    for (auto& f : futures) outcomes.push_back(f.get());
+    return outcomes;
+  };
+
+  const auto before = score_all(0);
+  executor.Drain();
+  registry.Publish(v2);
+  const auto after = score_all(1000);
+
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    ASSERT_TRUE(before[i].status.ok());
+    ASSERT_TRUE(after[i].status.ok());
+    EXPECT_EQ(before[i].snapshot_version, 1u);
+    EXPECT_EQ(after[i].snapshot_version, 2u);
+    EXPECT_EQ(before[i].score, v1->Score(data.Row(i)));
+    EXPECT_EQ(after[i].score, v2->Score(data.Row(i)));
+    EXPECT_EQ(before[i].model_fingerprint, v1->fingerprint());
+    EXPECT_EQ(after[i].model_fingerprint, v2->fingerprint());
+  }
+}
+
+TEST(ScoringExecutorTest, ConcurrentSubmittersAllComplete) {
+  SnapshotRegistry registry;
+  auto snapshot = MakeSnapshot(1408);
+  registry.Publish(snapshot);
+  ScoringExecutorOptions options;
+  options.max_batch_size = 16;
+  ScoringExecutor executor(&registry, options);
+
+  const Dataset data = ml_testing::LinearlySeparable(120, 1409);
+  constexpr size_t kThreads = 4;
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<ScoreOutcome>> outcomes(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      std::vector<std::future<ScoreOutcome>> futures;
+      for (size_t i = t; i < data.num_rows(); i += kThreads) {
+        const auto row = data.Row(i);
+        while (true) {
+          auto submitted = executor.Submit(MakeRequest(
+              i, std::vector<double>(row.begin(), row.end())));
+          if (submitted.ok()) {
+            futures.push_back(std::move(*submitted));
+            break;
+          }
+          ASSERT_TRUE(submitted.status().IsUnavailable());
+        }
+      }
+      for (auto& f : futures) outcomes[t].push_back(f.get());
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    size_t i = t;
+    for (const ScoreOutcome& outcome : outcomes[t]) {
+      ASSERT_TRUE(outcome.status.ok());
+      EXPECT_EQ(outcome.score, snapshot->Score(data.Row(i)));
+      i += kThreads;
+    }
+  }
+}
+
+TEST(ScoringExecutorTest, SubmitAfterShutdownFails) {
+  SnapshotRegistry registry;
+  registry.Publish(MakeSnapshot(1410));
+  ScoringExecutor executor(&registry);
+  executor.Shutdown();
+  executor.Shutdown();  // idempotent
+  auto submitted = executor.Submit(MakeRequest(1, {0.0, 0.0, 0.0}));
+  EXPECT_FALSE(submitted.ok());
+}
+
+TEST(ScoringExecutorTest, DrainWaitsForEverythingAccepted) {
+  SnapshotRegistry registry;
+  auto snapshot = MakeSnapshot(1411);
+  registry.Publish(snapshot);
+  ScoringExecutor executor(&registry);
+  std::vector<std::future<ScoreOutcome>> futures;
+  for (uint64_t id = 0; id < 300; ++id) {
+    auto submitted = executor.Submit(MakeRequest(id, {0.1, 0.2, 0.3}));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  executor.Drain();
+  EXPECT_EQ(executor.queue_depth(), 0u);
+  for (auto& future : futures) {
+    // Everything accepted before Drain returned must already be ready.
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_TRUE(future.get().status.ok());
+  }
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,149 @@
+// Property/fuzz tests for the two text-protocol parsers the serving path
+// trusts with external bytes: the NDJSON request codec and the telemetry
+// JSON parser underneath it. Seeded (deterministic) generation; the
+// properties are (1) format -> parse is the identity on valid requests,
+// and (2) no byte-level mutation of any document can crash a parser —
+// build with -DTELCO_SANITIZE=address to run these under ASan.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/telemetry/json.h"
+#include "serve/request_codec.h"
+
+namespace telco {
+namespace {
+
+double RandomFeature(Rng& rng) {
+  switch (rng.UniformInt(8)) {
+    case 0:
+      return 0.0;
+    case 1:
+      return -0.0;
+    case 2:  // huge and tiny magnitudes
+      return rng.Uniform(-1.0, 1.0) *
+             std::pow(10.0, rng.Uniform(-300.0, 300.0));
+    case 3:
+      return static_cast<double>(rng.UniformInt(1u << 30));
+    default:
+      return rng.Gaussian();
+  }
+}
+
+ScoreRequest RandomRequest(Rng& rng) {
+  ScoreRequest request;
+  request.id = rng.UniformInt(1ull << 50);
+  request.imsi = static_cast<int64_t>(rng.UniformInt(1ull << 50)) -
+                 (1ll << 49);
+  const size_t width = 1 + rng.UniformInt(32);
+  request.features.reserve(width);
+  for (size_t i = 0; i < width; ++i) {
+    request.features.push_back(RandomFeature(rng));
+  }
+  return request;
+}
+
+std::string Mutate(std::string line, Rng& rng) {
+  if (line.empty()) return line;
+  switch (rng.UniformInt(4)) {
+    case 0:  // truncate
+      line.resize(rng.UniformInt(line.size()));
+      break;
+    case 1:  // flip one byte to an arbitrary value
+      line[rng.UniformInt(line.size())] =
+          static_cast<char>(rng.UniformInt(256));
+      break;
+    case 2:  // insert a structural character
+      line.insert(rng.UniformInt(line.size()),
+                  1, "{}[],:\"\\0e+-."[rng.UniformInt(13)]);
+      break;
+    default: {  // duplicate a chunk
+      const size_t from = rng.UniformInt(line.size());
+      const size_t len = 1 + rng.UniformInt(line.size() - from);
+      line.insert(rng.UniformInt(line.size()), line, from, len);
+      break;
+    }
+  }
+  return line;
+}
+
+TEST(ServeFuzzTest, FormatParseIsIdentityOnRandomRequests) {
+  Rng rng(20150815);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const ScoreRequest request = RandomRequest(rng);
+    const std::string line = FormatScoreRequest(request);
+    auto parsed = ParseServeRequest(line);
+    ASSERT_TRUE(parsed.ok())
+        << parsed.status().ToString() << "\nline: " << line;
+    ASSERT_EQ(parsed->type, ServeRequestType::kScore);
+    ASSERT_EQ(parsed->score.id, request.id) << line;
+    ASSERT_EQ(parsed->score.imsi, request.imsi) << line;
+    ASSERT_EQ(parsed->score.features.size(), request.features.size());
+    for (size_t i = 0; i < request.features.size(); ++i) {
+      // Bit-identical round-trip, including signed zeros.
+      ASSERT_EQ(parsed->score.features[i], request.features[i])
+          << "feature " << i << " of " << line;
+      ASSERT_EQ(std::signbit(parsed->score.features[i]),
+                std::signbit(request.features[i]));
+    }
+  }
+}
+
+TEST(ServeFuzzTest, MutatedRequestsNeverCrashTheParser) {
+  Rng rng(20150816);
+  size_t still_valid = 0;
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string line = FormatScoreRequest(RandomRequest(rng));
+    const size_t mutations = 1 + rng.UniformInt(4);
+    for (size_t m = 0; m < mutations; ++m) line = Mutate(std::move(line), rng);
+    auto parsed = ParseServeRequest(line);  // must return, never crash
+    if (parsed.ok()) {
+      ++still_valid;  // mutation kept it well-formed; invariants hold
+      if (parsed->type == ServeRequestType::kScore) {
+        ASSERT_FALSE(parsed->score.features.empty());
+      }
+      if (parsed->type == ServeRequestType::kSwap) {
+        ASSERT_FALSE(parsed->model_path.empty());
+      }
+    }
+  }
+  // Sanity: the mutator is actually destructive most of the time.
+  EXPECT_LT(still_valid, 5000u / 2);
+}
+
+TEST(ServeFuzzTest, RandomGarbageNeverCrashesEitherParser) {
+  Rng rng(20150817);
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string garbage(rng.UniformInt(200), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.UniformInt(256));
+    (void)ParseServeRequest(garbage);
+    (void)ParseJson(garbage);
+  }
+}
+
+TEST(ServeFuzzTest, MutatedJsonDocumentsNeverCrashTelemetryParser) {
+  Rng rng(20150818);
+  const std::string valid =
+      R"({"schema_version":1,"kind":"bench","config":{"a":"b","n":3.5},)"
+      R"("stages":[{"name":"train","seconds":1.25}],)"
+      R"("metrics":[{"name":"m","kind":"histogram","bounds":[1,2],)"
+      R"("buckets":[0,1,2],"count":3,"sum":4.5}],"flag":true,"none":null})";
+  ASSERT_TRUE(ParseJson(valid).ok());
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string doc = valid;
+    const size_t mutations = 1 + rng.UniformInt(6);
+    for (size_t m = 0; m < mutations; ++m) doc = Mutate(std::move(doc), rng);
+    auto parsed = ParseJson(doc);  // must return, never crash
+    if (parsed.ok()) {
+      // A surviving document still supports navigation.
+      (void)parsed->Find("kind");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace telco

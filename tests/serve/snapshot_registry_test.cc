@@ -1,0 +1,109 @@
+#include "serve/snapshot_registry.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../ml/ml_test_util.h"
+
+namespace telco {
+namespace {
+
+std::shared_ptr<const ModelSnapshot> MakeSnapshot(uint64_t seed,
+                                                  const std::string& label) {
+  const Dataset data = ml_testing::LinearlySeparable(300, seed);
+  RandomForestOptions options;
+  options.num_trees = 4;
+  options.min_samples_split = 20;
+  RandomForest forest(options);
+  EXPECT_TRUE(forest.Fit(data).ok());
+  auto snapshot =
+      ModelSnapshot::FromForest(std::move(forest), data.feature_names(),
+                                label);
+  EXPECT_TRUE(snapshot.ok());
+  return *snapshot;
+}
+
+TEST(SnapshotRegistryTest, EmptyRegistryHasVersionZero) {
+  SnapshotRegistry registry;
+  EXPECT_EQ(registry.current_version(), 0u);
+  const SnapshotRef ref = registry.Acquire();
+  EXPECT_EQ(ref.snapshot, nullptr);
+  EXPECT_EQ(ref.version, 0u);
+}
+
+TEST(SnapshotRegistryTest, PublishBumpsMonotonicVersion) {
+  SnapshotRegistry registry;
+  EXPECT_EQ(registry.Publish(MakeSnapshot(1301, "a")), 1u);
+  EXPECT_EQ(registry.Publish(MakeSnapshot(1302, "b")), 2u);
+  EXPECT_EQ(registry.current_version(), 2u);
+  const SnapshotRef ref = registry.Acquire();
+  ASSERT_NE(ref.snapshot, nullptr);
+  EXPECT_EQ(ref.version, 2u);
+  EXPECT_EQ(ref.snapshot->label(), "b");
+}
+
+TEST(SnapshotRegistryTest, OldSnapshotOutlivesSwapWhileHeld) {
+  SnapshotRegistry registry;
+  registry.Publish(MakeSnapshot(1303, "old"));
+  const SnapshotRef held = registry.Acquire();
+  registry.Publish(MakeSnapshot(1304, "new"));
+  // The swap must not invalidate the held reference: same model, same
+  // scores, even though the registry has moved on.
+  ASSERT_NE(held.snapshot, nullptr);
+  EXPECT_EQ(held.version, 1u);
+  EXPECT_EQ(held.snapshot->label(), "old");
+  const std::vector<double> row(held.snapshot->num_features(), 0.25);
+  EXPECT_NO_FATAL_FAILURE(held.snapshot->Score(row));
+  EXPECT_EQ(registry.Acquire().snapshot->label(), "new");
+}
+
+TEST(SnapshotRegistryTest, AcquireIsConsistentUnderConcurrentPublish) {
+  SnapshotRegistry registry;
+  auto even = MakeSnapshot(1305, "even");
+  auto odd = MakeSnapshot(1306, "odd");
+  registry.Publish(even);
+  const uint32_t even_fp = even->fingerprint();
+  const uint32_t odd_fp = odd->fingerprint();
+
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    for (int i = 0; i < 500; ++i) {
+      registry.Publish(i % 2 == 0 ? odd : even);
+    }
+    stop.store(true);
+  });
+  // Every acquired pair must be internally consistent: an odd number of
+  // publishes total means fingerprint identifies which publish the
+  // version belongs to (version 1 + i pairs with the snapshot of the
+  // i-th publish).
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      uint64_t last_version = 0;
+      while (!stop.load()) {
+        const SnapshotRef ref = registry.Acquire();
+        ASSERT_NE(ref.snapshot, nullptr);
+        ASSERT_GE(ref.version, last_version);  // monotonic per reader
+        last_version = ref.version;
+        const uint32_t fp = ref.snapshot->fingerprint();
+        ASSERT_TRUE(fp == even_fp || fp == odd_fp);
+        // version 1 was "even"; publish i (1-based, i >= 2) installs
+        // "odd" when i is even.
+        if (ref.version == 1) {
+          ASSERT_EQ(fp, even_fp);
+        } else {
+          ASSERT_EQ(fp, ref.version % 2 == 0 ? odd_fp : even_fp);
+        }
+      }
+    });
+  }
+  publisher.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(registry.current_version(), 501u);
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,0 +1,92 @@
+#!/bin/sh
+# Replay harness for `telcochurn serve`: a deterministic NDJSON request
+# stream (from `telcochurn requests`) with a mid-stream hot-swap must
+# produce a byte-identical response stream on every run — and across
+# different micro-batch sizes, since batching must never change a score.
+# A kill mid-stream (TELCO_FAULT=serve.respond) must never leave a torn
+# (partial) JSON line on stdout.
+set -e
+
+CLI="$1"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+"$CLI" simulate --out "$WORKDIR/wh" --customers 600 --months 6 --seed 23 \
+    2> /dev/null
+
+"$CLI" train --warehouse "$WORKDIR/wh" --month 4 --model "$WORKDIR/m1.rf" \
+    --trees 8 > /dev/null 2>&1
+"$CLI" train --warehouse "$WORKDIR/wh" --month 5 --model "$WORKDIR/m2.rf" \
+    --trees 8 > /dev/null 2>&1
+
+# A deterministic 120-request stream over month-6 features, with a
+# hot-swap to the newer model planted after request 60.
+"$CLI" requests --warehouse "$WORKDIR/wh" --model "$WORKDIR/m1.rf" \
+    --month 6 --limit 120 2> /dev/null > "$WORKDIR/req.ndjson"
+[ "$(wc -l < "$WORKDIR/req.ndjson")" -eq 120 ] || {
+  echo "expected 120 requests"; exit 1; }
+
+{
+  head -60 "$WORKDIR/req.ndjson"
+  printf '{"cmd":"swap","model":"%s"}\n' "$WORKDIR/m2.rf"
+  tail -n +61 "$WORKDIR/req.ndjson"
+  printf '{"cmd":"quit"}\n'
+} > "$WORKDIR/stream.ndjson"
+
+"$CLI" serve --model "$WORKDIR/m1.rf" < "$WORKDIR/stream.ndjson" \
+    2> /dev/null > "$WORKDIR/out1.ndjson"
+"$CLI" serve --model "$WORKDIR/m1.rf" < "$WORKDIR/stream.ndjson" \
+    2> /dev/null > "$WORKDIR/out2.ndjson"
+# A different batch size must not change a single output byte.
+"$CLI" serve --model "$WORKDIR/m1.rf" --batch 7 --window 13 \
+    < "$WORKDIR/stream.ndjson" 2> /dev/null > "$WORKDIR/out3.ndjson"
+
+cmp "$WORKDIR/out1.ndjson" "$WORKDIR/out2.ndjson" || {
+  echo "replay is not deterministic"; exit 1; }
+cmp "$WORKDIR/out1.ndjson" "$WORKDIR/out3.ndjson" || {
+  echo "batch size changed the response stream"; exit 1; }
+
+# 120 score responses + 1 swap ack, in request order around the swap.
+[ "$(wc -l < "$WORKDIR/out1.ndjson")" -eq 121 ] || {
+  echo "wrong response count"; exit 1; }
+sed -n '61p' "$WORKDIR/out1.ndjson" | grep -q '"cmd":"swap","ok":true' || {
+  echo "swap ack missing or out of order"; exit 1; }
+[ "$(head -60 "$WORKDIR/out1.ndjson" | grep -c '"snapshot":1')" -eq 60 ] || {
+  echo "pre-swap responses not all from snapshot 1"; exit 1; }
+[ "$(tail -60 "$WORKDIR/out1.ndjson" | grep -c '"snapshot":2')" -eq 60 ] || {
+  echo "post-swap responses not all from snapshot 2"; exit 1; }
+
+# A malformed line yields an error response and the stream continues.
+{
+  head -3 "$WORKDIR/req.ndjson"
+  echo 'this is not json'
+  sed -n '4p' "$WORKDIR/req.ndjson"
+  printf '{"cmd":"quit"}\n'
+} > "$WORKDIR/bad.ndjson"
+"$CLI" serve --model "$WORKDIR/m1.rf" < "$WORKDIR/bad.ndjson" \
+    2> /dev/null > "$WORKDIR/badout.ndjson"
+grep -q '"id":0,"error":' "$WORKDIR/badout.ndjson" || {
+  echo "malformed line produced no error response"; exit 1; }
+[ "$(wc -l < "$WORKDIR/badout.ndjson")" -eq 5 ] || {
+  echo "stream did not continue past the malformed line"; exit 1; }
+
+# Kill mid-stream: the fault fires before the 30th response line is
+# written, so the partial output has exactly 29 lines and every one of
+# them is a complete JSON object — a single buffered write per response
+# means a crash can never tear a line.
+rc=0
+TELCO_FAULT=serve.respond:30 "$CLI" serve --model "$WORKDIR/m1.rf" \
+    < "$WORKDIR/stream.ndjson" 2> /dev/null > "$WORKDIR/partial.ndjson" \
+    || rc=$?
+[ "$rc" -eq 86 ] || { echo "expected fault exit 86, got $rc"; exit 1; }
+[ "$(wc -l < "$WORKDIR/partial.ndjson")" -eq 29 ] || {
+  echo "expected 29 complete responses before the kill"; exit 1; }
+if grep -qv '^{.*}$' "$WORKDIR/partial.ndjson"; then
+  echo "found a torn response line"; exit 1
+fi
+# The partial output is a prefix of the deterministic full replay.
+head -29 "$WORKDIR/out1.ndjson" > "$WORKDIR/head29.ndjson"
+cmp "$WORKDIR/partial.ndjson" "$WORKDIR/head29.ndjson" || {
+  echo "partial output diverges from the full replay"; exit 1; }
+
+echo "serve replay ok"

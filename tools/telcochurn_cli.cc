@@ -42,6 +42,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <set>
 #include <string>
@@ -56,6 +57,10 @@
 #include "common/thread_pool.h"
 #include "datagen/telco_simulator.h"
 #include "ml/serialize.h"
+#include "serve/model_snapshot.h"
+#include "serve/request_codec.h"
+#include "serve/snapshot_registry.h"
+#include "serve/stdio_server.h"
 #include "storage/atomic_file.h"
 #include "storage/warehouse_io.h"
 
@@ -233,34 +238,12 @@ Status RunTrain(Flags& flags) {
   }
 
   ChurnPipeline pipeline(&catalog, options);
-  // Train on the window of labelled months ending at `month`: the same
-  // path TrainAndPredict uses, via a prediction one month ahead would
-  // need labels; instead build and fit directly.
-  Dataset train({});
-  bool first = true;
-  for (int m = month - options.training_months + 1; m <= month; ++m) {
-    TELCO_ASSIGN_OR_RETURN(Dataset month_data,
-                           pipeline.BuildMonthDataset(m, m));
-    if (first) {
-      train = std::move(month_data);
-      first = false;
-    } else {
-      TELCO_RETURN_NOT_OK(train.Append(month_data));
-    }
-  }
-  ChurnModel model(options.model);
-  TELCO_RETURN_NOT_OK(model.Train(train));
-  const RandomForest* forest = model.forest();
-  if (forest == nullptr) {
-    return Status::Internal("CLI training currently targets the RF model");
-  }
-  TELCO_RETURN_NOT_OK(SaveRandomForest(*forest, model_path));
-  // Sidecar: the exact feature-column order the model expects.
-  std::string features;
-  for (const auto& name : train.feature_names()) features += name + "\n";
-  TELCO_RETURN_NOT_OK(WriteFileAtomic(model_path + ".features", features));
-  std::printf("trained on %zu rows x %zu features; model -> %s\n",
-              train.num_rows(), train.num_features(), model_path.c_str());
+  // Train on the window of labelled months ending at `month` and export
+  // in the serving format (model file + .features sidecar).
+  TELCO_RETURN_NOT_OK(pipeline.TrainOnly(month));
+  TELCO_RETURN_NOT_OK(pipeline.SaveModel(model_path));
+  std::printf("trained %zu-feature model; model -> %s\n",
+              pipeline.model_features().size(), model_path.c_str());
   return Status::OK();
 }
 
@@ -308,6 +291,85 @@ Status RunPredict(Flags& flags) {
     std::printf("%zu,%lld,%.6f\n", i + 1,
                 static_cast<long long>(scored[i].second),
                 scored[i].first);
+  }
+  return Status::OK();
+}
+
+// Online scoring session: NDJSON requests on stdin, NDJSON responses on
+// stdout (see src/serve/request_codec.h for the protocol). The registry
+// starts with --model published as snapshot v1; {"cmd":"swap",...} lines
+// hot-swap later versions without stopping the stream.
+Status RunServe(Flags& flags) {
+  TELCO_ASSIGN_OR_RETURN(const std::string model_path,
+                         flags.Required("model"));
+  StdioServerOptions options;
+  options.executor.max_batch_size =
+      static_cast<size_t>(flags.GetInt("batch", 64));
+  options.executor.max_queue_depth =
+      static_cast<size_t>(flags.GetInt("queue", 1024));
+  options.window = static_cast<size_t>(flags.GetInt("window", 128));
+  const int threads = static_cast<int>(flags.GetInt("threads", 0));
+  TELCO_RETURN_NOT_OK(flags.CheckAllUsed());
+
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (threads > 0) {
+    owned_pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+    options.executor.pool = owned_pool.get();
+  }
+
+  TELCO_ASSIGN_OR_RETURN(auto snapshot,
+                         ModelSnapshot::LoadFromFile(model_path));
+  SnapshotRegistry registry;
+  registry.Publish(std::move(snapshot));
+  std::fprintf(stderr,
+               "serving %s (snapshot v1, batch %zu, queue %zu); "
+               "NDJSON requests on stdin\n",
+               model_path.c_str(), options.executor.max_batch_size,
+               options.executor.max_queue_depth);
+  StdioScoringServer server(&registry, options);
+  return server.Run(std::cin, stdout);
+}
+
+// Emits a deterministic NDJSON score-request stream for one month's
+// customers — the replay-harness companion of `serve`.
+Status RunRequests(Flags& flags) {
+  Catalog catalog;
+  TELCO_RETURN_NOT_OK(LoadWarehouseFromFlag(flags, &catalog));
+  TELCO_ASSIGN_OR_RETURN(const std::string model_path,
+                         flags.Required("model"));
+  const int month = static_cast<int>(flags.GetInt("month", 0));
+  const size_t limit = static_cast<size_t>(flags.GetInt("limit", 0));
+  TELCO_RETURN_NOT_OK(flags.CheckAllUsed());
+  if (month < 1) return Status::InvalidArgument("--month must be >= 1");
+
+  std::ifstream feature_file(model_path + ".features");
+  if (!feature_file) {
+    return Status::IoError("missing sidecar " + model_path + ".features");
+  }
+  std::vector<std::string> feature_names;
+  std::string line;
+  while (std::getline(feature_file, line)) {
+    if (!line.empty()) feature_names.push_back(line);
+  }
+
+  WideTableBuilder builder(&catalog);
+  TELCO_ASSIGN_OR_RETURN(const WideTable wide, builder.Build(month));
+  TELCO_ASSIGN_OR_RETURN(
+      const Dataset data,
+      Dataset::FromTableUnlabeled(*wide.table, feature_names));
+  TELCO_ASSIGN_OR_RETURN(const Column* imsi_col,
+                         wide.table->GetColumn("imsi"));
+
+  const size_t rows =
+      limit == 0 ? data.num_rows() : std::min(limit, data.num_rows());
+  for (size_t r = 0; r < rows; ++r) {
+    ScoreRequest request;
+    request.id = r + 1;
+    request.imsi = imsi_col->GetInt64(r);
+    const auto row = data.Row(r);
+    request.features.assign(row.begin(), row.end());
+    const std::string json = FormatScoreRequest(request);
+    std::printf("%s\n", json.c_str());
   }
   return Status::OK();
 }
@@ -464,12 +526,15 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: telcochurn "
-      "<simulate|train|predict|evaluate|run|resume|metrics|fault-sites>"
-      " [flags]\n"
+      "<simulate|train|predict|serve|requests|evaluate|run|resume|"
+      "metrics|fault-sites> [flags]\n"
       "  simulate --out DIR [--customers N] [--months M] [--seed S]\n"
       "  train    --warehouse DIR --month M --model PATH\n"
       "           [--training-months K] [--trees T]\n"
       "  predict  --warehouse DIR --model PATH --month M [--top U]\n"
+      "  serve    --model PATH [--batch N] [--queue N] [--window N]\n"
+      "           [--threads N]   (NDJSON on stdin/stdout; see README)\n"
+      "  requests --warehouse DIR --model PATH --month M [--limit N]\n"
       "  evaluate --warehouse DIR --month M [--u U]\n"
       "           [--training-months K] [--trees T] [--threads N]\n"
       "           [--timings] [--trace-out PATH] [--report-out PATH]\n"
@@ -505,6 +570,10 @@ int Main(int argc, char** argv) {
     st = RunTrain(flags);
   } else if (command == "predict") {
     st = RunPredict(flags);
+  } else if (command == "serve") {
+    st = RunServe(flags);
+  } else if (command == "requests") {
+    st = RunRequests(flags);
   } else if (command == "evaluate") {
     st = RunEvaluate(flags);
   } else if (command == "run") {

@@ -82,6 +82,78 @@ void BM_RandomForestPredictBatch(benchmark::State& state) {
 BENCHMARK(BM_RandomForestPredictBatch)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// Flat-engine vs pointer-walk batch scoring (same fitted forest, same
+// FeatureMatrix, bit-identical outputs); Arg = worker threads. The
+// qualified Classifier:: call bypasses the compiled flat engine and runs
+// the per-row pointer walk the engine replaced.
+void BM_RandomForestScoreBatchPointer(benchmark::State& state) {
+  const Dataset data = SyntheticData(5000, 50, 2);
+  RandomForestOptions options;
+  options.num_trees = 50;
+  options.min_samples_split = 50;
+  RandomForest forest(options);
+  benchmark::DoNotOptimize(forest.Fit(data));
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  const FeatureMatrix rows = data.Matrix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.Classifier::PredictProbaBatch(rows, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_rows());
+}
+BENCHMARK(BM_RandomForestScoreBatchPointer)->Arg(1)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RandomForestScoreBatchFlat(benchmark::State& state) {
+  const Dataset data = SyntheticData(5000, 50, 2);
+  RandomForestOptions options;
+  options.num_trees = 50;
+  options.min_samples_split = 50;
+  RandomForest forest(options);
+  benchmark::DoNotOptimize(forest.Fit(data));
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  const FeatureMatrix rows = data.Matrix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.PredictProbaBatch(rows, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_rows());
+}
+BENCHMARK(BM_RandomForestScoreBatchFlat)->Arg(1)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GbdtScoreBatchPointer(benchmark::State& state) {
+  const Dataset data = SyntheticData(5000, 50, 3);
+  GbdtOptions options;
+  options.num_trees = 50;
+  options.max_depth = 5;
+  Gbdt model(options);
+  benchmark::DoNotOptimize(model.Fit(data));
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  const FeatureMatrix rows = data.Matrix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Classifier::PredictProbaBatch(rows, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_rows());
+}
+BENCHMARK(BM_GbdtScoreBatchPointer)->Arg(1)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GbdtScoreBatchFlat(benchmark::State& state) {
+  const Dataset data = SyntheticData(5000, 50, 3);
+  GbdtOptions options;
+  options.num_trees = 50;
+  options.max_depth = 5;
+  Gbdt model(options);
+  benchmark::DoNotOptimize(model.Fit(data));
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  const FeatureMatrix rows = data.Matrix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.PredictProbaBatch(rows, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_rows());
+}
+BENCHMARK(BM_GbdtScoreBatchFlat)->Arg(1)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 // Tree fitting across a pool; Arg = worker threads.
 void BM_RandomForestFitParallel(benchmark::State& state) {
   const Dataset data = SyntheticData(5000, 50, 1);

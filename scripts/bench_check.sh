@@ -1,0 +1,91 @@
+#!/bin/sh
+# Bench regression gate: re-runs the serve throughput bench and the
+# flat-forest batch-scoring micro benches, then fails if any throughput
+# number drops more than 10% below the committed baselines in
+# bench/baselines/. Registered in ctest under the `slow` label, so it
+# runs in the full suite and CI but stays out of `ctest -LE slow`.
+#
+# Usage: scripts/bench_check.sh [build-dir]
+# Env:   TELCO_BENCH_TOLERANCE  minimum allowed new/baseline ratio
+#                               (default 0.90 = fail beyond 10% loss).
+set -eu
+
+BUILD_DIR="${1:-build}"
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+BASELINE_DIR="$REPO_DIR/bench/baselines"
+TOLERANCE="${TELCO_BENCH_TOLERANCE:-0.90}"
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+FAIL_MARKER="$TMP_DIR/failed"
+
+# Pin the serve load so every run is comparable with the committed
+# baseline (which was generated with exactly this configuration).
+export TELCO_BENCH_SERVE_CLIENTS="${TELCO_BENCH_SERVE_CLIENTS:-2}"
+export TELCO_BENCH_SERVE_BATCH="${TELCO_BENCH_SERVE_BATCH:-32}"
+export TELCO_BENCH_SERVE_ROUNDS="${TELCO_BENCH_SERVE_ROUNDS:-4}"
+
+# compare NAME NEW BASELINE — record a failure when NEW < BASELINE*TOL.
+compare() {
+  name="$1"; new="$2"; base="$3"
+  if [ -z "$new" ] || [ -z "$base" ]; then
+    echo "FAIL $name: missing measurement (new='$new' baseline='$base')"
+    : > "$FAIL_MARKER"
+    return 0
+  fi
+  ok=$(awk -v n="$new" -v b="$base" -v t="$TOLERANCE" \
+    'BEGIN { print (n + 0 >= b * t) ? "ok" : "regressed" }')
+  ratio=$(awk -v n="$new" -v b="$base" \
+    'BEGIN { printf "%.2f", (b > 0 ? n / b : 0) }')
+  if [ "$ok" = ok ]; then
+    echo "OK   $name: $new vs baseline $base (${ratio}x)"
+  else
+    echo "FAIL $name: $new vs baseline $base (${ratio}x < $TOLERANCE)"
+    : > "$FAIL_MARKER"
+  fi
+}
+
+# Best-of-N runs: shared CI machines are noisy, and a regression gate
+# must only trip on sustained slowdowns, not a background compile. The
+# fastest of RUNS runs approximates unloaded throughput.
+RUNS="${TELCO_BENCH_RUNS:-3}"
+
+echo "== bench_serve (online scoring, best of $RUNS) =="
+serve_best=""
+i=0
+while [ "$i" -lt "$RUNS" ]; do
+  TELCO_BENCH_REPORT_DIR="$TMP_DIR" "$BUILD_DIR/bench/bench_serve" \
+    > "$TMP_DIR/serve.out" 2>&1 || { cat "$TMP_DIR/serve.out"; exit 1; }
+  tput=$(jq -r '.config.throughput_per_sec' "$TMP_DIR/BENCH_serve.json")
+  echo "  run $((i + 1)): $tput/s"
+  serve_best=$(awk -v a="${serve_best:-0}" -v b="$tput" \
+    'BEGIN { print (b + 0 > a + 0) ? b : a }')
+  i=$((i + 1))
+done
+compare "serve.throughput_per_sec" "$serve_best" \
+  "$(jq -r '.config.throughput_per_sec' "$BASELINE_DIR/BENCH_serve.json")"
+
+echo "== bench_micro_ml (flat vs pointer batch scoring, best of $RUNS) =="
+i=0
+while [ "$i" -lt "$RUNS" ]; do
+  "$BUILD_DIR/bench/bench_micro_ml" --benchmark_filter='ScoreBatch' \
+    --benchmark_format=json --benchmark_min_time=0.2 \
+    > "$TMP_DIR/micro.$i.json" 2> "$TMP_DIR/micro.err" \
+    || { cat "$TMP_DIR/micro.err"; exit 1; }
+  i=$((i + 1))
+done
+for name in $(jq -r '.benchmarks[].name' "$BASELINE_DIR/BENCH_micro_ml.json"); do
+  new_ips=$(jq -rs --arg n "$name" \
+    '[.[].benchmarks[] | select(.name == $n) | .items_per_second] | max' \
+    "$TMP_DIR"/micro.*.json)
+  base_ips=$(jq -r --arg n "$name" \
+    '.benchmarks[] | select(.name == $n) | .items_per_second' \
+    "$BASELINE_DIR/BENCH_micro_ml.json")
+  compare "$name" "$new_ips" "$base_ips"
+done
+
+if [ -e "$FAIL_MARKER" ]; then
+  echo "bench_check: throughput regression detected (>10% below baseline)"
+  exit 1
+fi
+echo "bench_check: all throughput numbers within tolerance"

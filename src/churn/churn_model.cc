@@ -1,5 +1,7 @@
 #include "churn/churn_model.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/thread_pool.h"
 
@@ -108,12 +110,17 @@ std::vector<double> ChurnModel::ScoreAll(const Dataset& data) const {
   // scores are bit-identical to the serial Score loop.
   ThreadPool* pool =
       options_.pool != nullptr ? options_.pool : &ThreadPool::Default();
-  if (!encoder_) return classifier_->PredictProbaBatch(data, pool);
-  std::vector<double> out(data.num_rows());
+  if (!encoder_) return classifier_->PredictProbaBatch(data.Matrix(), pool);
+  // Linear models: one-hot encode every row into a contiguous matrix,
+  // then score through the same batch entry point as the tree models.
+  const size_t cols = encoder_->EncodedWidth();
+  std::vector<double> encoded(data.num_rows() * cols);
   pool->ParallelFor(0, data.num_rows(), [&](size_t i) {
-    out[i] = classifier_->PredictProba(encoder_->TransformRow(data.Row(i)));
+    const std::vector<double> row = encoder_->TransformRow(data.Row(i));
+    std::copy(row.begin(), row.end(), encoded.begin() + i * cols);
   });
-  return out;
+  return classifier_->PredictProbaBatch(
+      FeatureMatrix(encoded.data(), data.num_rows(), cols), pool);
 }
 
 std::vector<ScoredInstance> ChurnModel::ScoreLabeled(

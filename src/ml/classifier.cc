@@ -4,21 +4,23 @@
 
 namespace telco {
 
-std::vector<double> Classifier::PredictProbaBatch(const Dataset& data,
+std::vector<double> Classifier::PredictProbaBatch(FeatureMatrix rows,
                                                   ThreadPool* pool) const {
-  std::vector<double> out(data.num_rows(), 0.0);
-  RunParallelFor(pool, 0, data.num_rows(),
-                 [&](size_t i) { out[i] = PredictProba(data.Row(i)); });
+  std::vector<double> out(rows.num_rows(), 0.0);
+  RunParallelFor(pool, 0, rows.num_rows(),
+                 [&](size_t i) { out[i] = PredictProba(rows.Row(i)); });
   return out;
 }
 
 std::vector<ScoredInstance> ScoreDataset(const Classifier& model,
-                                         const Dataset& data) {
+                                         const Dataset& data,
+                                         ThreadPool* pool) {
+  const std::vector<double> scores =
+      model.PredictProbaBatch(data.Matrix(), pool);
   std::vector<ScoredInstance> out;
   out.reserve(data.num_rows());
   for (size_t i = 0; i < data.num_rows(); ++i) {
-    out.push_back(
-        ScoredInstance{model.PredictProba(data.Row(i)), data.label(i) == 1});
+    out.push_back(ScoredInstance{scores[i], data.label(i) == 1});
   }
   return out;
 }

@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "ml/dataset.h"
+#include "ml/feature_matrix.h"
 #include "ml/metrics.h"
 
 namespace telco {
@@ -34,11 +35,20 @@ class Classifier {
   /// Probability that `row` belongs to class 1.
   virtual double PredictProba(std::span<const double> row) const = 0;
 
-  /// Class-1 probabilities of every row. Rows are chunked across `pool`
-  /// (null = serial); each row is scored entirely by one thread, so the
-  /// result is bit-identical to the serial loop for any thread count.
-  virtual std::vector<double> PredictProbaBatch(const Dataset& data,
+  /// THE batch entry point: class-1 probabilities of every row of
+  /// `rows`. Rows are chunked across `pool` (null = serial); each row is
+  /// scored entirely by one thread, so the result is bit-identical to
+  /// the serial PredictProba loop for any thread count. Overrides (the
+  /// tree ensembles route through the compiled flat-forest engine) must
+  /// preserve that bit-exactness.
+  virtual std::vector<double> PredictProbaBatch(FeatureMatrix rows,
                                                 ThreadPool* pool) const;
+
+  /// Thin wrapper: scores the dataset's contiguous design matrix.
+  std::vector<double> PredictProbaBatch(const Dataset& data,
+                                        ThreadPool* pool) const {
+    return PredictProbaBatch(data.Matrix(), pool);
+  }
 
   /// Full class distribution; the default wraps the binary case.
   virtual std::vector<double> PredictClassProba(
@@ -52,9 +62,11 @@ class Classifier {
 };
 
 /// \brief Scores every row of `data`, pairing the class-1 probability with
-/// the true label — the input format of the Section 5.1 metrics.
+/// the true label — the input format of the Section 5.1 metrics. A thin
+/// wrapper over PredictProbaBatch (null pool = serial).
 std::vector<ScoredInstance> ScoreDataset(const Classifier& model,
-                                         const Dataset& data);
+                                         const Dataset& data,
+                                         ThreadPool* pool = nullptr);
 
 }  // namespace telco
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "ml/feature_matrix.h"
 #include "storage/table.h"
 
 namespace telco {
@@ -49,6 +50,12 @@ class Dataset {
   std::span<const double> Row(size_t i) const {
     return std::span<const double>(data_.data() + i * num_features(),
                                    num_features());
+  }
+
+  /// Non-owning view of the whole design matrix (the batch-scoring
+  /// input; valid until the next AddRow/Append or destruction).
+  FeatureMatrix Matrix() const {
+    return FeatureMatrix(data_.data(), num_rows(), num_features());
   }
 
   int label(size_t i) const { return labels_[i]; }

@@ -378,6 +378,15 @@ size_t RegressionTree::BuildNode(const BinnedDataset& binned,
   return node_id;
 }
 
+void RegressionTree::Export(std::vector<SerializedNode>* nodes) const {
+  nodes->clear();
+  nodes->reserve(nodes_.size());
+  for (const Node& n : nodes_) {
+    nodes->push_back(
+        SerializedNode{n.feature, n.threshold, n.left, n.right, n.value});
+  }
+}
+
 double RegressionTree::Predict(std::span<const double> row) const {
   TELCO_DCHECK(!nodes_.empty());
   size_t id = 0;

@@ -113,6 +113,19 @@ class RegressionTree {
 
   size_t num_nodes() const { return nodes_.size(); }
 
+  /// Flat node mirror (leaf: feature == -1, `value` is the leaf value) —
+  /// the input of the flat-forest compiler.
+  struct SerializedNode {
+    int32_t feature = -1;
+    double threshold = 0.0;
+    int32_t left = -1;
+    int32_t right = -1;
+    double value = 0.0;
+  };
+
+  /// Dumps the fitted tree into flat arrays.
+  void Export(std::vector<SerializedNode>* nodes) const;
+
  private:
   struct Node {
     int32_t feature = -1;

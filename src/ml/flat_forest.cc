@@ -1,0 +1,198 @@
+#include "ml/flat_forest.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/timer.h"
+#include "common/thread_pool.h"
+
+namespace telco {
+
+namespace {
+
+struct FlatForestMetrics {
+  Histogram compile_seconds;
+  Counter nodes;
+  Counter batch_rows;
+};
+
+const FlatForestMetrics& Metrics() {
+  static const FlatForestMetrics* const m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    return new FlatForestMetrics{
+        r.GetHistogram("ml.flat_forest.compile_seconds"),
+        r.GetCounter("ml.flat_forest.nodes"),
+        r.GetCounter("ml.flat_forest.batch_rows"),
+    };
+  }();
+  return *m;
+}
+
+}  // namespace
+
+template <typename SrcNode, typename LeafValueFn>
+Status FlatForest::FlattenTree(const std::vector<SrcNode>& src,
+                               const LeafValueFn& leaf_value) {
+  if (src.empty()) {
+    return Status::InvalidArgument("cannot compile an empty tree");
+  }
+  roots_.push_back(static_cast<uint32_t>(nodes_.size()));
+  // Preorder DFS with an explicit stack: (source node, flat index of the
+  // parent whose right_delta this node resolves; -1 = a left child or
+  // the root, which is always adjacent to its parent).
+  std::vector<std::pair<int32_t, int64_t>> stack;
+  stack.emplace_back(0, -1);
+  size_t emitted = 0;
+  while (!stack.empty()) {
+    const auto [src_id, patch] = stack.back();
+    stack.pop_back();
+    if (src_id < 0 || static_cast<size_t>(src_id) >= src.size()) {
+      return Status::InvalidArgument("tree child index out of range");
+    }
+    if (++emitted > src.size()) {
+      return Status::InvalidArgument("tree topology has a cycle");
+    }
+    const int64_t flat = static_cast<int64_t>(nodes_.size());
+    if (patch >= 0) {
+      nodes_[patch].right_delta = static_cast<int32_t>(flat - patch);
+    }
+    const SrcNode& n = src[src_id];
+    Node out;
+    if (n.feature < 0) {
+      if (leaf_values_.size() >=
+          static_cast<size_t>(std::numeric_limits<int32_t>::max())) {
+        return Status::InvalidArgument("forest exceeds 2^31 leaves");
+      }
+      out.feature = -1;
+      out.right_delta = static_cast<int32_t>(leaf_values_.size());
+      leaf_values_.push_back(leaf_value(n));
+    } else {
+      out.threshold = n.threshold;
+      out.feature = n.feature;
+      // Right is pushed first so the left subtree pops (and is emitted
+      // adjacent) first; right_delta is patched when the right pops.
+      stack.emplace_back(n.right, flat);
+      stack.emplace_back(n.left, -1);
+    }
+    nodes_.push_back(out);
+    if (nodes_.size() >=
+        static_cast<size_t>(std::numeric_limits<int32_t>::max())) {
+      return Status::InvalidArgument("forest exceeds 2^31 nodes");
+    }
+  }
+  return Status::OK();
+}
+
+Result<FlatForest> FlatForest::CompileAverage(
+    const std::vector<ClassificationTree>& trees) {
+  if (trees.empty()) {
+    return Status::InvalidArgument("cannot compile an empty forest");
+  }
+  Stopwatch watch;
+  FlatForest flat;
+  flat.kind_ = Kind::kAverage;
+  std::vector<ClassificationTree::SerializedNode> src;
+  std::vector<double> leaf_proba;
+  for (const ClassificationTree& tree : trees) {
+    tree.Export(&src, &leaf_proba);
+    // A leaf's contribution is its class-1 probability — the exact
+    // double PredictProba(row)[1] returns.
+    TELCO_RETURN_NOT_OK(flat.FlattenTree(
+        src, [&leaf_proba](const ClassificationTree::SerializedNode& n) {
+          return leaf_proba[static_cast<size_t>(n.proba_offset) + 1];
+        }));
+  }
+  Metrics().nodes.Add(flat.nodes_.size());
+  Metrics().compile_seconds.Observe(watch.ElapsedSeconds());
+  return flat;
+}
+
+Result<FlatForest> FlatForest::CompileMargin(
+    const std::vector<RegressionTree>& trees, double base_margin,
+    double learning_rate) {
+  if (trees.empty()) {
+    return Status::InvalidArgument("cannot compile an empty forest");
+  }
+  Stopwatch watch;
+  FlatForest flat;
+  flat.kind_ = Kind::kMargin;
+  flat.base_margin_ = base_margin;
+  flat.learning_rate_ = learning_rate;
+  std::vector<RegressionTree::SerializedNode> src;
+  for (const RegressionTree& tree : trees) {
+    tree.Export(&src);
+    TELCO_RETURN_NOT_OK(flat.FlattenTree(
+        src,
+        [](const RegressionTree::SerializedNode& n) { return n.value; }));
+  }
+  Metrics().nodes.Add(flat.nodes_.size());
+  Metrics().compile_seconds.Observe(watch.ElapsedSeconds());
+  return flat;
+}
+
+void FlatForest::ScoreBlock(FeatureMatrix rows, size_t lo, size_t hi,
+                            double* out) const {
+  const size_t cols = rows.num_cols();
+  const double* const base = rows.data() + lo * cols;
+  const size_t n = hi - lo;
+  double acc[kBlockRows];
+  const double init = kind_ == Kind::kMargin ? base_margin_ : 0.0;
+  for (size_t r = 0; r < n; ++r) acc[r] = init;
+
+  // Tree-major: one tree's nodes stay hot while every row of the block
+  // walks it; per-row accumulation still happens in tree order, so the
+  // arithmetic matches the pointer walk exactly.
+  const Node* const arena = nodes_.data();
+  for (const uint32_t root : roots_) {
+    const Node* const tree = arena + root;
+    for (size_t r = 0; r < n; ++r) {
+      const double* const row = base + r * cols;
+      const Node* node = tree;
+      while (node->feature >= 0) {
+        // NaN compares false and falls right, like the pointer walk.
+        node += row[node->feature] <= node->threshold ? 1
+                                                      : node->right_delta;
+      }
+      const double leaf = leaf_values_[node->right_delta];
+      acc[r] += kind_ == Kind::kMargin ? learning_rate_ * leaf : leaf;
+    }
+  }
+
+  if (kind_ == Kind::kAverage) {
+    const double divisor = static_cast<double>(roots_.size());
+    for (size_t r = 0; r < n; ++r) out[lo + r] = acc[r] / divisor;
+  } else {
+    for (size_t r = 0; r < n; ++r) out[lo + r] = Sigmoid(acc[r]);
+  }
+}
+
+void FlatForest::PredictProbaInto(FeatureMatrix rows, std::span<double> out,
+                                  ThreadPool* pool) const {
+  TELCO_CHECK(out.size() == rows.num_rows());
+  TELCO_DCHECK(!roots_.empty());
+  if (rows.empty()) return;
+  Metrics().batch_rows.Add(rows.num_rows());
+  // One chunk per block keeps the grid independent of the pool size;
+  // rows are scored whole, so any grid gives bit-identical output.
+  const size_t num_blocks = (rows.num_rows() + kBlockRows - 1) / kBlockRows;
+  RunParallelChunks(pool, 0, rows.num_rows(), num_blocks,
+                    [&](size_t, size_t lo, size_t hi) {
+                      for (size_t b = lo; b < hi; b += kBlockRows) {
+                        ScoreBlock(rows, b, std::min(b + kBlockRows, hi),
+                                   out.data());
+                      }
+                    });
+}
+
+std::vector<double> FlatForest::PredictProba(FeatureMatrix rows,
+                                             ThreadPool* pool) const {
+  std::vector<double> out(rows.num_rows(), 0.0);
+  PredictProbaInto(rows, out, pool);
+  return out;
+}
+
+}  // namespace telco

@@ -1,0 +1,106 @@
+// FlatForest: a contiguous structure-of-arrays inference engine compiled
+// from a fitted tree ensemble.
+//
+// The pointer-walk prediction path (ClassificationTree::PredictProba /
+// RegressionTree::Predict) chases 40-byte nodes scattered across one
+// heap allocation per tree; at serving scale (~2.1M customers scored per
+// month, paper §5) that cache-miss chain is the dominant cost. The
+// compiler re-lays every tree into one arena of 16-byte nodes
+// {threshold, feature, right_delta} in DFS preorder — the left child is
+// always the next node, the right child sits at `right_delta` nodes
+// ahead, and a leaf (feature == -1) stores the index of its contribution
+// in a separate value table. Traversal is block-at-a-time: each thread
+// scores up to kBlockRows rows against all trees tree-major, so the
+// arena stays cache-resident while a block's rows reuse it.
+//
+// Scores are bit-identical to the pointer walk for any batch size and
+// thread count: the compiler copies thresholds and leaf contributions
+// verbatim, traversal applies the same `row[feature] <= threshold`
+// double comparison (NaN features fall right in both paths), and each
+// row accumulates its per-tree contributions in tree order with exactly
+// the arithmetic of the pointer path (RF: sum then divide by tree count;
+// GBDT: base margin plus learning-rate-scaled leaf values, then the
+// shared Sigmoid). See DESIGN.md §10.
+
+#ifndef TELCO_ML_FLAT_FOREST_H_
+#define TELCO_ML_FLAT_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/decision_tree.h"
+#include "ml/feature_matrix.h"
+
+namespace telco {
+
+class ThreadPool;
+
+/// \brief Immutable compiled ensemble scorer (class-1 probabilities).
+class FlatForest {
+ public:
+  /// Rows scored per block; one block is walked tree-major by one thread.
+  static constexpr size_t kBlockRows = 64;
+
+  /// Compiles a random forest's trees: a leaf contributes its class-1
+  /// probability and the row score is the tree average (RandomForest's
+  /// PredictProba arithmetic, Eq. 4).
+  static Result<FlatForest> CompileAverage(
+      const std::vector<ClassificationTree>& trees);
+
+  /// Compiles a GBDT's regression trees: a leaf contributes its value
+  /// scaled by `learning_rate` and the row score is
+  /// Sigmoid(base_margin + sum of contributions) (Gbdt's PredictProba
+  /// arithmetic).
+  static Result<FlatForest> CompileMargin(
+      const std::vector<RegressionTree>& trees, double base_margin,
+      double learning_rate);
+
+  /// Class-1 probability of every row, chunked across `pool` (null =
+  /// serial). Each row is scored entirely by one thread, so the result
+  /// is bit-identical for any thread count.
+  std::vector<double> PredictProba(FeatureMatrix rows,
+                                   ThreadPool* pool) const;
+
+  /// Same, writing into `out` (out.size() == rows.num_rows()).
+  void PredictProbaInto(FeatureMatrix rows, std::span<double> out,
+                        ThreadPool* pool) const;
+
+  size_t num_trees() const { return roots_.size(); }
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  enum class Kind {
+    kAverage,  // score = sum(leaf values) / num_trees
+    kMargin,   // score = Sigmoid(base + sum(rate * leaf values))
+  };
+
+  // 16 bytes; four nodes per cache line vs one-and-a-half pointer nodes.
+  struct Node {
+    double threshold = 0.0;
+    int32_t feature = -1;   // -1 = leaf: right_delta indexes leaf_values_
+    int32_t right_delta = 0;  // right child at (this + right_delta)
+  };
+
+  FlatForest() = default;
+
+  // Appends one tree in DFS preorder; `src` is Export output, `values`
+  // maps a source leaf to its contribution.
+  template <typename SrcNode, typename LeafValueFn>
+  Status FlattenTree(const std::vector<SrcNode>& src,
+                     const LeafValueFn& leaf_value);
+
+  void ScoreBlock(FeatureMatrix rows, size_t lo, size_t hi,
+                  double* out) const;
+
+  std::vector<Node> nodes_;       // all trees, DFS order, back to back
+  std::vector<uint32_t> roots_;   // index of each tree's root in nodes_
+  std::vector<double> leaf_values_;
+  Kind kind_ = Kind::kAverage;
+  double base_margin_ = 0.0;
+  double learning_rate_ = 1.0;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_ML_FLAT_FOREST_H_

@@ -91,7 +91,18 @@ Status Gbdt::Fit(const Dataset& data) {
     nodes_total.Add(tree.num_nodes());
     trees_.push_back(std::move(tree));
   }
+  TELCO_ASSIGN_OR_RETURN(
+      FlatForest flat,
+      FlatForest::CompileMargin(trees_, base_margin_,
+                                options_.learning_rate));
+  flat_ = std::make_shared<const FlatForest>(std::move(flat));
   return Status::OK();
+}
+
+std::vector<double> Gbdt::PredictProbaBatch(FeatureMatrix rows,
+                                            ThreadPool* pool) const {
+  if (flat_ == nullptr) return Classifier::PredictProbaBatch(rows, pool);
+  return flat_->PredictProba(rows, pool);
 }
 
 double Gbdt::PredictMargin(std::span<const double> row) const {

@@ -10,6 +10,7 @@
 
 #include "ml/classifier.h"
 #include "ml/decision_tree.h"
+#include "ml/flat_forest.h"
 
 namespace telco {
 
@@ -34,9 +35,18 @@ class Gbdt final : public Classifier {
 
   Status Fit(const Dataset& data) override;
   double PredictProba(std::span<const double> row) const override;
+  /// Batch scoring through the compiled flat-forest engine —
+  /// bit-identical to the per-row pointer walk, much faster.
+  std::vector<double> PredictProbaBatch(FeatureMatrix rows,
+                                        ThreadPool* pool) const override;
+  using Classifier::PredictProbaBatch;
   std::string name() const override { return "GBDT"; }
 
   size_t num_trees() const { return trees_.size(); }
+  const std::vector<RegressionTree>& trees() const { return trees_; }
+  double base_margin() const { return base_margin_; }
+  /// The compiled inference engine (null only before a successful fit).
+  const FlatForest* flat() const { return flat_.get(); }
 
  private:
   double PredictMargin(std::span<const double> row) const;
@@ -44,6 +54,8 @@ class Gbdt final : public Classifier {
   GbdtOptions options_;
   double base_margin_ = 0.0;
   std::vector<RegressionTree> trees_;
+  // Shared so copies of a fitted model reuse one compiled arena.
+  std::shared_ptr<const FlatForest> flat_;
 };
 
 }  // namespace telco

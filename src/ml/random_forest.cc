@@ -86,6 +86,8 @@ Status RandomForest::Fit(const Dataset& data) {
     for (size_t t = 0; t < trees_.size(); ++t) fit_tree(t);
   }
   TELCO_RETURN_NOT_OK(first_error);
+  TELCO_ASSIGN_OR_RETURN(FlatForest flat, FlatForest::CompileAverage(trees_));
+  flat_ = std::make_shared<const FlatForest>(std::move(flat));
 
   // Aggregate Eq. (7) importance across trees and normalise to sum 1.
   importance_.assign(data.num_features(), 0.0);
@@ -107,6 +109,12 @@ double RandomForest::PredictProba(std::span<const double> row) const {
     total += tree.PredictProba(row)[1];
   }
   return total / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::PredictProbaBatch(FeatureMatrix rows,
+                                                    ThreadPool* pool) const {
+  if (flat_ == nullptr) return Classifier::PredictProbaBatch(rows, pool);
+  return flat_->PredictProba(rows, pool);
 }
 
 std::vector<double> RandomForest::PredictClassProba(
@@ -136,6 +144,9 @@ Result<RandomForest> RandomForest::FromParts(
   forest.num_classes_ = num_classes;
   forest.trees_ = std::move(trees);
   forest.importance_ = std::move(importance);
+  TELCO_ASSIGN_OR_RETURN(FlatForest flat,
+                         FlatForest::CompileAverage(forest.trees_));
+  forest.flat_ = std::make_shared<const FlatForest>(std::move(flat));
   return forest;
 }
 

@@ -87,9 +87,14 @@ double ModelSnapshot::Score(std::span<const double> row) const {
   return forest_.PredictProba(row);
 }
 
-std::vector<double> ModelSnapshot::ScoreBatch(const Dataset& rows,
+std::vector<double> ModelSnapshot::ScoreBatch(FeatureMatrix rows,
                                               ThreadPool* pool) const {
   return forest_.PredictProbaBatch(rows, pool);
+}
+
+std::vector<double> ModelSnapshot::ScoreBatch(const Dataset& rows,
+                                              ThreadPool* pool) const {
+  return ScoreBatch(rows.Matrix(), pool);
 }
 
 }  // namespace telco

@@ -62,9 +62,13 @@ class ModelSnapshot {
   /// Churn likelihood of one feature row (row.size() == num_features()).
   double Score(std::span<const double> row) const;
 
-  /// Batch scoring through the same parallel row-wise path the offline
-  /// pipeline uses (Classifier::PredictProbaBatch), so online scores are
-  /// bit-identical to offline ones for any batch split or thread count.
+  /// Batch scoring through the same entry point the offline pipeline
+  /// uses (Classifier::PredictProbaBatch, i.e. the compiled flat-forest
+  /// engine), so online scores are bit-identical to offline ones for any
+  /// batch split or thread count.
+  std::vector<double> ScoreBatch(FeatureMatrix rows, ThreadPool* pool) const;
+
+  /// Thin wrapper over the FeatureMatrix overload.
   std::vector<double> ScoreBatch(const Dataset& rows,
                                  ThreadPool* pool) const;
 

@@ -55,22 +55,12 @@ ScoringExecutor::~ScoringExecutor() { Shutdown(); }
 
 Result<std::future<ScoreOutcome>> ScoringExecutor::Submit(
     ScoreRequest request) {
-  // Validate against the current snapshot before paying for a queue slot.
-  // The batch revalidates against *its* snapshot: a swap between here and
-  // dispatch could change the expected width.
-  const SnapshotRef ref = registry_->Acquire();
-  if (ref.snapshot == nullptr) {
-    return Status::InvalidArgument(
-        "no model snapshot published; publish one before scoring");
-  }
-  if (request.features.size() != ref.snapshot->num_features()) {
-    return Status::InvalidArgument(StrFormat(
-        "request %llu has %zu features; snapshot v%llu expects %zu",
-        static_cast<unsigned long long>(request.id), request.features.size(),
-        static_cast<unsigned long long>(ref.version),
-        ref.snapshot->num_features()));
-  }
-
+  // No schema validation here: checking the row width against the
+  // *current* snapshot would race with a concurrent hot swap (the batch
+  // may score against a different snapshot than Submit saw). The
+  // authoritative width check happens at batch dispatch, against the
+  // snapshot the batch actually acquired; a mismatch fails that
+  // request's outcome, never the whole batch.
   Pending pending;
   pending.request = std::move(request);
   pending.enqueued = std::chrono::steady_clock::now();
@@ -163,25 +153,29 @@ void ScoringExecutor::ScoreBatch(std::vector<Pending> batch) {
   if (ref.snapshot == nullptr) {
     for (Pending& pending : batch) {
       finish(pending,
-             ScoreOutcome{Status::Internal("snapshot vanished mid-flight"),
+             ScoreOutcome{Status::InvalidArgument(
+                              "no model snapshot published; publish one "
+                              "before scoring"),
                           0.0, 0, 0});
     }
     return;
   }
 
-  // Rows whose width matches the batch snapshot go through the batch
-  // path; mismatches (a swap changed the schema after Submit validated)
-  // fail individually without poisoning the batch.
-  Dataset rows{std::vector<std::string>(ref.snapshot->feature_names())};
+  // The authoritative schema check: rows whose width matches the batch
+  // snapshot are packed into one contiguous FeatureMatrix; mismatches
+  // (the request was built for a different snapshot than this batch
+  // acquired) fail individually without poisoning the batch.
+  FeatureMatrixBuffer rows(ref.snapshot->num_features());
+  rows.Reserve(batch.size());
   std::vector<size_t> row_of_pending(batch.size(), SIZE_MAX);
   for (size_t i = 0; i < batch.size(); ++i) {
     if (batch[i].request.features.size() == ref.snapshot->num_features()) {
       row_of_pending[i] = rows.num_rows();
-      rows.AddRow(batch[i].request.features, 0);
+      rows.AddRow(batch[i].request.features);
     }
   }
   const std::vector<double> scores =
-      ref.snapshot->ScoreBatch(rows, options_.pool);
+      ref.snapshot->ScoreBatch(rows.matrix(), options_.pool);
 
   for (size_t i = 0; i < batch.size(); ++i) {
     if (row_of_pending[i] == SIZE_MAX) {

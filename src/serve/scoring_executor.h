@@ -4,11 +4,16 @@
 // admission queue (rejecting with a retry hint when full — backpressure,
 // never unbounded memory); a dispatcher thread coalesces queued requests
 // into batches of at most max_batch_size, acquires the current snapshot
-// ONCE per batch from the SnapshotRegistry, and scores the batch through
-// the same parallel row-wise path the offline pipeline uses. One snapshot
-// per batch means a concurrent hot-swap can never produce a torn batch:
-// every response reports the snapshot version that scored it, and its
-// score is bit-identical to that snapshot's offline prediction.
+// ONCE per batch from the SnapshotRegistry, packs the rows into one
+// contiguous FeatureMatrix and scores it through the same batch entry
+// point the offline pipeline uses (Classifier::PredictProbaBatch — the
+// compiled flat-forest engine). One snapshot per batch means a
+// concurrent hot-swap can never produce a torn batch: every response
+// reports the snapshot version that scored it, and its score is
+// bit-identical to that snapshot's offline prediction. Schema (row
+// width) validation happens ONLY at batch dispatch, against the
+// snapshot the batch acquired — a submit-time check would race with a
+// concurrent hot swap.
 //
 // Telemetry (PR-3 registry): serve.executor.requests / rejected /
 // batches counters, serve.executor.batch_size and
@@ -74,9 +79,12 @@ class ScoringExecutor {
   ScoringExecutor& operator=(const ScoringExecutor&) = delete;
 
   /// Enqueues a request. Fails fast with Unavailable ("... retry") when
-  /// the admission queue is full — the caller should drain a response and
-  /// resubmit — and with InvalidArgument when the row width does not
-  /// match the current snapshot (or nothing is published yet).
+  /// the admission queue is full — the caller should drain a response
+  /// and resubmit. Schema problems (wrong row width, nothing published
+  /// yet) are reported on the returned outcome, judged against the
+  /// snapshot the request's batch actually scored with — never against
+  /// the snapshot current at submit time, which a hot swap may replace
+  /// before dispatch.
   Result<std::future<ScoreOutcome>> Submit(ScoreRequest request);
 
   /// Blocks until every accepted request has completed.

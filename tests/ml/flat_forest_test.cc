@@ -1,0 +1,271 @@
+// Flat-forest parity suite: the compiled engine must be bit-identical to
+// the pointer-walk prediction path — for fitted RF and GBDT ensembles,
+// for any batch size and thread count, and on adversarial inputs (NaN
+// features, +/-inf and denormal thresholds, single-node trees, empty
+// batches). Equality is asserted on the double's bit pattern, not an
+// epsilon.
+
+#include "ml/flat_forest.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+#include "ml_test_util.h"
+
+namespace telco {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kDenormal = std::numeric_limits<double>::denorm_min();
+
+// Bitwise equality: catches -0.0 vs 0.0 and distinguishes NaN payloads,
+// which EXPECT_DOUBLE_EQ (and even ==) would not.
+void ExpectBitEqual(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(a[i]), std::bit_cast<uint64_t>(b[i]))
+        << "row " << i << ": flat " << a[i] << " vs pointer " << b[i];
+  }
+}
+
+std::vector<double> PointerWalk(const Classifier& model,
+                                const FeatureMatrix& rows) {
+  std::vector<double> out;
+  out.reserve(rows.num_rows());
+  for (size_t i = 0; i < rows.num_rows(); ++i) {
+    out.push_back(model.PredictProba(rows.Row(i)));
+  }
+  return out;
+}
+
+TEST(FeatureMatrixTest, ViewsDatasetRowsInPlace) {
+  const Dataset data = ml_testing::LinearlySeparable(17, 901);
+  const FeatureMatrix m = data.Matrix();
+  ASSERT_EQ(m.num_rows(), data.num_rows());
+  ASSERT_EQ(m.num_cols(), data.num_features());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto row = data.Row(i);
+    const auto view = m.Row(i);
+    ASSERT_EQ(view.data(), row.data()) << "Matrix() must not copy";
+    for (size_t j = 0; j < row.size(); ++j) {
+      EXPECT_EQ(m.At(i, j), row[j]);
+    }
+  }
+}
+
+TEST(FeatureMatrixTest, BufferPacksRowsContiguously) {
+  FeatureMatrixBuffer buffer(3);
+  buffer.Reserve(2);
+  const std::vector<double> r0{1.0, 2.0, 3.0};
+  const std::vector<double> r1{-0.0, kNaN, kInf};
+  buffer.AddRow(r0);
+  buffer.AddRow(r1);
+  const FeatureMatrix m = buffer.matrix();
+  ASSERT_EQ(m.num_rows(), 2u);
+  ASSERT_EQ(m.num_cols(), 3u);
+  EXPECT_EQ(m.Row(1).data(), m.Row(0).data() + 3);
+  EXPECT_EQ(m.At(0, 1), 2.0);
+  EXPECT_EQ(std::bit_cast<uint64_t>(m.At(1, 0)),
+            std::bit_cast<uint64_t>(-0.0));
+  EXPECT_TRUE(std::isnan(m.At(1, 1)));
+  EXPECT_EQ(m.At(1, 2), kInf);
+}
+
+TEST(FeatureMatrixTest, EmptyMatrix) {
+  const FeatureMatrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.num_rows(), 0u);
+  FeatureMatrixBuffer buffer(4);
+  EXPECT_EQ(buffer.matrix().num_rows(), 0u);
+}
+
+TEST(FlatForestTest, RandomForestParityAcrossBatchSizesAndThreads) {
+  const Dataset train = ml_testing::LinearlySeparable(600, 902);
+  RandomForestOptions options;
+  options.num_trees = 31;
+  options.min_samples_split = 20;
+  RandomForest forest(options);
+  ASSERT_TRUE(forest.Fit(train).ok());
+  ASSERT_NE(forest.flat(), nullptr);
+  EXPECT_EQ(forest.flat()->num_trees(), forest.num_trees());
+
+  ThreadPool pool1(1);
+  ThreadPool pool3(3);
+  for (const size_t n : {size_t{1}, size_t{63}, size_t{64}, size_t{65},
+                         size_t{200}, size_t{600}}) {
+    const Dataset rows = ml_testing::LinearlySeparable(n, 903 + n);
+    const std::vector<double> expect = PointerWalk(forest, rows.Matrix());
+    ExpectBitEqual(forest.PredictProbaBatch(rows.Matrix(), nullptr), expect);
+    ExpectBitEqual(forest.PredictProbaBatch(rows.Matrix(), &pool1), expect);
+    ExpectBitEqual(forest.PredictProbaBatch(rows.Matrix(), &pool3), expect);
+  }
+}
+
+TEST(FlatForestTest, GbdtParityAcrossBatchSizesAndThreads) {
+  const Dataset train = ml_testing::XorDataset(500, 904);
+  GbdtOptions options;
+  options.num_trees = 25;
+  options.max_depth = 4;
+  options.min_samples_split = 10;
+  options.subsample = 0.8;
+  Gbdt model(options);
+  ASSERT_TRUE(model.Fit(train).ok());
+  ASSERT_NE(model.flat(), nullptr);
+  EXPECT_EQ(model.flat()->num_trees(), model.num_trees());
+
+  ThreadPool pool3(3);
+  for (const size_t n : {size_t{1}, size_t{64}, size_t{129}, size_t{400}}) {
+    const Dataset rows = ml_testing::XorDataset(n, 905 + n);
+    const std::vector<double> expect = PointerWalk(model, rows.Matrix());
+    ExpectBitEqual(model.PredictProbaBatch(rows.Matrix(), nullptr), expect);
+    ExpectBitEqual(model.PredictProbaBatch(rows.Matrix(), &pool3), expect);
+  }
+}
+
+TEST(FlatForestTest, EmptyBatchScoresNothing) {
+  const Dataset train = ml_testing::LinearlySeparable(300, 906);
+  RandomForestOptions options;
+  options.num_trees = 5;
+  options.min_samples_split = 20;
+  RandomForest forest(options);
+  ASSERT_TRUE(forest.Fit(train).ok());
+  const FeatureMatrix empty(nullptr, 0, train.num_features());
+  EXPECT_TRUE(forest.PredictProbaBatch(empty, nullptr).empty());
+  ThreadPool pool(2);
+  EXPECT_TRUE(forest.PredictProbaBatch(empty, &pool).empty());
+}
+
+// Hand-built forest exercising every adversarial threshold/topology the
+// traversal can meet: +/-inf and denormal thresholds, a single-node
+// (root = leaf) tree, and asymmetric subtrees. Import gives us exact
+// control over every stored double.
+RandomForest AdversarialForest() {
+  using Node = ClassificationTree::SerializedNode;
+  std::vector<ClassificationTree> trees;
+
+  // Tree 0: single node — the root is a leaf.
+  {
+    const std::vector<Node> nodes{{-1, 0.0, -1, -1, 0}};
+    auto tree = ClassificationTree::Import(nodes, {0.25, 0.75}, 2);
+    EXPECT_TRUE(tree.ok());
+    trees.push_back(std::move(*tree));
+  }
+  // Tree 1: root split on f0 at +inf (everything finite and +inf goes
+  // left; only NaN falls right), left child splits f1 at a denormal.
+  {
+    const std::vector<Node> nodes{
+        {0, kInf, 1, 4, -1},        // root
+        {1, kDenormal, 2, 3, -1},   // left: f1 <= denorm_min ?
+        {-1, 0.0, -1, -1, 0},       // left-left
+        {-1, 0.0, -1, -1, 2},       // left-right
+        {-1, 0.0, -1, -1, 4},       // right (NaN f0 lands here)
+    };
+    auto tree = ClassificationTree::Import(
+        nodes, {0.9, 0.1, 0.6, 0.4, 0.125, 0.875}, 2);
+    EXPECT_TRUE(tree.ok());
+    trees.push_back(std::move(*tree));
+  }
+  // Tree 2: root split on f2 at -inf — only f2 == -inf goes left; NaN
+  // and everything else falls right into a deeper subtree.
+  {
+    const std::vector<Node> nodes{
+        {2, -kInf, 1, 2, -1},        // root
+        {-1, 0.0, -1, -1, 0},        // left: f2 == -inf
+        {1, -0.0, 3, 4, -1},         // right: f1 <= -0.0 (0.0 goes left)
+        {-1, 0.0, -1, -1, 2},
+        {-1, 0.0, -1, -1, 4},
+    };
+    auto tree = ClassificationTree::Import(
+        nodes, {1.0, 0.0, 0.3, 0.7, 0.5, 0.5}, 2);
+    EXPECT_TRUE(tree.ok());
+    trees.push_back(std::move(*tree));
+  }
+
+  auto forest = RandomForest::FromParts(RandomForestOptions{}, 2,
+                                        std::move(trees), {});
+  EXPECT_TRUE(forest.ok()) << forest.status().ToString();
+  return std::move(*forest);
+}
+
+TEST(FlatForestTest, AdversarialRowsBitIdenticalToPointerWalk) {
+  const RandomForest forest = AdversarialForest();
+  ASSERT_NE(forest.flat(), nullptr);
+
+  Dataset rows({"f0", "f1", "f2"});
+  const std::vector<std::vector<double>> raw{
+      {0.0, 0.0, 0.0},
+      {kNaN, kNaN, kNaN},           // NaN falls right at every split
+      {kInf, -kInf, -kInf},
+      {-kInf, kInf, kInf},
+      {kDenormal, kDenormal, -kDenormal},
+      {-kDenormal, -kDenormal, kDenormal},
+      {0.0, -0.0, -kInf},
+      {-0.0, 0.0, kNaN},
+      {std::numeric_limits<double>::max(),
+       std::numeric_limits<double>::lowest(), kDenormal},
+      {kNaN, 1.0, -kInf},           // NaN on one feature only
+  };
+  for (const auto& r : raw) rows.AddRow(r, 0);
+
+  const std::vector<double> expect = PointerWalk(forest, rows.Matrix());
+  ThreadPool pool(2);
+  ExpectBitEqual(forest.PredictProbaBatch(rows.Matrix(), nullptr), expect);
+  ExpectBitEqual(forest.PredictProbaBatch(rows.Matrix(), &pool), expect);
+
+  // The engine saw one arena: 1 + 5 + 5 nodes across the three trees.
+  EXPECT_EQ(forest.flat()->num_nodes(), 11u);
+  EXPECT_EQ(forest.flat()->num_trees(), 3u);
+}
+
+TEST(FlatForestTest, SingleLeafGbdtAndAdversarialRowsMatch) {
+  const Dataset train = ml_testing::LinearlySeparable(400, 907);
+  GbdtOptions options;
+  options.num_trees = 8;
+  options.max_depth = 0;  // every tree is a single leaf
+  Gbdt stub(options);
+  ASSERT_TRUE(stub.Fit(train).ok());
+  for (const RegressionTree& tree : stub.trees()) {
+    EXPECT_EQ(tree.num_nodes(), 1u);
+  }
+
+  GbdtOptions deep = options;
+  deep.max_depth = 5;
+  deep.min_samples_split = 10;
+  Gbdt model(deep);
+  ASSERT_TRUE(model.Fit(train).ok());
+
+  Dataset rows({"x0", "x1", "x2"});
+  rows.AddRow(std::vector<double>{kNaN, kInf, -kInf}, 0);
+  rows.AddRow(std::vector<double>{kDenormal, -kDenormal, kNaN}, 0);
+  rows.AddRow(std::vector<double>{0.0, -0.0, 1e300}, 0);
+
+  for (const Classifier* m :
+       {static_cast<const Classifier*>(&stub),
+        static_cast<const Classifier*>(&model)}) {
+    ExpectBitEqual(m->PredictProbaBatch(rows.Matrix(), nullptr),
+                   PointerWalk(*m, rows.Matrix()));
+  }
+}
+
+TEST(FlatForestTest, SerializedForestRoundTripKeepsFlatEngine) {
+  // FromParts (the deserialization path) must compile the engine too.
+  const RandomForest forest = AdversarialForest();
+  ASSERT_NE(forest.flat(), nullptr);
+  const Dataset rows = ml_testing::LinearlySeparable(10, 908);
+  // 3-feature adversarial forest scores 3-feature rows.
+  ExpectBitEqual(forest.PredictProbaBatch(rows.Matrix(), nullptr),
+                 PointerWalk(forest, rows.Matrix()));
+}
+
+}  // namespace
+}  // namespace telco

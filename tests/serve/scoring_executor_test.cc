@@ -60,21 +60,114 @@ TEST(ScoringExecutorTest, ScoresMatchSnapshotExactly) {
   }
 }
 
-TEST(ScoringExecutorTest, RejectsBeforeFirstPublish) {
+// Schema problems are judged at batch dispatch (against the snapshot the
+// batch acquired), never at Submit — a submit-time check would race with
+// a concurrent hot swap. The request is accepted; its outcome fails.
+TEST(ScoringExecutorTest, OutcomeFailsBeforeFirstPublish) {
   SnapshotRegistry registry;
   ScoringExecutor executor(&registry);
   auto submitted = executor.Submit(MakeRequest(1, {0.1, 0.2, 0.3}));
-  ASSERT_FALSE(submitted.ok());
-  EXPECT_TRUE(submitted.status().IsInvalidArgument());
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  const ScoreOutcome outcome = submitted->get();
+  EXPECT_TRUE(outcome.status.IsInvalidArgument());
+  EXPECT_EQ(outcome.snapshot_version, 0u);
 }
 
-TEST(ScoringExecutorTest, RejectsWrongRowWidth) {
+TEST(ScoringExecutorTest, WrongRowWidthFailsAtDispatchNotSubmit) {
   SnapshotRegistry registry;
-  registry.Publish(MakeSnapshot(1403));
-  ScoringExecutor executor(&registry);
-  auto submitted = executor.Submit(MakeRequest(1, {0.1, 0.2}));  // 2 != 3
-  ASSERT_FALSE(submitted.ok());
-  EXPECT_TRUE(submitted.status().IsInvalidArgument());
+  auto snapshot = MakeSnapshot(1403);
+  registry.Publish(snapshot);
+  ScoringExecutorOptions options;
+  options.max_batch_size = 8;  // narrow + valid rows share one batch
+  ScoringExecutor executor(&registry, options);
+
+  const std::vector<double> full_row{0.1, 0.2, 0.3};
+  auto narrow = executor.Submit(MakeRequest(1, {0.1, 0.2}));  // 2 != 3
+  auto valid = executor.Submit(MakeRequest(2, full_row));
+  ASSERT_TRUE(narrow.ok()) << narrow.status().ToString();
+  ASSERT_TRUE(valid.ok()) << valid.status().ToString();
+
+  const ScoreOutcome bad = narrow->get();
+  EXPECT_TRUE(bad.status.IsInvalidArgument()) << bad.status.ToString();
+  EXPECT_EQ(bad.snapshot_version, 1u);  // judged against the batch snapshot
+
+  // The mismatch never poisons batchmates.
+  const ScoreOutcome good = valid->get();
+  ASSERT_TRUE(good.status.ok()) << good.status.ToString();
+  EXPECT_EQ(good.score, snapshot->Score(full_row));
+}
+
+// The swap-during-enqueue window: requests shaped for the *next* model
+// are submitted while the hot swap lands. Submit must accept them all;
+// each outcome is judged against the snapshot its batch acquired — so
+// every response is either (old snapshot, InvalidArgument) or (new
+// snapshot, exact new-model score), never a torn mix. Requests submitted
+// after the publish returns must always score against the new model.
+TEST(ScoringExecutorTest, SwapDuringEnqueueValidatesAgainstBatchSnapshot) {
+  const Dataset wide_data = ml_testing::LinearlySeparable(60, 1412);
+  // v1 expects 3 features; v2 expects 4.
+  auto v1 = MakeSnapshot(1413);
+  Dataset wide({"x0", "x1", "x2", "x3"});
+  for (size_t i = 0; i < wide_data.num_rows(); ++i) {
+    const auto row = wide_data.Row(i);
+    wide.AddRow(std::vector<double>{row[0], row[1], row[2], 1.0},
+                wide_data.label(i));
+  }
+  RandomForestOptions rf;
+  rf.num_trees = 8;
+  rf.min_samples_split = 20;
+  RandomForest forest(rf);
+  ASSERT_TRUE(forest.Fit(wide).ok());
+  auto v2_result = ModelSnapshot::FromForest(std::move(forest),
+                                             wide.feature_names(), "v2");
+  ASSERT_TRUE(v2_result.ok());
+  auto v2 = *v2_result;
+
+  SnapshotRegistry registry;
+  registry.Publish(v1);
+  ScoringExecutorOptions options;
+  options.max_batch_size = 4;
+  ScoringExecutor executor(&registry, options);
+
+  constexpr size_t kRequests = 200;
+  std::vector<std::future<ScoreOutcome>> futures;
+  futures.reserve(kRequests);
+  for (size_t i = 0; i < kRequests; ++i) {
+    if (i == kRequests / 2) registry.Publish(v2);  // swap mid-enqueue
+    const auto row = wide.Row(i % wide.num_rows());
+    while (true) {
+      auto submitted = executor.Submit(
+          MakeRequest(i, std::vector<double>(row.begin(), row.end())));
+      if (submitted.ok()) {
+        futures.push_back(std::move(*submitted));
+        break;
+      }
+      ASSERT_TRUE(submitted.status().IsUnavailable())
+          << submitted.status().ToString();
+    }
+  }
+
+  for (size_t i = 0; i < kRequests; ++i) {
+    const ScoreOutcome outcome = futures[i].get();
+    const auto row = wide.Row(i % wide.num_rows());
+    if (outcome.status.ok()) {
+      // The batch acquired v2: the score must bit-match v2 exactly.
+      EXPECT_EQ(outcome.snapshot_version, 2u);
+      EXPECT_EQ(outcome.model_fingerprint, v2->fingerprint());
+      EXPECT_EQ(outcome.score, v2->Score(row)) << "request " << i;
+    } else {
+      // The batch acquired v1, whose schema the 4-wide row fails.
+      EXPECT_TRUE(outcome.status.IsInvalidArgument())
+          << outcome.status.ToString();
+      EXPECT_EQ(outcome.snapshot_version, 1u);
+    }
+    if (i >= kRequests / 2) {
+      // Published before these were submitted; their batches must have
+      // acquired v2 (Acquire happens after dequeue) and scored OK.
+      EXPECT_TRUE(outcome.status.ok()) << "request " << i << ": "
+                                       << outcome.status.ToString();
+    }
+  }
 }
 
 TEST(ScoringExecutorTest, BackpressureRejectsWithRetryHint) {

@@ -24,6 +24,8 @@ FAIL_MARKER="$TMP_DIR/failed"
 export TELCO_BENCH_SERVE_CLIENTS="${TELCO_BENCH_SERVE_CLIENTS:-2}"
 export TELCO_BENCH_SERVE_BATCH="${TELCO_BENCH_SERVE_BATCH:-32}"
 export TELCO_BENCH_SERVE_ROUNDS="${TELCO_BENCH_SERVE_ROUNDS:-4}"
+export TELCO_BENCH_SERVE_TCP_CLIENTS="${TELCO_BENCH_SERVE_TCP_CLIENTS:-4}"
+export TELCO_BENCH_SERVE_READERS="${TELCO_BENCH_SERVE_READERS:-2}"
 
 # compare NAME NEW BASELINE — record a failure when NEW < BASELINE*TOL.
 compare() {
@@ -52,18 +54,25 @@ RUNS="${TELCO_BENCH_RUNS:-3}"
 
 echo "== bench_serve (online scoring, best of $RUNS) =="
 serve_best=""
+tcp_best=""
 i=0
 while [ "$i" -lt "$RUNS" ]; do
   TELCO_BENCH_REPORT_DIR="$TMP_DIR" "$BUILD_DIR/bench/bench_serve" \
     > "$TMP_DIR/serve.out" 2>&1 || { cat "$TMP_DIR/serve.out"; exit 1; }
   tput=$(jq -r '.config.throughput_per_sec' "$TMP_DIR/BENCH_serve.json")
-  echo "  run $((i + 1)): $tput/s"
+  tcp_tput=$(jq -r '.config.tcp_throughput_per_sec // empty' \
+    "$TMP_DIR/BENCH_serve.json")
+  echo "  run $((i + 1)): $tput/s stdio, ${tcp_tput:-n/a}/s tcp"
   serve_best=$(awk -v a="${serve_best:-0}" -v b="$tput" \
+    'BEGIN { print (b + 0 > a + 0) ? b : a }')
+  tcp_best=$(awk -v a="${tcp_best:-0}" -v b="${tcp_tput:-0}" \
     'BEGIN { print (b + 0 > a + 0) ? b : a }')
   i=$((i + 1))
 done
 compare "serve.throughput_per_sec" "$serve_best" \
   "$(jq -r '.config.throughput_per_sec' "$BASELINE_DIR/BENCH_serve.json")"
+compare "serve.tcp_throughput_per_sec" "$tcp_best" \
+  "$(jq -r '.config.tcp_throughput_per_sec' "$BASELINE_DIR/BENCH_serve.json")"
 
 echo "== bench_micro_ml (flat vs pointer batch scoring, best of $RUNS) =="
 i=0

@@ -1,7 +1,9 @@
 #include "common/telemetry/json.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/string_util.h"
@@ -288,7 +290,12 @@ std::string JsonEscape(std::string_view text) {
 
 std::string JsonNumber(double value) {
   if (!std::isfinite(value)) return "0";
-  return StrFormat("%.17g", value);
+  // Shortest round-trip form: parses back to the identical double (serve
+  // parity depends on this) and is ~10x cheaper than %.17g on the
+  // per-response hot path.
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, result.ptr);
 }
 
 }  // namespace telco

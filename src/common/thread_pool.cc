@@ -1,7 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+
+#include "common/logging.h"
 
 namespace telco {
 
@@ -24,12 +27,26 @@ struct ChunkWait {
 }  // namespace
 
 size_t ThreadPool::DefaultNumThreads() {
-  if (const char* env = std::getenv("TELCO_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
+  const size_t fallback = std::max(1u, std::thread::hardware_concurrency());
+  const char* env = std::getenv("TELCO_THREADS");
+  if (env == nullptr || *env == '\0') return fallback;
+  // Degenerate values must never size a pool: garbage or trailing text,
+  // zero, negatives, and out-of-range magnitudes (strtol saturates with
+  // ERANGE; a "valid" huge count would still exhaust the process) all
+  // fall back to hardware concurrency, loudly.
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  constexpr long kMaxThreads = 4096;
+  if (end == env || *end != '\0' || errno == ERANGE || v <= 0 ||
+      v > kMaxThreads) {
+    TELCO_LOG(Warning) << "ignoring invalid TELCO_THREADS='" << env
+                       << "' (want an integer in [1, " << kMaxThreads
+                       << "]); using hardware concurrency (" << fallback
+                       << ")";
+    return fallback;
   }
-  return std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<size_t>(v);
 }
 
 ThreadPool::ThreadPool(size_t num_threads) {

@@ -1,7 +1,12 @@
 #include "serve/request_codec.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
 
 #include "common/string_util.h"
 #include "common/telemetry/json.h"
@@ -9,6 +14,101 @@
 namespace telco {
 
 namespace {
+
+// Zero-allocation scanner for the canonical score-request shape emitted
+// by FormatScoreRequest:
+//
+//   {"id":N,"imsi":N,["model":"...",]"features":[n,n,...]}
+//
+// This is the hot path of every serve session (thousands of requests per
+// second through one core), so it avoids the DOM parser's per-member and
+// per-feature JsonValue allocations. It is strictly conservative: any
+// deviation — whitespace, reordered members, escapes, huge integers,
+// non-finite numbers — returns false and the request takes the DOM path
+// below, so accepted inputs parse identically either way.
+bool FastParseScoreRequest(std::string_view line, ServeRequest* out) {
+  const char* p = line.data();
+  const char* const end = p + line.size();
+  const auto lit = [&p, end](std::string_view expect) {
+    if (static_cast<size_t>(end - p) < expect.size() ||
+        std::memcmp(p, expect.data(), expect.size()) != 0) {
+      return false;
+    }
+    p += expect.size();
+    return true;
+  };
+  // Unsigned decimal of at most 15 digits (always below 2^53, matching
+  // the DOM path's integral-number bound).
+  const auto digits = [&p, end](uint64_t* value) {
+    const char* const first = p;
+    uint64_t v = 0;
+    while (p < end && *p >= '0' && *p <= '9') {
+      v = v * 10 + static_cast<uint64_t>(*p - '0');
+      ++p;
+    }
+    if (p == first || p - first > 15) return false;
+    *value = v;
+    return true;
+  };
+
+  if (!lit("{\"id\":")) return false;
+  uint64_t id = 0;
+  if (!digits(&id)) return false;
+  if (!lit(",\"imsi\":")) return false;
+  bool imsi_negative = false;
+  if (p < end && *p == '-') {
+    imsi_negative = true;
+    ++p;
+  }
+  uint64_t imsi_magnitude = 0;
+  if (!digits(&imsi_magnitude)) return false;
+  if (!lit(",")) return false;
+
+  std::string model;
+  if (lit("\"model\":\"")) {
+    const char* const close = static_cast<const char*>(
+        std::memchr(p, '"', static_cast<size_t>(end - p)));
+    if (close == nullptr) return false;
+    for (const char* q = p; q < close; ++q) {
+      if (*q == '\\') return false;  // escapes take the DOM path
+    }
+    model.assign(p, close);
+    p = close + 1;
+    if (!lit(",")) return false;
+  }
+
+  if (!lit("\"features\":[")) return false;
+  std::vector<double> features;
+  features.reserve(64);
+  for (;;) {
+    // from_chars is bounded by `end` (the line is a view into a larger
+    // buffer) and correctly rounded, so it parses to the identical
+    // double the DOM path's strtod would. Guard the first character:
+    // from_chars also accepts "inf"/"nan" spellings, which must fall
+    // back so the DOM path decides their fate.
+    if (p >= end || (*p != '-' && (*p < '0' || *p > '9'))) return false;
+    double value = 0.0;
+    const auto parsed = std::from_chars(p, end, value);
+    if (parsed.ec != std::errc() || !std::isfinite(value)) return false;
+    p = parsed.ptr;
+    features.push_back(value);
+    if (p < end && *p == ',') {
+      ++p;
+      continue;
+    }
+    break;
+  }
+  if (!lit("]}")) return false;
+  if (p != end) return false;
+
+  out->type = ServeRequestType::kScore;
+  out->score.id = id;
+  out->score.imsi = imsi_negative ? -static_cast<int64_t>(imsi_magnitude)
+                                  : static_cast<int64_t>(imsi_magnitude);
+  out->score.model = std::move(model);
+  out->score.features = std::move(features);
+  return true;
+}
 
 // Ids and imsis travel as JSON numbers; reject anything that is not an
 // integral value representable without loss.
@@ -34,9 +134,30 @@ Result<int64_t> IntegralMember(const JsonValue& object, const std::string& key,
   return static_cast<int64_t>(value);
 }
 
+// Optional string member; `fallback` when absent, InvalidArgument on a
+// non-string value.
+Result<std::string> StringMember(const JsonValue& object,
+                                 const std::string& key,
+                                 std::string fallback) {
+  const JsonValue* member = object.Find(key);
+  if (member == nullptr) return fallback;
+  if (member->type != JsonValue::Type::kString) {
+    return Status::InvalidArgument("request member \"" + key +
+                                   "\" must be a string");
+  }
+  return member->string;
+}
+
 }  // namespace
 
 Result<ServeRequest> ParseServeRequest(std::string_view line) {
+  if (line.size() > kMaxRequestLineBytes) {
+    return Status::InvalidArgument(StrFormat(
+        "request line of %zu bytes exceeds the %zu-byte limit", line.size(),
+        kMaxRequestLineBytes));
+  }
+  ServeRequest fast;
+  if (FastParseScoreRequest(line, &fast)) return fast;
   TELCO_ASSIGN_OR_RETURN(const JsonValue doc, ParseJson(line));
   if (!doc.is_object()) {
     return Status::InvalidArgument("request line must be a JSON object");
@@ -56,6 +177,8 @@ Result<ServeRequest> ParseServeRequest(std::string_view line) {
       }
       request.type = ServeRequestType::kSwap;
       request.model_path = model->string;
+      TELCO_ASSIGN_OR_RETURN(request.model_name,
+                             StringMember(doc, "name", ""));
       return request;
     }
     if (cmd->string == "stats") {
@@ -78,6 +201,8 @@ Result<ServeRequest> ParseServeRequest(std::string_view line) {
   request.score.id = static_cast<uint64_t>(id);
   TELCO_ASSIGN_OR_RETURN(request.score.imsi,
                          IntegralMember(doc, "imsi", /*required=*/false, 0));
+  TELCO_ASSIGN_OR_RETURN(request.score.model,
+                         StringMember(doc, "model", ""));
   const JsonValue* features = doc.Find("features");
   if (features == nullptr || !features->is_array()) {
     return Status::InvalidArgument(
@@ -101,10 +226,17 @@ std::string FormatScoreResponse(const ScoreRequest& request,
   if (!outcome.status.ok()) {
     return FormatErrorResponse(request.id, outcome.status);
   }
+  // Echo the routing key only when one was given, so single-model
+  // streams stay byte-identical to the pre-router protocol.
+  std::string model_member;
+  if (!request.model.empty()) {
+    model_member =
+        StrFormat("\"model\":\"%s\",", JsonEscape(request.model).c_str());
+  }
   return StrFormat(
-      "{\"id\":%llu,\"imsi\":%lld,\"score\":%s,\"snapshot\":%llu}",
+      "{\"id\":%llu,\"imsi\":%lld,%s\"score\":%s,\"snapshot\":%llu}",
       static_cast<unsigned long long>(request.id),
-      static_cast<long long>(request.imsi),
+      static_cast<long long>(request.imsi), model_member.c_str(),
       JsonNumber(outcome.score).c_str(),
       static_cast<unsigned long long>(outcome.snapshot_version));
 }
@@ -117,12 +249,31 @@ std::string FormatErrorResponse(uint64_t id, const Status& status) {
 }
 
 std::string FormatScoreRequest(const ScoreRequest& request) {
-  std::string out = StrFormat("{\"id\":%llu,\"imsi\":%lld,\"features\":[",
+  std::string model_member;
+  if (!request.model.empty()) {
+    model_member =
+        StrFormat("\"model\":\"%s\",", JsonEscape(request.model).c_str());
+  }
+  std::string out;
+  // Shortest round-trip form is at most 24 characters; reserving up
+  // front keeps the hot request-formatting path to a single allocation.
+  out.reserve(64 + model_member.size() + request.features.size() * 26);
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof(buf), "{\"id\":%llu,\"imsi\":%lld,",
                               static_cast<unsigned long long>(request.id),
                               static_cast<long long>(request.imsi));
+  out.append(buf, static_cast<size_t>(n));
+  out += model_member;
+  out += "\"features\":[";
   for (size_t i = 0; i < request.features.size(); ++i) {
-    if (i > 0) out += ",";
-    out += JsonNumber(request.features[i]);
+    if (i > 0) out += ',';
+    const double value = request.features[i];
+    if (!std::isfinite(value)) {
+      out += '0';  // JsonNumber semantics for non-finite values
+      continue;
+    }
+    const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+    out.append(buf, result.ptr);
   }
   out += "]}";
   return out;

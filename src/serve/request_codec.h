@@ -4,20 +4,27 @@
 // object. Scriptable over stdin/stdout with no network dependency.
 //
 //   score request   {"id":7,"imsi":1234,"features":[0.1,2,...]}
-//                   features are in the snapshot's schema order
+//                   features are in the snapshot's schema order; an
+//                   optional "model":"name" member routes to a named
+//                   model (ModelRouter) — absent = the default route
 //   hot-swap        {"cmd":"swap","model":"/path/to/model.rf"}
+//                   optional "name":"segment-a" targets a named route
 //   stats           {"cmd":"stats"}
 //   quit            {"cmd":"quit"}
 //
 //   score response  {"id":7,"imsi":1234,"score":0x...,"snapshot":1}
 //                   score is a full-precision JSON number (JsonNumber),
-//                   so responses round-trip bit-identically
+//                   so responses round-trip bit-identically; requests
+//                   routed to a named model get a "model":"name" echo
 //   error response  {"id":7,"error":"...","retry":false}
 //                   retry:true marks transient overload (backpressure)
 //
 // Parsing is strict about types (a string where a number is expected is
 // an error, never a crash) — the serve_fuzz ctest feeds this parser
-// random and malformed documents under ASan.
+// random and malformed documents under ASan. Lines are bounded
+// (kMaxRequestLineBytes): an oversized frame is InvalidArgument before
+// any JSON work, so a hostile client cannot make the server buffer an
+// unbounded line.
 
 #ifndef TELCO_SERVE_REQUEST_CODEC_H_
 #define TELCO_SERVE_REQUEST_CODEC_H_
@@ -38,15 +45,23 @@ enum class ServeRequestType : int {
   kQuit = 3,
 };
 
+/// \brief Largest accepted request line. Anything longer is rejected as
+/// InvalidArgument (and the TCP front-end closes the connection) instead
+/// of growing an unbounded buffer. 1 MiB comfortably fits thousands of
+/// full-precision features per row.
+inline constexpr size_t kMaxRequestLineBytes = 1 << 20;
+
 /// \brief One parsed input line.
 struct ServeRequest {
   ServeRequestType type = ServeRequestType::kScore;
-  ScoreRequest score;      // kScore
-  std::string model_path;  // kSwap
+  ScoreRequest score;      // kScore (score.model = named route or "")
+  std::string model_path;  // kSwap: file to load
+  std::string model_name;  // kSwap: named route to publish into ("" = default)
 };
 
 /// \brief Parses one protocol line. Malformed JSON, wrong types, missing
-/// required members and non-integral ids are InvalidArgument.
+/// required members, non-integral ids and oversized lines
+/// (> kMaxRequestLineBytes) are InvalidArgument.
 Result<ServeRequest> ParseServeRequest(std::string_view line);
 
 /// \brief One score-response line (no trailing newline).

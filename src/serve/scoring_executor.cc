@@ -65,6 +65,21 @@ Result<std::future<ScoreOutcome>> ScoringExecutor::Submit(
   pending.request = std::move(request);
   pending.enqueued = std::chrono::steady_clock::now();
   std::future<ScoreOutcome> future = pending.promise.get_future();
+  TELCO_RETURN_NOT_OK(Enqueue(std::move(pending)));
+  return future;
+}
+
+Status ScoringExecutor::SubmitWithCallback(
+    ScoreRequest request, std::function<void(ScoreOutcome)> done) {
+  TELCO_CHECK(done != nullptr);
+  Pending pending;
+  pending.request = std::move(request);
+  pending.callback = std::move(done);
+  pending.enqueued = std::chrono::steady_clock::now();
+  return Enqueue(std::move(pending));
+}
+
+Status ScoringExecutor::Enqueue(Pending pending) {
   size_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -83,7 +98,7 @@ Result<std::future<ScoreOutcome>> ScoringExecutor::Submit(
   Metrics().requests.Add();
   Metrics().queue_depth.Set(static_cast<double>(depth));
   queue_cv_.notify_one();
-  return future;
+  return Status::OK();
 }
 
 void ScoringExecutor::Drain() {
@@ -147,7 +162,11 @@ void ScoringExecutor::ScoreBatch(std::vector<Pending> batch) {
                                       pending.enqueued)
             .count();
     Metrics().latency_seconds.Observe(latency);
-    pending.promise.set_value(std::move(outcome));
+    if (pending.callback) {
+      pending.callback(std::move(outcome));
+    } else {
+      pending.promise.set_value(std::move(outcome));
+    }
   };
 
   if (ref.snapshot == nullptr) {

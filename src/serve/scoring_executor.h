@@ -26,8 +26,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -43,6 +45,10 @@ class ThreadPool;
 struct ScoreRequest {
   uint64_t id = 0;
   int64_t imsi = 0;
+  /// Routing key for multi-model serving (ModelRouter): which named model
+  /// should score this row. Empty = the default route. The executor
+  /// itself ignores it — routing happens before Submit.
+  std::string model;
   std::vector<double> features;
 };
 
@@ -87,6 +93,14 @@ class ScoringExecutor {
   /// before dispatch.
   Result<std::future<ScoreOutcome>> Submit(ScoreRequest request);
 
+  /// Callback flavour of Submit for event-loop callers (the TCP
+  /// front-end) that must not block on a future: `done` runs exactly once
+  /// when the request's batch completes, on the dispatcher thread — it
+  /// must not block or re-enter the executor. Admission and validation
+  /// semantics are identical to Submit.
+  Status SubmitWithCallback(ScoreRequest request,
+                            std::function<void(ScoreOutcome)> done);
+
   /// Blocks until every accepted request has completed.
   void Drain();
 
@@ -102,9 +116,13 @@ class ScoringExecutor {
  private:
   struct Pending {
     ScoreRequest request;
-    std::promise<ScoreOutcome> promise;
+    std::promise<ScoreOutcome> promise;          // future-based Submit
+    std::function<void(ScoreOutcome)> callback;  // SubmitWithCallback
     std::chrono::steady_clock::time_point enqueued;
   };
+
+  /// Shared admission path of both Submit flavours.
+  Status Enqueue(Pending pending);
 
   void DispatchLoop();
   void ScoreBatch(std::vector<Pending> batch);

@@ -1,10 +1,13 @@
 #include "serve/stdio_server.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <csignal>
 #include <string>
 #include <utility>
 
 #include "common/fault_injection.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "common/telemetry/json.h"
 #include "common/telemetry/metrics.h"
@@ -25,12 +28,39 @@ Status StdioScoringServer::WriteLine(std::FILE* out,
                                      const std::string& line) {
   TELCO_RETURN_NOT_OK(MaybeInjectFault("serve.respond"));
   const std::string with_newline = line + "\n";
-  // One write per response: a crash between responses never tears a line.
-  if (std::fwrite(with_newline.data(), 1, with_newline.size(), out) !=
-      with_newline.size()) {
-    return Status::IoError("short write on response stream");
+  // One logical write per response: a crash between responses never
+  // tears a line. fwrite may still report a short count when a signal
+  // interrupts the underlying write — loop over the remainder instead of
+  // treating it as fatal; only a zero-progress error ends the session.
+  size_t written = 0;
+  while (written < with_newline.size()) {
+    errno = 0;
+    const size_t n = std::fwrite(with_newline.data() + written, 1,
+                                 with_newline.size() - written, out);
+    written += n;
+    if (n == 0) {
+      if (errno == EINTR) {
+        std::clearerr(out);
+        continue;
+      }
+      if (errno == EPIPE) {
+        // The reader went away (SIGPIPE is ignored in serve verbs, so
+        // the write fails with EPIPE instead of killing the process).
+        peer_closed_ = true;
+        return Status::IoError("response stream peer closed (EPIPE)");
+      }
+      return Status::IoError("write failed on response stream");
+    }
   }
-  if (std::fflush(out) != 0) {
+  while (std::fflush(out) != 0) {
+    if (errno == EINTR) {
+      std::clearerr(out);
+      continue;
+    }
+    if (errno == EPIPE) {
+      peer_closed_ = true;
+      return Status::IoError("response stream peer closed (EPIPE)");
+    }
     return Status::IoError("flush failed on response stream");
   }
   return Status::OK();
@@ -50,6 +80,16 @@ Status StdioScoringServer::FlushAll(std::FILE* out) {
 
 Status StdioScoringServer::HandleScore(ScoreRequest request,
                                        std::FILE* out) {
+  if (!request.model.empty()) {
+    // The stdio pipe serves exactly one model; named routes live behind
+    // the TCP front-end's ModelRouter.
+    return WriteLine(
+        out, FormatErrorResponse(
+                 request.id,
+                 Status::InvalidArgument(
+                     "named models (\"model\":\"...\") require the TCP "
+                     "front-end (serve --tcp-port)")));
+  }
   for (;;) {
     Result<std::future<ScoreOutcome>> submitted = executor_.Submit(request);
     if (submitted.ok()) {
@@ -77,7 +117,16 @@ Status StdioScoringServer::HandleScore(ScoreRequest request,
 }
 
 Status StdioScoringServer::HandleSwap(const std::string& model_path,
+                                      const std::string& model_name,
                                       std::FILE* out) {
+  if (!model_name.empty()) {
+    return WriteLine(
+        out,
+        StrFormat("{\"cmd\":\"swap\",\"ok\":false,\"error\":\"%s\"}",
+                  JsonEscape("named models (\"name\":\"...\") require the "
+                             "TCP front-end (serve --tcp-port)")
+                      .c_str()));
+  }
   Result<std::shared_ptr<const ModelSnapshot>> snapshot =
       ModelSnapshot::LoadFromFile(model_path);
   if (!snapshot.ok()) {
@@ -126,36 +175,55 @@ Status StdioScoringServer::HandleStats(std::FILE* out) {
 }
 
 Status StdioScoringServer::Run(std::istream& in, std::FILE* out) {
+  // A dropped reader must end the session, not the process: with SIGPIPE
+  // ignored, writes to a closed pipe fail with EPIPE, WriteLine flags
+  // peer_closed_, and the loop exits cleanly below.
+  std::signal(SIGPIPE, SIG_IGN);
   std::string line;
-  while (std::getline(in, line)) {
+  Status status;
+  bool quit = false;
+  while (status.ok() && !quit && std::getline(in, line)) {
     if (line.empty()) continue;
     Result<ServeRequest> parsed = ParseServeRequest(line);
     if (!parsed.ok()) {
       // Error lines honour the ordering contract too: drain score
       // responses first so output position identifies the bad input.
-      TELCO_RETURN_NOT_OK(FlushAll(out));
-      TELCO_RETURN_NOT_OK(
-          WriteLine(out, FormatErrorResponse(0, parsed.status())));
+      status = FlushAll(out);
+      if (status.ok()) {
+        status = WriteLine(out, FormatErrorResponse(0, parsed.status()));
+      }
       continue;
     }
     ServeRequest request = std::move(parsed).ValueOrDie();
     switch (request.type) {
       case ServeRequestType::kScore:
-        TELCO_RETURN_NOT_OK(HandleScore(std::move(request.score), out));
+        status = HandleScore(std::move(request.score), out);
         break;
       case ServeRequestType::kSwap:
-        TELCO_RETURN_NOT_OK(FlushAll(out));
-        TELCO_RETURN_NOT_OK(HandleSwap(request.model_path, out));
+        status = FlushAll(out);
+        if (status.ok()) {
+          status = HandleSwap(request.model_path, request.model_name, out);
+        }
         break;
       case ServeRequestType::kStats:
-        TELCO_RETURN_NOT_OK(FlushAll(out));
-        TELCO_RETURN_NOT_OK(HandleStats(out));
+        status = FlushAll(out);
+        if (status.ok()) status = HandleStats(out);
         break;
       case ServeRequestType::kQuit:
-        return FlushAll(out);
+        quit = true;
+        break;
     }
   }
-  return FlushAll(out);
+  if (status.ok()) status = FlushAll(out);
+  if (peer_closed_) {
+    // Every remaining in-flight response has nowhere to go; the executor
+    // destructor drains them. This is a clean per-session shutdown.
+    in_flight_.clear();
+    TELCO_LOG(Info) << "response stream closed by peer; ending serve "
+                       "session";
+    return Status::OK();
+  }
+  return status;
 }
 
 }  // namespace telco

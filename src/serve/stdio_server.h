@@ -41,7 +41,9 @@ class StdioScoringServer {
 
   /// Runs the session loop. Returns non-OK only on I/O failure of `out`
   /// or an injected serve.respond error; protocol-level problems become
-  /// error-response lines instead.
+  /// error-response lines instead. Ignores SIGPIPE for the process and
+  /// treats a peer-closed response stream (EPIPE) as a clean end of
+  /// session (OK), never process death.
   Status Run(std::istream& in, std::FILE* out);
 
  private:
@@ -59,13 +61,16 @@ class StdioScoringServer {
   Status WriteLine(std::FILE* out, const std::string& line);
 
   Status HandleScore(ScoreRequest request, std::FILE* out);
-  Status HandleSwap(const std::string& model_path, std::FILE* out);
+  Status HandleSwap(const std::string& model_path,
+                    const std::string& model_name, std::FILE* out);
   Status HandleStats(std::FILE* out);
 
   SnapshotRegistry* registry_;
   StdioServerOptions options_;
   ScoringExecutor executor_;
   std::deque<InFlight> in_flight_;
+  /// Set by WriteLine on EPIPE: the reader vanished; Run ends cleanly.
+  bool peer_closed_ = false;
 };
 
 }  // namespace telco

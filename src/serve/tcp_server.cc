@@ -1,0 +1,682 @@
+#include "serve/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/telemetry/json.h"
+#include "common/telemetry/metrics.h"
+#include "serve/model_snapshot.h"
+
+namespace telco {
+
+namespace {
+
+void CloseFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+Counter AcceptedCounter() {
+  static const Counter counter =
+      MetricsRegistry::Global().GetCounter("serve.tcp.accepted");
+  return counter;
+}
+
+Counter ClosedCounter() {
+  static const Counter counter =
+      MetricsRegistry::Global().GetCounter("serve.tcp.closed");
+  return counter;
+}
+
+Counter ShedCounter() {
+  static const Counter counter =
+      MetricsRegistry::Global().GetCounter("serve.tcp.shed");
+  return counter;
+}
+
+Counter OversizedCounter() {
+  static const Counter counter =
+      MetricsRegistry::Global().GetCounter("serve.tcp.oversized_lines");
+  return counter;
+}
+
+Counter PausedCounter() {
+  static const Counter counter =
+      MetricsRegistry::Global().GetCounter("serve.tcp.read_pauses");
+  return counter;
+}
+
+}  // namespace
+
+TcpScoringServer::TcpScoringServer(ModelRouter* router,
+                                   TcpServerOptions options)
+    : router_(router), options_(options) {
+  TELCO_CHECK(router_ != nullptr);
+  options_.readers = std::max<size_t>(1, options_.readers);
+  options_.write_low_watermark =
+      std::min(options_.write_low_watermark, options_.write_high_watermark);
+  if (options_.max_line_bytes == 0) {
+    options_.max_line_bytes = kMaxRequestLineBytes;
+  }
+}
+
+TcpScoringServer::~TcpScoringServer() { Shutdown(); }
+
+Status TcpScoringServer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (started_) return Status::Internal("TcpScoringServer already started");
+  }
+  // A dropped client must cost us one connection, not the process: with
+  // SIGPIPE ignored (and MSG_NOSIGNAL on every send) a write to a closed
+  // peer fails with EPIPE and we close that connection.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const auto fail = [this](std::string what) {
+    Status status = Status::IoError(std::move(what) + ": " +
+                                    std::strerror(errno));
+    CloseFd(listen_fd_);
+    CloseFd(accept_epoll_fd_);
+    CloseFd(accept_wake_fd_);
+    for (const auto& reader : readers_) {
+      CloseFd(reader->epoll_fd);
+      CloseFd(reader->wake_fd);
+    }
+    readers_.clear();
+    return status;
+  };
+
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return fail("cannot create listen socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    CloseFd(listen_fd_);
+    return Status::InvalidArgument("invalid bind address \"" +
+                                   options_.bind_address + "\"");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail(StrFormat("cannot bind %s:%d", options_.bind_address.c_str(),
+                          options_.port));
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    return fail("cannot listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return fail("getsockname failed");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  accept_epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  accept_wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (accept_epoll_fd_ < 0 || accept_wake_fd_ < 0) {
+    return fail("cannot create acceptor epoll/eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(accept_epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return fail("cannot register listen socket");
+  }
+  ev.data.fd = accept_wake_fd_;
+  if (::epoll_ctl(accept_epoll_fd_, EPOLL_CTL_ADD, accept_wake_fd_, &ev) !=
+      0) {
+    return fail("cannot register acceptor wake eventfd");
+  }
+
+  readers_.reserve(options_.readers);
+  for (size_t i = 0; i < options_.readers; ++i) {
+    auto reader = std::make_unique<Reader>();
+    reader->index = i;
+    reader->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    reader->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (reader->epoll_fd < 0 || reader->wake_fd < 0) {
+      readers_.push_back(std::move(reader));
+      return fail("cannot create reader epoll/eventfd");
+    }
+    epoll_event wake{};
+    wake.events = EPOLLIN;
+    wake.data.fd = reader->wake_fd;
+    if (::epoll_ctl(reader->epoll_fd, EPOLL_CTL_ADD, reader->wake_fd,
+                    &wake) != 0) {
+      readers_.push_back(std::move(reader));
+      return fail("cannot register reader wake eventfd");
+    }
+    readers_.push_back(std::move(reader));
+  }
+  for (size_t i = 0; i < readers_.size(); ++i) {
+    readers_[i]->thread =
+        std::thread([this, i]() { ReaderLoop(i); });
+  }
+  acceptor_ = std::thread([this]() { AcceptLoop(); });
+
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    started_ = true;
+  }
+  TELCO_LOG(Info) << "tcp scoring server listening on "
+                  << options_.bind_address << ":" << port_ << " with "
+                  << readers_.size() << " reader(s)";
+  return Status::OK();
+}
+
+void TcpScoringServer::Wait() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  state_cv_.wait(lock, [this]() { return stopped_; });
+}
+
+void TcpScoringServer::Shutdown() {
+  if (stopping_.exchange(true)) {
+    // Another thread is (or finished) shutting down; wait it out.
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    state_cv_.wait(lock, [this]() { return stopped_; });
+    return;
+  }
+  bool was_started;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    was_started = started_;
+  }
+  if (was_started) {
+    // Stop the acceptor first so no new connection arrives mid-teardown,
+    // then the readers (each closes its connections on the way out).
+    uint64_t one = 1;
+    while (::write(accept_wake_fd_, &one, sizeof(one)) < 0 &&
+           errno == EINTR) {
+    }
+    acceptor_.join();
+    for (const auto& reader : readers_) WakeReader(*reader);
+    for (const auto& reader : readers_) reader->thread.join();
+    // Every connection is closed, so no new submit can happen; draining
+    // the router runs every in-flight completion callback, after which
+    // nothing can touch reader state again and the fds can go away.
+    router_->DrainAll();
+    for (const auto& reader : readers_) {
+      CloseFd(reader->epoll_fd);
+      CloseFd(reader->wake_fd);
+    }
+    CloseFd(listen_fd_);
+    CloseFd(accept_epoll_fd_);
+    CloseFd(accept_wake_fd_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    stopped_ = true;
+  }
+  state_cv_.notify_all();
+}
+
+void TcpScoringServer::WakeReader(Reader& reader) {
+  uint64_t one = 1;
+  while (::write(reader.wake_fd, &one, sizeof(one)) < 0 && errno == EINTR) {
+  }
+}
+
+void TcpScoringServer::MarkDirty(const std::shared_ptr<Connection>& conn) {
+  // Collapse repeated completions into one wakeup per drain cycle.
+  if (conn->dirty.exchange(true)) return;
+  Reader& reader = *readers_[conn->reader_index];
+  {
+    std::lock_guard<std::mutex> lock(reader.mutex);
+    reader.dirty.push_back(conn);
+  }
+  WakeReader(reader);
+}
+
+void TcpScoringServer::AcceptLoop() {
+  epoll_event events[8];
+  for (;;) {
+    const int n = ::epoll_wait(accept_epoll_fd_, events, 8, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      TELCO_LOG(Error) << "acceptor epoll_wait failed: "
+                       << std::strerror(errno);
+      return;
+    }
+    bool listen_ready = false;
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == accept_wake_fd_) {
+        uint64_t drained;
+        while (::read(accept_wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+      } else {
+        listen_ready = true;
+      }
+    }
+    if (stopping_.load()) return;
+    if (!listen_ready) continue;
+    for (;;) {
+      const int fd =
+          ::accept4(listen_fd_, nullptr, nullptr,
+                    SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        TELCO_LOG(Warning) << "accept failed: " << std::strerror(errno);
+        break;
+      }
+      if (num_connections_.load() >= options_.max_connections) {
+        // Shed at the door: past the connection cap the kindest failure
+        // is an immediate close, not a half-served session.
+        ShedCounter().Add();
+        ::close(fd);
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      num_connections_.fetch_add(1);
+      AcceptedCounter().Add();
+      Reader& reader =
+          *readers_[next_reader_.fetch_add(1) % readers_.size()];
+      {
+        std::lock_guard<std::mutex> lock(reader.mutex);
+        reader.incoming.push_back(fd);
+      }
+      WakeReader(reader);
+    }
+  }
+}
+
+void TcpScoringServer::ReaderLoop(size_t reader_index) {
+  Reader& reader = *readers_[reader_index];
+  epoll_event events[64];
+  bool stop = false;
+  while (!stop) {
+    const int n = ::epoll_wait(reader.epoll_fd, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      TELCO_LOG(Error) << "reader epoll_wait failed: "
+                       << std::strerror(errno);
+      break;
+    }
+    bool woke = false;
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == reader.wake_fd) {
+        uint64_t drained;
+        while (::read(reader.wake_fd, &drained, sizeof(drained)) > 0) {
+        }
+        woke = true;
+        continue;
+      }
+      const auto it = reader.conns.find(events[i].data.fd);
+      if (it == reader.conns.end()) continue;  // closed earlier this wake
+      std::shared_ptr<Connection> conn = it->second;
+      if (events[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+        HandleReadable(reader, conn);
+      }
+      if (conn->fd >= 0 && (events[i].events & EPOLLOUT)) {
+        FlushConnection(reader, conn);
+      }
+    }
+    if (woke) {
+      if (stopping_.load()) {
+        stop = true;
+        break;
+      }
+      std::vector<int> incoming;
+      std::vector<std::shared_ptr<Connection>> dirty;
+      {
+        std::lock_guard<std::mutex> lock(reader.mutex);
+        incoming.swap(reader.incoming);
+        dirty.swap(reader.dirty);
+      }
+      for (const int fd : incoming) AdoptConnection(reader, fd);
+      for (const auto& conn : dirty) {
+        // Clear the flag before flushing: a completion landing during
+        // the flush re-queues the connection instead of being lost.
+        conn->dirty.store(false);
+        if (conn->fd >= 0) FlushConnection(reader, conn);
+      }
+    }
+  }
+  // Teardown: close everything this reader owns. Late executor callbacks
+  // see closed=true and drop their responses.
+  std::vector<std::shared_ptr<Connection>> all;
+  all.reserve(reader.conns.size());
+  for (const auto& [fd, conn] : reader.conns) all.push_back(conn);
+  for (const auto& conn : all) CloseConnection(reader, conn);
+  // Adopt-then-close any connection the acceptor handed over after the
+  // last drain, so its fd does not leak.
+  std::vector<int> incoming;
+  {
+    std::lock_guard<std::mutex> lock(reader.mutex);
+    incoming.swap(reader.incoming);
+    reader.dirty.clear();
+  }
+  for (const int fd : incoming) {
+    ::close(fd);
+    num_connections_.fetch_sub(1);
+  }
+}
+
+void TcpScoringServer::AdoptConnection(Reader& reader, int fd) {
+  auto conn = std::make_shared<Connection>();
+  conn->fd = fd;
+  conn->reader_index = reader.index;
+  conn->interest = EPOLLIN | EPOLLRDHUP;
+  epoll_event ev{};
+  ev.events = conn->interest;
+  ev.data.fd = fd;
+  if (::epoll_ctl(reader.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    TELCO_LOG(Warning) << "cannot register connection: "
+                       << std::strerror(errno);
+    ::close(fd);
+    num_connections_.fetch_sub(1);
+    return;
+  }
+  reader.conns.emplace(fd, std::move(conn));
+}
+
+void TcpScoringServer::HandleReadable(
+    Reader& reader, const std::shared_ptr<Connection>& conn) {
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->in.append(buf, static_cast<size_t>(n));
+      ProcessInput(conn);
+      FlushConnection(reader, conn);
+      // Flush may have closed (write error / quit drained) or paused the
+      // connection; in either case stop pulling more input.
+      if (conn->fd < 0 || conn->paused || conn->close_after_flush) return;
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      // EOF. The client may have shut down its write side and still be
+      // reading responses (send-all-then-drain pattern): finish what is
+      // owed, then close. An unterminated trailing line is processed the
+      // way getline treats a final line without '\n'.
+      if (!conn->in.empty()) {
+        const std::string last = std::move(conn->in);
+        conn->in.clear();
+        HandleLine(conn, last);
+      }
+      conn->close_after_flush = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    // ECONNRESET and friends: the peer is gone; nothing to flush to.
+    CloseConnection(reader, conn);
+    return;
+  }
+  FlushConnection(reader, conn);
+}
+
+void TcpScoringServer::ProcessInput(const std::shared_ptr<Connection>& conn) {
+  size_t start = 0;
+  while (!conn->close_after_flush) {
+    const size_t pos = conn->in.find('\n', start);
+    if (pos == std::string::npos) break;
+    const std::string_view line(conn->in.data() + start, pos - start);
+    if (!line.empty()) HandleLine(conn, line);
+    start = pos + 1;
+  }
+  conn->in.erase(0, start);
+  if (!conn->close_after_flush &&
+      conn->in.size() > options_.max_line_bytes) {
+    // An unterminated over-long line means framing is lost: answer once,
+    // drop the buffer and close instead of buffering without bound.
+    OversizedCounter().Add();
+    PushImmediate(
+        conn,
+        FormatErrorResponse(
+            0, Status::InvalidArgument(StrFormat(
+                   "unterminated request line exceeds the %zu-byte limit; "
+                   "closing connection",
+                   options_.max_line_bytes))));
+    conn->in.clear();
+    conn->in.shrink_to_fit();
+    conn->close_after_flush = true;
+  }
+}
+
+void TcpScoringServer::HandleLine(const std::shared_ptr<Connection>& conn,
+                                  std::string_view line) {
+  Result<ServeRequest> parsed = ParseServeRequest(line);
+  if (!parsed.ok()) {
+    PushImmediate(conn, FormatErrorResponse(0, parsed.status()));
+    return;
+  }
+  ServeRequest request = std::move(parsed).ValueOrDie();
+  switch (request.type) {
+    case ServeRequestType::kScore: {
+      ScoreRequest score = std::move(request.score);
+      const uint64_t id = score.id;
+      const int64_t imsi = score.imsi;
+      const std::string model = score.model;
+      // The slot is appended before the submit so the response keeps its
+      // arrival position no matter when the callback fires. Slot
+      // pointers are stable: a deque never relocates elements on
+      // push_back/pop_front, and a slot is only popped once done.
+      ResponseSlot* slot;
+      {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        conn->slots.emplace_back();
+        slot = &conn->slots.back();
+      }
+      const Status submitted = router_->SubmitWithCallback(
+          std::move(score),
+          [this, conn, slot, id, imsi, model](ScoreOutcome outcome) {
+            ScoreRequest header;
+            header.id = id;
+            header.imsi = imsi;
+            header.model = model;
+            std::string response = FormatScoreResponse(header, outcome);
+            bool notify;
+            {
+              std::lock_guard<std::mutex> lock(conn->mutex);
+              slot->line = std::move(response);
+              slot->done = true;
+              notify = !conn->closed;
+            }
+            if (notify) MarkDirty(conn);
+          });
+      if (!submitted.ok()) {
+        // Unknown route, shutdown, or admission-queue overload (the
+        // Unavailable + retry:true shed path) — answer in place.
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        slot->line = FormatErrorResponse(id, submitted);
+        slot->done = true;
+      }
+      break;
+    }
+    case ServeRequestType::kSwap:
+      HandleSwap(conn, request);
+      break;
+    case ServeRequestType::kStats:
+      HandleStats(conn);
+      break;
+    case ServeRequestType::kQuit:
+      conn->close_after_flush = true;
+      break;
+  }
+}
+
+void TcpScoringServer::HandleSwap(const std::shared_ptr<Connection>& conn,
+                                  const ServeRequest& request) {
+  Result<std::shared_ptr<const ModelSnapshot>> snapshot =
+      ModelSnapshot::LoadFromFile(request.model_path);
+  if (!snapshot.ok()) {
+    PushImmediate(
+        conn, StrFormat("{\"cmd\":\"swap\",\"ok\":false,\"error\":\"%s\"}",
+                        JsonEscape(snapshot.status().ToString()).c_str()));
+    return;
+  }
+  const uint32_t fingerprint = (*snapshot)->fingerprint();
+  const uint64_t version = router_->Publish(
+      request.model_name, std::move(snapshot).ValueOrDie());
+  const std::string name_member =
+      request.model_name.empty()
+          ? std::string()
+          : StrFormat("\"name\":\"%s\",",
+                      JsonEscape(request.model_name).c_str());
+  PushImmediate(
+      conn,
+      StrFormat("{\"cmd\":\"swap\",\"ok\":true,\"snapshot\":%llu,"
+                "\"model\":\"%s\",%s\"fingerprint\":\"%08x\"}",
+                static_cast<unsigned long long>(version),
+                JsonEscape(request.model_path).c_str(), name_member.c_str(),
+                fingerprint));
+}
+
+void TcpScoringServer::HandleStats(const std::shared_ptr<Connection>& conn) {
+  const MetricsSnapshot metrics = MetricsRegistry::Global().Snapshot();
+  const auto counter = [&metrics](const char* name) -> unsigned long long {
+    const MetricValue* value = metrics.Find(name);
+    return value == nullptr ? 0 : value->counter;
+  };
+  double p50_ms = 0.0, p99_ms = 0.0;
+  if (const MetricValue* latency =
+          metrics.Find("serve.executor.latency_seconds");
+      latency != nullptr) {
+    p50_ms = latency->histogram.Quantile(0.5) * 1e3;
+    p99_ms = latency->histogram.Quantile(0.99) * 1e3;
+  }
+  std::string models;
+  for (const std::string& name : router_->RouteNames()) {
+    Result<SnapshotRegistry*> registry = router_->RouteRegistry(name);
+    if (!registry.ok()) continue;
+    const SnapshotRef ref = (*registry)->Acquire();
+    if (!models.empty()) models += ',';
+    models += StrFormat(
+        "{\"model\":\"%s\",\"snapshot\":%llu,\"label\":\"%s\"}",
+        JsonEscape(name).c_str(),
+        static_cast<unsigned long long>(ref.version),
+        ref.snapshot == nullptr ? ""
+                                : JsonEscape(ref.snapshot->label()).c_str());
+  }
+  PushImmediate(
+      conn,
+      StrFormat("{\"cmd\":\"stats\",\"models\":[%s],\"connections\":%zu,"
+                "\"requests\":%llu,\"batches\":%llu,\"rejected\":%llu,"
+                "\"p50_ms\":%s,\"p99_ms\":%s}",
+                models.c_str(), num_connections_.load(),
+                counter("serve.executor.requests"),
+                counter("serve.executor.batches"),
+                counter("serve.executor.rejected"), JsonNumber(p50_ms).c_str(),
+                JsonNumber(p99_ms).c_str()));
+}
+
+void TcpScoringServer::PushImmediate(const std::shared_ptr<Connection>& conn,
+                                     std::string line) {
+  std::lock_guard<std::mutex> lock(conn->mutex);
+  conn->slots.emplace_back();
+  conn->slots.back().line = std::move(line);
+  conn->slots.back().done = true;
+}
+
+void TcpScoringServer::FlushConnection(
+    Reader& reader, const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0) return;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    while (!conn->slots.empty() && conn->slots.front().done) {
+      conn->out += conn->slots.front().line;
+      conn->out += '\n';
+      conn->slots.pop_front();
+    }
+  }
+  while (conn->out_pos < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_pos,
+               conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
+    if (n >= 0) {
+      conn->out_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    // EPIPE/ECONNRESET: clean per-connection shutdown, never SIGPIPE.
+    CloseConnection(reader, conn);
+    return;
+  }
+  if (conn->out_pos == conn->out.size()) {
+    conn->out.clear();
+    conn->out_pos = 0;
+  } else if (conn->out_pos > (64u << 10)) {
+    conn->out.erase(0, conn->out_pos);
+    conn->out_pos = 0;
+  }
+  bool slots_empty;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    slots_empty = conn->slots.empty();
+  }
+  if (conn->close_after_flush && slots_empty && conn->out.empty()) {
+    CloseConnection(reader, conn);
+    return;
+  }
+  UpdateInterest(reader, conn);
+}
+
+void TcpScoringServer::UpdateInterest(
+    Reader& reader, const std::shared_ptr<Connection>& conn) {
+  const size_t pending = conn->out.size() - conn->out_pos;
+  if (!conn->paused && pending >= options_.write_high_watermark) {
+    // Backpressure: a client that will not drain its responses stops
+    // being read until it does — its memory cost stays bounded.
+    conn->paused = true;
+    PausedCounter().Add();
+  } else if (conn->paused && pending <= options_.write_low_watermark) {
+    conn->paused = false;
+  }
+  uint32_t interest = 0;
+  if (!conn->paused && !conn->close_after_flush) {
+    interest = EPOLLIN | EPOLLRDHUP;
+  }
+  if (pending > 0) interest |= EPOLLOUT;
+  if (interest == conn->interest) return;
+  epoll_event ev{};
+  ev.events = interest;
+  ev.data.fd = conn->fd;
+  if (::epoll_ctl(reader.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+    conn->interest = interest;
+  }
+}
+
+void TcpScoringServer::CloseConnection(
+    Reader& reader, const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0) return;
+  {
+    // After this, executor callbacks still fill their slots but no
+    // longer wake anyone; the shared_ptr keeps the slot storage alive
+    // until the last callback has run.
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->closed = true;
+  }
+  ::epoll_ctl(reader.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  reader.conns.erase(conn->fd);
+  conn->fd = -1;
+  num_connections_.fetch_sub(1);
+  ClosedCounter().Add();
+}
+
+}  // namespace telco

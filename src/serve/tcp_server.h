@@ -1,0 +1,202 @@
+// TcpScoringServer: the network front-end of the online scoring service.
+//
+// `telcochurn serve --tcp-port P` binds a non-blocking listen socket and
+// serves the same NDJSON protocol as the stdio server (request_codec.h)
+// to many concurrent clients, with multi-model routing:
+//
+//   acceptor thread --(round robin)--> N reader threads, each running an
+//   epoll loop over its own connections --> ModelRouter --> per-route
+//   micro-batching ScoringExecutor --> completion callbacks --> ordered
+//   per-connection response writes
+//
+// Concurrency contract:
+//  - Each connection is owned by exactly one reader thread; all socket
+//    I/O happens on that thread. Executor callbacks never touch the
+//    socket — they fill a response slot under the connection mutex and
+//    wake the owning reader via eventfd.
+//  - Responses are written in request-arrival order per connection (the
+//    slot queue), so a single-connection replay is byte-identical to the
+//    stdio server for the same request stream.
+//  - One snapshot per batch still holds per route (ScoringExecutor), so
+//    TCP-online scores are bit-identical to offline PredictProbaBatch,
+//    including across concurrent named-model hot swaps.
+//
+// Flow control:
+//  - Admission: a full route queue rejects with Unavailable + retry:true
+//    (load shedding, never unbounded memory).
+//  - Per-connection backpressure: when a connection's pending response
+//    bytes exceed write_high_watermark, the reader stops reading it
+//    (EPOLLIN off) until the client drains below write_low_watermark.
+//  - Frame bound: an unterminated line longer than max_line_bytes gets
+//    an InvalidArgument response and the connection is closed — framing
+//    is unrecoverable and the buffer must not grow without bound.
+//
+// A dropped client is a clean per-connection shutdown: SIGPIPE is
+// ignored, sends use MSG_NOSIGNAL, and EPIPE/ECONNRESET just close that
+// connection. Linux-only (epoll + eventfd), like the rest of the
+// serving scripts.
+
+#ifndef TELCO_SERVE_TCP_SERVER_H_
+#define TELCO_SERVE_TCP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/model_router.h"
+#include "serve/request_codec.h"
+
+namespace telco {
+
+struct TcpServerOptions {
+  /// Port to bind (0 = ephemeral; read the real one from port()).
+  int port = 0;
+  /// Bind address. Default loopback: exposing a scoring service beyond
+  /// the host is a deployment decision, not a default.
+  std::string bind_address = "127.0.0.1";
+  /// Reader event-loop threads; connections are spread round-robin.
+  size_t readers = 2;
+  /// Listen backlog.
+  int backlog = 128;
+  /// Connections beyond this are accepted and immediately closed (shed).
+  size_t max_connections = 1024;
+  /// Longest accepted request line (see kMaxRequestLineBytes).
+  size_t max_line_bytes = kMaxRequestLineBytes;
+  /// Stop reading a connection whose un-drained response bytes exceed
+  /// the high watermark; resume below the low watermark.
+  size_t write_high_watermark = 4u << 20;
+  size_t write_low_watermark = 1u << 20;
+};
+
+/// \brief Epoll TCP front-end over a ModelRouter. The router must
+/// outlive the server.
+class TcpScoringServer {
+ public:
+  TcpScoringServer(ModelRouter* router, TcpServerOptions options = {});
+
+  /// Calls Shutdown().
+  ~TcpScoringServer();
+
+  TcpScoringServer(const TcpScoringServer&) = delete;
+  TcpScoringServer& operator=(const TcpScoringServer&) = delete;
+
+  /// Binds, listens and spawns the acceptor + reader threads. Returns
+  /// immediately; clients may connect as soon as this returns OK.
+  Status Start();
+
+  /// The bound port (after a successful Start).
+  int port() const { return port_; }
+
+  /// Blocks the calling thread until Shutdown() is called (from another
+  /// thread or a signal-handling path).
+  void Wait();
+
+  /// Stops accepting, closes every connection, waits for in-flight
+  /// batches to complete, joins all threads. Idempotent.
+  void Shutdown();
+
+  /// Live connections (diagnostics).
+  size_t num_connections() const { return num_connections_.load(); }
+
+ private:
+  struct ResponseSlot {
+    bool done = false;
+    std::string line;  // response without trailing newline
+  };
+
+  // One client connection. Socket I/O fields are owned by the reader
+  // thread; the slot queue is shared with executor callbacks under
+  // `mutex`. Held via shared_ptr so a callback can never outlive it.
+  struct Connection {
+    int fd = -1;
+    size_t reader_index = 0;
+
+    // -- reader-thread-only state --
+    std::string in;                  // unconsumed request bytes
+    std::string out;                 // response bytes not yet sent
+    size_t out_pos = 0;              // sent prefix of `out`
+    uint32_t interest = 0;           // epoll events currently registered
+    bool paused = false;             // EPOLLIN off (backpressure)
+    bool close_after_flush = false;  // quit/EOF/protocol error
+
+    // -- shared state --
+    std::mutex mutex;
+    std::deque<ResponseSlot> slots;  // responses in request order
+    bool closed = false;             // socket gone; callbacks drop
+    std::atomic<bool> dirty{false};  // queued on the reader's dirty list
+  };
+
+  // One reader event loop: an epoll fd over this reader's connections
+  // plus an eventfd for cross-thread wakeups (new connections from the
+  // acceptor, completed slots from executor callbacks, shutdown).
+  struct Reader {
+    size_t index = 0;
+    int epoll_fd = -1;
+    int wake_fd = -1;
+    std::thread thread;
+    std::mutex mutex;            // guards incoming + dirty
+    std::vector<int> incoming;   // fds handed over by the acceptor
+    std::vector<std::shared_ptr<Connection>> dirty;
+    std::unordered_map<int, std::shared_ptr<Connection>> conns;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(size_t reader_index);
+
+  /// Queues `conn` on its reader's dirty list and wakes the reader.
+  /// Safe from any thread.
+  void MarkDirty(const std::shared_ptr<Connection>& conn);
+  void WakeReader(Reader& reader);
+
+  // All of the below run on the connection's owning reader thread.
+  void AdoptConnection(Reader& reader, int fd);
+  void HandleReadable(Reader& reader, const std::shared_ptr<Connection>& c);
+  void ProcessInput(const std::shared_ptr<Connection>& conn);
+  void HandleLine(const std::shared_ptr<Connection>& conn,
+                  std::string_view line);
+  void HandleSwap(const std::shared_ptr<Connection>& conn,
+                  const ServeRequest& request);
+  void HandleStats(const std::shared_ptr<Connection>& conn);
+  /// Appends an already-final response line in arrival order.
+  void PushImmediate(const std::shared_ptr<Connection>& conn,
+                     std::string line);
+  /// Moves completed slots into the write buffer and writes what the
+  /// socket accepts; updates epoll interest and closes drained
+  /// connections marked close_after_flush.
+  void FlushConnection(Reader& reader,
+                       const std::shared_ptr<Connection>& conn);
+  void UpdateInterest(Reader& reader,
+                      const std::shared_ptr<Connection>& conn);
+  void CloseConnection(Reader& reader,
+                       const std::shared_ptr<Connection>& conn);
+
+  ModelRouter* router_;
+  TcpServerOptions options_;
+
+  int listen_fd_ = -1;
+  int accept_wake_fd_ = -1;
+  int accept_epoll_fd_ = -1;
+  int port_ = 0;
+  std::thread acceptor_;
+  std::vector<std::unique_ptr<Reader>> readers_;
+  std::atomic<size_t> next_reader_{0};
+  std::atomic<size_t> num_connections_{0};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex state_mutex_;
+  std::condition_variable state_cv_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_SERVE_TCP_SERVER_H_

@@ -150,10 +150,34 @@ TEST(ThreadPoolTest, DefaultNumThreadsHonoursEnvOverride) {
   // setenv/getenv here is safe: tests in this binary run single-threaded.
   setenv("TELCO_THREADS", "3", /*overwrite=*/1);
   EXPECT_EQ(ThreadPool::DefaultNumThreads(), 3u);
-  setenv("TELCO_THREADS", "not-a-number", 1);
-  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1u);
   unsetenv("TELCO_THREADS");
   EXPECT_GE(ThreadPool::DefaultNumThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, DegenerateEnvValuesFallBackToHardwareConcurrency) {
+  const size_t fallback = [] {
+    unsetenv("TELCO_THREADS");
+    return ThreadPool::DefaultNumThreads();
+  }();
+  // Garbage, trailing text, zero, negatives, and out-of-range magnitudes
+  // must never size a pool — each falls back instead of returning 0 or a
+  // wrapped-around huge count.
+  const char* degenerate[] = {
+      "not-a-number", "3threads", "", " ", "0",    "-4",
+      "+",            "0x10",     "1e3", "99999999999999999999",
+      "4097",  // above the sanity cap
+  };
+  for (const char* value : degenerate) {
+    setenv("TELCO_THREADS", value, 1);
+    EXPECT_EQ(ThreadPool::DefaultNumThreads(), fallback)
+        << "TELCO_THREADS='" << value << "'";
+  }
+  // Boundary values that are legitimate.
+  setenv("TELCO_THREADS", "1", 1);
+  EXPECT_EQ(ThreadPool::DefaultNumThreads(), 1u);
+  setenv("TELCO_THREADS", "4096", 1);
+  EXPECT_EQ(ThreadPool::DefaultNumThreads(), 4096u);
+  unsetenv("TELCO_THREADS");
 }
 
 }  // namespace

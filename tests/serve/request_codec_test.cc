@@ -109,6 +109,88 @@ TEST(RequestCodecTest, ScoreResponseCarriesFullPrecision) {
   EXPECT_EQ(score, outcome.score);
 }
 
+TEST(RequestCodecTest, ModelNameRoundTripsThroughScoreRequest) {
+  ScoreRequest request;
+  request.id = 21;
+  request.imsi = 9;
+  request.model = "challenger \"q\"";  // escaping must survive the trip
+  request.features = {1.0, -0.25};
+  auto parsed = ParseServeRequest(FormatScoreRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->score.model, request.model);
+  ASSERT_EQ(parsed->score.features.size(), 2u);
+  EXPECT_EQ(parsed->score.features[1], -0.25);
+
+  // Absent model member = default route.
+  auto defaulted = ParseServeRequest(R"({"id":1,"features":[1]})");
+  ASSERT_TRUE(defaulted.ok());
+  EXPECT_EQ(defaulted->score.model, "");
+
+  // Non-string model is a type error.
+  EXPECT_FALSE(ParseServeRequest(R"({"id":1,"model":7,"features":[1]})").ok());
+}
+
+TEST(RequestCodecTest, SwapCommandCarriesOptionalRouteName) {
+  auto named = ParseServeRequest(
+      R"({"cmd":"swap","model":"/tmp/m.rf","name":"challenger"})");
+  ASSERT_TRUE(named.ok()) << named.status().ToString();
+  EXPECT_EQ(named->model_name, "challenger");
+
+  auto unnamed = ParseServeRequest(R"({"cmd":"swap","model":"/tmp/m.rf"})");
+  ASSERT_TRUE(unnamed.ok());
+  EXPECT_EQ(unnamed->model_name, "");
+
+  EXPECT_FALSE(
+      ParseServeRequest(R"({"cmd":"swap","model":"/tmp/m.rf","name":1})")
+          .ok());
+}
+
+TEST(RequestCodecTest, OversizedLineRejectedBeforeParsing) {
+  // One byte over the frame bound: InvalidArgument naming the limit,
+  // even though the payload itself would be valid JSON.
+  std::string line = R"({"id":1,"features":[1)";
+  line.append(kMaxRequestLineBytes, ' ');
+  line += "]}";
+  ASSERT_GT(line.size(), kMaxRequestLineBytes);
+  auto parsed = ParseServeRequest(line);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+  EXPECT_NE(parsed.status().ToString().find("exceeds"), std::string::npos);
+
+  // At the bound exactly, the line still parses.
+  std::string padded = R"({"id":1,"features":[1]})";
+  padded.insert(padded.size() - 2, kMaxRequestLineBytes - padded.size(), ' ');
+  ASSERT_EQ(padded.size(), kMaxRequestLineBytes);
+  EXPECT_TRUE(ParseServeRequest(padded).ok());
+}
+
+// The zero-allocation fast path and the DOM parser must accept the same
+// canonical frames and produce identical requests; frames that deviate
+// from the canonical shape must still parse (via the DOM) with the same
+// values as their canonical spelling.
+TEST(RequestCodecTest, FastPathMatchesDomParser) {
+  // Canonical spelling (what FormatScoreRequest emits) and a whitespace
+  // variant the fast path cannot take: both must agree with each other.
+  ScoreRequest request;
+  request.id = 345;
+  request.imsi = -17;
+  request.model = "alpha";
+  request.features = {0.1, 2e-308, -1.5, 12345.678901234567};
+  const std::string canonical = FormatScoreRequest(request);
+  std::string spaced = canonical;
+  spaced.insert(1, " ");  // any deviation forces the DOM path
+  auto via_fast = ParseServeRequest(canonical);
+  auto via_dom = ParseServeRequest(spaced);
+  ASSERT_TRUE(via_fast.ok() && via_dom.ok());
+  EXPECT_EQ(via_fast->score.id, via_dom->score.id);
+  EXPECT_EQ(via_fast->score.imsi, via_dom->score.imsi);
+  EXPECT_EQ(via_fast->score.model, via_dom->score.model);
+  ASSERT_EQ(via_fast->score.features.size(), via_dom->score.features.size());
+  for (size_t i = 0; i < via_fast->score.features.size(); ++i) {
+    EXPECT_EQ(via_fast->score.features[i], via_dom->score.features[i]) << i;
+  }
+}
+
 TEST(RequestCodecTest, ErrorResponseSetsRetryFromUnavailable) {
   const std::string transient =
       FormatErrorResponse(4, Status::Unavailable("queue full; retry"));

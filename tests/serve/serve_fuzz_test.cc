@@ -39,6 +39,15 @@ ScoreRequest RandomRequest(Rng& rng) {
   request.id = rng.UniformInt(1ull << 50);
   request.imsi = static_cast<int64_t>(rng.UniformInt(1ull << 50)) -
                  (1ll << 49);
+  // Half the requests carry a route name, sometimes one that needs
+  // escaping, so the model member rides through every property below.
+  if (rng.UniformInt(2) == 0) {
+    const size_t len = 1 + rng.UniformInt(12);
+    for (size_t i = 0; i < len; ++i) {
+      request.model +=
+          static_cast<char>("abz\"\\/ _-09\t"[rng.UniformInt(12)]);
+    }
+  }
   const size_t width = 1 + rng.UniformInt(32);
   request.features.reserve(width);
   for (size_t i = 0; i < width; ++i) {
@@ -82,6 +91,7 @@ TEST(ServeFuzzTest, FormatParseIsIdentityOnRandomRequests) {
     ASSERT_EQ(parsed->type, ServeRequestType::kScore);
     ASSERT_EQ(parsed->score.id, request.id) << line;
     ASSERT_EQ(parsed->score.imsi, request.imsi) << line;
+    ASSERT_EQ(parsed->score.model, request.model) << line;
     ASSERT_EQ(parsed->score.features.size(), request.features.size());
     for (size_t i = 0; i < request.features.size(); ++i) {
       // Bit-identical round-trip, including signed zeros.
@@ -90,6 +100,12 @@ TEST(ServeFuzzTest, FormatParseIsIdentityOnRandomRequests) {
       ASSERT_EQ(std::signbit(parsed->score.features[i]),
                 std::signbit(request.features[i]));
     }
+    // The zero-allocation fast path (canonical spelling) and the DOM
+    // path (any deviation) must agree on every generated frame.
+    auto via_dom = ParseServeRequest(" " + line);
+    ASSERT_TRUE(via_dom.ok()) << via_dom.status().ToString();
+    ASSERT_EQ(via_dom->score.model, parsed->score.model) << line;
+    ASSERT_EQ(via_dom->score.features, parsed->score.features) << line;
   }
 }
 

@@ -38,6 +38,8 @@
 //   --trace-out PATH    write a Chrome trace-event JSON (Perfetto-loadable)
 //   --report-out PATH   write a structured run report (JSON)
 
+#include <signal.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -57,10 +59,12 @@
 #include "common/thread_pool.h"
 #include "datagen/telco_simulator.h"
 #include "ml/serialize.h"
+#include "serve/model_router.h"
 #include "serve/model_snapshot.h"
 #include "serve/request_codec.h"
 #include "serve/snapshot_registry.h"
 #include "serve/stdio_server.h"
+#include "serve/tcp_server.h"
 #include "storage/atomic_file.h"
 #include "storage/warehouse_io.h"
 
@@ -295,10 +299,12 @@ Status RunPredict(Flags& flags) {
   return Status::OK();
 }
 
-// Online scoring session: NDJSON requests on stdin, NDJSON responses on
-// stdout (see src/serve/request_codec.h for the protocol). The registry
-// starts with --model published as snapshot v1; {"cmd":"swap",...} lines
-// hot-swap later versions without stopping the stream.
+// Online scoring session. Default: NDJSON requests on stdin, responses
+// on stdout (see src/serve/request_codec.h). With --tcp-port the same
+// protocol is served over TCP to many concurrent clients, with named
+// model routes behind a ModelRouter ({"model":"name"} in requests,
+// {"cmd":"swap","name":"..."} to publish). The default route starts with
+// --model published as snapshot v1; --models preloads named routes.
 Status RunServe(Flags& flags) {
   TELCO_ASSIGN_OR_RETURN(const std::string model_path,
                          flags.Required("model"));
@@ -309,6 +315,9 @@ Status RunServe(Flags& flags) {
       static_cast<size_t>(flags.GetInt("queue", 1024));
   options.window = static_cast<size_t>(flags.GetInt("window", 128));
   const int threads = static_cast<int>(flags.GetInt("threads", 0));
+  const int64_t tcp_port = flags.GetInt("tcp-port", -1);
+  const int64_t readers = flags.GetInt("readers", 2);
+  const std::string named_models = flags.Get("models", "");
   TELCO_RETURN_NOT_OK(flags.CheckAllUsed());
 
   std::unique_ptr<ThreadPool> owned_pool;
@@ -319,15 +328,76 @@ Status RunServe(Flags& flags) {
 
   TELCO_ASSIGN_OR_RETURN(auto snapshot,
                          ModelSnapshot::LoadFromFile(model_path));
-  SnapshotRegistry registry;
-  registry.Publish(std::move(snapshot));
+
+  if (tcp_port < 0) {
+    if (!named_models.empty()) {
+      return Status::InvalidArgument(
+          "--models needs the multi-model TCP front-end (--tcp-port)");
+    }
+    SnapshotRegistry registry;
+    registry.Publish(std::move(snapshot));
+    std::fprintf(stderr,
+                 "serving %s (snapshot v1, batch %zu, queue %zu); "
+                 "NDJSON requests on stdin\n",
+                 model_path.c_str(), options.executor.max_batch_size,
+                 options.executor.max_queue_depth);
+    StdioScoringServer server(&registry, options);
+    return server.Run(std::cin, stdout);
+  }
+
+  if (tcp_port > 65535) {
+    return Status::InvalidArgument("--tcp-port must be in [0, 65535]");
+  }
+  if (readers < 1) {
+    return Status::InvalidArgument("--readers must be >= 1");
+  }
+  ModelRouterOptions router_options;
+  router_options.executor = options.executor;
+  ModelRouter router(router_options);
+  router.Publish("", std::move(snapshot));
+  if (!named_models.empty()) {
+    // --models segment-a=/path/a.rf,segment-b=/path/b.rf
+    for (const std::string& entry : Split(named_models, ',')) {
+      const size_t eq = entry.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == entry.size()) {
+        return Status::InvalidArgument(
+            "--models expects name=path[,name=path...], got '" + entry +
+            "'");
+      }
+      const std::string name = entry.substr(0, eq);
+      const std::string path = entry.substr(eq + 1);
+      TELCO_ASSIGN_OR_RETURN(auto named, ModelSnapshot::LoadFromFile(path));
+      router.Publish(name, std::move(named));
+      std::fprintf(stderr, "published model '%s' from %s\n", name.c_str(),
+                   path.c_str());
+    }
+  }
+
+  // Block the termination signals before Start so every server thread
+  // inherits the mask; sigwait below is then the only consumer.
+  sigset_t term_signals;
+  sigemptyset(&term_signals);
+  sigaddset(&term_signals, SIGINT);
+  sigaddset(&term_signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &term_signals, nullptr);
+
+  TcpServerOptions tcp;
+  tcp.port = static_cast<int>(tcp_port);
+  tcp.readers = static_cast<size_t>(readers);
+  TcpScoringServer server(&router, tcp);
+  TELCO_RETURN_NOT_OK(server.Start());
   std::fprintf(stderr,
-               "serving %s (snapshot v1, batch %zu, queue %zu); "
-               "NDJSON requests on stdin\n",
-               model_path.c_str(), options.executor.max_batch_size,
+               "serving %s on 127.0.0.1:%d (%lld reader(s), batch %zu, "
+               "queue %zu); Ctrl-C to stop\n",
+               model_path.c_str(), server.port(),
+               static_cast<long long>(readers),
+               options.executor.max_batch_size,
                options.executor.max_queue_depth);
-  StdioScoringServer server(&registry, options);
-  return server.Run(std::cin, stdout);
+  int signal_number = 0;
+  sigwait(&term_signals, &signal_number);
+  std::fprintf(stderr, "caught signal %d; shutting down\n", signal_number);
+  server.Shutdown();
+  return Status::OK();
 }
 
 // Emits a deterministic NDJSON score-request stream for one month's
@@ -534,6 +604,9 @@ int Usage() {
       "  predict  --warehouse DIR --model PATH --month M [--top U]\n"
       "  serve    --model PATH [--batch N] [--queue N] [--window N]\n"
       "           [--threads N]   (NDJSON on stdin/stdout; see README)\n"
+      "           [--tcp-port P] [--readers N] [--models n=PATH,...]\n"
+      "           (with --tcp-port: epoll TCP front-end with named-model\n"
+      "           routing; port 0 picks an ephemeral port)\n"
       "  requests --warehouse DIR --model PATH --month M [--limit N]\n"
       "  evaluate --warehouse DIR --month M [--u U]\n"
       "           [--training-months K] [--trees T] [--threads N]\n"

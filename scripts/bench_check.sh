@@ -1,6 +1,8 @@
 #!/bin/sh
 # Bench regression gate: re-runs the serve throughput bench and the
-# flat-forest batch-scoring micro benches, then fails if any throughput
+# batch-scoring micro benches (pointer walk, flat engine, binned
+# engine — every ScoreBatch key in the committed baseline is gated,
+# so the binned-vs-flat gap cannot silently erode), then fails if any
 # number drops more than 10% below the committed baselines in
 # bench/baselines/. Registered in ctest under the `slow` label, so it
 # runs in the full suite and CI but stays out of `ctest -LE slow`.
@@ -74,7 +76,7 @@ compare "serve.throughput_per_sec" "$serve_best" \
 compare "serve.tcp_throughput_per_sec" "$tcp_best" \
   "$(jq -r '.config.tcp_throughput_per_sec' "$BASELINE_DIR/BENCH_serve.json")"
 
-echo "== bench_micro_ml (flat vs pointer batch scoring, best of $RUNS) =="
+echo "== bench_micro_ml (pointer vs flat vs binned scoring, best of $RUNS) =="
 i=0
 while [ "$i" -lt "$RUNS" ]; do
   "$BUILD_DIR/bench/bench_micro_ml" --benchmark_filter='ScoreBatch' \

@@ -24,6 +24,8 @@ cmake --build "$BUILD_DIR" \
 cd "$BUILD_DIR"
 
 # The full TCP wire suite plus the router's concurrency tests, once.
+# This includes the idle-reaper test (reader-thread sweep racing
+# executor callbacks) and the binned-engine wire-parity test.
 ctest -R 'TcpServe|ModelRouter' --output-on-failure -j "$(nproc)"
 
 # Swap-storm soak: the two tests whose schedules matter most — named
@@ -33,3 +35,11 @@ ctest -R 'TcpServe|ModelRouter' --output-on-failure -j "$(nproc)"
 # the reader's flush.
 ctest -R 'TcpServeTest.ConcurrentNamedSwapStormKeepsBitParity|ModelRouterTest.IndependentHotSwapUnderConcurrentLoad' \
     --output-on-failure --repeat until-fail:5
+
+# Same swap storm with the binned traversal engine forced on: batch
+# scoring now runs BinnedForest::PredictProbaInto on the pool workers,
+# so TSan checks the compiled edge-map/arena reads against concurrent
+# snapshot publishes too.
+TELCO_FOREST_ENGINE=binned \
+ctest -R 'TcpServeTest.ConcurrentNamedSwapStormKeepsBitParity|TcpServeTest.IdleReaperClosesStalledConnectionOnly' \
+    --output-on-failure --repeat until-fail:3

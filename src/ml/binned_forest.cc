@@ -1,0 +1,350 @@
+#include "ml/binned_forest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/timer.h"
+#include "common/thread_pool.h"
+
+namespace telco {
+
+namespace {
+
+struct BinnedForestMetrics {
+  Histogram compile_seconds;
+  Counter nodes;
+  Counter batch_rows;
+  Counter wide_code_forests;
+  Counter compile_fallbacks;
+};
+
+const BinnedForestMetrics& Metrics() {
+  static const BinnedForestMetrics* const m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    return new BinnedForestMetrics{
+        r.GetHistogram("ml.binned_forest.compile_seconds"),
+        r.GetCounter("ml.binned_forest.nodes"),
+        r.GetCounter("ml.binned_forest.batch_rows"),
+        r.GetCounter("ml.binned_forest.wide_code_forests"),
+        r.GetCounter("ml.binned_forest.compile_fallbacks"),
+    };
+  }();
+  return *m;
+}
+
+// -1 = not initialised yet; otherwise a ForestEngine value.
+std::atomic<int> g_default_engine{-1};
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TELCO_BINNED_AVX2 1
+
+bool HasAvx2() {
+  // TELCO_BINNED_SIMD=off forces the scalar conditional-move loop — a
+  // debugging/benching escape hatch; scores are identical either way.
+  static const bool has = [] {
+    const char* env = std::getenv("TELCO_BINNED_SIMD");
+    if (env != nullptr && std::string_view(env) == "off") return false;
+    return __builtin_cpu_supports("avx2") != 0;
+  }();
+  return has;
+}
+
+// One lock-step descent iteration for eight rows. `arena_words` views the
+// 8-byte node arena as 32-bit words: word 2i is {split | feature << 16}
+// (little-endian field order of BinnedForest::Node), word 2i+1 is
+// right_delta. `rowoff` holds the eight rows' code-buffer base offsets
+// (row * num_features). The code gather reads 4 bytes per lane, so the
+// caller pads the code buffer past its last element. Returns nonzero when
+// any of the eight rows moved (leaves step by 0).
+__attribute__((target("avx2"))) inline uint32_t DescendStep8U16(
+    const int32_t* arena_words, const uint16_t* codes,
+    const int32_t* rowoff, uint32_t* idx) {
+  const __m256i vidx =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx));
+  const __m256i packed = _mm256_i32gather_epi32(arena_words, vidx, 8);
+  const __m256i vdelta = _mm256_i32gather_epi32(arena_words + 1, vidx, 8);
+  const __m256i low16 = _mm256_set1_epi32(0xFFFF);
+  const __m256i vsplit = _mm256_and_si256(packed, low16);
+  const __m256i vfeat = _mm256_srli_epi32(packed, 16);
+  const __m256i voff = _mm256_add_epi32(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rowoff)), vfeat);
+  const __m256i vcode = _mm256_and_si256(
+      _mm256_i32gather_epi32(reinterpret_cast<const int*>(codes), voff, 2),
+      low16);
+  // code < split, both in [0, 65535] so the signed compare is exact.
+  const __m256i lt = _mm256_cmpgt_epi32(vsplit, vcode);
+  const __m256i step =
+      _mm256_blendv_epi8(vdelta, _mm256_set1_epi32(1), lt);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(idx),
+                      _mm256_add_epi32(vidx, step));
+  return static_cast<uint32_t>(_mm256_testz_si256(step, step) == 0);
+}
+
+// uint8 code-buffer variant: gather scale 1, mask 0xFF.
+__attribute__((target("avx2"))) inline uint32_t DescendStep8U8(
+    const int32_t* arena_words, const uint8_t* codes, const int32_t* rowoff,
+    uint32_t* idx) {
+  const __m256i vidx =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx));
+  const __m256i packed = _mm256_i32gather_epi32(arena_words, vidx, 8);
+  const __m256i vdelta = _mm256_i32gather_epi32(arena_words + 1, vidx, 8);
+  const __m256i vsplit = _mm256_and_si256(packed, _mm256_set1_epi32(0xFFFF));
+  const __m256i vfeat = _mm256_srli_epi32(packed, 16);
+  const __m256i voff = _mm256_add_epi32(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rowoff)), vfeat);
+  const __m256i vcode = _mm256_and_si256(
+      _mm256_i32gather_epi32(reinterpret_cast<const int*>(codes), voff, 1),
+      _mm256_set1_epi32(0xFF));
+  const __m256i lt = _mm256_cmpgt_epi32(vsplit, vcode);
+  const __m256i step =
+      _mm256_blendv_epi8(vdelta, _mm256_set1_epi32(1), lt);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(idx),
+                      _mm256_add_epi32(vidx, step));
+  return static_cast<uint32_t>(_mm256_testz_si256(step, step) == 0);
+}
+
+inline uint32_t DescendStep8(const int32_t* arena_words,
+                             const uint16_t* codes, const int32_t* rowoff,
+                             uint32_t* idx) {
+  return DescendStep8U16(arena_words, codes, rowoff, idx);
+}
+inline uint32_t DescendStep8(const int32_t* arena_words,
+                             const uint8_t* codes, const int32_t* rowoff,
+                             uint32_t* idx) {
+  return DescendStep8U8(arena_words, codes, rowoff, idx);
+}
+#endif  // x86_64
+
+}  // namespace
+
+ForestEngine DefaultForestEngine() {
+  int v = g_default_engine.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(ForestEngine::kBinned);
+    if (const char* env = std::getenv("TELCO_FOREST_ENGINE")) {
+      const Result<ForestEngine> parsed = ParseForestEngine(env);
+      if (parsed.ok()) {
+        v = static_cast<int>(*parsed);
+      } else {
+        TELCO_LOG(Warning) << "ignoring TELCO_FOREST_ENGINE='" << env
+                           << "': " << parsed.status().ToString();
+      }
+    }
+    g_default_engine.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<ForestEngine>(v);
+}
+
+void SetDefaultForestEngine(ForestEngine engine) {
+  g_default_engine.store(static_cast<int>(engine),
+                         std::memory_order_relaxed);
+}
+
+Result<ForestEngine> ParseForestEngine(std::string_view name) {
+  if (name == "exact") return ForestEngine::kExact;
+  if (name == "binned") return ForestEngine::kBinned;
+  return Status::InvalidArgument(
+      StrFormat("unknown forest engine '%.*s' (want exact|binned)",
+                static_cast<int>(name.size()), name.data()));
+}
+
+std::string_view ForestEngineName(ForestEngine engine) {
+  return engine == ForestEngine::kExact ? "exact" : "binned";
+}
+
+Result<BinnedForest> BinnedForest::Compile(const FlatForest& flat) {
+  if (flat.nodes_.empty()) {
+    return Status::InvalidArgument("cannot bin an empty forest");
+  }
+  Stopwatch watch;
+  int64_t max_feature = -1;
+  for (const FlatForest::Node& n : flat.nodes_) {
+    max_feature = std::max<int64_t>(max_feature, n.feature);
+  }
+  if (max_feature >= 0xFFFF) {
+    return Status::InvalidArgument(
+        "binned nodes index features with uint16");
+  }
+  std::vector<std::vector<double>> thresholds(
+      static_cast<size_t>(max_feature + 1));
+  for (const FlatForest::Node& n : flat.nodes_) {
+    if (n.feature >= 0) {
+      thresholds[static_cast<size_t>(n.feature)].push_back(n.threshold);
+    }
+  }
+
+  BinnedForest binned;
+  TELCO_ASSIGN_OR_RETURN(binned.edges_, ThresholdEdgeMap::Build(thresholds));
+  binned.wide_codes_ = !binned.edges_.fits_uint8();
+  binned.roots_ = flat.roots_;
+  binned.leaf_values_ = flat.leaf_values_;
+  binned.margin_kind_ = flat.kind_ == FlatForest::Kind::kMargin;
+  binned.base_margin_ = flat.base_margin_;
+  binned.learning_rate_ = flat.learning_rate_;
+  binned.nodes_.resize(flat.nodes_.size());
+  binned.leaf_slot_.assign(flat.nodes_.size(), -1);
+  for (size_t i = 0; i < flat.nodes_.size(); ++i) {
+    const FlatForest::Node& src = flat.nodes_[i];
+    Node& dst = binned.nodes_[i];
+    if (src.feature < 0) {
+      // Leaf: split 0 never compares true and right_delta 0 self-loops,
+      // so finished rows hold still in the lock-step descent. The leaf
+      // value index moves to the cold sidecar.
+      binned.leaf_slot_[i] = src.right_delta;
+    } else {
+      dst.feature = static_cast<uint16_t>(src.feature);
+      dst.right_delta = src.right_delta;
+      // `v <= t` <=> `code(v) < code(t) + 1` for finite and infinite t;
+      // a NaN threshold compares false for every v, which split == 0
+      // encodes (no code is < 0) while the real right_delta keeps the
+      // node unconditionally-right rather than a leaf self-loop.
+      dst.split = std::isnan(src.threshold)
+                      ? 0
+                      : static_cast<uint16_t>(
+                            binned.edges_.CodeOf(
+                                static_cast<size_t>(src.feature),
+                                src.threshold) +
+                            1);
+    }
+  }
+  Metrics().nodes.Add(binned.nodes_.size());
+  if (binned.wide_codes_) Metrics().wide_code_forests.Add();
+  Metrics().compile_seconds.Observe(watch.ElapsedSeconds());
+  return binned;
+}
+
+template <typename Code>
+void BinnedForest::ScoreBlock(FeatureMatrix rows, size_t lo, size_t hi,
+                              Code* codes, double* out) const {
+  const size_t cols = rows.num_cols();
+  const size_t nf = edges_.num_features();
+  const size_t n = hi - lo;
+
+  // Bin the block's rows once; every tree reuses the integer codes.
+  for (size_t r = 0; r < n; ++r) {
+    edges_.EncodeRow(rows.data() + (lo + r) * cols, codes + r * nf);
+  }
+
+  double acc[kBlockRows];
+  const double init = margin_kind_ ? base_margin_ : 0.0;
+  for (size_t r = 0; r < n; ++r) acc[r] = init;
+
+  alignas(32) uint32_t idx[kBlockRows];
+#if TELCO_BINNED_AVX2
+  const bool use_avx2 = HasAvx2();
+  alignas(32) int32_t rowoff[kBlockRows];
+  for (size_t r = 0; r < n; ++r) {
+    rowoff[r] = static_cast<int32_t>(r * nf);
+  }
+  const int32_t* const arena_words =
+      reinterpret_cast<const int32_t*>(nodes_.data());
+#endif
+
+  // Tree-major, lock-step descent: every row of the block takes one
+  // conditional-move step per iteration; leaves self-loop, so the loop
+  // ends after (max leaf depth among the block's rows) iterations when
+  // a sweep moves nobody. Accumulation is in tree order with the exact
+  // engine's arithmetic, so the result is bit-identical to it.
+  const Node* const arena = nodes_.data();
+  for (const uint32_t root : roots_) {
+    for (size_t r = 0; r < n; ++r) idx[r] = root;
+    for (;;) {
+      uint32_t moved = 0;
+      size_t r = 0;
+#if TELCO_BINNED_AVX2
+      if (use_avx2) {
+        for (; r + 8 <= n; r += 8) {
+          moved |= DescendStep8(arena_words, codes, rowoff + r, idx + r);
+        }
+      }
+#endif
+      for (; r < n; ++r) {
+        const Node node = arena[idx[r]];
+        const uint32_t code = codes[r * nf + node.feature];
+        const int32_t step =
+            code < node.split ? 1 : node.right_delta;
+        idx[r] += static_cast<uint32_t>(step);
+        moved |= static_cast<uint32_t>(step);
+      }
+      if (moved == 0) break;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      const double leaf = leaf_values_[static_cast<size_t>(
+          leaf_slot_[idx[r]])];
+      acc[r] += margin_kind_ ? learning_rate_ * leaf : leaf;
+    }
+  }
+
+  if (!margin_kind_) {
+    const double divisor = static_cast<double>(roots_.size());
+    for (size_t r = 0; r < n; ++r) out[lo + r] = acc[r] / divisor;
+  } else {
+    for (size_t r = 0; r < n; ++r) out[lo + r] = Sigmoid(acc[r]);
+  }
+}
+
+void BinnedForest::PredictProbaInto(FeatureMatrix rows,
+                                    std::span<double> out,
+                                    ThreadPool* pool) const {
+  TELCO_CHECK(out.size() == rows.num_rows());
+  TELCO_DCHECK(!roots_.empty());
+  TELCO_DCHECK(rows.num_cols() >= edges_.num_features());
+  if (rows.empty()) return;
+  Metrics().batch_rows.Add(rows.num_rows());
+  const size_t nf = edges_.num_features();
+  // One chunk per block keeps the grid independent of the pool size;
+  // rows are scored whole, so any grid gives bit-identical output.
+  const size_t num_blocks = (rows.num_rows() + kBlockRows - 1) / kBlockRows;
+  RunParallelChunks(
+      pool, 0, rows.num_rows(), num_blocks,
+      [&](size_t, size_t lo, size_t hi) {
+        // Per-chunk code buffer, padded so the AVX2 4-byte code gather
+        // of the last element stays in bounds.
+        if (wide_codes_) {
+          std::vector<uint16_t> codes(kBlockRows * nf + 2);
+          for (size_t b = lo; b < hi; b += kBlockRows) {
+            ScoreBlock(rows, b, std::min(b + kBlockRows, hi), codes.data(),
+                       out.data());
+          }
+        } else {
+          std::vector<uint8_t> codes(kBlockRows * nf + 4);
+          for (size_t b = lo; b < hi; b += kBlockRows) {
+            ScoreBlock(rows, b, std::min(b + kBlockRows, hi), codes.data(),
+                       out.data());
+          }
+        }
+      });
+}
+
+std::vector<double> BinnedForest::PredictProba(FeatureMatrix rows,
+                                               ThreadPool* pool) const {
+  std::vector<double> out(rows.num_rows(), 0.0);
+  PredictProbaInto(rows, out, pool);
+  return out;
+}
+
+std::shared_ptr<const BinnedForest> CompileBinnedOrNull(
+    const FlatForest& flat) {
+  Result<BinnedForest> binned = BinnedForest::Compile(flat);
+  if (!binned.ok()) {
+    Metrics().compile_fallbacks.Add();
+    TELCO_LOG(Warning) << "binned engine unavailable, serving exact: "
+                       << binned.status().ToString();
+    return nullptr;
+  }
+  return std::make_shared<const BinnedForest>(std::move(*binned));
+}
+
+}  // namespace telco

@@ -1,0 +1,147 @@
+// BinnedForest: the integer-compare inference engine compiled from a
+// FlatForest (flat-forest v2).
+//
+// The exact engine compares one double per node per row; its 16-byte
+// nodes put the whole ~2MB arena of a 500-tree forest outside L2 on the
+// serving box. This engine re-encodes the same arena as 8-byte nodes
+// whose threshold is a per-feature integer *bin code*: each incoming
+// block of rows is mapped to bin codes once (one branchless lower_bound
+// per feature, see ThresholdEdgeMap), and traversal becomes an integer
+// compare over a half-sized, cache-resident arena.
+//
+// Scores are bit-identical to the exact engine — not merely close. The
+// bin edges are exactly the distinct thresholds the ensemble tests, so
+// `code(v) < code(t)+1  <=>  v <= t` for every row value v and stored
+// threshold t (rows landing exactly on a split threshold bin identically
+// to the double compare; NaN maps to a sentinel code above every split
+// and falls right). Each row therefore reaches the same leaf, and the
+// accumulation (tree order, RF average / GBDT sigmoid-of-margin) copies
+// the exact engine's arithmetic verbatim. The exact FlatForest stays in
+// every model as the parity oracle; parity is enforced bit-for-bit in
+// tests/ml/binned_forest_test.cc. See DESIGN.md §12.
+//
+// Node encoding (8 bytes, little-endian layout matters to the AVX2 path):
+//   uint16 split;        // internal: code(threshold)+1;  leaf/NaN-split: 0
+//   uint16 feature;      // code-buffer column tested;    leaf: 0
+//   int32  right_delta;  // right child at (this + delta); leaf: 0
+// Descent is the branch-free conditional move
+//   idx += code < split ? 1 : right_delta;
+// A leaf (right_delta == 0, split == 0) steps to itself: the 64-row
+// block loop advances every row in lock step and stops when an iteration
+// moves nobody, so rows at different depths need no per-row branches. An
+// internal node with a NaN threshold keeps split == 0 with a real
+// right_delta — no code is < 0, so it is unconditionally-right, matching
+// `v <= NaN == false`. A runtime-dispatched AVX2 path (8 rows per step,
+// gathered nodes and codes) accelerates the same loop on capable CPUs.
+
+#ifndef TELCO_ML_BINNED_FOREST_H_
+#define TELCO_ML_BINNED_FOREST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/binning.h"
+#include "ml/feature_matrix.h"
+#include "ml/flat_forest.h"
+
+namespace telco {
+
+class ThreadPool;
+
+/// \brief Which compiled inference engine batch scoring uses.
+enum class ForestEngine {
+  kExact,   // FlatForest: one double compare per node (parity oracle)
+  kBinned,  // BinnedForest: integer compares over pre-binned rows
+};
+
+/// Process-wide default engine, initialised once from the
+/// TELCO_FOREST_ENGINE environment variable ("exact" | "binned").
+/// Defaults to kBinned: it is bit-identical to exact and faster. Models
+/// whose binned compile failed (see BinnedForest::Compile) serve through
+/// the exact engine regardless of this knob.
+ForestEngine DefaultForestEngine();
+
+/// Overrides the process-wide default (`serve --engine`, tests).
+void SetDefaultForestEngine(ForestEngine engine);
+
+/// Parses "exact" / "binned" (case-sensitive).
+Result<ForestEngine> ParseForestEngine(std::string_view name);
+
+/// Inverse of ParseForestEngine.
+std::string_view ForestEngineName(ForestEngine engine);
+
+/// \brief Immutable integer-compare ensemble scorer (class-1
+/// probabilities), bit-identical to the FlatForest it was compiled from.
+class BinnedForest {
+ public:
+  /// Rows scored per block; one block is binned and walked tree-major by
+  /// one thread (same blocking as the exact engine).
+  static constexpr size_t kBlockRows = FlatForest::kBlockRows;
+
+  /// Compiles the binned form of `flat`. Fails — callers then keep the
+  /// exact engine — when a feature has more than 65535 distinct
+  /// thresholds or a feature index does not fit uint16; codes never
+  /// truncate silently.
+  static Result<BinnedForest> Compile(const FlatForest& flat);
+
+  /// Class-1 probability of every row, chunked across `pool` (null =
+  /// serial); bit-identical for any batch split or thread count.
+  std::vector<double> PredictProba(FeatureMatrix rows,
+                                   ThreadPool* pool) const;
+
+  /// Same, writing into `out` (out.size() == rows.num_rows()).
+  void PredictProbaInto(FeatureMatrix rows, std::span<double> out,
+                        ThreadPool* pool) const;
+
+  size_t num_trees() const { return roots_.size(); }
+  size_t num_nodes() const { return nodes_.size(); }
+  /// Columns of the per-block code buffer (max tested feature + 1).
+  size_t num_features() const { return edges_.num_features(); }
+  /// True when some feature has >255 distinct thresholds, forcing uint16
+  /// row codes instead of uint8.
+  bool wide_codes() const { return wide_codes_; }
+
+ private:
+  // 8 bytes: eight nodes per cache line, twice the exact engine's
+  // density. Field order is load-bearing for the AVX2 path, which
+  // gathers {split | feature << 16} as one 32-bit word.
+  struct Node {
+    uint16_t split = 0;
+    uint16_t feature = 0;
+    int32_t right_delta = 0;
+  };
+  static_assert(sizeof(Node) == 8, "hot node must stay 8 bytes");
+
+  BinnedForest() = default;
+
+  template <typename Code>
+  void ScoreBlock(FeatureMatrix rows, size_t lo, size_t hi, Code* codes,
+                  double* out) const;
+
+  std::vector<Node> nodes_;      // same numbering as the source FlatForest
+  std::vector<uint32_t> roots_;  // index of each tree's root in nodes_
+  // Cold sidecar: leaf node -> its index in leaf_values_ (-1 = internal).
+  // Kept out of the hot node so descent touches only 8 bytes per step.
+  std::vector<int32_t> leaf_slot_;
+  std::vector<double> leaf_values_;
+  ThresholdEdgeMap edges_;
+  bool wide_codes_ = false;
+  // Accumulation parameters copied verbatim from the exact engine.
+  bool margin_kind_ = false;
+  double base_margin_ = 0.0;
+  double learning_rate_ = 1.0;
+};
+
+/// Compiles the binned engine from `flat`, or returns null when the
+/// forest cannot be binned (logged, counted in
+/// ml.binned_forest.compile_fallbacks) — callers then serve through the
+/// exact engine.
+std::shared_ptr<const BinnedForest> CompileBinnedOrNull(
+    const FlatForest& flat);
+
+}  // namespace telco
+
+#endif  // TELCO_ML_BINNED_FOREST_H_

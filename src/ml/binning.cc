@@ -62,6 +62,54 @@ BinnedDataset EncodeBins(const FeatureBinner& binner, const Dataset& data) {
   return out;
 }
 
+Result<ThresholdEdgeMap> ThresholdEdgeMap::Build(
+    const std::vector<std::vector<double>>& thresholds) {
+  ThresholdEdgeMap map;
+  map.offsets_.reserve(thresholds.size() + 1);
+  map.offsets_.push_back(0);
+  std::vector<double> edges;
+  for (size_t j = 0; j < thresholds.size(); ++j) {
+    edges.clear();
+    edges.reserve(thresholds[j].size());
+    for (const double t : thresholds[j]) {
+      if (!std::isnan(t)) edges.push_back(t);
+    }
+    std::sort(edges.begin(), edges.end());
+    // Dedupe with ==; -0.0 and 0.0 collapse into one edge, which is safe
+    // because `v <= -0.0` and `v <= 0.0` agree for every v.
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    // Codes (and the NaN sentinel = edge count) must fit uint16; wider
+    // features would truncate, so refuse and let the caller keep the
+    // exact engine.
+    if (edges.size() > 0xFFFF) {
+      return Status::InvalidArgument(StrFormat(
+          "feature %zu has %zu distinct split thresholds; binned codes "
+          "are limited to uint16",
+          j, edges.size()));
+    }
+    map.max_edges_ =
+        std::max(map.max_edges_, static_cast<uint32_t>(edges.size()));
+    map.edges_.insert(map.edges_.end(), edges.begin(), edges.end());
+    map.offsets_.push_back(static_cast<uint32_t>(map.edges_.size()));
+  }
+  return map;
+}
+
+uint16_t ThresholdEdgeMap::CodeOf(size_t j, double threshold) const {
+  const auto first = edges_.begin() + offsets_[j];
+  const auto last = edges_.begin() + offsets_[j + 1];
+  const auto it = std::lower_bound(first, last, threshold);
+  TELCO_DCHECK(it != last && *it == threshold);
+  return static_cast<uint16_t>(it - first);
+}
+
+uint16_t ThresholdEdgeMap::BinOf(size_t j, double v) const {
+  const auto first = edges_.begin() + offsets_[j];
+  const auto last = edges_.begin() + offsets_[j + 1];
+  if (std::isnan(v)) return static_cast<uint16_t>(last - first);
+  return static_cast<uint16_t>(std::lower_bound(first, last, v) - first);
+}
+
 Result<QuantileOneHotEncoder> QuantileOneHotEncoder::Fit(const Dataset& data,
                                                          int max_bins) {
   QuantileOneHotEncoder enc;

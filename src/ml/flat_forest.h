@@ -70,6 +70,10 @@ class FlatForest {
   size_t num_nodes() const { return nodes_.size(); }
 
  private:
+  // The binned engine (ml/binned_forest.h) compiles straight from the
+  // flat arena so both engines share one node numbering and leaf table.
+  friend class BinnedForest;
+
   enum class Kind {
     kAverage,  // score = sum(leaf values) / num_trees
     kMargin,   // score = Sigmoid(base + sum(rate * leaf values))

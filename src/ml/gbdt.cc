@@ -96,11 +96,16 @@ Status Gbdt::Fit(const Dataset& data) {
       FlatForest::CompileMargin(trees_, base_margin_,
                                 options_.learning_rate));
   flat_ = std::make_shared<const FlatForest>(std::move(flat));
+  binned_ = CompileBinnedOrNull(*flat_);
   return Status::OK();
 }
 
 std::vector<double> Gbdt::PredictProbaBatch(FeatureMatrix rows,
                                             ThreadPool* pool) const {
+  if (binned_ != nullptr &&
+      DefaultForestEngine() == ForestEngine::kBinned) {
+    return binned_->PredictProba(rows, pool);
+  }
   if (flat_ == nullptr) return Classifier::PredictProbaBatch(rows, pool);
   return flat_->PredictProba(rows, pool);
 }

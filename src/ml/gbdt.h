@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "ml/binned_forest.h"
 #include "ml/classifier.h"
 #include "ml/decision_tree.h"
 #include "ml/flat_forest.h"
@@ -35,8 +36,10 @@ class Gbdt final : public Classifier {
 
   Status Fit(const Dataset& data) override;
   double PredictProba(std::span<const double> row) const override;
-  /// Batch scoring through the compiled flat-forest engine —
-  /// bit-identical to the per-row pointer walk, much faster.
+  /// Batch scoring through a compiled engine — binned integer compares
+  /// when DefaultForestEngine() selects it (the default) and the model
+  /// binned, else the exact flat engine; both bit-identical to the
+  /// per-row pointer walk, much faster.
   std::vector<double> PredictProbaBatch(FeatureMatrix rows,
                                         ThreadPool* pool) const override;
   using Classifier::PredictProbaBatch;
@@ -45,8 +48,11 @@ class Gbdt final : public Classifier {
   size_t num_trees() const { return trees_.size(); }
   const std::vector<RegressionTree>& trees() const { return trees_; }
   double base_margin() const { return base_margin_; }
-  /// The compiled inference engine (null only before a successful fit).
+  /// The exact compiled engine (null only before a successful fit).
   const FlatForest* flat() const { return flat_.get(); }
+  /// The binned integer-compare engine (null before a fit, or when the
+  /// model cannot be binned — scoring then stays on the exact engine).
+  const BinnedForest* binned() const { return binned_.get(); }
 
  private:
   double PredictMargin(std::span<const double> row) const;
@@ -56,6 +62,7 @@ class Gbdt final : public Classifier {
   std::vector<RegressionTree> trees_;
   // Shared so copies of a fitted model reuse one compiled arena.
   std::shared_ptr<const FlatForest> flat_;
+  std::shared_ptr<const BinnedForest> binned_;
 };
 
 }  // namespace telco

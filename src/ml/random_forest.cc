@@ -88,6 +88,7 @@ Status RandomForest::Fit(const Dataset& data) {
   TELCO_RETURN_NOT_OK(first_error);
   TELCO_ASSIGN_OR_RETURN(FlatForest flat, FlatForest::CompileAverage(trees_));
   flat_ = std::make_shared<const FlatForest>(std::move(flat));
+  binned_ = CompileBinnedOrNull(*flat_);
 
   // Aggregate Eq. (7) importance across trees and normalise to sum 1.
   importance_.assign(data.num_features(), 0.0);
@@ -113,6 +114,10 @@ double RandomForest::PredictProba(std::span<const double> row) const {
 
 std::vector<double> RandomForest::PredictProbaBatch(FeatureMatrix rows,
                                                     ThreadPool* pool) const {
+  if (binned_ != nullptr &&
+      DefaultForestEngine() == ForestEngine::kBinned) {
+    return binned_->PredictProba(rows, pool);
+  }
   if (flat_ == nullptr) return Classifier::PredictProbaBatch(rows, pool);
   return flat_->PredictProba(rows, pool);
 }
@@ -147,6 +152,7 @@ Result<RandomForest> RandomForest::FromParts(
   TELCO_ASSIGN_OR_RETURN(FlatForest flat,
                          FlatForest::CompileAverage(forest.trees_));
   forest.flat_ = std::make_shared<const FlatForest>(std::move(flat));
+  forest.binned_ = CompileBinnedOrNull(*forest.flat_);
   return forest;
 }
 

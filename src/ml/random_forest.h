@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "ml/binned_forest.h"
 #include "ml/classifier.h"
 #include "ml/decision_tree.h"
 #include "ml/flat_forest.h"
@@ -42,7 +43,9 @@ class RandomForest final : public Classifier {
 
   Status Fit(const Dataset& data) override;
   double PredictProba(std::span<const double> row) const override;
-  /// Batch scoring through the compiled flat-forest engine —
+  /// Batch scoring through a compiled engine — the binned
+  /// integer-compare engine when DefaultForestEngine() selects it (the
+  /// default) and it compiled, else the exact flat engine. Both are
   /// bit-identical to the per-row pointer walk, much faster.
   std::vector<double> PredictProbaBatch(FeatureMatrix rows,
                                         ThreadPool* pool) const override;
@@ -62,8 +65,11 @@ class RandomForest final : public Classifier {
 
   /// Serialization access (ml/serialize).
   const std::vector<ClassificationTree>& trees() const { return trees_; }
-  /// The compiled inference engine (null only before a successful fit).
+  /// The exact compiled engine (null only before a successful fit).
   const FlatForest* flat() const { return flat_.get(); }
+  /// The binned integer-compare engine (null before a fit, or when the
+  /// forest cannot be binned — scoring then stays on the exact engine).
+  const BinnedForest* binned() const { return binned_.get(); }
   /// Rebuilds a fitted forest from deserialized parts.
   static Result<RandomForest> FromParts(RandomForestOptions options,
                                         int num_classes,
@@ -76,6 +82,7 @@ class RandomForest final : public Classifier {
   std::vector<double> importance_;
   // Shared so copies of a fitted forest reuse one compiled arena.
   std::shared_ptr<const FlatForest> flat_;
+  std::shared_ptr<const BinnedForest> binned_;
   int num_classes_ = 2;
 };
 

@@ -79,6 +79,38 @@ std::vector<std::string> ModelRouter::RouteNames() const {
   return names;
 }
 
+std::vector<ModelRouter::RouteStats> ModelRouter::Stats() const {
+  // Route pointers are stable for the router's lifetime, so collect them
+  // under the lock and read each route outside it (Acquire and
+  // queue_depth take their own locks; holding ours across them would
+  // serialize stats against routing).
+  std::vector<std::pair<std::string, Route*>> routes;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    routes.reserve(routes_.size());
+    for (const auto& [name, route] : routes_) {
+      routes.emplace_back(name, route.get());
+    }
+  }
+  std::vector<RouteStats> stats;
+  stats.reserve(routes.size());
+  for (const auto& [name, route] : routes) {
+    RouteStats entry;
+    entry.name = name;
+    const SnapshotRef ref = route->registry.Acquire();
+    entry.snapshot_version = ref.version;
+    if (ref.snapshot != nullptr) {
+      entry.label = ref.snapshot->label();
+      entry.fingerprint = ref.snapshot->fingerprint();
+    }
+    entry.queue_depth = route->executor.queue_depth();
+    entry.scored = route->executor.completed_requests();
+    entry.rejected = route->executor.rejected_requests();
+    stats.push_back(std::move(entry));
+  }
+  return stats;
+}
+
 void ModelRouter::DrainAll() {
   // Snapshot the route pointers under the lock, drain outside it (Drain
   // blocks; route pointers are stable).

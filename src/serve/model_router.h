@@ -74,6 +74,29 @@ class ModelRouter {
   /// Route names in lexicographic order ("" first when present).
   std::vector<std::string> RouteNames() const;
 
+  /// Point-in-time observability snapshot of one route: which snapshot
+  /// is live and how its executor is doing. Counters are per-route (the
+  /// executors own them), unlike the process-wide serve.executor.*
+  /// metrics which sum every route.
+  struct RouteStats {
+    std::string name;
+    /// Live snapshot version (0 = route exists but nothing acquired yet).
+    uint64_t snapshot_version = 0;
+    std::string label;
+    uint32_t fingerprint = 0;
+    /// Requests waiting in this route's admission queue right now.
+    size_t queue_depth = 0;
+    /// Requests this route has finished scoring (incl. per-row failures).
+    uint64_t scored = 0;
+    /// Requests this route refused at admission (full queue).
+    uint64_t rejected = 0;
+  };
+
+  /// Stats for every route, in RouteNames() order. Each route's fields
+  /// are read without stopping its traffic, so the snapshot is
+  /// per-field consistent, not cross-field atomic.
+  std::vector<RouteStats> Stats() const;
+
   /// Blocks until every accepted request on every route has completed.
   void DrainAll();
 

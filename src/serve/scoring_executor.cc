@@ -88,6 +88,7 @@ Status ScoringExecutor::Enqueue(Pending pending) {
     }
     if (queue_.size() >= options_.max_queue_depth) {
       Metrics().rejected.Add();
+      rejected_.fetch_add(1, std::memory_order_relaxed);
       return Status::Unavailable(StrFormat(
           "admission queue full (%zu requests); drain a response and retry",
           queue_.size()));
@@ -162,6 +163,7 @@ void ScoringExecutor::ScoreBatch(std::vector<Pending> batch) {
                                       pending.enqueued)
             .count();
     Metrics().latency_seconds.Observe(latency);
+    completed_.fetch_add(1, std::memory_order_relaxed);
     if (pending.callback) {
       pending.callback(std::move(outcome));
     } else {

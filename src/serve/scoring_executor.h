@@ -23,6 +23,7 @@
 #ifndef TELCO_SERVE_SCORING_EXECUTOR_H_
 #define TELCO_SERVE_SCORING_EXECUTOR_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -111,6 +112,15 @@ class ScoringExecutor {
   /// Requests currently waiting for a batch (diagnostics).
   size_t queue_depth() const;
 
+  /// Requests whose outcome has been delivered (OK or per-row failure),
+  /// over this executor's lifetime. Unlike the process-wide
+  /// serve.executor.* counters these are per-instance, so a router can
+  /// report them per route.
+  uint64_t completed_requests() const { return completed_.load(); }
+
+  /// Requests refused at admission (full queue), per instance.
+  uint64_t rejected_requests() const { return rejected_.load(); }
+
   const ScoringExecutorOptions& options() const { return options_; }
 
  private:
@@ -129,6 +139,9 @@ class ScoringExecutor {
 
   SnapshotRegistry* registry_;
   ScoringExecutorOptions options_;
+
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> rejected_{0};
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;  // dispatcher: work or stop

@@ -61,6 +61,12 @@ Counter PausedCounter() {
   return counter;
 }
 
+Counter IdleReapedCounter() {
+  static const Counter counter =
+      MetricsRegistry::Global().GetCounter("serve.tcp.idle_reaped");
+  return counter;
+}
+
 }  // namespace
 
 TcpScoringServer::TcpScoringServer(ModelRouter* router,
@@ -305,15 +311,24 @@ void TcpScoringServer::AcceptLoop() {
 void TcpScoringServer::ReaderLoop(size_t reader_index) {
   Reader& reader = *readers_[reader_index];
   epoll_event events[64];
+  // With the idle reaper on, epoll_wait must return periodically even
+  // when no fd fires — that tick is what catches a client that connects
+  // and then sends nothing. A quarter of the timeout bounds reap lag at
+  // 1.25x the configured idle time.
+  const int wait_ms =
+      options_.idle_timeout_s > 0
+          ? std::clamp(options_.idle_timeout_s * 250, 50, 30'000)
+          : -1;
   bool stop = false;
   while (!stop) {
-    const int n = ::epoll_wait(reader.epoll_fd, events, 64, -1);
+    const int n = ::epoll_wait(reader.epoll_fd, events, 64, wait_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       TELCO_LOG(Error) << "reader epoll_wait failed: "
                        << std::strerror(errno);
       break;
     }
+    if (options_.idle_timeout_s > 0) ReapIdle(reader);
     bool woke = false;
     for (int i = 0; i < n; ++i) {
       if (events[i].data.fd == reader.wake_fd) {
@@ -378,6 +393,7 @@ void TcpScoringServer::AdoptConnection(Reader& reader, int fd) {
   auto conn = std::make_shared<Connection>();
   conn->fd = fd;
   conn->reader_index = reader.index;
+  conn->last_activity = std::chrono::steady_clock::now();
   conn->interest = EPOLLIN | EPOLLRDHUP;
   epoll_event ev{};
   ev.events = conn->interest;
@@ -398,6 +414,7 @@ void TcpScoringServer::HandleReadable(
   for (;;) {
     const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (n > 0) {
+      conn->last_activity = std::chrono::steady_clock::now();
       conn->in.append(buf, static_cast<size_t>(n));
       ProcessInput(conn);
       FlushConnection(reader, conn);
@@ -560,17 +577,18 @@ void TcpScoringServer::HandleStats(const std::shared_ptr<Connection>& conn) {
     p99_ms = latency->histogram.Quantile(0.99) * 1e3;
   }
   std::string models;
-  for (const std::string& name : router_->RouteNames()) {
-    Result<SnapshotRegistry*> registry = router_->RouteRegistry(name);
-    if (!registry.ok()) continue;
-    const SnapshotRef ref = (*registry)->Acquire();
+  for (const ModelRouter::RouteStats& route : router_->Stats()) {
     if (!models.empty()) models += ',';
     models += StrFormat(
-        "{\"model\":\"%s\",\"snapshot\":%llu,\"label\":\"%s\"}",
-        JsonEscape(name).c_str(),
-        static_cast<unsigned long long>(ref.version),
-        ref.snapshot == nullptr ? ""
-                                : JsonEscape(ref.snapshot->label()).c_str());
+        "{\"model\":\"%s\",\"snapshot\":%llu,\"label\":\"%s\","
+        "\"fingerprint\":\"%08x\",\"queue_depth\":%zu,"
+        "\"scored\":%llu,\"rejected\":%llu}",
+        JsonEscape(route.name).c_str(),
+        static_cast<unsigned long long>(route.snapshot_version),
+        JsonEscape(route.label).c_str(), route.fingerprint,
+        route.queue_depth,
+        static_cast<unsigned long long>(route.scored),
+        static_cast<unsigned long long>(route.rejected));
   }
   PushImmediate(
       conn,
@@ -608,6 +626,9 @@ void TcpScoringServer::FlushConnection(
         ::send(conn->fd, conn->out.data() + conn->out_pos,
                conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
     if (n >= 0) {
+      // A client draining its responses is making progress; only actual
+      // bytes moved reset the idle clock.
+      if (n > 0) conn->last_activity = std::chrono::steady_clock::now();
       conn->out_pos += static_cast<size_t>(n);
       continue;
     }
@@ -658,6 +679,22 @@ void TcpScoringServer::UpdateInterest(
   ev.data.fd = conn->fd;
   if (::epoll_ctl(reader.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
     conn->interest = interest;
+  }
+}
+
+void TcpScoringServer::ReapIdle(Reader& reader) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::seconds(options_.idle_timeout_s);
+  // CloseConnection erases from reader.conns, so collect victims first.
+  std::vector<std::shared_ptr<Connection>> idle;
+  for (const auto& [fd, conn] : reader.conns) {
+    if (now - conn->last_activity > limit) idle.push_back(conn);
+  }
+  for (const auto& conn : idle) {
+    IdleReapedCounter().Add();
+    TELCO_LOG(Info) << "reaping connection idle for more than "
+                    << options_.idle_timeout_s << "s";
+    CloseConnection(reader, conn);
   }
 }
 

@@ -40,6 +40,7 @@
 #define TELCO_SERVE_TCP_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -74,6 +75,12 @@ struct TcpServerOptions {
   /// the high watermark; resume below the low watermark.
   size_t write_high_watermark = 4u << 20;
   size_t write_low_watermark = 1u << 20;
+  /// Close a connection that has made no progress (no bytes received, no
+  /// bytes the client drained) for this long. A trickle of half-frames
+  /// counts as progress byte-wise but a connection that just sits there
+  /// holding a slot does not — this bounds how long a slow-loris client
+  /// can pin one of max_connections. <= 0 disables the reaper.
+  int idle_timeout_s = 300;
 };
 
 /// \brief Epoll TCP front-end over a ModelRouter. The router must
@@ -126,6 +133,10 @@ class TcpScoringServer {
     uint32_t interest = 0;           // epoll events currently registered
     bool paused = false;             // EPOLLIN off (backpressure)
     bool close_after_flush = false;  // quit/EOF/protocol error
+    /// Last time this connection made I/O progress (adoption, bytes
+    /// received, bytes sent). Only the owning reader reads or writes it,
+    /// so the idle sweep needs no locking.
+    std::chrono::steady_clock::time_point last_activity{};
 
     // -- shared state --
     std::mutex mutex;
@@ -177,6 +188,9 @@ class TcpScoringServer {
                       const std::shared_ptr<Connection>& conn);
   void CloseConnection(Reader& reader,
                        const std::shared_ptr<Connection>& conn);
+  /// Closes every connection on this reader whose last_activity is older
+  /// than idle_timeout_s. Runs on the owning reader thread only.
+  void ReapIdle(Reader& reader);
 
   ModelRouter* router_;
   TcpServerOptions options_;

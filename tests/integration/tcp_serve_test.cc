@@ -24,12 +24,20 @@
 
 #include "../ml/ml_test_util.h"
 #include "common/telemetry/json.h"
+#include "common/telemetry/metrics.h"
+#include "ml/binned_forest.h"
 #include "ml/serialize.h"
 #include "serve/model_router.h"
 #include "serve/tcp_server.h"
 
 namespace telco {
 namespace {
+
+uint64_t CounterValue(const char* name) {
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const MetricValue* value = snapshot.Find(name);
+  return value == nullptr ? 0 : value->counter;
+}
 
 std::shared_ptr<const ModelSnapshot> MakeSnapshot(uint64_t seed,
                                                   const std::string& label) {
@@ -107,6 +115,14 @@ class TcpClient {
   }
 
   void HalfClose() { ::shutdown(fd_, SHUT_WR); }
+
+  // Bound blocking recvs so a server that wrongly keeps a connection
+  // open fails the test instead of hanging it.
+  void SetRecvTimeout(int seconds) {
+    timeval tv{};
+    tv.tv_sec = seconds;
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
 
   void Close() {
     if (fd_ >= 0) ::close(fd_);
@@ -477,25 +493,151 @@ TEST(TcpServeTest, QuitClosesAfterDrainingResponses) {
   server.Shutdown();
 }
 
-// stats lists every live route by name.
-TEST(TcpServeTest, StatsListsRoutes) {
+// stats lists every live route by name, with its snapshot version,
+// queue depth and per-route request counters.
+TEST(TcpServeTest, StatsListsRoutesWithPerRouteCounters) {
+  auto shadow = MakeSnapshot(7802, "stats-shadow");
+  const Dataset data = ml_testing::LinearlySeparable(7, 7803);
   ModelRouter router;
   router.Publish("", MakeSnapshot(7801, "stats-default"));
-  router.Publish("shadow", MakeSnapshot(7802, "stats-shadow"));
+  router.Publish("shadow", shadow);
+  router.Publish("shadow", shadow);  // bump the route-local version to 2
   TcpScoringServer server(&router);
   ASSERT_TRUE(server.Start().ok());
 
   TcpClient client;
   client.Connect(server.port());
-  client.SendAll("{\"cmd\":\"stats\"}\n");
+  std::string stream;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    stream += ScoreFrame(r + 1, static_cast<int64_t>(r), "shadow",
+                         data.Row(r));
+  }
+  client.SendAll(stream);
   std::string line;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    ASSERT_TRUE(client.RecvLine(&line));
+    EXPECT_EQ(ParseJson(line)->StringOr("error", ""), "") << line;
+  }
+
+  client.SendAll("{\"cmd\":\"stats\"}\n");
   ASSERT_TRUE(client.RecvLine(&line));
   auto doc = ParseJson(line);
   ASSERT_TRUE(doc.ok()) << line;
   const JsonValue* models = doc->Find("models");
   ASSERT_NE(models, nullptr) << line;
   ASSERT_TRUE(models->is_array()) << line;
-  EXPECT_EQ(models->items.size(), 2u) << line;
+  ASSERT_EQ(models->items.size(), 2u) << line;
+  // RouteNames order: "" first, then "shadow".
+  const JsonValue& default_route = models->items[0];
+  EXPECT_EQ(default_route.StringOr("model", "?"), "") << line;
+  EXPECT_EQ(default_route.NumberOr("snapshot", 0), 1.0) << line;
+  EXPECT_EQ(default_route.NumberOr("scored", -1), 0.0) << line;
+  const JsonValue& shadow_route = models->items[1];
+  EXPECT_EQ(shadow_route.StringOr("model", ""), "shadow") << line;
+  EXPECT_EQ(shadow_route.StringOr("label", ""), "stats-shadow") << line;
+  EXPECT_EQ(shadow_route.NumberOr("snapshot", 0), 2.0) << line;
+  // Every response above was delivered before stats was even sent, so
+  // the route counter is exact, and its admission queue is empty again.
+  EXPECT_EQ(shadow_route.NumberOr("scored", 0),
+            static_cast<double>(data.num_rows()))
+      << line;
+  EXPECT_EQ(shadow_route.NumberOr("queue_depth", -1), 0.0) << line;
+  EXPECT_EQ(shadow_route.NumberOr("rejected", -1), 0.0) << line;
+  EXPECT_NE(shadow_route.StringOr("fingerprint", ""), "") << line;
+  server.Shutdown();
+}
+
+// The binned integer-compare engine behind the same wire protocol must
+// produce byte-identical responses to the exact engine: same rows
+// scored under each engine in turn, then the response lines compared.
+TEST(TcpServeTest, BinnedEngineWireParityWithExact) {
+  auto snapshot = MakeSnapshot(7901, "engine-parity");
+  const Dataset data = ml_testing::LinearlySeparable(120, 7902);
+
+  ModelRouter router;
+  router.Publish("", snapshot);
+  TcpScoringServer server(&router);
+  ASSERT_TRUE(server.Start().ok());
+
+  const ForestEngine saved = DefaultForestEngine();
+  std::vector<std::string> lines_by_engine[2];
+  const ForestEngine engines[2] = {ForestEngine::kExact,
+                                   ForestEngine::kBinned};
+  const uint64_t binned_rows_before =
+      CounterValue("ml.binned_forest.batch_rows");
+  for (int e = 0; e < 2; ++e) {
+    SetDefaultForestEngine(engines[e]);
+    TcpClient client;
+    client.Connect(server.port());
+    std::string stream;
+    for (size_t r = 0; r < data.num_rows(); ++r) {
+      stream += ScoreFrame(r + 1, static_cast<int64_t>(r), "", data.Row(r));
+    }
+    client.SendAll(stream);
+    client.HalfClose();
+    std::string line;
+    for (size_t r = 0; r < data.num_rows(); ++r) {
+      ASSERT_TRUE(client.RecvLine(&line)) << "EOF before response " << r;
+      EXPECT_EQ(ParseJson(line)->StringOr("error", ""), "") << line;
+      lines_by_engine[e].push_back(line);
+    }
+    EXPECT_TRUE(client.AtEof());
+  }
+  SetDefaultForestEngine(saved);
+
+  EXPECT_EQ(lines_by_engine[0], lines_by_engine[1]);
+  // Proof the second pass actually took the binned path.
+  EXPECT_GE(CounterValue("ml.binned_forest.batch_rows"),
+            binned_rows_before + data.num_rows());
+  server.Shutdown();
+}
+
+// A connection that goes quiet mid-frame (the slow-loris shape: bytes
+// but never a newline, then silence) is reaped after idle_timeout_s; a
+// client that keeps scoring on the same server is untouched.
+TEST(TcpServeTest, IdleReaperClosesStalledConnectionOnly) {
+  auto snapshot = MakeSnapshot(8001, "reaper");
+  const Dataset data = ml_testing::LinearlySeparable(5, 8002);
+  ModelRouter router;
+  router.Publish("", snapshot);
+  TcpServerOptions options;
+  options.idle_timeout_s = 1;
+  TcpScoringServer server(&router, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const uint64_t reaped_before = CounterValue("serve.tcp.idle_reaped");
+
+  TcpClient stalled;
+  stalled.Connect(server.port());
+  stalled.SetRecvTimeout(10);
+  stalled.SendAll("{\"id\":1,\"features\":[");  // half a frame, then silence
+
+  TcpClient active;
+  active.Connect(server.port());
+  active.SetRecvTimeout(10);
+
+  // Keep the active client busy across more than one idle window while
+  // the stalled one sits; every response must keep arriving.
+  std::string line;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(2500);
+  size_t sent = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    active.SendAll(ScoreFrame(++sent, 1, "", data.Row(sent % 5)));
+    ASSERT_TRUE(active.RecvLine(&line)) << "active client lost response";
+    EXPECT_EQ(ParseJson(line)->StringOr("error", ""), "") << line;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  // The stalled connection must be gone by now (timeout 1s + sweep lag).
+  EXPECT_TRUE(stalled.AtEof()) << "stalled connection was not reaped";
+  EXPECT_GE(CounterValue("serve.tcp.idle_reaped"), reaped_before + 1);
+
+  // And the survivor still scores.
+  active.SendAll(ScoreFrame(9999, 1, "", data.Row(0)));
+  ASSERT_TRUE(active.RecvLine(&line));
+  EXPECT_EQ(ParseJson(line)->Find("score")->number,
+            snapshot->Score(data.Row(0)));
   server.Shutdown();
 }
 

@@ -1,5 +1,8 @@
 #include "ml/binning.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "ml_test_util.h"
@@ -100,6 +103,106 @@ TEST(QuantileOneHotEncoderTest, ProducesIndicators) {
   }
   // Labels/weights carried over.
   EXPECT_EQ(encoded.label(0), data.label(0));
+}
+
+TEST(ThresholdEdgeMapTest, DedupesAndDropsNaNThresholds) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  auto map = ThresholdEdgeMap::Build({{3.0, 1.0, 3.0, nan, 2.0, 1.0, nan}});
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->num_features(), 1u);
+  EXPECT_EQ(map->NumEdges(0), 3u);  // {1, 2, 3}
+  EXPECT_EQ(map->CodeOf(0, 1.0), 0);
+  EXPECT_EQ(map->CodeOf(0, 3.0), 2);
+  EXPECT_EQ(map->max_code(), 3u);  // the NaN sentinel
+}
+
+TEST(ThresholdEdgeMapTest, NegativeZeroCollapsesWithPositiveZero) {
+  auto map = ThresholdEdgeMap::Build({{-0.0, 0.0}});
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->NumEdges(0), 1u);
+  // -0.0 and 0.0 compare equal, so both threshold spellings share the
+  // code and both value spellings bin below it.
+  EXPECT_EQ(map->CodeOf(0, -0.0), map->CodeOf(0, 0.0));
+  EXPECT_EQ(map->BinOf(0, -0.0), 0);
+  EXPECT_EQ(map->BinOf(0, 0.0), 0);
+}
+
+TEST(ThresholdEdgeMapTest, SingleAndZeroThresholdFeatures) {
+  auto map = ThresholdEdgeMap::Build({{5.0}, {}});
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->NumEdges(0), 1u);
+  EXPECT_EQ(map->NumEdges(1), 0u);
+  EXPECT_EQ(map->BinOf(0, 4.0), 0);
+  EXPECT_EQ(map->BinOf(0, 5.0), 0);  // v == threshold stays <= it
+  EXPECT_EQ(map->BinOf(0, 6.0), 1);
+  EXPECT_EQ(map->BinOf(1, 123.0), 0);
+  EXPECT_TRUE(map->fits_uint8());
+}
+
+// The compare-preservation property the binned engine relies on:
+// `v <= t` iff `BinOf(v) <= CodeOf(t)` for every stored threshold and
+// any probe value, including exact hits, ±0.0, denormals and ±inf; NaN
+// probes exceed every code.
+TEST(ThresholdEdgeMapTest, CodesPreserveDoubleCompares) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double den = std::numeric_limits<double>::denorm_min();
+  const std::vector<double> thresholds{-inf, -2.5, -0.0, den, 1.5, 1e300,
+                                       inf};
+  auto map = ThresholdEdgeMap::Build({thresholds});
+  ASSERT_TRUE(map.ok());
+  std::vector<double> probes = thresholds;
+  for (const double t : thresholds) {
+    probes.push_back(std::nextafter(t, -inf));
+    probes.push_back(std::nextafter(t, inf));
+  }
+  probes.insert(probes.end(), {0.0, -den, 7.25, -1e300});
+  for (const double t : thresholds) {
+    const uint16_t code = map->CodeOf(0, t);
+    for (const double v : probes) {
+      EXPECT_EQ(v <= t, map->BinOf(0, v) <= code)
+          << "v=" << v << " t=" << t;
+    }
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_GT(map->BinOf(0, nan), code) << "NaN must fall right of " << t;
+  }
+}
+
+TEST(ThresholdEdgeMapTest, EncodeRowMatchesBinOf) {
+  auto map = ThresholdEdgeMap::Build(
+      {{1.0, 2.0, 3.0}, {}, {-5.0, 5.0}});
+  ASSERT_TRUE(map.ok());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<std::vector<double>> rows{
+      {0.5, 9.9, -5.0}, {2.0, nan, 5.0}, {nan, 0.0, 6.0}};
+  for (const auto& row : rows) {
+    uint8_t narrow[3];
+    uint16_t wide[3];
+    map->EncodeRow(row.data(), narrow);
+    map->EncodeRow(row.data(), wide);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(narrow[j], map->BinOf(j, row[j])) << "feature " << j;
+      EXPECT_EQ(wide[j], map->BinOf(j, row[j])) << "feature " << j;
+    }
+  }
+}
+
+TEST(ThresholdEdgeMapTest, WideFeatureDropsOutOfUint8) {
+  std::vector<double> t256(256);
+  for (size_t i = 0; i < t256.size(); ++i) t256[i] = static_cast<double>(i);
+  auto map = ThresholdEdgeMap::Build({t256});
+  ASSERT_TRUE(map.ok());
+  // 256 edges produce codes up to 255 plus the NaN sentinel 256: uint8
+  // would truncate, so the map demands uint16 buffers.
+  EXPECT_FALSE(map->fits_uint8());
+  EXPECT_EQ(map->max_code(), 256u);
+}
+
+TEST(ThresholdEdgeMapTest, RefusesMoreThanUint16Thresholds) {
+  std::vector<double> huge(0x10000);
+  for (size_t i = 0; i < huge.size(); ++i) huge[i] = static_cast<double>(i);
+  EXPECT_FALSE(ThresholdEdgeMap::Build({huge}).ok());
+  huge.pop_back();  // 65535 distinct thresholds is the ceiling
+  EXPECT_TRUE(ThresholdEdgeMap::Build({huge}).ok());
 }
 
 TEST(QuantileOneHotEncoderTest, TransformRowMatchesTransform) {

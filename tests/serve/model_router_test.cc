@@ -119,6 +119,48 @@ TEST(ModelRouterTest, RouteNamesSortedDefaultFirst) {
   EXPECT_TRUE(router.RouteRegistry("gamma").status().IsNotFound());
 }
 
+// Stats reports each route's live snapshot and its own executor's
+// counters — scoring one route must not move another route's numbers.
+TEST(ModelRouterTest, StatsTracksPerRouteCountersAndVersions) {
+  auto snap_default = MakeSnapshot(6401, "stats-default");
+  auto snap_canary = MakeSnapshot(6402, "stats-canary");
+  ModelRouterOptions options;
+  options.executor.max_batch_size = 4;
+  ModelRouter router(options);
+  router.Publish("", snap_default);
+  router.Publish("canary", snap_canary);
+  router.Publish("canary", snap_canary);  // canary route advances to v2
+
+  const Dataset data = ml_testing::LinearlySeparable(9, 6403);
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    const auto row = data.Row(r);
+    auto future = router.Submit(
+        MakeRequest(r, "canary", std::vector<double>(row.begin(), row.end())));
+    ASSERT_TRUE(future.ok());
+    EXPECT_TRUE(future->get().status.ok());
+  }
+  // One short row: fails inside the batch but still counts as scored
+  // work the canary route handled.
+  auto bad = router.Submit(MakeRequest(99, "canary", {1.0}));
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->get().status.ok());
+
+  const std::vector<ModelRouter::RouteStats> stats = router.Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "");
+  EXPECT_EQ(stats[0].snapshot_version, 1u);
+  EXPECT_EQ(stats[0].label, "stats-default");
+  EXPECT_EQ(stats[0].fingerprint, snap_default->fingerprint());
+  EXPECT_EQ(stats[0].scored, 0u);
+  EXPECT_EQ(stats[0].rejected, 0u);
+  EXPECT_EQ(stats[1].name, "canary");
+  EXPECT_EQ(stats[1].snapshot_version, 2u);
+  EXPECT_EQ(stats[1].label, "stats-canary");
+  EXPECT_EQ(stats[1].scored, data.num_rows() + 1);
+  EXPECT_EQ(stats[1].queue_depth, 0u);
+  EXPECT_EQ(stats[1].rejected, 0u);
+}
+
 // Two named routes hot-swap independently under concurrent submit load:
 // every outcome's (version, fingerprint, score) triple stays internally
 // consistent per route, and one route's swaps never advance the other

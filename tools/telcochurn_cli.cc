@@ -58,6 +58,7 @@
 #include "common/telemetry/trace.h"
 #include "common/thread_pool.h"
 #include "datagen/telco_simulator.h"
+#include "ml/binned_forest.h"
 #include "ml/serialize.h"
 #include "serve/model_router.h"
 #include "serve/model_snapshot.h"
@@ -317,8 +318,20 @@ Status RunServe(Flags& flags) {
   const int threads = static_cast<int>(flags.GetInt("threads", 0));
   const int64_t tcp_port = flags.GetInt("tcp-port", -1);
   const int64_t readers = flags.GetInt("readers", 2);
+  const int64_t idle_timeout_s = flags.GetInt("idle-timeout-s", 300);
   const std::string named_models = flags.Get("models", "");
+  const std::string engine = flags.Get("engine", "");
   TELCO_RETURN_NOT_OK(flags.CheckAllUsed());
+
+  if (!engine.empty()) {
+    // Process-wide: every route's forest scores through the chosen
+    // engine (overrides the TELCO_FOREST_ENGINE env default).
+    TELCO_ASSIGN_OR_RETURN(const ForestEngine parsed,
+                           ParseForestEngine(engine));
+    SetDefaultForestEngine(parsed);
+    std::fprintf(stderr, "forest engine: %s\n",
+                 std::string(ForestEngineName(parsed)).c_str());
+  }
 
   std::unique_ptr<ThreadPool> owned_pool;
   if (threads > 0) {
@@ -384,6 +397,7 @@ Status RunServe(Flags& flags) {
   TcpServerOptions tcp;
   tcp.port = static_cast<int>(tcp_port);
   tcp.readers = static_cast<size_t>(readers);
+  tcp.idle_timeout_s = static_cast<int>(idle_timeout_s);
   TcpScoringServer server(&router, tcp);
   TELCO_RETURN_NOT_OK(server.Start());
   std::fprintf(stderr,
@@ -603,8 +617,10 @@ int Usage() {
       "           [--training-months K] [--trees T]\n"
       "  predict  --warehouse DIR --model PATH --month M [--top U]\n"
       "  serve    --model PATH [--batch N] [--queue N] [--window N]\n"
-      "           [--threads N]   (NDJSON on stdin/stdout; see README)\n"
+      "           [--threads N] [--engine exact|binned]\n"
+      "           (NDJSON on stdin/stdout; see README)\n"
       "           [--tcp-port P] [--readers N] [--models n=PATH,...]\n"
+      "           [--idle-timeout-s S]  (0 disables the idle reaper)\n"
       "           (with --tcp-port: epoll TCP front-end with named-model\n"
       "           routing; port 0 picks an ephemeral port)\n"
       "  requests --warehouse DIR --model PATH --month M [--limit N]\n"

@@ -49,14 +49,45 @@ compare() {
   fi
 }
 
+# compare_latency NAME NEW BASELINE — latency gates run inverted
+# (larger is worse): record a failure when NEW > BASELINE/TOL. Tail
+# quantiles are far noisier than throughput means — back-to-back runs
+# of the same binary on a quiet box spread >20% at p99 — so latency
+# keys get their own, looser tolerance: the gate catches a real
+# regression (stage instrumentation gone quadratic, a lock on the
+# request path) without tripping on scheduler jitter.
+LATENCY_TOLERANCE="${TELCO_BENCH_LATENCY_TOLERANCE:-0.75}"
+compare_latency() {
+  name="$1"; new="$2"; base="$3"
+  if [ -z "$new" ] || [ -z "$base" ]; then
+    echo "FAIL $name: missing measurement (new='$new' baseline='$base')"
+    : > "$FAIL_MARKER"
+    return 0
+  fi
+  ok=$(awk -v n="$new" -v b="$base" -v t="$LATENCY_TOLERANCE" \
+    'BEGIN { print (n + 0 <= b / t) ? "ok" : "regressed" }')
+  ratio=$(awk -v n="$new" -v b="$base" \
+    'BEGIN { printf "%.2f", (b > 0 ? n / b : 0) }')
+  if [ "$ok" = ok ]; then
+    echo "OK   $name: ${new}ms vs baseline ${base}ms (${ratio}x)"
+  else
+    echo "FAIL $name: ${new}ms vs baseline ${base}ms" \
+      "(${ratio}x > 1/$LATENCY_TOLERANCE)"
+    : > "$FAIL_MARKER"
+  fi
+}
+
 # Best-of-N runs: shared CI machines are noisy, and a regression gate
 # must only trip on sustained slowdowns, not a background compile. The
-# fastest of RUNS runs approximates unloaded throughput.
+# fastest of RUNS runs approximates unloaded throughput; for latency
+# keys "best" is the minimum across runs for the same reason.
 RUNS="${TELCO_BENCH_RUNS:-3}"
 
 echo "== bench_serve (online scoring, best of $RUNS) =="
 serve_best=""
 tcp_best=""
+total_p50_best=""
+total_p99_best=""
 i=0
 while [ "$i" -lt "$RUNS" ]; do
   TELCO_BENCH_REPORT_DIR="$TMP_DIR" "$BUILD_DIR/bench/bench_serve" \
@@ -64,17 +95,34 @@ while [ "$i" -lt "$RUNS" ]; do
   tput=$(jq -r '.config.throughput_per_sec' "$TMP_DIR/BENCH_serve.json")
   tcp_tput=$(jq -r '.config.tcp_throughput_per_sec // empty' \
     "$TMP_DIR/BENCH_serve.json")
-  echo "  run $((i + 1)): $tput/s stdio, ${tcp_tput:-n/a}/s tcp"
+  total_p50=$(jq -r '.config.request_total_p50_ms // empty' \
+    "$TMP_DIR/BENCH_serve.json")
+  total_p99=$(jq -r '.config.request_total_p99_ms // empty' \
+    "$TMP_DIR/BENCH_serve.json")
+  echo "  run $((i + 1)): $tput/s stdio, ${tcp_tput:-n/a}/s tcp," \
+    "request total p50 ${total_p50:-n/a}ms p99 ${total_p99:-n/a}ms"
   serve_best=$(awk -v a="${serve_best:-0}" -v b="$tput" \
     'BEGIN { print (b + 0 > a + 0) ? b : a }')
   tcp_best=$(awk -v a="${tcp_best:-0}" -v b="${tcp_tput:-0}" \
     'BEGIN { print (b + 0 > a + 0) ? b : a }')
+  total_p50_best=$(awk -v a="${total_p50_best:-}" -v b="${total_p50:-}" \
+    'BEGIN { if (b == "") { print a } else if (a == "" || b + 0 < a + 0) \
+      { print b } else { print a } }')
+  total_p99_best=$(awk -v a="${total_p99_best:-}" -v b="${total_p99:-}" \
+    'BEGIN { if (b == "") { print a } else if (a == "" || b + 0 < a + 0) \
+      { print b } else { print a } }')
   i=$((i + 1))
 done
 compare "serve.throughput_per_sec" "$serve_best" \
   "$(jq -r '.config.throughput_per_sec' "$BASELINE_DIR/BENCH_serve.json")"
 compare "serve.tcp_throughput_per_sec" "$tcp_best" \
   "$(jq -r '.config.tcp_throughput_per_sec' "$BASELINE_DIR/BENCH_serve.json")"
+compare_latency "serve.request_total_p50_ms" "$total_p50_best" \
+  "$(jq -r '.config.request_total_p50_ms // empty' \
+    "$BASELINE_DIR/BENCH_serve.json")"
+compare_latency "serve.request_total_p99_ms" "$total_p99_best" \
+  "$(jq -r '.config.request_total_p99_ms // empty' \
+    "$BASELINE_DIR/BENCH_serve.json")"
 
 echo "== bench_micro_ml (pointer vs flat vs binned scoring, best of $RUNS) =="
 i=0

@@ -36,6 +36,14 @@ ctest -R 'TcpServe|ModelRouter' --output-on-failure -j "$(nproc)"
 ctest -R 'TcpServeTest.ConcurrentNamedSwapStormKeepsBitParity|ModelRouterTest.IndependentHotSwapUnderConcurrentLoad' \
     --output-on-failure --repeat until-fail:5
 
+# Observability soak: flight recorder ticking at millisecond cadence
+# plus a metrics-port scraper hammering Snapshot()/ToPrometheusText
+# while the same swap storm runs — registry shard merges, the stage
+# histograms' concurrent Observe calls, and the HTTP endpoint thread
+# all race the serving data plane here.
+ctest -R 'TcpServeTest.ObservabilitySoakUnderSwapStorm' \
+    --output-on-failure --repeat until-fail:5
+
 # Same swap storm with the binned traversal engine forced on: batch
 # scoring now runs BinnedForest::PredictProbaInto on the pool workers,
 # so TSan checks the compiled edge-map/arena reads against concurrent

@@ -1,0 +1,147 @@
+#include "common/telemetry/flight_recorder.h"
+
+#include <utility>
+
+#include "common/telemetry/json.h"
+
+namespace telco {
+
+namespace {
+
+// Interval-delta view of a histogram; quantiles interpolate the delta
+// buckets. min/max borrow the lifetime values only as interpolation
+// clamps (per-shard extrema cannot be diffed across snapshots).
+HistogramSnapshot DeltaHistogram(const HistogramSnapshot& now,
+                                 const HistogramSnapshot* prev) {
+  HistogramSnapshot delta = now;
+  if (prev == nullptr || prev->count == 0) return delta;
+  delta.count = now.count - prev->count;
+  delta.sum = now.sum - prev->sum;
+  for (size_t i = 0; i < delta.buckets.size() && i < prev->buckets.size();
+       ++i) {
+    delta.buckets[i] -= prev->buckets[i];
+  }
+  return delta;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(std::move(options)) {
+  if (options_.registry == nullptr) options_.registry = &MetricsRegistry::Global();
+}
+
+FlightRecorder::~FlightRecorder() { Stop(); }
+
+Status FlightRecorder::Start() {
+  out_ = std::fopen(options_.path.c_str(), "a");
+  if (out_ == nullptr) {
+    return Status::IoError("flight recorder cannot open " + options_.path);
+  }
+  previous_ = options_.registry->Snapshot();
+  start_time_ = std::chrono::steady_clock::now();
+  stop_ = false;
+  started_ = true;
+  thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void FlightRecorder::Stop() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final tick so short-lived runs still produce at least one record.
+  TickNow();
+  started_ = false;
+  std::fclose(out_);
+  out_ = nullptr;
+}
+
+void FlightRecorder::TickNow() {
+  if (!started_) return;
+  std::lock_guard<std::mutex> lock(tick_mutex_);
+  WriteTick(options_.registry->Snapshot());
+}
+
+void FlightRecorder::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto interval = std::chrono::duration<double>(options_.interval_s);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+    lock.unlock();
+    TickNow();
+    lock.lock();
+  }
+}
+
+void FlightRecorder::WriteTick(const MetricsSnapshot& now) {
+  const double uptime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  const double wall_unix_s =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::string counters;
+  std::string gauges;
+  std::string histograms;
+  // Both snapshots are sorted by name; for each current metric find its
+  // predecessor (linear Find is fine at ~50 metrics per tick).
+  for (const MetricValue& metric : now.metrics) {
+    const MetricValue* prev = previous_.Find(metric.name);
+    const std::string key = "\"" + JsonEscape(metric.name) + "\":";
+    switch (metric.kind) {
+      case MetricKind::kCounter: {
+        const uint64_t before =
+            prev != nullptr && prev->kind == MetricKind::kCounter
+                ? prev->counter
+                : 0;
+        const uint64_t delta = metric.counter - before;
+        if (delta == 0) continue;  // keep lines small: elide idle counters
+        if (!counters.empty()) counters += ",";
+        counters += key + JsonNumber(static_cast<double>(delta));
+        break;
+      }
+      case MetricKind::kGauge:
+        if (!gauges.empty()) gauges += ",";
+        gauges += key + JsonNumber(metric.gauge);
+        break;
+      case MetricKind::kHistogram:
+      case MetricKind::kLogHistogram: {
+        const HistogramSnapshot delta = DeltaHistogram(
+            metric.histogram,
+            prev != nullptr && prev->kind == metric.kind ? &prev->histogram
+                                                         : nullptr);
+        if (delta.count == 0) continue;
+        if (!histograms.empty()) histograms += ",";
+        histograms += key + "{\"count\":" +
+                      JsonNumber(static_cast<double>(delta.count)) +
+                      ",\"sum\":" + JsonNumber(delta.sum) +
+                      ",\"p50\":" + JsonNumber(delta.Quantile(0.50)) +
+                      ",\"p99\":" + JsonNumber(delta.Quantile(0.99)) +
+                      ",\"p999\":" + JsonNumber(delta.Quantile(0.999)) +
+                      ",\"max\":" + JsonNumber(metric.histogram.max) + "}";
+        break;
+      }
+    }
+  }
+  const double interval_s = uptime_s - last_uptime_s_;  // actual, not nominal
+  std::string line = "{\"seq\":" + JsonNumber(static_cast<double>(sequence_)) +
+                     ",\"wall_unix_s\":" + JsonNumber(wall_unix_s) +
+                     ",\"uptime_s\":" + JsonNumber(uptime_s) +
+                     ",\"interval_s\":" + JsonNumber(interval_s) +
+                     ",\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+                     "},\"histograms\":{" + histograms + "}}\n";
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fflush(out_);
+  previous_ = now;
+  last_uptime_s_ = uptime_s;
+  ++sequence_;
+}
+
+}  // namespace telco

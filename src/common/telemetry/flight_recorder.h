@@ -1,0 +1,84 @@
+// FlightRecorder: a background thread that appends interval-delta metric
+// snapshots to a JSONL file, turning the cumulative MetricsRegistry into a
+// time series (throughput, latency quantiles, shed/swap events per tick).
+//
+// Every `interval_s` the recorder takes a registry snapshot, diffs it
+// against the previous tick, and appends one JSON object per line:
+//
+//   {"seq":3,"wall_unix_s":1754556789.1,"uptime_s":30.0,"interval_s":10.0,
+//    "counters":{"serve.executor.requests":104211,...},      // deltas > 0
+//    "gauges":{"serve.executor.queue_depth":12,...},         // current
+//    "histograms":{"serve.request.total_seconds":
+//      {"count":104211,"sum":61.2,"p50":0.00052,"p99":0.0041,
+//       "p999":0.012,"max":0.031},...}}                      // deltas
+//
+// Histogram quantiles are computed on the interval's delta buckets, so
+// each line reports that interval's p50/p99/p999, not lifetime values
+// ("max" is the lifetime max — per-shard maxima cannot be diffed). The
+// serve CLI wires this to `--stats-interval-s` / `--stats-out`; the
+// continuous-ops scenario replays the file to observe drift and swaps.
+
+#ifndef TELCO_COMMON_TELEMETRY_FLIGHT_RECORDER_H_
+#define TELCO_COMMON_TELEMETRY_FLIGHT_RECORDER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/telemetry/metrics.h"
+
+namespace telco {
+
+struct FlightRecorderOptions {
+  std::string path;           // JSONL output, opened in append mode
+  double interval_s = 10.0;   // tick period
+  MetricsRegistry* registry = nullptr;  // defaults to Global()
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options);
+  ~FlightRecorder();  // stops and joins; final tick is flushed
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Opens the output file, records the baseline snapshot, and starts the
+  /// tick thread. IoError when the file cannot be opened.
+  Status Start();
+
+  /// Writes one final tick, stops the thread, and closes the file.
+  /// Idempotent; also called by the destructor.
+  void Stop();
+
+  /// Forces an immediate tick (test hook; also usable for SIGUSR-style
+  /// dumps). Only valid between Start() and Stop().
+  void TickNow();
+
+ private:
+  void Loop();
+  // Diffs `now` against previous_ and appends one JSONL line. Caller must
+  // hold tick_mutex_.
+  void WriteTick(const MetricsSnapshot& now);
+
+  FlightRecorderOptions options_;
+  std::FILE* out_ = nullptr;
+  std::thread thread_;
+  std::mutex mutex_;  // guards stop_ / cv_
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::mutex tick_mutex_;  // serializes WriteTick between thread and TickNow
+  MetricsSnapshot previous_;
+  uint64_t sequence_ = 0;
+  double last_uptime_s_ = 0.0;
+  std::chrono::steady_clock::time_point start_time_{};
+};
+
+}  // namespace telco
+
+#endif  // TELCO_COMMON_TELEMETRY_FLIGHT_RECORDER_H_

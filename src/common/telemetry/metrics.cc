@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 
 #include "common/logging.h"
 #include "common/telemetry/json.h"
@@ -28,9 +29,50 @@ const char* MetricKindName(MetricKind kind) {
     case MetricKind::kCounter: return "counter";
     case MetricKind::kGauge: return "gauge";
     case MetricKind::kHistogram: return "histogram";
+    case MetricKind::kLogHistogram: return "log_histogram";
   }
   return "unknown";
 }
+
+namespace log_buckets {
+
+const std::vector<double>& Bounds() {
+  // Leaked like Global(): histogram handles cache the bounds address.
+  static const std::vector<double>* const kBounds = [] {
+    auto* bounds = new std::vector<double>();
+    bounds->reserve(kNumBounds);
+    bounds->push_back(std::ldexp(1.0, kMinExponent));
+    for (int octave = kMinExponent; octave < kMaxExponent; ++octave) {
+      const double base = std::ldexp(1.0, octave);
+      for (int sub = 1; sub <= kSubBuckets; ++sub) {
+        bounds->push_back(base * (1.0 + static_cast<double>(sub) / kSubBuckets));
+      }
+    }
+    return bounds;
+  }();
+  return *kBounds;
+}
+
+size_t BucketIndex(double value) {
+  // Mirror upper_bound's [lower, upper) bucket semantics exactly: a value
+  // equal to an edge belongs to the bucket above it, and NaN compares
+  // false against every edge, falling through to the overflow bucket.
+  if (std::isnan(value)) return kNumBounds;
+  if (value < std::ldexp(1.0, kMinExponent)) return 0;
+  if (value >= std::ldexp(1.0, kMaxExponent)) return kNumBounds;
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);  // value = m * 2^exp
+  const int octave = exp - 1;  // value in [2^octave, 2^(octave+1))
+  // fraction = value / 2^octave - 1 in [0, 1). Both the subtraction
+  // (Sterbenz) and the power-of-two scalings are exact for doubles in
+  // this range, so edge values index identically to the binary search.
+  const double fraction = 2.0 * mantissa - 1.0;
+  const int sub = static_cast<int>(fraction * kSubBuckets);  // floor
+  return 1 + static_cast<size_t>(octave - kMinExponent) * kSubBuckets +
+         static_cast<size_t>(sub);
+}
+
+}  // namespace log_buckets
 
 const std::vector<double>& DurationBuckets() {
   static const std::vector<double>* const kBuckets = new std::vector<double>{
@@ -85,7 +127,8 @@ std::string MetricsSnapshot::ToJson() const {
       case MetricKind::kGauge:
         out += ",\"value\":" + JsonNumber(metric.gauge);
         break;
-      case MetricKind::kHistogram: {
+      case MetricKind::kHistogram:
+      case MetricKind::kLogHistogram: {
         const HistogramSnapshot& h = metric.histogram;
         out += ",\"count\":" + JsonNumber(static_cast<double>(h.count));
         out += ",\"sum\":" + JsonNumber(h.sum);
@@ -122,9 +165,16 @@ void Gauge::Set(double value) const {
 void Histogram::Observe(double value) const {
   if (registry_ == nullptr) return;
   const std::vector<double>& bounds = *bounds_;
-  // Upper-bound bucket search; the final bucket is the overflow bin.
-  const size_t bucket = static_cast<size_t>(
-      std::upper_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  // O(1) frexp indexing for the log-bucketed kind (417 edges would make
+  // the binary search ~9 probes on the serve hot path); upper-bound
+  // search for fixed buckets. Both share [lower, upper) edge semantics,
+  // and the final bucket is the overflow bin either way.
+  const size_t bucket =
+      log_bucketed_
+          ? log_buckets::BucketIndex(value)
+          : static_cast<size_t>(std::upper_bound(bounds.begin(), bounds.end(),
+                                                 value) -
+                                bounds.begin());
   registry_->RecordObservation(id_, bucket, bounds.size() + 1, value);
 }
 
@@ -149,7 +199,7 @@ uint32_t MetricsRegistry::Register(const std::string& name, MetricKind kind,
         << "metric '" << name << "' re-registered as "
         << MetricKindName(kind) << " but is a "
         << MetricKindName(existing.kind);
-    if (kind == MetricKind::kHistogram) {
+    if (kind == MetricKind::kHistogram || kind == MetricKind::kLogHistogram) {
       TELCO_CHECK(existing.bounds == *bounds)
           << "metric '" << name << "' re-registered with different buckets";
     }
@@ -182,7 +232,15 @@ Histogram MetricsRegistry::GetHistogram(const std::string& name,
     std::lock_guard<std::mutex> lock(mutex_);
     stable_bounds = &descriptors_[id].bounds;  // deque: stable address
   }
-  return Histogram(this, id, stable_bounds);
+  return Histogram(this, id, stable_bounds, /*log_bucketed=*/false);
+}
+
+Histogram MetricsRegistry::GetLogHistogram(const std::string& name) {
+  const uint32_t id =
+      Register(name, MetricKind::kLogHistogram, &log_buckets::Bounds());
+  // The layout is process-wide and leaked, so the handle can point at it
+  // directly instead of the descriptor's copy.
+  return Histogram(this, id, &log_buckets::Bounds(), /*log_bucketed=*/true);
 }
 
 MetricsRegistry::Shard& MetricsRegistry::ShardForThisThread() const {
@@ -233,7 +291,8 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     if (metric.kind == MetricKind::kGauge && id < gauges.size()) {
       metric.gauge = gauges[id];
     }
-    if (metric.kind == MetricKind::kHistogram) {
+    if (metric.kind == MetricKind::kHistogram ||
+        metric.kind == MetricKind::kLogHistogram) {
       metric.histogram.bounds = descriptors[id].bounds;
       metric.histogram.buckets.resize(descriptors[id].bounds.size() + 1, 0);
     }
@@ -250,7 +309,8 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
           break;
         case MetricKind::kGauge:
           break;
-        case MetricKind::kHistogram: {
+        case MetricKind::kHistogram:
+        case MetricKind::kLogHistogram: {
           HistogramSnapshot& h = metric.histogram;
           if (cell.count > 0) {
             if (h.count == 0 || cell.min < h.min) h.min = cell.min;

@@ -28,10 +28,40 @@
 
 namespace telco {
 
-enum class MetricKind : int { kCounter = 0, kGauge = 1, kHistogram = 2 };
+enum class MetricKind : int {
+  kCounter = 0,
+  kGauge = 1,
+  kHistogram = 2,     // fixed bucket edges chosen at registration
+  kLogHistogram = 3,  // base-2 sub-bucketed (HDR-style) duration buckets
+};
 
-/// "counter" / "gauge" / "histogram".
+/// "counter" / "gauge" / "histogram" / "log_histogram".
 const char* MetricKindName(MetricKind kind);
+
+/// Bucket layout of the log-bucketed (HDR-style) histogram kind: base-2
+/// octaves from 2^-20 s (~1 µs) to 2^6 s (64 s), each split into 16 linear
+/// sub-buckets, so every bucket's relative width is at most 1/16 (~6%) and
+/// quantile interpolation error stays below half of that. Values below
+/// the range land in bucket 0; values at or above its top edge land in
+/// the overflow bucket. The layout is fixed so shard cells merge bucket-by-bucket with
+/// exact totals, like the fixed-bucket kind.
+namespace log_buckets {
+
+inline constexpr int kMinExponent = -20;  // lowest octave edge: 2^-20 s
+inline constexpr int kMaxExponent = 6;    // highest octave edge: 2^6 s
+inline constexpr int kSubBuckets = 16;    // linear sub-buckets per octave
+inline constexpr size_t kNumBounds =
+    static_cast<size_t>(kMaxExponent - kMinExponent) * kSubBuckets + 1;
+inline constexpr size_t kNumBuckets = kNumBounds + 1;  // + overflow
+
+/// The shared upper-edge vector (kNumBounds entries, ascending).
+const std::vector<double>& Bounds();
+
+/// Bucket index for `value` under the [lower, upper) edge convention —
+/// bit-identical to std::upper_bound over Bounds(), but O(1) via frexp.
+size_t BucketIndex(double value);
+
+}  // namespace log_buckets
 
 /// \brief Merged state of one histogram: `bounds` are the upper bucket
 /// edges; `buckets` has bounds.size() + 1 entries (the last is overflow).
@@ -98,7 +128,7 @@ class Gauge {
   uint32_t id_ = 0;
 };
 
-/// \brief Fixed-bucket histogram handle.
+/// \brief Histogram handle (fixed-bucket or log-bucketed).
 class Histogram {
  public:
   Histogram() = default;
@@ -107,11 +137,13 @@ class Histogram {
  private:
   friend class MetricsRegistry;
   Histogram(MetricsRegistry* registry, uint32_t id,
-            const std::vector<double>* bounds)
-      : registry_(registry), id_(id), bounds_(bounds) {}
+            const std::vector<double>* bounds, bool log_bucketed)
+      : registry_(registry), id_(id), bounds_(bounds),
+        log_bucketed_(log_bucketed) {}
   MetricsRegistry* registry_ = nullptr;
   uint32_t id_ = 0;
   const std::vector<double>* bounds_ = nullptr;
+  bool log_bucketed_ = false;
 };
 
 /// Default histogram bucket policy for durations in seconds: decade steps
@@ -134,6 +166,10 @@ class MetricsRegistry {
   Gauge GetGauge(const std::string& name);
   Histogram GetHistogram(const std::string& name,
                          const std::vector<double>& bounds = DurationBuckets());
+  /// Log-bucketed duration histogram (see log_buckets above): O(1) bucket
+  /// indexing and ~6% worst-case bucket width across 1 µs – 64 s, the kind
+  /// serve latency metrics use for honest p50/p99/p999.
+  Histogram GetLogHistogram(const std::string& name);
 
   /// Merges every shard into exact totals. Totals are exact with respect
   /// to all records that happened-before the call.

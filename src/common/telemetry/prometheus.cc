@@ -1,0 +1,70 @@
+#include "common/telemetry/prometheus.h"
+
+#include <cctype>
+
+#include "common/telemetry/json.h"
+
+namespace telco {
+
+namespace {
+
+// Sample values use the same shortest-round-trip formatting as the JSON
+// writer, so a scraper (or the round-trip test) recovers exact doubles.
+std::string SampleNumber(double value) { return JsonNumber(value); }
+
+}  // namespace
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricValue& metric : snapshot.metrics) {
+    const std::string name = PrometheusMetricName(metric.name);
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + SampleNumber(static_cast<double>(metric.counter)) +
+               "\n";
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + SampleNumber(metric.gauge) + "\n";
+        break;
+      case MetricKind::kHistogram:
+      case MetricKind::kLogHistogram: {
+        const HistogramSnapshot& h = metric.histogram;
+        out += "# TYPE " + name + " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds.size(); ++i) {
+          cumulative += i < h.buckets.size() ? h.buckets[i] : 0;
+          // Skip interior zero-delta buckets: the log-bucketed kind has
+          // 418 bins and a scrape of all-zero lines would dwarf the rest
+          // of the page. Cumulative semantics survive elision.
+          if (i < h.buckets.size() && h.buckets[i] == 0 && i != 0) continue;
+          out += name + "_bucket{le=\"" + SampleNumber(h.bounds[i]) + "\"} " +
+                 SampleNumber(static_cast<double>(cumulative)) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " +
+               SampleNumber(static_cast<double>(h.count)) + "\n";
+        out += name + "_sum " + SampleNumber(h.sum) + "\n";
+        out += name + "_count " + SampleNumber(static_cast<double>(h.count)) +
+               "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace telco

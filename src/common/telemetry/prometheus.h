@@ -1,0 +1,31 @@
+// Prometheus text exposition (version 0.0.4) for MetricsSnapshot.
+//
+// Translates the dotted `layer.component.name` metric names into the
+// `[a-zA-Z0-9_]` charset Prometheus requires and emits one family per
+// metric: counters and gauges as single samples, histograms (both the
+// fixed-bucket and log-bucketed kinds) as cumulative `_bucket{le="..."}`
+// series plus `_sum` and `_count`, exactly as a scraper expects. The
+// serve front-end's `--metrics-port` endpoint serves this text.
+
+#ifndef TELCO_COMMON_TELEMETRY_PROMETHEUS_H_
+#define TELCO_COMMON_TELEMETRY_PROMETHEUS_H_
+
+#include <string>
+
+#include "common/telemetry/metrics.h"
+
+namespace telco {
+
+/// `serve.request.total_seconds` -> `serve_request_total_seconds`; any
+/// character outside [a-zA-Z0-9_] becomes '_', and a leading digit gets a
+/// '_' prefix.
+std::string PrometheusMetricName(const std::string& name);
+
+/// The whole snapshot in Prometheus text format, with `# TYPE` comments.
+/// Histogram buckets are emitted cumulatively and always end with the
+/// `le="+Inf"` bucket equal to `_count`.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace telco
+
+#endif  // TELCO_COMMON_TELEMETRY_PROMETHEUS_H_

@@ -27,8 +27,9 @@ Result<MetricValue> MetricFromJson(const JsonValue& node) {
   } else if (kind == "gauge") {
     metric.kind = MetricKind::kGauge;
     metric.gauge = node.NumberOr("value", 0.0);
-  } else if (kind == "histogram") {
-    metric.kind = MetricKind::kHistogram;
+  } else if (kind == "histogram" || kind == "log_histogram") {
+    metric.kind = kind == "histogram" ? MetricKind::kHistogram
+                                      : MetricKind::kLogHistogram;
     HistogramSnapshot& h = metric.histogram;
     h.count = static_cast<uint64_t>(node.NumberOr("count", 0.0));
     h.sum = node.NumberOr("sum", 0.0);
@@ -179,12 +180,17 @@ std::string RunReport::ToPrettyString() const {
                          metric.gauge);
         break;
       case MetricKind::kHistogram:
+      case MetricKind::kLogHistogram: {
+        const HistogramSnapshot& h = metric.histogram;
         out += StrFormat(
-            "  %-44s histogram  n=%llu sum=%.6g min=%.6g max=%.6g\n",
+            "  %-44s %-9s  n=%llu sum=%.6g min=%.6g max=%.6g"
+            " p50=%.6g p99=%.6g p999=%.6g\n",
             metric.name.c_str(),
-            static_cast<unsigned long long>(metric.histogram.count),
-            metric.histogram.sum, metric.histogram.min, metric.histogram.max);
+            metric.kind == MetricKind::kHistogram ? "histogram" : "loghist",
+            static_cast<unsigned long long>(h.count), h.sum, h.min, h.max,
+            h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999));
         break;
+      }
     }
   }
   return out;

@@ -66,6 +66,19 @@ void TraceRecorder::Append(TraceEvent event) {
   buffer->events.push_back(std::move(event));
 }
 
+void TraceRecorder::AppendCompleted(std::string name, uint64_t id,
+                                    uint64_t parent_id, double begin_us,
+                                    double end_us) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.id = id == 0 ? NextSpanId() : id;
+  event.parent_id = parent_id;
+  event.begin_us = begin_us;
+  event.duration_us = std::max(0.0, end_us - begin_us);
+  Append(std::move(event));
+}
+
 std::vector<TraceEvent> TraceRecorder::Collect() {
   std::vector<TraceEvent> all;
   {

@@ -57,6 +57,22 @@ class TraceRecorder {
   /// Loadable in Perfetto / chrome://tracing.
   std::string ExportJson();
 
+  /// Microseconds since recorder start — the timebase of every event.
+  /// Public so the serve path can stamp request arrival for spans whose
+  /// lifetime crosses threads (see AppendCompleted).
+  double NowMicros() const;
+
+  /// Reserves a span id without opening an RAII scope. Used for request
+  /// spans: the reader thread allocates the id at arrival, the executor
+  /// parents its stage spans under it, and the writer closes it with
+  /// AppendCompleted once the response bytes are flushed.
+  uint64_t AllocateSpanId() { return NextSpanId(); }
+
+  /// Appends an already-finished span with explicit timing (a no-op while
+  /// recording is disabled). Timestamps come from NowMicros().
+  void AppendCompleted(std::string name, uint64_t id, uint64_t parent_id,
+                       double begin_us, double end_us);
+
  private:
   friend class TraceSpan;
 
@@ -71,7 +87,6 @@ class TraceRecorder {
   uint64_t NextSpanId() {
     return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
-  double NowMicros() const;
   ThreadBuffer* BufferForThisThread();
   void Append(TraceEvent event);
 

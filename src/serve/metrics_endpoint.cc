@@ -1,0 +1,189 @@
+#include "serve/metrics_endpoint.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/telemetry/prometheus.h"
+
+namespace telco {
+
+namespace {
+
+void CloseFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+Counter ScrapeCounter() {
+  static const Counter counter =
+      MetricsRegistry::Global().GetCounter("serve.metrics.scrapes");
+  return counter;
+}
+
+}  // namespace
+
+MetricsHttpEndpoint::MetricsHttpEndpoint(MetricsEndpointOptions options)
+    : options_(std::move(options)) {
+  if (options_.registry == nullptr) {
+    options_.registry = &MetricsRegistry::Global();
+  }
+}
+
+MetricsHttpEndpoint::~MetricsHttpEndpoint() { Stop(); }
+
+Status MetricsHttpEndpoint::Start() {
+  if (started_) {
+    return Status::Internal("MetricsHttpEndpoint already started");
+  }
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const auto fail = [this](std::string what) {
+    Status status =
+        Status::IoError(std::move(what) + ": " + std::strerror(errno));
+    CloseFd(listen_fd_);
+    CloseFd(wake_fd_);
+    return status;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return fail("cannot create metrics socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    CloseFd(listen_fd_);
+    return Status::InvalidArgument("invalid metrics bind address \"" +
+                                   options_.bind_address + "\"");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail(StrFormat("cannot bind metrics port %s:%d",
+                          options_.bind_address.c_str(), options_.port));
+  }
+  if (::listen(listen_fd_, 16) != 0) return fail("cannot listen");
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return fail("getsockname failed on metrics port");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC);
+  if (wake_fd_ < 0) return fail("cannot create metrics wake eventfd");
+
+  thread_ = std::thread([this]() { Loop(); });
+  started_ = true;
+  TELCO_LOG(Info) << "metrics endpoint listening on "
+                  << options_.bind_address << ":" << port_;
+  return Status::OK();
+}
+
+void MetricsHttpEndpoint::Stop() {
+  if (!started_) {
+    CloseFd(listen_fd_);
+    CloseFd(wake_fd_);
+    return;
+  }
+  started_ = false;
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  if (thread_.joinable()) thread_.join();
+  CloseFd(listen_fd_);
+  CloseFd(wake_fd_);
+}
+
+void MetricsHttpEndpoint::Loop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_fd_, POLLIN, 0};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      TELCO_LOG(Warning) << "metrics endpoint poll failed: "
+                         << std::strerror(errno);
+      return;
+    }
+    if (fds[1].revents != 0) return;  // Stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN) {
+        continue;
+      }
+      TELCO_LOG(Warning) << "metrics endpoint accept failed: "
+                         << std::strerror(errno);
+      return;
+    }
+    ServeOne(client);
+    ::close(client);
+  }
+}
+
+void MetricsHttpEndpoint::ServeOne(int client_fd) {
+  // A scraper that neither finishes its request nor reads the response
+  // within a couple of seconds forfeits this scrape; timeouts keep one
+  // stuck client from wedging the (single-threaded) endpoint.
+  timeval timeout{2, 0};
+  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(client_fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  // Read until the blank line that ends the HTTP request head. The
+  // request itself is ignored — every path serves the same snapshot —
+  // but reading it first avoids resetting clients that see the response
+  // before they finish sending.
+  std::string head;
+  char buf[1024];
+  while (head.size() < 4096 && head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      head.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0 && !head.empty()) break;  // header-only request, no blank line
+    return;  // timeout or error before any request arrived
+  }
+
+  const std::string body = ToPrometheusText(options_.registry->Snapshot());
+  std::string response =
+      StrFormat("HTTP/1.0 200 OK\r\n"
+                "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n\r\n",
+                body.size());
+  response += body;
+  size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n = ::send(client_fd, response.data() + sent,
+                             response.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // peer gone or send timeout; drop this scrape
+  }
+  ScrapeCounter().Add();
+}
+
+}  // namespace telco

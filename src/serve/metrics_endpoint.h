@@ -1,0 +1,69 @@
+// MetricsHttpEndpoint: the Prometheus scrape port of the serving stack.
+//
+// `telcochurn serve ... --metrics-port P` binds a second, tiny HTTP
+// listener whose only job is answering GET scrapes with the process-wide
+// MetricsRegistry snapshot rendered as Prometheus text (prometheus.h).
+// It is deliberately not part of the epoll data plane: scrapes arrive a
+// few times a minute, so one blocking thread that serves connections
+// sequentially is simpler, isolated from the scoring hot path, and
+// cannot interleave with response ordering. Any request line gets the
+// same 200 text/plain snapshot; this is an exposition endpoint, not a
+// web server.
+//
+// Linux-only (eventfd wakeup for shutdown), like the TCP front-end.
+
+#ifndef TELCO_SERVE_METRICS_ENDPOINT_H_
+#define TELCO_SERVE_METRICS_ENDPOINT_H_
+
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "common/telemetry/metrics.h"
+
+namespace telco {
+
+struct MetricsEndpointOptions {
+  /// Port to bind (0 = ephemeral; read the real one from port()).
+  int port = 0;
+  /// Default loopback, same reasoning as the scoring port.
+  std::string bind_address = "127.0.0.1";
+  /// Registry to expose. Defaults to MetricsRegistry::Global().
+  MetricsRegistry* registry = nullptr;
+};
+
+/// \brief Plaintext Prometheus exposition endpoint on its own thread.
+class MetricsHttpEndpoint {
+ public:
+  explicit MetricsHttpEndpoint(MetricsEndpointOptions options = {});
+
+  /// Calls Stop().
+  ~MetricsHttpEndpoint();
+
+  MetricsHttpEndpoint(const MetricsHttpEndpoint&) = delete;
+  MetricsHttpEndpoint& operator=(const MetricsHttpEndpoint&) = delete;
+
+  /// Binds, listens and spawns the serving thread.
+  Status Start();
+
+  /// The bound port (after a successful Start).
+  int port() const { return port_; }
+
+  /// Closes the listener and joins the thread. Idempotent.
+  void Stop();
+
+ private:
+  void Loop();
+  void ServeOne(int client_fd);
+
+  MetricsEndpointOptions options_;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_SERVE_METRICS_ENDPOINT_H_

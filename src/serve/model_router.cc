@@ -36,7 +36,11 @@ uint64_t ModelRouter::Publish(
     std::lock_guard<std::mutex> lock(mutex_);
     std::unique_ptr<Route>& slot = routes_[name];
     if (slot == nullptr) {
-      slot = std::make_unique<Route>(options_.executor);
+      // Label the route's executor so it records per-route latency
+      // quantiles ("" is shown as "default", matching the stats verb).
+      ScoringExecutorOptions executor_options = options_.executor;
+      executor_options.route_name = name.empty() ? "default" : name;
+      slot = std::make_unique<Route>(executor_options);
       route_count.Set(static_cast<double>(routes_.size()));
     }
     route = slot.get();
@@ -46,18 +50,20 @@ uint64_t ModelRouter::Publish(
   return route->registry.Publish(std::move(snapshot));
 }
 
-Result<std::future<ScoreOutcome>> ModelRouter::Submit(ScoreRequest request) {
+Result<std::future<ScoreOutcome>> ModelRouter::Submit(
+    ScoreRequest request, RequestTelemetry telemetry) {
   Route* route = FindRoute(request.model);
   if (route == nullptr) return UnknownRoute(request.model);
-  return route->executor.Submit(std::move(request));
+  return route->executor.Submit(std::move(request), telemetry);
 }
 
 Status ModelRouter::SubmitWithCallback(
-    ScoreRequest request, std::function<void(ScoreOutcome)> done) {
+    ScoreRequest request, std::function<void(ScoreOutcome)> done,
+    RequestTelemetry telemetry) {
   Route* route = FindRoute(request.model);
   if (route == nullptr) return UnknownRoute(request.model);
   return route->executor.SubmitWithCallback(std::move(request),
-                                            std::move(done));
+                                            std::move(done), telemetry);
 }
 
 Result<SnapshotRegistry*> ModelRouter::RouteRegistry(

@@ -57,12 +57,14 @@ class ModelRouter {
   /// Submits to the route named by request.model. NotFound for a route
   /// that has never been published; otherwise the route executor's
   /// admission verdict (Unavailable on a full queue).
-  Result<std::future<ScoreOutcome>> Submit(ScoreRequest request);
+  Result<std::future<ScoreOutcome>> Submit(ScoreRequest request,
+                                           RequestTelemetry telemetry = {});
 
   /// Callback flavour for event-loop callers (the TCP front-end); same
   /// routing and admission semantics as Submit.
   Status SubmitWithCallback(ScoreRequest request,
-                            std::function<void(ScoreOutcome)> done);
+                            std::function<void(ScoreOutcome)> done,
+                            RequestTelemetry telemetry = {});
 
   /// The registry behind route `name` (NotFound if never published).
   /// Stable for the router's lifetime.

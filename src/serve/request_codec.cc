@@ -185,6 +185,10 @@ Result<ServeRequest> ParseServeRequest(std::string_view line) {
       request.type = ServeRequestType::kStats;
       return request;
     }
+    if (cmd->string == "metrics") {
+      request.type = ServeRequestType::kMetrics;
+      return request;
+    }
     if (cmd->string == "quit") {
       request.type = ServeRequestType::kQuit;
       return request;

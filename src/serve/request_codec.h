@@ -10,6 +10,8 @@
 //   hot-swap        {"cmd":"swap","model":"/path/to/model.rf"}
 //                   optional "name":"segment-a" targets a named route
 //   stats           {"cmd":"stats"}
+//   metrics         {"cmd":"metrics"}
+//                   full MetricsRegistry snapshot as one JSON line
 //   quit            {"cmd":"quit"}
 //
 //   score response  {"id":7,"imsi":1234,"score":0x...,"snapshot":1}
@@ -43,6 +45,7 @@ enum class ServeRequestType : int {
   kSwap = 1,
   kStats = 2,
   kQuit = 3,
+  kMetrics = 4,
 };
 
 /// \brief Largest accepted request line. Anything longer is rejected as

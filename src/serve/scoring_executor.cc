@@ -20,6 +20,10 @@ struct ExecutorMetrics {
   Histogram batch_size;
   Histogram latency_seconds;
   Gauge queue_depth;
+  // Per-stage request timing (DESIGN.md §13); log-bucketed so the tails
+  // (p99/p999) interpolate within ~6%-wide buckets instead of decades.
+  Histogram queue_wait_seconds;
+  Histogram score_seconds;
 };
 
 const ExecutorMetrics& Metrics() {
@@ -32,8 +36,10 @@ const ExecutorMetrics& Metrics() {
         r.GetCounter("serve.executor.rejected"),
         r.GetCounter("serve.executor.batches"),
         r.GetHistogram("serve.executor.batch_size", kBatchBounds),
-        r.GetHistogram("serve.executor.latency_seconds"),
+        r.GetLogHistogram("serve.executor.latency_seconds"),
         r.GetGauge("serve.executor.queue_depth"),
+        r.GetLogHistogram("serve.request.queue_wait_seconds"),
+        r.GetLogHistogram("serve.request.score_seconds"),
     };
   }();
   return *m;
@@ -48,13 +54,17 @@ ScoringExecutor::ScoringExecutor(SnapshotRegistry* registry,
   if (options_.max_batch_size == 0) options_.max_batch_size = 1;
   if (options_.max_queue_depth == 0) options_.max_queue_depth = 1;
   if (options_.pool == nullptr) options_.pool = &ThreadPool::Default();
+  if (!options_.route_name.empty()) {
+    route_latency_ = MetricsRegistry::Global().GetLogHistogram(
+        "serve.route." + options_.route_name + ".latency_seconds");
+  }
   dispatcher_ = std::thread([this] { DispatchLoop(); });
 }
 
 ScoringExecutor::~ScoringExecutor() { Shutdown(); }
 
 Result<std::future<ScoreOutcome>> ScoringExecutor::Submit(
-    ScoreRequest request) {
+    ScoreRequest request, RequestTelemetry telemetry) {
   // No schema validation here: checking the row width against the
   // *current* snapshot would race with a concurrent hot swap (the batch
   // may score against a different snapshot than Submit saw). The
@@ -64,18 +74,21 @@ Result<std::future<ScoreOutcome>> ScoringExecutor::Submit(
   Pending pending;
   pending.request = std::move(request);
   pending.enqueued = std::chrono::steady_clock::now();
+  pending.telemetry = telemetry;
   std::future<ScoreOutcome> future = pending.promise.get_future();
   TELCO_RETURN_NOT_OK(Enqueue(std::move(pending)));
   return future;
 }
 
 Status ScoringExecutor::SubmitWithCallback(
-    ScoreRequest request, std::function<void(ScoreOutcome)> done) {
+    ScoreRequest request, std::function<void(ScoreOutcome)> done,
+    RequestTelemetry telemetry) {
   TELCO_CHECK(done != nullptr);
   Pending pending;
   pending.request = std::move(request);
   pending.callback = std::move(done);
   pending.enqueued = std::chrono::steady_clock::now();
+  pending.telemetry = telemetry;
   return Enqueue(std::move(pending));
 }
 
@@ -157,12 +170,44 @@ void ScoringExecutor::ScoreBatch(std::vector<Pending> batch) {
   Metrics().batches.Add();
   Metrics().batch_size.Observe(static_cast<double>(batch.size()));
 
+  // Stage attribution: queue_wait ends (and score begins) when the batch
+  // starts scoring; both are batch-grained on the score side, which is
+  // exact for the batch and within one batch-width per request.
+  const auto dispatch_time = std::chrono::steady_clock::now();
+  for (const Pending& pending : batch) {
+    Metrics().queue_wait_seconds.Observe(
+        std::chrono::duration<double>(dispatch_time - pending.enqueued)
+            .count());
+  }
+
   const auto finish = [&](Pending& pending, ScoreOutcome outcome) {
+    const auto now = std::chrono::steady_clock::now();
     const double latency =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      pending.enqueued)
-            .count();
+        std::chrono::duration<double>(now - pending.enqueued).count();
     Metrics().latency_seconds.Observe(latency);
+    Metrics().score_seconds.Observe(
+        std::chrono::duration<double>(now - dispatch_time).count());
+    route_latency_.Observe(latency);
+    if (pending.telemetry.trace_span != 0) {
+      // Reader→executor parent propagation: stage spans hang off the
+      // request span the reader thread allocated, reconstructed here
+      // retroactively (the steady-clock stamps convert into the
+      // recorder's timebase by offsetting from its current reading).
+      TraceRecorder& recorder = TraceRecorder::Global();
+      const double now_us = recorder.NowMicros();
+      const auto micros_ago = [&](std::chrono::steady_clock::time_point t) {
+        return now_us -
+               std::chrono::duration<double, std::micro>(now - t).count();
+      };
+      const double enqueued_us = micros_ago(pending.enqueued);
+      const double dispatch_us = micros_ago(dispatch_time);
+      recorder.AppendCompleted("serve.request.queue_wait", 0,
+                               pending.telemetry.trace_span, enqueued_us,
+                               dispatch_us);
+      recorder.AppendCompleted("serve.request.score", 0,
+                               pending.telemetry.trace_span, dispatch_us,
+                               now_us);
+    }
     completed_.fetch_add(1, std::memory_order_relaxed);
     if (pending.callback) {
       pending.callback(std::move(outcome));

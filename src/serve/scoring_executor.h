@@ -24,6 +24,7 @@
 #define TELCO_SERVE_SCORING_EXECUTOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -35,6 +36,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/telemetry/metrics.h"
 #include "serve/snapshot_registry.h"
 
 namespace telco {
@@ -64,6 +66,23 @@ struct ScoreOutcome {
   uint32_t model_fingerprint = 0;
 };
 
+/// \brief Per-request observability context threaded from the serving
+/// front-end (which stamps request arrival and owns the request trace
+/// span) into the executor (which records the queue-wait and score stages
+/// against it). Defaults are inert: stage histograms fall back to the
+/// enqueue time and no spans are emitted.
+struct RequestTelemetry {
+  /// When the front-end read the request off the wire; start of the
+  /// request's `total` stage. Zero (epoch) = unknown, use enqueue time.
+  std::chrono::steady_clock::time_point received{};
+  /// Request-scoped trace span id allocated by the reader thread (see
+  /// TraceRecorder::AllocateSpanId), 0 when the request is unsampled.
+  /// Executor-side stage spans use it as their parent, which is how a
+  /// request's timeline stays connected across reader and dispatcher
+  /// threads in the exported trace.
+  uint64_t trace_span = 0;
+};
+
 struct ScoringExecutorOptions {
   /// Largest batch one dispatch scores against one snapshot.
   size_t max_batch_size = 64;
@@ -71,6 +90,10 @@ struct ScoringExecutorOptions {
   size_t max_queue_depth = 1024;
   /// Pool the batch scoring fans out on (null = process-wide default).
   ThreadPool* pool = nullptr;
+  /// Route label for per-route latency: when non-empty the executor also
+  /// records `serve.route.<route_name>.latency_seconds` (log-bucketed),
+  /// so multi-model stats can report quantiles per route.
+  std::string route_name;
 };
 
 /// \brief Micro-batching scoring service core (in-process).
@@ -92,7 +115,8 @@ class ScoringExecutor {
   /// snapshot the request's batch actually scored with — never against
   /// the snapshot current at submit time, which a hot swap may replace
   /// before dispatch.
-  Result<std::future<ScoreOutcome>> Submit(ScoreRequest request);
+  Result<std::future<ScoreOutcome>> Submit(ScoreRequest request,
+                                           RequestTelemetry telemetry = {});
 
   /// Callback flavour of Submit for event-loop callers (the TCP
   /// front-end) that must not block on a future: `done` runs exactly once
@@ -100,7 +124,8 @@ class ScoringExecutor {
   /// must not block or re-enter the executor. Admission and validation
   /// semantics are identical to Submit.
   Status SubmitWithCallback(ScoreRequest request,
-                            std::function<void(ScoreOutcome)> done);
+                            std::function<void(ScoreOutcome)> done,
+                            RequestTelemetry telemetry = {});
 
   /// Blocks until every accepted request has completed.
   void Drain();
@@ -129,6 +154,7 @@ class ScoringExecutor {
     std::promise<ScoreOutcome> promise;          // future-based Submit
     std::function<void(ScoreOutcome)> callback;  // SubmitWithCallback
     std::chrono::steady_clock::time_point enqueued;
+    RequestTelemetry telemetry;
   };
 
   /// Shared admission path of both Submit flavours.
@@ -139,6 +165,9 @@ class ScoringExecutor {
 
   SnapshotRegistry* registry_;
   ScoringExecutorOptions options_;
+  /// Per-route log-bucketed latency (inert default handle when
+  /// route_name is empty).
+  Histogram route_latency_;
 
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> rejected_{0};

@@ -1,0 +1,68 @@
+// Shared JSON builders for the serve front-ends' observability verbs.
+//
+// The TCP and stdio servers answer the same `stats` and `metrics` wire
+// verbs; the response bodies are built here once so the two front-ends
+// cannot drift (they did, until PR 8). `stats` is the human-sized
+// summary — executor counters plus p50/p99/p999 and the per-stage
+// quantile block; `metrics` is the full MetricsRegistry snapshot in the
+// run-report JSON schema.
+
+#ifndef TELCO_SERVE_SERVE_STATS_H_
+#define TELCO_SERVE_SERVE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/telemetry/metrics.h"
+#include "serve/model_router.h"
+
+namespace telco {
+
+/// Front-end-side stage histograms, shared by the TCP and stdio servers
+/// (queue_wait and score are recorded inside ScoringExecutor). All
+/// log-bucketed, all in seconds.
+struct ServeStageHistograms {
+  Histogram parse_seconds;   // wire line -> parsed request
+  Histogram write_seconds;   // outcome ready -> response bytes flushed
+  Histogram total_seconds;   // wire line read -> response bytes flushed
+};
+const ServeStageHistograms& StageHistograms();
+
+/// The shared interior of a `stats` response (no braces, no leading
+/// comma): `"requests":..,"batches":..,"rejected":..,"p50_ms":..,
+/// "p99_ms":..,"p999_ms":..,"stages":{...}`. The stages object maps
+/// parse/queue_wait/score/write/total to per-stage p50/p99/p999
+/// milliseconds from the serve.request.*_seconds log histograms.
+std::string ServeStatsCoreJson(const MetricsSnapshot& metrics);
+
+/// One route's entry for the TCP stats "models" array, including the
+/// route's own latency quantiles (serve.route.<name>.latency_seconds).
+std::string RouteStatsJson(const ModelRouter::RouteStats& route,
+                           const MetricsSnapshot& metrics);
+
+/// The full `metrics` verb response line (no trailing newline):
+/// {"cmd":"metrics","metrics":[...]} with the snapshot's ToJson array.
+std::string MetricsResponseJson(const MetricsSnapshot& metrics);
+
+/// \brief Decides which score requests get a request-scoped TraceSpan:
+/// every Nth request while the trace recorder is running (--trace-sample).
+/// Thread-safe; shared by all reader threads of a server.
+class RequestTraceSampler {
+ public:
+  /// sample_every == 0 disables sampling entirely.
+  explicit RequestTraceSampler(uint64_t sample_every)
+      : sample_every_(sample_every) {}
+
+  /// Returns a freshly allocated span id for a sampled request, or 0.
+  /// The caller owns closing the span via TraceRecorder::AppendCompleted.
+  uint64_t Sample();
+
+ private:
+  const uint64_t sample_every_;
+  std::atomic<uint64_t> counter_{0};
+};
+
+}  // namespace telco
+
+#endif  // TELCO_SERVE_SERVE_STATS_H_

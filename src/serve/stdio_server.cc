@@ -11,6 +11,7 @@
 #include "common/string_util.h"
 #include "common/telemetry/json.h"
 #include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
 
 namespace telco {
 
@@ -18,7 +19,8 @@ StdioScoringServer::StdioScoringServer(SnapshotRegistry* registry,
                                        StdioServerOptions options)
     : registry_(registry),
       options_(options),
-      executor_(registry, options.executor) {
+      executor_(registry, options.executor),
+      trace_sampler_(options.trace_sample) {
   if (options_.window == 0) options_.window = 1;
   options_.window =
       std::min(options_.window, executor_.options().max_queue_depth);
@@ -70,7 +72,29 @@ Status StdioScoringServer::FlushOne(std::FILE* out) {
   InFlight oldest = std::move(in_flight_.front());
   in_flight_.pop_front();
   const ScoreOutcome outcome = oldest.future.get();
-  return WriteLine(out, FormatScoreResponse(oldest.request, outcome));
+  const auto write_begin = std::chrono::steady_clock::now();
+  const Status status =
+      WriteLine(out, FormatScoreResponse(oldest.request, outcome));
+  const auto write_end = std::chrono::steady_clock::now();
+  // write = the WriteLine commit itself (stdio has no send queue); total =
+  // request line read -> response bytes flushed.
+  StageHistograms().write_seconds.Observe(
+      std::chrono::duration<double>(write_end - write_begin).count());
+  StageHistograms().total_seconds.Observe(
+      std::chrono::duration<double>(write_end - oldest.received).count());
+  if (oldest.trace_span != 0) {
+    TraceRecorder& recorder = TraceRecorder::Global();
+    const double now_us = recorder.NowMicros();
+    const double write_begin_us =
+        now_us -
+        std::chrono::duration<double, std::micro>(write_end - write_begin)
+            .count();
+    recorder.AppendCompleted("serve.request.write", 0, oldest.trace_span,
+                             write_begin_us, now_us);
+    recorder.AppendCompleted("serve.request", oldest.trace_span, 0,
+                             oldest.trace_begin_us, now_us);
+  }
+  return status;
 }
 
 Status StdioScoringServer::FlushAll(std::FILE* out) {
@@ -78,8 +102,9 @@ Status StdioScoringServer::FlushAll(std::FILE* out) {
   return Status::OK();
 }
 
-Status StdioScoringServer::HandleScore(ScoreRequest request,
-                                       std::FILE* out) {
+Status StdioScoringServer::HandleScore(
+    ScoreRequest request, std::FILE* out,
+    std::chrono::steady_clock::time_point received) {
   if (!request.model.empty()) {
     // The stdio pipe serves exactly one model; named routes live behind
     // the TCP front-end's ModelRouter.
@@ -90,12 +115,28 @@ Status StdioScoringServer::HandleScore(ScoreRequest request,
                      "named models (\"model\":\"...\") require the TCP "
                      "front-end (serve --tcp-port)")));
   }
+  RequestTelemetry telemetry;
+  telemetry.received = received;
+  telemetry.trace_span = trace_sampler_.Sample();
+  // Root span begins at wire arrival: shift the recorder's current
+  // reading back by the time elapsed since `received`.
+  const double trace_begin_us =
+      telemetry.trace_span != 0
+          ? TraceRecorder::Global().NowMicros() -
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - received)
+                    .count()
+          : 0.0;
   for (;;) {
-    Result<std::future<ScoreOutcome>> submitted = executor_.Submit(request);
+    Result<std::future<ScoreOutcome>> submitted =
+        executor_.Submit(request, telemetry);
     if (submitted.ok()) {
       InFlight entry;
       entry.request = std::move(request);
       entry.future = std::move(submitted).ValueOrDie();
+      entry.received = received;
+      entry.trace_span = telemetry.trace_span;
+      entry.trace_begin_us = trace_begin_us;
       in_flight_.push_back(std::move(entry));
       break;
     }
@@ -148,30 +189,19 @@ Status StdioScoringServer::HandleSwap(const std::string& model_path,
 Status StdioScoringServer::HandleStats(std::FILE* out) {
   const SnapshotRef ref = registry_->Acquire();
   const MetricsSnapshot metrics = MetricsRegistry::Global().Snapshot();
-  const auto counter = [&metrics](const char* name) -> unsigned long long {
-    const MetricValue* value = metrics.Find(name);
-    return value == nullptr ? 0 : value->counter;
-  };
-  double p50_ms = 0.0, p99_ms = 0.0;
-  if (const MetricValue* latency =
-          metrics.Find("serve.executor.latency_seconds");
-      latency != nullptr) {
-    p50_ms = latency->histogram.Quantile(0.5) * 1e3;
-    p99_ms = latency->histogram.Quantile(0.99) * 1e3;
-  }
   return WriteLine(
       out,
-      StrFormat("{\"cmd\":\"stats\",\"snapshot\":%llu,\"model\":\"%s\","
-                "\"requests\":%llu,\"batches\":%llu,\"rejected\":%llu,"
-                "\"p50_ms\":%s,\"p99_ms\":%s}",
+      StrFormat("{\"cmd\":\"stats\",\"snapshot\":%llu,\"model\":\"%s\",%s}",
                 static_cast<unsigned long long>(ref.version),
                 ref.snapshot == nullptr
                     ? ""
                     : JsonEscape(ref.snapshot->label()).c_str(),
-                counter("serve.executor.requests"),
-                counter("serve.executor.batches"),
-                counter("serve.executor.rejected"), JsonNumber(p50_ms).c_str(),
-                JsonNumber(p99_ms).c_str()));
+                ServeStatsCoreJson(metrics).c_str()));
+}
+
+Status StdioScoringServer::HandleMetrics(std::FILE* out) {
+  return WriteLine(
+      out, MetricsResponseJson(MetricsRegistry::Global().Snapshot()));
 }
 
 Status StdioScoringServer::Run(std::istream& in, std::FILE* out) {
@@ -184,7 +214,12 @@ Status StdioScoringServer::Run(std::istream& in, std::FILE* out) {
   bool quit = false;
   while (status.ok() && !quit && std::getline(in, line)) {
     if (line.empty()) continue;
+    const auto received = std::chrono::steady_clock::now();
     Result<ServeRequest> parsed = ParseServeRequest(line);
+    StageHistograms().parse_seconds.Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      received)
+            .count());
     if (!parsed.ok()) {
       // Error lines honour the ordering contract too: drain score
       // responses first so output position identifies the bad input.
@@ -197,7 +232,7 @@ Status StdioScoringServer::Run(std::istream& in, std::FILE* out) {
     ServeRequest request = std::move(parsed).ValueOrDie();
     switch (request.type) {
       case ServeRequestType::kScore:
-        status = HandleScore(std::move(request.score), out);
+        status = HandleScore(std::move(request.score), out, received);
         break;
       case ServeRequestType::kSwap:
         status = FlushAll(out);
@@ -208,6 +243,10 @@ Status StdioScoringServer::Run(std::istream& in, std::FILE* out) {
       case ServeRequestType::kStats:
         status = FlushAll(out);
         if (status.ok()) status = HandleStats(out);
+        break;
+      case ServeRequestType::kMetrics:
+        status = FlushAll(out);
+        if (status.ok()) status = HandleMetrics(out);
         break;
       case ServeRequestType::kQuit:
         quit = true;

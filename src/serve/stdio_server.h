@@ -12,6 +12,7 @@
 #ifndef TELCO_SERVE_STDIO_SERVER_H_
 #define TELCO_SERVE_STDIO_SERVER_H_
 
+#include <chrono>
 #include <cstdio>
 #include <deque>
 #include <future>
@@ -20,6 +21,7 @@
 #include "common/result.h"
 #include "serve/request_codec.h"
 #include "serve/scoring_executor.h"
+#include "serve/serve_stats.h"
 #include "serve/snapshot_registry.h"
 
 namespace telco {
@@ -28,6 +30,9 @@ struct StdioServerOptions {
   /// Score responses allowed in flight before the reader blocks on the
   /// oldest one (pipelining window). Clamped to the executor queue bound.
   size_t window = 128;
+  /// Emit a request-scoped TraceSpan for every Nth score request while
+  /// the trace recorder runs (0 = never). CLI: --trace-sample=N.
+  uint64_t trace_sample = 0;
   ScoringExecutorOptions executor;
 };
 
@@ -50,6 +55,13 @@ class StdioScoringServer {
   struct InFlight {
     ScoreRequest request;
     std::future<ScoreOutcome> future;
+    /// When the request line was read off the input stream; start of its
+    /// `total` stage.
+    std::chrono::steady_clock::time_point received{};
+    /// Request trace span id (0 = unsampled); closed after the response
+    /// line is written.
+    uint64_t trace_span = 0;
+    double trace_begin_us = 0.0;
   };
 
   /// Waits for the oldest in-flight response and writes it.
@@ -60,14 +72,17 @@ class StdioScoringServer {
   /// Commits one response line atomically (single write + flush).
   Status WriteLine(std::FILE* out, const std::string& line);
 
-  Status HandleScore(ScoreRequest request, std::FILE* out);
+  Status HandleScore(ScoreRequest request, std::FILE* out,
+                     std::chrono::steady_clock::time_point received);
   Status HandleSwap(const std::string& model_path,
                     const std::string& model_name, std::FILE* out);
   Status HandleStats(std::FILE* out);
+  Status HandleMetrics(std::FILE* out);
 
   SnapshotRegistry* registry_;
   StdioServerOptions options_;
   ScoringExecutor executor_;
+  RequestTraceSampler trace_sampler_;
   std::deque<InFlight> in_flight_;
   /// Set by WriteLine on EPIPE: the reader vanished; Run ends cleanly.
   bool peer_closed_ = false;

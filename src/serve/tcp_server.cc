@@ -18,6 +18,7 @@
 #include "common/string_util.h"
 #include "common/telemetry/json.h"
 #include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
 #include "serve/model_snapshot.h"
 
 namespace telco {
@@ -71,7 +72,8 @@ Counter IdleReapedCounter() {
 
 TcpScoringServer::TcpScoringServer(ModelRouter* router,
                                    TcpServerOptions options)
-    : router_(router), options_(options) {
+    : router_(router), options_(options),
+      trace_sampler_(options.trace_sample) {
   TELCO_CHECK(router_ != nullptr);
   options_.readers = std::max<size_t>(1, options_.readers);
   options_.write_low_watermark =
@@ -414,9 +416,10 @@ void TcpScoringServer::HandleReadable(
   for (;;) {
     const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (n > 0) {
-      conn->last_activity = std::chrono::steady_clock::now();
+      const auto received = std::chrono::steady_clock::now();
+      conn->last_activity = received;
       conn->in.append(buf, static_cast<size_t>(n));
-      ProcessInput(conn);
+      ProcessInput(conn, received);
       FlushConnection(reader, conn);
       // Flush may have closed (write error / quit drained) or paused the
       // connection; in either case stop pulling more input.
@@ -432,7 +435,7 @@ void TcpScoringServer::HandleReadable(
       if (!conn->in.empty()) {
         const std::string last = std::move(conn->in);
         conn->in.clear();
-        HandleLine(conn, last);
+        HandleLine(conn, last, std::chrono::steady_clock::now());
       }
       conn->close_after_flush = true;
       break;
@@ -446,13 +449,15 @@ void TcpScoringServer::HandleReadable(
   FlushConnection(reader, conn);
 }
 
-void TcpScoringServer::ProcessInput(const std::shared_ptr<Connection>& conn) {
+void TcpScoringServer::ProcessInput(
+    const std::shared_ptr<Connection>& conn,
+    std::chrono::steady_clock::time_point received) {
   size_t start = 0;
   while (!conn->close_after_flush) {
     const size_t pos = conn->in.find('\n', start);
     if (pos == std::string::npos) break;
     const std::string_view line(conn->in.data() + start, pos - start);
-    if (!line.empty()) HandleLine(conn, line);
+    if (!line.empty()) HandleLine(conn, line, received);
     start = pos + 1;
   }
   conn->in.erase(0, start);
@@ -474,9 +479,15 @@ void TcpScoringServer::ProcessInput(const std::shared_ptr<Connection>& conn) {
   }
 }
 
-void TcpScoringServer::HandleLine(const std::shared_ptr<Connection>& conn,
-                                  std::string_view line) {
+void TcpScoringServer::HandleLine(
+    const std::shared_ptr<Connection>& conn, std::string_view line,
+    std::chrono::steady_clock::time_point received) {
+  const auto parse_begin = std::chrono::steady_clock::now();
   Result<ServeRequest> parsed = ParseServeRequest(line);
+  StageHistograms().parse_seconds.Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    parse_begin)
+          .count());
   if (!parsed.ok()) {
     PushImmediate(conn, FormatErrorResponse(0, parsed.status()));
     return;
@@ -488,6 +499,9 @@ void TcpScoringServer::HandleLine(const std::shared_ptr<Connection>& conn,
       const uint64_t id = score.id;
       const int64_t imsi = score.imsi;
       const std::string model = score.model;
+      RequestTelemetry telemetry;
+      telemetry.received = received;
+      telemetry.trace_span = trace_sampler_.Sample();
       // The slot is appended before the submit so the response keeps its
       // arrival position no matter when the callback fires. Slot
       // pointers are stable: a deque never relocates elements on
@@ -497,6 +511,18 @@ void TcpScoringServer::HandleLine(const std::shared_ptr<Connection>& conn,
         std::lock_guard<std::mutex> lock(conn->mutex);
         conn->slots.emplace_back();
         slot = &conn->slots.back();
+        slot->timed = true;
+        slot->received = received;
+        slot->trace_span = telemetry.trace_span;
+        if (slot->trace_span != 0) {
+          // Root span begins at wire arrival: shift the recorder's
+          // current reading back by the time elapsed since `received`.
+          slot->trace_begin_us =
+              TraceRecorder::Global().NowMicros() -
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - received)
+                  .count();
+        }
       }
       const Status submitted = router_->SubmitWithCallback(
           std::move(score),
@@ -510,16 +536,19 @@ void TcpScoringServer::HandleLine(const std::shared_ptr<Connection>& conn,
             {
               std::lock_guard<std::mutex> lock(conn->mutex);
               slot->line = std::move(response);
+              slot->done_at = std::chrono::steady_clock::now();
               slot->done = true;
               notify = !conn->closed;
             }
             if (notify) MarkDirty(conn);
-          });
+          },
+          telemetry);
       if (!submitted.ok()) {
         // Unknown route, shutdown, or admission-queue overload (the
         // Unavailable + retry:true shed path) — answer in place.
         std::lock_guard<std::mutex> lock(conn->mutex);
         slot->line = FormatErrorResponse(id, submitted);
+        slot->done_at = std::chrono::steady_clock::now();
         slot->done = true;
       }
       break;
@@ -529,6 +558,9 @@ void TcpScoringServer::HandleLine(const std::shared_ptr<Connection>& conn,
       break;
     case ServeRequestType::kStats:
       HandleStats(conn);
+      break;
+    case ServeRequestType::kMetrics:
+      HandleMetrics(conn);
       break;
     case ServeRequestType::kQuit:
       conn->close_after_flush = true;
@@ -565,41 +597,22 @@ void TcpScoringServer::HandleSwap(const std::shared_ptr<Connection>& conn,
 
 void TcpScoringServer::HandleStats(const std::shared_ptr<Connection>& conn) {
   const MetricsSnapshot metrics = MetricsRegistry::Global().Snapshot();
-  const auto counter = [&metrics](const char* name) -> unsigned long long {
-    const MetricValue* value = metrics.Find(name);
-    return value == nullptr ? 0 : value->counter;
-  };
-  double p50_ms = 0.0, p99_ms = 0.0;
-  if (const MetricValue* latency =
-          metrics.Find("serve.executor.latency_seconds");
-      latency != nullptr) {
-    p50_ms = latency->histogram.Quantile(0.5) * 1e3;
-    p99_ms = latency->histogram.Quantile(0.99) * 1e3;
-  }
   std::string models;
   for (const ModelRouter::RouteStats& route : router_->Stats()) {
     if (!models.empty()) models += ',';
-    models += StrFormat(
-        "{\"model\":\"%s\",\"snapshot\":%llu,\"label\":\"%s\","
-        "\"fingerprint\":\"%08x\",\"queue_depth\":%zu,"
-        "\"scored\":%llu,\"rejected\":%llu}",
-        JsonEscape(route.name).c_str(),
-        static_cast<unsigned long long>(route.snapshot_version),
-        JsonEscape(route.label).c_str(), route.fingerprint,
-        route.queue_depth,
-        static_cast<unsigned long long>(route.scored),
-        static_cast<unsigned long long>(route.rejected));
+    models += RouteStatsJson(route, metrics);
   }
   PushImmediate(
       conn,
-      StrFormat("{\"cmd\":\"stats\",\"models\":[%s],\"connections\":%zu,"
-                "\"requests\":%llu,\"batches\":%llu,\"rejected\":%llu,"
-                "\"p50_ms\":%s,\"p99_ms\":%s}",
+      StrFormat("{\"cmd\":\"stats\",\"models\":[%s],\"connections\":%zu,%s}",
                 models.c_str(), num_connections_.load(),
-                counter("serve.executor.requests"),
-                counter("serve.executor.batches"),
-                counter("serve.executor.rejected"), JsonNumber(p50_ms).c_str(),
-                JsonNumber(p99_ms).c_str()));
+                ServeStatsCoreJson(metrics).c_str()));
+}
+
+void TcpScoringServer::HandleMetrics(
+    const std::shared_ptr<Connection>& conn) {
+  PushImmediate(conn,
+                MetricsResponseJson(MetricsRegistry::Global().Snapshot()));
 }
 
 void TcpScoringServer::PushImmediate(const std::shared_ptr<Connection>& conn,
@@ -616,8 +629,19 @@ void TcpScoringServer::FlushConnection(
   {
     std::lock_guard<std::mutex> lock(conn->mutex);
     while (!conn->slots.empty() && conn->slots.front().done) {
-      conn->out += conn->slots.front().line;
+      const ResponseSlot& slot = conn->slots.front();
+      conn->out += slot.line;
       conn->out += '\n';
+      conn->out_appended += slot.line.size() + 1;
+      if (slot.timed) {
+        PendingWrite pending;
+        pending.end_offset = conn->out_appended;
+        pending.received = slot.received;
+        pending.done_at = slot.done_at;
+        pending.trace_span = slot.trace_span;
+        pending.trace_begin_us = slot.trace_begin_us;
+        conn->write_log.push_back(pending);
+      }
       conn->slots.pop_front();
     }
   }
@@ -637,6 +661,36 @@ void TcpScoringServer::FlushConnection(
     // EPIPE/ECONNRESET: clean per-connection shutdown, never SIGPIPE.
     CloseConnection(reader, conn);
     return;
+  }
+  // Responses whose bytes have fully cleared the socket complete their
+  // write and total stages. `out_appended` is an absolute offset so this
+  // comparison survives the compaction below.
+  if (!conn->write_log.empty()) {
+    const uint64_t absolute_sent =
+        conn->out_appended - (conn->out.size() - conn->out_pos);
+    const auto now = std::chrono::steady_clock::now();
+    const ServeStageHistograms& stages = StageHistograms();
+    while (!conn->write_log.empty() &&
+           conn->write_log.front().end_offset <= absolute_sent) {
+      const PendingWrite& done = conn->write_log.front();
+      stages.write_seconds.Observe(
+          std::chrono::duration<double>(now - done.done_at).count());
+      stages.total_seconds.Observe(
+          std::chrono::duration<double>(now - done.received).count());
+      if (done.trace_span != 0) {
+        TraceRecorder& recorder = TraceRecorder::Global();
+        const double now_us = recorder.NowMicros();
+        const double write_begin_us =
+            now_us - std::chrono::duration<double, std::micro>(
+                         now - done.done_at)
+                         .count();
+        recorder.AppendCompleted("serve.request.write", 0, done.trace_span,
+                                 write_begin_us, now_us);
+        recorder.AppendCompleted("serve.request", done.trace_span, 0,
+                                 done.trace_begin_us, now_us);
+      }
+      conn->write_log.pop_front();
+    }
   }
   if (conn->out_pos == conn->out.size()) {
     conn->out.clear();

@@ -54,6 +54,7 @@
 #include "common/result.h"
 #include "serve/model_router.h"
 #include "serve/request_codec.h"
+#include "serve/serve_stats.h"
 
 namespace telco {
 
@@ -81,6 +82,9 @@ struct TcpServerOptions {
   /// holding a slot does not — this bounds how long a slow-loris client
   /// can pin one of max_connections. <= 0 disables the reaper.
   int idle_timeout_s = 300;
+  /// Emit a request-scoped TraceSpan for every Nth score request while
+  /// the trace recorder runs (0 = never). CLI: --trace-sample=N.
+  uint64_t trace_sample = 0;
 };
 
 /// \brief Epoll TCP front-end over a ModelRouter. The router must
@@ -116,7 +120,27 @@ class TcpScoringServer {
  private:
   struct ResponseSlot {
     bool done = false;
+    /// Score-request slot: record write/total stage times (and close the
+    /// request trace span) when its bytes finish sending.
+    bool timed = false;
     std::string line;  // response without trailing newline
+    /// When the request line arrived off the wire (timed slots).
+    std::chrono::steady_clock::time_point received{};
+    /// When the outcome filled the slot (start of the write stage).
+    std::chrono::steady_clock::time_point done_at{};
+    uint64_t trace_span = 0;     // 0 = unsampled
+    double trace_begin_us = 0.0;  // recorder-timebase arrival stamp
+  };
+
+  /// A flushed, timed response waiting for its bytes to clear the socket;
+  /// `end_offset` is the absolute out-stream offset one past its newline.
+  /// Reader-thread-only (like `out` itself).
+  struct PendingWrite {
+    uint64_t end_offset = 0;
+    std::chrono::steady_clock::time_point received{};
+    std::chrono::steady_clock::time_point done_at{};
+    uint64_t trace_span = 0;
+    double trace_begin_us = 0.0;
   };
 
   // One client connection. Socket I/O fields are owned by the reader
@@ -130,6 +154,10 @@ class TcpScoringServer {
     std::string in;                  // unconsumed request bytes
     std::string out;                 // response bytes not yet sent
     size_t out_pos = 0;              // sent prefix of `out`
+    /// Absolute bytes ever appended to `out` (survives compaction), so a
+    /// PendingWrite's end_offset can be compared against bytes sent.
+    uint64_t out_appended = 0;
+    std::deque<PendingWrite> write_log;  // timed responses in flight
     uint32_t interest = 0;           // epoll events currently registered
     bool paused = false;             // EPOLLIN off (backpressure)
     bool close_after_flush = false;  // quit/EOF/protocol error
@@ -170,12 +198,15 @@ class TcpScoringServer {
   // All of the below run on the connection's owning reader thread.
   void AdoptConnection(Reader& reader, int fd);
   void HandleReadable(Reader& reader, const std::shared_ptr<Connection>& c);
-  void ProcessInput(const std::shared_ptr<Connection>& conn);
+  void ProcessInput(const std::shared_ptr<Connection>& conn,
+                    std::chrono::steady_clock::time_point received);
   void HandleLine(const std::shared_ptr<Connection>& conn,
-                  std::string_view line);
+                  std::string_view line,
+                  std::chrono::steady_clock::time_point received);
   void HandleSwap(const std::shared_ptr<Connection>& conn,
                   const ServeRequest& request);
   void HandleStats(const std::shared_ptr<Connection>& conn);
+  void HandleMetrics(const std::shared_ptr<Connection>& conn);
   /// Appends an already-final response line in arrival order.
   void PushImmediate(const std::shared_ptr<Connection>& conn,
                      std::string line);
@@ -194,6 +225,7 @@ class TcpScoringServer {
 
   ModelRouter* router_;
   TcpServerOptions options_;
+  RequestTraceSampler trace_sampler_;
 
   int listen_fd_ = -1;
   int accept_wake_fd_ = -1;

@@ -1,0 +1,160 @@
+#include "common/telemetry/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/json.h"
+#include "common/telemetry/metrics.h"
+
+namespace telco {
+namespace {
+
+std::string TempPath(const char* stem) {
+  const testing::TestInfo* info =
+      testing::UnitTest::GetInstance()->current_test_info();
+  return testing::TempDir() + "/" + info->name() + "_" + stem + ".jsonl";
+}
+
+std::vector<JsonValue> ReadTicks(const std::string& path) {
+  std::vector<JsonValue> ticks;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Result<JsonValue> parsed = ParseJson(line);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << line;
+    if (parsed.ok()) ticks.push_back(std::move(parsed).ValueOrDie());
+  }
+  return ticks;
+}
+
+TEST(FlightRecorderTest, TickDeltasSumToFinalSnapshot) {
+  MetricsRegistry registry;
+  const Counter requests = registry.GetCounter("test.fr.requests");
+  const Histogram latency = registry.GetLogHistogram("test.fr.latency");
+  const Gauge depth = registry.GetGauge("test.fr.depth");
+
+  const std::string path = TempPath("deltas");
+  std::remove(path.c_str());
+  FlightRecorderOptions options;
+  options.path = path;
+  options.interval_s = 3600.0;  // ticks are driven manually below
+  options.registry = &registry;
+  FlightRecorder recorder(options);
+  ASSERT_TRUE(recorder.Start().ok());
+
+  requests.Add(100);
+  latency.Observe(0.002);
+  latency.Observe(0.004);
+  depth.Set(3.0);
+  recorder.TickNow();
+
+  requests.Add(50);
+  latency.Observe(0.008);
+  depth.Set(1.0);
+  recorder.TickNow();
+
+  // An idle interval: the counter and histogram are elided, but the tick
+  // line itself still appears with its gauges.
+  recorder.TickNow();
+
+  requests.Add(7);
+  recorder.Stop();  // final tick flushes the last 7
+
+  const std::vector<JsonValue> ticks = ReadTicks(path);
+  ASSERT_EQ(ticks.size(), 4u);
+
+  double counter_total = 0.0;
+  double histogram_count_total = 0.0;
+  double histogram_sum_total = 0.0;
+  double previous_uptime = 0.0;
+  for (size_t i = 0; i < ticks.size(); ++i) {
+    const JsonValue& tick = ticks[i];
+    EXPECT_DOUBLE_EQ(tick.NumberOr("seq", -1.0), static_cast<double>(i));
+    const double uptime = tick.NumberOr("uptime_s", -1.0);
+    EXPECT_GE(uptime, previous_uptime);
+    // interval_s is the actual elapsed time since the previous tick.
+    EXPECT_NEAR(tick.NumberOr("interval_s", -1.0), uptime - previous_uptime,
+                1e-9);
+    previous_uptime = uptime;
+    const JsonValue* counters = tick.Find("counters");
+    ASSERT_NE(counters, nullptr);
+    counter_total += counters->NumberOr("test.fr.requests", 0.0);
+    const JsonValue* histograms = tick.Find("histograms");
+    ASSERT_NE(histograms, nullptr);
+    if (const JsonValue* h = histograms->Find("test.fr.latency")) {
+      histogram_count_total += h->NumberOr("count", 0.0);
+      histogram_sum_total += h->NumberOr("sum", 0.0);
+      EXPECT_LE(h->NumberOr("p50", 0.0), h->NumberOr("p99", 0.0));
+      EXPECT_LE(h->NumberOr("p99", 0.0), h->NumberOr("p999", 0.0));
+    }
+    const JsonValue* gauges = tick.Find("gauges");
+    ASSERT_NE(gauges, nullptr);
+  }
+
+  // Summing every tick's deltas recovers the registry's lifetime totals —
+  // the invariant that makes the JSONL replayable as a time series.
+  const MetricsSnapshot final_snapshot = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(
+      counter_total,
+      static_cast<double>(final_snapshot.Find("test.fr.requests")->counter));
+  const HistogramSnapshot& final_latency =
+      final_snapshot.Find("test.fr.latency")->histogram;
+  EXPECT_DOUBLE_EQ(histogram_count_total,
+                   static_cast<double>(final_latency.count));
+  EXPECT_NEAR(histogram_sum_total, final_latency.sum, 1e-12);
+
+  // The idle tick elided the quiet counter and histogram.
+  const JsonValue& idle = ticks[2];
+  EXPECT_EQ(idle.Find("counters")->Find("test.fr.requests"), nullptr);
+  EXPECT_EQ(idle.Find("histograms")->Find("test.fr.latency"), nullptr);
+  // Gauges always report their current value.
+  EXPECT_DOUBLE_EQ(idle.Find("gauges")->NumberOr("test.fr.depth", -1.0),
+                   1.0);
+
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, AppendsAcrossRestarts) {
+  MetricsRegistry registry;
+  const Counter c = registry.GetCounter("test.fr.restart");
+  const std::string path = TempPath("restart");
+  std::remove(path.c_str());
+  FlightRecorderOptions options;
+  options.path = path;
+  options.interval_s = 3600.0;
+  options.registry = &registry;
+  {
+    FlightRecorder recorder(options);
+    ASSERT_TRUE(recorder.Start().ok());
+    c.Add(1);
+  }  // destructor stops and writes the final tick
+  {
+    FlightRecorder recorder(options);
+    ASSERT_TRUE(recorder.Start().ok());
+    c.Add(2);
+  }
+  // The second recorder appends rather than truncating, and its baseline
+  // snapshot means its delta is 2, not 3.
+  const std::vector<JsonValue> ticks = ReadTicks(path);
+  ASSERT_EQ(ticks.size(), 2u);
+  EXPECT_DOUBLE_EQ(ticks[0].Find("counters")->NumberOr("test.fr.restart", 0),
+                   1.0);
+  EXPECT_DOUBLE_EQ(ticks[1].Find("counters")->NumberOr("test.fr.restart", 0),
+                   2.0);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, StartFailsOnUnwritablePath) {
+  FlightRecorderOptions options;
+  options.path = "/nonexistent-dir/flight.jsonl";
+  FlightRecorder recorder(options);
+  EXPECT_FALSE(recorder.Start().ok());
+}
+
+}  // namespace
+}  // namespace telco

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -172,6 +175,173 @@ TEST(TelemetryMetricsTest, SnapshotJsonParses) {
     EXPECT_NE(metric.Find("name"), nullptr);
     EXPECT_NE(metric.Find("kind"), nullptr);
   }
+}
+
+// The reference implementation of log-bucket indexing: the same
+// upper_bound search the fixed-bucket path uses, over the full bounds
+// vector. BucketIndex's closed-form arithmetic must agree bit-for-bit.
+size_t ReferenceBucketIndex(double value) {
+  const std::vector<double>& bounds = log_buckets::Bounds();
+  return static_cast<size_t>(
+      std::upper_bound(bounds.begin(), bounds.end(), value) -
+      bounds.begin());
+}
+
+TEST(TelemetryMetricsTest, LogBucketBoundsShape) {
+  const std::vector<double>& bounds = log_buckets::Bounds();
+  ASSERT_EQ(bounds.size(), log_buckets::kNumBounds);
+  EXPECT_DOUBLE_EQ(bounds.front(),
+                   std::ldexp(1.0, log_buckets::kMinExponent));
+  EXPECT_DOUBLE_EQ(bounds.back(), std::ldexp(1.0, log_buckets::kMaxExponent));
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "at " << i;
+  }
+}
+
+TEST(TelemetryMetricsTest, LogBucketIndexMatchesUpperBoundEverywhere) {
+  const std::vector<double>& bounds = log_buckets::Bounds();
+  std::vector<double> probes = {
+      0.0,
+      -1.0,
+      -1e-9,
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),
+      1e-9,
+      1.0,
+      63.999,
+      64.0,
+      65.0,
+      1e6,
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+  };
+  // Every bound, one ULP either side of it, and every sub-bucket
+  // midpoint — the places where a closed-form index is easiest to get
+  // wrong by one.
+  for (const double b : bounds) {
+    probes.push_back(b);
+    probes.push_back(std::nextafter(b, 0.0));
+    probes.push_back(
+        std::nextafter(b, std::numeric_limits<double>::infinity()));
+  }
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    probes.push_back(bounds[i - 1] + (bounds[i] - bounds[i - 1]) / 2.0);
+  }
+  for (const double value : probes) {
+    EXPECT_EQ(log_buckets::BucketIndex(value), ReferenceBucketIndex(value))
+        << "value=" << std::hexfloat << value;
+  }
+  // NaN never matches upper_bound semantics (comparisons are false); it
+  // must land in the overflow bucket, not bucket 0.
+  EXPECT_EQ(log_buckets::BucketIndex(std::nan("")), log_buckets::kNumBounds);
+}
+
+TEST(TelemetryMetricsTest, LogHistogramObserveAndSnapshot) {
+  MetricsRegistry registry;
+  const Histogram h = registry.GetLogHistogram("test.log.hist");
+  h.Observe(0.001);
+  h.Observe(0.001);
+  h.Observe(1.5);
+  h.Observe(1e9);  // overflow
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricValue* metric = snapshot.Find("test.log.hist");
+  ASSERT_NE(metric, nullptr);
+  EXPECT_EQ(metric->kind, MetricKind::kLogHistogram);
+  const HistogramSnapshot& hist = metric->histogram;
+  EXPECT_EQ(hist.count, 4u);
+  ASSERT_EQ(hist.buckets.size(), log_buckets::kNumBuckets);
+  EXPECT_EQ(hist.buckets[log_buckets::BucketIndex(0.001)], 2u);
+  EXPECT_EQ(hist.buckets[log_buckets::BucketIndex(1.5)], 1u);
+  EXPECT_EQ(hist.buckets.back(), 1u);
+  EXPECT_EQ(hist.bounds.size(), log_buckets::kNumBounds);
+}
+
+TEST(TelemetryMetricsTest, LogHistogramRelativeErrorWithinSubBucketWidth) {
+  // A value reconstructed from its bucket's bounds is within one
+  // sub-bucket (1/16 of an octave, ~6.25% relative) of the original —
+  // the resolution claim the quantile accuracy rests on.
+  MetricsRegistry registry;
+  const std::vector<double>& bounds = log_buckets::Bounds();
+  for (double value = 2e-6; value < 60.0; value *= 1.37) {
+    const size_t index = log_buckets::BucketIndex(value);
+    ASSERT_GT(index, 0u) << value;
+    ASSERT_LT(index, log_buckets::kNumBounds) << value;
+    const double lower = bounds[index - 1];
+    const double upper = bounds[index];
+    EXPECT_LE(lower, value) << value;
+    EXPECT_GT(upper, value) << value;
+    EXPECT_LE((upper - lower) / lower, 1.0 / 16.0 + 1e-12) << value;
+  }
+}
+
+TEST(TelemetryMetricsTest, LogHistogramConcurrentMergeIsExact) {
+  // 32 threads hammer one log histogram with quarter-integer doubles
+  // (exactly representable, so the merged sum is order-independent) and
+  // the sharded merge must account for every observation exactly.
+  MetricsRegistry registry;
+  const Histogram h = registry.GetLogHistogram("test.log.storm");
+  constexpr int kThreads = 32;
+  constexpr int kIterations = 4000;
+  const double values[] = {0.25, 1.0, 3.0, 48.0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, &values, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        h.Observe(values[(t + i) % 4]);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot& hist = snapshot.Find("test.log.storm")->histogram;
+  constexpr uint64_t kTotal =
+      static_cast<uint64_t>(kThreads) * kIterations;
+  EXPECT_EQ(hist.count, kTotal);
+  uint64_t bucket_total = 0;
+  for (const uint64_t b : hist.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kTotal);
+  // Each of the four values is observed exactly kTotal/4 times and the
+  // four land in four distinct buckets.
+  for (const double v : values) {
+    EXPECT_EQ(hist.buckets[log_buckets::BucketIndex(v)], kTotal / 4) << v;
+  }
+  const double expected_sum = (0.25 + 1.0 + 3.0 + 48.0) * (kTotal / 4);
+  EXPECT_DOUBLE_EQ(hist.sum, expected_sum);
+  EXPECT_DOUBLE_EQ(hist.min, 0.25);
+  EXPECT_DOUBLE_EQ(hist.max, 48.0);
+}
+
+TEST(TelemetryMetricsTest, LogHistogramQuantilesMonotonicAndClamped) {
+  MetricsRegistry registry;
+  const Histogram h = registry.GetLogHistogram("test.log.quantiles");
+  // A long-tailed latency-ish distribution.
+  for (int i = 0; i < 900; ++i) h.Observe(0.0005 + i * 1e-6);
+  for (int i = 0; i < 90; ++i) h.Observe(0.005 + i * 1e-5);
+  for (int i = 0; i < 10; ++i) h.Observe(0.25 + i * 1e-3);
+  const HistogramSnapshot& hist =
+      registry.Snapshot().Find("test.log.quantiles")->histogram;
+  const double p50 = hist.Quantile(0.50);
+  const double p90 = hist.Quantile(0.90);
+  const double p99 = hist.Quantile(0.99);
+  const double p999 = hist.Quantile(0.999);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_LE(p999, hist.max);
+  EXPECT_GE(p50, hist.min);
+  // The bulk sits in the sub-millisecond band; the p99/p999 must see the
+  // quarter-second tail the fixed decade buckets would smear.
+  EXPECT_LT(p50, 0.002);
+  EXPECT_GT(p999, 0.1);
+}
+
+TEST(TelemetryMetricsDeathTest, LogHistogramKindMismatchAborts) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  MetricsRegistry registry;
+  registry.GetHistogram("test.log.kind");
+  EXPECT_DEATH(registry.GetLogHistogram("test.log.kind"), "re-registered");
 }
 
 TEST(TelemetryMetricsDeathTest, KindMismatchAborts) {

@@ -1,0 +1,167 @@
+#include "common/telemetry/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/metrics.h"
+
+namespace telco {
+namespace {
+
+// A minimal scraper-side parser for the 0.0.4 text format, enough to
+// round-trip what ToPrometheusText emits: one sample per line,
+// `name{le="BOUND"} VALUE` or `name VALUE`, `# TYPE` comments ignored.
+struct ParsedSample {
+  std::string le;  // empty for non-bucket samples
+  double value = 0.0;
+};
+
+std::map<std::string, std::vector<ParsedSample>> ParseExposition(
+    const std::string& text) {
+  std::map<std::string, std::vector<ParsedSample>> samples;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    ParsedSample sample;
+    std::string name;
+    const size_t brace = line.find('{');
+    const size_t space = line.find(' ');
+    EXPECT_NE(space, std::string::npos) << line;
+    if (brace != std::string::npos && brace < space) {
+      name = line.substr(0, brace);
+      const size_t close = line.find('}', brace);
+      EXPECT_NE(close, std::string::npos) << line;
+      std::string label = line.substr(brace + 1, close - brace - 1);
+      EXPECT_EQ(label.rfind("le=\"", 0), 0u) << line;
+      EXPECT_EQ(label.back(), '"') << line;
+      sample.le = label.substr(4, label.size() - 5);
+      sample.value = std::strtod(line.c_str() + close + 2, nullptr);
+    } else {
+      name = line.substr(0, space);
+      sample.value = std::strtod(line.c_str() + space + 1, nullptr);
+    }
+    samples[name].push_back(sample);
+  }
+  return samples;
+}
+
+TEST(PrometheusTest, MetricNameSanitization) {
+  EXPECT_EQ(PrometheusMetricName("serve.request.total_seconds"),
+            "serve_request_total_seconds");
+  EXPECT_EQ(PrometheusMetricName("serve.route.model-a.latency_seconds"),
+            "serve_route_model_a_latency_seconds");
+  EXPECT_EQ(PrometheusMetricName("9lives"), "_9lives");
+  EXPECT_EQ(PrometheusMetricName("already_fine_123"), "already_fine_123");
+}
+
+TEST(PrometheusTest, CounterAndGaugeRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.scrape.requests").Add(12345);
+  registry.GetGauge("test.scrape.depth").Set(7.25);
+  const auto samples = ParseExposition(ToPrometheusText(registry.Snapshot()));
+  ASSERT_EQ(samples.count("test_scrape_requests"), 1u);
+  EXPECT_DOUBLE_EQ(samples.at("test_scrape_requests")[0].value, 12345.0);
+  ASSERT_EQ(samples.count("test_scrape_depth"), 1u);
+  EXPECT_DOUBLE_EQ(samples.at("test_scrape_depth")[0].value, 7.25);
+}
+
+// The exposition must agree with the snapshot it was rendered from: for
+// every emitted le="B" bucket, the cumulative count equals the snapshot's
+// bucket prefix-sum at that bound, and _sum/_count/+Inf match exactly.
+void CheckHistogramRoundTrip(
+    const MetricsSnapshot& snapshot, const std::string& metric_name,
+    const std::map<std::string, std::vector<ParsedSample>>& samples) {
+  const MetricValue* metric = snapshot.Find(metric_name);
+  ASSERT_NE(metric, nullptr);
+  const HistogramSnapshot& h = metric->histogram;
+  const std::string name = PrometheusMetricName(metric_name);
+
+  ASSERT_EQ(samples.count(name + "_count"), 1u);
+  EXPECT_DOUBLE_EQ(samples.at(name + "_count")[0].value,
+                   static_cast<double>(h.count));
+  ASSERT_EQ(samples.count(name + "_sum"), 1u);
+  EXPECT_DOUBLE_EQ(samples.at(name + "_sum")[0].value, h.sum);
+
+  ASSERT_EQ(samples.count(name + "_bucket"), 1u);
+  const std::vector<ParsedSample>& buckets = samples.at(name + "_bucket");
+  ASSERT_GE(buckets.size(), 1u);
+  EXPECT_EQ(buckets.back().le, "+Inf");
+  EXPECT_DOUBLE_EQ(buckets.back().value, static_cast<double>(h.count));
+
+  double previous_cumulative = -1.0;
+  double previous_bound = -HUGE_VAL;
+  for (size_t i = 0; i + 1 < buckets.size(); ++i) {
+    const double bound = std::strtod(buckets[i].le.c_str(), nullptr);
+    // Bounds ascend and cumulative counts are monotonic even with
+    // interior zero buckets elided.
+    EXPECT_GT(bound, previous_bound);
+    EXPECT_GE(buckets[i].value, previous_cumulative);
+    previous_bound = bound;
+    previous_cumulative = buckets[i].value;
+    // Exact cross-check against the snapshot: prefix-sum of all buckets
+    // whose upper edge is <= this bound.
+    uint64_t expected = 0;
+    for (size_t b = 0; b < h.bounds.size() && h.bounds[b] <= bound; ++b) {
+      expected += h.buckets[b];
+    }
+    EXPECT_DOUBLE_EQ(buckets[i].value, static_cast<double>(expected))
+        << name << " le=" << buckets[i].le;
+  }
+  EXPECT_LE(previous_cumulative, static_cast<double>(h.count));
+}
+
+TEST(PrometheusTest, FixedAndLogHistogramsRoundTrip) {
+  MetricsRegistry registry;
+  const Histogram fixed =
+      registry.GetHistogram("test.scrape.fixed", {0.001, 0.01, 0.1, 1.0});
+  fixed.Observe(0.0005);
+  fixed.Observe(0.05);
+  fixed.Observe(0.05);
+  fixed.Observe(5.0);  // overflow: only visible via +Inf
+  const Histogram log = registry.GetLogHistogram("test.scrape.log");
+  for (int i = 0; i < 1000; ++i) log.Observe(0.0003 + i * 1e-6);
+  log.Observe(2.5);
+  log.Observe(1e9);  // overflow
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const std::string text = ToPrometheusText(snapshot);
+  const auto samples = ParseExposition(text);
+
+  CheckHistogramRoundTrip(snapshot, "test.scrape.fixed", samples);
+  CheckHistogramRoundTrip(snapshot, "test.scrape.log", samples);
+
+  // Elision keeps the log histogram's scrape page small: far fewer
+  // emitted bucket lines than the 417 bounds of the layout.
+  EXPECT_LT(samples.at("test_scrape_log_bucket").size(), 80u);
+
+  // TYPE comments are present for every family.
+  EXPECT_NE(text.find("# TYPE test_scrape_fixed histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_scrape_log histogram"),
+            std::string::npos);
+}
+
+TEST(PrometheusTest, EmptyHistogramStillWellFormed) {
+  MetricsRegistry registry;
+  registry.GetLogHistogram("test.scrape.empty");
+  const auto samples = ParseExposition(ToPrometheusText(registry.Snapshot()));
+  ASSERT_EQ(samples.count("test_scrape_empty_bucket"), 1u);
+  const std::vector<ParsedSample>& buckets =
+      samples.at("test_scrape_empty_bucket");
+  EXPECT_EQ(buckets.back().le, "+Inf");
+  EXPECT_DOUBLE_EQ(buckets.back().value, 0.0);
+  EXPECT_DOUBLE_EQ(samples.at("test_scrape_empty_count")[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(samples.at("test_scrape_empty_sum")[0].value, 0.0);
+}
+
+}  // namespace
+}  // namespace telco

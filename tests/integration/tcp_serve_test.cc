@@ -10,9 +10,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <span>
@@ -25,8 +27,11 @@
 #include "../ml/ml_test_util.h"
 #include "common/telemetry/json.h"
 #include "common/telemetry/metrics.h"
+#include "common/telemetry/flight_recorder.h"
+#include "common/telemetry/trace.h"
 #include "ml/binned_forest.h"
 #include "ml/serialize.h"
+#include "serve/metrics_endpoint.h"
 #include "serve/model_router.h"
 #include "serve/tcp_server.h"
 
@@ -545,6 +550,281 @@ TEST(TcpServeTest, StatsListsRoutesWithPerRouteCounters) {
   EXPECT_EQ(shadow_route.NumberOr("rejected", -1), 0.0) << line;
   EXPECT_NE(shadow_route.StringOr("fingerprint", ""), "") << line;
   server.Shutdown();
+}
+
+// The metrics verb returns the full registry snapshot over the wire; its
+// values must agree with MetricsRegistry::Global().Snapshot() (counters
+// bracketed between snapshots taken around the verb, since the registry
+// is process-global and monotonic).
+TEST(TcpServeTest, MetricsVerbMatchesRegistrySnapshot) {
+  auto snapshot = MakeSnapshot(8101, "metrics-verb");
+  const Dataset data = ml_testing::LinearlySeparable(30, 8102);
+  ModelRouter router;
+  router.Publish("", snapshot);
+  TcpScoringServer server(&router);
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpClient client;
+  client.Connect(server.port());
+  std::string stream;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    stream += ScoreFrame(r + 1, static_cast<int64_t>(r), "", data.Row(r));
+  }
+  client.SendAll(stream);
+  std::string line;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    ASSERT_TRUE(client.RecvLine(&line));
+    EXPECT_EQ(ParseJson(line)->StringOr("error", ""), "") << line;
+  }
+
+  const uint64_t requests_before = CounterValue("serve.executor.requests");
+  client.SendAll("{\"cmd\":\"metrics\"}\n");
+  ASSERT_TRUE(client.RecvLine(&line));
+  const uint64_t requests_after = CounterValue("serve.executor.requests");
+
+  auto doc = ParseJson(line);
+  ASSERT_TRUE(doc.ok()) << line;
+  EXPECT_EQ(doc->StringOr("cmd", ""), "metrics");
+  const JsonValue* metrics = doc->Find("metrics");
+  ASSERT_NE(metrics, nullptr) << line;
+  ASSERT_TRUE(metrics->is_array());
+  double reported_requests = -1.0;
+  double total_count = -1.0;
+  std::string total_kind;
+  for (const JsonValue& metric : metrics->items) {
+    const std::string name = metric.StringOr("name", "");
+    if (name == "serve.executor.requests") {
+      reported_requests = metric.NumberOr("value", -1);
+    }
+    if (name == "serve.request.total_seconds") {
+      total_count = metric.NumberOr("count", -1);
+      total_kind = metric.StringOr("kind", "");
+    }
+  }
+  EXPECT_GE(reported_requests, static_cast<double>(requests_before));
+  EXPECT_LE(reported_requests, static_cast<double>(requests_after));
+  // Per-connection ordering means every earlier response's write/total
+  // stage was recorded before the metrics line was even read, so the
+  // full request pipeline shows up in the snapshot.
+  EXPECT_EQ(total_kind, "log_histogram");
+  EXPECT_GE(total_count, static_cast<double>(data.num_rows()));
+  server.Shutdown();
+}
+
+// Everything the endpoint returns for one scrape, headers + body.
+std::string HttpGet(int port) {
+  TcpClient client;
+  client.Connect(port);
+  client.SetRecvTimeout(10);
+  client.SendAll("GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n");
+  std::string response;
+  std::string line;
+  while (client.RecvLine(&line)) response += line + "\n";
+  return response;
+}
+
+// Acceptance: a live TCP scoring server with --metrics-port answers a
+// plaintext scrape with well-formed Prometheus text including the
+// serve_request_total_seconds histogram series.
+TEST(TcpServeTest, MetricsEndpointServesPrometheusScrape) {
+  auto snapshot = MakeSnapshot(8201, "prometheus");
+  const Dataset data = ml_testing::LinearlySeparable(25, 8202);
+  ModelRouter router;
+  router.Publish("", snapshot);
+  TcpScoringServer server(&router);
+  ASSERT_TRUE(server.Start().ok());
+  MetricsHttpEndpoint endpoint;  // port 0 = ephemeral
+  ASSERT_TRUE(endpoint.Start().ok());
+  ASSERT_GT(endpoint.port(), 0);
+
+  TcpClient client;
+  client.Connect(server.port());
+  std::string stream;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    stream += ScoreFrame(r + 1, static_cast<int64_t>(r), "", data.Row(r));
+  }
+  client.SendAll(stream);
+  std::string line;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    ASSERT_TRUE(client.RecvLine(&line));
+    EXPECT_EQ(ParseJson(line)->StringOr("error", ""), "") << line;
+  }
+  // One request on the scoring connection after the scores guarantees
+  // their write/total observations happened-before this point (the same
+  // reader thread recorded them before reading this line).
+  client.SendAll("{\"cmd\":\"stats\"}\n");
+  ASSERT_TRUE(client.RecvLine(&line));
+
+  const std::string response = HttpGet(endpoint.port());
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK", 0), 0u)
+      << response.substr(0, 200);
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(response.find("# TYPE serve_request_total_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(response.find("serve_request_total_seconds_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(response.find("serve_request_total_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(response.find("serve_request_total_seconds_sum"),
+            std::string::npos);
+  EXPECT_NE(response.find("serve_request_total_seconds_count"),
+            std::string::npos);
+  EXPECT_NE(response.find("# TYPE serve_executor_requests counter"),
+            std::string::npos);
+
+  // The scrape is repeatable (one connection per scrape, HTTP/1.0
+  // close semantics) and the scrape counter moves.
+  const std::string again = HttpGet(endpoint.port());
+  EXPECT_NE(again.find("serve_metrics_scrapes"), std::string::npos);
+
+  endpoint.Stop();
+  server.Shutdown();
+}
+
+// --trace-sample=1 while the recorder runs: every scored request leaves
+// a root serve.request span with queue_wait/score/write children
+// parented to it.
+TEST(TcpServeTest, TraceSampleEmitsRequestScopedSpans) {
+  auto snapshot = MakeSnapshot(8301, "spans");
+  const Dataset data = ml_testing::LinearlySeparable(12, 8302);
+  ModelRouter router;
+  router.Publish("", snapshot);
+  TcpServerOptions options;
+  options.trace_sample = 1;
+  TcpScoringServer server(&router, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TraceRecorder::Global().Start();
+  TcpClient client;
+  client.Connect(server.port());
+  std::string stream;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    stream += ScoreFrame(r + 1, static_cast<int64_t>(r), "", data.Row(r));
+  }
+  client.SendAll(stream);
+  std::string line;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    ASSERT_TRUE(client.RecvLine(&line));
+    EXPECT_EQ(ParseJson(line)->StringOr("error", ""), "") << line;
+  }
+  server.Shutdown();  // joins readers: every span append happened-before
+  TraceRecorder::Global().Stop();
+
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Collect();
+  std::vector<uint64_t> roots;
+  size_t queue_wait = 0, score = 0, write = 0;
+  for (const TraceEvent& event : events) {
+    if (event.name == "serve.request") {
+      EXPECT_EQ(event.parent_id, 0u);
+      roots.push_back(event.id);
+    }
+  }
+  EXPECT_EQ(roots.size(), data.num_rows());
+  for (const TraceEvent& event : events) {
+    const bool is_child = std::find(roots.begin(), roots.end(),
+                                    event.parent_id) != roots.end();
+    if (event.name == "serve.request.queue_wait") {
+      EXPECT_TRUE(is_child);
+      ++queue_wait;
+    } else if (event.name == "serve.request.score") {
+      EXPECT_TRUE(is_child);
+      ++score;
+    } else if (event.name == "serve.request.write") {
+      EXPECT_TRUE(is_child);
+      ++write;
+    }
+  }
+  EXPECT_EQ(queue_wait, data.num_rows());
+  EXPECT_EQ(score, data.num_rows());
+  EXPECT_EQ(write, data.num_rows());
+}
+
+// Every observability surface live at once under a swap storm: the
+// flight recorder ticks at millisecond cadence and a scraper hammers
+// the metrics endpoint while a swapper republishes the route and
+// clients stream scores. The TSan soak repeats this case — snapshot
+// reads racing publishes, registry shard merges racing observers, and
+// the HTTP thread racing everything must all be clean.
+TEST(TcpServeTest, ObservabilitySoakUnderSwapStorm) {
+  auto v1 = MakeSnapshot(8401, "soak-v1");
+  auto v2 = MakeSnapshot(8402, "soak-v2");
+  const Dataset data = ml_testing::LinearlySeparable(150, 8403);
+
+  ModelRouterOptions router_options;
+  router_options.executor.max_batch_size = 13;
+  ModelRouter router(router_options);
+  router.Publish("", v1);
+  TcpScoringServer server(&router);
+  ASSERT_TRUE(server.Start().ok());
+  MetricsHttpEndpoint endpoint;
+  ASSERT_TRUE(endpoint.Start().ok());
+
+  const std::string jsonl_path =
+      ::testing::TempDir() + "/observability_soak.jsonl";
+  std::remove(jsonl_path.c_str());
+  FlightRecorderOptions recorder_options;
+  recorder_options.path = jsonl_path;
+  recorder_options.interval_s = 0.002;  // tick as often as possible
+  FlightRecorder recorder(recorder_options);
+  ASSERT_TRUE(recorder.Start().ok());
+
+  std::atomic<bool> done{false};
+  std::thread swapper([&] {
+    for (int k = 2; !done.load(); ++k) {
+      router.Publish("", k % 2 == 0 ? v2 : v1);
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+  std::atomic<size_t> scrapes{0};
+  std::thread scraper([&] {
+    while (!done.load()) {
+      const std::string response = HttpGet(endpoint.port());
+      if (response.rfind("HTTP/1.0 200 OK", 0) == 0) scrapes.fetch_add(1);
+    }
+  });
+
+  constexpr size_t kRounds = 3;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&] {
+      TcpClient client;
+      client.Connect(server.port());
+      std::string stream;
+      for (size_t round = 0; round < kRounds; ++round) {
+        for (size_t r = 0; r < data.num_rows(); ++r) {
+          stream += ScoreFrame(r + 1, static_cast<int64_t>(r), "",
+                               data.Row(r));
+        }
+      }
+      client.SendAll(stream);
+      client.HalfClose();
+      std::string line;
+      for (size_t i = 0; i < kRounds * data.num_rows(); ++i) {
+        ASSERT_TRUE(client.RecvLine(&line)) << "EOF before response " << i;
+        EXPECT_EQ(ParseJson(line)->StringOr("error", ""), "") << line;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  done.store(true);
+  swapper.join();
+  scraper.join();
+  recorder.Stop();
+  endpoint.Stop();
+  server.Shutdown();
+
+  EXPECT_GT(scrapes.load(), 0u);
+  // The JSONL written during the storm parses line by line.
+  std::ifstream in(jsonl_path);
+  std::string line;
+  size_t ticks = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(ParseJson(line).ok()) << line;
+    ++ticks;
+  }
+  EXPECT_GT(ticks, 0u);
+  std::remove(jsonl_path.c_str());
 }
 
 // The binned integer-compare engine behind the same wire protocol must

@@ -42,10 +42,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 
@@ -53,6 +55,7 @@
 #include "churn/pipeline.h"
 #include "common/fault_injection.h"
 #include "common/string_util.h"
+#include "common/telemetry/flight_recorder.h"
 #include "common/telemetry/metrics.h"
 #include "common/telemetry/run_report.h"
 #include "common/telemetry/trace.h"
@@ -60,6 +63,7 @@
 #include "datagen/telco_simulator.h"
 #include "ml/binned_forest.h"
 #include "ml/serialize.h"
+#include "serve/metrics_endpoint.h"
 #include "serve/model_router.h"
 #include "serve/model_snapshot.h"
 #include "serve/request_codec.h"
@@ -321,7 +325,35 @@ Status RunServe(Flags& flags) {
   const int64_t idle_timeout_s = flags.GetInt("idle-timeout-s", 300);
   const std::string named_models = flags.Get("models", "");
   const std::string engine = flags.Get("engine", "");
+  const int64_t metrics_port = flags.GetInt("metrics-port", -1);
+  const std::string stats_out = flags.Get("stats-out", "");
+  const std::string stats_interval = flags.Get("stats-interval-s", "");
+  const int64_t trace_sample = flags.GetInt("trace-sample", 0);
+  const std::string trace_out = flags.Get("trace-out", "");
   TELCO_RETURN_NOT_OK(flags.CheckAllUsed());
+
+  if (!stats_interval.empty() && stats_out.empty()) {
+    return Status::InvalidArgument(
+        "--stats-interval-s needs --stats-out PATH to write to");
+  }
+  double stats_interval_s = 10.0;
+  if (!stats_interval.empty()) {
+    stats_interval_s = std::strtod(stats_interval.c_str(), nullptr);
+    if (!(stats_interval_s > 0.0)) {
+      return Status::InvalidArgument("--stats-interval-s must be > 0");
+    }
+  }
+  if (trace_sample < 0) {
+    return Status::InvalidArgument("--trace-sample must be >= 0");
+  }
+  if (trace_sample > 0 && trace_out.empty()) {
+    return Status::InvalidArgument(
+        "--trace-sample needs --trace-out PATH (the trace recorder only "
+        "runs when an export destination is set)");
+  }
+  if (metrics_port > 65535) {
+    return Status::InvalidArgument("--metrics-port must be in [0, 65535]");
+  }
 
   if (!engine.empty()) {
     // Process-wide: every route's forest scores through the chosen
@@ -342,6 +374,43 @@ Status RunServe(Flags& flags) {
   TELCO_ASSIGN_OR_RETURN(auto snapshot,
                          ModelSnapshot::LoadFromFile(model_path));
 
+  // Observability sidecars, shared by both front-ends: the Prometheus
+  // scrape port, the flight recorder, and the request-span trace.
+  if (!trace_out.empty()) TraceRecorder::Global().Start();
+  std::unique_ptr<MetricsHttpEndpoint> metrics_endpoint;
+  if (metrics_port >= 0) {
+    MetricsEndpointOptions endpoint_options;
+    endpoint_options.port = static_cast<int>(metrics_port);
+    metrics_endpoint =
+        std::make_unique<MetricsHttpEndpoint>(endpoint_options);
+    TELCO_RETURN_NOT_OK(metrics_endpoint->Start());
+  }
+  std::unique_ptr<FlightRecorder> flight_recorder;
+  if (!stats_out.empty()) {
+    FlightRecorderOptions recorder_options;
+    recorder_options.path = stats_out;
+    recorder_options.interval_s = stats_interval_s;
+    flight_recorder = std::make_unique<FlightRecorder>(recorder_options);
+    TELCO_RETURN_NOT_OK(flight_recorder->Start());
+    std::fprintf(stderr, "flight recorder -> %s every %gs\n",
+                 stats_out.c_str(), stats_interval_s);
+  }
+  const auto finish = [&](Status status) {
+    if (flight_recorder != nullptr) flight_recorder->Stop();
+    if (metrics_endpoint != nullptr) metrics_endpoint->Stop();
+    if (!trace_out.empty()) {
+      TraceRecorder::Global().Stop();
+      const Status written = WriteFileAtomic(
+          trace_out, TraceRecorder::Global().ExportJson());
+      if (written.ok()) {
+        std::fprintf(stderr, "trace -> %s\n", trace_out.c_str());
+      } else if (status.ok()) {
+        status = written;
+      }
+    }
+    return status;
+  };
+
   if (tcp_port < 0) {
     if (!named_models.empty()) {
       return Status::InvalidArgument(
@@ -354,8 +423,9 @@ Status RunServe(Flags& flags) {
                  "NDJSON requests on stdin\n",
                  model_path.c_str(), options.executor.max_batch_size,
                  options.executor.max_queue_depth);
+    options.trace_sample = static_cast<uint64_t>(trace_sample);
     StdioScoringServer server(&registry, options);
-    return server.Run(std::cin, stdout);
+    return finish(server.Run(std::cin, stdout));
   }
 
   if (tcp_port > 65535) {
@@ -398,6 +468,7 @@ Status RunServe(Flags& flags) {
   tcp.port = static_cast<int>(tcp_port);
   tcp.readers = static_cast<size_t>(readers);
   tcp.idle_timeout_s = static_cast<int>(idle_timeout_s);
+  tcp.trace_sample = static_cast<uint64_t>(trace_sample);
   TcpScoringServer server(&router, tcp);
   TELCO_RETURN_NOT_OK(server.Start());
   std::fprintf(stderr,
@@ -411,7 +482,7 @@ Status RunServe(Flags& flags) {
   sigwait(&term_signals, &signal_number);
   std::fprintf(stderr, "caught signal %d; shutting down\n", signal_number);
   server.Shutdown();
-  return Status::OK();
+  return finish(Status::OK());
 }
 
 // Emits a deterministic NDJSON score-request stream for one month's
@@ -623,6 +694,11 @@ int Usage() {
       "           [--idle-timeout-s S]  (0 disables the idle reaper)\n"
       "           (with --tcp-port: epoll TCP front-end with named-model\n"
       "           routing; port 0 picks an ephemeral port)\n"
+      "           [--metrics-port P]  (Prometheus text scrape endpoint)\n"
+      "           [--stats-out PATH [--stats-interval-s S]]  (flight\n"
+      "           recorder: interval-delta metric snapshots as JSONL)\n"
+      "           [--trace-out PATH [--trace-sample N]]  (request-scoped\n"
+      "           trace spans for every Nth score request)\n"
       "  requests --warehouse DIR --model PATH --month M [--limit N]\n"
       "  evaluate --warehouse DIR --month M [--u U]\n"
       "           [--training-months K] [--trees T] [--threads N]\n"

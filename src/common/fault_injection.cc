@@ -21,6 +21,7 @@ const char* const kSites[] = {
     "atomic.rename",            // AtomicFile: after fsync, before rename
     "csv.write",                // WriteCsv: table serialised, not committed
     "warehouse.save.table",     // SaveWarehouse: before each table commit
+    "warehouse.save.chunk",     // SaveWarehouse: before each chunk serialise
     "warehouse.save.manifest",  // SaveWarehouse: before MANIFEST commit
     "warehouse.load.table",     // LoadWarehouse: per-table read (retried)
     "model.save",               // SaveRandomForest: before commit

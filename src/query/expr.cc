@@ -201,39 +201,42 @@ Status Expr::Bind(const Schema& schema) const {
   return Status::OK();
 }
 
-Value Expr::Evaluate(const Table& table, size_t row) const {
+template <typename Source>
+Value Expr::EvaluateImpl(const Source& source, size_t row) const {
   switch (kind_) {
     case ExprKind::kColumn:
       TELCO_DCHECK(bound_index_ != SIZE_MAX) << "unbound column " << name_;
-      return table.GetValue(row, bound_index_);
+      return source.GetValue(row, bound_index_);
     case ExprKind::kLiteral:
       return literal_;
     case ExprKind::kUdf: {
       std::vector<Value> args;
       args.reserve(children_.size());
-      for (const auto& c : children_) args.push_back(c->Evaluate(table, row));
+      for (const auto& c : children_) {
+        args.push_back(c->EvaluateImpl(source, row));
+      }
       return udf_(args);
     }
     case ExprKind::kNot: {
-      const int t = Truth(children_[0]->Evaluate(table, row));
+      const int t = Truth(children_[0]->EvaluateImpl(source, row));
       if (t < 0) return Value::Null();
       return Value(static_cast<int64_t>(t == 0));
     }
     case ExprKind::kIsNull:
-      return Value(
-          static_cast<int64_t>(children_[0]->Evaluate(table, row).is_null()));
+      return Value(static_cast<int64_t>(
+          children_[0]->EvaluateImpl(source, row).is_null()));
     case ExprKind::kAnd: {
-      const int a = Truth(children_[0]->Evaluate(table, row));
+      const int a = Truth(children_[0]->EvaluateImpl(source, row));
       if (a == 0) return Value(static_cast<int64_t>(0));
-      const int b = Truth(children_[1]->Evaluate(table, row));
+      const int b = Truth(children_[1]->EvaluateImpl(source, row));
       if (b == 0) return Value(static_cast<int64_t>(0));
       if (a < 0 || b < 0) return Value::Null();
       return Value(static_cast<int64_t>(1));
     }
     case ExprKind::kOr: {
-      const int a = Truth(children_[0]->Evaluate(table, row));
+      const int a = Truth(children_[0]->EvaluateImpl(source, row));
       if (a == 1) return Value(static_cast<int64_t>(1));
-      const int b = Truth(children_[1]->Evaluate(table, row));
+      const int b = Truth(children_[1]->EvaluateImpl(source, row));
       if (b == 1) return Value(static_cast<int64_t>(1));
       if (a < 0 || b < 0) return Value::Null();
       return Value(static_cast<int64_t>(0));
@@ -241,11 +244,19 @@ Value Expr::Evaluate(const Table& table, size_t row) const {
     default:
       break;
   }
-  const Value a = children_[0]->Evaluate(table, row);
-  const Value b = children_[1]->Evaluate(table, row);
+  const Value a = children_[0]->EvaluateImpl(source, row);
+  const Value b = children_[1]->EvaluateImpl(source, row);
   if (IsBinaryArith(kind_)) return EvalArith(kind_, a, b);
   TELCO_DCHECK(IsComparison(kind_));
   return EvalComparison(kind_, a, b);
+}
+
+Value Expr::Evaluate(const Table& table, size_t row) const {
+  return EvaluateImpl(table, row);
+}
+
+Value Expr::EvaluateInChunk(const Chunk& chunk, size_t row) const {
+  return EvaluateImpl(chunk, row);
 }
 
 Result<DataType> Expr::InferType(const Schema& schema) const {

@@ -85,6 +85,12 @@ class Expr {
   /// Evaluates the (bound) expression for one row of `table`.
   Value Evaluate(const Table& table, size_t row) const;
 
+  /// Evaluates the (bound) expression for one row of `chunk` — a chunk
+  /// of a table with the schema the expression was bound against. This
+  /// is the morsel-driven operators' hot path: cells are read straight
+  /// from the chunk's segments, with no global-row chunk lookup.
+  Value EvaluateInChunk(const Chunk& chunk, size_t row) const;
+
   /// Infers the output type against a schema (used by Project).
   Result<DataType> InferType(const Schema& schema) const;
 
@@ -93,6 +99,11 @@ class Expr {
 
  private:
   Expr(ExprKind kind) : kind_(kind) {}
+
+  // Shared evaluator over any cell source with GetValue(row, col); defined
+  // in expr.cc and instantiated there for Table and Chunk.
+  template <typename Source>
+  Value EvaluateImpl(const Source& source, size_t row) const;
 
   ExprKind kind_;
   std::string name_;                      // kColumn / kUdf

@@ -8,21 +8,60 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "common/telemetry/metrics.h"
+#include "common/thread_pool.h"
+#include "storage/storage_options.h"
 
 namespace telco {
 
 namespace {
 
-// Serialises the key cells of one row into a hashable byte string with type
-// tags, so (int64 1) and (string "1") never collide. Null keys serialise to
-// a sentinel the callers treat as non-matching.
+ThreadPool* EffectivePool(ThreadPool* pool) {
+  return pool != nullptr ? pool : &ThreadPool::Default();
+}
+
+// Serialises the key cells of one chunk row into a hashable byte string
+// with type tags, so (int64 1) and (string "1") never collide. Null keys
+// serialise to a sentinel the callers treat as non-matching.
 constexpr char kNullTag = 'N';
 
-bool EncodeKey(const Table& table, const std::vector<size_t>& key_cols,
-               size_t row, std::string* out) {
+// Plain-column view of the chunk columns a row loop touches: plain
+// segments (operator intermediates) are read in place, dict/RLE segments
+// (durable catalog tables) are decoded once per chunk, so per-cell access
+// never pays a dictionary indirection or a run binary search.
+class DecodedCols {
+ public:
+  DecodedCols(const Chunk& chunk, const std::vector<size_t>& cols) {
+    scratch_.reserve(cols.size());  // keeps scratch pointers stable
+    size_t max_col = 0;
+    for (size_t c : cols) max_col = std::max(max_col, c + 1);
+    view_.assign(max_col, nullptr);
+    for (size_t c : cols) {
+      if (view_[c] != nullptr) continue;
+      const Segment& seg = chunk.segment(c);
+      if (const Column* plain = seg.PlainColumnOrNull()) {
+        view_[c] = plain;
+      } else {
+        scratch_.push_back(seg.Decode());
+        view_[c] = &scratch_.back();
+      }
+    }
+  }
+
+  /// The column at original chunk index `c` (must be in the ctor list).
+  const Column& col(size_t c) const { return *view_[c]; }
+
+ private:
+  std::vector<Column> scratch_;
+  std::vector<const Column*> view_;
+};
+
+bool EncodeKeyInChunk(const DecodedCols& view,
+                      const std::vector<size_t>& key_cols, size_t row,
+                      std::string* out) {
   out->clear();
   for (size_t col : key_cols) {
-    const Column& c = table.column(col);
+    const Column& c = view.col(col);
     if (c.IsNull(row)) {
       out->push_back(kNullTag);
       return false;  // Null keys never participate in equality.
@@ -64,23 +103,189 @@ Result<std::vector<size_t>> ResolveColumns(
   return out;
 }
 
+// ------------------------------------------------------ zone-map pruning
+
+// One `column op literal` conjunct of a filter predicate, usable for
+// zone-map pruning. Only numeric columns compared against numeric
+// literals qualify; everything else is scanned.
+struct PruneConjunct {
+  size_t col = 0;
+  ExprKind op = ExprKind::kEq;
+  double bound = 0.0;
+};
+
+ExprKind MirrorComparison(ExprKind op) {
+  switch (op) {
+    case ExprKind::kLt:
+      return ExprKind::kGt;
+    case ExprKind::kLe:
+      return ExprKind::kGe;
+    case ExprKind::kGt:
+      return ExprKind::kLt;
+    case ExprKind::kGe:
+      return ExprKind::kLe;
+    default:
+      return op;  // kEq / kNe are symmetric.
+  }
+}
+
+bool IsComparisonKind(ExprKind k) {
+  return k == ExprKind::kEq || k == ExprKind::kNe || k == ExprKind::kLt ||
+         k == ExprKind::kLe || k == ExprKind::kGt || k == ExprKind::kGe;
+}
+
+// Walks the top-level AND tree of `e` collecting prunable conjuncts.
+// Sets *always_false when a conjunct can never be true for any row
+// (null literal, or a numeric column compared against a string literal —
+// both make the whole conjunction non-true under three-valued logic).
+void CollectPruningConjuncts(const Expr& e, const Schema& schema,
+                             std::vector<PruneConjunct>* out,
+                             bool* always_false) {
+  if (e.kind() == ExprKind::kAnd) {
+    CollectPruningConjuncts(*e.children()[0], schema, out, always_false);
+    CollectPruningConjuncts(*e.children()[1], schema, out, always_false);
+    return;
+  }
+  if (!IsComparisonKind(e.kind())) return;
+  const Expr& a = *e.children()[0];
+  const Expr& b = *e.children()[1];
+  const Expr* col_expr = nullptr;
+  const Expr* lit_expr = nullptr;
+  ExprKind op = e.kind();
+  if (a.kind() == ExprKind::kColumn && b.kind() == ExprKind::kLiteral) {
+    col_expr = &a;
+    lit_expr = &b;
+  } else if (a.kind() == ExprKind::kLiteral && b.kind() == ExprKind::kColumn) {
+    col_expr = &b;
+    lit_expr = &a;
+    op = MirrorComparison(op);
+  } else {
+    return;
+  }
+  const auto idx = schema.IndexOf(col_expr->column_name());
+  if (!idx) return;  // Bind already failed; let evaluation report it.
+  const DataType col_type = schema.field(*idx).type;
+  const Value& lit = lit_expr->literal();
+  if (lit.is_null()) {
+    *always_false = true;  // Comparison with null is null for every row.
+    return;
+  }
+  if (col_type == DataType::kString || lit.is_string()) {
+    if (col_type != DataType::kString && lit.is_string()) {
+      *always_false = true;  // Incomparable types evaluate to null.
+    }
+    if (col_type == DataType::kString && !lit.is_string()) {
+      *always_false = true;
+    }
+    return;  // String/string comparisons carry no zone-map stats.
+  }
+  out->push_back(PruneConjunct{*idx, op, lit.AsDouble()});
+}
+
+// True when some row of `chunk` could satisfy every conjunct. The rules
+// mirror EvalComparison exactly: numeric operands are compared after a
+// cast to double, null operands yield null (row dropped), and a NaN on
+// either side makes the three-way compare report "equal" — so ==, <=
+// and >= are satisfied by NaN cells or a NaN bound, and chunks with
+// `has_nan` are never pruned for those operators.
+bool ChunkCanMatch(const Chunk& chunk,
+                   const std::vector<PruneConjunct>& conjuncts) {
+  for (const auto& c : conjuncts) {
+    const ZoneMap& zm = chunk.zone_map(c.col);
+    const bool eq_family = c.op == ExprKind::kEq || c.op == ExprKind::kLe ||
+                           c.op == ExprKind::kGe;
+    if (std::isnan(c.bound)) {
+      // NaN bound: cmp == 0 for every non-null cell, so ==/<=/>= match
+      // everything non-null and !=/</> match nothing.
+      if (!eq_family) return false;
+      if (zm.null_count == chunk.num_rows()) return false;
+      continue;
+    }
+    if (eq_family && zm.has_nan) continue;  // NaN cells match; can't prune.
+    if (!zm.has_stats) return false;  // All cells null (or NaN, handled).
+    switch (c.op) {
+      case ExprKind::kGt:
+        if (zm.max <= c.bound) return false;
+        break;
+      case ExprKind::kGe:
+        if (zm.max < c.bound) return false;
+        break;
+      case ExprKind::kLt:
+        if (zm.min >= c.bound) return false;
+        break;
+      case ExprKind::kLe:
+        if (zm.min > c.bound) return false;
+        break;
+      case ExprKind::kEq:
+        if (c.bound < zm.min || c.bound > zm.max) return false;
+        break;
+      case ExprKind::kNe:
+        if (zm.min == zm.max && zm.min == c.bound) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
-Result<TablePtr> Filter(const TablePtr& input, const ExprPtr& predicate) {
+Result<TablePtr> Filter(const TablePtr& input, const ExprPtr& predicate,
+                        ThreadPool* pool) {
   if (input == nullptr) return Status::InvalidArgument("null input table");
   TELCO_RETURN_NOT_OK(predicate->Bind(input->schema()));
-  std::vector<size_t> keep;
-  for (size_t r = 0; r < input->num_rows(); ++r) {
-    const Value v = predicate->Evaluate(*input, r);
-    if (v.is_null()) continue;
-    const bool truthy = v.is_int64() ? v.int64() != 0 : v.AsDouble() != 0.0;
-    if (truthy) keep.push_back(r);
+
+  std::vector<PruneConjunct> conjuncts;
+  bool always_false = false;
+  if (ZoneMapPruningEnabled()) {
+    CollectPruningConjuncts(*predicate, input->schema(), &conjuncts,
+                            &always_false);
   }
-  return input->TakeRows(keep);
+  const size_t num_chunks = input->num_chunks();
+  std::vector<uint8_t> scan(num_chunks, 1);
+  size_t pruned = 0;
+  for (size_t k = 0; k < num_chunks; ++k) {
+    if (always_false || !ChunkCanMatch(input->chunk(k), conjuncts)) {
+      scan[k] = 0;
+      ++pruned;
+    }
+  }
+  static const Counter kScanned =
+      MetricsRegistry::Global().GetCounter("storage.scan.chunks_scanned");
+  static const Counter kPruned =
+      MetricsRegistry::Global().GetCounter("storage.scan.chunks_pruned");
+  kScanned.Add(num_chunks - pruned);
+  kPruned.Add(pruned);
+
+  // One morsel per chunk; matches are collected per chunk and merged in
+  // chunk order, so the row list is independent of the pool size.
+  std::vector<std::vector<size_t>> keep(num_chunks);
+  RunParallelFor(EffectivePool(pool), 0, num_chunks, [&](size_t k) {
+    if (scan[k] == 0) return;
+    const Chunk& chunk = input->chunk(k);
+    const size_t base = k * input->chunk_rows();
+    auto& local = keep[k];
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      const Value v = predicate->EvaluateInChunk(chunk, r);
+      if (v.is_null()) continue;
+      const bool truthy = v.is_int64() ? v.int64() != 0 : v.AsDouble() != 0.0;
+      if (truthy) local.push_back(base + r);
+    }
+  });
+  size_t total = 0;
+  for (const auto& local : keep) total += local.size();
+  std::vector<size_t> rows;
+  rows.reserve(total);
+  for (const auto& local : keep) {
+    rows.insert(rows.end(), local.begin(), local.end());
+  }
+  return input->TakeRows(rows);
 }
 
 Result<TablePtr> Project(const TablePtr& input,
-                         std::vector<ProjectedColumn> columns) {
+                         std::vector<ProjectedColumn> columns,
+                         ThreadPool* pool) {
   if (input == nullptr) return Status::InvalidArgument("null input table");
   std::vector<Field> fields;
   fields.reserve(columns.size());
@@ -94,17 +299,54 @@ Result<TablePtr> Project(const TablePtr& input,
     }
     fields.push_back(Field{pc.name, type});
   }
+  std::vector<DataType> out_types;
+  out_types.reserve(fields.size());
+  for (const auto& f : fields) out_types.push_back(f.type);
   TELCO_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
-  TableBuilder builder(std::move(schema));
-  builder.Reserve(input->num_rows());
-  std::vector<Value> row(columns.size());
-  for (size_t r = 0; r < input->num_rows(); ++r) {
-    for (size_t c = 0; c < columns.size(); ++c) {
-      row[c] = columns[c].expr->Evaluate(*input, r);
-    }
-    TELCO_RETURN_NOT_OK(builder.AppendRow(row));
+  if (columns.empty() || input->num_chunks() == 0) {
+    TableBuilder builder(std::move(schema));
+    return builder.Finish(SegmentLayout::kPlain);
   }
-  return builder.Finish();
+
+  // Evaluate chunk-at-a-time, keeping the input's chunk boundaries so a
+  // projection never reshuffles where floating-point work happens.
+  const size_t num_chunks = input->num_chunks();
+  std::vector<ChunkPtr> chunks(num_chunks);
+  std::vector<Status> statuses(num_chunks);
+  RunParallelFor(EffectivePool(pool), 0, num_chunks, [&](size_t k) {
+    const Chunk& in = input->chunk(k);
+    std::vector<Column> cols;
+    cols.reserve(columns.size());
+    for (const DataType t : out_types) {
+      cols.emplace_back(t);
+      cols.back().Reserve(in.num_rows());
+    }
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      for (size_t c = 0; c < columns.size(); ++c) {
+        const Value v = columns[c].expr->EvaluateInChunk(in, r);
+        if (!v.is_null()) {
+          // int64 literals are accepted into double columns
+          // (Column::Append), mirroring TableBuilder::AppendRow.
+          const bool numeric_promotion =
+              out_types[c] == DataType::kDouble && v.is_int64();
+          if (!numeric_promotion && !v.TypeMatches(out_types[c])) {
+            statuses[k] = Status::TypeError(StrFormat(
+                "value %s does not match type %s of projected column '%s'",
+                v.ToString().c_str(), DataTypeToString(out_types[c]),
+                columns[c].name.c_str()));
+            return;
+          }
+        }
+        cols[c].Append(v);
+      }
+    }
+    chunks[k] = Chunk::FromColumns(std::move(cols), SegmentLayout::kPlain);
+  });
+  for (const auto& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Table::FromChunks(std::move(schema), input->chunk_rows(),
+                           std::move(chunks));
 }
 
 Result<TablePtr> SelectColumns(const TablePtr& input,
@@ -113,21 +355,27 @@ Result<TablePtr> SelectColumns(const TablePtr& input,
   TELCO_ASSIGN_OR_RETURN(const std::vector<size_t> cols,
                          ResolveColumns(input->schema(), names));
   std::vector<Field> fields;
-  std::vector<Column> out_cols;
   fields.reserve(cols.size());
-  out_cols.reserve(cols.size());
-  for (size_t idx : cols) {
-    fields.push_back(input->schema().field(idx));
-    out_cols.push_back(input->column(idx));
-  }
+  for (size_t idx : cols) fields.push_back(input->schema().field(idx));
   TELCO_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
-  return Table::Make(std::move(schema), std::move(out_cols));
+  if (cols.empty() || input->num_chunks() == 0) {
+    TableBuilder builder(std::move(schema));
+    return builder.Finish(SegmentLayout::kPlain);
+  }
+  std::vector<ChunkPtr> chunks;
+  chunks.reserve(input->num_chunks());
+  for (size_t k = 0; k < input->num_chunks(); ++k) {
+    chunks.push_back(Chunk::Project(input->chunk(k), cols));
+  }
+  return Table::FromChunks(std::move(schema), input->chunk_rows(),
+                           std::move(chunks));
 }
 
 Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
                           const std::vector<std::string>& left_keys,
                           const std::vector<std::string>& right_keys,
-                          JoinType type, const std::string& right_suffix) {
+                          JoinType type, const std::string& right_suffix,
+                          ThreadPool* pool) {
   if (left == nullptr || right == nullptr) {
     return Status::InvalidArgument("null input table");
   }
@@ -160,65 +408,83 @@ Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
   }
   TELCO_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
 
-  // Build phase on the right table.
+  // Build phase on the right table (serial: the map insert order defines
+  // the match order for duplicate keys).
   std::unordered_map<std::string, std::vector<size_t>> build;
   build.reserve(right->num_rows() * 2);
-  std::string key;
-  for (size_t r = 0; r < right->num_rows(); ++r) {
-    if (!EncodeKey(*right, rkeys, r, &key)) continue;
-    build[key].push_back(r);
+  {
+    std::string key;
+    for (size_t k = 0; k < right->num_chunks(); ++k) {
+      const Chunk& chunk = right->chunk(k);
+      const DecodedCols view(chunk, rkeys);
+      const size_t base = k * right->chunk_rows();
+      for (size_t r = 0; r < chunk.num_rows(); ++r) {
+        if (!EncodeKeyInChunk(view, rkeys, r, &key)) continue;
+        build[key].push_back(base + r);
+      }
+    }
   }
 
-  // Probe phase: collect matching row-index pairs (SIZE_MAX marks a null
-  // right side for left joins).
+  // Probe phase: one morsel per left chunk, collecting matching row-index
+  // pairs (SIZE_MAX marks a null right side for left joins). Per-chunk
+  // pair lists concatenated in chunk order equal the serial probe order.
+  const size_t num_chunks = left->num_chunks();
+  std::vector<std::vector<size_t>> left_parts(num_chunks);
+  std::vector<std::vector<size_t>> right_parts(num_chunks);
+  RunParallelFor(EffectivePool(pool), 0, num_chunks, [&](size_t k) {
+    const Chunk& chunk = left->chunk(k);
+    const DecodedCols view(chunk, lkeys);
+    const size_t base = k * left->chunk_rows();
+    auto& lp = left_parts[k];
+    auto& rp = right_parts[k];
+    std::string key;
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      const bool valid = EncodeKeyInChunk(view, lkeys, r, &key);
+      const auto it = valid ? build.find(key) : build.end();
+      if (it == build.end()) {
+        if (type == JoinType::kLeft) {
+          lp.push_back(base + r);
+          rp.push_back(SIZE_MAX);
+        }
+        continue;
+      }
+      for (size_t rr : it->second) {
+        lp.push_back(base + r);
+        rp.push_back(rr);
+      }
+    }
+  });
+  size_t total = 0;
+  for (const auto& lp : left_parts) total += lp.size();
   std::vector<size_t> left_idx;
   std::vector<size_t> right_idx;
-  for (size_t r = 0; r < left->num_rows(); ++r) {
-    const bool valid = EncodeKey(*left, lkeys, r, &key);
-    const auto it = valid ? build.find(key) : build.end();
-    if (it == build.end()) {
-      if (type == JoinType::kLeft) {
-        left_idx.push_back(r);
-        right_idx.push_back(SIZE_MAX);
-      }
-      continue;
-    }
-    for (size_t rr : it->second) {
-      left_idx.push_back(r);
-      right_idx.push_back(rr);
-    }
+  left_idx.reserve(total);
+  right_idx.reserve(total);
+  for (size_t k = 0; k < num_chunks; ++k) {
+    left_idx.insert(left_idx.end(), left_parts[k].begin(),
+                    left_parts[k].end());
+    right_idx.insert(right_idx.end(), right_parts[k].begin(),
+                     right_parts[k].end());
   }
 
-  // Materialise.
+  // Materialise: typed gathers straight from the segments, one output
+  // column per task.
+  const size_t n_left = left->num_columns();
   std::vector<Column> out_cols;
   out_cols.reserve(schema.num_fields());
-  for (size_t c = 0; c < left->num_columns(); ++c) {
-    out_cols.push_back(left->column(c).Take(left_idx));
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    out_cols.emplace_back(schema.field(c).type);
   }
-  for (size_t rc : right_out_cols) {
-    const Column& src = right->column(rc);
-    Column col(src.type());
-    col.Reserve(right_idx.size());
-    for (size_t rr : right_idx) {
-      if (rr == SIZE_MAX || src.IsNull(rr)) {
-        col.AppendNull();
-      } else {
-        switch (src.type()) {
-          case DataType::kInt64:
-            col.AppendInt64(src.GetInt64(rr));
-            break;
-          case DataType::kDouble:
-            col.AppendDouble(src.GetDouble(rr));
-            break;
-          case DataType::kString:
-            col.AppendString(src.GetString(rr));
-            break;
-        }
-      }
+  RunParallelFor(EffectivePool(pool), 0, schema.num_fields(), [&](size_t c) {
+    if (c < n_left) {
+      left->GatherColumn(left_idx, c, &out_cols[c]);
+    } else {
+      right->GatherColumn(right_idx, right_out_cols[c - n_left],
+                          &out_cols[c]);
     }
-    out_cols.push_back(std::move(col));
-  }
-  return Table::Make(std::move(schema), std::move(out_cols));
+  });
+  return Table::Make(std::move(schema), std::move(out_cols),
+                     SegmentLayout::kPlain);
 }
 
 namespace {
@@ -284,7 +550,8 @@ std::string EncodeSingleValue(const Column& col, size_t row) {
 
 Result<TablePtr> GroupByAggregate(const TablePtr& input,
                                   const std::vector<std::string>& keys,
-                                  const std::vector<Aggregate>& aggs) {
+                                  const std::vector<Aggregate>& aggs,
+                                  ThreadPool* pool) {
   if (input == nullptr) return Status::InvalidArgument("null input table");
   TELCO_ASSIGN_OR_RETURN(const std::vector<size_t> key_cols,
                          ResolveColumns(input->schema(), keys));
@@ -315,79 +582,104 @@ Result<TablePtr> GroupByAggregate(const TablePtr& input,
   }
   TELCO_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
 
-  // Group rows. A group is identified by its encoded key; groups are kept
-  // in first-appearance order. When keys are empty everything is group 0.
+  // Phase 1 (parallel, one morsel per chunk): encode the group key of
+  // every row. Unlike joins, SQL GROUP BY treats nulls as one group, so
+  // the key embeds a null tag per cell instead of bailing on the first
+  // null, and cells are '\x1f'-separated so distinct suffixes never merge.
+  const size_t num_chunks = input->num_chunks();
+  std::vector<std::vector<std::string>> chunk_keys(num_chunks);
+  if (!key_cols.empty()) {
+    RunParallelFor(EffectivePool(pool), 0, num_chunks, [&](size_t k) {
+      const Chunk& chunk = input->chunk(k);
+      const DecodedCols view(chunk, key_cols);
+      auto& out = chunk_keys[k];
+      out.reserve(chunk.num_rows());
+      std::string key;
+      for (size_t r = 0; r < chunk.num_rows(); ++r) {
+        key.clear();
+        for (size_t col : key_cols) {
+          const Column& c = view.col(col);
+          if (c.IsNull(r)) {
+            key.push_back(kNullTag);
+          } else {
+            key += EncodeSingleValue(c, r);
+          }
+          key.push_back('\x1f');
+        }
+        out.push_back(key);
+      }
+    });
+  }
+
+  // Phase 2 (serial, chunk order == global row order): assign groups in
+  // first-appearance order and accumulate. Keeping the floating-point
+  // accumulation serial in row order makes the sums bit-identical across
+  // chunk sizes and thread counts.
+  std::vector<size_t> used_agg_cols;
+  for (const ssize_t c : agg_cols) {
+    if (c >= 0) used_agg_cols.push_back(static_cast<size_t>(c));
+  }
   std::unordered_map<std::string, size_t> group_of;
   std::vector<size_t> group_rep_row;   // representative row per group
   std::vector<std::vector<AggState>> states;
-  std::string key;
-  for (size_t r = 0; r < input->num_rows(); ++r) {
-    size_t g;
-    if (key_cols.empty()) {
-      if (states.empty()) {
-        group_rep_row.push_back(r);
-        states.emplace_back(aggs.size());
-      }
-      g = 0;
-    } else {
-      EncodeKey(*input, key_cols, r, &key);
-      // Unlike joins, SQL GROUP BY treats nulls as one group; EncodeKey
-      // already embeds a null tag, so grouping on it is correct. But
-      // EncodeKey returns early on the first null, which would merge
-      // distinct suffixes. Re-encode fully for grouping:
-      key.clear();
-      for (size_t col : key_cols) {
-        const Column& c = input->column(col);
-        if (c.IsNull(r)) {
-          key.push_back(kNullTag);
-        } else {
-          key += EncodeSingleValue(c, r);
+  for (size_t k = 0; k < num_chunks; ++k) {
+    const Chunk& chunk = input->chunk(k);
+    const DecodedCols view(chunk, used_agg_cols);
+    const size_t base = k * input->chunk_rows();
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      size_t g;
+      if (key_cols.empty()) {
+        if (states.empty()) {
+          group_rep_row.push_back(base + r);
+          states.emplace_back(aggs.size());
         }
-        key.push_back('\x1f');
-      }
-      const auto [it, inserted] = group_of.emplace(key, states.size());
-      if (inserted) {
-        group_rep_row.push_back(r);
-        states.emplace_back(aggs.size());
-      }
-      g = it->second;
-    }
-    auto& row_states = states[g];
-    for (size_t a = 0; a < aggs.size(); ++a) {
-      AggState& st = row_states[a];
-      if (aggs[a].kind == AggKind::kCount && aggs[a].input.empty()) {
-        ++st.count;
-        continue;
-      }
-      const Column& col = input->column(static_cast<size_t>(agg_cols[a]));
-      if (col.IsNull(r)) continue;
-      switch (aggs[a].kind) {
-        case AggKind::kSum:
-        case AggKind::kMean: {
-          st.sum += col.GetNumeric(r);
-          ++st.count;
-          break;
+        g = 0;
+      } else {
+        const auto [it, inserted] =
+            group_of.emplace(chunk_keys[k][r], states.size());
+        if (inserted) {
+          group_rep_row.push_back(base + r);
+          states.emplace_back(aggs.size());
         }
-        case AggKind::kCount:
+        g = it->second;
+      }
+      auto& row_states = states[g];
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        AggState& st = row_states[a];
+        if (aggs[a].kind == AggKind::kCount && aggs[a].input.empty()) {
           ++st.count;
-          break;
-        case AggKind::kMin:
-          st.min = std::min(st.min, col.GetNumeric(r));
-          ++st.count;
-          break;
-        case AggKind::kMax:
-          st.max = std::max(st.max, col.GetNumeric(r));
-          ++st.count;
-          break;
-        case AggKind::kCountDistinct:
-          st.distinct.insert(EncodeSingleValue(col, r));
-          break;
-        case AggKind::kFirst:
-          if (!st.first_set) {
-            st.first = col.GetValue(r);
-            st.first_set = true;
+          continue;
+        }
+        const Column& col = view.col(static_cast<size_t>(agg_cols[a]));
+        if (col.IsNull(r)) continue;
+        switch (aggs[a].kind) {
+          case AggKind::kSum:
+          case AggKind::kMean: {
+            st.sum += col.GetNumeric(r);
+            ++st.count;
+            break;
           }
-          break;
+          case AggKind::kCount:
+            ++st.count;
+            break;
+          case AggKind::kMin:
+            st.min = std::min(st.min, col.GetNumeric(r));
+            ++st.count;
+            break;
+          case AggKind::kMax:
+            st.max = std::max(st.max, col.GetNumeric(r));
+            ++st.count;
+            break;
+          case AggKind::kCountDistinct:
+            st.distinct.insert(EncodeSingleValue(col, r));
+            break;
+          case AggKind::kFirst:
+            if (!st.first_set) {
+              st.first = col.GetValue(r);
+              st.first_set = true;
+            }
+            break;
+        }
       }
     }
   }
@@ -438,11 +730,12 @@ Result<TablePtr> GroupByAggregate(const TablePtr& input,
     }
     TELCO_RETURN_NOT_OK(builder.AppendRow(row));
   }
-  return builder.Finish();
+  return builder.Finish(SegmentLayout::kPlain);
 }
 
 Result<TablePtr> SortBy(const TablePtr& input,
-                        const std::vector<SortKey>& keys) {
+                        const std::vector<SortKey>& keys,
+                        ThreadPool* pool) {
   if (input == nullptr) return Status::InvalidArgument("null input table");
   std::vector<size_t> cols;
   cols.reserve(keys.size());
@@ -451,42 +744,85 @@ Result<TablePtr> SortBy(const TablePtr& input,
                            input->schema().GetFieldIndex(k.column));
     cols.push_back(idx);
   }
-  std::vector<size_t> order(input->num_rows());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
   auto compare_cell = [&](size_t col, size_t a, size_t b) -> int {
-    const Column& c = input->column(col);
-    const bool na = c.IsNull(a);
-    const bool nb = c.IsNull(b);
+    const Segment& ca = input->chunk(input->ChunkOf(a)).segment(col);
+    const Segment& cb = input->chunk(input->ChunkOf(b)).segment(col);
+    const size_t ra = input->RowInChunk(a);
+    const size_t rb = input->RowInChunk(b);
+    const bool na = ca.IsNull(ra);
+    const bool nb = cb.IsNull(rb);
     if (na || nb) return na == nb ? 0 : (na ? -1 : 1);
-    switch (c.type()) {
+    switch (ca.type()) {
       case DataType::kString: {
-        const int raw = c.GetString(a).compare(c.GetString(b));
+        const int raw = ca.GetString(ra).compare(cb.GetString(rb));
         return raw < 0 ? -1 : (raw > 0 ? 1 : 0);
       }
       default: {
-        const double x = c.GetNumeric(a);
-        const double y = c.GetNumeric(b);
+        const double x = ca.GetNumeric(ra);
+        const double y = cb.GetNumeric(rb);
+        // NaN needs a total position (here: after every number) — letting
+        // it tie with everything breaks strict weak ordering, which makes
+        // stable_sort undefined and chunk merges order-dependent.
+        const bool xn = std::isnan(x);
+        const bool yn = std::isnan(y);
+        if (xn || yn) return xn == yn ? 0 : (xn ? 1 : -1);
         return x < y ? -1 : (x > y ? 1 : 0);
       }
     }
   };
-
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+  auto less = [&](size_t a, size_t b) {
     for (size_t k = 0; k < keys.size(); ++k) {
       const int cmp = compare_cell(cols[k], a, b);
       if (cmp != 0) return keys[k].ascending ? cmp < 0 : cmp > 0;
     }
     return false;
+  };
+
+  // Sort each chunk's rows in parallel, then fold the sorted runs
+  // left-to-right with std::merge. The merge is stable and prefers the
+  // first range on ties, and the first range always holds earlier global
+  // rows, so the final order equals one global stable_sort.
+  const size_t num_chunks = input->num_chunks();
+  std::vector<std::vector<size_t>> runs(num_chunks);
+  RunParallelFor(EffectivePool(pool), 0, num_chunks, [&](size_t k) {
+    const size_t base = k * input->chunk_rows();
+    auto& run = runs[k];
+    run.resize(input->chunk(k).num_rows());
+    for (size_t i = 0; i < run.size(); ++i) run[i] = base + i;
+    std::stable_sort(run.begin(), run.end(), less);
   });
+  std::vector<size_t> order;
+  order.reserve(input->num_rows());
+  for (size_t k = 0; k < num_chunks; ++k) {
+    if (k == 0) {
+      order = std::move(runs[0]);
+      continue;
+    }
+    std::vector<size_t> merged;
+    merged.reserve(order.size() + runs[k].size());
+    std::merge(order.begin(), order.end(), runs[k].begin(), runs[k].end(),
+               std::back_inserter(merged), less);
+    order = std::move(merged);
+  }
   return input->TakeRows(order);
 }
 
 Result<TablePtr> Limit(const TablePtr& input, size_t n) {
   if (input == nullptr) return Status::InvalidArgument("null input table");
-  const size_t m = std::min(n, input->num_rows());
-  std::vector<size_t> indices(m);
-  for (size_t i = 0; i < m; ++i) indices[i] = i;
+  if (n >= input->num_rows()) return input;
+  // A limit on a chunk boundary reuses the prefix chunks wholesale.
+  if (n > 0 && n % input->chunk_rows() == 0) {
+    std::vector<ChunkPtr> chunks;
+    chunks.reserve(n / input->chunk_rows());
+    for (size_t k = 0; k < n / input->chunk_rows(); ++k) {
+      chunks.push_back(input->chunk_ptr(k));
+    }
+    return Table::FromChunks(input->schema(), input->chunk_rows(),
+                             std::move(chunks));
+  }
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) indices[i] = i;
   return input->TakeRows(indices);
 }
 
@@ -502,12 +838,16 @@ Result<TablePtr> Union(const std::vector<TablePtr>& inputs) {
   size_t total = 0;
   for (const auto& t : inputs) total += t->num_rows();
   builder.Reserve(total);
+  // Concatenate column-at-a-time straight from the segments — identical
+  // row order to a row-at-a-time append, without the per-cell Values.
   for (const auto& t : inputs) {
-    for (size_t r = 0; r < t->num_rows(); ++r) {
-      builder.AppendRowUnchecked(t->GetRow(r));
+    for (size_t c = 0; c < t->num_columns(); ++c) {
+      for (size_t k = 0; k < t->num_chunks(); ++k) {
+        t->chunk(k).segment(c).AppendTo(&builder.column(c));
+      }
     }
   }
-  return builder.Finish();
+  return builder.Finish(SegmentLayout::kPlain);
 }
 
 }  // namespace telco

@@ -6,6 +6,16 @@
 // tables of different days to summarize a customer's call information"),
 // sorts, limits and unions. Every operator consumes immutable tables and
 // produces a new table.
+//
+// Execution is morsel-driven: a table's chunks are the morsels, and the
+// operators that scan data run one task per chunk on a ThreadPool (the
+// process-wide default pool unless one is passed). Per-chunk results are
+// always combined in chunk order and floating-point accumulation never
+// moves across chunk boundaries, so every operator's output is
+// bit-identical across chunk sizes and thread counts. Scans consult
+// per-chunk zone maps to skip chunks a conjunctive predicate can never
+// match (see `storage.scan.chunks_pruned`). UDFs evaluated inside
+// Filter/Project run concurrently and must be thread-safe.
 
 #ifndef TELCO_QUERY_OPERATORS_H_
 #define TELCO_QUERY_OPERATORS_H_
@@ -20,9 +30,16 @@
 
 namespace telco {
 
+class ThreadPool;
+
 /// \brief Rows of `input` for which `predicate` evaluates to true
 /// (nulls are dropped, SQL WHERE semantics).
-Result<TablePtr> Filter(const TablePtr& input, const ExprPtr& predicate);
+///
+/// Chunks whose zone maps prove the predicate's pruning conjuncts
+/// unsatisfiable are skipped without being scanned; the surviving chunks
+/// are filtered in parallel on `pool` (null = default pool).
+Result<TablePtr> Filter(const TablePtr& input, const ExprPtr& predicate,
+                        ThreadPool* pool = nullptr);
 
 /// One output column of a projection: a name and its defining expression.
 struct ProjectedColumn {
@@ -33,10 +50,14 @@ struct ProjectedColumn {
 };
 
 /// \brief Evaluates each projected expression per row into a new table.
+/// The output keeps the input's chunk boundaries; chunks are evaluated
+/// in parallel on `pool`.
 Result<TablePtr> Project(const TablePtr& input,
-                         std::vector<ProjectedColumn> columns);
+                         std::vector<ProjectedColumn> columns,
+                         ThreadPool* pool = nullptr);
 
-/// \brief Keeps only the named columns, in the given order.
+/// \brief Keeps only the named columns, in the given order. Zero-copy:
+/// the output chunks share the input's segments and zone maps.
 Result<TablePtr> SelectColumns(const TablePtr& input,
                                const std::vector<std::string>& names);
 
@@ -48,12 +69,15 @@ enum class JoinType : int { kInner = 0, kLeft = 1 };
 /// Output schema: all left columns, then every non-key right column; a
 /// right column whose name collides with a left column is suffixed with
 /// `right_suffix`. For kLeft, unmatched left rows get nulls on the right.
-/// Null keys never match (SQL semantics).
+/// Null keys never match (SQL semantics). The build side is hashed
+/// serially; the probe side is probed one chunk per task on `pool` with
+/// matches emitted in left-row order.
 Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
                           const std::vector<std::string>& left_keys,
                           const std::vector<std::string>& right_keys,
                           JoinType type = JoinType::kInner,
-                          const std::string& right_suffix = "_right");
+                          const std::string& right_suffix = "_right",
+                          ThreadPool* pool = nullptr);
 
 /// Aggregate functions supported by GroupByAggregate.
 enum class AggKind : int {
@@ -79,9 +103,14 @@ struct Aggregate {
 /// With empty `keys` the whole table forms one group (global aggregate).
 /// Group order is first-appearance order, making results deterministic.
 /// Numeric aggregates ignore null inputs; an all-null group yields null.
+///
+/// Key encoding runs one chunk per task on `pool`; accumulation stays
+/// serial in global row order so floating-point sums are bit-identical
+/// across chunk sizes and thread counts.
 Result<TablePtr> GroupByAggregate(const TablePtr& input,
                                   const std::vector<std::string>& keys,
-                                  const std::vector<Aggregate>& aggs);
+                                  const std::vector<Aggregate>& aggs,
+                                  ThreadPool* pool = nullptr);
 
 /// One sort key: column name and direction.
 struct SortKey {
@@ -89,9 +118,14 @@ struct SortKey {
   bool ascending = true;
 };
 
-/// \brief Stable sort by the given keys; nulls sort first ascending.
+/// \brief Stable sort by the given keys; nulls sort first ascending and
+/// NaNs sort after every number (a total order, so the sort is
+/// deterministic). Chunks are sorted in parallel on `pool`, then merged
+/// with a stable merge in chunk order — the result equals a global
+/// stable sort.
 Result<TablePtr> SortBy(const TablePtr& input,
-                        const std::vector<SortKey>& keys);
+                        const std::vector<SortKey>& keys,
+                        ThreadPool* pool = nullptr);
 
 /// \brief First `n` rows.
 Result<TablePtr> Limit(const TablePtr& input, size_t n);

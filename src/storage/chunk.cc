@@ -1,0 +1,153 @@
+#include "storage/chunk.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace telco {
+
+namespace {
+
+// Zone maps mirror predicate-evaluation semantics: every numeric operand
+// is compared after a cast to double, and NaN cells can never satisfy a
+// comparison, so min/max over the cast non-null non-NaN values prove a
+// chunk empty exactly when row-at-a-time evaluation would find no match.
+template <typename GetCell>
+ZoneMap ComputeZoneMap(size_t n, bool numeric, const GetCell& get) {
+  ZoneMap zm;
+  for (size_t i = 0; i < n; ++i) {
+    const auto [is_null, value] = get(i);
+    if (is_null) {
+      ++zm.null_count;
+      continue;
+    }
+    if (!numeric) continue;
+    if (std::isnan(value)) {
+      zm.has_nan = true;
+      continue;
+    }
+    if (!zm.has_stats) {
+      zm.has_stats = true;
+      zm.min = value;
+      zm.max = value;
+    } else {
+      if (value < zm.min) zm.min = value;
+      if (value > zm.max) zm.max = value;
+    }
+  }
+  return zm;
+}
+
+// Typed fast path over the raw vectors — ComputeZoneMap's per-cell
+// dispatch is measurable when every operator output computes zone maps.
+ZoneMap ZoneMapOfColumn(const Column& col) {
+  ZoneMap zm;
+  const std::vector<uint8_t>& validity = col.validity();
+  const size_t n = col.size();
+  switch (col.type()) {
+    case DataType::kString:
+      for (size_t i = 0; i < n; ++i) zm.null_count += validity[i] == 0;
+      return zm;
+    case DataType::kInt64: {
+      const std::vector<int64_t>& data = col.int64_data();
+      for (size_t i = 0; i < n; ++i) {
+        if (validity[i] == 0) {
+          ++zm.null_count;
+          continue;
+        }
+        const double v = static_cast<double>(data[i]);  // never NaN
+        if (!zm.has_stats) {
+          zm.has_stats = true;
+          zm.min = v;
+          zm.max = v;
+        } else {
+          if (v < zm.min) zm.min = v;
+          if (v > zm.max) zm.max = v;
+        }
+      }
+      return zm;
+    }
+    case DataType::kDouble: {
+      const std::vector<double>& data = col.double_data();
+      for (size_t i = 0; i < n; ++i) {
+        if (validity[i] == 0) {
+          ++zm.null_count;
+          continue;
+        }
+        const double v = data[i];
+        if (std::isnan(v)) {
+          zm.has_nan = true;
+          continue;
+        }
+        if (!zm.has_stats) {
+          zm.has_stats = true;
+          zm.min = v;
+          zm.max = v;
+        } else {
+          if (v < zm.min) zm.min = v;
+          if (v > zm.max) zm.max = v;
+        }
+      }
+      return zm;
+    }
+  }
+  return zm;
+}
+
+ZoneMap ZoneMapOfSegment(const Segment& seg) {
+  const bool numeric = seg.type() != DataType::kString;
+  return ComputeZoneMap(seg.size(), numeric, [&](size_t i) {
+    const bool is_null = seg.IsNull(i);
+    return std::pair<bool, double>(
+        is_null, is_null || !numeric ? 0.0 : seg.GetNumeric(i));
+  });
+}
+
+}  // namespace
+
+ChunkPtr Chunk::FromColumns(std::vector<Column> columns,
+                            SegmentLayout layout) {
+  auto chunk = std::shared_ptr<Chunk>(new Chunk());
+  chunk->num_rows_ = columns.empty() ? 0 : columns[0].size();
+  chunk->segments_.reserve(columns.size());
+  chunk->zone_maps_.reserve(columns.size());
+  for (auto& col : columns) {
+    TELCO_DCHECK(col.size() == chunk->num_rows_) << "ragged chunk columns";
+    chunk->zone_maps_.push_back(ZoneMapOfColumn(col));
+    chunk->segments_.push_back(layout == SegmentLayout::kEncoded
+                                   ? Segment::Encode(std::move(col))
+                                   : Segment::EncodePlain(std::move(col)));
+  }
+  return chunk;
+}
+
+ChunkPtr Chunk::Project(const Chunk& src, const std::vector<size_t>& cols) {
+  auto chunk = std::shared_ptr<Chunk>(new Chunk());
+  chunk->num_rows_ = src.num_rows_;
+  chunk->segments_.reserve(cols.size());
+  chunk->zone_maps_.reserve(cols.size());
+  for (const size_t c : cols) {
+    TELCO_DCHECK(c < src.num_columns());
+    chunk->segments_.push_back(src.segments_[c]);
+    chunk->zone_maps_.push_back(src.zone_maps_[c]);
+  }
+  return chunk;
+}
+
+Result<ChunkPtr> Chunk::FromSegments(std::vector<SegmentPtr> segments) {
+  auto chunk = std::shared_ptr<Chunk>(new Chunk());
+  chunk->num_rows_ = segments.empty() ? 0 : segments[0]->size();
+  for (const auto& seg : segments) {
+    if (seg == nullptr) {
+      return Status::InvalidArgument("null segment in chunk");
+    }
+    if (seg->size() != chunk->num_rows_) {
+      return Status::InvalidArgument("ragged segments in chunk");
+    }
+    chunk->zone_maps_.push_back(ZoneMapOfSegment(*seg));
+  }
+  chunk->segments_ = std::move(segments);
+  return ChunkPtr(std::move(chunk));
+}
+
+}  // namespace telco

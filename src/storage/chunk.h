@@ -1,0 +1,87 @@
+// Chunk: a fixed-size horizontal partition of a table — one Segment per
+// column plus per-column zone maps (min/max over values as the comparison
+// engine sees them, i.e. cast to double, plus the null count). Chunks are
+// immutable and shared: column projections reuse segment pointers instead
+// of copying data, and morsel-driven operators take one chunk per task.
+
+#ifndef TELCO_STORAGE_CHUNK_H_
+#define TELCO_STORAGE_CHUNK_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/segment.h"
+
+namespace telco {
+
+/// \brief Per-chunk, per-column scan-pruning statistics.
+///
+/// `min`/`max` cover the non-null, non-NaN cells *after* the cast to
+/// double the comparison engine applies to every numeric operand, so a
+/// zone-map decision is exactly consistent with row-at-a-time predicate
+/// evaluation (including int64 values beyond 2^53). String columns and
+/// all-null/all-NaN segments have `has_stats == false`. `has_nan` flags
+/// chunks with NaN cells: the comparison engine's three-way compare maps
+/// NaN operands to "equal", so such chunks satisfy ==/<=/>= predicates
+/// regardless of min/max and must not be pruned for those operators.
+struct ZoneMap {
+  bool has_stats = false;
+  bool has_nan = false;
+  double min = 0.0;
+  double max = 0.0;
+  size_t null_count = 0;
+};
+
+class Chunk;
+using ChunkPtr = std::shared_ptr<const Chunk>;
+
+/// How freshly built columns are stored in a chunk. Durable catalog
+/// tables encode (dict/RLE where the heuristics pay off) to cut the
+/// in-memory and on-disk footprint; operator intermediates stay plain —
+/// they are consumed once, so running the encoding heuristics on every
+/// Filter/Project/Join output costs far more than it saves. The
+/// warehouse re-encodes plain segments at save time, so compression on
+/// disk does not depend on which path produced the table.
+enum class SegmentLayout { kEncoded, kPlain };
+
+/// \brief One horizontal partition of a table: segments + zone maps.
+class Chunk {
+ public:
+  /// Builds a chunk from plain column slices (all the same length),
+  /// computing zone maps from the plain data first. `layout` picks
+  /// whether segments go through the encoding heuristics or stay plain.
+  static ChunkPtr FromColumns(std::vector<Column> columns,
+                              SegmentLayout layout = SegmentLayout::kEncoded);
+
+  /// Builds a chunk from existing segments (all the same length), e.g.
+  /// after deserializing a warehouse file. Zone maps are recomputed from
+  /// the segments — never trusted from disk.
+  static Result<ChunkPtr> FromSegments(std::vector<SegmentPtr> segments);
+
+  /// A chunk holding the columns of `src` at `cols`, in order — shares
+  /// the segments and zone maps, copying nothing (SELECT of columns).
+  static ChunkPtr Project(const Chunk& src, const std::vector<size_t>& cols);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return segments_.size(); }
+
+  const Segment& segment(size_t c) const { return *segments_[c]; }
+  const SegmentPtr& segment_ptr(size_t c) const { return segments_[c]; }
+  const ZoneMap& zone_map(size_t c) const { return zone_maps_[c]; }
+
+  Value GetValue(size_t row, size_t col) const {
+    return segments_[col]->GetValue(row);
+  }
+
+ private:
+  Chunk() = default;
+
+  size_t num_rows_ = 0;
+  std::vector<SegmentPtr> segments_;
+  std::vector<ZoneMap> zone_maps_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_STORAGE_CHUNK_H_

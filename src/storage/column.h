@@ -104,6 +104,9 @@ class Column {
   /// A new column containing the cells at `indices`, in order.
   Column Take(const std::vector<size_t>& indices) const;
 
+  /// A new column containing cells [offset, offset + length).
+  Column Slice(size_t offset, size_t length) const;
+
  private:
   DataType type_;
   std::vector<int64_t> int64_data_;

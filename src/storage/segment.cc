@@ -1,0 +1,691 @@
+#include "storage/segment.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/telemetry/metrics.h"
+#include "storage/storage_options.h"
+
+namespace telco {
+
+namespace {
+
+// Dictionaries wider than this never pay for themselves in this codebase
+// (and the serialized code width tops out at 4 bytes).
+constexpr size_t kMaxDictSize = 65536;
+
+const std::string& EmptyString() {
+  static const std::string* empty = new std::string();
+  return *empty;
+}
+
+// Bit-exact cell equality: doubles compare by bit pattern so -0.0 != 0.0
+// and NaNs with equal payloads land in one dictionary slot / run.
+bool CellsEqual(const Column& col, size_t a, size_t b) {
+  const bool na = col.IsNull(a);
+  const bool nb = col.IsNull(b);
+  if (na || nb) return na && nb;
+  switch (col.type()) {
+    case DataType::kInt64:
+      return col.GetInt64(a) == col.GetInt64(b);
+    case DataType::kDouble:
+      return std::bit_cast<uint64_t>(col.GetDouble(a)) ==
+             std::bit_cast<uint64_t>(col.GetDouble(b));
+    case DataType::kString:
+      return col.GetString(a) == col.GetString(b);
+  }
+  return false;
+}
+
+// Minimal open-addressing map for the dictionary trial: 64-bit key
+// (an int64 value or double bit pattern) to dictionary code. The trial
+// runs one lookup per cell of every durable column, and unordered_map's
+// node allocation per distinct value dominated Segment::Encode.
+class Int64CodeMap {
+ public:
+  explicit Int64CodeMap(size_t max_entries) {
+    size_t cap = 16;
+    while (cap < max_entries * 2) cap <<= 1;
+    keys_.resize(cap);
+    codes_.assign(cap, 0);  // 0 = empty, else code + 1
+    mask_ = cap - 1;
+  }
+
+  // Returns the existing code for `key`, or stores `next` and sets
+  // `*inserted`. The caller bails before the table can fill up.
+  uint32_t FindOrInsert(uint64_t key, uint32_t next, bool* inserted) {
+    uint64_t h = key;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    size_t i = static_cast<size_t>(h) & mask_;
+    while (true) {
+      if (codes_[i] == 0) {
+        keys_[i] = key;
+        codes_[i] = next + 1;
+        *inserted = true;
+        return next;
+      }
+      if (keys_[i] == key) {
+        *inserted = false;
+        return codes_[i] - 1;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+ private:
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> codes_;
+  size_t mask_ = 0;
+};
+
+void AppendCell(const Column& src, size_t i, Column* out) {
+  if (src.IsNull(i)) {
+    out->AppendNull();
+    return;
+  }
+  switch (src.type()) {
+    case DataType::kInt64:
+      out->AppendInt64(src.GetInt64(i));
+      break;
+    case DataType::kDouble:
+      out->AppendDouble(src.GetDouble(i));
+      break;
+    case DataType::kString:
+      out->AppendString(src.GetString(i));
+      break;
+  }
+}
+
+// ------------------------------------------------------------ wire helpers
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+struct ByteReader {
+  const char* p;
+  size_t remaining;
+
+  bool ReadU8(uint8_t* v) {
+    if (remaining < 1) return false;
+    *v = static_cast<uint8_t>(*p);
+    ++p;
+    --remaining;
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (remaining < 4) return false;
+    std::memcpy(v, p, 4);
+    p += 4;
+    remaining -= 4;
+    return true;
+  }
+  bool ReadRaw(const char** out, size_t n) {
+    if (remaining < n) return false;
+    *out = p;
+    p += n;
+    remaining -= n;
+    return true;
+  }
+};
+
+size_t ValidityBytes(size_t n) { return (n + 7) / 8; }
+
+// Validity bitmap, LSB-first within each byte.
+void SerializeValidity(const std::vector<uint8_t>& validity,
+                       std::string* out) {
+  const size_t start = out->size();
+  out->resize(start + ValidityBytes(validity.size()), '\0');
+  for (size_t i = 0; i < validity.size(); ++i) {
+    if (validity[i]) {
+      (*out)[start + (i >> 3)] |= static_cast<char>(1u << (i & 7));
+    }
+  }
+}
+
+bool BitAt(const char* bits, size_t i) {
+  return (static_cast<unsigned char>(bits[i >> 3]) >> (i & 7)) & 1u;
+}
+
+// A typed value array (validity bitmap + payload) of `n` cells — the
+// shared wire form of plain segments, dictionary entries and run values.
+void SerializeValueArray(const Column& col, std::string* out) {
+  const size_t n = col.size();
+  SerializeValidity(col.validity(), out);
+  switch (col.type()) {
+    case DataType::kInt64: {
+      const size_t start = out->size();
+      out->resize(start + n * 8);
+      if (n > 0) std::memcpy(&(*out)[start], col.int64_data().data(), n * 8);
+      break;
+    }
+    case DataType::kDouble: {
+      const size_t start = out->size();
+      out->resize(start + n * 8);
+      if (n > 0) std::memcpy(&(*out)[start], col.double_data().data(), n * 8);
+      break;
+    }
+    case DataType::kString: {
+      for (size_t i = 0; i < n; ++i) {
+        const std::string& s = col.GetString(i);
+        PutU32(out, static_cast<uint32_t>(s.size()));
+        out->append(s);
+      }
+      break;
+    }
+  }
+}
+
+Result<Column> DeserializeValueArray(ByteReader* reader, DataType type,
+                                     size_t n, bool require_non_null) {
+  const char* bits = nullptr;
+  if (!reader->ReadRaw(&bits, ValidityBytes(n))) {
+    return Status::IoError("segment: truncated validity bitmap");
+  }
+  Column col(type);
+  col.Reserve(n);
+  switch (type) {
+    case DataType::kInt64:
+    case DataType::kDouble: {
+      const char* raw = nullptr;
+      if (!reader->ReadRaw(&raw, n * 8)) {
+        return Status::IoError("segment: truncated numeric payload");
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (!BitAt(bits, i)) {
+          col.AppendNull();
+          continue;
+        }
+        if (type == DataType::kInt64) {
+          int64_t v;
+          std::memcpy(&v, raw + i * 8, 8);
+          col.AppendInt64(v);
+        } else {
+          double v;
+          std::memcpy(&v, raw + i * 8, 8);
+          col.AppendDouble(v);
+        }
+      }
+      break;
+    }
+    case DataType::kString: {
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t len;
+        if (!reader->ReadU32(&len)) {
+          return Status::IoError("segment: truncated string length");
+        }
+        const char* raw = nullptr;
+        if (!reader->ReadRaw(&raw, len)) {
+          return Status::IoError("segment: string length exceeds payload");
+        }
+        if (BitAt(bits, i)) {
+          col.AppendString(std::string(raw, len));
+        } else {
+          if (len != 0) {
+            return Status::IoError("segment: null string cell with payload");
+          }
+          col.AppendNull();
+        }
+      }
+      break;
+    }
+  }
+  if (require_non_null && col.null_count() > 0) {
+    return Status::IoError("segment: null entry in non-null value array");
+  }
+  return col;
+}
+
+size_t DictCodeWidth(size_t dict_size) {
+  if (dict_size <= 0xFF) return 1;
+  if (dict_size <= 0xFFFF) return 2;
+  return 4;
+}
+
+const Counter& EncodedCounter(SegmentEncoding e) {
+  static const Counter plain =
+      MetricsRegistry::Global().GetCounter("storage.segment.encoded_plain");
+  static const Counter dict =
+      MetricsRegistry::Global().GetCounter("storage.segment.encoded_dict");
+  static const Counter rle =
+      MetricsRegistry::Global().GetCounter("storage.segment.encoded_rle");
+  switch (e) {
+    case SegmentEncoding::kDict:
+      return dict;
+    case SegmentEncoding::kRle:
+      return rle;
+    default:
+      return plain;
+  }
+}
+
+}  // namespace
+
+const char* SegmentEncodingToString(SegmentEncoding e) {
+  switch (e) {
+    case SegmentEncoding::kPlain:
+      return "plain";
+    case SegmentEncoding::kDict:
+      return "dict";
+    case SegmentEncoding::kRle:
+      return "rle";
+  }
+  return "unknown";
+}
+
+SegmentPtr Segment::EncodePlain(Column plain) {
+  auto seg = std::shared_ptr<Segment>(new Segment());
+  seg->type_ = plain.type();
+  seg->encoding_ = SegmentEncoding::kPlain;
+  seg->size_ = plain.size();
+  seg->plain_ = std::move(plain);
+  EncodedCounter(SegmentEncoding::kPlain).Add();
+  return seg;
+}
+
+SegmentPtr Segment::Encode(Column plain) {
+  const size_t n = plain.size();
+  if (n == 0 || !SegmentEncodingEnabled()) {
+    return EncodePlain(std::move(plain));
+  }
+
+  // Typed run count (the scan touches every cell of every durable
+  // column, so the per-cell CellsEqual dispatch is worth hoisting).
+  size_t runs = 1;
+  const std::vector<uint8_t>& valid = plain.validity();
+  switch (plain.type()) {
+    case DataType::kInt64: {
+      const std::vector<int64_t>& d = plain.int64_data();
+      for (size_t i = 1; i < n; ++i) {
+        runs += valid[i] != valid[i - 1] || (valid[i] && d[i] != d[i - 1]);
+      }
+      break;
+    }
+    case DataType::kDouble: {
+      const std::vector<double>& d = plain.double_data();
+      for (size_t i = 1; i < n; ++i) {
+        runs += valid[i] != valid[i - 1] ||
+                (valid[i] && std::bit_cast<uint64_t>(d[i]) !=
+                                 std::bit_cast<uint64_t>(d[i - 1]));
+      }
+      break;
+    }
+    case DataType::kString: {
+      for (size_t i = 1; i < n; ++i) {
+        if (!CellsEqual(plain, i - 1, i)) ++runs;
+      }
+      break;
+    }
+  }
+
+  // RLE when the average run is at least 4 cells long: sorted keys,
+  // repeated months, constant flags.
+  if (runs * 4 <= n) {
+    auto seg = std::shared_ptr<Segment>(new Segment());
+    seg->type_ = plain.type();
+    seg->encoding_ = SegmentEncoding::kRle;
+    seg->size_ = n;
+    seg->run_values_ = Column(plain.type());
+    seg->run_lengths_.reserve(runs);
+    seg->run_starts_.reserve(runs);
+    size_t run_start = 0;
+    for (size_t i = 1; i <= n; ++i) {
+      if (i == n || !CellsEqual(plain, i - 1, i)) {
+        AppendCell(plain, run_start, &seg->run_values_);
+        seg->run_lengths_.push_back(static_cast<uint32_t>(i - run_start));
+        seg->run_starts_.push_back(run_start);
+        run_start = i;
+      }
+    }
+    EncodedCounter(SegmentEncoding::kRle).Add();
+    return seg;
+  }
+
+  // Dictionary when the column repeats enough for codes to pay: at most
+  // one distinct value per two rows, capped at the 64k code space.
+  const size_t dict_cap = std::min(kMaxDictSize, n / 2);
+  bool dict_ok = dict_cap > 0;
+  std::vector<uint32_t> codes;
+  std::vector<uint8_t> validity;
+  Column dict_values(plain.type());
+  if (dict_ok) {
+    codes.reserve(n);
+    validity.reserve(n);
+    Int64CodeMap word_index(dict_cap + 1);
+    std::unordered_map<std::string, uint32_t> str_index;
+    for (size_t i = 0; i < n && dict_ok; ++i) {
+      if (plain.IsNull(i)) {
+        codes.push_back(0);
+        validity.push_back(0);
+        continue;
+      }
+      validity.push_back(1);
+      uint32_t code = 0;
+      bool inserted = false;
+      const uint32_t next = static_cast<uint32_t>(dict_values.size());
+      switch (plain.type()) {
+        case DataType::kInt64: {
+          code = word_index.FindOrInsert(
+              static_cast<uint64_t>(plain.GetInt64(i)), next, &inserted);
+          break;
+        }
+        case DataType::kDouble: {
+          code = word_index.FindOrInsert(
+              std::bit_cast<uint64_t>(plain.GetDouble(i)), next, &inserted);
+          break;
+        }
+        case DataType::kString: {
+          const auto [it, ins] = str_index.emplace(plain.GetString(i), next);
+          code = it->second;
+          inserted = ins;
+          break;
+        }
+      }
+      if (inserted) {
+        if (dict_values.size() >= dict_cap) {
+          dict_ok = false;
+          break;
+        }
+        AppendCell(plain, i, &dict_values);
+      }
+      codes.push_back(code);
+    }
+  }
+  if (dict_ok) {
+    auto seg = std::shared_ptr<Segment>(new Segment());
+    seg->type_ = plain.type();
+    seg->encoding_ = SegmentEncoding::kDict;
+    seg->size_ = n;
+    seg->dict_values_ = std::move(dict_values);
+    seg->codes_ = std::move(codes);
+    seg->validity_ = std::move(validity);
+    EncodedCounter(SegmentEncoding::kDict).Add();
+    return seg;
+  }
+  return EncodePlain(std::move(plain));
+}
+
+size_t Segment::RunIndex(size_t i) const {
+  TELCO_DCHECK(i < size_);
+  const auto it =
+      std::upper_bound(run_starts_.begin(), run_starts_.end(), i);
+  return static_cast<size_t>(it - run_starts_.begin()) - 1;
+}
+
+bool Segment::IsNull(size_t i) const {
+  switch (encoding_) {
+    case SegmentEncoding::kPlain:
+      return plain_.IsNull(i);
+    case SegmentEncoding::kDict:
+      return validity_[i] == 0;
+    case SegmentEncoding::kRle:
+      return run_values_.IsNull(RunIndex(i));
+  }
+  return true;
+}
+
+int64_t Segment::GetInt64(size_t i) const {
+  switch (encoding_) {
+    case SegmentEncoding::kPlain:
+      return plain_.GetInt64(i);
+    case SegmentEncoding::kDict:
+      return validity_[i] ? dict_values_.GetInt64(codes_[i]) : 0;
+    case SegmentEncoding::kRle:
+      return run_values_.GetInt64(RunIndex(i));
+  }
+  return 0;
+}
+
+double Segment::GetDouble(size_t i) const {
+  switch (encoding_) {
+    case SegmentEncoding::kPlain:
+      return plain_.GetDouble(i);
+    case SegmentEncoding::kDict:
+      return validity_[i] ? dict_values_.GetDouble(codes_[i]) : 0.0;
+    case SegmentEncoding::kRle:
+      return run_values_.GetDouble(RunIndex(i));
+  }
+  return 0.0;
+}
+
+const std::string& Segment::GetString(size_t i) const {
+  switch (encoding_) {
+    case SegmentEncoding::kPlain:
+      return plain_.GetString(i);
+    case SegmentEncoding::kDict:
+      return validity_[i] ? dict_values_.GetString(codes_[i]) : EmptyString();
+    case SegmentEncoding::kRle:
+      return run_values_.GetString(RunIndex(i));
+  }
+  return EmptyString();
+}
+
+double Segment::GetNumeric(size_t i) const {
+  if (type_ == DataType::kInt64) return static_cast<double>(GetInt64(i));
+  return GetDouble(i);
+}
+
+Value Segment::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+      return Value(GetInt64(i));
+    case DataType::kDouble:
+      return Value(GetDouble(i));
+    case DataType::kString:
+      return Value(GetString(i));
+  }
+  return Value::Null();
+}
+
+void Segment::AppendTo(Column* out) const {
+  TELCO_DCHECK(out != nullptr && out->type() == type_);
+  switch (encoding_) {
+    case SegmentEncoding::kPlain: {
+      for (size_t i = 0; i < size_; ++i) AppendCell(plain_, i, out);
+      return;
+    }
+    case SegmentEncoding::kDict: {
+      for (size_t i = 0; i < size_; ++i) {
+        if (validity_[i] == 0) {
+          out->AppendNull();
+        } else {
+          AppendCell(dict_values_, codes_[i], out);
+        }
+      }
+      return;
+    }
+    case SegmentEncoding::kRle: {
+      for (size_t r = 0; r < run_lengths_.size(); ++r) {
+        for (uint32_t k = 0; k < run_lengths_[r]; ++k) {
+          AppendCell(run_values_, r, out);
+        }
+      }
+      return;
+    }
+  }
+}
+
+Column Segment::Decode() const {
+  Column out(type_);
+  out.Reserve(size_);
+  AppendTo(&out);
+  return out;
+}
+
+size_t Segment::MemoryBytes() const {
+  auto column_bytes = [](const Column& col) {
+    size_t bytes = col.validity().capacity();
+    switch (col.type()) {
+      case DataType::kInt64:
+        bytes += col.size() * sizeof(int64_t);
+        break;
+      case DataType::kDouble:
+        bytes += col.size() * sizeof(double);
+        break;
+      case DataType::kString:
+        for (size_t i = 0; i < col.size(); ++i) {
+          bytes += sizeof(std::string) + col.GetString(i).capacity();
+        }
+        break;
+    }
+    return bytes;
+  };
+  switch (encoding_) {
+    case SegmentEncoding::kPlain:
+      return column_bytes(plain_);
+    case SegmentEncoding::kDict:
+      return column_bytes(dict_values_) + codes_.capacity() * 4 +
+             validity_.capacity();
+    case SegmentEncoding::kRle:
+      return column_bytes(run_values_) + run_lengths_.capacity() * 4 +
+             run_starts_.capacity() * 8;
+  }
+  return 0;
+}
+
+void Segment::Serialize(std::string* out) const {
+  PutU8(out, static_cast<uint8_t>(type_));
+  PutU8(out, static_cast<uint8_t>(encoding_));
+  PutU32(out, static_cast<uint32_t>(size_));
+  switch (encoding_) {
+    case SegmentEncoding::kPlain: {
+      SerializeValueArray(plain_, out);
+      return;
+    }
+    case SegmentEncoding::kDict: {
+      SerializeValidity(validity_, out);
+      const size_t dict_size = dict_values_.size();
+      PutU32(out, static_cast<uint32_t>(dict_size));
+      SerializeValueArray(dict_values_, out);
+      const size_t width = DictCodeWidth(dict_size);
+      for (size_t i = 0; i < size_; ++i) {
+        const uint32_t code = codes_[i];
+        out->append(reinterpret_cast<const char*>(&code), width);
+      }
+      return;
+    }
+    case SegmentEncoding::kRle: {
+      PutU32(out, static_cast<uint32_t>(run_lengths_.size()));
+      for (const uint32_t len : run_lengths_) PutU32(out, len);
+      SerializeValueArray(run_values_, out);
+      return;
+    }
+  }
+}
+
+Result<SegmentPtr> Segment::Deserialize(std::string_view data,
+                                        DataType expected,
+                                        size_t* consumed) {
+  ByteReader reader{data.data(), data.size()};
+  uint8_t type_byte = 0;
+  uint8_t enc_byte = 0;
+  uint32_t n = 0;
+  if (!reader.ReadU8(&type_byte) || !reader.ReadU8(&enc_byte) ||
+      !reader.ReadU32(&n)) {
+    return Status::IoError("segment: truncated header");
+  }
+  if (type_byte > static_cast<uint8_t>(DataType::kString)) {
+    return Status::IoError("segment: unknown type byte");
+  }
+  const DataType type = static_cast<DataType>(type_byte);
+  if (type != expected) {
+    return Status::IoError("segment: type does not match schema");
+  }
+  if (enc_byte > static_cast<uint8_t>(SegmentEncoding::kRle)) {
+    return Status::IoError("segment: unknown encoding byte");
+  }
+  const auto encoding = static_cast<SegmentEncoding>(enc_byte);
+
+  auto seg = std::shared_ptr<Segment>(new Segment());
+  seg->type_ = type;
+  seg->encoding_ = encoding;
+  seg->size_ = n;
+  switch (encoding) {
+    case SegmentEncoding::kPlain: {
+      TELCO_ASSIGN_OR_RETURN(
+          seg->plain_, DeserializeValueArray(&reader, type, n, false));
+      break;
+    }
+    case SegmentEncoding::kDict: {
+      const char* bits = nullptr;
+      if (!reader.ReadRaw(&bits, ValidityBytes(n))) {
+        return Status::IoError("segment: truncated validity bitmap");
+      }
+      uint32_t dict_size = 0;
+      if (!reader.ReadU32(&dict_size)) {
+        return Status::IoError("segment: truncated dictionary size");
+      }
+      if (dict_size > n) {
+        return Status::IoError("segment: dictionary larger than segment");
+      }
+      TELCO_ASSIGN_OR_RETURN(
+          seg->dict_values_,
+          DeserializeValueArray(&reader, type, dict_size, true));
+      const size_t width = DictCodeWidth(dict_size);
+      const char* raw = nullptr;
+      if (!reader.ReadRaw(&raw, static_cast<size_t>(n) * width)) {
+        return Status::IoError("segment: truncated code array");
+      }
+      seg->codes_.reserve(n);
+      seg->validity_.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t code = 0;
+        std::memcpy(&code, raw + i * width, width);
+        const bool valid = BitAt(bits, i);
+        if (valid && code >= dict_size) {
+          return Status::IoError("segment: dictionary code out of range");
+        }
+        if (!valid && code != 0) {
+          return Status::IoError("segment: non-zero code on null cell");
+        }
+        seg->codes_.push_back(code);
+        seg->validity_.push_back(valid ? 1 : 0);
+      }
+      break;
+    }
+    case SegmentEncoding::kRle: {
+      uint32_t num_runs = 0;
+      if (!reader.ReadU32(&num_runs)) {
+        return Status::IoError("segment: truncated run count");
+      }
+      if (num_runs > n) {
+        return Status::IoError("segment: more runs than cells");
+      }
+      seg->run_lengths_.reserve(num_runs);
+      seg->run_starts_.reserve(num_runs);
+      uint64_t total = 0;
+      for (uint32_t r = 0; r < num_runs; ++r) {
+        uint32_t len = 0;
+        if (!reader.ReadU32(&len)) {
+          return Status::IoError("segment: truncated run length");
+        }
+        if (len == 0) return Status::IoError("segment: empty run");
+        seg->run_lengths_.push_back(len);
+        seg->run_starts_.push_back(total);
+        total += len;
+      }
+      if (total != n) {
+        return Status::IoError("segment: run lengths do not sum to size");
+      }
+      TELCO_ASSIGN_OR_RETURN(
+          seg->run_values_,
+          DeserializeValueArray(&reader, type, num_runs, false));
+      break;
+    }
+  }
+  if (consumed != nullptr) *consumed = data.size() - reader.remaining;
+  return SegmentPtr(std::move(seg));
+}
+
+}  // namespace telco

@@ -1,0 +1,120 @@
+// Segment: the per-chunk storage of one column, plain or encoded.
+//
+// A chunk holds one Segment per column. Segments are immutable and come
+// in three physical encodings chosen per segment by Segment::Encode:
+//
+//   kPlain  the typed vectors of a Column, unchanged
+//   kDict   distinct non-null values (first-appearance order) + one code
+//           per row — low-cardinality columns (cell ids, plan types,
+//           months, categorical strings)
+//   kRle    run-length encoding — sorted or highly repetitive columns
+//
+// Encodings are exact: decoding reproduces the plain column bit-for-bit
+// (doubles are keyed/compared by bit pattern, so -0.0 vs 0.0 and NaN
+// payloads survive a round trip). Random access works on the encoded
+// form (dict O(1), RLE O(log runs)); operators that want tight loops
+// decode a morsel-sized scratch column instead.
+//
+// The serialized form (Serialize/Deserialize) is the unit of the v3
+// chunked warehouse files. Deserialize validates every length and code
+// against the payload, so corrupt or truncated bytes fail with a Status
+// rather than crashing or over-allocating.
+
+#ifndef TELCO_STORAGE_SEGMENT_H_
+#define TELCO_STORAGE_SEGMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/column.h"
+
+namespace telco {
+
+/// Physical encoding of a segment.
+enum class SegmentEncoding : uint8_t { kPlain = 0, kDict = 1, kRle = 2 };
+
+const char* SegmentEncodingToString(SegmentEncoding e);
+
+class Segment;
+using SegmentPtr = std::shared_ptr<const Segment>;
+
+/// \brief Immutable, possibly encoded storage for one column of one chunk.
+class Segment {
+ public:
+  /// Encodes a plain column slice, picking dictionary/RLE when the
+  /// heuristics say they pay off (and SegmentEncodingEnabled() allows
+  /// them); otherwise stores it plain.
+  static SegmentPtr Encode(Column plain);
+
+  /// Stores the column plain, bypassing the encoding heuristics.
+  static SegmentPtr EncodePlain(Column plain);
+
+  DataType type() const { return type_; }
+  SegmentEncoding encoding() const { return encoding_; }
+  size_t size() const { return size_; }
+
+  bool IsNull(size_t i) const;
+
+  /// Typed accessors mirror Column: null cells yield the type's default.
+  int64_t GetInt64(size_t i) const;
+  double GetDouble(size_t i) const;
+  const std::string& GetString(size_t i) const;
+  double GetNumeric(size_t i) const;
+  Value GetValue(size_t i) const;
+
+  /// Appends all cells, decoded, onto `out` (same column type).
+  void AppendTo(Column* out) const;
+
+  /// The segment as a plain column, bit-identical to the encoded input.
+  Column Decode() const;
+
+  /// The backing column when this segment is plain-encoded, else nullptr.
+  /// Lets hot gather loops read raw vectors instead of dispatching on the
+  /// encoding per cell (operator intermediates are always plain).
+  const Column* PlainColumnOrNull() const {
+    return encoding_ == SegmentEncoding::kPlain ? &plain_ : nullptr;
+  }
+
+  /// In-memory heap footprint estimate in bytes (for telemetry).
+  size_t MemoryBytes() const;
+
+  /// Appends the wire form onto `out`.
+  void Serialize(std::string* out) const;
+
+  /// Parses one serialized segment from the front of `data`; `*consumed`
+  /// receives the bytes used. The stored type must equal `expected`.
+  /// Any structural violation (truncation, bad code, ragged runs) is an
+  /// error, never a crash or unbounded allocation.
+  static Result<SegmentPtr> Deserialize(std::string_view data,
+                                        DataType expected, size_t* consumed);
+
+ private:
+  Segment() = default;
+
+  size_t RunIndex(size_t i) const;
+
+  DataType type_ = DataType::kInt64;
+  SegmentEncoding encoding_ = SegmentEncoding::kPlain;
+  size_t size_ = 0;
+
+  // kPlain: the column itself.
+  Column plain_{DataType::kInt64};
+  // kDict: distinct non-null values in first-appearance order, a code per
+  // row (code 0 for nulls) and a validity byte per row.
+  Column dict_values_{DataType::kInt64};
+  std::vector<uint32_t> codes_;
+  std::vector<uint8_t> validity_;
+  // kRle: one value per run (null runs allowed) and run lengths; starts
+  // are the derived prefix sums used for O(log) random access.
+  Column run_values_{DataType::kInt64};
+  std::vector<uint32_t> run_lengths_;
+  std::vector<uint64_t> run_starts_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_STORAGE_SEGMENT_H_

@@ -4,6 +4,7 @@
 #include "common/string_util.h"
 #include "storage/column.h"
 #include "storage/schema.h"
+#include "storage/storage_options.h"
 #include "storage/table.h"
 
 namespace telco {
@@ -149,6 +150,30 @@ size_t Column::null_count() const {
   return n;
 }
 
+Column Column::Slice(size_t offset, size_t length) const {
+  TELCO_DCHECK(offset + length <= size());
+  Column out(type_);
+  out.Reserve(length);
+  for (size_t i = offset; i < offset + length; ++i) {
+    if (validity_[i] == 0) {
+      out.AppendNull();
+      continue;
+    }
+    switch (type_) {
+      case DataType::kInt64:
+        out.AppendInt64(int64_data_[i]);
+        break;
+      case DataType::kDouble:
+        out.AppendDouble(double_data_[i]);
+        break;
+      case DataType::kString:
+        out.AppendString(string_data_[i]);
+        break;
+    }
+  }
+  return out;
+}
+
 Column Column::Take(const std::vector<size_t>& indices) const {
   Column out(type_);
   out.Reserve(indices.size());
@@ -175,13 +200,20 @@ Column Column::Take(const std::vector<size_t>& indices) const {
 
 // ------------------------------------------------------------------- Table
 
-Table::Table(Schema schema) : schema_(std::move(schema)) {
-  columns_.reserve(schema_.num_fields());
-  for (const auto& f : schema_.fields()) columns_.emplace_back(f.type);
+Table::Table(Schema schema)
+    : schema_(std::move(schema)),
+      chunk_rows_(DefaultChunkRows()),
+      materialized_(schema_.num_fields()) {}
+
+Table::~Table() {
+  for (auto& slot : materialized_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
 }
 
 Result<std::shared_ptr<Table>> Table::Make(Schema schema,
-                                           std::vector<Column> columns) {
+                                           std::vector<Column> columns,
+                                           SegmentLayout layout) {
   if (columns.size() != schema.num_fields()) {
     return Status::InvalidArgument(StrFormat(
         "column count %zu does not match schema field count %zu",
@@ -199,14 +231,81 @@ Result<std::shared_ptr<Table>> Table::Make(Schema schema,
     }
   }
   auto table = std::make_shared<Table>(std::move(schema));
-  table->columns_ = std::move(columns);
   table->num_rows_ = rows;
+  if (rows > 0 && rows <= table->chunk_rows_) {
+    // Single-chunk table (the common case for operator intermediates):
+    // move the columns in whole instead of copying per-chunk slices.
+    table->chunks_.push_back(Chunk::FromColumns(std::move(columns), layout));
+    return table;
+  }
+  for (size_t offset = 0; offset < rows; offset += table->chunk_rows_) {
+    const size_t len = std::min(table->chunk_rows_, rows - offset);
+    std::vector<Column> slice;
+    slice.reserve(columns.size());
+    for (const auto& col : columns) slice.push_back(col.Slice(offset, len));
+    table->chunks_.push_back(Chunk::FromColumns(std::move(slice), layout));
+  }
   return table;
+}
+
+Result<std::shared_ptr<Table>> Table::FromChunks(
+    Schema schema, size_t chunk_rows, std::vector<ChunkPtr> chunks) {
+  if (chunk_rows == 0) {
+    return Status::InvalidArgument("chunk_rows must be >= 1");
+  }
+  size_t rows = 0;
+  for (size_t k = 0; k < chunks.size(); ++k) {
+    const ChunkPtr& chunk = chunks[k];
+    if (chunk == nullptr) {
+      return Status::InvalidArgument("null chunk");
+    }
+    if (chunk->num_columns() != schema.num_fields()) {
+      return Status::InvalidArgument(StrFormat(
+          "chunk %zu has %zu columns but the schema has %zu fields", k,
+          chunk->num_columns(), schema.num_fields()));
+    }
+    for (size_t c = 0; c < chunk->num_columns(); ++c) {
+      if (chunk->segment(c).type() != schema.field(c).type) {
+        return Status::TypeError("segment type mismatch for field '" +
+                                 schema.field(c).name + "'");
+      }
+    }
+    const bool last = k + 1 == chunks.size();
+    if (chunk->num_rows() == 0 ||
+        (last ? chunk->num_rows() > chunk_rows
+              : chunk->num_rows() != chunk_rows)) {
+      return Status::InvalidArgument(
+          StrFormat("chunk %zu has %zu rows; expected %s%zu", k,
+                    chunk->num_rows(), last ? "at most " : "exactly ",
+                    chunk_rows));
+    }
+    rows += chunk->num_rows();
+  }
+  auto table = std::make_shared<Table>(std::move(schema));
+  table->num_rows_ = rows;
+  table->chunk_rows_ = chunk_rows;
+  table->chunks_ = std::move(chunks);
+  return table;
+}
+
+const Column& Table::column(size_t i) const {
+  const Column* cached = materialized_[i].load(std::memory_order_acquire);
+  if (cached != nullptr) return *cached;
+  std::lock_guard<std::mutex> lock(materialize_mutex_);
+  cached = materialized_[i].load(std::memory_order_relaxed);
+  if (cached == nullptr) {
+    auto col = std::make_unique<Column>(schema_.field(i).type);
+    col->Reserve(num_rows_);
+    for (const auto& chunk : chunks_) chunk->segment(i).AppendTo(col.get());
+    cached = col.release();
+    materialized_[i].store(cached, std::memory_order_release);
+  }
+  return *cached;
 }
 
 Result<const Column*> Table::GetColumn(const std::string& name) const {
   TELCO_ASSIGN_OR_RETURN(const size_t idx, schema_.GetFieldIndex(name));
-  return &columns_[idx];
+  return &column(idx);
 }
 
 std::vector<Value> Table::GetRow(size_t row) const {
@@ -216,12 +315,96 @@ std::vector<Value> Table::GetRow(size_t row) const {
   return out;
 }
 
+void Table::GatherColumn(const std::vector<size_t>& indices, size_t col,
+                         Column* out) const {
+  out->Reserve(out->size() + indices.size());
+  // Cache the chunk covering the current index: row lists from filters
+  // and sorts are mostly ascending within a chunk, so the divisions and
+  // the segment lookup happen once per chunk run, not once per cell.
+  size_t base = 0;
+  size_t end = 0;
+  const Segment* seg = nullptr;
+  const Column* plain = nullptr;
+  const auto locate = [&](size_t idx) {
+    TELCO_DCHECK(idx < num_rows_);
+    const size_t k = ChunkOf(idx);
+    seg = &chunks_[k]->segment(col);
+    plain = seg->PlainColumnOrNull();
+    base = k * chunk_rows_;
+    end = base + chunks_[k]->num_rows();
+  };
+  switch (schema_.field(col).type) {
+    case DataType::kInt64:
+      for (size_t idx : indices) {
+        if (idx == SIZE_MAX) {
+          out->AppendNull();
+          continue;
+        }
+        if (idx < base || idx >= end) locate(idx);
+        const size_t r = idx - base;
+        if (plain != nullptr) {
+          if (plain->IsNull(r)) {
+            out->AppendNull();
+          } else {
+            out->AppendInt64(plain->int64_data()[r]);
+          }
+        } else if (seg->IsNull(r)) {
+          out->AppendNull();
+        } else {
+          out->AppendInt64(seg->GetInt64(r));
+        }
+      }
+      break;
+    case DataType::kDouble:
+      for (size_t idx : indices) {
+        if (idx == SIZE_MAX) {
+          out->AppendNull();
+          continue;
+        }
+        if (idx < base || idx >= end) locate(idx);
+        const size_t r = idx - base;
+        if (plain != nullptr) {
+          if (plain->IsNull(r)) {
+            out->AppendNull();
+          } else {
+            out->AppendDouble(plain->double_data()[r]);
+          }
+        } else if (seg->IsNull(r)) {
+          out->AppendNull();
+        } else {
+          out->AppendDouble(seg->GetDouble(r));
+        }
+      }
+      break;
+    case DataType::kString:
+      for (size_t idx : indices) {
+        if (idx == SIZE_MAX) {
+          out->AppendNull();
+          continue;
+        }
+        if (idx < base || idx >= end) locate(idx);
+        const size_t r = idx - base;
+        if (seg->IsNull(r)) {
+          out->AppendNull();
+        } else {
+          out->AppendString(seg->GetString(r));
+        }
+      }
+      break;
+  }
+}
+
 std::shared_ptr<Table> Table::TakeRows(
     const std::vector<size_t>& indices) const {
   std::vector<Column> cols;
-  cols.reserve(columns_.size());
-  for (const auto& col : columns_) cols.push_back(col.Take(indices));
-  auto result = Table::Make(schema_, std::move(cols));
+  cols.reserve(num_columns());
+  for (size_t c = 0; c < num_columns(); ++c) {
+    Column out(schema_.field(c).type);
+    GatherColumn(indices, c, &out);
+    cols.push_back(std::move(out));
+  }
+  // Row gathers are operator intermediates — never worth re-encoding.
+  auto result = Table::Make(schema_, std::move(cols), SegmentLayout::kPlain);
   TELCO_CHECK(result.ok()) << result.status().ToString();
   return std::move(result).ValueOrDie();
 }
@@ -278,8 +461,8 @@ void TableBuilder::Reserve(size_t n) {
   for (auto& col : columns_) col.Reserve(n);
 }
 
-Result<std::shared_ptr<Table>> TableBuilder::Finish() {
-  return Table::Make(std::move(schema_), std::move(columns_));
+Result<std::shared_ptr<Table>> TableBuilder::Finish(SegmentLayout layout) {
+  return Table::Make(std::move(schema_), std::move(columns_), layout);
 }
 
 }  // namespace telco

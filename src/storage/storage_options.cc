@@ -1,0 +1,72 @@
+#include "storage/storage_options.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace telco {
+
+namespace {
+
+bool EnvDisabled(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  return std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+         std::strcmp(v, "false") == 0;
+}
+
+size_t EnvChunkRows() {
+  const char* v = std::getenv("TELCO_CHUNK_SIZE");
+  if (v == nullptr || v[0] == '\0') return kDefaultChunkRows;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || parsed < 1) return kDefaultChunkRows;
+  return static_cast<size_t>(parsed);
+}
+
+std::atomic<size_t>& ChunkRowsOverride() {
+  static std::atomic<size_t> rows{0};  // 0 = use environment/default
+  return rows;
+}
+
+std::atomic<bool>& EncodingFlag() {
+  static std::atomic<bool> enabled{!EnvDisabled("TELCO_ENCODING")};
+  return enabled;
+}
+
+std::atomic<bool>& PruningFlag() {
+  static std::atomic<bool> enabled{!EnvDisabled("TELCO_ZONE_PRUNE")};
+  return enabled;
+}
+
+}  // namespace
+
+size_t DefaultChunkRows() {
+  const size_t override_rows =
+      ChunkRowsOverride().load(std::memory_order_relaxed);
+  if (override_rows > 0) return override_rows;
+  static const size_t env_rows = EnvChunkRows();
+  return env_rows;
+}
+
+void SetDefaultChunkRows(size_t rows) {
+  ChunkRowsOverride().store(rows, std::memory_order_relaxed);
+}
+
+bool SegmentEncodingEnabled() {
+  return EncodingFlag().load(std::memory_order_relaxed);
+}
+
+void SetSegmentEncodingEnabled(bool enabled) {
+  EncodingFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool ZoneMapPruningEnabled() {
+  return PruningFlag().load(std::memory_order_relaxed);
+}
+
+void SetZoneMapPruningEnabled(bool enabled) {
+  PruningFlag().store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace telco

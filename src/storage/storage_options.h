@@ -1,0 +1,46 @@
+// Process-wide knobs of the chunked columnar storage layer.
+//
+// All three knobs read their initial value from the environment once and
+// can be overridden programmatically (tests sweep chunk sizes and toggle
+// encodings/pruning to prove equivalence):
+//
+//   TELCO_CHUNK_SIZE   rows per chunk for newly built tables
+//                      (default 65536; values < 1 are ignored)
+//   TELCO_ENCODING     "off"/"0" disables dictionary/RLE segment
+//                      encoding (chunks keep plain typed vectors)
+//   TELCO_ZONE_PRUNE   "off"/"0" disables zone-map chunk pruning in
+//                      the scan path (chunks are always scanned)
+
+#ifndef TELCO_STORAGE_STORAGE_OPTIONS_H_
+#define TELCO_STORAGE_STORAGE_OPTIONS_H_
+
+#include <cstddef>
+
+namespace telco {
+
+/// Default rows per chunk when no override is active (hyrise-style 64k).
+inline constexpr size_t kDefaultChunkRows = 65536;
+
+/// Rows per chunk used by Table::Make / TableBuilder::Finish.
+size_t DefaultChunkRows();
+
+/// Overrides the chunk size for subsequently built tables (0 restores the
+/// TELCO_CHUNK_SIZE / built-in default). Not thread-safe with concurrent
+/// table builds; intended for test sweeps and process start-up.
+void SetDefaultChunkRows(size_t rows);
+
+/// True when dictionary/RLE encoding may be applied to new segments.
+bool SegmentEncodingEnabled();
+
+/// Enables/disables segment encoding for subsequently built chunks.
+void SetSegmentEncodingEnabled(bool enabled);
+
+/// True when scans may skip chunks via zone maps.
+bool ZoneMapPruningEnabled();
+
+/// Enables/disables zone-map pruning in the scan path.
+void SetZoneMapPruningEnabled(bool enabled);
+
+}  // namespace telco
+
+#endif  // TELCO_STORAGE_STORAGE_OPTIONS_H_

@@ -1,13 +1,16 @@
-// Table: an immutable-after-build columnar table, and TableBuilder.
+// Table: an immutable-after-build chunked columnar table, and TableBuilder.
 
 #ifndef TELCO_STORAGE_TABLE_H_
 #define TELCO_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "storage/chunk.h"
 #include "storage/column.h"
 #include "storage/schema.h"
 
@@ -18,34 +21,68 @@ class Table;
 /// query layer and the catalog).
 using TablePtr = std::shared_ptr<Table>;
 
-/// \brief A columnar table: a schema plus one Column per field.
+/// \brief A chunked columnar table: a schema plus a sequence of Chunks.
 ///
 /// Tables are the unit of storage in the warehouse (Catalog) and the
-/// input/output of every relational operator in src/query. Operators
-/// produce new tables; tables are shared via shared_ptr and treated as
-/// immutable once published.
+/// input/output of every relational operator in src/query. Rows are
+/// partitioned into fixed-size chunks (DefaultChunkRows(), overridable
+/// via TELCO_CHUNK_SIZE); each chunk stores one Segment per column —
+/// plain, dictionary- or run-length-encoded — plus zone maps used for
+/// scan pruning. All chunks hold exactly `chunk_rows()` rows except the
+/// last, so a row index maps to (chunk, offset) by division.
+///
+/// Operators produce new tables; tables are shared via shared_ptr and
+/// treated as immutable once published. The morsel-driven operators work
+/// chunk-at-a-time; row-at-a-time access (GetValue/GetRow) and the
+/// contiguous `column()` view remain for boundary code.
 class Table {
  public:
   /// Creates an empty table with the given schema.
   explicit Table(Schema schema);
 
-  /// Creates a table from a schema and matching pre-built columns.
-  /// All columns must have equal length and types matching the schema.
-  static Result<std::shared_ptr<Table>> Make(Schema schema,
-                                             std::vector<Column> columns);
+  ~Table();
+
+  /// Creates a table from a schema and matching pre-built plain columns.
+  /// All columns must have equal length and types matching the schema;
+  /// the data is partitioned into chunks, stored per `layout` (see
+  /// SegmentLayout — encode durable tables, keep intermediates plain).
+  static Result<std::shared_ptr<Table>> Make(
+      Schema schema, std::vector<Column> columns,
+      SegmentLayout layout = SegmentLayout::kEncoded);
+
+  /// Creates a table from pre-built chunks. Every chunk must have
+  /// `chunk_rows` rows except the last (which may be shorter but not
+  /// empty), and segment types must match the schema.
+  static Result<std::shared_ptr<Table>> FromChunks(
+      Schema schema, size_t chunk_rows, std::vector<ChunkPtr> chunks);
 
   const Schema& schema() const { return schema_; }
-  size_t num_columns() const { return columns_.size(); }
+  size_t num_columns() const { return schema_.num_fields(); }
   size_t num_rows() const { return num_rows_; }
 
-  const Column& column(size_t i) const { return columns_[i]; }
+  /// ------------------------------------------------ chunked access
+  size_t num_chunks() const { return chunks_.size(); }
+  const Chunk& chunk(size_t k) const { return *chunks_[k]; }
+  const ChunkPtr& chunk_ptr(size_t k) const { return chunks_[k]; }
+  /// Rows per chunk (except possibly the last); always >= 1.
+  size_t chunk_rows() const { return chunk_rows_; }
+  size_t ChunkOf(size_t row) const { return row / chunk_rows_; }
+  size_t RowInChunk(size_t row) const { return row % chunk_rows_; }
 
-  /// Column by name, or an error if absent.
+  /// \brief The column as one contiguous plain Column.
+  ///
+  /// Decoded lazily on first access and cached for the table's lifetime
+  /// (thread-safe); the reference stays valid as long as the table lives.
+  /// Chunk-at-a-time readers should prefer chunk().segment() — it avoids
+  /// the decode and the doubled footprint.
+  const Column& column(size_t i) const;
+
+  /// Contiguous column by name, or an error if absent.
   Result<const Column*> GetColumn(const std::string& name) const;
 
   /// Cell accessor through the dynamic Value type.
   Value GetValue(size_t row, size_t col) const {
-    return columns_[col].GetValue(row);
+    return chunks_[ChunkOf(row)]->GetValue(RowInChunk(row), col);
   }
 
   /// One row as a vector of Values (row-at-a-time boundary API).
@@ -55,6 +92,14 @@ class Table {
   /// (duplicates allowed — used by up-sampling and joins).
   std::shared_ptr<Table> TakeRows(const std::vector<size_t>& indices) const;
 
+  /// Appends the cells of column `col` at `indices` onto `out` (which
+  /// must have the column's type); SIZE_MAX entries append null
+  /// (unmatched outer-join rows). The workhorse behind TakeRows and
+  /// join materialisation: caches the chunk spanning the current index
+  /// and reads plain segments through their raw vectors.
+  void GatherColumn(const std::vector<size_t>& indices, size_t col,
+                    Column* out) const;
+
   /// Renders up to `max_rows` rows as an aligned ASCII table for debugging.
   std::string ToString(size_t max_rows = 10) const;
 
@@ -62,8 +107,13 @@ class Table {
   friend class TableBuilder;
 
   Schema schema_;
-  std::vector<Column> columns_;
   size_t num_rows_ = 0;
+  size_t chunk_rows_ = 1;
+  std::vector<ChunkPtr> chunks_;
+
+  // Lazily decoded contiguous columns backing column()/GetColumn().
+  mutable std::mutex materialize_mutex_;
+  mutable std::vector<std::atomic<const Column*>> materialized_;
 };
 
 /// \brief Row-at-a-time builder for Table, with typed fast paths.
@@ -86,8 +136,10 @@ class TableBuilder {
 
   size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
 
-  /// Validates column lengths and moves the data into a Table.
-  Result<std::shared_ptr<Table>> Finish();
+  /// Validates column lengths and moves the data into a Table. Operator
+  /// outputs pass SegmentLayout::kPlain to skip the encoding heuristics.
+  Result<std::shared_ptr<Table>> Finish(
+      SegmentLayout layout = SegmentLayout::kEncoded);
 
  private:
   Schema schema_;

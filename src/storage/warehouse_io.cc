@@ -21,7 +21,35 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr char kManifestMagic[] = "telcochurn-warehouse";
-constexpr int kManifestVersion = 2;
+constexpr int kManifestVersion = 3;
+
+// v3 chunked table file layout (<name>.tbl, little-endian):
+//   magic "TELCOTBL3\n" | u64 chunk_rows | u64 num_chunks | u64 num_cols
+//   then per chunk: u64 payload_len | payload
+// where payload is the concatenation of one serialized Segment per
+// column. The manifest records one CRC32 per chunk payload, so a torn or
+// corrupted chunk is caught before any segment bytes are parsed.
+constexpr char kTableMagic[] = "TELCOTBL3\n";
+constexpr size_t kTableMagicLen = sizeof(kTableMagic) - 1;
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+bool ReadU64(std::string_view data, size_t* pos, uint64_t* out) {
+  if (data.size() - *pos < 8) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(
+             static_cast<unsigned char>(data[*pos + i]))
+         << (8 * i);
+  }
+  *pos += 8;
+  *out = v;
+  return true;
+}
 
 Result<DataType> ParseType(const std::string& name) {
   if (name == "int64") return DataType::kInt64;
@@ -33,39 +61,185 @@ Result<DataType> ParseType(const std::string& name) {
 struct ManifestEntry {
   std::string name;
   Schema schema;
+  int version = 1;
   /// Row count and checksum; absent (-1 / no crc) in legacy v1 manifests.
   int64_t rows = -1;
   bool has_crc = false;
-  uint32_t crc = 0;
+  uint32_t crc = 0;  // whole-file CRC (v2 CSV tables)
+  /// v3 chunked tables: chunk geometry plus one CRC per chunk payload.
+  uint64_t chunk_rows = 0;
+  std::vector<uint32_t> chunk_crcs;
 };
+
+Result<int64_t> ParseNonNegative(const std::string& text, size_t line_no) {
+  errno = 0;
+  char* end = nullptr;
+  const int64_t v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0' || v < 0) {
+    return Status::InvalidArgument(
+        StrFormat("bad count in manifest line %zu", line_no));
+  }
+  return v;
+}
 
 Result<ManifestEntry> ParseManifestLine(const std::string& line,
                                         size_t line_no, int version) {
   const auto parts = Split(line, '|');
-  const size_t expected = version >= 2 ? 4 : 2;
+  const size_t expected = version >= 3 ? 5 : (version == 2 ? 4 : 2);
   if (parts.size() != expected) {
     return Status::InvalidArgument(
         StrFormat("malformed manifest line %zu", line_no));
   }
   ManifestEntry entry;
   entry.name = parts[0];
+  entry.version = version;
   TELCO_ASSIGN_OR_RETURN(entry.schema, SchemaFromSpec(parts[1]));
-  if (version >= 2) {
-    errno = 0;
-    char* end = nullptr;
-    entry.rows = std::strtoll(parts[2].c_str(), &end, 10);
-    if (errno != 0 || end == parts[2].c_str() || *end != '\0' ||
-        entry.rows < 0) {
-      return Status::InvalidArgument(
-          StrFormat("bad row count in manifest line %zu", line_no));
-    }
+  if (version == 2) {
+    TELCO_ASSIGN_OR_RETURN(entry.rows, ParseNonNegative(parts[2], line_no));
     if (!ParseCrc32Hex(parts[3], &entry.crc)) {
       return Status::InvalidArgument(
           StrFormat("bad checksum in manifest line %zu", line_no));
     }
     entry.has_crc = true;
+  } else if (version >= 3) {
+    // name|spec|rows|chunk_rows|crc,crc,...
+    TELCO_ASSIGN_OR_RETURN(entry.rows, ParseNonNegative(parts[2], line_no));
+    TELCO_ASSIGN_OR_RETURN(const int64_t chunk_rows,
+                           ParseNonNegative(parts[3], line_no));
+    if (chunk_rows < 1) {
+      return Status::InvalidArgument(
+          StrFormat("bad chunk_rows in manifest line %zu", line_no));
+    }
+    entry.chunk_rows = static_cast<uint64_t>(chunk_rows);
+    if (!parts[4].empty()) {
+      for (const auto& hex : Split(parts[4], ',')) {
+        uint32_t crc = 0;
+        if (!ParseCrc32Hex(hex, &crc)) {
+          return Status::InvalidArgument(
+              StrFormat("bad chunk checksum in manifest line %zu", line_no));
+        }
+        entry.chunk_crcs.push_back(crc);
+      }
+    }
   }
   return entry;
+}
+
+// The serialized v3 bytes of `table`: header + length-prefixed chunk
+// payloads. One CRC32 per chunk payload is appended to `chunk_crcs`.
+// `fault_site` fires once per chunk so the crash harness can kill a save
+// mid-table.
+Result<std::string> SerializeChunkedTable(const Table& table,
+                                          std::vector<uint32_t>* chunk_crcs) {
+  std::string out(kTableMagic, kTableMagicLen);
+  PutU64(&out, table.chunk_rows());
+  PutU64(&out, table.num_chunks());
+  PutU64(&out, table.num_columns());
+  std::string payload;
+  for (size_t k = 0; k < table.num_chunks(); ++k) {
+    TELCO_RETURN_NOT_OK(MaybeInjectFault("warehouse.save.chunk"));
+    payload.clear();
+    const Chunk& chunk = table.chunk(k);
+    for (size_t c = 0; c < chunk.num_columns(); ++c) {
+      const Segment& seg = chunk.segment(c);
+      // Operator-built tables keep plain segments in memory (encoding
+      // every intermediate costs more than it saves); compress them here
+      // so on-disk size does not depend on which path produced the table.
+      if (seg.encoding() == SegmentEncoding::kPlain) {
+        Segment::Encode(seg.Decode())->Serialize(&payload);
+      } else {
+        seg.Serialize(&payload);
+      }
+    }
+    chunk_crcs->push_back(Crc32(payload));
+    PutU64(&out, payload.size());
+    out += payload;
+  }
+  return out;
+}
+
+// Parses and fully validates a v3 table file against its manifest entry.
+Result<TablePtr> ParseChunkedTable(const std::string& content,
+                                   const ManifestEntry& entry,
+                                   const std::string& path) {
+  const auto corrupt = [&](const std::string& why) {
+    return Status::IoError("table '" + entry.name + "': " + why +
+                           " (corrupt or torn file " + path + ")");
+  };
+  if (content.size() < kTableMagicLen ||
+      content.compare(0, kTableMagicLen, kTableMagic) != 0) {
+    return corrupt("bad magic");
+  }
+  size_t pos = kTableMagicLen;
+  uint64_t chunk_rows = 0;
+  uint64_t num_chunks = 0;
+  uint64_t num_cols = 0;
+  if (!ReadU64(content, &pos, &chunk_rows) ||
+      !ReadU64(content, &pos, &num_chunks) ||
+      !ReadU64(content, &pos, &num_cols)) {
+    return corrupt("truncated header");
+  }
+  if (chunk_rows != entry.chunk_rows) {
+    return corrupt("chunk_rows disagrees with manifest");
+  }
+  if (num_chunks != entry.chunk_crcs.size()) {
+    return corrupt(StrFormat("%llu chunks but manifest records %zu",
+                             static_cast<unsigned long long>(num_chunks),
+                             entry.chunk_crcs.size()));
+  }
+  if (num_cols != entry.schema.num_fields()) {
+    return corrupt("column count disagrees with manifest schema");
+  }
+  std::vector<ChunkPtr> chunks;
+  chunks.reserve(num_chunks);
+  for (uint64_t k = 0; k < num_chunks; ++k) {
+    uint64_t payload_len = 0;
+    if (!ReadU64(content, &pos, &payload_len) ||
+        payload_len > content.size() - pos) {
+      return corrupt(StrFormat("truncated chunk %llu",
+                               static_cast<unsigned long long>(k)));
+    }
+    const std::string_view payload(content.data() + pos, payload_len);
+    if (Crc32(payload) != entry.chunk_crcs[k]) {
+      return corrupt(StrFormat("checksum mismatch for chunk %llu",
+                               static_cast<unsigned long long>(k)));
+    }
+    std::vector<SegmentPtr> segments;
+    segments.reserve(num_cols);
+    size_t seg_pos = 0;
+    for (uint64_t c = 0; c < num_cols; ++c) {
+      size_t consumed = 0;
+      auto seg = Segment::Deserialize(payload.substr(seg_pos),
+                                      entry.schema.field(c).type, &consumed);
+      if (!seg.ok()) {
+        return corrupt(StrFormat("chunk %llu column %llu: %s",
+                                 static_cast<unsigned long long>(k),
+                                 static_cast<unsigned long long>(c),
+                                 seg.status().ToString().c_str()));
+      }
+      segments.push_back(std::move(*seg));
+      seg_pos += consumed;
+    }
+    if (seg_pos != payload_len) {
+      return corrupt(StrFormat("chunk %llu has %zu trailing bytes",
+                               static_cast<unsigned long long>(k),
+                               payload_len - seg_pos));
+    }
+    auto chunk = Chunk::FromSegments(std::move(segments));
+    if (!chunk.ok()) {
+      return corrupt(chunk.status().ToString());
+    }
+    chunks.push_back(std::move(*chunk));
+    pos += payload_len;
+  }
+  if (pos != content.size()) {
+    return corrupt("trailing bytes after last chunk");
+  }
+  auto table = Table::FromChunks(entry.schema, chunk_rows, std::move(chunks));
+  if (!table.ok()) {
+    return corrupt(table.status().ToString());
+  }
+  return table;
 }
 
 // Reads, verifies and parses one table file. Transient failures (including
@@ -86,19 +260,26 @@ Result<TablePtr> LoadTableVerified(const std::string& path,
   TELCO_RETURN_NOT_OK(MaybeInjectFault("warehouse.load.table"));
   TELCO_ASSIGN_OR_RETURN(const std::string content, ReadFileToString(path));
   bytes_read.Add(content.size());
-  if (entry.has_crc) {
-    Stopwatch crc_watch;
-    const bool crc_ok = Crc32(content) == entry.crc;
-    crc_verify_seconds.Observe(crc_watch.ElapsedSeconds());
-    if (!crc_ok) {
-      return Status::IoError("checksum mismatch for table '" + entry.name +
-                             "' (corrupt or torn file " + path + ")");
+  TablePtr table;
+  if (entry.version >= 3) {
+    // Chunk CRCs are verified inside the parse (per chunk, pre-decode).
+    Stopwatch parse_watch;
+    TELCO_ASSIGN_OR_RETURN(table, ParseChunkedTable(content, entry, path));
+    csv_parse_seconds.Observe(parse_watch.ElapsedSeconds());
+  } else {
+    if (entry.has_crc) {
+      Stopwatch crc_watch;
+      const bool crc_ok = Crc32(content) == entry.crc;
+      crc_verify_seconds.Observe(crc_watch.ElapsedSeconds());
+      if (!crc_ok) {
+        return Status::IoError("checksum mismatch for table '" + entry.name +
+                               "' (corrupt or torn file " + path + ")");
+      }
     }
+    Stopwatch parse_watch;
+    TELCO_ASSIGN_OR_RETURN(table, ParseCsvString(content, entry.schema));
+    csv_parse_seconds.Observe(parse_watch.ElapsedSeconds());
   }
-  Stopwatch parse_watch;
-  TELCO_ASSIGN_OR_RETURN(TablePtr table,
-                         ParseCsvString(content, entry.schema));
-  csv_parse_seconds.Observe(parse_watch.ElapsedSeconds());
   if (entry.rows >= 0 &&
       table->num_rows() != static_cast<size_t>(entry.rows)) {
     return Status::IoError(StrFormat(
@@ -154,14 +335,20 @@ Status SaveWarehouse(const Catalog& catalog, const std::string& directory) {
   manifest << kManifestMagic << ' ' << kManifestVersion << '\n';
   for (const std::string& name : catalog.ListTables()) {
     TELCO_ASSIGN_OR_RETURN(const TablePtr table, catalog.Get(name));
-    const fs::path file = fs::path(directory) / (name + ".csv");
+    const fs::path file = fs::path(directory) / (name + ".tbl");
     TELCO_RETURN_NOT_OK(MaybeInjectFault("warehouse.save.table"));
-    uint32_t crc = 0;
-    TELCO_RETURN_NOT_OK(WriteCsv(*table, file.string(), &crc));
+    std::vector<uint32_t> chunk_crcs;
+    TELCO_ASSIGN_OR_RETURN(const std::string bytes,
+                           SerializeChunkedTable(*table, &chunk_crcs));
+    TELCO_RETURN_NOT_OK(WriteFileAtomic(file.string(), bytes));
     tables_saved.Add();
     rows_written.Add(table->num_rows());
+    std::vector<std::string> crc_hex;
+    crc_hex.reserve(chunk_crcs.size());
+    for (uint32_t crc : chunk_crcs) crc_hex.push_back(Crc32Hex(crc));
     manifest << name << '|' << SchemaToSpec(table->schema()) << '|'
-             << table->num_rows() << '|' << Crc32Hex(crc) << '\n';
+             << table->num_rows() << '|' << table->chunk_rows() << '|'
+             << Join(crc_hex, ",") << '\n';
   }
   TELCO_RETURN_NOT_OK(MaybeInjectFault("warehouse.save.manifest"));
   const fs::path manifest_path = fs::path(directory) / "MANIFEST";
@@ -210,7 +397,9 @@ Status LoadWarehouse(const std::string& directory, Catalog* catalog,
   std::vector<Status> statuses(pending.size(), Status::OK());
   if (pool == nullptr) pool = &ThreadPool::Default();
   pool->ParallelFor(0, pending.size(), [&](size_t i) {
-    const fs::path file = fs::path(directory) / (pending[i].name + ".csv");
+    const fs::path file =
+        fs::path(directory) /
+        (pending[i].name + (pending[i].version >= 3 ? ".tbl" : ".csv"));
     Result<TablePtr> table = RetryWithBackoff(RetryOptions{}, [&] {
       return LoadTableVerified(file.string(), pending[i]);
     });

@@ -1,14 +1,24 @@
 // Warehouse persistence: saves/loads a whole Catalog as a directory of
-// CSV files plus a schema manifest — the repo's stand-in for the paper's
-// HDFS-resident warehouse, and the bridge for bringing real exported
-// telco data into the pipeline.
+// chunked columnar table files plus a schema manifest — the repo's
+// stand-in for the paper's HDFS-resident warehouse, and the bridge for
+// bringing real exported telco data into the pipeline.
+//
+// On-disk format (manifest v3): one `<table>.tbl` per table holding the
+// table's chunks as length-prefixed payloads of encoded Segments
+// (dict/RLE/plain, see storage/segment.h), preserving chunk geometry
+// exactly. The MANIFEST records each table's schema, row count, chunk
+// size and one CRC32 per chunk payload
+// (`name|field:type,...|rows|chunk_rows|crc,crc,...`), so corruption is
+// localised to a chunk before any segment bytes are parsed. Legacy v1/v2
+// warehouses (one `<table>.csv` per table) still load transparently; the
+// next save rewrites the directory in v3.
 //
 // Durability model: every table file and the MANIFEST are written via
 // atomic tmp-write-fsync-rename, and the MANIFEST is written last, so an
 // interrupted SaveWarehouse leaves either the previous complete warehouse
-// or no manifest at all — never a loadable-but-corrupt state. The v2
-// manifest records per-table row counts and CRC32 checksums that
-// LoadWarehouse verifies (fail-closed) before registering any table.
+// or no manifest at all — never a loadable-but-corrupt state. All
+// checksums and row counts are verified (fail-closed) before any table
+// registers.
 
 #ifndef TELCO_STORAGE_WAREHOUSE_IO_H_
 #define TELCO_STORAGE_WAREHOUSE_IO_H_
@@ -23,19 +33,19 @@ namespace telco {
 class ThreadPool;
 
 /// \brief Writes every table of `catalog` into `directory` (created if
-/// missing): one `<table>.csv` per table plus a `MANIFEST` file, written
-/// last, recording each table's schema, row count and CRC32
-/// (`name|field:type,...|rows|crc32hex`).
+/// missing): one chunked `<table>.tbl` per table plus a `MANIFEST` file,
+/// written last, recording each table's schema, row count, chunk size and
+/// per-chunk CRC32s (`name|field:type,...|rows|chunk_rows|crc,crc,...`).
 Status SaveWarehouse(const Catalog& catalog, const std::string& directory);
 
 /// \brief Loads a directory written by SaveWarehouse into `catalog`
-/// (existing tables with the same names are replaced). Per-table CSV
-/// parsing fans out across `pool` (null = the process-wide default pool);
-/// tables register in manifest order regardless of thread count, and the
-/// first failing manifest entry's error is reported. Checksums and row
-/// counts from a v2 manifest are verified before registration; transient
-/// per-table read failures are retried with backoff. Legacy (v1)
-/// manifests without checksums still load.
+/// (existing tables with the same names are replaced). Per-table reading
+/// and decoding fans out across `pool` (null = the process-wide default
+/// pool); tables register in manifest order regardless of thread count,
+/// and the first failing manifest entry's error is reported. Chunk
+/// checksums, chunk geometry and row counts are verified before
+/// registration; transient per-table read failures are retried with
+/// backoff. Legacy v1/v2 CSV warehouses still load.
 Status LoadWarehouse(const std::string& directory, Catalog* catalog,
                      ThreadPool* pool = nullptr);
 

@@ -1,0 +1,289 @@
+// Chunked-vs-contiguous equivalence campaign.
+//
+// The morsel-driven operators must produce byte-identical results no
+// matter how a table is chunked or how many threads execute the morsels.
+// This suite builds seeded random tables (mixed types, nulls, duplicate
+// keys, -0.0 / NaN doubles), runs every operator at chunk sizes
+// {1, 3, 64, 4096, n} x thread counts {1, 4, hardware}, and compares each
+// result against the single-chunk serial baseline through a bit-exact
+// fingerprint (doubles via std::bit_cast, so -0.0 vs 0.0 and NaN payloads
+// count as differences).
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "query/operators.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+#include "storage/storage_options.h"
+
+namespace telco {
+namespace {
+
+constexpr size_t kRows = 777;
+
+// Bit-exact canonical serialization of a table's logical content
+// (schema + cells). Chunk layout does not participate: two tables with
+// equal fingerprints hold identical data regardless of chunking.
+std::string Fingerprint(const Table& t) {
+  std::string out = t.schema().ToString();
+  out.push_back('\n');
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      const Value v = t.GetValue(r, c);
+      if (v.is_null()) {
+        out.push_back('N');
+      } else if (v.is_int64()) {
+        out.push_back('I');
+        const int64_t x = v.int64();
+        out.append(reinterpret_cast<const char*>(&x), sizeof(x));
+      } else if (v.is_double()) {
+        out.push_back('D');
+        const uint64_t bits = std::bit_cast<uint64_t>(v.dbl());
+        out.append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+      } else {
+        out.push_back('S');
+        const uint32_t len = static_cast<uint32_t>(v.str().size());
+        out.append(reinterpret_cast<const char*>(&len), sizeof(len));
+        out.append(v.str());
+      }
+      out.push_back('|');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+// The main fact table: duplicates, nulls, adversarial doubles, strings
+// with embedded NULs and an RLE-friendly sorted column.
+TablePtr BuildOrders(uint64_t seed, size_t n) {
+  TableBuilder builder(Schema({{"id", DataType::kInt64},
+                               {"grp", DataType::kString},
+                               {"amount", DataType::kDouble},
+                               {"day", DataType::kInt64}}));
+  Rng rng(seed);
+  const std::string nul_grp("g\0x", 3);
+  for (size_t r = 0; r < n; ++r) {
+    Value id = rng.Bernoulli(0.05)
+                   ? Value::Null()
+                   : Value(static_cast<int64_t>(rng.UniformInt(uint64_t{40})) -
+                           10);
+    Value grp;
+    const uint64_t g = rng.UniformInt(uint64_t{12});
+    if (g == 11) {
+      grp = Value::Null();
+    } else if (g == 10) {
+      grp = Value(nul_grp);
+    } else {
+      grp = Value("g" + std::to_string(g));
+    }
+    Value amount;
+    switch (rng.UniformInt(uint64_t{8})) {
+      case 0:
+        amount = Value::Null();
+        break;
+      case 1:
+        amount = Value(0.0);
+        break;
+      case 2:
+        amount = Value(-0.0);
+        break;
+      case 3:
+        amount = Value(std::numeric_limits<double>::quiet_NaN());
+        break;
+      default:
+        amount = Value(rng.Uniform(-100.0, 100.0));
+    }
+    const Value day(static_cast<int64_t>(r / 97));  // sorted: RLE bait
+    EXPECT_TRUE(builder.AppendRow({id, grp, amount, day}).ok());
+  }
+  return *builder.Finish();
+}
+
+// The join build side: duplicate and missing keys.
+TablePtr BuildCities(uint64_t seed, size_t n) {
+  TableBuilder builder(Schema(
+      {{"id", DataType::kInt64}, {"city", DataType::kString}}));
+  Rng rng(seed);
+  for (size_t r = 0; r < n; ++r) {
+    Value id = rng.Bernoulli(0.1)
+                   ? Value::Null()
+                   : Value(static_cast<int64_t>(rng.UniformInt(uint64_t{60})) -
+                           20);
+    EXPECT_TRUE(
+        builder
+            .AppendRow({id, Value("c" + std::to_string(rng.UniformInt(
+                                            uint64_t{9})))})
+            .ok());
+  }
+  return *builder.Finish();
+}
+
+Value SafeAbs(const std::vector<Value>& args) {
+  if (args[0].is_null()) return Value::Null();
+  return Value(std::fabs(args[0].AsDouble()));
+}
+
+// Runs the whole operator zoo on freshly built inputs and returns one
+// fingerprint per result, in a fixed order.
+std::vector<std::string> RunAllOperators(uint64_t seed, ThreadPool* pool) {
+  const TablePtr orders = BuildOrders(seed, kRows);
+  const TablePtr cities = BuildCities(seed ^ 0x9e37, 200);
+  std::vector<std::string> prints;
+  auto record = [&](const char* what, const Result<TablePtr>& result) {
+    ASSERT_TRUE(result.ok()) << what << ": " << result.status().ToString();
+    prints.push_back(Fingerprint(**result));
+  };
+
+  record("filter_range",
+         Filter(orders,
+                Expr::And(Expr::Gt(Col("amount"), Lit(Value(0.0))),
+                          Expr::Lt(Col("id"), Lit(Value(20)))),
+                pool));
+  record("filter_string_eq",
+         Filter(orders, Expr::Eq(Col("grp"), Lit(Value("g3"))), pool));
+  record("filter_is_null",
+         Filter(orders, Expr::IsNull(Col("amount")), pool));
+  record("filter_or_not",
+         Filter(orders,
+                Expr::Or(Expr::Not(Expr::Ge(Col("amount"), Lit(Value(-5.0)))),
+                         Expr::Eq(Col("day"), Lit(Value(2)))),
+                pool));
+  record(
+      "project",
+      Project(orders,
+              {{"id2", Expr::Mul(Col("id"), Lit(Value(2))), std::nullopt},
+               {"ratio", Expr::Div(Col("amount"), Col("id")), std::nullopt},
+               {"mag", Expr::Udf("abs", SafeAbs, {Col("amount")}),
+                std::nullopt},
+               {"grp", Col("grp"), std::nullopt}},
+              pool));
+  record("select", SelectColumns(orders, {"amount", "id"}));
+  record("join_inner",
+         HashJoin(orders, cities, {"id"}, {"id"}, JoinType::kInner, "_right",
+                  pool));
+  record("join_left",
+         HashJoin(orders, cities, {"id"}, {"id"}, JoinType::kLeft, "_right",
+                  pool));
+  record("group_by",
+         GroupByAggregate(orders, {"grp"},
+                          {{AggKind::kSum, "amount", "amount_sum"},
+                           {AggKind::kMean, "amount", "amount_mean"},
+                           {AggKind::kMin, "amount", "amount_min"},
+                           {AggKind::kMax, "amount", "amount_max"},
+                           {AggKind::kCount, "", "rows"},
+                           {AggKind::kCount, "amount", "amount_n"},
+                           {AggKind::kCountDistinct, "id", "ids"},
+                           {AggKind::kFirst, "day", "first_day"}},
+                          pool));
+  record("group_by_multi_key",
+         GroupByAggregate(orders, {"day", "grp"},
+                          {{AggKind::kSum, "amount", "s"}}, pool));
+  record("group_by_global",
+         GroupByAggregate(orders, {},
+                          {{AggKind::kSum, "amount", "total"},
+                           {AggKind::kCount, "", "n"}},
+                          pool));
+  record("sort",
+         SortBy(orders, {{"grp", true}, {"amount", false}, {"id", true}},
+                pool));
+  record("limit_7", Limit(orders, 7));
+  record("limit_all", Limit(orders, kRows + 5));
+  record("union", Union({orders, orders}));
+
+  // A full fluent pipeline, the shape feature jobs actually run.
+  Catalog catalog;
+  catalog.RegisterOrReplace("orders", orders);
+  catalog.RegisterOrReplace("cities", cities);
+  record("pipeline", Query::From(catalog, "orders")
+                         .Filter(Expr::Ge(Col("amount"), Lit(Value(-50.0))))
+                         .Join(catalog, "cities", {"id"}, {"id"})
+                         .GroupBy({"city"}, {{AggKind::kSum, "amount", "s"},
+                                             {AggKind::kCount, "", "n"}})
+                         .OrderBy({{"s", false}})
+                         .Execute());
+  return prints;
+}
+
+class ChunkedEquivalenceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetDefaultChunkRows(0);  // restore TELCO_CHUNK_SIZE / built-in default
+  }
+};
+
+TEST_F(ChunkedEquivalenceTest, AllOperatorsAcrossChunkSizesAndThreads) {
+  constexpr uint64_t kSeed = 0x5eed0001;
+
+  // Baseline: one chunk, one thread.
+  SetDefaultChunkRows(kRows);
+  ThreadPool serial(1);
+  const std::vector<std::string> baseline = RunAllOperators(kSeed, &serial);
+  ASSERT_FALSE(baseline.empty());
+
+  const size_t chunk_sizes[] = {1, 3, 64, 4096, kRows};
+  const size_t hw = ThreadPool::DefaultNumThreads();
+  const size_t thread_counts[] = {1, 4, hw < 2 ? 2 : hw};
+  for (const size_t chunk_rows : chunk_sizes) {
+    SetDefaultChunkRows(chunk_rows);
+    for (const size_t threads : thread_counts) {
+      ThreadPool pool(threads);
+      const std::vector<std::string> got = RunAllOperators(kSeed, &pool);
+      ASSERT_EQ(got.size(), baseline.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], baseline[i])
+            << "result " << i << " diverges at chunk_rows=" << chunk_rows
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_F(ChunkedEquivalenceTest, EncodingOffMatchesEncodingOn) {
+  constexpr uint64_t kSeed = 0x5eed0002;
+  SetDefaultChunkRows(64);
+  ThreadPool pool(4);
+  const std::vector<std::string> encoded = RunAllOperators(kSeed, &pool);
+  SetSegmentEncodingEnabled(false);
+  const std::vector<std::string> plain = RunAllOperators(kSeed, &pool);
+  SetSegmentEncodingEnabled(true);
+  ASSERT_EQ(encoded.size(), plain.size());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    EXPECT_EQ(encoded[i], plain[i]) << "result " << i;
+  }
+}
+
+TEST_F(ChunkedEquivalenceTest, TakeRowsAndColumnViewAgree) {
+  // The lazily materialized contiguous column() view must agree with
+  // chunked GetValue access cell-for-cell.
+  constexpr uint64_t kSeed = 0x5eed0003;
+  SetDefaultChunkRows(31);
+  const TablePtr t = BuildOrders(kSeed, 300);
+  EXPECT_EQ(t->num_chunks(), 10u);
+  for (size_t c = 0; c < t->num_columns(); ++c) {
+    const Column& col = t->column(c);
+    ASSERT_EQ(col.size(), t->num_rows());
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      const Value a = col.GetValue(r);
+      const Value b = t->GetValue(r, c);
+      ASSERT_EQ(a.is_null(), b.is_null()) << r << "," << c;
+      if (!a.is_null() && a.is_double()) {
+        ASSERT_EQ(std::bit_cast<uint64_t>(a.dbl()),
+                  std::bit_cast<uint64_t>(b.dbl()));
+      } else if (!a.is_null()) {
+        ASSERT_EQ(a.ToString(), b.ToString());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace telco

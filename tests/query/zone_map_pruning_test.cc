@@ -1,0 +1,205 @@
+// Zone-map pruning: Filter must skip chunks its conjuncts prove empty,
+// the `storage.scan.chunks_pruned` counter must record the skips, and —
+// the invariant that matters — pruned output must be bit-identical to
+// the same filter with pruning disabled.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/telemetry/metrics.h"
+#include "query/operators.h"
+#include "storage/storage_options.h"
+
+namespace telco {
+namespace {
+
+uint64_t CounterValue(const char* name) {
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const MetricValue* m = snap.Find(name);
+  return m == nullptr ? 0 : m->counter;
+}
+
+std::string Fingerprint(const Table& t) {
+  std::string out;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      const Value v = t.GetValue(r, c);
+      if (v.is_null()) {
+        out += "N|";
+      } else if (v.is_double()) {
+        const uint64_t bits = std::bit_cast<uint64_t>(v.dbl());
+        out.append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+        out += '|';
+      } else {
+        out += v.ToString() + "|";
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+// A table whose `seq` column is globally increasing, so range predicates
+// are selective at chunk granularity; `noise` defeats pruning.
+TablePtr BuildSequential(size_t n) {
+  TableBuilder builder(Schema({{"seq", DataType::kInt64},
+                               {"noise", DataType::kDouble},
+                               {"label", DataType::kString}}));
+  Rng rng(42);
+  for (size_t r = 0; r < n; ++r) {
+    EXPECT_TRUE(builder
+                    .AppendRow({Value(static_cast<int64_t>(r)),
+                                Value(rng.Uniform(-1.0, 1.0)),
+                                Value(r % 2 == 0 ? "even" : "odd")})
+                    .ok());
+  }
+  return *builder.Finish();
+}
+
+class ZoneMapPruningTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetDefaultChunkRows(0);
+    SetZoneMapPruningEnabled(true);
+  }
+};
+
+TEST_F(ZoneMapPruningTest, SelectivePredicatePrunesAndMatchesUnpruned) {
+  SetDefaultChunkRows(100);
+  const TablePtr t = BuildSequential(1000);
+  ASSERT_EQ(t->num_chunks(), 10u);
+
+  struct Case {
+    const char* name;
+    ExprPtr pred;
+    size_t min_pruned;  // chunks provably skippable out of 10
+  };
+  const Case cases[] = {
+      {"gt_tail", Expr::Gt(Col("seq"), Lit(Value(899))), 9},
+      {"ge_tail", Expr::Ge(Col("seq"), Lit(Value(900))), 9},
+      {"lt_head", Expr::Lt(Col("seq"), Lit(Value(100))), 9},
+      {"le_head", Expr::Le(Col("seq"), Lit(Value(99))), 9},
+      {"eq_mid", Expr::Eq(Col("seq"), Lit(Value(555))), 9},
+      {"eq_absent", Expr::Eq(Col("seq"), Lit(Value(10'000))), 10},
+      {"mirrored", Expr::Lt(Lit(Value(899)), Col("seq")), 9},
+      {"conjunction",
+       Expr::And(Expr::Gt(Col("seq"), Lit(Value(250))),
+                 Expr::Le(Col("seq"), Lit(Value(349)))),
+       8},
+      // The noise column spans every chunk: nothing prunable.
+      {"unprunable", Expr::Gt(Col("noise"), Lit(Value(0.0))), 0},
+      // String predicates carry no zone maps: nothing prunable.
+      {"string_eq", Expr::Eq(Col("label"), Lit(Value("even"))), 0},
+  };
+  for (const auto& c : cases) {
+    SetZoneMapPruningEnabled(true);
+    const uint64_t pruned_before = CounterValue("storage.scan.chunks_pruned");
+    auto pruned_result = Filter(t, c.pred);
+    ASSERT_TRUE(pruned_result.ok()) << c.name;
+    const uint64_t pruned =
+        CounterValue("storage.scan.chunks_pruned") - pruned_before;
+    EXPECT_GE(pruned, c.min_pruned) << c.name;
+
+    SetZoneMapPruningEnabled(false);
+    const uint64_t pruned_off_before =
+        CounterValue("storage.scan.chunks_pruned");
+    auto full_result = Filter(t, c.pred);
+    ASSERT_TRUE(full_result.ok()) << c.name;
+    EXPECT_EQ(CounterValue("storage.scan.chunks_pruned"), pruned_off_before)
+        << c.name << ": pruning disabled must not prune";
+
+    EXPECT_EQ(Fingerprint(**pruned_result), Fingerprint(**full_result))
+        << c.name << ": pruned and unpruned outputs diverge";
+  }
+}
+
+TEST_F(ZoneMapPruningTest, NanCellsBlockEqFamilyPruning) {
+  // The comparison engine treats NaN operands as "equal", so a chunk of
+  // NaNs satisfies ==/<=/>= and must never be pruned for those ops.
+  SetDefaultChunkRows(4);
+  TableBuilder builder(Schema({{"x", DataType::kDouble}}));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(builder.AppendRow({Value(nan)}).ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(builder.AppendRow({Value(1.0)}).ok());
+  }
+  const TablePtr t = *builder.Finish();
+  ASSERT_EQ(t->num_chunks(), 2u);
+
+  for (ExprPtr pred : {Expr::Eq(Col("x"), Lit(Value(5.0))),
+                       Expr::Le(Col("x"), Lit(Value(-9.0))),
+                       Expr::Ge(Col("x"), Lit(Value(9.0)))}) {
+    SetZoneMapPruningEnabled(true);
+    auto with = Filter(t, pred);
+    SetZoneMapPruningEnabled(false);
+    auto without = Filter(t, pred);
+    ASSERT_TRUE(with.ok() && without.ok());
+    EXPECT_EQ(Fingerprint(**with), Fingerprint(**without))
+        << pred->ToString();
+    // All four NaN rows satisfy the eq-family predicate.
+    EXPECT_EQ((*with)->num_rows(), 4u) << pred->ToString();
+  }
+
+  // NaN never satisfies <, > or !=: those chunks prune away — and the
+  // result still matches the unpruned scan.
+  for (ExprPtr pred : {Expr::Lt(Col("x"), Lit(Value(100.0))),
+                       Expr::Gt(Col("x"), Lit(Value(-100.0))),
+                       Expr::Ne(Col("x"), Lit(Value(7.0)))}) {
+    SetZoneMapPruningEnabled(true);
+    auto with = Filter(t, pred);
+    SetZoneMapPruningEnabled(false);
+    auto without = Filter(t, pred);
+    ASSERT_TRUE(with.ok() && without.ok());
+    EXPECT_EQ(Fingerprint(**with), Fingerprint(**without))
+        << pred->ToString();
+    EXPECT_EQ((*with)->num_rows(), 4u) << pred->ToString();
+  }
+}
+
+TEST_F(ZoneMapPruningTest, NullOnlyChunksPrune) {
+  SetDefaultChunkRows(5);
+  TableBuilder builder(Schema({{"x", DataType::kInt64}}));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(builder.AppendRow({Value::Null()}).ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(builder.AppendRow({Value(3)}).ok());
+  }
+  const TablePtr t = *builder.Finish();
+  const uint64_t before = CounterValue("storage.scan.chunks_pruned");
+  auto result = Filter(t, Expr::Eq(Col("x"), Lit(Value(3))));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 5u);
+  EXPECT_GE(CounterValue("storage.scan.chunks_pruned") - before, 1u);
+}
+
+TEST_F(ZoneMapPruningTest, AlwaysFalseConjunctsPruneEverything) {
+  SetDefaultChunkRows(10);
+  const TablePtr t = BuildSequential(100);
+  // Comparison with a null literal is null for every row.
+  auto r1 = Filter(t, Expr::Gt(Col("seq"), Lit(Value::Null())));
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ((*r1)->num_rows(), 0u);
+  // Numeric column vs string literal: incomparable, null for every row.
+  auto r2 = Filter(t, Expr::Eq(Col("seq"), Lit(Value("five"))));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r2)->num_rows(), 0u);
+  // And both must agree with the pruning-disabled scan.
+  SetZoneMapPruningEnabled(false);
+  auto r1_off = Filter(t, Expr::Gt(Col("seq"), Lit(Value::Null())));
+  auto r2_off = Filter(t, Expr::Eq(Col("seq"), Lit(Value("five"))));
+  ASSERT_TRUE(r1_off.ok() && r2_off.ok());
+  EXPECT_EQ((*r1_off)->num_rows(), 0u);
+  EXPECT_EQ((*r2_off)->num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace telco

@@ -1,7 +1,11 @@
 #include "storage/warehouse_io.h"
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -9,6 +13,8 @@
 #include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "storage/atomic_file.h"
+#include "storage/csv.h"
+#include "storage/storage_options.h"
 
 namespace telco {
 namespace {
@@ -84,18 +90,73 @@ TEST(WarehouseIoTest, EmptyCatalogRoundTrips) {
   std::filesystem::remove_all(dir);
 }
 
-TEST(WarehouseIoTest, ManifestRecordsRowCountsAndChecksums) {
+TEST(WarehouseIoTest, ManifestRecordsRowCountsAndChunkChecksums) {
   Catalog original;
   original.RegisterOrReplace("t", SampleTable());
-  const std::string dir = FreshDir("manifest_v2");
+  const std::string dir = FreshDir("manifest_v3");
   ASSERT_TRUE(SaveWarehouse(original, dir).ok());
   auto manifest = ReadFileToString(dir + "/MANIFEST");
   ASSERT_TRUE(manifest.ok());
-  EXPECT_TRUE(StartsWith(*manifest, "telcochurn-warehouse 2\n")) << *manifest;
-  // name|schema|rows|crc
+  EXPECT_TRUE(StartsWith(*manifest, "telcochurn-warehouse 3\n")) << *manifest;
+  // name|schema|rows|chunk_rows|crc,crc,...
   EXPECT_NE(manifest->find("t|id:int64,name:string,v:double|2|"),
             std::string::npos)
       << *manifest;
+  EXPECT_TRUE(std::filesystem::exists(dir + "/t.tbl"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WarehouseIoTest, ChunkGeometryAndDoublesSurviveRoundTrip) {
+  // Chunked saves must preserve chunk geometry and every double bit
+  // pattern (NaN, -0.0, denormals) exactly — the checkpoint/resume
+  // bit-identity guarantee depends on it.
+  SetDefaultChunkRows(3);
+  TableBuilder builder(Schema({{"x", DataType::kDouble}}));
+  const double specials[] = {std::numeric_limits<double>::quiet_NaN(),
+                             -0.0,
+                             std::numeric_limits<double>::denorm_min(),
+                             std::numeric_limits<double>::infinity(),
+                             -1.5,
+                             0.1,
+                             1e300,
+                             -std::numeric_limits<double>::infinity()};
+  for (double d : specials) ASSERT_TRUE(builder.AppendRow({Value(d)}).ok());
+  ASSERT_TRUE(builder.AppendRow({Value::Null()}).ok());
+  const TablePtr t = *builder.Finish();
+  SetDefaultChunkRows(0);
+  ASSERT_EQ(t->num_chunks(), 3u);
+
+  Catalog original;
+  original.RegisterOrReplace("t", t);
+  const std::string dir = FreshDir("geometry");
+  ASSERT_TRUE(SaveWarehouse(original, dir).ok());
+  Catalog loaded;
+  ASSERT_TRUE(LoadWarehouse(dir, &loaded).ok());
+  const TablePtr back = *loaded.Get("t");
+  EXPECT_EQ(back->chunk_rows(), 3u);
+  EXPECT_EQ(back->num_chunks(), 3u);
+  ASSERT_EQ(back->num_rows(), t->num_rows());
+  for (size_t r = 0; r < std::size(specials); ++r) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(back->GetValue(r, 0).dbl()),
+              std::bit_cast<uint64_t>(specials[r]))
+        << "row " << r;
+  }
+  EXPECT_TRUE(back->GetValue(8, 0).is_null());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WarehouseIoTest, SaveChunkFaultFailsSave) {
+  Catalog original;
+  original.RegisterOrReplace("t", SampleTable());
+  const std::string dir = FreshDir("chunkfault");
+  ::setenv("TELCO_FAULT", "warehouse.save.chunk:1:error", 1);
+  ResetFaultInjection();
+  const Status st = SaveWarehouse(original, dir);
+  ::unsetenv("TELCO_FAULT");
+  ResetFaultInjection();
+  EXPECT_FALSE(st.ok());
+  // Manifest-last: the aborted save must not leave a MANIFEST behind.
+  EXPECT_FALSE(std::filesystem::exists(dir + "/MANIFEST"));
   std::filesystem::remove_all(dir);
 }
 
@@ -105,12 +166,13 @@ TEST(WarehouseIoTest, CorruptTableFailsClosed) {
   original.RegisterOrReplace("tampered", SampleTable());
   const std::string dir = FreshDir("corrupt");
   ASSERT_TRUE(SaveWarehouse(original, dir).ok());
-  // Flip bytes in one table without updating the manifest.
-  auto content = ReadFileToString(dir + "/tampered.csv");
+  // Flip a payload byte in one table without updating the manifest. The
+  // last byte of the file is always inside the last chunk's payload.
+  auto content = ReadFileToString(dir + "/tampered.tbl");
   ASSERT_TRUE(content.ok());
   std::string tampered = *content;
-  tampered[tampered.size() / 2] ^= 0x20;
-  ASSERT_TRUE(WriteFileAtomic(dir + "/tampered.csv", tampered).ok());
+  tampered.back() ^= 0x20;
+  ASSERT_TRUE(WriteFileAtomic(dir + "/tampered.tbl", tampered).ok());
 
   Catalog loaded;
   const Status st = LoadWarehouse(dir, &loaded);
@@ -126,14 +188,14 @@ TEST(WarehouseIoTest, RowCountMismatchFailsClosed) {
   original.RegisterOrReplace("t", SampleTable());
   const std::string dir = FreshDir("rowcount");
   ASSERT_TRUE(SaveWarehouse(original, dir).ok());
-  // Rewrite the manifest claiming one extra row, with a matching crc so
-  // only the row-count check can catch it.
-  auto table_bytes = ReadFileToString(dir + "/t.csv");
-  ASSERT_TRUE(table_bytes.ok());
-  const std::string manifest =
-      "telcochurn-warehouse 2\nt|id:int64,name:string,v:double|3|" +
-      Crc32Hex(Crc32(*table_bytes)) + "\n";
-  ASSERT_TRUE(WriteFileAtomic(dir + "/MANIFEST", manifest).ok());
+  // Rewrite the manifest claiming one extra row but keep the chunk CRCs
+  // intact, so only the row-count check can catch it.
+  auto manifest = ReadFileToString(dir + "/MANIFEST");
+  ASSERT_TRUE(manifest.ok());
+  const size_t rows_field = manifest->find("|2|");
+  ASSERT_NE(rows_field, std::string::npos) << *manifest;
+  (*manifest)[rows_field + 1] = '3';
+  ASSERT_TRUE(WriteFileAtomic(dir + "/MANIFEST", *manifest).ok());
   Catalog loaded;
   const Status st = LoadWarehouse(dir, &loaded);
   EXPECT_TRUE(st.IsIoError()) << st.ToString();
@@ -146,26 +208,75 @@ TEST(WarehouseIoTest, MissingTableFileFailsClosed) {
   original.RegisterOrReplace("t", SampleTable());
   const std::string dir = FreshDir("missing_table");
   ASSERT_TRUE(SaveWarehouse(original, dir).ok());
-  std::filesystem::remove(dir + "/t.csv");
+  std::filesystem::remove(dir + "/t.tbl");
   Catalog loaded;
   EXPECT_TRUE(LoadWarehouse(dir, &loaded).IsIoError());
   EXPECT_EQ(loaded.size(), 0u);
   std::filesystem::remove_all(dir);
 }
 
+// Hand-builds a legacy CSV warehouse (v1 or v2) the way pre-chunked
+// builds wrote them: one <name>.csv per table plus the era's MANIFEST.
+void WriteLegacyWarehouse(const std::string& dir, int version,
+                          uint32_t* crc_out) {
+  std::filesystem::create_directories(dir);
+  uint32_t crc = 0;
+  ASSERT_TRUE(WriteCsv(*SampleTable(), dir + "/t.csv", &crc).ok());
+  std::string manifest;
+  if (version == 1) {
+    manifest = "t|id:int64,name:string,v:double\n";
+  } else {
+    manifest = "telcochurn-warehouse 2\nt|id:int64,name:string,v:double|2|" +
+               Crc32Hex(crc) + "\n";
+  }
+  ASSERT_TRUE(WriteFileAtomic(dir + "/MANIFEST", manifest).ok());
+  if (crc_out != nullptr) *crc_out = crc;
+}
+
 TEST(WarehouseIoTest, LegacyV1ManifestStillLoads) {
-  Catalog original;
-  original.RegisterOrReplace("t", SampleTable());
-  const std::string dir = FreshDir("legacy");
-  ASSERT_TRUE(SaveWarehouse(original, dir).ok());
-  // Downgrade the manifest to the pre-checksum format: no header line,
-  // name|schema only.
-  ASSERT_TRUE(WriteFileAtomic(dir + "/MANIFEST",
-                              "t|id:int64,name:string,v:double\n")
-                  .ok());
+  const std::string dir = FreshDir("legacy_v1");
+  WriteLegacyWarehouse(dir, 1, nullptr);
   Catalog loaded;
   ASSERT_TRUE(LoadWarehouse(dir, &loaded).ok());
   EXPECT_EQ((*loaded.Get("t"))->num_rows(), 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WarehouseIoTest, LegacyV2WarehouseLoadsAndUpgradesOnSave) {
+  const std::string dir = FreshDir("legacy_v2");
+  WriteLegacyWarehouse(dir, 2, nullptr);
+  Catalog loaded;
+  ASSERT_TRUE(LoadWarehouse(dir, &loaded).ok());
+  const TablePtr t = *loaded.Get("t");
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_TRUE(t->GetValue(1, 1).is_null());
+  EXPECT_DOUBLE_EQ(t->GetValue(1, 2).dbl(), 1.25);
+
+  // Re-saving the loaded catalog upgrades the directory to v3 chunked
+  // files; a fresh load reads the upgraded format.
+  ASSERT_TRUE(SaveWarehouse(loaded, dir).ok());
+  auto manifest = ReadFileToString(dir + "/MANIFEST");
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_TRUE(StartsWith(*manifest, "telcochurn-warehouse 3\n")) << *manifest;
+  EXPECT_TRUE(std::filesystem::exists(dir + "/t.tbl"));
+  Catalog reloaded;
+  ASSERT_TRUE(LoadWarehouse(dir, &reloaded).ok());
+  EXPECT_EQ((*reloaded.Get("t"))->num_rows(), 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WarehouseIoTest, LegacyV2CorruptCsvStillFailsClosed) {
+  const std::string dir = FreshDir("legacy_v2_corrupt");
+  WriteLegacyWarehouse(dir, 2, nullptr);
+  auto csv = ReadFileToString(dir + "/t.csv");
+  ASSERT_TRUE(csv.ok());
+  std::string tampered = *csv;
+  tampered[tampered.size() / 2] ^= 0x20;
+  ASSERT_TRUE(WriteFileAtomic(dir + "/t.csv", tampered).ok());
+  Catalog loaded;
+  const Status st = LoadWarehouse(dir, &loaded);
+  EXPECT_TRUE(st.IsIoError()) << st.ToString();
+  EXPECT_EQ(loaded.size(), 0u);
   std::filesystem::remove_all(dir);
 }
 

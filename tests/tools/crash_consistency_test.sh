@@ -94,7 +94,8 @@ test "$N" -ge 8 || fail "expected at least 8 fault sites, saw $N"
 # valid-but-incomplete warehouse: either the load refuses, or (kill after
 # the final rename) the warehouse is complete and produces baseline
 # results.
-for SITE in warehouse.save.table warehouse.save.manifest atomic.commit; do
+for SITE in warehouse.save.table warehouse.save.chunk \
+            warehouse.save.manifest atomic.commit; do
   DIR="$WORKDIR/wh_$(echo "$SITE" | tr '.' '_')"
   set +e
   TELCO_FAULT="$SITE:1" "$CLI" simulate --out "$DIR" --customers 900 \
@@ -125,6 +126,16 @@ for SITE in warehouse.save.table warehouse.save.manifest atomic.commit; do
       || fail "evaluate after re-simulate at $SITE"
   cmp -s "$WORKDIR/base_metrics" "$WORKDIR/wh_metrics" \
       || fail "re-simulate at $SITE diverged"
+
+  # The recovered warehouse must be byte-identical to the baseline one:
+  # same MANIFEST (chunk geometry + per-chunk CRCs) and same chunked
+  # table files. Anything less means the chunked save is nondeterministic.
+  cmp -s "$WORKDIR/wh/MANIFEST" "$DIR/MANIFEST" \
+      || fail "re-simulate at $SITE: MANIFEST differs from baseline"
+  for TBL in "$WORKDIR/wh"/*.tbl; do
+    cmp -s "$TBL" "$DIR/$(basename "$TBL")" \
+        || fail "re-simulate at $SITE: $(basename "$TBL") differs"
+  done
 done
 
 echo "crash consistency ok"

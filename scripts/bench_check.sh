@@ -143,6 +143,28 @@ for name in $(jq -r '.benchmarks[].name' "$BASELINE_DIR/BENCH_micro_ml.json"); d
   compare "$name" "$new_ips" "$base_ips"
 done
 
+echo "== bench_scale (SF 0.1 streamed datagen, best of $RUNS) =="
+# Gen phase only: the pipeline walls are tracked in the committed
+# baseline/EXPERIMENTS.md but are too slow (and too build-noise-prone)
+# for a per-commit gate. Throughput of the streamed generator is the
+# number the tentpole must not lose.
+scale_best=""
+i=0
+while [ "$i" -lt "$RUNS" ]; do
+  TELCO_BENCH_REPORT_DIR="$TMP_DIR" "$BUILD_DIR/bench/bench_scale" \
+    --sf 0.1 --gen-only \
+    > "$TMP_DIR/scale.out" 2>&1 || { cat "$TMP_DIR/scale.out"; exit 1; }
+  gen_rps=$(jq -r '.config["sf0.1.gen_rows_per_sec"] // empty' \
+    "$TMP_DIR/BENCH_scale.json")
+  echo "  run $((i + 1)): ${gen_rps:-n/a} rows/s generated"
+  scale_best=$(awk -v a="${scale_best:-0}" -v b="${gen_rps:-0}" \
+    'BEGIN { print (b + 0 > a + 0) ? b : a }')
+  i=$((i + 1))
+done
+compare "scale.sf0.1.gen_rows_per_sec" "$scale_best" \
+  "$(jq -r '.config["sf0.1.gen_rows_per_sec"] // empty' \
+    "$BASELINE_DIR/BENCH_scale.json")"
+
 if [ -e "$FAIL_MARKER" ]; then
   echo "bench_check: throughput regression detected (>10% below baseline)"
   exit 1

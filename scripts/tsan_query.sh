@@ -20,6 +20,7 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTELCO_SANITIZE=thread
 cmake --build "$BUILD_DIR" \
     --target telco_query_test telco_storage_test \
+    telco_streaming_warehouse_test \
     -j "$(nproc)"
 cd "$BUILD_DIR"
 
@@ -39,3 +40,10 @@ ctest -R 'ChunkedEquivalence' --output-on-failure --repeat until-fail:3
 # Warehouse soak: parallel per-table chunked decode + segment
 # round-trips racing on the default pool.
 ctest -R 'WarehouseIo|Segment' --output-on-failure --repeat until-fail:3
+
+# Streaming-ingest soak: wave-parallel shard generation splicing into
+# one ChunkSink, per-chunk encode/flush on the writer thread, and the
+# chunk-size × thread-count byte-identity matrix of the streamed
+# warehouse build.
+ctest -R 'ChunkSink|StreamingWarehouse' --output-on-failure \
+    --repeat until-fail:2

@@ -23,6 +23,7 @@ const char* const kSites[] = {
     "warehouse.save.table",     // SaveWarehouse: before each table commit
     "warehouse.save.chunk",     // SaveWarehouse: before each chunk serialise
     "warehouse.save.manifest",  // SaveWarehouse: before MANIFEST commit
+    "warehouse.stream.chunk",   // StreamingTableSink: before each chunk write
     "warehouse.load.table",     // LoadWarehouse: per-table read (retried)
     "model.save",               // SaveRandomForest: before commit
     "model.load",               // LoadRandomForest: file read (retried)

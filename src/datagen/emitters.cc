@@ -1,10 +1,11 @@
 #include "datagen/emitters.h"
 
+#include <algorithm>
 #include <cmath>
-#include <unordered_map>
-#include <unordered_set>
+#include <functional>
 
 #include "common/math_util.h"
+#include "common/telemetry/metrics.h"
 #include "datagen/table_names.h"
 
 namespace telco {
@@ -117,414 +118,577 @@ void CellLatLon(int cell, double* lat, double* lon) {
   *lon = 121.2 + 0.01 * static_cast<double>(cell / 16);
 }
 
-Status EmitCdr(const Population& pop, Catalog* catalog, Rng rng) {
-  const int month = pop.current_month();
-  const int weeks = pop.config().weeks_per_month;
-  TableBuilder builder(CdrSchema());
-  builder.Reserve(pop.active().size() * weeks);
-  std::vector<Value> row(31);
-  for (uint32_t index : pop.active()) {
-    const CustomerTraits& t = pop.customers()[index];
-    const CustomerMonthState& s = pop.state(index);
-    for (int w = 0; w < weeks; ++w) {
-      const double e = s.weekly_engagement[w];
-      // Weekly voice minutes scale with engagement and voice affinity.
-      const double v = 110.0 * e * t.voice_affinity *
-                       std::pow(t.arpu_level, 0.3) * rng.LogNormal(0.0, 0.2);
-      const double called = v * (0.6 + 0.5 * t.social_activity) *
-                            rng.LogNormal(0.0, 0.2);
-      const double sms = t.uses_sms
-                             ? 8.0 * e * t.social_activity *
-                                   rng.LogNormal(0.0, 0.3)
-                             : 0.0;
-      const double flux = 900.0 * e * t.data_affinity *
-                          rng.LogNormal(0.0, 0.3);
-      size_t c = 0;
-      row[c++] = Value(t.imsi);
-      row[c++] = Value(static_cast<int64_t>(w + 1));
-      row[c++] = Value(v * 0.38);                          // localbase inner
-      row[c++] = Value(v * 0.17);                          // localbase outer
-      row[c++] = Value(v * 0.12);                          // long distance
-      row[c++] = Value(v * 0.05 * rng.LogNormal(0.0, 0.5));  // roam
-      row[c++] = Value(called * 0.55);                     // localbase called
-      row[c++] = Value(called * 0.12);                     // ld called
-      row[c++] = Value(called * 0.04);                     // roam called
-      row[c++] = Value(v * 0.10);                          // to China Mobile
-      row[c++] = Value(v * 0.06);                          // to China Telecom
-      row[c++] = Value(v * 0.30);                          // busy time
-      row[c++] = Value(v * 0.03);                          // festival
-      row[c++] = Value(v * 0.08);                          // free
-      row[c++] = Value(v);                                 // voice_dur
-      row[c++] = Value(v * 0.63);                          // caller_dur
-      row[c++] = Value(std::floor(v / 2.4) + 1.0);         // all_call_cnt
-      row[c++] = Value(std::floor(v / 2.6));               // voice_cnt
-      row[c++] = Value(std::floor(v * 0.55 / 2.5));        // local cnt
-      row[c++] = Value(std::floor(v * 0.12 / 3.0));        // ld cnt
-      row[c++] = Value(std::floor(v * 0.05 / 3.0));        // roam cnt
-      row[c++] = Value(std::floor(v * 0.63 / 2.5));        // caller cnt
-      row[c++] = Value(static_cast<double>(rng.Poisson(
-          0.10 + 0.9 * s.dissatisfaction)));               // 10010 calls
-      row[c++] = Value(static_cast<double>(rng.Poisson(
-          0.04 + 0.4 * s.dissatisfaction)));               // manual 10010
-      row[c++] = Value(sms);                               // sms mo
-      row[c++] = Value(sms * 1.2);                         // sms mt
-      row[c++] = Value(sms * 0.15);                        // info sms
-      row[c++] = Value(1.0 + std::floor(sms * 0.05));      // billing sms
-      row[c++] = Value(sms * 0.08);                        // mms
-      row[c++] = Value(sms * 0.09);                        // mms mt
-      row[c++] = Value(flux);                              // gprs flux (MB)
-      builder.AppendRowUnchecked(row);
+std::vector<Column> MakeColumns(const Schema& schema) {
+  std::vector<Column> cols;
+  cols.reserve(schema.num_fields());
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    cols.emplace_back(schema.field(i).type);
+  }
+  return cols;
+}
+
+void AppendRowTo(std::vector<Column>* cols, const std::vector<Value>& row) {
+  for (size_t i = 0; i < row.size(); ++i) (*cols)[i].Append(row[i]);
+}
+
+/// A shard generator fills one column set per output writer for items
+/// [begin, end), drawing only from the shard's own RNG.
+using ShardGenFn =
+    std::function<void(size_t begin, size_t end, Rng* rng,
+                       std::vector<std::vector<Column>>* out)>;
+
+// Sharded generation driver: splits [0, num_items) into fixed-size
+// shards, generates a wave of shards in parallel — each from its own
+// deterministic RNG stream Rng(HashCombine64(family_seed, shard)) — then
+// splices the wave into the writers in shard order. Peak memory is one
+// wave of shard buffers, and the emitted rows do not depend on the
+// thread count or on how the sink chunks them.
+Status ShardedEmit(size_t num_items, uint64_t family_seed,
+                   const EmitOptions& options,
+                   const std::vector<ChunkedTableWriter*>& writers,
+                   const ShardGenFn& gen) {
+  static const Counter rows_emitted =
+      MetricsRegistry::Global().GetCounter("datagen.rows_emitted");
+  ThreadPool* pool =
+      options.pool != nullptr ? options.pool : &ThreadPool::Default();
+  const size_t shard_items = std::max<size_t>(1, options.shard_items);
+  const size_t num_shards = (num_items + shard_items - 1) / shard_items;
+  const size_t wave = std::max<size_t>(1, pool->num_threads());
+  std::vector<std::vector<std::vector<Column>>> buffers;
+  for (size_t w0 = 0; w0 < num_shards; w0 += wave) {
+    const size_t w1 = std::min(num_shards, w0 + wave);
+    buffers.assign(w1 - w0, {});
+    pool->ParallelFor(w0, w1, [&](size_t shard) {
+      const size_t begin = shard * shard_items;
+      const size_t end = std::min(num_items, begin + shard_items);
+      Rng rng(HashCombine64(family_seed, shard));
+      std::vector<std::vector<Column>> out(writers.size());
+      for (size_t t = 0; t < writers.size(); ++t) {
+        out[t] = MakeColumns(writers[t]->schema());
+      }
+      gen(begin, end, &rng, &out);
+      buffers[shard - w0] = std::move(out);
+    });
+    for (auto& shard_out : buffers) {
+      for (size_t t = 0; t < writers.size(); ++t) {
+        const size_t rows = shard_out[t].empty() ? 0 : shard_out[t][0].size();
+        TELCO_RETURN_NOT_OK(writers[t]->AppendColumns(shard_out[t]));
+        rows_emitted.Add(rows);
+      }
+      shard_out.clear();
     }
   }
-  TELCO_ASSIGN_OR_RETURN(TablePtr table, builder.Finish());
-  catalog->RegisterOrReplace(CdrTableName(month), std::move(table));
   return Status::OK();
 }
 
-Status EmitBilling(const Population& pop, Catalog* catalog, Rng rng) {
+Status EmitCdr(const Population& pop, WarehouseSink* sink,
+               uint64_t family_seed, const EmitOptions& options) {
   const int month = pop.current_month();
-  TableBuilder builder(BillingSchema());
-  builder.Reserve(pop.active().size());
-  std::vector<Value> row(17);
-  for (uint32_t index : pop.active()) {
-    const CustomerTraits& t = pop.customers()[index];
-    const CustomerMonthState& s = pop.state(index);
-    const double minutes = 420.0 * s.engagement * t.voice_affinity *
-                           rng.LogNormal(0.0, 0.15);
-    const double flux = 3600.0 * s.engagement * t.data_affinity *
-                        rng.LogNormal(0.0, 0.2);
-    const double sms = t.uses_sms ? 30.0 * s.engagement * t.social_activity
-                                  : 0.0;
-    size_t c = 0;
-    row[c++] = Value(t.imsi);
-    row[c++] = Value(s.recharge_amount);
-    row[c++] = Value(s.balance);
-    row[c++] = Value(s.recharge_amount / (s.balance + 1.0));
-    row[c++] = Value(flux * 0.01 * rng.LogNormal(0.0, 0.2));
-    row[c++] = Value(flux);
-    row[c++] = Value(minutes * 0.62);
-    row[c++] = Value(minutes * 0.23);
-    row[c++] = Value(minutes * 0.06 * rng.LogNormal(0.0, 0.6));
-    row[c++] = Value(minutes);
-    row[c++] = Value(sms);
-    row[c++] = Value(sms * 0.1);
-    row[c++] = Value(20.0 * (t.product_kind == 1));   // gift voice
-    row[c++] = Value(5.0 * (t.product_kind == 2));    // gift sms
-    row[c++] = Value(200.0 * (t.product_kind == 3));  // gift flux
-    row[c++] = Value(std::floor(2.0 + 4.0 * rng.Uniform()));
-    row[c++] = Value(std::floor(6.0 * rng.Uniform()));
-    builder.AppendRowUnchecked(row);
-  }
-  TELCO_ASSIGN_OR_RETURN(TablePtr table, builder.Finish());
-  catalog->RegisterOrReplace(BillingTableName(month), std::move(table));
-  return Status::OK();
+  const int weeks = pop.config().weeks_per_month;
+  TELCO_ASSIGN_OR_RETURN(auto writer,
+                         sink->CreateTable(CdrTableName(month), CdrSchema()));
+  TELCO_RETURN_NOT_OK(ShardedEmit(
+      pop.active().size(), family_seed, options, {writer.get()},
+      [&](size_t begin, size_t end, Rng* rng_ptr,
+          std::vector<std::vector<Column>>* out) {
+        Rng& rng = *rng_ptr;
+        std::vector<Column>& cols = (*out)[0];
+        for (Column& col : cols) col.Reserve((end - begin) * weeks);
+        std::vector<Value> row(31);
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t index = pop.active()[i];
+          const CustomerTraits& t = pop.customers()[index];
+          const CustomerMonthState& s = pop.state(index);
+          for (int w = 0; w < weeks; ++w) {
+            const double e = s.weekly_engagement[w];
+            // Weekly voice minutes scale with engagement and voice
+            // affinity.
+            const double v = 110.0 * e * t.voice_affinity *
+                             std::pow(t.arpu_level, 0.3) *
+                             rng.LogNormal(0.0, 0.2);
+            const double called = v * (0.6 + 0.5 * t.social_activity) *
+                                  rng.LogNormal(0.0, 0.2);
+            const double sms = t.uses_sms
+                                   ? 8.0 * e * t.social_activity *
+                                         rng.LogNormal(0.0, 0.3)
+                                   : 0.0;
+            const double flux = 900.0 * e * t.data_affinity *
+                                rng.LogNormal(0.0, 0.3);
+            size_t c = 0;
+            row[c++] = Value(t.imsi);
+            row[c++] = Value(static_cast<int64_t>(w + 1));
+            row[c++] = Value(v * 0.38);                          // localbase inner
+            row[c++] = Value(v * 0.17);                          // localbase outer
+            row[c++] = Value(v * 0.12);                          // long distance
+            row[c++] = Value(v * 0.05 * rng.LogNormal(0.0, 0.5));  // roam
+            row[c++] = Value(called * 0.55);                     // localbase called
+            row[c++] = Value(called * 0.12);                     // ld called
+            row[c++] = Value(called * 0.04);                     // roam called
+            row[c++] = Value(v * 0.10);                          // to China Mobile
+            row[c++] = Value(v * 0.06);                          // to China Telecom
+            row[c++] = Value(v * 0.30);                          // busy time
+            row[c++] = Value(v * 0.03);                          // festival
+            row[c++] = Value(v * 0.08);                          // free
+            row[c++] = Value(v);                                 // voice_dur
+            row[c++] = Value(v * 0.63);                          // caller_dur
+            row[c++] = Value(std::floor(v / 2.4) + 1.0);         // all_call_cnt
+            row[c++] = Value(std::floor(v / 2.6));               // voice_cnt
+            row[c++] = Value(std::floor(v * 0.55 / 2.5));        // local cnt
+            row[c++] = Value(std::floor(v * 0.12 / 3.0));        // ld cnt
+            row[c++] = Value(std::floor(v * 0.05 / 3.0));        // roam cnt
+            row[c++] = Value(std::floor(v * 0.63 / 2.5));        // caller cnt
+            row[c++] = Value(static_cast<double>(rng.Poisson(
+                0.10 + 0.9 * s.dissatisfaction)));               // 10010 calls
+            row[c++] = Value(static_cast<double>(rng.Poisson(
+                0.04 + 0.4 * s.dissatisfaction)));               // manual 10010
+            row[c++] = Value(sms);                               // sms mo
+            row[c++] = Value(sms * 1.2);                         // sms mt
+            row[c++] = Value(sms * 0.15);                        // info sms
+            row[c++] = Value(1.0 + std::floor(sms * 0.05));      // billing sms
+            row[c++] = Value(sms * 0.08);                        // mms
+            row[c++] = Value(sms * 0.09);                        // mms mt
+            row[c++] = Value(flux);                              // gprs flux (MB)
+            AppendRowTo(&cols, row);
+          }
+        }
+      }));
+  return writer->Finish();
 }
 
-Status EmitRecharge(const Population& pop, Catalog* catalog) {
+Status EmitBilling(const Population& pop, WarehouseSink* sink,
+                   uint64_t family_seed, const EmitOptions& options) {
   const int month = pop.current_month();
-  TableBuilder builder(Schema({{"imsi", kI},
-                               {"recharge_day", kI},
-                               {"recharge_amount", kD}}));
-  builder.Reserve(pop.active().size());
-  std::vector<Value> row(3);
-  for (uint32_t index : pop.active()) {
-    const CustomerTraits& t = pop.customers()[index];
-    const CustomerMonthState& s = pop.state(index);
-    row[0] = Value(t.imsi);
-    row[1] = Value(static_cast<int64_t>(s.recharge_day));
-    row[2] = Value(s.recharge_day > 0 ? s.recharge_amount : 0.0);
-    builder.AppendRowUnchecked(row);
-  }
-  TELCO_ASSIGN_OR_RETURN(TablePtr table, builder.Finish());
-  catalog->RegisterOrReplace(RechargeTableName(month), std::move(table));
-  return Status::OK();
+  TELCO_ASSIGN_OR_RETURN(
+      auto writer, sink->CreateTable(BillingTableName(month), BillingSchema()));
+  TELCO_RETURN_NOT_OK(ShardedEmit(
+      pop.active().size(), family_seed, options, {writer.get()},
+      [&](size_t begin, size_t end, Rng* rng_ptr,
+          std::vector<std::vector<Column>>* out) {
+        Rng& rng = *rng_ptr;
+        std::vector<Column>& cols = (*out)[0];
+        for (Column& col : cols) col.Reserve(end - begin);
+        std::vector<Value> row(17);
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t index = pop.active()[i];
+          const CustomerTraits& t = pop.customers()[index];
+          const CustomerMonthState& s = pop.state(index);
+          const double minutes = 420.0 * s.engagement * t.voice_affinity *
+                                 rng.LogNormal(0.0, 0.15);
+          const double flux = 3600.0 * s.engagement * t.data_affinity *
+                              rng.LogNormal(0.0, 0.2);
+          const double sms =
+              t.uses_sms ? 30.0 * s.engagement * t.social_activity : 0.0;
+          size_t c = 0;
+          row[c++] = Value(t.imsi);
+          row[c++] = Value(s.recharge_amount);
+          row[c++] = Value(s.balance);
+          row[c++] = Value(s.recharge_amount / (s.balance + 1.0));
+          row[c++] = Value(flux * 0.01 * rng.LogNormal(0.0, 0.2));
+          row[c++] = Value(flux);
+          row[c++] = Value(minutes * 0.62);
+          row[c++] = Value(minutes * 0.23);
+          row[c++] = Value(minutes * 0.06 * rng.LogNormal(0.0, 0.6));
+          row[c++] = Value(minutes);
+          row[c++] = Value(sms);
+          row[c++] = Value(sms * 0.1);
+          row[c++] = Value(20.0 * (t.product_kind == 1));   // gift voice
+          row[c++] = Value(5.0 * (t.product_kind == 2));    // gift sms
+          row[c++] = Value(200.0 * (t.product_kind == 3));  // gift flux
+          row[c++] = Value(std::floor(2.0 + 4.0 * rng.Uniform()));
+          row[c++] = Value(std::floor(6.0 * rng.Uniform()));
+          AppendRowTo(&cols, row);
+        }
+      }));
+  return writer->Finish();
+}
+
+Status EmitRecharge(const Population& pop, WarehouseSink* sink,
+                    const EmitOptions& options) {
+  const int month = pop.current_month();
+  TELCO_ASSIGN_OR_RETURN(
+      auto writer,
+      sink->CreateTable(RechargeTableName(month),
+                        Schema({{"imsi", kI},
+                                {"recharge_day", kI},
+                                {"recharge_amount", kD}})));
+  // No RNG in this family; the shard seed is unused.
+  TELCO_RETURN_NOT_OK(ShardedEmit(
+      pop.active().size(), 0, options, {writer.get()},
+      [&](size_t begin, size_t end, Rng*,
+          std::vector<std::vector<Column>>* out) {
+        std::vector<Column>& cols = (*out)[0];
+        for (Column& col : cols) col.Reserve(end - begin);
+        std::vector<Value> row(3);
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t index = pop.active()[i];
+          const CustomerTraits& t = pop.customers()[index];
+          const CustomerMonthState& s = pop.state(index);
+          row[0] = Value(t.imsi);
+          row[1] = Value(static_cast<int64_t>(s.recharge_day));
+          row[2] = Value(s.recharge_day > 0 ? s.recharge_amount : 0.0);
+          AppendRowTo(&cols, row);
+        }
+      }));
+  return writer->Finish();
 }
 
 Status EmitComplaints(const Population& pop, const TextGenerator& textgen,
-                      Catalog* catalog, Rng rng) {
+                      WarehouseSink* sink, uint64_t family_seed,
+                      const EmitOptions& options) {
   const int month = pop.current_month();
-  TableBuilder counts(Schema({{"imsi", kI}, {"complaint_cnt", kI}}));
-  TableBuilder text(TextSchema());
-  counts.Reserve(pop.active().size());
-  std::vector<Value> crow(2);
-  std::vector<Value> trow(3);
-  for (uint32_t index : pop.active()) {
-    const CustomerTraits& t = pop.customers()[index];
-    const CustomerMonthState& s = pop.state(index);
-    crow[0] = Value(t.imsi);
-    crow[1] = Value(static_cast<int64_t>(s.complaints));
-    counts.AppendRowUnchecked(crow);
-    if (s.complaints > 0) {
-      const Document doc = textgen.ComplaintDoc(t, s, &rng);
-      for (const auto& [word, cnt] : doc.word_counts) {
-        trow[0] = Value(t.imsi);
-        trow[1] = Value(static_cast<int64_t>(word));
-        trow[2] = Value(static_cast<int64_t>(cnt));
-        text.AppendRowUnchecked(trow);
-      }
-    }
-  }
-  TELCO_ASSIGN_OR_RETURN(TablePtr counts_table, counts.Finish());
-  TELCO_ASSIGN_OR_RETURN(TablePtr text_table, text.Finish());
-  catalog->RegisterOrReplace(ComplaintTableName(month),
-                             std::move(counts_table));
-  catalog->RegisterOrReplace(ComplaintTextTableName(month),
-                             std::move(text_table));
-  return Status::OK();
+  TELCO_ASSIGN_OR_RETURN(
+      auto counts,
+      sink->CreateTable(ComplaintTableName(month),
+                        Schema({{"imsi", kI}, {"complaint_cnt", kI}})));
+  TELCO_ASSIGN_OR_RETURN(
+      auto text, sink->CreateTable(ComplaintTextTableName(month),
+                                   TextSchema()));
+  TELCO_RETURN_NOT_OK(ShardedEmit(
+      pop.active().size(), family_seed, options, {counts.get(), text.get()},
+      [&](size_t begin, size_t end, Rng* rng_ptr,
+          std::vector<std::vector<Column>>* out) {
+        Rng& rng = *rng_ptr;
+        std::vector<Column>& ccols = (*out)[0];
+        std::vector<Column>& tcols = (*out)[1];
+        for (Column& col : ccols) col.Reserve(end - begin);
+        std::vector<Value> crow(2);
+        std::vector<Value> trow(3);
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t index = pop.active()[i];
+          const CustomerTraits& t = pop.customers()[index];
+          const CustomerMonthState& s = pop.state(index);
+          crow[0] = Value(t.imsi);
+          crow[1] = Value(static_cast<int64_t>(s.complaints));
+          AppendRowTo(&ccols, crow);
+          if (s.complaints > 0) {
+            const Document doc = textgen.ComplaintDoc(t, s, &rng);
+            for (const auto& [word, cnt] : doc.word_counts) {
+              trow[0] = Value(t.imsi);
+              trow[1] = Value(static_cast<int64_t>(word));
+              trow[2] = Value(static_cast<int64_t>(cnt));
+              AppendRowTo(&tcols, trow);
+            }
+          }
+        }
+      }));
+  TELCO_RETURN_NOT_OK(counts->Finish());
+  return text->Finish();
 }
 
 Status EmitSearchText(const Population& pop, const TextGenerator& textgen,
-                      Catalog* catalog, Rng rng) {
+                      WarehouseSink* sink, uint64_t family_seed,
+                      const EmitOptions& options) {
   const int month = pop.current_month();
-  TableBuilder text(TextSchema());
-  text.Reserve(pop.active().size() * 6);
-  std::vector<Value> row(3);
-  for (uint32_t index : pop.active()) {
-    const CustomerTraits& t = pop.customers()[index];
-    const Document doc = textgen.SearchDoc(t, pop.state(index), &rng);
-    for (const auto& [word, cnt] : doc.word_counts) {
-      row[0] = Value(t.imsi);
-      row[1] = Value(static_cast<int64_t>(word));
-      row[2] = Value(static_cast<int64_t>(cnt));
-      text.AppendRowUnchecked(row);
-    }
-  }
-  TELCO_ASSIGN_OR_RETURN(TablePtr table, text.Finish());
-  catalog->RegisterOrReplace(SearchTextTableName(month), std::move(table));
-  return Status::OK();
+  TELCO_ASSIGN_OR_RETURN(
+      auto writer,
+      sink->CreateTable(SearchTextTableName(month), TextSchema()));
+  TELCO_RETURN_NOT_OK(ShardedEmit(
+      pop.active().size(), family_seed, options, {writer.get()},
+      [&](size_t begin, size_t end, Rng* rng_ptr,
+          std::vector<std::vector<Column>>* out) {
+        Rng& rng = *rng_ptr;
+        std::vector<Column>& cols = (*out)[0];
+        for (Column& col : cols) col.Reserve((end - begin) * 6);
+        std::vector<Value> row(3);
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t index = pop.active()[i];
+          const CustomerTraits& t = pop.customers()[index];
+          const Document doc = textgen.SearchDoc(t, pop.state(index), &rng);
+          for (const auto& [word, cnt] : doc.word_counts) {
+            row[0] = Value(t.imsi);
+            row[1] = Value(static_cast<int64_t>(word));
+            row[2] = Value(static_cast<int64_t>(cnt));
+            AppendRowTo(&cols, row);
+          }
+        }
+      }));
+  return writer->Finish();
 }
 
-Status EmitCs(const Population& pop, Catalog* catalog, Rng rng) {
+Status EmitCs(const Population& pop, WarehouseSink* sink,
+              uint64_t family_seed, const EmitOptions& options) {
   const int month = pop.current_month();
   const int weeks = pop.config().weeks_per_month;
   const double noise = pop.config().kpi_noise;
-  TableBuilder builder(CsSchema());
-  builder.Reserve(pop.active().size() * weeks);
-  std::vector<Value> row(11);
-  for (uint32_t index : pop.active()) {
-    const CustomerTraits& t = pop.customers()[index];
-    const CustomerMonthState& s = pop.state(index);
-    for (int w = 0; w < weeks; ++w) {
-      const double q = Clamp(s.cs_quality + rng.Gaussian(0.0, 0.04), 0.05,
-                             1.0);
-      size_t c = 0;
-      row[c++] = Value(t.imsi);
-      row[c++] = Value(static_cast<int64_t>(w + 1));
-      row[c++] = Value(Clamp(0.86 + 0.135 * q + rng.Gaussian(0.0, 0.01),
-                             0.5, 1.0));                     // success rate
-      row[c++] = Value(3.0 + 6.5 * (1.0 - q) *
-                           rng.LogNormal(0.0, noise));        // conn delay s
-      row[c++] = Value(0.085 * (1.0 - q) *
-                           rng.LogNormal(0.0, noise));        // drop rate
-      row[c++] = Value(Clamp(2.4 + 1.9 * q + rng.Gaussian(0.0, 0.12), 1.0,
-                             4.5));                           // uplink MOS
-      row[c++] = Value(Clamp(2.5 + 1.8 * q + rng.Gaussian(0.0, 0.12), 1.0,
-                             4.5));                           // downlink MOS
-      row[c++] = Value(Clamp(2.6 + 1.7 * q + rng.Gaussian(0.0, 0.12), 1.0,
-                             4.5));                           // IP MOS
-      row[c++] = Value(static_cast<double>(
-          rng.Poisson(1.4 * (1.0 - q))));                     // one-way audio
-      row[c++] = Value(static_cast<double>(
-          rng.Poisson(2.2 * (1.0 - q))));                     // noise count
-      row[c++] = Value(static_cast<double>(
-          rng.Poisson(1.1 * (1.0 - q))));                     // echo count
-      builder.AppendRowUnchecked(row);
-    }
-  }
-  TELCO_ASSIGN_OR_RETURN(TablePtr table, builder.Finish());
-  catalog->RegisterOrReplace(CsKpiTableName(month), std::move(table));
-  return Status::OK();
+  TELCO_ASSIGN_OR_RETURN(
+      auto writer, sink->CreateTable(CsKpiTableName(month), CsSchema()));
+  TELCO_RETURN_NOT_OK(ShardedEmit(
+      pop.active().size(), family_seed, options, {writer.get()},
+      [&](size_t begin, size_t end, Rng* rng_ptr,
+          std::vector<std::vector<Column>>* out) {
+        Rng& rng = *rng_ptr;
+        std::vector<Column>& cols = (*out)[0];
+        for (Column& col : cols) col.Reserve((end - begin) * weeks);
+        std::vector<Value> row(11);
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t index = pop.active()[i];
+          const CustomerTraits& t = pop.customers()[index];
+          const CustomerMonthState& s = pop.state(index);
+          for (int w = 0; w < weeks; ++w) {
+            const double q =
+                Clamp(s.cs_quality + rng.Gaussian(0.0, 0.04), 0.05, 1.0);
+            size_t c = 0;
+            row[c++] = Value(t.imsi);
+            row[c++] = Value(static_cast<int64_t>(w + 1));
+            row[c++] = Value(Clamp(0.86 + 0.135 * q + rng.Gaussian(0.0, 0.01),
+                                   0.5, 1.0));                     // success rate
+            row[c++] = Value(3.0 + 6.5 * (1.0 - q) *
+                                 rng.LogNormal(0.0, noise));        // conn delay s
+            row[c++] = Value(0.085 * (1.0 - q) *
+                                 rng.LogNormal(0.0, noise));        // drop rate
+            row[c++] = Value(Clamp(2.4 + 1.9 * q + rng.Gaussian(0.0, 0.12),
+                                   1.0, 4.5));                      // uplink MOS
+            row[c++] = Value(Clamp(2.5 + 1.8 * q + rng.Gaussian(0.0, 0.12),
+                                   1.0, 4.5));                      // downlink MOS
+            row[c++] = Value(Clamp(2.6 + 1.7 * q + rng.Gaussian(0.0, 0.12),
+                                   1.0, 4.5));                      // IP MOS
+            row[c++] = Value(static_cast<double>(
+                rng.Poisson(1.4 * (1.0 - q))));                     // one-way audio
+            row[c++] = Value(static_cast<double>(
+                rng.Poisson(2.2 * (1.0 - q))));                     // noise count
+            row[c++] = Value(static_cast<double>(
+                rng.Poisson(1.1 * (1.0 - q))));                     // echo count
+            AppendRowTo(&cols, row);
+          }
+        }
+      }));
+  return writer->Finish();
 }
 
-Status EmitPs(const Population& pop, Catalog* catalog, Rng rng) {
+Status EmitPs(const Population& pop, WarehouseSink* sink,
+              uint64_t family_seed, const EmitOptions& options) {
   const int month = pop.current_month();
   const int weeks = pop.config().weeks_per_month;
   const double noise = pop.config().kpi_noise;
-  TableBuilder builder(PsSchema());
-  builder.Reserve(pop.active().size() * weeks);
-  std::vector<Value> row(17);
-  for (uint32_t index : pop.active()) {
-    const CustomerTraits& t = pop.customers()[index];
-    const CustomerMonthState& s = pop.state(index);
-    for (int w = 0; w < weeks; ++w) {
-      const double q = Clamp(s.ps_quality + rng.Gaussian(0.0, 0.04), 0.05,
-                             1.0);
-      const double e = s.weekly_engagement[w];
-      // Observed throughput mixes network quality with the customer's own
-      // activity level — churners "become inactive in data usage", which
-      // is what makes this the #2 importance feature (Table 4).
-      const double thr = (0.4 + 4.6 * q) * (0.30 + 0.95 * e) *
-                         rng.LogNormal(0.0, 0.15);
-      size_t c = 0;
-      row[c++] = Value(t.imsi);
-      row[c++] = Value(static_cast<int64_t>(w + 1));
-      row[c++] = Value(Clamp(0.80 + 0.19 * q + rng.Gaussian(0.0, 0.012),
-                             0.4, 1.0));                      // resp succ
-      row[c++] = Value(0.35 + 3.0 * (1.0 - q) *
-                           rng.LogNormal(0.0, noise));        // resp delay s
-      row[c++] = Value(Clamp(0.78 + 0.21 * q + rng.Gaussian(0.0, 0.015),
-                             0.35, 1.0));                     // browse succ
-      row[c++] = Value(0.9 + 5.0 * (1.0 - q) *
-                           rng.LogNormal(0.0, noise));        // browse delay
-      row[c++] = Value(thr);                                  // page dl Mbps
-      row[c++] = Value(thr * 0.28 * rng.LogNormal(0.0, 0.1)); // UL thr
-      row[c++] = Value(thr * 1.05 * rng.LogNormal(0.0, 0.1)); // DW thr
-      row[c++] = Value(35.0 + 280.0 * (1.0 - q) *
-                           rng.LogNormal(0.0, noise));        // TCP RTT ms
-      row[c++] = Value(Clamp(0.86 + 0.135 * q + rng.Gaussian(0.0, 0.01),
-                             0.5, 1.0));                      // TCP conn
-      row[c++] = Value(55.0 * e * t.data_affinity *
-                           rng.LogNormal(0.0, 0.4));          // stream MB
-      row[c++] = Value(std::floor(4200.0 * e * t.data_affinity *
-                                      rng.LogNormal(0.0, 0.4)));  // packets
-      row[c++] = Value(Clamp(0.9 + 0.09 * q + rng.Gaussian(0.0, 0.01), 0.5,
-                             1.0));                           // email succ
-      row[c++] = Value(0.5 + 2.0 * (1.0 - q) *
-                           rng.LogNormal(0.0, noise));        // email delay
-      row[c++] = Value(310.0 * rng.LogNormal(0.0, 0.25));     // page KB
-      row[c++] = Value(Clamp(0.83 + 0.16 * q + rng.Gaussian(0.0, 0.012),
-                             0.4, 1.0));                      // succeed flag
-      builder.AppendRowUnchecked(row);
-    }
-  }
-  TELCO_ASSIGN_OR_RETURN(TablePtr table, builder.Finish());
-  catalog->RegisterOrReplace(PsKpiTableName(month), std::move(table));
-  return Status::OK();
+  TELCO_ASSIGN_OR_RETURN(
+      auto writer, sink->CreateTable(PsKpiTableName(month), PsSchema()));
+  TELCO_RETURN_NOT_OK(ShardedEmit(
+      pop.active().size(), family_seed, options, {writer.get()},
+      [&](size_t begin, size_t end, Rng* rng_ptr,
+          std::vector<std::vector<Column>>* out) {
+        Rng& rng = *rng_ptr;
+        std::vector<Column>& cols = (*out)[0];
+        for (Column& col : cols) col.Reserve((end - begin) * weeks);
+        std::vector<Value> row(17);
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t index = pop.active()[i];
+          const CustomerTraits& t = pop.customers()[index];
+          const CustomerMonthState& s = pop.state(index);
+          for (int w = 0; w < weeks; ++w) {
+            const double q =
+                Clamp(s.ps_quality + rng.Gaussian(0.0, 0.04), 0.05, 1.0);
+            const double e = s.weekly_engagement[w];
+            // Observed throughput mixes network quality with the
+            // customer's own activity level — churners "become inactive
+            // in data usage", which is what makes this the #2 importance
+            // feature (Table 4).
+            const double thr = (0.4 + 4.6 * q) * (0.30 + 0.95 * e) *
+                               rng.LogNormal(0.0, 0.15);
+            size_t c = 0;
+            row[c++] = Value(t.imsi);
+            row[c++] = Value(static_cast<int64_t>(w + 1));
+            row[c++] = Value(Clamp(0.80 + 0.19 * q + rng.Gaussian(0.0, 0.012),
+                                   0.4, 1.0));                      // resp succ
+            row[c++] = Value(0.35 + 3.0 * (1.0 - q) *
+                                 rng.LogNormal(0.0, noise));        // resp delay s
+            row[c++] = Value(Clamp(0.78 + 0.21 * q + rng.Gaussian(0.0, 0.015),
+                                   0.35, 1.0));                     // browse succ
+            row[c++] = Value(0.9 + 5.0 * (1.0 - q) *
+                                 rng.LogNormal(0.0, noise));        // browse delay
+            row[c++] = Value(thr);                                  // page dl Mbps
+            row[c++] = Value(thr * 0.28 * rng.LogNormal(0.0, 0.1)); // UL thr
+            row[c++] = Value(thr * 1.05 * rng.LogNormal(0.0, 0.1)); // DW thr
+            row[c++] = Value(35.0 + 280.0 * (1.0 - q) *
+                                 rng.LogNormal(0.0, noise));        // TCP RTT ms
+            row[c++] = Value(Clamp(0.86 + 0.135 * q + rng.Gaussian(0.0, 0.01),
+                                   0.5, 1.0));                      // TCP conn
+            row[c++] = Value(55.0 * e * t.data_affinity *
+                                 rng.LogNormal(0.0, 0.4));          // stream MB
+            row[c++] = Value(std::floor(4200.0 * e * t.data_affinity *
+                                            rng.LogNormal(0.0, 0.4)));  // packets
+            row[c++] = Value(Clamp(0.9 + 0.09 * q + rng.Gaussian(0.0, 0.01),
+                                   0.5, 1.0));                      // email succ
+            row[c++] = Value(0.5 + 2.0 * (1.0 - q) *
+                                 rng.LogNormal(0.0, noise));        // email delay
+            row[c++] = Value(310.0 * rng.LogNormal(0.0, 0.25));     // page KB
+            row[c++] = Value(Clamp(0.83 + 0.16 * q + rng.Gaussian(0.0, 0.012),
+                                   0.4, 1.0));                      // succeed flag
+            AppendRowTo(&cols, row);
+          }
+        }
+      }));
+  return writer->Finish();
 }
 
-Status EmitMr(const Population& pop, Catalog* catalog, Rng rng) {
+Status EmitMr(const Population& pop, WarehouseSink* sink,
+              uint64_t family_seed, const EmitOptions& options) {
   const int month = pop.current_month();
-  TableBuilder builder(Schema({{"imsi", kI},
-                               {"rank", kI},
-                               {"lac", kI},
-                               {"ci", kI},
-                               {"lat", kD},
-                               {"lon", kD},
-                               {"cnt", kI}}));
-  builder.Reserve(pop.active().size() * 5);
-  std::vector<Value> row(7);
   const int num_cells = static_cast<int>(pop.config().num_cells);
-  for (uint32_t index : pop.active()) {
-    const CustomerTraits& t = pop.customers()[index];
-    const CustomerMonthState& s = pop.state(index);
-    // Top-5 stay cells: home cell plus nearby cells, visit counts
-    // decaying with rank and scaled by engagement.
-    for (int r = 1; r <= 5; ++r) {
-      const int cell = r == 1 ? t.home_cell
-                              : (t.home_cell + r - 1 +
-                                 static_cast<int>(rng.UniformInt(3))) %
-                                    num_cells;
-      double lat;
-      double lon;
-      CellLatLon(cell, &lat, &lon);
-      row[0] = Value(t.imsi);
-      row[1] = Value(static_cast<int64_t>(r));
-      row[2] = Value(static_cast<int64_t>(100 + cell / 16));
-      row[3] = Value(static_cast<int64_t>(cell));
-      row[4] = Value(lat + rng.Gaussian(0.0, 0.0005));
-      row[5] = Value(lon + rng.Gaussian(0.0, 0.0005));
-      row[6] = Value(static_cast<int64_t>(
-          1 + rng.Poisson(90.0 * s.engagement / r)));
-      builder.AppendRowUnchecked(row);
-    }
-  }
-  TELCO_ASSIGN_OR_RETURN(TablePtr table, builder.Finish());
-  catalog->RegisterOrReplace(MrTableName(month), std::move(table));
-  return Status::OK();
+  TELCO_ASSIGN_OR_RETURN(
+      auto writer, sink->CreateTable(MrTableName(month),
+                                     Schema({{"imsi", kI},
+                                             {"rank", kI},
+                                             {"lac", kI},
+                                             {"ci", kI},
+                                             {"lat", kD},
+                                             {"lon", kD},
+                                             {"cnt", kI}})));
+  TELCO_RETURN_NOT_OK(ShardedEmit(
+      pop.active().size(), family_seed, options, {writer.get()},
+      [&](size_t begin, size_t end, Rng* rng_ptr,
+          std::vector<std::vector<Column>>* out) {
+        Rng& rng = *rng_ptr;
+        std::vector<Column>& cols = (*out)[0];
+        for (Column& col : cols) col.Reserve((end - begin) * 5);
+        std::vector<Value> row(7);
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t index = pop.active()[i];
+          const CustomerTraits& t = pop.customers()[index];
+          const CustomerMonthState& s = pop.state(index);
+          // Top-5 stay cells: home cell plus nearby cells, visit counts
+          // decaying with rank and scaled by engagement.
+          for (int r = 1; r <= 5; ++r) {
+            const int cell = r == 1 ? t.home_cell
+                                    : (t.home_cell + r - 1 +
+                                       static_cast<int>(rng.UniformInt(3))) %
+                                          num_cells;
+            double lat;
+            double lon;
+            CellLatLon(cell, &lat, &lon);
+            row[0] = Value(t.imsi);
+            row[1] = Value(static_cast<int64_t>(r));
+            row[2] = Value(static_cast<int64_t>(100 + cell / 16));
+            row[3] = Value(static_cast<int64_t>(cell));
+            row[4] = Value(lat + rng.Gaussian(0.0, 0.0005));
+            row[5] = Value(lon + rng.Gaussian(0.0, 0.0005));
+            row[6] = Value(static_cast<int64_t>(
+                1 + rng.Poisson(90.0 * s.engagement / r)));
+            AppendRowTo(&cols, row);
+          }
+        }
+      }));
+  return writer->Finish();
 }
 
-// Realised monthly edges from the base ties: an edge appears when both
-// endpoints are active this month, with weight scaled by engagement.
-Status EmitGraphEdges(const Population& pop, Catalog* catalog, Rng rng) {
+// Realised monthly call/msg edges from the base ties: an edge appears
+// when both endpoints are active this month, with weight scaled by
+// engagement.
+Status EmitGraphTies(const Population& pop, WarehouseSink* sink,
+                     uint64_t family_seed, const EmitOptions& options) {
   const int month = pop.current_month();
-  TableBuilder call(EdgeSchema());
-  TableBuilder msg(EdgeSchema());
-  TableBuilder cooc(EdgeSchema());
-  std::vector<Value> row(3);
+  TELCO_ASSIGN_OR_RETURN(
+      auto call, sink->CreateTable(CallEdgesTableName(month), EdgeSchema()));
+  TELCO_ASSIGN_OR_RETURN(
+      auto msg, sink->CreateTable(MsgEdgesTableName(month), EdgeSchema()));
+  TELCO_RETURN_NOT_OK(ShardedEmit(
+      pop.active().size(), family_seed, options, {call.get(), msg.get()},
+      [&](size_t begin, size_t end, Rng* rng_ptr,
+          std::vector<std::vector<Column>>* out) {
+        Rng& rng = *rng_ptr;
+        std::vector<Column>& call_cols = (*out)[0];
+        std::vector<Column>& msg_cols = (*out)[1];
+        std::vector<Value> row(3);
+        auto emit_edge = [&row](std::vector<Column>* cols, int64_t a,
+                                int64_t b, double w) {
+          row[0] = Value(a);
+          row[1] = Value(b);
+          row[2] = Value(w);
+          AppendRowTo(cols, row);
+        };
+        // Deduplicate pairs: emit each undirected base tie once (lower
+        // index first); parallel ties merge when the graph is built.
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t index = pop.active()[i];
+          const CustomerTraits& t = pop.customers()[index];
+          const CustomerMonthState& s = pop.state(index);
+          for (uint32_t other : pop.CallTies(index)) {
+            if (other <= index || !pop.IsActive(other)) continue;
+            if (!rng.Bernoulli(0.85)) continue;  // tie dormant this month
+            const CustomerMonthState& so = pop.state(other);
+            // Weight depends only weakly on engagement so call-graph
+            // PageRank measures social importance, not raw activity.
+            const double w =
+                25.0 *
+                (0.45 + 0.55 * std::min(s.engagement, so.engagement)) *
+                rng.LogNormal(0.0, 0.5);
+            if (w > 0.3) {
+              emit_edge(&call_cols, t.imsi, pop.customers()[other].imsi, w);
+            }
+          }
+          for (uint32_t other : pop.MsgTies(index)) {
+            if (other <= index || !pop.IsActive(other)) continue;
+            if (!rng.Bernoulli(0.55)) continue;
+            const double w = static_cast<double>(1 + rng.Poisson(4.0));
+            emit_edge(&msg_cols, t.imsi, pop.customers()[other].imsi, w);
+          }
+        }
+      }));
+  TELCO_RETURN_NOT_OK(call->Finish());
+  return msg->Finish();
+}
 
-  auto emit_edge = [&row](TableBuilder& builder, int64_t a, int64_t b,
-                          double w) {
-    row[0] = Value(a);
-    row[1] = Value(b);
-    row[2] = Value(w);
-    builder.AppendRowUnchecked(row);
-  };
-
-  // Deduplicate pairs: emit each undirected base tie once (lower index
-  // first); parallel ties merge when the graph is built.
-  for (uint32_t index : pop.active()) {
-    const CustomerTraits& t = pop.customers()[index];
-    const CustomerMonthState& s = pop.state(index);
-    for (uint32_t other : pop.CallTies(index)) {
-      if (other <= index || !pop.IsActive(other)) continue;
-      if (!rng.Bernoulli(0.85)) continue;  // tie dormant this month
-      const CustomerMonthState& so = pop.state(other);
-      // Weight depends only weakly on engagement so call-graph PageRank
-      // measures social importance, not raw activity.
-      const double w = 25.0 *
-                       (0.45 + 0.55 * std::min(s.engagement, so.engagement)) *
-                       rng.LogNormal(0.0, 0.5);
-      if (w > 0.3) {
-        emit_edge(call, t.imsi, pop.customers()[other].imsi, w);
-      }
-    }
-    for (uint32_t other : pop.MsgTies(index)) {
-      if (other <= index || !pop.IsActive(other)) continue;
-      if (!rng.Bernoulli(0.55)) continue;
-      const double w = static_cast<double>(1 + rng.Poisson(4.0));
-      emit_edge(msg, t.imsi, pop.customers()[other].imsi, w);
-    }
-  }
-
-  // Co-occurrence: active community members meet in the same
-  // spatio-temporal cubes; each member co-occurs with a few others.
-  const size_t num_communities = pop.config().num_communities;
-  for (size_t comm = 0; comm < num_communities; ++comm) {
-    std::vector<uint32_t> members;
-    for (uint32_t m : pop.CommunityMembers(static_cast<int>(comm))) {
-      if (pop.IsActive(m)) members.push_back(m);
-    }
-    if (members.size() < 2) continue;
-    for (size_t i = 0; i < members.size(); ++i) {
-      const int partners =
-          std::min<int>(4, static_cast<int>(members.size()) - 1);
-      for (int k = 0; k < partners; ++k) {
-        const uint32_t other = members[rng.UniformInt(members.size())];
-        if (other == members[i]) continue;
-        const uint32_t a = std::min(members[i], other);
-        const uint32_t b = std::max(members[i], other);
-        const double w = static_cast<double>(1 + rng.Poisson(8.0));
-        emit_edge(cooc, pop.customers()[a].imsi, pop.customers()[b].imsi, w);
-      }
-    }
-  }
-
-  TELCO_ASSIGN_OR_RETURN(TablePtr call_table, call.Finish());
-  TELCO_ASSIGN_OR_RETURN(TablePtr msg_table, msg.Finish());
-  TELCO_ASSIGN_OR_RETURN(TablePtr cooc_table, cooc.Finish());
-  catalog->RegisterOrReplace(CallEdgesTableName(month), std::move(call_table));
-  catalog->RegisterOrReplace(MsgEdgesTableName(month), std::move(msg_table));
-  catalog->RegisterOrReplace(CoocEdgesTableName(month), std::move(cooc_table));
-  return Status::OK();
+// Co-occurrence: active community members meet in the same
+// spatio-temporal cubes; each member co-occurs with a few others.
+// Sharded over communities — a community's edges come from one shard.
+Status EmitGraphCooc(const Population& pop, WarehouseSink* sink,
+                     uint64_t family_seed, const EmitOptions& options) {
+  const int month = pop.current_month();
+  TELCO_ASSIGN_OR_RETURN(
+      auto cooc, sink->CreateTable(CoocEdgesTableName(month), EdgeSchema()));
+  TELCO_RETURN_NOT_OK(ShardedEmit(
+      pop.config().num_communities, family_seed, options, {cooc.get()},
+      [&](size_t begin, size_t end, Rng* rng_ptr,
+          std::vector<std::vector<Column>>* out) {
+        Rng& rng = *rng_ptr;
+        std::vector<Column>& cols = (*out)[0];
+        std::vector<Value> row(3);
+        std::vector<uint32_t> members;
+        for (size_t comm = begin; comm < end; ++comm) {
+          members.clear();
+          for (uint32_t m : pop.CommunityMembers(static_cast<int>(comm))) {
+            if (pop.IsActive(m)) members.push_back(m);
+          }
+          if (members.size() < 2) continue;
+          for (size_t i = 0; i < members.size(); ++i) {
+            const int partners =
+                std::min<int>(4, static_cast<int>(members.size()) - 1);
+            for (int k = 0; k < partners; ++k) {
+              const uint32_t other = members[rng.UniformInt(members.size())];
+              if (other == members[i]) continue;
+              const uint32_t a = std::min(members[i], other);
+              const uint32_t b = std::max(members[i], other);
+              const double w = static_cast<double>(1 + rng.Poisson(8.0));
+              row[0] = Value(pop.customers()[a].imsi);
+              row[1] = Value(pop.customers()[b].imsi);
+              row[2] = Value(w);
+              AppendRowTo(&cols, row);
+            }
+          }
+        }
+      }));
+  return cooc->Finish();
 }
 
 }  // namespace
 
-Status EmitCustomersTable(const Population& pop, Catalog* catalog) {
-  TableBuilder builder(Schema({{"imsi", kI},
-                               {"gender", kI},
-                               {"age", kI},
-                               {"pspt_type", kI},
-                               {"is_shanghai", kI},
-                               {"town_id", kI},
-                               {"sale_id", kI},
-                               {"credit_value", kI},
-                               {"product_id", kI},
-                               {"product_price", kD},
-                               {"product_knd", kI},
-                               {"innet_month", kI},
-                               {"home_cell", kI}}));
-  builder.Reserve(pop.customers().size());
+Status EmitCustomersTable(const Population& pop, WarehouseSink* sink) {
+  static const Counter rows_emitted =
+      MetricsRegistry::Global().GetCounter("datagen.rows_emitted");
+  TELCO_ASSIGN_OR_RETURN(
+      auto writer, sink->CreateTable(kCustomersTable,
+                                     Schema({{"imsi", kI},
+                                             {"gender", kI},
+                                             {"age", kI},
+                                             {"pspt_type", kI},
+                                             {"is_shanghai", kI},
+                                             {"town_id", kI},
+                                             {"sale_id", kI},
+                                             {"credit_value", kI},
+                                             {"product_id", kI},
+                                             {"product_price", kD},
+                                             {"product_knd", kI},
+                                             {"innet_month", kI},
+                                             {"home_cell", kI}})));
   std::vector<Value> row(13);
   for (const CustomerTraits& t : pop.customers()) {
     size_t c = 0;
@@ -541,53 +705,69 @@ Status EmitCustomersTable(const Population& pop, Catalog* catalog) {
     row[c++] = Value(static_cast<int64_t>(t.product_kind));
     row[c++] = Value(static_cast<int64_t>(t.join_month));
     row[c++] = Value(static_cast<int64_t>(t.home_cell));
-    builder.AppendRowUnchecked(row);
+    TELCO_RETURN_NOT_OK(writer->AppendRowUnchecked(row));
   }
-  TELCO_ASSIGN_OR_RETURN(TablePtr table, builder.Finish());
-  catalog->RegisterOrReplace(kCustomersTable, std::move(table));
-  return Status::OK();
+  rows_emitted.Add(pop.customers().size());
+  return writer->Finish();
 }
 
-Status EmitVocabTables(const TextGenerator& textgen, Catalog* catalog) {
-  auto emit = [catalog](const Vocabulary& vocab,
-                        const std::string& name) -> Status {
-    TableBuilder builder(Schema({{"word_id", kI}, {"word", kS}}));
-    builder.Reserve(vocab.size());
+Status EmitCustomersTable(const Population& pop, Catalog* catalog) {
+  CatalogWarehouseSink sink(catalog);
+  return EmitCustomersTable(pop, &sink);
+}
+
+Status EmitVocabTables(const TextGenerator& textgen, WarehouseSink* sink) {
+  static const Counter rows_emitted =
+      MetricsRegistry::Global().GetCounter("datagen.rows_emitted");
+  auto emit = [sink](const Vocabulary& vocab,
+                     const std::string& name) -> Status {
+    TELCO_ASSIGN_OR_RETURN(
+        auto writer,
+        sink->CreateTable(name, Schema({{"word_id", kI}, {"word", kS}})));
     std::vector<Value> row(2);
     for (uint32_t w = 0; w < vocab.size(); ++w) {
       row[0] = Value(static_cast<int64_t>(w));
       row[1] = Value(vocab.WordOf(w));
-      builder.AppendRowUnchecked(row);
+      TELCO_RETURN_NOT_OK(writer->AppendRowUnchecked(row));
     }
-    TELCO_ASSIGN_OR_RETURN(TablePtr table, builder.Finish());
-    catalog->RegisterOrReplace(name, std::move(table));
-    return Status::OK();
+    rows_emitted.Add(vocab.size());
+    return writer->Finish();
   };
   TELCO_RETURN_NOT_OK(emit(textgen.complaint_vocab(), kComplaintVocabTable));
   return emit(textgen.search_vocab(), kSearchVocabTable);
 }
 
+Status EmitVocabTables(const TextGenerator& textgen, Catalog* catalog) {
+  CatalogWarehouseSink sink(catalog);
+  return EmitVocabTables(textgen, &sink);
+}
+
 Status EmitMonthTables(const Population& pop, const TextGenerator& textgen,
-                       Catalog* catalog) {
+                       WarehouseSink* sink, const EmitOptions& options) {
   if (pop.current_month() < 1) {
     return Status::InvalidArgument("no month simulated yet");
   }
-  // Independent deterministic substreams per (seed, table family, month).
+  // Independent deterministic substreams per (seed, month, table family);
+  // ShardedEmit forks one stream per shard below these.
   const uint64_t m = static_cast<uint64_t>(pop.current_month());
   const uint64_t base = HashCombine64(pop.config().seed, m);
-  auto stream = [base](uint64_t family) {
-    return Rng(HashCombine64(base, family));
-  };
-  TELCO_RETURN_NOT_OK(EmitCdr(pop, catalog, stream(1)));
-  TELCO_RETURN_NOT_OK(EmitBilling(pop, catalog, stream(2)));
-  TELCO_RETURN_NOT_OK(EmitRecharge(pop, catalog));
-  TELCO_RETURN_NOT_OK(EmitComplaints(pop, textgen, catalog, stream(3)));
-  TELCO_RETURN_NOT_OK(EmitSearchText(pop, textgen, catalog, stream(4)));
-  TELCO_RETURN_NOT_OK(EmitCs(pop, catalog, stream(5)));
-  TELCO_RETURN_NOT_OK(EmitPs(pop, catalog, stream(6)));
-  TELCO_RETURN_NOT_OK(EmitMr(pop, catalog, stream(7)));
-  TELCO_RETURN_NOT_OK(EmitGraphEdges(pop, catalog, stream(8)));
-  return Status::OK();
+  auto family = [base](uint64_t f) { return HashCombine64(base, f); };
+  TELCO_RETURN_NOT_OK(EmitCdr(pop, sink, family(1), options));
+  TELCO_RETURN_NOT_OK(EmitBilling(pop, sink, family(2), options));
+  TELCO_RETURN_NOT_OK(EmitRecharge(pop, sink, options));
+  TELCO_RETURN_NOT_OK(EmitComplaints(pop, textgen, sink, family(3), options));
+  TELCO_RETURN_NOT_OK(EmitSearchText(pop, textgen, sink, family(4), options));
+  TELCO_RETURN_NOT_OK(EmitCs(pop, sink, family(5), options));
+  TELCO_RETURN_NOT_OK(EmitPs(pop, sink, family(6), options));
+  TELCO_RETURN_NOT_OK(EmitMr(pop, sink, family(7), options));
+  TELCO_RETURN_NOT_OK(EmitGraphTies(pop, sink, family(8), options));
+  return EmitGraphCooc(pop, sink, family(9), options);
+}
+
+Status EmitMonthTables(const Population& pop, const TextGenerator& textgen,
+                       Catalog* catalog) {
+  CatalogWarehouseSink sink(catalog);
+  return EmitMonthTables(pop, textgen, &sink);
 }
 
 }  // namespace telco

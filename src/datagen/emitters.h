@@ -5,25 +5,50 @@
 // CS/PS KPI records, MR locations, DPI search text and the three graph
 // edge tables. The feature layer (src/features) only ever sees these
 // tables — ground truth stays inside the simulator.
+//
+// Every emitter streams rows through the WarehouseSink / ChunkSink API
+// (storage/chunk_sink.h), so the same code fills an in-memory Catalog or
+// an out-of-core streamed warehouse. Generation is sharded: customers
+// (or communities) are split into fixed-size shards, shards are
+// generated in parallel from independent per-shard RNG streams keyed
+// (seed, month, table family, shard), and spliced into the sink in shard
+// order — the emitted rows are byte-for-byte independent of the thread
+// count.
 
 #ifndef TELCO_DATAGEN_EMITTERS_H_
 #define TELCO_DATAGEN_EMITTERS_H_
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "datagen/population.h"
 #include "datagen/text_gen.h"
 #include "storage/catalog.h"
+#include "storage/chunk_sink.h"
 
 namespace telco {
 
-/// Registers/refreshes the static `customers` demographics table (all
-/// customers ever seen, so later months' joiners are covered).
+/// \brief Knobs for sharded table generation.
+struct EmitOptions {
+  /// Worker pool; null uses ThreadPool::Default().
+  ThreadPool* pool = nullptr;
+  /// Customers (or communities) per generation shard. Part of the RNG
+  /// stream keying: changing it changes the generated data, so it stays
+  /// at the default everywhere determinism across runs matters.
+  size_t shard_items = 2048;
+};
+
+/// Emits the static `customers` demographics table (all customers ever
+/// seen, so later months' joiners are covered).
+Status EmitCustomersTable(const Population& pop, WarehouseSink* sink);
 Status EmitCustomersTable(const Population& pop, Catalog* catalog);
 
-/// Registers the two vocabulary tables (word_id -> word).
+/// Emits the two vocabulary tables (word_id -> word).
+Status EmitVocabTables(const TextGenerator& textgen, WarehouseSink* sink);
 Status EmitVocabTables(const TextGenerator& textgen, Catalog* catalog);
 
 /// Emits every per-month table for the population's current month.
+Status EmitMonthTables(const Population& pop, const TextGenerator& textgen,
+                       WarehouseSink* sink, const EmitOptions& options = {});
 Status EmitMonthTables(const Population& pop, const TextGenerator& textgen,
                        Catalog* catalog);
 

@@ -1,0 +1,62 @@
+#include "datagen/sim_config.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace telco {
+
+Result<size_t> ResolveNumCustomers(const SimConfig& config) {
+  const double sf = config.scale_factor;
+  if (std::isnan(sf) || std::isinf(sf) || sf < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("scale_factor must be a finite value >= 0, got %g", sf));
+  }
+  if (config.num_customers == 0) {
+    return Status::InvalidArgument("num_customers must be >= 1");
+  }
+  // An explicit num_customers wins; the scale factor only applies when
+  // the population was left at its default.
+  if (config.num_customers != kDefaultNumCustomers || sf == 0.0) {
+    return config.num_customers;
+  }
+  const double scaled = std::round(sf * kPaperCustomersPerScaleFactor);
+  if (scaled < 1.0) {
+    return Status::InvalidArgument(StrFormat(
+        "scale_factor %g resolves to zero customers", sf));
+  }
+  if (scaled > 1e10) {
+    return Status::InvalidArgument(StrFormat(
+        "scale_factor %g resolves to an implausible population", sf));
+  }
+  return static_cast<size_t>(scaled);
+}
+
+Result<SimConfig> ResolveScale(SimConfig config) {
+  TELCO_ASSIGN_OR_RETURN(const size_t customers,
+                         ResolveNumCustomers(config));
+  const bool scale_driven =
+      config.num_customers == kDefaultNumCustomers &&
+      config.scale_factor > 0.0 && customers != config.num_customers;
+  if (scale_driven) {
+    // Keep communities ~84 customers and cells ~175 customers each, as at
+    // the defaults, so contagion neighbourhood sizes do not change with
+    // scale. Only knobs still at their defaults are touched.
+    const double ratio =
+        static_cast<double>(customers) / kDefaultNumCustomers;
+    const SimConfig defaults;
+    if (config.num_communities == defaults.num_communities) {
+      config.num_communities = static_cast<size_t>(
+          std::max(1.0, std::round(defaults.num_communities * ratio)));
+    }
+    if (config.num_cells == defaults.num_cells) {
+      config.num_cells = static_cast<size_t>(
+          std::max(1.0, std::round(defaults.num_cells * ratio)));
+    }
+  }
+  config.num_customers = customers;
+  config.scale_factor = 0.0;  // resolved; a second pass is a no-op
+  return config;
+}
+
+}  // namespace telco

@@ -26,13 +26,27 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/result.h"
+
 namespace telco {
+
+/// Default population when neither num_customers nor scale_factor is set.
+inline constexpr size_t kDefaultNumCustomers = 20000;
+
+/// SF 1.0 = the paper's ~2.1M prepaid customers (hyrise's
+/// TpchTableGenerator(scale_factor) pattern).
+inline constexpr double kPaperCustomersPerScaleFactor = 2.1e6;
 
 struct SimConfig {
   // ------------------------------------------------------------- scale
   /// Active prepaid customers per month (the paper has ~2.1M; benches
   /// default to a 1/100 scale preserving the churn-rate geometry).
-  size_t num_customers = 20000;
+  /// Interacts with `scale_factor` via ResolveScale below: an explicit
+  /// num_customers wins; otherwise scale_factor * 2.1M is used.
+  size_t num_customers = kDefaultNumCustomers;
+  /// Population as a fraction of the paper's 2.1M customers (0 = unset,
+  /// use num_customers). SF 1.0 ≈ 2.1M. Resolved by ResolveScale.
+  double scale_factor = 0.0;
   /// Simulated months (the paper's dataset spans 9).
   int num_months = 9;
   /// Days per month for the recharge-period labelling rule.
@@ -127,6 +141,21 @@ struct SimConfig {
   /// Recharge probability of a true churner with no offer (Group A).
   double churner_base_recharge = 0.006;
 };
+
+/// \brief The population size the config resolves to, under the single
+/// validated rule: an explicit (non-default) `num_customers` wins;
+/// otherwise, if `scale_factor > 0`, round(scale_factor * 2.1M); else the
+/// default. Nonsensical values (num_customers == 0, scale_factor
+/// negative / NaN / inf / so small it rounds to zero customers) are
+/// InvalidArgument.
+Result<size_t> ResolveNumCustomers(const SimConfig& config);
+
+/// \brief Applies ResolveNumCustomers and, when the scale factor drove
+/// the population, scales the default community/cell counts
+/// proportionally (min 1) so community sizes — and with them the churn
+/// contagion geometry — stay scale-invariant. Knobs the caller set
+/// explicitly (non-default values) are left untouched.
+Result<SimConfig> ResolveScale(SimConfig config);
 
 }  // namespace telco
 

@@ -14,19 +14,44 @@ bool SimTruth::Churned(int month, int64_t imsi) const {
   return false;
 }
 
+namespace {
+
+// Resolves the config's scale for the constructor. Population's ctor
+// needs a concrete config, so a resolution failure is parked in *status
+// (surfaced by Run) and safe defaults are simulated instead.
+SimConfig ResolveForCtor(SimConfig config, Status* status) {
+  Result<SimConfig> resolved = ResolveScale(std::move(config));
+  if (resolved.ok()) return std::move(resolved).ValueOrDie();
+  *status = resolved.status();
+  return SimConfig{};
+}
+
+}  // namespace
+
 TelcoSimulator::TelcoSimulator(SimConfig config)
-    : config_(config), population_(config), textgen_(config) {}
+    : config_(ResolveForCtor(std::move(config), &config_resolution_)),
+      population_(config_),
+      textgen_(config_) {}
 
 Status TelcoSimulator::Run(Catalog* catalog) {
   if (catalog == nullptr) {
     return Status::InvalidArgument("null catalog");
   }
-  TELCO_RETURN_NOT_OK(EmitVocabTables(textgen_, catalog));
+  CatalogWarehouseSink sink(catalog);
+  return Run(&sink);
+}
+
+Status TelcoSimulator::Run(WarehouseSink* sink, const EmitOptions& options) {
+  TELCO_RETURN_NOT_OK(config_resolution_);
+  if (sink == nullptr) {
+    return Status::InvalidArgument("null sink");
+  }
+  TELCO_RETURN_NOT_OK(EmitVocabTables(textgen_, sink));
   truth_.months.clear();
-  truth_.months.reserve(config_.num_months);
+  if (record_truth_) truth_.months.reserve(config_.num_months);
   for (int m = 1; m <= config_.num_months; ++m) {
     population_.AdvanceMonth();
-    TELCO_RETURN_NOT_OK(EmitMonthTables(population_, textgen_, catalog));
+    TELCO_RETURN_NOT_OK(EmitMonthTables(population_, textgen_, sink, options));
 
     MonthTruth mt;
     mt.month = m;
@@ -42,14 +67,16 @@ Status TelcoSimulator::Run(Catalog* catalog) {
     TELCO_LOG(Info) << "month " << m << ": " << mt.active_imsis.size()
                     << " active, " << mt.NumChurners() << " churners ("
                     << mt.ChurnRate() * 100.0 << "%)";
-    truth_.months.push_back(std::move(mt));
+    if (record_truth_) truth_.months.push_back(std::move(mt));
   }
   // The demographics table is emitted last so it covers every joiner.
-  TELCO_RETURN_NOT_OK(EmitCustomersTable(population_, catalog));
-  for (const CustomerTraits& t : population_.customers()) {
-    truth_.offer_affinity[t.imsi] = t.offer_affinity;
+  TELCO_RETURN_NOT_OK(EmitCustomersTable(population_, sink));
+  if (record_truth_) {
+    for (const CustomerTraits& t : population_.customers()) {
+      truth_.offer_affinity[t.imsi] = t.offer_affinity;
+    }
   }
-  return Status::OK();
+  return sink->Finish();
 }
 
 std::vector<ChurnRatePoint> TelcoSimulator::ChurnRateSeries(

@@ -60,6 +60,10 @@ struct ChurnRatePoint {
 };
 
 /// \brief Runs the simulation and owns the resulting ground truth.
+///
+/// The config's scale is resolved at construction (ResolveScale: explicit
+/// num_customers wins, else scale_factor * 2.1M); an invalid scale
+/// surfaces as the error status of the first Run call.
 class TelcoSimulator {
  public:
   explicit TelcoSimulator(SimConfig config);
@@ -67,6 +71,16 @@ class TelcoSimulator {
   /// Simulates config.num_months months, emitting every table into
   /// `catalog` and recording ground truth.
   Status Run(Catalog* catalog);
+
+  /// Streaming flavour: emits every table into `sink` (e.g. a
+  /// StreamingWarehouseSink building an out-of-core warehouse) and calls
+  /// sink->Finish() at the end. With set_record_truth(false), ground
+  /// truth is skipped so memory stays O(chunk) at large scale factors.
+  Status Run(WarehouseSink* sink, const EmitOptions& options = {});
+
+  /// Whether Run records SimTruth (default true). Turn off for
+  /// generation-only runs at large scale — truth is O(customers).
+  void set_record_truth(bool record) { record_truth_ = record; }
 
   const SimConfig& config() const { return config_; }
   const SimTruth& truth() const { return truth_; }
@@ -78,10 +92,14 @@ class TelcoSimulator {
                                                      const SimConfig& config);
 
  private:
+  // Order matters: config_resolution_ must be initialised before config_
+  // (the resolving helper writes it).
+  Status config_resolution_ = Status::OK();
   SimConfig config_;
   Population population_;
   TextGenerator textgen_;
   SimTruth truth_;
+  bool record_truth_ = true;
   std::unordered_map<int64_t, uint8_t> churn_lookup_;  // key: month<<40|imsi
 };
 

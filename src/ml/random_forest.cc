@@ -114,8 +114,12 @@ double RandomForest::PredictProba(std::span<const double> row) const {
 
 std::vector<double> RandomForest::PredictProbaBatch(FeatureMatrix rows,
                                                     ThreadPool* pool) const {
-  if (binned_ != nullptr &&
-      DefaultForestEngine() == ForestEngine::kBinned) {
+  return PredictProbaBatch(rows, pool, DefaultForestEngine());
+}
+
+std::vector<double> RandomForest::PredictProbaBatch(
+    FeatureMatrix rows, ThreadPool* pool, ForestEngine engine) const {
+  if (binned_ != nullptr && engine == ForestEngine::kBinned) {
     return binned_->PredictProba(rows, pool);
   }
   if (flat_ == nullptr) return Classifier::PredictProbaBatch(rows, pool);

@@ -49,6 +49,11 @@ class RandomForest final : public Classifier {
   /// bit-identical to the per-row pointer walk, much faster.
   std::vector<double> PredictProbaBatch(FeatureMatrix rows,
                                         ThreadPool* pool) const override;
+  /// Explicit-engine flavour (per-route serving): kBinned scores through
+  /// the binned engine when it compiled, kExact through the flat engine;
+  /// both fall back gracefully and stay bit-identical.
+  std::vector<double> PredictProbaBatch(FeatureMatrix rows, ThreadPool* pool,
+                                        ForestEngine engine) const;
   using Classifier::PredictProbaBatch;
   std::vector<double> PredictClassProba(
       std::span<const double> row) const override;

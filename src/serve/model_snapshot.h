@@ -68,6 +68,13 @@ class ModelSnapshot {
   /// batch split or thread count.
   std::vector<double> ScoreBatch(FeatureMatrix rows, ThreadPool* pool) const;
 
+  /// Explicit-engine flavour for per-route serving: the router can pin a
+  /// route to the exact flat engine or the binned integer-compare engine
+  /// instead of the process-wide default. Scores are bit-identical
+  /// either way.
+  std::vector<double> ScoreBatch(FeatureMatrix rows, ThreadPool* pool,
+                                 ForestEngine engine) const;
+
   /// Thin wrapper over the FeatureMatrix overload.
   std::vector<double> ScoreBatch(const Dataset& rows,
                                  ThreadPool* pool) const;

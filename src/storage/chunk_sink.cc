@@ -1,0 +1,204 @@
+#include "storage/chunk_sink.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace telco {
+
+// --------------------------------------------------------- MemoryTableSink
+
+MemoryTableSink::MemoryTableSink(Schema schema, size_t chunk_rows)
+    : schema_(std::move(schema)), chunk_rows_(chunk_rows) {}
+
+Status MemoryTableSink::Append(ChunkPtr chunk) {
+  if (chunk == nullptr) return Status::InvalidArgument("null chunk");
+  chunks_.push_back(std::move(chunk));
+  return Status::OK();
+}
+
+Status MemoryTableSink::Finish() {
+  auto table = Table::FromChunks(schema_, chunk_rows_, std::move(chunks_));
+  if (!table.ok()) return table.status();
+  table_ = std::move(table).ValueOrDie();
+  return Status::OK();
+}
+
+// ------------------------------------------------------- ChunkedTableWriter
+
+ChunkedTableWriter::ChunkedTableWriter(Schema schema, ChunkSink* sink,
+                                       size_t chunk_rows, SegmentLayout layout)
+    : schema_(std::move(schema)),
+      sink_(sink),
+      chunk_rows_(chunk_rows == 0 ? 1 : chunk_rows),
+      layout_(layout) {
+  ResetBuffer();
+}
+
+ChunkedTableWriter::ChunkedTableWriter(Schema schema,
+                                       std::unique_ptr<ChunkSink> sink,
+                                       size_t chunk_rows, SegmentLayout layout)
+    : ChunkedTableWriter(std::move(schema), sink.get(), chunk_rows, layout) {
+  owned_sink_ = std::move(sink);
+}
+
+void ChunkedTableWriter::ResetBuffer() {
+  buffer_.clear();
+  buffer_.reserve(schema_.num_fields());
+  for (size_t i = 0; i < schema_.num_fields(); ++i) {
+    buffer_.emplace_back(schema_.field(i).type);
+  }
+  buffered_rows_ = 0;
+}
+
+Status ChunkedTableWriter::FlushIfFull(bool force) {
+  while (buffered_rows_ >= chunk_rows_ || (force && buffered_rows_ > 0)) {
+    std::vector<Column> chunk_cols;
+    chunk_cols.reserve(buffer_.size());
+    if (buffered_rows_ <= chunk_rows_) {
+      chunk_cols = std::move(buffer_);
+      ResetBuffer();
+    } else {
+      // Oversized bulk splice: cut the leading chunk_rows_ rows and keep
+      // the remainder buffered.
+      for (const Column& col : buffer_) {
+        chunk_cols.push_back(col.Slice(0, chunk_rows_));
+      }
+      std::vector<Column> rest;
+      rest.reserve(buffer_.size());
+      for (const Column& col : buffer_) {
+        rest.push_back(col.Slice(chunk_rows_, col.size() - chunk_rows_));
+      }
+      buffer_ = std::move(rest);
+      buffered_rows_ -= chunk_rows_;
+    }
+    Status appended =
+        sink_->Append(Chunk::FromColumns(std::move(chunk_cols), layout_));
+    if (!appended.ok()) return appended;
+    if (force && buffered_rows_ == 0) break;
+  }
+  return Status::OK();
+}
+
+Status ChunkedTableWriter::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != schema_.num_fields()) {
+    return Status::InvalidArgument(StrFormat(
+        "row width %zu does not match schema width %zu", row.size(),
+        schema_.num_fields()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    // int64 literals are accepted into double columns (Column::Append).
+    const bool numeric_promotion =
+        schema_.field(i).type == DataType::kDouble && row[i].is_int64();
+    if (!numeric_promotion && !row[i].TypeMatches(schema_.field(i).type)) {
+      return Status::TypeError(StrFormat(
+          "value %s does not match type %s of field '%s'",
+          row[i].ToString().c_str(), DataTypeToString(schema_.field(i).type),
+          schema_.field(i).name.c_str()));
+    }
+  }
+  return AppendRowUnchecked(row);
+}
+
+Status ChunkedTableWriter::AppendRowUnchecked(const std::vector<Value>& row) {
+  TELCO_DCHECK(row.size() == schema_.num_fields());
+  TELCO_DCHECK(!finished_);
+  for (size_t i = 0; i < row.size(); ++i) buffer_[i].Append(row[i]);
+  ++buffered_rows_;
+  ++rows_appended_;
+  if (buffered_rows_ >= chunk_rows_) return FlushIfFull(false);
+  return Status::OK();
+}
+
+Status ChunkedTableWriter::AppendColumns(const std::vector<Column>& columns) {
+  if (columns.size() != schema_.num_fields()) {
+    return Status::InvalidArgument(StrFormat(
+        "column count %zu does not match schema width %zu", columns.size(),
+        schema_.num_fields()));
+  }
+  const size_t rows = columns.empty() ? 0 : columns[0].size();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].type() != schema_.field(i).type) {
+      return Status::TypeError(StrFormat(
+          "column %zu type %s does not match field '%s' (%s)", i,
+          DataTypeToString(columns[i].type()), schema_.field(i).name.c_str(),
+          DataTypeToString(schema_.field(i).type)));
+    }
+    if (columns[i].size() != rows) {
+      return Status::InvalidArgument(
+          StrFormat("ragged columns: column %zu has %zu rows, expected %zu", i,
+                    columns[i].size(), rows));
+    }
+  }
+  // Splice in chunk-aligned pieces so chunk boundaries stay a pure
+  // function of the global row sequence.
+  size_t offset = 0;
+  while (offset < rows) {
+    const size_t take =
+        std::min(chunk_rows_ - buffered_rows_, rows - offset);
+    for (size_t i = 0; i < columns.size(); ++i) {
+      buffer_[i].AppendSlice(columns[i], offset, take);
+    }
+    buffered_rows_ += take;
+    offset += take;
+    rows_appended_ += take;
+    if (buffered_rows_ >= chunk_rows_) {
+      Status flushed = FlushIfFull(false);
+      if (!flushed.ok()) return flushed;
+    }
+  }
+  return Status::OK();
+}
+
+Status ChunkedTableWriter::Finish() {
+  if (finished_) return Status::Internal("writer already finished");
+  finished_ = true;
+  Status flushed = FlushIfFull(true);
+  if (!flushed.ok()) return flushed;
+  return sink_->Finish();
+}
+
+// ---------------------------------------------------- CatalogWarehouseSink
+
+namespace {
+
+/// MemoryTableSink that registers the finished table into a Catalog.
+class CatalogTableSink : public ChunkSink {
+ public:
+  CatalogTableSink(std::string name, Schema schema, size_t chunk_rows,
+                   Catalog* catalog)
+      : name_(std::move(name)),
+        memory_(std::move(schema), chunk_rows),
+        catalog_(catalog) {}
+
+  Status Append(ChunkPtr chunk) override {
+    return memory_.Append(std::move(chunk));
+  }
+
+  Status Finish() override {
+    Status finished = memory_.Finish();
+    if (!finished.ok()) return finished;
+    catalog_->RegisterOrReplace(name_, memory_.table());
+    return Status::OK();
+  }
+
+ private:
+  std::string name_;
+  MemoryTableSink memory_;
+  Catalog* catalog_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ChunkedTableWriter>> CatalogWarehouseSink::CreateTable(
+    const std::string& name, Schema schema) {
+  if (catalog_ == nullptr) return Status::InvalidArgument("null catalog");
+  const size_t chunk_rows = DefaultChunkRows();
+  auto sink = std::make_unique<CatalogTableSink>(name, schema, chunk_rows,
+                                                 catalog_);
+  return std::make_unique<ChunkedTableWriter>(std::move(schema),
+                                              std::move(sink), chunk_rows);
+}
+
+}  // namespace telco

@@ -1,0 +1,150 @@
+// ChunkSink: the streaming ingest API of the storage layer.
+//
+// Every bulk producer (the simulator's table emitters, the CSV loader)
+// builds rows into fixed-size chunks through a ChunkedTableWriter and
+// hands each completed chunk to a ChunkSink. Two sinks exist:
+//
+//   * MemoryTableSink collects the chunks and assembles an in-memory
+//     Table (the historical TableBuilder path, chunk geometry included);
+//   * StreamingTableSink (storage/streaming_writer.h) appends each
+//     encoded, CRC'd chunk straight to a v3 `.tbl` file, so a table
+//     never exists fully in RAM.
+//
+// Both paths cut chunks at the same row boundaries and encode through
+// the same Segment heuristics, so the bytes a warehouse save produces
+// are identical whichever sink the producer used (the streaming tests
+// assert this byte-for-byte).
+//
+// WarehouseSink generalises one level up: a named collection of tables
+// (an in-memory Catalog or a warehouse directory under construction)
+// that producers target table-by-table via CreateTable.
+
+#ifndef TELCO_STORAGE_CHUNK_SINK_H_
+#define TELCO_STORAGE_CHUNK_SINK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+#include "storage/storage_options.h"
+#include "storage/table.h"
+
+namespace telco {
+
+/// \brief Consumer side of chunked ingestion. Append receives chunks in
+/// row order — every chunk holds exactly the writer's chunk_rows rows
+/// except the last, which may be shorter. Finish commits the table
+/// (registration, file rename, ...) and must be called exactly once,
+/// after the last Append.
+class ChunkSink {
+ public:
+  virtual ~ChunkSink() = default;
+
+  virtual Status Append(ChunkPtr chunk) = 0;
+  virtual Status Finish() = 0;
+};
+
+/// \brief In-memory sink: collects chunks and assembles a Table on
+/// Finish (zero chunks make a valid empty table).
+class MemoryTableSink : public ChunkSink {
+ public:
+  MemoryTableSink(Schema schema, size_t chunk_rows);
+
+  Status Append(ChunkPtr chunk) override;
+  Status Finish() override;
+
+  /// The assembled table; null before a successful Finish.
+  const TablePtr& table() const { return table_; }
+
+ private:
+  Schema schema_;
+  size_t chunk_rows_;
+  std::vector<ChunkPtr> chunks_;
+  TablePtr table_;
+};
+
+/// \brief Row/column-slice producer side: buffers rows per column, cuts
+/// a Chunk every `chunk_rows` rows and hands it to the sink. Finish
+/// flushes the trailing partial chunk and finishes the sink. The chunk
+/// boundaries depend only on the row sequence — never on how rows were
+/// batched into AppendColumns calls — which is what makes the streamed
+/// and in-memory warehouse bytes identical.
+class ChunkedTableWriter {
+ public:
+  /// Writes into `sink` (borrowed; must outlive the writer).
+  ChunkedTableWriter(Schema schema, ChunkSink* sink,
+                     size_t chunk_rows = DefaultChunkRows(),
+                     SegmentLayout layout = SegmentLayout::kEncoded);
+
+  /// Owning flavour used by WarehouseSink::CreateTable.
+  ChunkedTableWriter(Schema schema, std::unique_ptr<ChunkSink> sink,
+                     size_t chunk_rows = DefaultChunkRows(),
+                     SegmentLayout layout = SegmentLayout::kEncoded);
+
+  /// Appends a row; the value count and types must match the schema.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Unchecked append used by bulk producers; asserts in debug builds.
+  Status AppendRowUnchecked(const std::vector<Value>& row);
+
+  /// Bulk append: splices pre-built column slices (all equal length,
+  /// types matching the schema) into the chunk buffer. The sharded
+  /// emitters generate per-shard columns in parallel and splice them in
+  /// shard order through this.
+  Status AppendColumns(const std::vector<Column>& columns);
+
+  /// Flushes the trailing partial chunk and finishes the sink.
+  Status Finish();
+
+  size_t rows_appended() const { return rows_appended_; }
+  const Schema& schema() const { return schema_; }
+
+ private:
+  /// Hands the buffered rows to the sink when a full chunk accumulated
+  /// (`force` flushes a trailing partial chunk).
+  Status FlushIfFull(bool force);
+  void ResetBuffer();
+
+  Schema schema_;
+  std::unique_ptr<ChunkSink> owned_sink_;
+  ChunkSink* sink_;
+  size_t chunk_rows_;
+  SegmentLayout layout_;
+  std::vector<Column> buffer_;
+  size_t buffered_rows_ = 0;
+  size_t rows_appended_ = 0;
+  bool finished_ = false;
+};
+
+/// \brief A named destination for a set of generated tables: hands out
+/// one ChunkedTableWriter per table; the warehouse-level Finish runs
+/// after every table writer finished (it commits the MANIFEST in the
+/// streaming implementation, and is a no-op for the catalog one).
+class WarehouseSink {
+ public:
+  virtual ~WarehouseSink() = default;
+
+  virtual Result<std::unique_ptr<ChunkedTableWriter>> CreateTable(
+      const std::string& name, Schema schema) = 0;
+  virtual Status Finish() = 0;
+};
+
+/// \brief WarehouseSink registering each finished table into a Catalog
+/// (the in-memory path used by `simulate`, benches and tests).
+class CatalogWarehouseSink : public WarehouseSink {
+ public:
+  explicit CatalogWarehouseSink(Catalog* catalog) : catalog_(catalog) {}
+
+  Result<std::unique_ptr<ChunkedTableWriter>> CreateTable(
+      const std::string& name, Schema schema) override;
+  Status Finish() override { return Status::OK(); }
+
+ private:
+  Catalog* catalog_;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_STORAGE_CHUNK_SINK_H_

@@ -107,6 +107,10 @@ class Column {
   /// A new column containing cells [offset, offset + length).
   Column Slice(size_t offset, size_t length) const;
 
+  /// Appends cells [offset, offset + length) of `src` (same type) onto
+  /// this column; bulk vector copies, nulls preserved.
+  void AppendSlice(const Column& src, size_t offset, size_t length);
+
  private:
   DataType type_;
   std::vector<int64_t> int64_data_;

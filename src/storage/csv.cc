@@ -9,6 +9,7 @@
 #include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "storage/atomic_file.h"
+#include "storage/chunk_sink.h"
 
 namespace telco {
 
@@ -184,7 +185,10 @@ Result<std::shared_ptr<Table>> ParseCsvStream(std::istream& in,
     }
   }
 
-  TableBuilder builder(schema);
+  // Rows stream through the chunked ingest API — the same path the
+  // simulator emitters use — rather than an ad-hoc builder loop.
+  MemoryTableSink sink(schema, DefaultChunkRows());
+  ChunkedTableWriter writer(schema, &sink);
   while (true) {
     const size_t record_line = line_no + 1;
     TELCO_ASSIGN_OR_RETURN(const bool more,
@@ -203,9 +207,10 @@ Result<std::shared_ptr<Table>> ParseCsvStream(std::istream& in,
                              ParseField(fields[i], schema.field(i).type));
       row.push_back(std::move(v));
     }
-    TELCO_RETURN_NOT_OK(builder.AppendRow(row));
+    TELCO_RETURN_NOT_OK(writer.AppendRow(row));
   }
-  return builder.Finish();
+  TELCO_RETURN_NOT_OK(writer.Finish());
+  return sink.table();
 }
 
 }  // namespace

@@ -174,6 +174,27 @@ Column Column::Slice(size_t offset, size_t length) const {
   return out;
 }
 
+void Column::AppendSlice(const Column& src, size_t offset, size_t length) {
+  TELCO_DCHECK(src.type_ == type_);
+  TELCO_DCHECK(offset + length <= src.size());
+  validity_.insert(validity_.end(), src.validity_.begin() + offset,
+                   src.validity_.begin() + offset + length);
+  switch (type_) {
+    case DataType::kInt64:
+      int64_data_.insert(int64_data_.end(), src.int64_data_.begin() + offset,
+                         src.int64_data_.begin() + offset + length);
+      break;
+    case DataType::kDouble:
+      double_data_.insert(double_data_.end(), src.double_data_.begin() + offset,
+                          src.double_data_.begin() + offset + length);
+      break;
+    case DataType::kString:
+      string_data_.insert(string_data_.end(), src.string_data_.begin() + offset,
+                          src.string_data_.begin() + offset + length);
+      break;
+  }
+}
+
 Column Column::Take(const std::vector<size_t>& indices) const {
   Column out(type_);
   out.Reserve(indices.size());

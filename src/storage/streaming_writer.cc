@@ -1,0 +1,153 @@
+#include "storage/streaming_writer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/fault_injection.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
+#include "storage/warehouse_format.h"
+
+namespace telco {
+
+namespace {
+namespace fs = std::filesystem;
+namespace wf = warehouse_format;
+}  // namespace
+
+// -------------------------------------------------------- StreamingTableSink
+
+StreamingTableSink::StreamingTableSink(std::string name, Schema schema,
+                                       size_t chunk_rows, std::string path,
+                                       StreamingWarehouseSink* parent)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      chunk_rows_(chunk_rows),
+      file_(std::make_unique<AtomicFile>(std::move(path))),
+      parent_(parent) {}
+
+Status StreamingTableSink::Open() {
+  TELCO_RETURN_NOT_OK(file_->Open());
+  // num_chunks is not known yet; write 0 and patch it in Finish.
+  const std::string header =
+      wf::TableHeader(chunk_rows_, 0, schema_.num_fields());
+  file_->stream().write(header.data(),
+                        static_cast<std::streamsize>(header.size()));
+  if (!file_->stream().good()) {
+    return Status::IoError("cannot write table header for '" + name_ + "'");
+  }
+  return Status::OK();
+}
+
+Status StreamingTableSink::Append(ChunkPtr chunk) {
+  static const Counter chunks_flushed =
+      MetricsRegistry::Global().GetCounter("storage.stream.chunks_flushed");
+  if (chunk == nullptr) return Status::InvalidArgument("null chunk");
+  TELCO_RETURN_NOT_OK(MaybeInjectFault("warehouse.stream.chunk"));
+  std::string payload;
+  wf::AppendChunkPayload(*chunk, &payload);
+  chunk_crcs_.push_back(Crc32(payload));
+  std::string len;
+  wf::AppendU64(&len, payload.size());
+  file_->stream().write(len.data(), static_cast<std::streamsize>(len.size()));
+  file_->stream().write(payload.data(),
+                        static_cast<std::streamsize>(payload.size()));
+  if (!file_->stream().good()) {
+    return Status::IoError("cannot append chunk to table '" + name_ + "'");
+  }
+  ++num_chunks_;
+  num_rows_ += chunk->num_rows();
+  chunks_flushed.Add();
+  return Status::OK();
+}
+
+Status StreamingTableSink::Finish() {
+  static const Counter tables_saved =
+      MetricsRegistry::Global().GetCounter("storage.warehouse.tables_saved");
+  static const Counter rows_written =
+      MetricsRegistry::Global().GetCounter("storage.warehouse.rows_written");
+  // Patch the num_chunks placeholder now that the count is known.
+  std::string count;
+  wf::AppendU64(&count, num_chunks_);
+  file_->stream().seekp(
+      static_cast<std::streamoff>(wf::kNumChunksOffset));
+  file_->stream().write(count.data(),
+                        static_cast<std::streamsize>(count.size()));
+  if (!file_->stream().good()) {
+    return Status::IoError("cannot patch chunk count for table '" + name_ +
+                           "'");
+  }
+  TELCO_RETURN_NOT_OK(file_->Commit());
+  tables_saved.Add();
+  rows_written.Add(num_rows_);
+  parent_->RecordTable({name_, schema_, num_rows_, chunk_rows_,
+                        std::move(chunk_crcs_)});
+  return Status::OK();
+}
+
+// --------------------------------------------------- StreamingWarehouseSink
+
+StreamingWarehouseSink::StreamingWarehouseSink(std::string directory)
+    : directory_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) {
+    dir_status_ = Status::IoError("cannot create directory '" + directory_ +
+                                  "': " + ec.message());
+  }
+}
+
+Result<std::unique_ptr<ChunkedTableWriter>> StreamingWarehouseSink::CreateTable(
+    const std::string& name, Schema schema) {
+  TELCO_RETURN_NOT_OK(dir_status_);
+  if (finished_) {
+    return Status::Internal("warehouse sink already finished");
+  }
+  const size_t chunk_rows = DefaultChunkRows();
+  const fs::path path = fs::path(directory_) / (name + ".tbl");
+  auto sink = std::make_unique<StreamingTableSink>(name, schema, chunk_rows,
+                                                   path.string(), this);
+  TELCO_RETURN_NOT_OK(sink->Open());
+  return std::make_unique<ChunkedTableWriter>(std::move(schema),
+                                              std::move(sink), chunk_rows);
+}
+
+void StreamingWarehouseSink::RecordTable(TableRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(std::move(record));
+}
+
+size_t StreamingWarehouseSink::rows_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t rows = 0;
+  for (const TableRecord& r : records_) rows += r.rows;
+  return rows;
+}
+
+Status StreamingWarehouseSink::Finish() {
+  TELCO_RETURN_NOT_OK(dir_status_);
+  if (finished_) {
+    return Status::Internal("warehouse sink already finished");
+  }
+  finished_ = true;
+  TraceSpan span("warehouse.stream.finish");
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Manifest lines sorted by table name: byte-identical to SaveWarehouse,
+  // whose loop follows the catalog's sorted ListTables order.
+  std::sort(records_.begin(), records_.end(),
+            [](const TableRecord& a, const TableRecord& b) {
+              return a.name < b.name;
+            });
+  std::string manifest = wf::ManifestHeader();
+  for (const TableRecord& r : records_) {
+    manifest += wf::ManifestLine(r.name, r.schema, r.rows, r.chunk_rows,
+                                 r.chunk_crcs);
+  }
+  TELCO_RETURN_NOT_OK(MaybeInjectFault("warehouse.save.manifest"));
+  const fs::path manifest_path = fs::path(directory_) / "MANIFEST";
+  return WriteFileAtomic(manifest_path.string(), manifest);
+}
+
+}  // namespace telco

@@ -1,0 +1,99 @@
+// Out-of-core warehouse writer: streams encoded, CRC'd chunks straight
+// to v3 `.tbl` files so a generated table never has to exist fully in
+// RAM. Peak memory is O(chunk), not O(table).
+//
+// Each table goes through an AtomicFile: the header is written with a
+// num_chunks placeholder, chunks are appended as they arrive, and
+// Finish() seeks back to patch the chunk count before the fsync+rename
+// commit — so a crash at any instant leaves either no `<name>.tbl` or a
+// complete one, never a torn file. The MANIFEST commits last (also
+// atomically), exactly like SaveWarehouse, and the bytes written are
+// identical to an in-memory build + SaveWarehouse of the same data
+// (shared helpers in storage/warehouse_format.h; asserted by tests).
+
+#ifndef TELCO_STORAGE_STREAMING_WRITER_H_
+#define TELCO_STORAGE_STREAMING_WRITER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/atomic_file.h"
+#include "storage/chunk_sink.h"
+
+namespace telco {
+
+class StreamingWarehouseSink;
+
+/// \brief ChunkSink appending serialized chunks to one `.tbl` file.
+///
+/// Created via StreamingWarehouseSink::CreateTable (wrapped in a
+/// ChunkedTableWriter). Fires the `warehouse.stream.chunk` fault site
+/// per chunk and bumps `storage.stream.chunks_flushed`.
+class StreamingTableSink : public ChunkSink {
+ public:
+  StreamingTableSink(std::string name, Schema schema, size_t chunk_rows,
+                     std::string path, StreamingWarehouseSink* parent);
+
+  /// Opens the tmp file and writes the placeholder header.
+  Status Open();
+
+  Status Append(ChunkPtr chunk) override;
+  Status Finish() override;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  size_t chunk_rows_;
+  std::unique_ptr<AtomicFile> file_;
+  StreamingWarehouseSink* parent_;
+  uint64_t num_chunks_ = 0;
+  uint64_t num_rows_ = 0;
+  std::vector<uint32_t> chunk_crcs_;
+};
+
+/// \brief WarehouseSink writing a complete v3 warehouse directory
+/// without materializing any table: one streaming `.tbl` writer per
+/// table, MANIFEST committed on Finish (sorted by table name, matching
+/// SaveWarehouse's ListTables order).
+class StreamingWarehouseSink : public WarehouseSink {
+ public:
+  explicit StreamingWarehouseSink(std::string directory);
+
+  Result<std::unique_ptr<ChunkedTableWriter>> CreateTable(
+      const std::string& name, Schema schema) override;
+
+  /// Writes the MANIFEST atomically. Must run after every table writer
+  /// finished.
+  Status Finish() override;
+
+  size_t tables_written() const { return records_.size(); }
+  size_t rows_written() const;
+
+ private:
+  friend class StreamingTableSink;
+
+  struct TableRecord {
+    std::string name;
+    Schema schema;
+    uint64_t rows = 0;
+    uint64_t chunk_rows = 0;
+    std::vector<uint32_t> chunk_crcs;
+  };
+
+  /// Called by each table sink once its file committed.
+  void RecordTable(TableRecord record);
+
+  std::string directory_;
+  Status dir_status_;
+  mutable std::mutex mutex_;
+  std::vector<TableRecord> records_;
+  bool finished_ = false;
+};
+
+}  // namespace telco
+
+#endif  // TELCO_STORAGE_STREAMING_WRITER_H_

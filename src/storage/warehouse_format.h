@@ -1,0 +1,59 @@
+// Shared v3 warehouse on-disk format helpers, used by both the
+// whole-table save path (warehouse_io.cc) and the streaming chunk writer
+// (streaming_writer.cc). Keeping the byte-producing code in one place is
+// what guarantees a streamed warehouse is byte-identical to an in-memory
+// build + SaveWarehouse — the equivalence tests assert exactly that.
+//
+// v3 chunked table file layout (<name>.tbl, little-endian):
+//   magic "TELCOTBL3\n" | u64 chunk_rows | u64 num_chunks | u64 num_cols
+//   then per chunk: u64 payload_len | payload
+// where payload is the concatenation of one serialized Segment per
+// column. The MANIFEST records one CRC32 per chunk payload.
+
+#ifndef TELCO_STORAGE_WAREHOUSE_FORMAT_H_
+#define TELCO_STORAGE_WAREHOUSE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/chunk.h"
+#include "storage/schema.h"
+
+namespace telco {
+namespace warehouse_format {
+
+inline constexpr char kManifestMagic[] = "telcochurn-warehouse";
+inline constexpr int kManifestVersion = 3;
+inline constexpr char kTableMagic[] = "TELCOTBL3\n";
+inline constexpr size_t kTableMagicLen = sizeof(kTableMagic) - 1;
+
+/// Byte offset of the u64 num_chunks field in the table header — the
+/// streaming writer patches it in place on Finish.
+inline constexpr size_t kNumChunksOffset = kTableMagicLen + 8;
+
+/// Appends v little-endian.
+void AppendU64(std::string* out, uint64_t v);
+
+/// The v3 table-file header for a table with the given geometry.
+std::string TableHeader(size_t chunk_rows, size_t num_chunks,
+                        size_t num_cols);
+
+/// Appends the serialized payload of one chunk: one Segment per column.
+/// Plain segments are re-encoded first (operator-built tables keep plain
+/// segments in memory; compressing here makes the on-disk bytes
+/// independent of which path produced the chunk).
+void AppendChunkPayload(const Chunk& chunk, std::string* payload);
+
+/// "telcochurn-warehouse 3\n".
+std::string ManifestHeader();
+
+/// One MANIFEST line: name|field:type,...|rows|chunk_rows|crc,crc,...\n
+std::string ManifestLine(const std::string& name, const Schema& schema,
+                         size_t rows, size_t chunk_rows,
+                         const std::vector<uint32_t>& chunk_crcs);
+
+}  // namespace warehouse_format
+}  // namespace telco
+
+#endif  // TELCO_STORAGE_WAREHOUSE_FORMAT_H_

@@ -13,30 +13,75 @@
 #include "common/thread_pool.h"
 #include "storage/atomic_file.h"
 #include "storage/csv.h"
+#include "storage/warehouse_format.h"
 
 namespace telco {
 
-namespace {
+// ------------------------------------------------- shared format helpers
+// The byte-producing primitives live here (declared in
+// warehouse_format.h) so SaveWarehouse and the streaming writer cannot
+// drift apart.
 
-namespace fs = std::filesystem;
+namespace warehouse_format {
 
-constexpr char kManifestMagic[] = "telcochurn-warehouse";
-constexpr int kManifestVersion = 3;
-
-// v3 chunked table file layout (<name>.tbl, little-endian):
-//   magic "TELCOTBL3\n" | u64 chunk_rows | u64 num_chunks | u64 num_cols
-//   then per chunk: u64 payload_len | payload
-// where payload is the concatenation of one serialized Segment per
-// column. The manifest records one CRC32 per chunk payload, so a torn or
-// corrupted chunk is caught before any segment bytes are parsed.
-constexpr char kTableMagic[] = "TELCOTBL3\n";
-constexpr size_t kTableMagicLen = sizeof(kTableMagic) - 1;
-
-void PutU64(std::string* out, uint64_t v) {
+void AppendU64(std::string* out, uint64_t v) {
   for (int i = 0; i < 8; ++i) {
     out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
   }
 }
+
+std::string TableHeader(size_t chunk_rows, size_t num_chunks,
+                        size_t num_cols) {
+  std::string out(kTableMagic, kTableMagicLen);
+  AppendU64(&out, chunk_rows);
+  AppendU64(&out, num_chunks);
+  AppendU64(&out, num_cols);
+  return out;
+}
+
+void AppendChunkPayload(const Chunk& chunk, std::string* payload) {
+  for (size_t c = 0; c < chunk.num_columns(); ++c) {
+    const Segment& seg = chunk.segment(c);
+    // Operator-built tables keep plain segments in memory (encoding
+    // every intermediate costs more than it saves); compress them here
+    // so on-disk size does not depend on which path produced the table.
+    if (seg.encoding() == SegmentEncoding::kPlain) {
+      Segment::Encode(seg.Decode())->Serialize(payload);
+    } else {
+      seg.Serialize(payload);
+    }
+  }
+}
+
+std::string ManifestHeader() {
+  return std::string(kManifestMagic) + ' ' +
+         std::to_string(kManifestVersion) + '\n';
+}
+
+std::string ManifestLine(const std::string& name, const Schema& schema,
+                         size_t rows, size_t chunk_rows,
+                         const std::vector<uint32_t>& chunk_crcs) {
+  std::vector<std::string> crc_hex;
+  crc_hex.reserve(chunk_crcs.size());
+  for (uint32_t crc : chunk_crcs) crc_hex.push_back(Crc32Hex(crc));
+  std::ostringstream line;
+  line << name << '|' << SchemaToSpec(schema) << '|' << rows << '|'
+       << chunk_rows << '|' << Join(crc_hex, ",") << '\n';
+  return line.str();
+}
+
+}  // namespace warehouse_format
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace wf = warehouse_format;
+
+using wf::kManifestMagic;
+using wf::kManifestVersion;
+using wf::kTableMagic;
+using wf::kTableMagicLen;
+using wf::AppendU64;
 
 bool ReadU64(std::string_view data, size_t* pos, uint64_t* out) {
   if (data.size() - *pos < 8) return false;
@@ -131,28 +176,16 @@ Result<ManifestEntry> ParseManifestLine(const std::string& line,
 // mid-table.
 Result<std::string> SerializeChunkedTable(const Table& table,
                                           std::vector<uint32_t>* chunk_crcs) {
-  std::string out(kTableMagic, kTableMagicLen);
-  PutU64(&out, table.chunk_rows());
-  PutU64(&out, table.num_chunks());
-  PutU64(&out, table.num_columns());
+  std::string out =
+      wf::TableHeader(table.chunk_rows(), table.num_chunks(),
+                      table.num_columns());
   std::string payload;
   for (size_t k = 0; k < table.num_chunks(); ++k) {
     TELCO_RETURN_NOT_OK(MaybeInjectFault("warehouse.save.chunk"));
     payload.clear();
-    const Chunk& chunk = table.chunk(k);
-    for (size_t c = 0; c < chunk.num_columns(); ++c) {
-      const Segment& seg = chunk.segment(c);
-      // Operator-built tables keep plain segments in memory (encoding
-      // every intermediate costs more than it saves); compress them here
-      // so on-disk size does not depend on which path produced the table.
-      if (seg.encoding() == SegmentEncoding::kPlain) {
-        Segment::Encode(seg.Decode())->Serialize(&payload);
-      } else {
-        seg.Serialize(&payload);
-      }
-    }
+    wf::AppendChunkPayload(table.chunk(k), &payload);
     chunk_crcs->push_back(Crc32(payload));
-    PutU64(&out, payload.size());
+    AppendU64(&out, payload.size());
     out += payload;
   }
   return out;
@@ -331,8 +364,7 @@ Status SaveWarehouse(const Catalog& catalog, const std::string& directory) {
   // Each table commits atomically; the MANIFEST commits last, so a crash
   // anywhere in this loop leaves no manifest referencing a missing or
   // torn table.
-  std::ostringstream manifest;
-  manifest << kManifestMagic << ' ' << kManifestVersion << '\n';
+  std::string manifest = wf::ManifestHeader();
   for (const std::string& name : catalog.ListTables()) {
     TELCO_ASSIGN_OR_RETURN(const TablePtr table, catalog.Get(name));
     const fs::path file = fs::path(directory) / (name + ".tbl");
@@ -343,16 +375,12 @@ Status SaveWarehouse(const Catalog& catalog, const std::string& directory) {
     TELCO_RETURN_NOT_OK(WriteFileAtomic(file.string(), bytes));
     tables_saved.Add();
     rows_written.Add(table->num_rows());
-    std::vector<std::string> crc_hex;
-    crc_hex.reserve(chunk_crcs.size());
-    for (uint32_t crc : chunk_crcs) crc_hex.push_back(Crc32Hex(crc));
-    manifest << name << '|' << SchemaToSpec(table->schema()) << '|'
-             << table->num_rows() << '|' << table->chunk_rows() << '|'
-             << Join(crc_hex, ",") << '\n';
+    manifest += wf::ManifestLine(name, table->schema(), table->num_rows(),
+                                 table->chunk_rows(), chunk_crcs);
   }
   TELCO_RETURN_NOT_OK(MaybeInjectFault("warehouse.save.manifest"));
   const fs::path manifest_path = fs::path(directory) / "MANIFEST";
-  return WriteFileAtomic(manifest_path.string(), manifest.str());
+  return WriteFileAtomic(manifest_path.string(), manifest);
 }
 
 Status LoadWarehouse(const std::string& directory, Catalog* catalog,

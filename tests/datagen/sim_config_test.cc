@@ -1,0 +1,109 @@
+// ResolveNumCustomers / ResolveScale: the single validated resolution
+// rule for the num_customers x scale_factor interaction.
+
+#include "datagen/sim_config.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "datagen/telco_simulator.h"
+
+namespace telco {
+namespace {
+
+TEST(SimConfigTest, DefaultConfigResolvesToDefaultPopulation) {
+  const auto n = ResolveNumCustomers(SimConfig{});
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, kDefaultNumCustomers);
+}
+
+TEST(SimConfigTest, ScaleFactorOneIsThePaperPopulation) {
+  SimConfig config;
+  config.scale_factor = 1.0;
+  const auto n = ResolveNumCustomers(config);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2100000u);
+}
+
+TEST(SimConfigTest, ExplicitCustomersWinOverScaleFactor) {
+  SimConfig config;
+  config.num_customers = 777;
+  config.scale_factor = 1.0;
+  const auto n = ResolveNumCustomers(config);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 777u);
+}
+
+TEST(SimConfigTest, NonsensicalValuesAreInvalidArgument) {
+  SimConfig zero_customers;
+  zero_customers.num_customers = 0;
+  EXPECT_TRUE(
+      ResolveNumCustomers(zero_customers).status().IsInvalidArgument());
+
+  SimConfig negative;
+  negative.scale_factor = -0.5;
+  EXPECT_TRUE(ResolveNumCustomers(negative).status().IsInvalidArgument());
+
+  SimConfig nan_scale;
+  nan_scale.scale_factor = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(ResolveNumCustomers(nan_scale).status().IsInvalidArgument());
+
+  SimConfig inf_scale;
+  inf_scale.scale_factor = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(ResolveNumCustomers(inf_scale).status().IsInvalidArgument());
+
+  // So small it rounds to zero customers.
+  SimConfig tiny;
+  tiny.scale_factor = 1e-9;
+  EXPECT_TRUE(ResolveNumCustomers(tiny).status().IsInvalidArgument());
+
+  // Implausibly large (> 1e10 customers).
+  SimConfig huge;
+  huge.scale_factor = 1e5;
+  EXPECT_TRUE(ResolveNumCustomers(huge).status().IsInvalidArgument());
+}
+
+TEST(SimConfigTest, ResolveScaleScalesCommunityGeometry) {
+  SimConfig config;
+  config.scale_factor = 0.1;
+  const auto resolved = ResolveScale(config);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->num_customers, 210000u);
+  // Community/cell counts scale with the population so community sizes
+  // (and with them contagion geometry) stay scale-invariant.
+  EXPECT_EQ(resolved->num_communities,
+            static_cast<size_t>(std::lround(250 * 10.5)));
+  EXPECT_EQ(resolved->num_cells,
+            static_cast<size_t>(std::lround(120 * 10.5)));
+  // A second resolution is a no-op.
+  EXPECT_EQ(resolved->scale_factor, 0.0);
+  const auto again = ResolveScale(*resolved);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->num_customers, resolved->num_customers);
+  EXPECT_EQ(again->num_communities, resolved->num_communities);
+}
+
+TEST(SimConfigTest, ExplicitGeometryIsLeftAlone) {
+  SimConfig config;
+  config.scale_factor = 0.1;
+  config.num_communities = 40;  // caller-set: not rescaled
+  const auto resolved = ResolveScale(config);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->num_communities, 40u);
+}
+
+// The simulator parks a bad resolution at construction and surfaces it
+// as the error of the first Run.
+TEST(SimConfigTest, SimulatorSurfacesBadScaleOnRun) {
+  SimConfig config;
+  config.scale_factor = -1.0;
+  TelcoSimulator sim(config);
+  Catalog catalog;
+  const Status st = sim.Run(&catalog);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace telco

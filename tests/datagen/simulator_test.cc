@@ -92,7 +92,7 @@ TEST(TelcoSimulatorTest, DeterministicAcrossRuns) {
 
 TEST(TelcoSimulatorTest, NullCatalogRejected) {
   TelcoSimulator sim(SmallConfig());
-  EXPECT_TRUE(sim.Run(nullptr).IsInvalidArgument());
+  EXPECT_TRUE(sim.Run(static_cast<Catalog*>(nullptr)).IsInvalidArgument());
 }
 
 TEST(TelcoSimulatorTest, Figure1SeriesShape) {

@@ -549,6 +549,9 @@ TEST(TcpServeTest, StatsListsRoutesWithPerRouteCounters) {
   EXPECT_EQ(shadow_route.NumberOr("queue_depth", -1), 0.0) << line;
   EXPECT_EQ(shadow_route.NumberOr("rejected", -1), 0.0) << line;
   EXPECT_NE(shadow_route.StringOr("fingerprint", ""), "") << line;
+  // Every route reports the engine it scores with ("exact"/"binned").
+  const std::string engine = shadow_route.StringOr("engine", "");
+  EXPECT_TRUE(engine == "exact" || engine == "binned") << line;
   server.Shutdown();
 }
 

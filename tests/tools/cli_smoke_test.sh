@@ -26,6 +26,19 @@ test "$LINES" -eq 4 || { echo "expected 3 prediction rows"; exit 1; }
 "$CLI" evaluate --warehouse "$WORKDIR/wh" --month 3 --trees 20 --u 40 \
     2> /dev/null | grep -q "AUC=" || { echo "missing metrics"; exit 1; }
 
+# Streamed datagen: same CLI surface, out-of-core writer, and the
+# scale/customers resolution rules reject nonsense up front.
+"$CLI" datagen --out "$WORKDIR/wh_dg" --customers 1500 --months 3 --seed 7 \
+    2> /dev/null
+cmp -s "$WORKDIR/wh/MANIFEST" "$WORKDIR/wh_dg/MANIFEST" || {
+  echo "datagen MANIFEST differs from simulate"; exit 1; }
+if "$CLI" datagen --out "$WORKDIR/wh_bad" --scale-factor -1 2> /dev/null; then
+  echo "negative scale factor accepted"; exit 1
+fi
+if "$CLI" datagen --out "$WORKDIR/wh_bad" --scale-factor abc 2> /dev/null; then
+  echo "non-numeric scale factor accepted"; exit 1
+fi
+
 # Error handling: unknown flag and missing warehouse must fail.
 if "$CLI" evaluate --warehouse "$WORKDIR/wh" --month 3 --bogus 1 \
     2> /dev/null; then

@@ -5,6 +5,12 @@
 //   telcochurn simulate --out DIR [--customers N] [--months M] [--seed S]
 //       Simulate the operator and persist the raw warehouse as CSVs.
 //
+//   telcochurn datagen --out DIR [--scale-factor X | --customers N]
+//                      [--months M] [--seed S] [--threads N]
+//       Stream a scale-factor warehouse straight to disk (v3 .tbl
+//       files): tables never materialise in RAM, so SF 1.0 (~2.1M
+//       customers, the paper's population) builds in O(chunk) memory.
+//
 //   telcochurn train --warehouse DIR --month M --model PATH
 //                    [--training-months K] [--trees T]
 //       Build wide tables, train the churn forest on labelled months
@@ -48,6 +54,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 
@@ -58,6 +65,7 @@
 #include "common/telemetry/flight_recorder.h"
 #include "common/telemetry/metrics.h"
 #include "common/telemetry/run_report.h"
+#include "common/telemetry/timer.h"
 #include "common/telemetry/trace.h"
 #include "common/thread_pool.h"
 #include "datagen/telco_simulator.h"
@@ -71,6 +79,7 @@
 #include "serve/stdio_server.h"
 #include "serve/tcp_server.h"
 #include "storage/atomic_file.h"
+#include "storage/streaming_writer.h"
 #include "storage/warehouse_io.h"
 
 namespace telco {
@@ -210,6 +219,60 @@ Status RunSimulate(Flags& flags) {
   TELCO_RETURN_NOT_OK(SaveWarehouse(catalog, out));
   std::printf("wrote %zu tables (%zu rows) to %s\n", catalog.size(),
               catalog.TotalRows(), out.c_str());
+  return Status::OK();
+}
+
+// Out-of-core flavour of `simulate`: chunks stream through a
+// StreamingWarehouseSink directly into v3 .tbl files, so the resident
+// set stays O(chunk) however large the scale factor. Ground truth is
+// not recorded (it is O(customers)); use `evaluate` on the resulting
+// warehouse for labelled runs.
+Status RunDatagen(Flags& flags) {
+  TELCO_ASSIGN_OR_RETURN(const std::string out, flags.Required("out"));
+  SimConfig config;
+  const std::string scale = flags.Get("scale-factor", "");
+  if (!scale.empty()) {
+    char* end = nullptr;
+    config.scale_factor = std::strtod(scale.c_str(), &end);
+    if (end == scale.c_str() || *end != '\0') {
+      return Status::InvalidArgument(
+          "--scale-factor expects a number, got '" + scale + "'");
+    }
+  }
+  const std::string customers = flags.Get("customers", "");
+  if (!customers.empty()) {
+    const int64_t n = std::strtoll(customers.c_str(), nullptr, 10);
+    if (n < 1) {
+      return Status::InvalidArgument("--customers must be >= 1, got '" +
+                                     customers + "'");
+    }
+    config.num_customers = static_cast<size_t>(n);
+  }
+  config.num_months = static_cast<int>(flags.GetInt("months", 9));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 2015));
+  const int threads = static_cast<int>(flags.GetInt("threads", 0));
+  TELCO_RETURN_NOT_OK(flags.CheckAllUsed());
+
+  std::unique_ptr<ThreadPool> owned_pool;
+  EmitOptions emit;
+  if (threads > 0) {
+    owned_pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+    emit.pool = owned_pool.get();
+  }
+
+  TelcoSimulator simulator(config);
+  simulator.set_record_truth(false);
+  StreamingWarehouseSink sink(out);
+  Stopwatch watch;
+  TELCO_RETURN_NOT_OK(simulator.Run(&sink, emit));
+  const double seconds = watch.ElapsedSeconds();
+  const uint64_t rows = sink.rows_written();
+  std::printf(
+      "streamed %zu tables (%llu rows, %zu customers) to %s in %.1fs "
+      "(%.0f rows/s)\n",
+      sink.tables_written(), static_cast<unsigned long long>(rows),
+      simulator.config().num_customers, out.c_str(), seconds,
+      seconds > 0.0 ? static_cast<double>(rows) / seconds : 0.0);
   return Status::OK();
 }
 
@@ -439,20 +502,36 @@ Status RunServe(Flags& flags) {
   ModelRouter router(router_options);
   router.Publish("", std::move(snapshot));
   if (!named_models.empty()) {
-    // --models segment-a=/path/a.rf,segment-b=/path/b.rf
+    // --models segment-a=/path/a.rf,segment-b=/path/b.rf:exact
+    // A ":exact" / ":binned" suffix pins that route's forest engine
+    // (anything else after ':' is part of the path).
     for (const std::string& entry : Split(named_models, ',')) {
       const size_t eq = entry.find('=');
       if (eq == std::string::npos || eq == 0 || eq + 1 == entry.size()) {
         return Status::InvalidArgument(
-            "--models expects name=path[,name=path...], got '" + entry +
-            "'");
+            "--models expects name=path[:engine][,name=path...], got '" +
+            entry + "'");
       }
       const std::string name = entry.substr(0, eq);
-      const std::string path = entry.substr(eq + 1);
+      std::string path = entry.substr(eq + 1);
+      std::optional<ForestEngine> route_engine;
+      const size_t colon = path.rfind(':');
+      if (colon != std::string::npos) {
+        const Result<ForestEngine> parsed =
+            ParseForestEngine(path.substr(colon + 1));
+        if (parsed.ok()) {
+          route_engine = parsed.ValueOrDie();
+          path = path.substr(0, colon);
+        }
+      }
       TELCO_ASSIGN_OR_RETURN(auto named, ModelSnapshot::LoadFromFile(path));
-      router.Publish(name, std::move(named));
-      std::fprintf(stderr, "published model '%s' from %s\n", name.c_str(),
-                   path.c_str());
+      router.Publish(name, std::move(named), route_engine);
+      std::fprintf(
+          stderr, "published model '%s' from %s (engine %s)\n", name.c_str(),
+          path.c_str(),
+          route_engine.has_value()
+              ? std::string(ForestEngineName(*route_engine)).c_str()
+              : "default");
     }
   }
 
@@ -681,16 +760,21 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: telcochurn "
-      "<simulate|train|predict|serve|requests|evaluate|run|resume|"
+      "<simulate|datagen|train|predict|serve|requests|evaluate|run|resume|"
       "metrics|fault-sites> [flags]\n"
       "  simulate --out DIR [--customers N] [--months M] [--seed S]\n"
+      "  datagen  --out DIR [--scale-factor X | --customers N]\n"
+      "           [--months M] [--seed S] [--threads N]\n"
+      "           (streams a v3 warehouse to disk in O(chunk) memory;\n"
+      "           SF 1.0 = the paper's ~2.1M customers)\n"
       "  train    --warehouse DIR --month M --model PATH\n"
       "           [--training-months K] [--trees T]\n"
       "  predict  --warehouse DIR --model PATH --month M [--top U]\n"
       "  serve    --model PATH [--batch N] [--queue N] [--window N]\n"
       "           [--threads N] [--engine exact|binned]\n"
       "           (NDJSON on stdin/stdout; see README)\n"
-      "           [--tcp-port P] [--readers N] [--models n=PATH,...]\n"
+      "           [--tcp-port P] [--readers N]\n"
+      "           [--models n=PATH[:exact|binned],...]  (per-route engine)\n"
       "           [--idle-timeout-s S]  (0 disables the idle reaper)\n"
       "           (with --tcp-port: epoll TCP front-end with named-model\n"
       "           routing; port 0 picks an ephemeral port)\n"
@@ -731,6 +815,8 @@ int Main(int argc, char** argv) {
   Status st;
   if (command == "simulate") {
     st = RunSimulate(flags);
+  } else if (command == "datagen") {
+    st = RunDatagen(flags);
   } else if (command == "train") {
     st = RunTrain(flags);
   } else if (command == "predict") {
